@@ -1,0 +1,61 @@
+// Ablation: SNMPv2 GetBulk vs per-row GETNEXT walks.
+//
+// The era's collectors moved from v1-style GETNEXT chains to GetBulk to cut
+// the round trips that dominate cold discovery (Fig 3's cold curve). This
+// sweep measures cold-cache query time and request counts with and without
+// bulk retrieval.
+#include "apps/testbed.hpp"
+#include "bench/bench_util.hpp"
+
+using namespace remos;
+
+namespace {
+
+struct Point {
+  double cost_s = 0.0;
+  std::uint64_t requests = 0;
+};
+
+Point run(std::size_t hosts, bool use_bulk) {
+  apps::LanTestbed::Params params;
+  params.hosts = hosts;
+  params.switches = std::max<std::size_t>(2, hosts / 28);
+  apps::LanTestbed lan(params);
+
+  // Rebuild both collectors with the bulk knob (bridge walks dominate the
+  // cold cost; route walks matter on routed paths).
+  core::BridgeCollectorConfig bcfg;
+  for (net::NodeId sw : lan.switches) bcfg.switches.push_back(lan.net.node(sw).primary_address());
+  bcfg.arp = apps::make_arp(lan.net);
+  bcfg.use_bulk = use_bulk;
+  core::BridgeCollector bridge(lan.engine, *lan.agents, std::move(bcfg));
+
+  core::SnmpCollectorConfig scfg = lan.collector->config();
+  scfg.name = use_bulk ? "bulk" : "getnext";
+  scfg.use_bulk = use_bulk;
+  scfg.subnets[0].bridge = &bridge;
+  core::SnmpCollector collector(lan.engine, *lan.agents, scfg);
+
+  const auto resp = collector.query(lan.host_addrs(hosts));
+  return Point{resp.cost_s, collector.snmp_request_count() + bridge.client().request_count()};
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation — GetBulk vs GETNEXT walks",
+                "cold-cache 'query all hosts' cost on a bridged LAN");
+  bench::row("%8s %16s %16s %14s %14s %10s", "hosts", "getnext cost", "bulk cost",
+             "getnext reqs", "bulk reqs", "speedup");
+  for (std::size_t hosts : {16u, 64u, 256u, 1024u}) {
+    const Point slow = run(hosts, false);
+    const Point fast = run(hosts, true);
+    bench::row("%8zu %14.3f s %14.3f s %14llu %14llu %9.1fx", hosts, slow.cost_s, fast.cost_s,
+               static_cast<unsigned long long>(slow.requests),
+               static_cast<unsigned long long>(fast.requests), slow.cost_s / fast.cost_s);
+  }
+  bench::row("");
+  bench::row("cold discovery is round-trip bound; GetBulk collapses per-row walks");
+  bench::row("into ~24-row exchanges, flattening Fig 3's cold curve.");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: threaded (parallel-lane) SNMP vs serial round trips.
+//
+// §3.1.1: "The SNMP Collector is implemented with Java threads, so it is
+// capable of monitoring a number of routers and responding to many queries
+// simultaneously." Parallel lanes charge max(lane) instead of sum(lanes);
+// the win grows with the number of distinct devices polled.
+#include "apps/testbed.hpp"
+#include "bench/bench_util.hpp"
+
+using namespace remos;
+
+int main() {
+  bench::header("Ablation — parallel vs serial SNMP monitoring",
+                "one monitoring pass over all discovered interfaces (simulated seconds)");
+  bench::row("%10s %10s %14s %14s %10s", "hosts", "devices", "serial", "parallel", "speedup");
+  for (std::size_t n : {8u, 32u, 128u, 512u}) {
+    apps::LanTestbed::Params params;
+    params.hosts = n;
+    params.switches = std::max<std::size_t>(2, n / 28);
+    apps::LanTestbed lan(params);
+    const auto nodes = lan.host_addrs(n);
+    (void)lan.collector->query(nodes);  // discover + monitor everything
+
+    core::SnmpCollectorConfig serial_cfg = lan.collector->config();
+    serial_cfg.parallel_queries = false;
+    serial_cfg.name = "serial";
+    core::SnmpCollector serial(lan.engine, *lan.agents, serial_cfg);
+    (void)serial.query(nodes);
+
+    const double parallel_cost = [&] {
+      const double before = lan.collector->snmp_time_consumed_s();
+      lan.collector->poll_now();
+      return lan.collector->snmp_time_consumed_s() - before;
+    }();
+    const double serial_cost = [&] {
+      const double before = serial.snmp_time_consumed_s();
+      serial.poll_now();
+      return serial.snmp_time_consumed_s() - before;
+    }();
+    bench::row("%10zu %10zu %14.3f %14.3f %9.1fx", n, params.switches + 1, serial_cost,
+               parallel_cost, serial_cost / parallel_cost);
+  }
+  bench::row("");
+  bench::row("per-agent lanes bound the pass by the busiest device instead of the");
+  bench::row("total — the threaded design the paper's collector relies on.");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: caching and sharing of prediction results — the open issue the
+// paper lists in §6.2 ("an evaluation of techniques for caching and
+// sharing of prediction results").
+//
+// Scenario: N consumers ask for the same resource's forecast within a
+// window (think: every client of a popular mirror probing it). Without
+// sharing, each pays an AR(16) fit; with the shared cache, one fit serves
+// everyone until the TTL expires. The trade-off is staleness: long TTLs
+// serve predictions made from old history.
+#include "bench/bench_util.hpp"
+#include "net/hostload.hpp"
+#include "rps/predictor.hpp"
+#include "rps/shared_cache.hpp"
+
+using namespace remos;
+
+int main() {
+  bench::header("Ablation — caching/sharing of prediction results",
+                "N consumers of one resource within a 30 s window, AR(16) on 600 samples");
+
+  sim::Rng rng(3);
+  const std::vector<double> history = net::generate_host_load(600, rng);
+  rps::ClientServerPredictor service(rps::ModelSpec::ar(16));
+  rps::ClientServerPredictor::Request req;
+  req.history = history;
+  req.horizon = 30;
+
+  const double per_fit_s = bench::time_per_iteration([&] {
+    auto p = service.predict(req);
+    (void)p;
+  });
+  bench::row("cost of one fit+predict: %.1f us", per_fit_s * 1e6);
+  bench::row("");
+  bench::row("%12s %14s %18s %20s", "consumers", "hit rate", "fits performed", "CPU saved");
+  for (int consumers : {1, 5, 20, 100, 500}) {
+    double fake_clock = 0.0;
+    rps::SharedPredictionCache cache(30.0, [&] { return fake_clock; });
+    int fits = 0;
+    for (int c = 0; c < consumers; ++c) {
+      cache.get_or_compute("edge-42", [&] {
+        ++fits;
+        return service.predict(req);
+      });
+      fake_clock += 30.0 / consumers;  // consumers spread across the window
+    }
+    const double saved = static_cast<double>(consumers - fits) * per_fit_s;
+    bench::row("%12d %13.0f%% %18d %17.1f us", consumers, cache.hit_rate() * 100.0, fits,
+               saved * 1e6);
+  }
+
+  bench::row("");
+  bench::row("staleness trade-off: a TTL of one collector poll interval (5-30 s)");
+  bench::row("bounds prediction age at one sample while eliminating nearly all");
+  bench::row("repeat fits under fan-in — the sharing the paper anticipated.");
+  return 0;
+}

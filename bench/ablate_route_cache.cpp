@@ -1,0 +1,38 @@
+// Ablation: route/path caching in the SNMP Collector.
+//
+// Fig 3 attributes a >= 3x speedup to caching; this ablation isolates it by
+// running the same repeated query with caching enabled vs disabled across
+// LAN sizes.
+#include "apps/testbed.hpp"
+#include "bench/bench_util.hpp"
+
+using namespace remos;
+
+int main() {
+  bench::header("Ablation — route/path cache on vs off",
+                "repeated 'query all hosts' cost (simulated seconds)");
+  bench::row("%8s %14s %14s %12s", "nodes", "cache on", "cache off", "speedup");
+  for (std::size_t n : {8u, 32u, 128u, 512u}) {
+    apps::LanTestbed::Params params;
+    params.hosts = n;
+    params.switches = std::max<std::size_t>(2, n / 28);
+    apps::LanTestbed lan(params);
+    const auto nodes = lan.host_addrs(n);
+
+    (void)lan.collector->query(nodes);  // warm everything (incl. bridge)
+    const double cached = lan.collector->query(nodes).cost_s;
+
+    core::SnmpCollectorConfig cfg = lan.collector->config();
+    cfg.cache_enabled = false;
+    cfg.name = "no-cache";
+    core::SnmpCollector nocache(lan.engine, *lan.agents, cfg);
+    (void)nocache.query(nodes);
+    const double uncached = nocache.query(nodes).cost_s;
+
+    bench::row("%8zu %14.3f %14.3f %11.1fx", n, cached, uncached, uncached / cached);
+  }
+  bench::row("");
+  bench::row("caching converts per-query SNMP round trips into local lookups; the");
+  bench::row("advantage grows with N (the paper's warm-vs-cold factor >= 3).");
+  return 0;
+}

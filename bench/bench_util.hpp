@@ -1,0 +1,53 @@
+// Shared helpers for the figure-reproduction benches: aligned table
+// printing and wall-clock timing.
+#pragma once
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace remos::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Wall-clock seconds consumed by `fn()`.
+template <typename F>
+double time_real(F&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Wall-clock seconds per iteration, amortized over enough repetitions to
+/// exceed `min_total_s` of measurement.
+template <typename F>
+double time_per_iteration(F&& fn, double min_total_s = 0.05, int min_reps = 3) {
+  int reps = min_reps;
+  for (;;) {
+    const double total = time_real([&] {
+      for (int i = 0; i < reps; ++i) fn();
+    });
+    if (total >= min_total_s || reps > (1 << 22)) {
+      return total / reps;
+    }
+    reps *= 4;
+  }
+}
+
+}  // namespace remos::bench

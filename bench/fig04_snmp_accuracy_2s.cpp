@@ -1,0 +1,13 @@
+// Figure 4: SNMP Collector accuracy at a 2-second sampling interval.
+//
+// The paper's private testbed: two endpoints separated by two routers;
+// Netperf generates TCP bursts of varying lengths; the figure overlays the
+// bandwidth Netperf reports with the bandwidth Remos observes from octet
+// counters. This harness builds that testbed, runs the same burst pattern,
+// and prints both series plus agreement metrics.
+#include "bench/accuracy_common.hpp"
+
+int main() {
+  remos::bench::run_accuracy_experiment(/*interval_s=*/2.0, "Fig 4", 42);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 5: SNMP Collector accuracy at the default 5-second interval.
+// Same testbed and burst schedule as Fig 4; coarser sampling tracks the
+// bursts more loosely but still matches well on average.
+#include "bench/accuracy_common.hpp"
+
+int main() {
+  remos::bench::run_accuracy_experiment(/*interval_s=*/5.0, "Fig 5", 42);
+  return 0;
+}

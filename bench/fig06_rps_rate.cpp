@@ -1,0 +1,52 @@
+// Figure 6: CPU usage of the RPS-based host load prediction system as a
+// function of measurement rate, using the appropriate AR(16) model.
+//
+// The paper's system (on a 500 MHz Alpha) has 1-2 ms measurement-to-
+// prediction latency, runs past 700 Hz, and saturates the CPU near 1 kHz.
+// Absolute numbers shift with the host CPU; the shape — CPU usage linear in
+// rate until saturation — is the reproduced result.
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "net/hostload.hpp"
+#include "rps/predictor.hpp"
+
+using namespace remos;
+
+int main() {
+  bench::header("Fig 6 — CPU usage of RPS host-load prediction vs measurement rate",
+                "streaming AR(16), 30-step horizon; fraction of one core consumed");
+
+  // Real measurement: seconds of CPU per push (step + 30-step predict).
+  sim::Rng rng(7);
+  const std::vector<double> prime = net::generate_host_load(600, rng);
+  const std::vector<double> stream = net::generate_host_load(4096, rng);
+
+  rps::StreamingConfig cfg;
+  cfg.horizon = 30;
+  cfg.refit_on_error = false;  // measure the steady-state step cost
+  rps::StreamingPredictor predictor(rps::ModelSpec::ar(16), cfg);
+  predictor.prime(prime);
+
+  std::size_t cursor = 0;
+  const double per_push_s = bench::time_per_iteration([&] {
+    (void)predictor.push(stream[cursor++ & 4095]);
+  });
+
+  bench::row("measured cost per measurement->prediction: %.1f us", per_push_s * 1e6);
+  bench::row("");
+  bench::row("%14s %16s %12s", "rate (Hz)", "CPU usage (%)", "saturated");
+  double saturation_hz = 0.0;
+  // The paper's sweep tops out at 1 kHz on a 500 MHz Alpha; this host is
+  // orders of magnitude faster, so extend the sweep until the knee shows.
+  for (double rate : {1.0, 10.0, 100.0, 1000.0, 1e4, 1e5, 3e5, 1e6, 2e6, 5e6}) {
+    const double cpu = per_push_s * rate;
+    if (saturation_hz == 0.0 && cpu >= 1.0) saturation_hz = 1.0 / per_push_s;
+    bench::row("%14.0f %16.3f %12s", rate, std::min(cpu, 1.0) * 100.0, cpu >= 1.0 ? "yes" : "");
+  }
+  bench::row("");
+  bench::row("saturation rate on this host: %.0f Hz (paper: ~1 kHz on a 500 MHz Alpha;",
+             saturation_hz > 0 ? saturation_hz : 1.0 / per_push_s);
+  bench::row("at the normal 1 Hz rate CPU usage is negligible: %.5f%%)", per_push_s * 100.0);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 7: CPU time to fit/init and step/predict the RPS predictive
+// models. The paper fits each model to 600 samples and reports per-model
+// costs spanning roughly four orders of magnitude, from LAST/MEAN up to
+// the ARMA/ARIMA family.
+//
+// Implemented with google-benchmark: one Fit and one StepPredict benchmark
+// per model.
+#include <benchmark/benchmark.h>
+
+#include "net/hostload.hpp"
+#include "rps/models.hpp"
+
+namespace {
+
+using namespace remos;
+
+const std::vector<double>& fit_data() {
+  static const std::vector<double> data = [] {
+    sim::Rng rng(123);
+    return net::generate_host_load(600, rng);
+  }();
+  return data;
+}
+
+const std::vector<double>& stream_data() {
+  static const std::vector<double> data = [] {
+    sim::Rng rng(321);
+    return net::generate_host_load(4096, rng);
+  }();
+  return data;
+}
+
+void BM_Fit(benchmark::State& state, const char* spec_text) {
+  const auto spec = rps::ModelSpec::parse(spec_text);
+  for (auto _ : state) {
+    auto model = rps::make_model(*spec);
+    model->fit(fit_data());
+    benchmark::DoNotOptimize(model);
+  }
+}
+
+void BM_StepPredict(benchmark::State& state, const char* spec_text) {
+  const auto spec = rps::ModelSpec::parse(spec_text);
+  auto model = rps::make_model(*spec);
+  model->fit(fit_data());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    model->step(stream_data()[i++ & 4095]);
+    auto pred = model->predict(30);
+    benchmark::DoNotOptimize(pred);
+  }
+}
+
+#define REMOS_MODEL_BENCH(name, spec)                          \
+  BENCHMARK_CAPTURE(BM_Fit, name, spec);                       \
+  BENCHMARK_CAPTURE(BM_StepPredict, name, spec)
+
+// The model menu of the paper's Fig 7 (MEAN, LAST, BM, AR/BESTMEAN-style
+// windows, MA, ARMA, ARIMA, fractional ARIMA).
+REMOS_MODEL_BENCH(MEAN, "MEAN");
+REMOS_MODEL_BENCH(LAST, "LAST");
+REMOS_MODEL_BENCH(BM32, "BM32");
+REMOS_MODEL_BENCH(AR8, "AR8");
+REMOS_MODEL_BENCH(AR16, "AR16");
+REMOS_MODEL_BENCH(AR32, "AR32");
+REMOS_MODEL_BENCH(ARBURG16, "ARBURG16");
+REMOS_MODEL_BENCH(MA8, "MA8");
+REMOS_MODEL_BENCH(ARMA88, "ARMA(8,8)");
+REMOS_MODEL_BENCH(ARIMA212, "ARIMA(2,1,2)");
+REMOS_MODEL_BENCH(FARIMA, "FARIMA(1,0.4,1)");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Microbenchmarks for the hot paths of the Remos core: SNMP walks, fluid
+// max-min recomputation, Modeler max-min allocation, topology merge, and
+// protocol encode/decode. Google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "apps/testbed.hpp"
+#include "core/maxmin.hpp"
+#include "core/protocol.hpp"
+#include "snmp/client.hpp"
+#include "snmp/oids.hpp"
+
+namespace {
+
+using namespace remos;
+
+void BM_SnmpWalkIfTable(benchmark::State& state) {
+  static apps::LanTestbed lan = [] {
+    apps::LanTestbed::Params p;
+    p.hosts = 64;
+    p.switches = 4;
+    return apps::LanTestbed(p);
+  }();
+  snmp::SnmpClient client(*lan.agents);
+  const auto addr = lan.net.node(lan.switches[0]).primary_address();
+  for (auto _ : state) {
+    auto rows = client.walk(addr, "public", snmp::oids::kIfTableEntry);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_SnmpWalkIfTable);
+
+void BM_FluidMaxMinRecompute(benchmark::State& state) {
+  const auto n_flows = static_cast<std::size_t>(state.range(0));
+  apps::LanTestbed::Params p;
+  p.hosts = 32;
+  p.switches = 4;
+  apps::LanTestbed lan(p);
+  for (std::size_t i = 0; i + 1 < n_flows; ++i) {
+    lan.flows->start(net::FlowSpec{.src = lan.hosts[i % 32],
+                                   .dst = lan.hosts[(i + 7) % 32]});
+  }
+  for (auto _ : state) {
+    // start+stop forces two full max-min recomputations.
+    const net::FlowId f = lan.flows->start(net::FlowSpec{.src = lan.hosts[0], .dst = lan.hosts[9]});
+    lan.flows->stop(f);
+  }
+}
+BENCHMARK(BM_FluidMaxMinRecompute)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ModelerMaxMinAllocate(benchmark::State& state) {
+  apps::LanTestbed::Params p;
+  p.hosts = 32;
+  p.switches = 4;
+  apps::LanTestbed lan(p);
+  const auto nodes = lan.host_addrs(32);
+  const auto resp = lan.collector->query(nodes);
+  std::vector<core::FlowRequest> requests;
+  for (std::size_t i = 0; i + 1 < nodes.size(); i += 2) {
+    requests.push_back(core::FlowRequest{.src = nodes[i], .dst = nodes[i + 1]});
+  }
+  for (auto _ : state) {
+    auto result = core::max_min_allocate(resp.topology, requests);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ModelerMaxMinAllocate);
+
+void BM_TopologyQueryWarm(benchmark::State& state) {
+  apps::LanTestbed::Params p;
+  p.hosts = static_cast<std::size_t>(state.range(0));
+  p.switches = std::max<std::size_t>(2, p.hosts / 28);
+  apps::LanTestbed lan(p);
+  const auto nodes = lan.host_addrs(p.hosts);
+  (void)lan.collector->query(nodes);
+  for (auto _ : state) {
+    auto resp = lan.collector->query(nodes);
+    benchmark::DoNotOptimize(resp);
+  }
+}
+BENCHMARK(BM_TopologyQueryWarm)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_AsciiEncodeDecode(benchmark::State& state) {
+  apps::LanTestbed::Params p;
+  p.hosts = 32;
+  p.switches = 4;
+  apps::LanTestbed lan(p);
+  const auto resp = lan.collector->query(lan.host_addrs(32));
+  for (auto _ : state) {
+    auto decoded = core::ascii_decode_response(core::ascii_encode_response(resp));
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_AsciiEncodeDecode);
+
+void BM_XmlEncodeDecode(benchmark::State& state) {
+  apps::LanTestbed::Params p;
+  p.hosts = 32;
+  p.switches = 4;
+  apps::LanTestbed lan(p);
+  const auto resp = lan.collector->query(lan.host_addrs(32));
+  for (auto _ : state) {
+    auto decoded = core::xml_decode_response(core::xml_encode_response(resp));
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_XmlEncodeDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Grid-style federation: two campus LANs served by *remote* collectors over
+// the XML/HTTP wire protocol, federated by a Master Collector, queried
+// through one Modeler — the deployment shape of the paper's Figure 2.
+//
+// Build & run:  ./build/examples/grid_monitoring
+#include <cstdio>
+
+#include "apps/testbed.hpp"
+#include "core/modeler.hpp"
+#include "core/remote.hpp"
+
+int main() {
+  using namespace remos;
+
+  // Two independent campuses, each with its own simulation-local stack.
+  apps::LanTestbed::Params pa;
+  pa.hosts = 6;
+  pa.switches = 2;
+  apps::LanTestbed campus_a(pa);
+
+  apps::LanTestbed::Params pb;
+  pb.hosts = 4;
+  pb.switches = 1;
+  pb.seed = 99;
+  pb.site_prefix = "10.2.0.0/16";  // disjoint address space from campus A
+  apps::LanTestbed campus_b(pb);
+
+  // Expose each campus SNMP collector through the XML-over-HTTP protocol,
+  // exactly as a remote site would be reached across the Internet.
+  core::CollectorServer server_a(*campus_a.collector, core::ProtocolKind::kXml);
+  core::CollectorServer server_b(*campus_b.collector, core::ProtocolKind::kXml);
+  core::RemoteCollector remote_a("campusA", campus_a.collector->responsibility(),
+                                 core::loopback_transport(server_a), core::ProtocolKind::kXml);
+  core::RemoteCollector remote_b("campusB", campus_b.collector->responsibility(),
+                                 core::loopback_transport(server_b), core::ProtocolKind::kXml);
+
+  core::MasterCollector master(core::MasterCollectorConfig{"grid-master", 0.002, true});
+  master.add_site(core::MasterCollector::Site{"campusA", &remote_a, {}});
+  master.add_site(core::MasterCollector::Site{"campusB", &remote_b, {}});
+
+  core::Modeler modeler(master);
+
+  std::printf("directory entries at the master:\n");
+  for (const auto& entry : master.directory().entries()) {
+    std::printf("  %-18s -> %s\n", entry.prefix.to_string().c_str(),
+                entry.collector->name().c_str());
+  }
+
+  // Query campus A's hosts through the full stack:
+  // modeler -> master -> XML/HTTP -> remote SNMP collector.
+  const auto nodes = campus_a.host_addrs(3);
+  std::printf("\ntopology for 3 campus-A hosts (via XML/HTTP remote collector):\n");
+  const auto topo = modeler.topology_query(nodes);
+  std::printf("%s", topo.to_text().c_str());
+  std::printf("requests handled by campus-A server: %llu\n",
+              static_cast<unsigned long long>(server_a.requests_handled()));
+
+  // Measurement histories travel over the XML protocol — the capability
+  // the paper's protocol transition was after.
+  campus_a.flows->start(net::FlowSpec{
+      .src = campus_a.hosts[0], .dst = campus_a.hosts[1], .demand_bps = 25e6});
+  campus_a.engine.advance(5.0 * 70);
+  (void)campus_a.collector->query(nodes);
+
+  std::printf("\nhistories fetched over the wire:\n");
+  const auto resp = remote_a.query(nodes);
+  for (const auto& e : resp.topology.edges()) {
+    const sim::MeasurementHistory* hist = remote_a.history(e.id);
+    if (hist != nullptr && !hist->empty() && hist->latest().value > 1e6) {
+      std::printf("  %-40s %4zu samples, latest %.1f Mb/s\n", e.id.c_str(), hist->size(),
+                  hist->latest().value / 1e6);
+    }
+  }
+  return 0;
+}

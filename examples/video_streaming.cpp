@@ -1,0 +1,63 @@
+// Adaptive video streaming (the paper's §5.5 application): before each
+// download the client measures available bandwidth to every video server
+// via Remos, streams from the best one, and the server adapts by dropping
+// low-priority frames to fit the measured bandwidth.
+//
+// Build & run:  ./build/examples/video_streaming
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/testbed.hpp"
+#include "apps/video.hpp"
+
+int main() {
+  using namespace remos;
+
+  apps::WanTestbed::Params params;
+  params.sites = {
+      {"client-site", 2, 100e6, 50e6},
+      {"eth", 2, 100e6, 40e6},   // local-ish: order of magnitude faster
+      {"epfl", 2, 100e6, 4e6},
+      {"cmu", 2, 100e6, 0.8e6},
+  };
+  params.site_cross_load = {0.05, 0.1, 0.3, 0.4};
+  apps::WanTestbed wan(params);
+  wan.warm_up(60.0);
+
+  sim::Rng rng(2001);
+  const apps::Movie movie = apps::Movie::generate("demo-movie", 30, 0.9e6, rng);
+  std::printf("movie: %zu s, %zu frames, mean rate %.2f Mb/s\n\n", movie.chunks.size(),
+              movie.frame_count(), movie.mean_rate_bps() / 1e6);
+
+  const net::NodeId client = wan.host("client-site", 1);
+  const auto client_addr = wan.addr(client);
+
+  // Remos query: available bandwidth to every server.
+  struct Candidate {
+    const char* site;
+    double remos_bps;
+  };
+  std::vector<Candidate> candidates{{"eth", 0}, {"epfl", 0}, {"cmu", 0}};
+  for (auto& c : candidates) {
+    const core::FlowInfo info = wan.modeler->flow_info(wan.addr(wan.host(c.site, 1)), client_addr);
+    c.remos_bps = info.available_bps;
+    std::printf("remos: %-5s -> client  %6.2f Mb/s available\n", c.site, c.remos_bps / 1e6);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.remos_bps > b.remos_bps; });
+  std::printf("\nstreaming from every server, best first:\n");
+
+  for (const Candidate& c : candidates) {
+    apps::VideoServerConfig cfg;
+    cfg.initial_estimate_bps = c.remos_bps;
+    const apps::StreamResult r = apps::stream_movie(wan.engine, *wan.flows,
+                                                    wan.host(c.site, 1), client, movie, cfg);
+    std::printf("  %-5s sent %4zu/%4zu frames, received correctly %4zu (%.0f%%)\n", c.site,
+                r.frames_sent, r.frames_total, r.frames_received_correctly,
+                100.0 * static_cast<double>(r.frames_received_correctly) /
+                    static_cast<double>(r.frames_total));
+  }
+  std::printf("\nthe Remos-chosen server delivers the most frames when bandwidth "
+              "is the binding constraint.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "apps/mirror.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace remos::apps {
+
+MirrorClient::MirrorClient(sim::Engine& engine, net::FlowEngine& flows, core::Modeler& modeler,
+                           net::NodeId client_host, net::Ipv4Address client_addr,
+                           std::vector<MirrorServer> servers, std::uint64_t file_bytes)
+    : engine_(engine),
+      flows_(flows),
+      modeler_(modeler),
+      client_host_(client_host),
+      client_addr_(client_addr),
+      servers_(std::move(servers)),
+      file_bytes_(file_bytes) {}
+
+double MirrorClient::download_from(net::NodeId server) const {
+  bool done = false;
+  net::FlowSpec spec;
+  spec.src = server;  // data flows server -> client
+  spec.dst = client_host_;
+  spec.bytes = file_bytes_;
+  spec.on_complete = [&done](net::FlowId) { done = true; };
+  const net::FlowId id = flows_.start(std::move(spec));
+  // Drive the simulation until the transfer drains (bounded: even 1 kb/s
+  // moves 3 MB within this horizon).
+  const sim::Time deadline = engine_.now() + 7 * 24 * 3600.0;
+  while (!done && engine_.now() < deadline) engine_.advance(1.0);
+  const auto stats = flows_.stats(id);
+  if (!done) flows_.stop(id);
+  return stats ? stats->average_bps() : 0.0;
+}
+
+MirrorTrialResult MirrorClient::run_trial() {
+  MirrorTrialResult result;
+
+  // Ask Remos for the available bandwidth to every replica in one query.
+  core::FlowQuery query;
+  for (const MirrorServer& s : servers_) {
+    query.flows.push_back(core::FlowRequest{.src = s.addr, .dst = client_addr_});
+  }
+  const auto infos = modeler_.flow_query(query);
+  result.remos_query_time_s = modeler_.last_query_cost_s();
+  result.remos_bandwidth_bps.resize(servers_.size(), 0.0);
+  for (std::size_t i = 0; i < servers_.size() && i < infos.size(); ++i) {
+    result.remos_bandwidth_bps[i] = infos[i].available_bps;
+  }
+
+  // Rank servers by reported bandwidth, best first (stable, deterministic).
+  result.remos_ranking.resize(servers_.size());
+  std::iota(result.remos_ranking.begin(), result.remos_ranking.end(), std::size_t{0});
+  std::stable_sort(result.remos_ranking.begin(), result.remos_ranking.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return result.remos_bandwidth_bps[a] > result.remos_bandwidth_bps[b];
+                   });
+
+  // Download from every server, best-ranked first (the paper's evaluation
+  // methodology), recording the achieved throughput.
+  result.achieved_bps.resize(servers_.size(), 0.0);
+  for (std::size_t rank = 0; rank < result.remos_ranking.size(); ++rank) {
+    const std::size_t idx = result.remos_ranking[rank];
+    result.achieved_bps[idx] = download_from(servers_[idx].host);
+  }
+
+  result.actual_best = static_cast<std::size_t>(
+      std::max_element(result.achieved_bps.begin(), result.achieved_bps.end()) -
+      result.achieved_bps.begin());
+  const std::size_t picked = result.remos_ranking.front();
+  result.remos_correct = (picked == result.actual_best);
+
+  // Effective bandwidth of the picked server includes the Remos query time.
+  const double picked_bps = result.achieved_bps[picked];
+  if (picked_bps > 0) {
+    const double transfer_s = static_cast<double>(file_bytes_) * 8.0 / picked_bps;
+    result.effective_bps =
+        static_cast<double>(file_bytes_) * 8.0 / (transfer_s + result.remos_query_time_s);
+  }
+  return result;
+}
+
+}  // namespace remos::apps

@@ -1,0 +1,66 @@
+// Mirrored-server selection application (§5.4).
+//
+// "We have written a simple application that reads a 3MB file from a server
+// after using network information obtained from Remos to choose the best
+// server from a set of replicas." To evaluate the choice, the application
+// "reads the file from all servers, starting with the server that,
+// according to Remos, has the best network connectivity."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/modeler.hpp"
+#include "net/flows.hpp"
+#include "sim/engine.hpp"
+
+namespace remos::apps {
+
+struct MirrorServer {
+  std::string name;
+  net::NodeId host = net::kNone;
+  net::Ipv4Address addr{};
+};
+
+struct MirrorTrialResult {
+  /// Ranking Remos produced (indices into the server list, best first).
+  std::vector<std::size_t> remos_ranking;
+  /// Measured available bandwidth per server (Remos flow query), bps.
+  std::vector<double> remos_bandwidth_bps;
+  /// Achieved download throughput per server, bps (download order = ranking).
+  std::vector<double> achieved_bps;
+  /// Index of the server with the actually-fastest transfer.
+  std::size_t actual_best = 0;
+  /// Did Remos rank the actual best server first?
+  bool remos_correct = false;
+  /// Effective bandwidth of the Remos-chosen server: transfer time plus
+  /// the time it took to get an answer back from the Remos system.
+  double effective_bps = 0.0;
+  double remos_query_time_s = 0.0;
+};
+
+class MirrorClient {
+ public:
+  MirrorClient(sim::Engine& engine, net::FlowEngine& flows, core::Modeler& modeler,
+               net::NodeId client_host, net::Ipv4Address client_addr,
+               std::vector<MirrorServer> servers, std::uint64_t file_bytes = 3 * 1024 * 1024);
+
+  /// One full trial: rank via Remos, then download from every server in
+  /// ranked order. Runs the simulation forward while transfers drain.
+  MirrorTrialResult run_trial();
+
+  [[nodiscard]] const std::vector<MirrorServer>& servers() const { return servers_; }
+
+ private:
+  double download_from(net::NodeId server) const;
+
+  sim::Engine& engine_;
+  net::FlowEngine& flows_;
+  core::Modeler& modeler_;
+  net::NodeId client_host_;
+  net::Ipv4Address client_addr_;
+  std::vector<MirrorServer> servers_;
+  std::uint64_t file_bytes_;
+};
+
+}  // namespace remos::apps

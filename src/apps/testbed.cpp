@@ -1,0 +1,191 @@
+#include "apps/testbed.hpp"
+
+#include <stdexcept>
+
+namespace remos::apps {
+
+std::function<std::optional<std::uint64_t>(net::Ipv4Address)> make_arp(const net::Network& net) {
+  return [&net](net::Ipv4Address addr) -> std::optional<std::uint64_t> {
+    const net::NodeId id = net.node_by_ip(addr);
+    if (id == net::kNone) return std::nullopt;
+    return net.node(id).mac;
+  };
+}
+
+// ---------------------------------------------------------------------------
+// LanTestbed
+// ---------------------------------------------------------------------------
+
+LanTestbed::LanTestbed() : LanTestbed(Params{}) {}
+
+LanTestbed::LanTestbed(Params p) : params(p) {
+  router = net.add_router("router");
+  switches.reserve(p.switches);
+  for (std::size_t i = 0; i < p.switches; ++i) {
+    switches.push_back(net.add_switch("sw" + std::to_string(i)));
+    if (i == 0) {
+      net.connect(router, switches[0], p.uplink_bps);
+    } else {
+      net.connect(switches[i - 1], switches[i], p.trunk_bps);
+    }
+  }
+  hosts.reserve(p.hosts);
+  for (std::size_t i = 0; i < p.hosts; ++i) {
+    hosts.push_back(net.add_host("h" + std::to_string(i)));
+    net.connect(hosts.back(), switches[i % p.switches], p.host_link_bps);
+  }
+  net.finalize(*net::Ipv4Prefix::parse(p.site_prefix));
+
+  flows = std::make_unique<net::FlowEngine>(engine, net);
+  agents = std::make_unique<snmp::AgentRegistry>(net, sim::Rng(p.seed).fork("agents"));
+  agents->set_before_read([this] { flows->sync(); });
+
+  core::BridgeCollectorConfig bcfg;
+  for (net::NodeId sw : switches) bcfg.switches.push_back(net.node(sw).primary_address());
+  bcfg.arp = make_arp(net);
+  bcfg.location_check_interval_s = p.location_check_interval_s;
+  bridge = std::make_unique<core::BridgeCollector>(engine, *agents, std::move(bcfg));
+
+  const net::SegmentId lan_segment = net.segment_of(hosts.front(), 1);
+  core::SnmpCollectorConfig scfg;
+  scfg.name = "campus-snmp";
+  scfg.poll_interval_s = p.poll_interval_s;
+  scfg.domain = {net.segment(lan_segment).prefix};
+  scfg.subnets.push_back(core::SnmpCollectorConfig::SubnetInfo{
+      net.segment(lan_segment).prefix, net.node(router).primary_address(), bridge.get(), false,
+      0.0});
+  collector = std::make_unique<core::SnmpCollector>(engine, *agents, std::move(scfg));
+}
+
+std::vector<net::Ipv4Address> LanTestbed::host_addrs(std::size_t count) const {
+  std::vector<net::Ipv4Address> out;
+  count = std::min(count, hosts.size());
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(addr(hosts[i]));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// WanTestbed
+// ---------------------------------------------------------------------------
+
+WanTestbed::WanTestbed(Params p) : params(std::move(p)) {
+  if (params.sites.size() < 2) throw std::invalid_argument("WanTestbed: need >= 2 sites");
+  core_router = net.add_router("core");
+
+  struct Pending {
+    net::NodeId cross_src = net::kNone;
+  };
+  std::vector<Pending> pending(params.sites.size());
+  sites.resize(params.sites.size());
+
+  for (std::size_t i = 0; i < params.sites.size(); ++i) {
+    const SiteSpec& spec = params.sites[i];
+    Site& site = sites[i];
+    site.name = spec.name;
+    site.router = net.add_router(spec.name + "-rtr");
+    site.lan_switch = net.add_switch(spec.name + "-sw");
+    net.connect(site.router, site.lan_switch, spec.lan_bps);
+    for (std::size_t h = 0; h < spec.hosts; ++h) {
+      site.hosts.push_back(net.add_host(spec.name + "-h" + std::to_string(h)));
+      net.connect(site.hosts.back(), site.lan_switch, spec.lan_bps);
+    }
+    // Dedicated cross-traffic source inside the site.
+    pending[i].cross_src = net.add_host(spec.name + "-xsrc");
+    net.connect(pending[i].cross_src, site.lan_switch, spec.lan_bps);
+    // WAN access link: the site's bottleneck.
+    net.connect(site.router, core_router, spec.access_bps);
+    // Core-side sink absorbing this site's cross traffic.
+    site.cross_sink = net.add_host(spec.name + "-xsink");
+    net.connect(site.cross_sink, core_router, params.backbone_bps);
+  }
+  net.finalize();
+
+  flows = std::make_unique<net::FlowEngine>(engine, net);
+  agents = std::make_unique<snmp::AgentRegistry>(net, sim::Rng(params.seed).fork("agents"));
+  agents->set_before_read([this] { flows->sync(); });
+
+  benchmark = std::make_unique<core::BenchmarkCollector>(
+      engine, *flows,
+      core::BenchmarkCollectorConfig{"wan-benchmark", params.probe_bytes, 60.0,
+                                     params.benchmark_period_s, 4096});
+  master = std::make_unique<core::MasterCollector>(
+      core::MasterCollectorConfig{"master", 0.002, true});
+  master->set_benchmark(benchmark.get());
+
+  sim::Rng rng(params.seed);
+  for (std::size_t i = 0; i < params.sites.size(); ++i) {
+    const SiteSpec& spec = params.sites[i];
+    Site& site = sites[i];
+    const net::SegmentId lan_segment = net.segment_of(site.hosts.front(), 1);
+
+    core::BridgeCollectorConfig bcfg;
+    bcfg.switches = {net.node(site.lan_switch).primary_address()};
+    bcfg.arp = make_arp(net);
+    bcfg.location_check_interval_s = 0.0;
+    site.bridge = std::make_unique<core::BridgeCollector>(engine, *agents, std::move(bcfg));
+
+    core::SnmpCollectorConfig scfg;
+    scfg.name = spec.name + "-snmp";
+    scfg.poll_interval_s = params.poll_interval_s;
+    scfg.domain = {net.segment(lan_segment).prefix};
+    scfg.subnets.push_back(core::SnmpCollectorConfig::SubnetInfo{
+        net.segment(lan_segment).prefix, net.node(site.router).primary_address(),
+        site.bridge.get(), false, 0.0});
+    site.collector = std::make_unique<core::SnmpCollector>(engine, *agents, std::move(scfg));
+
+    const net::Ipv4Address daemon = addr(site.hosts.front());
+    benchmark->add_daemon(spec.name, site.hosts.front(), daemon);
+    // The site's border — where WAN edges attach in merged topologies — is
+    // its edge router; benchmark probes still run between daemon hosts.
+    master->add_site(core::MasterCollector::Site{spec.name, site.collector.get(),
+                                                 net.node(site.router).primary_address()});
+
+    // Cross traffic: several on/off sources so the access link utilization
+    // fluctuates around the requested mean load.
+    const double load = i < params.site_cross_load.size() ? params.site_cross_load[i]
+                                                          : params.cross_traffic_load;
+    constexpr int kSources = 3;
+    for (int k = 0; k < kSources; ++k) {
+      net::OnOffSource::Params op;
+      op.src = pending[i].cross_src;
+      op.dst = site.cross_sink;
+      op.demand_bps = 2.0 * load * spec.access_bps / kSources;
+      op.mean_on_s = params.cross_period_s * (1.0 + 0.25 * k);
+      op.mean_off_s = params.cross_period_s * (1.0 + 0.25 * k);
+      site.cross_traffic.push_back(std::make_unique<net::OnOffSource>(
+          engine, *flows, rng.fork(spec.name + "-x" + std::to_string(k)), op));
+    }
+  }
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (std::size_t j = i + 1; j < sites.size(); ++j) {
+      if (params.probe_all_pairs || i == 0) {
+        benchmark->add_peer(sites[i].name, sites[j].name);
+      }
+    }
+  }
+  modeler = std::make_unique<core::Modeler>(*master);
+}
+
+WanTestbed::~WanTestbed() = default;
+
+const WanTestbed::Site& WanTestbed::site(const std::string& name) const {
+  for (const Site& s : sites) {
+    if (s.name == name) return s;
+  }
+  throw std::out_of_range("WanTestbed: unknown site " + name);
+}
+
+net::NodeId WanTestbed::host(const std::string& site_name, std::size_t index) const {
+  return site(site_name).hosts.at(index);
+}
+
+void WanTestbed::warm_up(double seconds) {
+  for (Site& s : sites) {
+    for (auto& src : s.cross_traffic) src->start();
+  }
+  benchmark->start_periodic();
+  engine.advance(seconds);
+}
+
+}  // namespace remos::apps

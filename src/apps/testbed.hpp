@@ -1,0 +1,138 @@
+// Canonical testbeds: a bridged campus LAN and a multi-site WAN with the
+// full Remos stack deployed (agents, Bridge/SNMP/Benchmark/Master
+// collectors, Modeler). Examples, tests, and every figure bench build on
+// these instead of hand-wiring topologies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/benchmark_collector.hpp"
+#include "core/bridge_collector.hpp"
+#include "core/master_collector.hpp"
+#include "core/modeler.hpp"
+#include "core/snmp_collector.hpp"
+#include "net/flows.hpp"
+#include "net/traffic.hpp"
+#include "snmp/agent.hpp"
+
+namespace remos::apps {
+
+/// Build an ARP resolver backed by the ground-truth network (the
+/// collector's static configuration data in the original system).
+[[nodiscard]] std::function<std::optional<std::uint64_t>(net::Ipv4Address)> make_arp(
+    const net::Network& net);
+
+/// One bridged campus LAN behind a router:
+///
+///   router -- sw0 -- sw1 -- ... (switch chain; hosts round-robin)
+///
+/// with Bridge + SNMP collectors deployed.
+class LanTestbed {
+ public:
+  struct Params {
+    std::size_t hosts = 16;
+    std::size_t switches = 4;
+    double host_link_bps = 100e6;
+    double trunk_bps = 1000e6;
+    double uplink_bps = 1000e6;
+    double poll_interval_s = 5.0;
+    double location_check_interval_s = 0.0;  // bridge host-location monitor
+    std::uint64_t seed = 42;
+    /// Address space the campus allocates subnets from.
+    std::string site_prefix = "10.0.0.0/8";
+  };
+
+  LanTestbed();  // default params
+  explicit LanTestbed(Params params);
+
+  [[nodiscard]] net::Ipv4Address addr(net::NodeId node) const {
+    return net.node(node).primary_address();
+  }
+  [[nodiscard]] std::vector<net::Ipv4Address> host_addrs(std::size_t count) const;
+
+  Params params;
+  sim::Engine engine;
+  net::Network net{"campus"};
+  net::NodeId router = net::kNone;
+  std::vector<net::NodeId> switches;
+  std::vector<net::NodeId> hosts;
+  std::unique_ptr<net::FlowEngine> flows;
+  std::unique_ptr<snmp::AgentRegistry> agents;
+  std::unique_ptr<core::BridgeCollector> bridge;
+  std::unique_ptr<core::SnmpCollector> collector;
+};
+
+/// Multi-site WAN: each site is a small routed LAN joined to a WAN core
+/// router by an access link whose capacity shapes the site's connectivity.
+/// Per-site SNMP collectors, one Benchmark Collector with a daemon per
+/// site, a Master Collector federating everything, and a Modeler on top.
+class WanTestbed {
+ public:
+  struct SiteSpec {
+    std::string name;
+    std::size_t hosts = 2;
+    double lan_bps = 100e6;
+    double access_bps = 10e6;  // WAN access capacity (the site's bottleneck)
+  };
+  struct Params {
+    std::vector<SiteSpec> sites;
+    double backbone_bps = 622e6;  // OC-12-ish core
+    double poll_interval_s = 5.0;
+    double benchmark_period_s = 15.0;
+    std::uint64_t probe_bytes = 256 * 1024;
+    std::uint64_t seed = 7;
+    /// Mean utilization of each site's access link by cross traffic
+    /// (0..1); per-site values override.
+    double cross_traffic_load = 0.3;
+    std::vector<double> site_cross_load;  // optional per-site override
+    /// Mean on/off period of the cross-traffic sources: small values give
+    /// fast-fluctuating load, large values slowly-drifting (Internet-like)
+    /// congestion states.
+    double cross_period_s = 4.0;
+    /// When true, the benchmark collector periodically probes every site
+    /// pair; when false, only pairs involving sites[0] (the application
+    /// site) — fewer concurrent probes, less self-interference.
+    bool probe_all_pairs = true;
+  };
+
+  explicit WanTestbed(Params params);
+  ~WanTestbed();
+  WanTestbed(const WanTestbed&) = delete;
+  WanTestbed& operator=(const WanTestbed&) = delete;
+
+  struct Site {
+    std::string name;
+    net::NodeId router = net::kNone;
+    net::NodeId lan_switch = net::kNone;
+    std::vector<net::NodeId> hosts;  // hosts[0] doubles as benchmark daemon
+    std::unique_ptr<core::BridgeCollector> bridge;
+    std::unique_ptr<core::SnmpCollector> collector;
+    std::vector<std::unique_ptr<net::OnOffSource>> cross_traffic;
+    net::NodeId cross_sink = net::kNone;  // core-side host absorbing cross traffic
+  };
+
+  [[nodiscard]] net::Ipv4Address addr(net::NodeId node) const {
+    return net.node(node).primary_address();
+  }
+  [[nodiscard]] const Site& site(const std::string& name) const;
+  [[nodiscard]] net::NodeId host(const std::string& site_name, std::size_t index) const;
+
+  /// Start cross traffic and periodic benchmarking, then run the engine
+  /// for `seconds` so caches and histories warm up.
+  void warm_up(double seconds);
+
+  Params params;
+  sim::Engine engine;
+  net::Network net{"wan"};
+  net::NodeId core_router = net::kNone;
+  std::vector<Site> sites;
+  std::unique_ptr<net::FlowEngine> flows;
+  std::unique_ptr<snmp::AgentRegistry> agents;
+  std::unique_ptr<core::BenchmarkCollector> benchmark;
+  std::unique_ptr<core::MasterCollector> master;
+  std::unique_ptr<core::Modeler> modeler;
+};
+
+}  // namespace remos::apps

@@ -1,0 +1,193 @@
+#include "apps/video.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace remos::apps {
+
+std::uint64_t VideoChunk::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const VideoFrame& f : frames) total += f.bytes;
+  return total;
+}
+
+std::size_t Movie::frame_count() const {
+  std::size_t total = 0;
+  for (const VideoChunk& c : chunks) total += c.frames.size();
+  return total;
+}
+
+double Movie::mean_rate_bps() const {
+  if (chunks.empty()) return 0.0;
+  std::uint64_t bytes = 0;
+  for (const VideoChunk& c : chunks) bytes += c.total_bytes();
+  return static_cast<double>(bytes) * 8.0 / static_cast<double>(chunks.size());
+}
+
+Movie Movie::generate(std::string title, std::size_t seconds, double mean_rate_bps,
+                      sim::Rng& rng, std::size_t fps) {
+  Movie movie;
+  movie.title = std::move(title);
+  movie.chunks.reserve(seconds);
+  // Frame-size ratios roughly matching MPEG GOP statistics.
+  const double i_weight = 6.0, p_weight = 2.5, b_weight = 1.0;
+  // Per-chunk weight with a 15-frame GOP: 1 I + ~4 P + rest B.
+  double content = 1.0;  // slow scene-complexity random walk
+  for (std::size_t s = 0; s < seconds; ++s) {
+    content = std::clamp(content + rng.normal(0.0, 0.12), 0.55, 1.8);
+    VideoChunk chunk;
+    chunk.frames.reserve(fps);
+    double weight_sum = 0.0;
+    std::vector<double> weights;
+    weights.reserve(fps);
+    for (std::size_t f = 0; f < fps; ++f) {
+      FrameType type;
+      if (f % 15 == 0) {
+        type = FrameType::kI;
+      } else if (f % 3 == 0) {
+        type = FrameType::kP;
+      } else {
+        type = FrameType::kB;
+      }
+      const double w = (type == FrameType::kI ? i_weight : type == FrameType::kP ? p_weight
+                                                                                 : b_weight) *
+                       content * rng.uniform(0.85, 1.15);
+      weights.push_back(w);
+      weight_sum += w;
+      chunk.frames.push_back(VideoFrame{type, 0});
+    }
+    const double chunk_bytes = mean_rate_bps / 8.0 * content;
+    for (std::size_t f = 0; f < fps; ++f) {
+      chunk.frames[f].bytes =
+          static_cast<std::uint32_t>(std::max(64.0, chunk_bytes * weights[f] / weight_sum));
+    }
+    movie.chunks.push_back(std::move(chunk));
+  }
+  return movie;
+}
+
+namespace {
+
+/// Pick the frames of a chunk that fit `budget_bytes`, dropping lowest
+/// importance (B, then P, never I unless unavoidable) first. Returns the
+/// selected indices and their byte total.
+std::pair<std::vector<std::size_t>, std::uint64_t> select_frames(const VideoChunk& chunk,
+                                                                 double budget_bytes) {
+  // Sort candidate drop order: B frames (largest first), then P, then I.
+  std::vector<std::size_t> order(chunk.frames.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto pa = static_cast<int>(chunk.frames[a].type);
+    const auto pb = static_cast<int>(chunk.frames[b].type);
+    if (pa != pb) return pa > pb;  // B (2) drops before P (1) before I (0)
+    return chunk.frames[a].bytes > chunk.frames[b].bytes;
+  });
+  std::vector<bool> dropped(chunk.frames.size(), false);
+  double total = static_cast<double>(chunk.total_bytes());
+  for (std::size_t i : order) {
+    if (total <= budget_bytes) break;
+    dropped[i] = true;
+    total -= chunk.frames[i].bytes;
+  }
+  std::vector<std::size_t> selected;
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < chunk.frames.size(); ++i) {
+    if (!dropped[i]) {
+      selected.push_back(i);
+      bytes += chunk.frames[i].bytes;
+    }
+  }
+  return {std::move(selected), bytes};
+}
+
+}  // namespace
+
+StreamResult stream_movie(sim::Engine& engine, net::FlowEngine& flows, net::NodeId server,
+                          net::NodeId client, const Movie& movie,
+                          const VideoServerConfig& config) {
+  StreamResult result;
+  result.frames_total = movie.frame_count();
+  double estimate = std::max(config.initial_estimate_bps, 1e3);
+  const double chunk_duration = 1.0;
+
+  for (const VideoChunk& chunk : movie.chunks) {
+    const double budget_bytes = estimate * config.headroom / 8.0 * chunk_duration;
+    auto [selected, bytes] = select_frames(chunk, budget_bytes);
+    result.frames_sent += selected.size();
+
+    if (bytes == 0) {
+      result.chunk_rate_bps.push_back(0.0);
+      result.chunk_goodput_bps.push_back(0.0);
+      result.chunk_completion_s.push_back(chunk_duration);
+      engine.advance(chunk_duration);
+      continue;
+    }
+
+    // Ship the selected frames; the transfer competes with cross traffic.
+    bool done = false;
+    const sim::Time start = engine.now();
+    net::FlowSpec spec;
+    spec.src = server;
+    spec.dst = client;
+    spec.bytes = bytes;
+    spec.on_complete = [&done](net::FlowId) { done = true; };
+    const net::FlowId id = flows.start(std::move(spec));
+    const double deadline = chunk_duration * (1.0 + config.deadline_slack);
+    while (!done && engine.now() - start < deadline) {
+      engine.advance(0.05);
+    }
+    const double elapsed = engine.now() - start;
+    double delivered_bytes = static_cast<double>(bytes);
+    if (!done) {
+      const auto st = flows.stats(id);
+      delivered_bytes = st ? static_cast<double>(st->delivered_bytes) : 0.0;
+      flows.stop(id);
+    }
+    const double achieved_bps = elapsed > 0 ? delivered_bytes * 8.0 / elapsed : 0.0;
+    result.chunk_rate_bps.push_back(achieved_bps);
+    result.chunk_goodput_bps.push_back(delivered_bytes * 8.0 / chunk_duration);
+    result.chunk_completion_s.push_back(elapsed);
+
+    if (done) {
+      result.frames_received_correctly += selected.size();
+    } else {
+      // Partial chunk: frames are transmitted in decode order; count the
+      // prefix whose bytes made it before the deadline.
+      double cum = 0.0;
+      for (std::size_t idx : selected) {
+        cum += chunk.frames[idx].bytes;
+        if (cum <= delivered_bytes) {
+          ++result.frames_received_correctly;
+        } else {
+          break;
+        }
+      }
+    }
+
+    // Pace to the chunk boundary, then refresh the bandwidth estimate.
+    if (engine.now() - start < chunk_duration) {
+      engine.advance(chunk_duration - (engine.now() - start));
+    }
+    estimate = config.estimate_alpha * achieved_bps + (1.0 - config.estimate_alpha) * estimate;
+    estimate = std::max(estimate, 8e3);  // floor: keep probing upward
+  }
+  result.duration_s = chunk_duration * static_cast<double>(movie.chunks.size());
+  return result;
+}
+
+std::vector<double> windowed_bandwidth(const StreamResult& result, double window_s) {
+  std::vector<double> out;
+  const std::size_t window = std::max<std::size_t>(1, static_cast<std::size_t>(window_s));
+  for (std::size_t start = 0; start < result.chunk_goodput_bps.size(); start += window) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = start; i < result.chunk_goodput_bps.size() && i < start + window; ++i) {
+      sum += result.chunk_goodput_bps[i];
+      ++n;
+    }
+    out.push_back(n > 0 ? sum / static_cast<double>(n) : 0.0);
+  }
+  return out;
+}
+
+}  // namespace remos::apps

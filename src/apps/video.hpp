@@ -1,0 +1,91 @@
+// Adaptive video streaming application (§5.5).
+//
+// "The video server is able to adapt the outgoing video stream to the
+// available bandwidth by intelligently dropping frames of lower importance
+// [Hemy et al.]. It thereby maximizes the numbers of frames that are
+// transmitted correctly."
+//
+// Model: the movie is a sequence of one-second chunks; each chunk holds a
+// GOP-like frame mix (I/P/B) whose sizes vary with scene content. Per
+// chunk the server picks the largest frame subset that fits its current
+// bandwidth estimate (dropping B before P before I), ships it as a fluid
+// transfer with a one-second deadline, and refreshes the estimate from the
+// achieved rate. Frames whose bytes arrive past the deadline are lost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/modeler.hpp"
+#include "net/flows.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace remos::apps {
+
+enum class FrameType : std::uint8_t { kI = 0, kP = 1, kB = 2 };
+
+struct VideoFrame {
+  FrameType type = FrameType::kB;
+  std::uint32_t bytes = 0;
+};
+
+/// One second of video.
+struct VideoChunk {
+  std::vector<VideoFrame> frames;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+};
+
+/// Synthesized movie: I/P/B structure with content-driven size variation.
+struct Movie {
+  std::string title;
+  std::vector<VideoChunk> chunks;  // one per second
+  [[nodiscard]] std::size_t frame_count() const;
+  [[nodiscard]] double mean_rate_bps() const;
+
+  /// Generate a movie: `seconds` chunks at `fps`, around `mean_rate_bps`,
+  /// with slow content variation. Deterministic given rng.
+  static Movie generate(std::string title, std::size_t seconds, double mean_rate_bps,
+                        sim::Rng& rng, std::size_t fps = 24);
+};
+
+struct StreamResult {
+  std::size_t frames_total = 0;
+  std::size_t frames_sent = 0;
+  std::size_t frames_received_correctly = 0;
+  double duration_s = 0.0;
+  /// Path transfer rate per chunk (delivered bits / transfer time) — what
+  /// the adaptive server's estimator tracks.
+  std::vector<double> chunk_rate_bps;
+  /// Application-perceived goodput per chunk-second (delivered bits /
+  /// chunk duration) — what the paper's Fig 11 plots.
+  std::vector<double> chunk_goodput_bps;
+  /// Per-chunk arrival timestamps of the chunk's last byte (relative to
+  /// chunk start) — lets callers compute windowed bandwidth averages.
+  std::vector<double> chunk_completion_s;
+};
+
+struct VideoServerConfig {
+  /// Initial bandwidth estimate (e.g. from a Remos flow query).
+  double initial_estimate_bps = 1e6;
+  /// EWMA weight for refreshing the estimate from achieved rates.
+  double estimate_alpha = 0.5;
+  /// Safety factor applied to the estimate when selecting frames.
+  double headroom = 0.95;
+  /// Deadline slack: a chunk's frames count as correct when its transfer
+  /// finishes within chunk duration * (1 + slack).
+  double deadline_slack = 0.05;
+};
+
+/// Stream a movie from `server` to `client` over the fluid network,
+/// adapting per chunk. Drives the simulation forward.
+[[nodiscard]] StreamResult stream_movie(sim::Engine& engine, net::FlowEngine& flows,
+                                        net::NodeId server, net::NodeId client,
+                                        const Movie& movie, const VideoServerConfig& config);
+
+/// Windowed average of the application-perceived bandwidth (Fig 11):
+/// averages chunk rates over `window_s`-second windows.
+[[nodiscard]] std::vector<double> windowed_bandwidth(const StreamResult& result, double window_s);
+
+}  // namespace remos::apps

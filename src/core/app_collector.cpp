@@ -1,0 +1,84 @@
+#include "core/app_collector.hpp"
+
+#include <algorithm>
+
+namespace remos::core {
+
+AppFeedbackCollector::AppFeedbackCollector(sim::Engine& engine, AppFeedbackConfig config)
+    : engine_(engine), config_(std::move(config)) {}
+
+AppFeedbackCollector::PairKey AppFeedbackCollector::key_of(net::Ipv4Address a,
+                                                           net::Ipv4Address b) {
+  return a < b ? PairKey{a, b} : PairKey{b, a};
+}
+
+std::string AppFeedbackCollector::id_of(const PairKey& key) {
+  return "app:" + key.first.to_string() + "-" + key.second.to_string();
+}
+
+void AppFeedbackCollector::report(net::Ipv4Address src, net::Ipv4Address dst,
+                                  double achieved_bps) {
+  if (achieved_bps <= 0.0 || src == dst) return;  // nothing observable
+  auto [it, inserted] =
+      pairs_.try_emplace(key_of(src, dst), sim::MeasurementHistory(config_.history_capacity));
+  (void)inserted;
+  it->second.add(engine_.now(), achieved_bps);
+  ++reports_;
+}
+
+std::optional<double> AppFeedbackCollector::observed_bandwidth(net::Ipv4Address a,
+                                                               net::Ipv4Address b) const {
+  auto it = pairs_.find(key_of(a, b));
+  if (it == pairs_.end() || it->second.empty()) return std::nullopt;
+  const sim::Sample& latest = it->second.latest();
+  if (engine_.now() - latest.time > config_.report_ttl_s) return std::nullopt;
+  return latest.value;
+}
+
+std::optional<double> AppFeedbackCollector::mean_bandwidth(net::Ipv4Address a,
+                                                           net::Ipv4Address b) const {
+  auto it = pairs_.find(key_of(a, b));
+  if (it == pairs_.end()) return std::nullopt;
+  const double mean =
+      it->second.mean_over(engine_.now() - config_.report_ttl_s, engine_.now());
+  if (it->second.window(engine_.now() - config_.report_ttl_s, engine_.now()).empty()) {
+    return std::nullopt;
+  }
+  return mean;
+}
+
+CollectorResponse AppFeedbackCollector::query(const std::vector<net::Ipv4Address>& nodes) {
+  CollectorResponse resp;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      const auto bw = observed_bandwidth(nodes[i], nodes[j]);
+      if (!bw) {
+        // Passive collection can only speak about pairs applications have
+        // exercised; unknown pairs make the answer incomplete.
+        resp.complete = false;
+        continue;
+      }
+      const VNodeIndex a = resp.topology.ensure_node(
+          VNode{VNodeKind::kHost, "host@" + nodes[i].to_string(), nodes[i]});
+      const VNodeIndex b = resp.topology.ensure_node(
+          VNode{VNodeKind::kHost, "host@" + nodes[j].to_string(), nodes[j]});
+      VEdge e;
+      e.a = a;
+      e.b = b;
+      e.capacity_bps = *bw;  // observed application-level throughput
+      e.id = id_of(key_of(nodes[i], nodes[j]));
+      resp.topology.add_edge(std::move(e));
+    }
+  }
+  return resp;
+}
+
+const sim::MeasurementHistory* AppFeedbackCollector::history(
+    const std::string& resource_id) const {
+  for (const auto& [key, hist] : pairs_) {
+    if (id_of(key) == resource_id) return &hist;
+  }
+  return nullptr;
+}
+
+}  // namespace remos::core

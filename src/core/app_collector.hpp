@@ -1,0 +1,72 @@
+// Application-feedback collector — the paper's §6.2 pointer to passive,
+// application-level information sources ("Many other sources of
+// information could be tapped, including ... application-level information
+// [SPAND]").
+//
+// Applications report the transfer performance they actually achieved;
+// the collector aggregates reports per endpoint pair and serves them like
+// any other collector — passive measurements at zero network cost,
+// complementing SNMP (component-level) and benchmark (active end-to-end)
+// data. Reports age out, since a transfer observed an hour ago says little
+// about the network now.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/collector.hpp"
+#include "sim/engine.hpp"
+
+namespace remos::core {
+
+struct AppFeedbackConfig {
+  std::string name = "app-feedback-collector";
+  /// Prefixes this collector may be asked about.
+  std::vector<net::Ipv4Prefix> domain;
+  /// Reports older than this are ignored when answering queries.
+  double report_ttl_s = 300.0;
+  std::size_t history_capacity = 4096;
+};
+
+class AppFeedbackCollector final : public Collector {
+ public:
+  AppFeedbackCollector(sim::Engine& engine, AppFeedbackConfig config);
+
+  /// An application observed `achieved_bps` on a transfer src -> dst.
+  void report(net::Ipv4Address src, net::Ipv4Address dst, double achieved_bps);
+
+  /// Most recent non-expired observation for a pair (direction-less), or
+  /// nullopt.
+  [[nodiscard]] std::optional<double> observed_bandwidth(net::Ipv4Address a,
+                                                         net::Ipv4Address b) const;
+  /// Mean over non-expired observations.
+  [[nodiscard]] std::optional<double> mean_bandwidth(net::Ipv4Address a,
+                                                     net::Ipv4Address b) const;
+
+  [[nodiscard]] std::uint64_t reports_received() const { return reports_; }
+  [[nodiscard]] std::size_t pair_count() const { return pairs_.size(); }
+
+  // Collector interface: edges between reported pairs among the queried
+  // nodes, capacity = latest observed application throughput.
+  [[nodiscard]] std::string name() const override { return config_.name; }
+  [[nodiscard]] std::vector<net::Ipv4Prefix> responsibility() const override {
+    return config_.domain;
+  }
+  CollectorResponse query(const std::vector<net::Ipv4Address>& nodes) override;
+  /// Histories keyed "app:<lo-ip>-<hi-ip>".
+  [[nodiscard]] const sim::MeasurementHistory* history(const std::string& resource_id) const override;
+
+ private:
+  using PairKey = std::pair<net::Ipv4Address, net::Ipv4Address>;
+  static PairKey key_of(net::Ipv4Address a, net::Ipv4Address b);
+  static std::string id_of(const PairKey& key);
+
+  sim::Engine& engine_;
+  AppFeedbackConfig config_;
+  std::map<PairKey, sim::MeasurementHistory> pairs_;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace remos::core

@@ -1,0 +1,215 @@
+#include "core/benchmark_collector.hpp"
+
+#include <algorithm>
+
+namespace remos::core {
+
+BenchmarkCollector::BenchmarkCollector(sim::Engine& engine, net::FlowEngine& flows,
+                                       BenchmarkCollectorConfig config)
+    : engine_(engine), flows_(flows), config_(std::move(config)) {}
+
+BenchmarkCollector::~BenchmarkCollector() {
+  if (periodic_task_ != 0) engine_.cancel_task(periodic_task_);
+}
+
+void BenchmarkCollector::add_daemon(std::string site, net::NodeId host, net::Ipv4Address addr) {
+  daemons_.push_back(Daemon{std::move(site), host, addr});
+}
+
+BenchmarkCollector::PairKey BenchmarkCollector::key_of(const std::string& a,
+                                                       const std::string& b) {
+  return a < b ? PairKey{a, b} : PairKey{b, a};
+}
+
+BenchmarkCollector::PairState& BenchmarkCollector::pair_state(const PairKey& key) {
+  auto it = pairs_.find(key);
+  if (it == pairs_.end()) {
+    it = pairs_.emplace(key, PairState(config_.history_capacity)).first;
+  }
+  return it->second;
+}
+
+const BenchmarkCollector::Daemon* BenchmarkCollector::find_daemon(const std::string& site) const {
+  for (const Daemon& d : daemons_) {
+    if (d.site == site) return &d;
+  }
+  return nullptr;
+}
+
+std::optional<net::Ipv4Address> BenchmarkCollector::daemon_addr(const std::string& site) const {
+  const Daemon* d = find_daemon(site);
+  if (d == nullptr) return std::nullopt;
+  return d->addr;
+}
+
+void BenchmarkCollector::add_peer(const std::string& site_a, const std::string& site_b) {
+  periodic_peers_.push_back(key_of(site_a, site_b));
+}
+
+void BenchmarkCollector::start_periodic() {
+  if (config_.period_s <= 0 || periodic_task_ != 0) return;
+  periodic_task_ = engine_.every(config_.period_s, [this] {
+    // Stagger the pair probes across the period: concurrent probes that
+    // share a site's access link would measure each other instead of the
+    // network ("too expensive and intrusive" compounds when self-inflicted).
+    const double spacing =
+        periodic_peers_.empty() ? 0.0
+                                : config_.period_s / static_cast<double>(periodic_peers_.size() + 1);
+    for (std::size_t k = 0; k < periodic_peers_.size(); ++k) {
+      const PairKey key = periodic_peers_[k];
+      engine_.after(spacing * static_cast<double>(k), [this, key] {
+        measure_now(key.first, key.second);
+        if (latency_probes_) (void)ping(key.first, key.second);
+      });
+    }
+  });
+}
+
+bool BenchmarkCollector::measure_now(const std::string& site_a, const std::string& site_b,
+                                     std::function<void(double)> done) {
+  const Daemon* a = find_daemon(site_a);
+  const Daemon* b = find_daemon(site_b);
+  if (a == nullptr || b == nullptr || a == b) return false;
+  const PairKey key = key_of(site_a, site_b);
+  PairState& state = pair_state(key);
+  if (state.in_flight) return false;
+  state.in_flight = true;
+
+  // "the Benchmark Collector exchanges data with the Benchmark Collector
+  // running at the other site": probe both directions back-to-back and
+  // record the conservative (minimum) rate — applications may load either
+  // direction, and WAN paths are rarely symmetric under cross traffic.
+  const net::NodeId forward_src = a->host;
+  const net::NodeId forward_dst = b->host;
+  net::FlowSpec first;
+  first.src = forward_src;
+  first.dst = forward_dst;
+  first.bytes = config_.probe_bytes;
+  first.on_complete = [this, key, forward_src, forward_dst,
+                       done = std::move(done)](net::FlowId id) {
+    const auto stats = flows_.stats(id);
+    const double fwd_bps = (stats && stats->completed) ? stats->average_bps() : 0.0;
+    net::FlowSpec second;
+    second.src = forward_dst;
+    second.dst = forward_src;
+    second.bytes = config_.probe_bytes;
+    second.on_complete = [this, key, fwd_bps, done](net::FlowId rid) {
+      PairState& st = pair_state(key);
+      st.in_flight = false;
+      const auto rstats = flows_.stats(rid);
+      const double rev_bps = (rstats && rstats->completed) ? rstats->average_bps() : 0.0;
+      const double bps = std::min(fwd_bps, rev_bps);
+      if (bps > 0.0) {
+        st.history.add(engine_.now(), bps);
+        st.last_measured = engine_.now();
+        ++probes_completed_;
+      }
+      if (done) done(bps);
+    };
+    bytes_injected_ += config_.probe_bytes;
+    flows_.start(std::move(second));
+  };
+  bytes_injected_ += config_.probe_bytes;
+  flows_.start(std::move(first));
+  return true;
+}
+
+std::optional<double> BenchmarkCollector::ping(const std::string& site_a,
+                                               const std::string& site_b) {
+  const Daemon* a = find_daemon(site_a);
+  const Daemon* b = find_daemon(site_b);
+  if (a == nullptr || b == nullptr || a == b) return std::nullopt;
+  const double rtt = flows_.current_rtt(a->host, b->host);
+  pair_state(key_of(site_a, site_b)).rtt_history.add(engine_.now(), rtt);
+  return rtt;
+}
+
+std::optional<double> BenchmarkCollector::latency(const std::string& site_a,
+                                                  const std::string& site_b) const {
+  auto it = pairs_.find(key_of(site_a, site_b));
+  if (it == pairs_.end() || it->second.rtt_history.empty()) return std::nullopt;
+  sim::RunningStats stats;
+  for (double v : it->second.rtt_history.values()) stats.add(v);
+  return stats.mean();
+}
+
+std::optional<double> BenchmarkCollector::jitter(const std::string& site_a,
+                                                 const std::string& site_b) const {
+  auto it = pairs_.find(key_of(site_a, site_b));
+  if (it == pairs_.end() || it->second.rtt_history.size() < 2) return std::nullopt;
+  sim::RunningStats stats;
+  for (double v : it->second.rtt_history.values()) stats.add(v);
+  return stats.stddev();
+}
+
+std::optional<double> BenchmarkCollector::available_bandwidth(const std::string& site_a,
+                                                              const std::string& site_b) {
+  const PairKey key = key_of(site_a, site_b);
+  PairState& state = pair_state(key);
+  if (state.last_measured < 0 || engine_.now() - state.last_measured > config_.cache_ttl_s) {
+    // Stale (or never measured): refresh in the background; the caller
+    // still gets the cached value, if any.
+    measure_now(key.first, key.second);
+  }
+  if (state.history.empty()) return std::nullopt;
+  return state.history.latest().value;
+}
+
+const sim::MeasurementHistory* BenchmarkCollector::pair_history(const std::string& site_a,
+                                                                const std::string& site_b) const {
+  auto it = pairs_.find(key_of(site_a, site_b));
+  return it == pairs_.end() ? nullptr : &it->second.history;
+}
+
+std::vector<net::Ipv4Prefix> BenchmarkCollector::responsibility() const {
+  // Daemon host addresses, as /32s: this collector can only speak about
+  // paths between its own endpoints.
+  std::vector<net::Ipv4Prefix> out;
+  out.reserve(daemons_.size());
+  for (const Daemon& d : daemons_) out.emplace_back(d.addr, 32);
+  return out;
+}
+
+CollectorResponse BenchmarkCollector::query(const std::vector<net::Ipv4Address>& nodes) {
+  CollectorResponse resp;
+  // Map requested addresses to daemons and connect every known pair with a
+  // WAN edge whose capacity is the latest measured available bandwidth.
+  std::vector<const Daemon*> matched;
+  for (net::Ipv4Address addr : nodes) {
+    for (const Daemon& d : daemons_) {
+      if (d.addr == addr) matched.push_back(&d);
+    }
+  }
+  for (std::size_t i = 0; i < matched.size(); ++i) {
+    for (std::size_t j = i + 1; j < matched.size(); ++j) {
+      const auto bw = available_bandwidth(matched[i]->site, matched[j]->site);
+      if (!bw) {
+        resp.complete = false;
+        continue;
+      }
+      const VNodeIndex a = resp.topology.ensure_node(
+          VNode{VNodeKind::kHost, "host@" + matched[i]->addr.to_string(), matched[i]->addr});
+      const VNodeIndex b = resp.topology.ensure_node(
+          VNode{VNodeKind::kHost, "host@" + matched[j]->addr.to_string(), matched[j]->addr});
+      VEdge e;
+      e.a = a;
+      e.b = b;
+      e.capacity_bps = *bw;  // measured *available* bandwidth
+      const PairKey key = key_of(matched[i]->site, matched[j]->site);
+      e.id = "wan:" + key.first + "-" + key.second;
+      resp.topology.add_edge(std::move(e));
+    }
+  }
+  return resp;
+}
+
+const sim::MeasurementHistory* BenchmarkCollector::history(const std::string& resource_id) const {
+  // Resource ids have the form "wan:<siteA>-<siteB>" (sites sorted).
+  if (!resource_id.starts_with("wan:")) return nullptr;
+  const std::string rest = resource_id.substr(4);
+  const auto dash = rest.find('-');
+  if (dash == std::string::npos) return nullptr;
+  return pair_history(rest.substr(0, dash), rest.substr(dash + 1));
+}
+
+}  // namespace remos::core

@@ -1,0 +1,131 @@
+// Benchmark Collector: active end-to-end probing between sites.
+//
+// "Remos generally cannot obtain SNMP access to network information for
+// WANs ... In that case, we fall back on a Benchmark Collector, that does
+// explicit testing to determine the performance characteristics of the
+// network. A Benchmark Collector is run at each site where an SNMP
+// Collector is. When a measurement of performance between multiple sites is
+// needed, the Benchmark Collector exchanges data with the Benchmark
+// Collector running at the other site of interest."
+//
+// Probes are finite fluid transfers injected into the simulated network;
+// their achieved rate is the measured available bandwidth, and the bytes
+// they inject are the intrusiveness cost the paper's §6.1 worries about
+// ("benchmarks ... too expensive and intrusive for many types of
+// networks").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/collector.hpp"
+#include "net/flows.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+
+namespace remos::core {
+
+struct BenchmarkCollectorConfig {
+  std::string name = "benchmark-collector";
+  /// Transfer size of one probe.
+  std::uint64_t probe_bytes = 512 * 1024;
+  /// A cached measurement older than this triggers a refresh on access.
+  double cache_ttl_s = 60.0;
+  /// Periodic re-measurement interval for registered peers (0 = on demand).
+  double period_s = 0.0;
+  std::size_t history_capacity = 4096;
+};
+
+class BenchmarkCollector final : public Collector {
+ public:
+  BenchmarkCollector(sim::Engine& engine, net::FlowEngine& flows,
+                     BenchmarkCollectorConfig config = {});
+  ~BenchmarkCollector() override;
+  BenchmarkCollector(const BenchmarkCollector&) = delete;
+  BenchmarkCollector& operator=(const BenchmarkCollector&) = delete;
+
+  /// Register a site's benchmark daemon (a host that sources/sinks probes).
+  void add_daemon(std::string site, net::NodeId host, net::Ipv4Address addr);
+
+  /// Register a site pair for periodic measurement (requires period_s > 0;
+  /// call start_periodic() once after registering).
+  void add_peer(const std::string& site_a, const std::string& site_b);
+  void start_periodic();
+
+  /// Launch one probe now; `done(bps)` fires from the event loop when the
+  /// probe drains. Returns false when either site is unknown or a probe
+  /// for the pair is already in flight.
+  bool measure_now(const std::string& site_a, const std::string& site_b,
+                   std::function<void(double)> done = {});
+
+  /// Latest measured available bandwidth for a pair (bits/second). When
+  /// the value is stale, a background refresh is scheduled but the stale
+  /// value is still returned ("collectors aggressively cache information").
+  [[nodiscard]] std::optional<double> available_bandwidth(const std::string& site_a,
+                                                          const std::string& site_b);
+
+  [[nodiscard]] const sim::MeasurementHistory* pair_history(const std::string& site_a,
+                                                            const std::string& site_b) const;
+
+  /// Total probe bytes injected into the network (intrusiveness metric).
+  [[nodiscard]] std::uint64_t bytes_injected() const { return bytes_injected_; }
+  [[nodiscard]] std::uint64_t probes_completed() const { return probes_completed_; }
+
+  // ---- latency/jitter metrics (§6.2's "metrics other than bandwidth") ----
+
+  /// Take one ping-like RTT sample between two sites and record it.
+  /// Returns the RTT (seconds); nullopt when either site is unknown.
+  std::optional<double> ping(const std::string& site_a, const std::string& site_b);
+  /// Piggy-back an RTT sample on every periodic bandwidth measurement.
+  void enable_latency_probes() { latency_probes_ = true; }
+  /// Mean RTT over recorded samples; nullopt when never pinged.
+  [[nodiscard]] std::optional<double> latency(const std::string& site_a,
+                                              const std::string& site_b) const;
+  /// RTT standard deviation — the jitter metric multimedia applications
+  /// want. nullopt until at least two samples exist.
+  [[nodiscard]] std::optional<double> jitter(const std::string& site_a,
+                                             const std::string& site_b) const;
+
+  [[nodiscard]] std::optional<net::Ipv4Address> daemon_addr(const std::string& site) const;
+
+  // Collector interface: topology of WAN pair edges among requested nodes.
+  [[nodiscard]] std::string name() const override { return config_.name; }
+  [[nodiscard]] std::vector<net::Ipv4Prefix> responsibility() const override;
+  CollectorResponse query(const std::vector<net::Ipv4Address>& nodes) override;
+  [[nodiscard]] const sim::MeasurementHistory* history(const std::string& resource_id) const override;
+
+ private:
+  struct Daemon {
+    std::string site;
+    net::NodeId host = net::kNone;
+    net::Ipv4Address addr{};
+  };
+  struct PairState {
+    sim::MeasurementHistory history;
+    sim::MeasurementHistory rtt_history;
+    sim::Time last_measured = -1.0;
+    bool in_flight = false;
+    explicit PairState(std::size_t cap) : history(cap), rtt_history(cap) {}
+  };
+  using PairKey = std::pair<std::string, std::string>;
+
+  static PairKey key_of(const std::string& a, const std::string& b);
+  PairState& pair_state(const PairKey& key);
+  const Daemon* find_daemon(const std::string& site) const;
+
+  sim::Engine& engine_;
+  net::FlowEngine& flows_;
+  BenchmarkCollectorConfig config_;
+  std::vector<Daemon> daemons_;
+  std::map<PairKey, PairState> pairs_;
+  std::vector<PairKey> periodic_peers_;
+  sim::TaskId periodic_task_ = 0;
+  bool latency_probes_ = false;
+  std::uint64_t bytes_injected_ = 0;
+  std::uint64_t probes_completed_ = 0;
+};
+
+}  // namespace remos::core

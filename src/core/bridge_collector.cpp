@@ -1,0 +1,359 @@
+#include "core/bridge_collector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "snmp/oids.hpp"
+
+namespace remos::core {
+namespace {
+
+std::string switch_label(net::Ipv4Address addr) { return "sw@" + addr.to_string(); }
+
+std::string mac_label(std::uint64_t mac) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%012llx", static_cast<unsigned long long>(mac));
+  return std::string("mac:") + buf;
+}
+
+}  // namespace
+
+BridgeCollector::BridgeCollector(sim::Engine& engine, snmp::AgentRegistry& registry,
+                                 BridgeCollectorConfig config)
+    : engine_(engine), config_(std::move(config)), client_(registry) {}
+
+BridgeCollector::~BridgeCollector() {
+  if (monitor_task_ != 0) engine_.cancel_task(monitor_task_);
+}
+
+double BridgeCollector::walk_switch(SwitchData& data) {
+  auto walk = [&](const snmp::Oid& subtree) {
+    return config_.use_bulk ? client_.walk_bulk(data.addr, config_.community, subtree)
+                            : client_.walk(data.addr, config_.community, subtree);
+  };
+  return client_.metered([&] {
+    // dot1dTpFdbPort: mac -> bridge port.
+    for (const snmp::VarBind& vb : walk(snmp::oids::kDot1dTpFdbPort)) {
+      const snmp::Oid index = vb.oid.suffix_after(snmp::oids::kDot1dTpFdbPort);
+      const std::uint64_t mac = snmp::oids::mac_from_index(index);
+      if (const auto* port = std::get_if<std::int64_t>(&vb.value)) {
+        data.fdb[mac] = static_cast<std::uint32_t>(*port);
+      }
+    }
+    // ifSpeed: port capacities.
+    for (const snmp::VarBind& vb : walk(snmp::oids::kIfSpeed)) {
+      const snmp::Oid index = vb.oid.suffix_after(snmp::oids::kIfSpeed);
+      if (index.size() != 1) continue;
+      if (const auto* speed = std::get_if<snmp::Gauge32>(&vb.value)) {
+        data.port_speed[index[0]] = static_cast<double>(speed->value);
+      }
+    }
+  });
+}
+
+double BridgeCollector::startup() {
+  const double before = client_.consumed_s();
+  switches_.clear();
+  entities_.clear();
+  edges_.clear();
+  endpoint_entity_.clear();
+  trunk_ports_.clear();
+  for (net::Ipv4Address addr : config_.switches) {
+    SwitchData data;
+    data.addr = addr;
+    walk_switch(data);
+    switches_.push_back(std::move(data));
+  }
+  infer_topology();
+  started_ = true;
+  if (config_.location_check_interval_s > 0 && monitor_task_ == 0) {
+    monitor_task_ =
+        engine_.every(config_.location_check_interval_s, [this] { check_locations(); });
+  }
+  return client_.consumed_s() - before;
+}
+
+void BridgeCollector::infer_topology() {
+  // One entity per switch.
+  std::vector<std::size_t> switch_entity(switches_.size());
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    switch_entity[i] = entities_.size();
+    entities_.push_back(Entity{Entity::Kind::kSwitch, switches_[i].addr, 0,
+                               switch_label(switches_[i].addr)});
+  }
+
+  // Per-switch port -> sorted MAC set, plus the universe of endpoints.
+  std::set<std::uint64_t> all_macs;
+  std::vector<std::map<std::uint32_t, std::vector<std::uint64_t>>> port_sets(switches_.size());
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    for (const auto& [mac, port] : switches_[i].fdb) {
+      port_sets[i][port].push_back(mac);
+      all_macs.insert(mac);
+    }
+    for (auto& [port, macs] : port_sets[i]) std::sort(macs.begin(), macs.end());
+  }
+
+  // Inter-switch links via the complete-FDB complement theorem.
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    for (std::size_t j = i + 1; j < switches_.size(); ++j) {
+      for (const auto& [pi, si] : port_sets[i]) {
+        for (const auto& [pj, sj] : port_sets[j]) {
+          if (si.size() + sj.size() != all_macs.size()) continue;
+          // Disjoint + jointly exhaustive (sizes already match the union).
+          std::vector<std::uint64_t> inter;
+          std::set_intersection(si.begin(), si.end(), sj.begin(), sj.end(),
+                                std::back_inserter(inter));
+          if (!inter.empty()) continue;
+          const double cap = std::min(switches_[i].port_speed.count(pi)
+                                          ? switches_[i].port_speed.at(pi)
+                                          : 0.0,
+                                      switches_[j].port_speed.count(pj)
+                                          ? switches_[j].port_speed.at(pj)
+                                          : 0.0);
+          Edge e;
+          e.a = switch_entity[i];
+          e.b = switch_entity[j];
+          e.a_port = pi;
+          e.b_port = pj;
+          e.capacity_bps = cap;
+          e.link_id = "l2:" + switches_[i].addr.to_string() + ":" + std::to_string(pi) + "-" +
+                      switches_[j].addr.to_string() + ":" + std::to_string(pj);
+          edges_.push_back(std::move(e));
+          trunk_ports_[{switch_entity[i], pi}] = true;
+          trunk_ports_[{switch_entity[j], pj}] = true;
+        }
+      }
+    }
+  }
+
+  // Endpoint attachment: group non-trunk-port occupants per (switch, port).
+  std::map<std::pair<std::size_t, std::uint32_t>, std::vector<std::uint64_t>> access;
+  for (std::uint64_t mac : all_macs) {
+    for (std::size_t i = 0; i < switches_.size(); ++i) {
+      auto it = switches_[i].fdb.find(mac);
+      if (it == switches_[i].fdb.end()) continue;
+      const auto key = std::make_pair(switch_entity[i], it->second);
+      if (trunk_ports_.contains(key)) continue;
+      access[key].push_back(mac);
+      break;  // unique access port in a tree
+    }
+  }
+  for (const auto& [key, macs] : access) {
+    const auto [sw_entity, port] = key;
+    const SwitchData& sw = switches_[sw_entity];  // switch entities come first, same index
+    const double cap = sw.port_speed.count(port) ? sw.port_speed.at(port) : 0.0;
+    std::size_t attach_to = sw_entity;
+    std::uint32_t attach_port = port;
+    bool shared = false;
+    if (macs.size() > 1) {
+      // Several endpoints behind one access port: invisible shared medium.
+      Entity cloud;
+      cloud.kind = Entity::Kind::kCloud;
+      cloud.label = "cloud@" + sw.addr.to_string() + ":" + std::to_string(port);
+      const std::size_t cloud_idx = entities_.size();
+      entities_.push_back(std::move(cloud));
+      Edge up;
+      up.a = sw_entity;
+      up.b = cloud_idx;
+      up.a_port = port;
+      up.capacity_bps = cap;
+      up.shared = true;
+      up.link_id = "l2:" + sw.addr.to_string() + ":" + std::to_string(port) + "-cloud";
+      edges_.push_back(std::move(up));
+      attach_to = cloud_idx;
+      attach_port = 0;
+      shared = true;
+    }
+    for (std::uint64_t mac : macs) {
+      Entity ep;
+      ep.kind = Entity::Kind::kEndpoint;
+      ep.mac = mac;
+      ep.label = mac_label(mac);
+      const std::size_t ep_idx = entities_.size();
+      entities_.push_back(std::move(ep));
+      endpoint_entity_[mac] = ep_idx;
+      Edge e;
+      e.a = attach_to;
+      e.b = ep_idx;
+      e.a_port = attach_port;
+      e.capacity_bps = cap;
+      e.shared = shared;
+      e.link_id = "l2:" + mac_label(mac) + "@" + sw.addr.to_string() + ":" + std::to_string(port);
+      edges_.push_back(std::move(e));
+    }
+  }
+}
+
+std::size_t BridgeCollector::entity_of_endpoint(std::uint64_t mac) const {
+  auto it = endpoint_entity_.find(mac);
+  return it == endpoint_entity_.end() ? ~std::size_t{0} : it->second;
+}
+
+std::optional<std::vector<L2PathHop>> BridgeCollector::l2_path(net::Ipv4Address src,
+                                                               net::Ipv4Address dst) const {
+  if (!started_ || !config_.arp) return std::nullopt;
+  const auto src_mac = config_.arp(src);
+  const auto dst_mac = config_.arp(dst);
+  if (!src_mac || !dst_mac) return std::nullopt;
+  const std::size_t from = entity_of_endpoint(*src_mac);
+  const std::size_t to = entity_of_endpoint(*dst_mac);
+  if (from == ~std::size_t{0} || to == ~std::size_t{0}) return std::nullopt;
+  if (from == to) return std::vector<L2PathHop>{};
+
+  // BFS over the inferred entity graph (endpoints do not forward).
+  std::vector<std::vector<std::size_t>> adj(entities_.size());
+  for (std::size_t ei = 0; ei < edges_.size(); ++ei) {
+    adj[edges_[ei].a].push_back(ei);
+    adj[edges_[ei].b].push_back(ei);
+  }
+  std::vector<std::size_t> via(entities_.size(), ~std::size_t{0});
+  std::vector<std::size_t> prev(entities_.size(), ~std::size_t{0});
+  std::vector<bool> seen(entities_.size(), false);
+  std::vector<std::size_t> frontier{from};
+  seen[from] = true;
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const std::size_t u = frontier[head];
+    if (u == to) break;
+    if (entities_[u].kind == Entity::Kind::kEndpoint && u != from) continue;
+    for (std::size_t ei : adj[u]) {
+      const Edge& e = edges_[ei];
+      const std::size_t v = (e.a == u) ? e.b : e.a;
+      if (seen[v]) continue;
+      seen[v] = true;
+      via[v] = ei;
+      prev[v] = u;
+      frontier.push_back(v);
+    }
+  }
+  if (!seen[to]) return std::nullopt;
+
+  std::vector<L2PathHop> hops;
+  for (std::size_t cur = to; cur != from; cur = prev[cur]) {
+    const Edge& e = edges_[via[cur]];
+    const std::size_t hop_from = prev[cur];  // traversal direction
+    L2PathHop hop;
+    hop.capacity_bps = e.capacity_bps;
+    hop.link_id = e.link_id;
+    hop.shared_medium = e.shared;
+    hop.from_label = entities_[hop_from].label;
+    hop.to_label = entities_[cur].label;
+    // Monitor at a switch side when one exists (clouds have none).
+    if (entities_[e.a].kind == Entity::Kind::kSwitch) {
+      hop.agent = entities_[e.a].sw_addr;
+      hop.port = e.a_port;
+      hop.agent_on_from_side = (e.a == hop_from);
+    } else if (entities_[e.b].kind == Entity::Kind::kSwitch) {
+      hop.agent = entities_[e.b].sw_addr;
+      hop.port = e.b_port;
+      hop.agent_on_from_side = (e.b == hop_from);
+    }
+    hops.push_back(std::move(hop));
+  }
+  std::reverse(hops.begin(), hops.end());
+  return hops;
+}
+
+std::optional<std::pair<net::Ipv4Address, std::uint32_t>> BridgeCollector::location_of(
+    net::Ipv4Address endpoint) const {
+  if (!started_ || !config_.arp) return std::nullopt;
+  const auto mac = config_.arp(endpoint);
+  if (!mac) return std::nullopt;
+  const std::size_t ep = entity_of_endpoint(*mac);
+  if (ep == ~std::size_t{0}) return std::nullopt;
+  for (const Edge& e : edges_) {
+    if (e.a != ep && e.b != ep) continue;
+    const std::size_t other = (e.a == ep) ? e.b : e.a;
+    if (entities_[other].kind == Entity::Kind::kSwitch) {
+      return std::make_pair(entities_[other].sw_addr, e.a == ep ? e.b_port : e.a_port);
+    }
+    if (entities_[other].kind == Entity::Kind::kCloud) {
+      // Report the switch port behind which the cloud hangs.
+      for (const Edge& up : edges_) {
+        if ((up.a == other && entities_[up.b].kind == Entity::Kind::kSwitch) ||
+            (up.b == other && entities_[up.a].kind == Entity::Kind::kSwitch)) {
+          const std::size_t sw = entities_[up.a].kind == Entity::Kind::kSwitch ? up.a : up.b;
+          return std::make_pair(entities_[sw].sw_addr, up.a == sw ? up.a_port : up.b_port);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t BridgeCollector::check_locations() {
+  if (!started_) return 0;
+  std::size_t moved = 0;
+  for (auto& [mac, ep_idx] : endpoint_entity_) {
+    // Find the endpoint's attachment edge and its recorded switch.
+    std::size_t edge_idx = ~std::size_t{0};
+    for (std::size_t ei = 0; ei < edges_.size(); ++ei) {
+      if (edges_[ei].a == ep_idx || edges_[ei].b == ep_idx) {
+        edge_idx = ei;
+        break;
+      }
+    }
+    if (edge_idx == ~std::size_t{0}) continue;
+    Edge& e = edges_[edge_idx];
+    const std::size_t attach = (e.a == ep_idx) ? e.b : e.a;
+    if (entities_[attach].kind != Entity::Kind::kSwitch) continue;  // cloud members skipped
+    const net::Ipv4Address sw_addr = entities_[attach].sw_addr;
+    const std::uint32_t recorded_port = (e.a == ep_idx) ? e.b_port : e.a_port;
+
+    // "The location of a host can be monitored merely by checking its
+    // forwarding entry in the bridge to which it is connected."
+    auto r = client_.get(sw_addr, config_.community,
+                         snmp::oids::kDot1dTpFdbPort.concat(snmp::oids::mac_index(mac)));
+    std::uint32_t current_port = 0;
+    if (r.ok()) {
+      if (const auto* p = std::get_if<std::int64_t>(&r.vb.value)) {
+        current_port = static_cast<std::uint32_t>(*p);
+      }
+    }
+    if (current_port == recorded_port) continue;
+
+    // Moved (or entry vanished): re-locate by querying every bridge for
+    // this MAC and applying the access-port rule against known trunks.
+    for (std::size_t i = 0; i < switches_.size(); ++i) {
+      auto rr = client_.get(switches_[i].addr, config_.community,
+                            snmp::oids::kDot1dTpFdbPort.concat(snmp::oids::mac_index(mac)));
+      if (!rr.ok()) continue;
+      const auto* p = std::get_if<std::int64_t>(&rr.vb.value);
+      if (p == nullptr || *p == 0) continue;
+      const auto port = static_cast<std::uint32_t>(*p);
+      switches_[i].fdb[mac] = port;
+      if (trunk_ports_.contains({i, port})) continue;  // seen through a trunk
+      // Rewire the attachment edge to the new access port.
+      const std::size_t sw_entity = i;  // switch entities share switch indices
+      if (e.a == ep_idx) {
+        e.b = sw_entity;
+        e.b_port = port;
+      } else {
+        e.a = sw_entity;
+        e.a_port = port;
+      }
+      e.capacity_bps = switches_[i].port_speed.count(port) ? switches_[i].port_speed.at(port)
+                                                           : e.capacity_bps;
+      e.link_id = "l2:" + mac_label(mac) + "@" + switches_[i].addr.to_string() + ":" +
+                  std::to_string(port);
+      ++moved;
+      ++moves_;
+      ++version_;
+      break;
+    }
+  }
+  return moved;
+}
+
+std::size_t BridgeCollector::inter_switch_link_count() const {
+  std::size_t n = 0;
+  for (const Edge& e : edges_) {
+    if (entities_[e.a].kind == Entity::Kind::kSwitch &&
+        entities_[e.b].kind == Entity::Kind::kSwitch) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace remos::core

@@ -1,0 +1,47 @@
+// Abstract collector interface.
+//
+// "from an architectural view they have a single function: collect
+// information and forward it on" — every concrete collector (SNMP, Bridge,
+// Benchmark, Master) exposes this interface, which is also what lets a
+// remote Master Collector be registered as just another collector in a
+// hierarchy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "net/ipv4.hpp"
+#include "sim/stats.hpp"
+
+namespace remos::core {
+
+class Collector {
+ public:
+  virtual ~Collector() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// IP prefixes this collector can report on (its directory entry).
+  [[nodiscard]] virtual std::vector<net::Ipv4Prefix> responsibility() const = 0;
+
+  /// Answer a query about a set of nodes: a topology spanning them,
+  /// annotated with capacities and the freshest utilization measurements.
+  virtual CollectorResponse query(const std::vector<net::Ipv4Address>& nodes) = 0;
+
+  /// Measurement history for a named resource (edge id) — the data the XML
+  /// protocol ships to RPS for prediction. nullptr when unknown.
+  [[nodiscard]] virtual const sim::MeasurementHistory* history(const std::string& resource_id) const {
+    (void)resource_id;
+    return nullptr;
+  }
+
+  [[nodiscard]] bool responsible_for(net::Ipv4Address addr) const {
+    for (const auto& prefix : responsibility()) {
+      if (prefix.contains(addr)) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace remos::core

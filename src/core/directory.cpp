@@ -1,0 +1,32 @@
+#include "core/directory.hpp"
+
+#include <algorithm>
+
+namespace remos::core {
+
+void CollectorDirectory::register_collector(Collector& collector) {
+  register_collector(collector, collector.responsibility());
+}
+
+void CollectorDirectory::register_collector(Collector& collector,
+                                            const std::vector<net::Ipv4Prefix>& prefixes) {
+  for (const auto& prefix : prefixes) entries_.push_back(Entry{prefix, &collector});
+}
+
+void CollectorDirectory::unregister(const Collector& collector) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) { return e.collector == &collector; }),
+                 entries_.end());
+}
+
+Collector* CollectorDirectory::lookup(net::Ipv4Address addr) const {
+  const Entry* best = nullptr;
+  for (const Entry& e : entries_) {
+    if (e.prefix.contains(addr) && (best == nullptr || e.prefix.length() > best->prefix.length())) {
+      best = &e;
+    }
+  }
+  return best == nullptr ? nullptr : best->collector;
+}
+
+}  // namespace remos::core

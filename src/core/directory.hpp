@@ -1,0 +1,40 @@
+// Collector directory: IP-prefix -> collector resolution.
+//
+// "The Master Collector maintains a database of the locations of other
+// collectors and the portion of the network for which they are
+// responsible." The paper notes the database is "very similar to the SLP
+// directory"; this is that database, with longest-prefix-match lookup.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/collector.hpp"
+
+namespace remos::core {
+
+class CollectorDirectory {
+ public:
+  struct Entry {
+    net::Ipv4Prefix prefix;
+    Collector* collector = nullptr;
+  };
+
+  /// Register a collector under its self-reported responsibility.
+  void register_collector(Collector& collector);
+  /// Register a collector under explicit prefixes (overrides).
+  void register_collector(Collector& collector, const std::vector<net::Ipv4Prefix>& prefixes);
+  /// Remove every entry pointing at the collector.
+  void unregister(const Collector& collector);
+
+  /// Longest-prefix-match; nullptr when no collector covers the address.
+  [[nodiscard]] Collector* lookup(net::Ipv4Address addr) const;
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace remos::core

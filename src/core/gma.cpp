@@ -1,0 +1,85 @@
+#include "core/gma.hpp"
+
+#include <algorithm>
+
+namespace remos::core::gma {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kTopology: return "topology";
+    case EventType::kHistory: return "history";
+  }
+  return "?";
+}
+
+void DirectoryService::register_producer(Registration registration) {
+  entries_[registration.name] = std::move(registration);
+}
+
+void DirectoryService::unregister(const std::string& name) { entries_.erase(name); }
+
+std::vector<Producer*> DirectoryService::lookup(net::Ipv4Address subject) const {
+  // Collect matches with their best (longest) covering prefix length.
+  std::vector<std::pair<int, Producer*>> matches;
+  for (const auto& [name, reg] : entries_) {
+    (void)name;
+    int best = -1;
+    for (const auto& prefix : reg.subjects) {
+      if (prefix.contains(subject)) best = std::max(best, prefix.length());
+    }
+    if (best >= 0 && reg.producer != nullptr) matches.emplace_back(best, reg.producer);
+  }
+  std::stable_sort(matches.begin(), matches.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<Producer*> out;
+  out.reserve(matches.size());
+  for (const auto& [len, producer] : matches) {
+    (void)len;
+    out.push_back(producer);
+  }
+  return out;
+}
+
+std::vector<Producer*> DirectoryService::lookup(net::Ipv4Address subject,
+                                                const std::string& producer_class) const {
+  std::vector<Producer*> filtered;
+  for (Producer* p : lookup(subject)) {
+    for (const auto& [name, reg] : entries_) {
+      (void)name;
+      if (reg.producer == p && reg.producer_class == producer_class) {
+        filtered.push_back(p);
+        break;
+      }
+    }
+  }
+  return filtered;
+}
+
+const DirectoryService::Registration* DirectoryService::find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+CollectorResponse DirectoryConsumer::query(const std::vector<net::Ipv4Address>& subjects) {
+  ++queries_;
+  CollectorResponse resp;
+  // Group subjects by their best producer.
+  std::map<Producer*, std::vector<net::Ipv4Address>> groups;
+  for (net::Ipv4Address subject : subjects) {
+    const auto producers = directory_.lookup(subject);
+    if (producers.empty()) {
+      resp.complete = false;
+      continue;
+    }
+    groups[producers.front()].push_back(subject);
+  }
+  for (auto& [producer, members] : groups) {
+    CollectorResponse sub = producer->produce_topology(members);
+    resp.topology.merge(sub.topology);
+    resp.cost_s += sub.cost_s;
+    resp.complete = resp.complete && sub.complete;
+  }
+  return resp;
+}
+
+}  // namespace remos::core::gma

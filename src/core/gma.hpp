@@ -1,0 +1,158 @@
+// Grid Monitoring Architecture (GMA) mapping — the paper's §4.
+//
+// "In this architecture each Collector is a producer. The Master Collector
+// is a joint consumer/producer ... Although we view the Modeler as a
+// consumer, it could also be another joint consumer/producer ... In the
+// Remos architecture, the collectors also implement a limited form of
+// directory service to locate each other. The directory service of the
+// GMA would be natural to use for this purpose."
+//
+// This module provides that interoperability layer: GMA producer/consumer
+// interfaces, adapters wrapping Remos collectors as producers, and a GMA
+// directory service that replaces the Master Collector's private database
+// — demonstrating the paper's conclusion that "the Remos architecture is
+// quite compatible with the GMA".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/collector.hpp"
+#include "core/modeler.hpp"
+
+namespace remos::core::gma {
+
+/// Event types a producer advertises. Remos collectors produce topology
+/// and per-resource measurement-history events.
+enum class EventType : std::uint8_t { kTopology, kHistory };
+
+[[nodiscard]] const char* to_string(EventType type);
+
+/// GMA producer: publishes monitoring events on request (the GMA's
+/// query-response interaction; Remos does not use the subscribe mode).
+class Producer {
+ public:
+  virtual ~Producer() = default;
+  [[nodiscard]] virtual std::string producer_name() const = 0;
+  /// Event types this producer can answer for.
+  [[nodiscard]] virtual std::vector<EventType> event_types() const = 0;
+  /// Topology event: measurements for a set of subjects (node addresses).
+  virtual CollectorResponse produce_topology(const std::vector<net::Ipv4Address>& subjects) = 0;
+  /// History event for a named resource; nullptr when unknown.
+  [[nodiscard]] virtual const sim::MeasurementHistory* produce_history(
+      const std::string& resource_id) const = 0;
+};
+
+/// Adapter: any Remos collector is a GMA producer.
+class CollectorProducer final : public Producer {
+ public:
+  explicit CollectorProducer(Collector& collector) : collector_(collector) {}
+
+  [[nodiscard]] std::string producer_name() const override { return collector_.name(); }
+  [[nodiscard]] std::vector<EventType> event_types() const override {
+    return {EventType::kTopology, EventType::kHistory};
+  }
+  CollectorResponse produce_topology(const std::vector<net::Ipv4Address>& subjects) override {
+    return collector_.query(subjects);
+  }
+  [[nodiscard]] const sim::MeasurementHistory* produce_history(
+      const std::string& resource_id) const override {
+    return collector_.history(resource_id);
+  }
+  [[nodiscard]] Collector& collector() { return collector_; }
+
+ private:
+  Collector& collector_;
+};
+
+/// The Modeler as a joint consumer/producer (§4): "Although we view the
+/// Modeler as a consumer, it could also be another joint consumer/
+/// producer, providing end-to-end performance predictions using the
+/// component data available from the collectors as a service to other
+/// applications." It consumes collector data and produces end-to-end
+/// topology and flow-prediction events.
+class ModelerProducer final : public Producer {
+ public:
+  explicit ModelerProducer(Modeler& modeler, std::string name = "modeler-producer")
+      : modeler_(modeler), name_(std::move(name)) {}
+
+  [[nodiscard]] std::string producer_name() const override { return name_; }
+  [[nodiscard]] std::vector<EventType> event_types() const override {
+    return {EventType::kTopology};
+  }
+  CollectorResponse produce_topology(const std::vector<net::Ipv4Address>& subjects) override {
+    CollectorResponse resp;
+    resp.topology = modeler_.topology_query(subjects);
+    resp.cost_s = modeler_.last_query_cost_s();
+    resp.complete = modeler_.last_query_complete();
+    return resp;
+  }
+  [[nodiscard]] const sim::MeasurementHistory* produce_history(
+      const std::string& resource_id) const override {
+    (void)resource_id;
+    return nullptr;  // the modeler holds no raw histories of its own
+  }
+  /// The end-to-end event only a modeler can produce: predicted available
+  /// bandwidth for a prospective flow.
+  [[nodiscard]] std::optional<FlowPrediction> produce_flow_prediction(const FlowRequest& request,
+                                                                      std::size_t horizon) {
+    return modeler_.predict_flow(request, horizon);
+  }
+
+ private:
+  Modeler& modeler_;
+  std::string name_;
+};
+
+/// The GMA directory service: producers register with metadata (name,
+/// producer class, subjects covered); consumers discover them by subject
+/// and type. "Both proposals [hierarchical MDS-2 / relational] present
+/// models that are capable of associating Remos with the resources it
+/// monitors, which is the fundamental requirement."
+class DirectoryService {
+ public:
+  struct Registration {
+    std::string name;
+    std::string producer_class;  // "snmp", "benchmark", "master", ...
+    std::vector<net::Ipv4Prefix> subjects;
+    Producer* producer = nullptr;
+  };
+
+  /// Register a producer; re-registering the same name replaces the entry.
+  void register_producer(Registration registration);
+  void unregister(const std::string& name);
+
+  /// Producers covering a subject address (most specific prefix first).
+  [[nodiscard]] std::vector<Producer*> lookup(net::Ipv4Address subject) const;
+  /// Producers covering a subject, restricted to a producer class.
+  [[nodiscard]] std::vector<Producer*> lookup(net::Ipv4Address subject,
+                                              const std::string& producer_class) const;
+  [[nodiscard]] const Registration* find(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, Registration> entries_;
+};
+
+/// GMA consumer bound to a directory: resolves the best producer for each
+/// query — what a GMA-native Modeler would do instead of talking to a
+/// hard-wired Master Collector.
+class DirectoryConsumer {
+ public:
+  explicit DirectoryConsumer(const DirectoryService& directory) : directory_(directory) {}
+
+  /// Query the most specific producer covering every subject; merges when
+  /// subjects span producers. Returns incomplete when some subject is
+  /// uncovered.
+  CollectorResponse query(const std::vector<net::Ipv4Address>& subjects);
+
+  [[nodiscard]] std::uint64_t queries_issued() const { return queries_; }
+
+ private:
+  const DirectoryService& directory_;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace remos::core::gma

@@ -1,0 +1,120 @@
+#include "core/master_collector.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace remos::core {
+
+MasterCollector::MasterCollector(MasterCollectorConfig config) : config_(std::move(config)) {}
+
+void MasterCollector::add_site(Site site) {
+  directory_.register_collector(*site.collector);
+  sites_.push_back(std::move(site));
+}
+
+std::vector<net::Ipv4Prefix> MasterCollector::responsibility() const {
+  std::vector<net::Ipv4Prefix> out;
+  for (const auto& entry : directory_.entries()) out.push_back(entry.prefix);
+  return out;
+}
+
+const MasterCollector::Site* MasterCollector::site_of(net::Ipv4Address addr) const {
+  Collector* c = directory_.lookup(addr);
+  if (c == nullptr) return nullptr;
+  for (const Site& s : sites_) {
+    if (s.collector == c) return &s;
+  }
+  return nullptr;
+}
+
+CollectorResponse MasterCollector::query(const std::vector<net::Ipv4Address>& nodes) {
+  CollectorResponse resp;
+  resp.cost_s = config_.merge_overhead_s;
+
+  // Split the query by responsible site.
+  std::map<const Site*, std::vector<net::Ipv4Address>> groups;
+  for (net::Ipv4Address addr : nodes) {
+    const Site* site = site_of(addr);
+    if (site == nullptr) {
+      resp.complete = false;
+      continue;
+    }
+    groups[site].push_back(addr);
+  }
+  if (groups.empty()) return resp;
+
+  // Single-site queries pass straight through.
+  if (groups.size() == 1) {
+    auto& [site, members] = *groups.begin();
+    CollectorResponse sub = site->collector->query(members);
+    resp.topology = std::move(sub.topology);
+    resp.cost_s += sub.cost_s;
+    resp.complete = resp.complete && sub.complete;
+    return resp;
+  }
+
+  // Multi-site: each site answers for its own hosts *plus its border*, so
+  // the merged graph can be stitched with WAN edges between borders.
+  double max_site_cost = 0.0, sum_site_cost = 0.0;
+  for (auto& [site, members] : groups) {
+    std::vector<net::Ipv4Address> sub_nodes = members;
+    if (!site->border.is_zero() &&
+        std::find(sub_nodes.begin(), sub_nodes.end(), site->border) == sub_nodes.end()) {
+      sub_nodes.push_back(site->border);
+    }
+    CollectorResponse sub = site->collector->query(sub_nodes);
+    resp.topology.merge(sub.topology);
+    resp.complete = resp.complete && sub.complete;
+    max_site_cost = std::max(max_site_cost, sub.cost_s);
+    sum_site_cost += sub.cost_s;
+  }
+  resp.cost_s += config_.parallel_sites ? max_site_cost : sum_site_cost;
+
+  // Inter-site connectivity from the Benchmark Collector.
+  for (auto it1 = groups.begin(); it1 != groups.end(); ++it1) {
+    for (auto it2 = std::next(it1); it2 != groups.end(); ++it2) {
+      const Site* a = it1->first;
+      const Site* b = it2->first;
+      if (benchmark_ == nullptr || a->border.is_zero() || b->border.is_zero()) {
+        resp.complete = false;
+        continue;
+      }
+      const auto bw = benchmark_->available_bandwidth(a->name, b->name);
+      if (!bw) {
+        resp.complete = false;
+        continue;
+      }
+      VNodeIndex va = resp.topology.find_by_addr(a->border);
+      VNodeIndex vb = resp.topology.find_by_addr(b->border);
+      if (va == kNoVNode) {
+        va = resp.topology.add_node(
+            VNode{VNodeKind::kHost, "host@" + a->border.to_string(), a->border});
+      }
+      if (vb == kNoVNode) {
+        vb = resp.topology.add_node(
+            VNode{VNodeKind::kHost, "host@" + b->border.to_string(), b->border});
+      }
+      VEdge e;
+      e.a = va;
+      e.b = vb;
+      e.capacity_bps = *bw;  // measured available bandwidth of the WAN path
+      const std::string lo = std::min(a->name, b->name);
+      const std::string hi = std::max(a->name, b->name);
+      e.id = "wan:" + lo + "-" + hi;
+      resp.topology.add_edge(std::move(e));
+    }
+  }
+  return resp;
+}
+
+const sim::MeasurementHistory* MasterCollector::history(const std::string& resource_id) const {
+  if (benchmark_ != nullptr) {
+    if (const auto* h = benchmark_->history(resource_id)) return h;
+  }
+  for (const Site& s : sites_) {
+    if (const auto* h = s.collector->history(resource_id)) return h;
+  }
+  return nullptr;
+}
+
+}  // namespace remos::core

@@ -1,0 +1,69 @@
+// Master Collector: query decomposition and response aggregation.
+//
+// "The Master Collector identifies the networks containing hosts used in
+// the query, as well as any intervening networks ... divides up the query
+// and passes the relevant portion to the collectors responsible for the
+// identified networks. When the responses are received ... the Master
+// Collector combines them into one single response and returns that
+// response to the Modeler" — without revealing that the answer came from
+// multiple collectors.
+//
+// Because a Master Collector is itself a Collector, one master can be
+// registered as a site of another, giving the layered hierarchy of §2.1
+// ("it is possible to build several layers of collectors").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/benchmark_collector.hpp"
+#include "core/collector.hpp"
+#include "core/directory.hpp"
+
+namespace remos::core {
+
+struct MasterCollectorConfig {
+  std::string name = "master-collector";
+  /// Fixed per-query processing overhead (query split + merge).
+  double merge_overhead_s = 0.002;
+  /// Query site collectors concurrently (cost = max, not sum).
+  bool parallel_sites = true;
+};
+
+class MasterCollector final : public Collector {
+ public:
+  explicit MasterCollector(MasterCollectorConfig config = {});
+
+  struct Site {
+    std::string name;
+    Collector* collector = nullptr;
+    /// Border endpoint of the site: WAN edges attach here. Usually the
+    /// site's benchmark daemon host.
+    net::Ipv4Address border{};
+  };
+
+  /// Register a site; its collector's responsibility goes into the
+  /// directory.
+  void add_site(Site site);
+  /// Wire the benchmark collector used for inter-site measurements.
+  void set_benchmark(BenchmarkCollector* benchmark) { benchmark_ = benchmark; }
+
+  [[nodiscard]] std::string name() const override { return config_.name; }
+  [[nodiscard]] std::vector<net::Ipv4Prefix> responsibility() const override;
+  CollectorResponse query(const std::vector<net::Ipv4Address>& nodes) override;
+  [[nodiscard]] const sim::MeasurementHistory* history(const std::string& resource_id) const override;
+
+  [[nodiscard]] const CollectorDirectory& directory() const { return directory_; }
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+
+ private:
+  const Site* site_of(net::Ipv4Address addr) const;
+
+  MasterCollectorConfig config_;
+  std::vector<Site> sites_;
+  CollectorDirectory directory_;
+  BenchmarkCollector* benchmark_ = nullptr;
+};
+
+}  // namespace remos::core

@@ -1,0 +1,143 @@
+#include "core/maxmin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace remos::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct RoutedFlow {
+  std::vector<std::size_t> resources;  // directed-edge resource keys
+  double demand = kInf;
+  double latency_s = 0.0;
+  double bottleneck_capacity = 0.0;
+  std::vector<std::string> edge_ids;
+  bool routable = false;
+};
+
+/// Directed resource key for edge `ei` traversed a->b (dir 0) or b->a (1).
+std::size_t resource_key(std::size_t ei, bool ab) { return ei * 2 + (ab ? 0 : 1); }
+
+}  // namespace
+
+MaxMinResult max_min_allocate(const VirtualTopology& topo,
+                              const std::vector<FlowRequest>& requests) {
+  MaxMinResult result;
+  result.flows.resize(requests.size());
+
+  std::vector<RoutedFlow> routed(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const VNodeIndex src = topo.find_by_addr(requests[i].src);
+    const VNodeIndex dst = topo.find_by_addr(requests[i].dst);
+    if (src == kNoVNode || dst == kNoVNode) continue;
+    auto path = topo.shortest_path(src, dst);
+    if (!path) continue;
+    RoutedFlow& rf = routed[i];
+    rf.routable = true;
+    rf.demand = requests[i].demand_bps;
+    rf.bottleneck_capacity = kInf;
+    VNodeIndex cur = src;
+    for (std::size_t ei : *path) {
+      const VEdge& e = topo.edges()[ei];
+      const bool ab = (e.a == cur);
+      rf.resources.push_back(resource_key(ei, ab));
+      rf.latency_s += e.latency_s;
+      rf.edge_ids.push_back(e.id);
+      // Zero capacity means unknown (virtual-switch edge): not a bottleneck.
+      if (e.capacity_bps > 0.0) {
+        rf.bottleneck_capacity = std::min(rf.bottleneck_capacity, e.capacity_bps);
+      }
+      cur = ab ? e.b : e.a;
+    }
+    if (!std::isfinite(rf.bottleneck_capacity)) rf.bottleneck_capacity = 0.0;
+  }
+
+  // Residual capacity per directed edge.
+  std::unordered_map<std::size_t, double> capacity;
+  std::unordered_map<std::size_t, std::uint32_t> unfrozen_count;
+  for (std::size_t i = 0; i < routed.size(); ++i) {
+    if (!routed[i].routable) continue;
+    VNodeIndex unused = kNoVNode;
+    (void)unused;
+    for (std::size_t key : routed[i].resources) {
+      const std::size_t ei = key / 2;
+      const bool ab = (key % 2) == 0;
+      capacity.try_emplace(key, topo.edges()[ei].available_bps(ab));
+      ++unfrozen_count[key];
+    }
+  }
+
+  // Progressive filling.
+  std::vector<bool> frozen(routed.size(), false);
+  std::vector<double> rate(routed.size(), 0.0);
+  std::unordered_map<std::size_t, double> frozen_usage;
+  std::size_t remaining = 0;
+  for (std::size_t i = 0; i < routed.size(); ++i) {
+    if (routed[i].routable) {
+      ++remaining;
+    } else {
+      frozen[i] = true;
+    }
+  }
+  while (remaining > 0) {
+    double level = kInf;
+    for (const auto& [key, cap] : capacity) {
+      const auto n = unfrozen_count[key];
+      if (n == 0) continue;
+      level = std::min(level, (cap - frozen_usage[key]) / static_cast<double>(n));
+    }
+    for (std::size_t i = 0; i < routed.size(); ++i) {
+      if (!frozen[i]) level = std::min(level, routed[i].demand);
+    }
+    if (!std::isfinite(level)) break;
+    if (level < 0.0) level = 0.0;
+
+    std::vector<std::size_t> freeze;
+    for (std::size_t i = 0; i < routed.size(); ++i) {
+      if (frozen[i]) continue;
+      if (routed[i].demand <= level + 1e-9) {
+        freeze.push_back(i);
+        continue;
+      }
+      for (std::size_t key : routed[i].resources) {
+        const double sat =
+            (capacity[key] - frozen_usage[key]) / static_cast<double>(unfrozen_count[key]);
+        if (sat <= level + 1e-9) {
+          freeze.push_back(i);
+          break;
+        }
+      }
+    }
+    if (freeze.empty()) break;  // numerical guard
+    for (std::size_t i : freeze) {
+      rate[i] = std::min(level, routed[i].demand);
+      frozen[i] = true;
+      --remaining;
+      for (std::size_t key : routed[i].resources) {
+        frozen_usage[key] += rate[i];
+        --unfrozen_count[key];
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < routed.size(); ++i) {
+    FlowInfo& info = result.flows[i];
+    if (!routed[i].routable) continue;
+    info.available_bps = rate[i];
+    info.bottleneck_capacity_bps = routed[i].bottleneck_capacity;
+    info.latency_s = routed[i].latency_s;
+    info.path_edge_ids = routed[i].edge_ids;
+  }
+  return result;
+}
+
+FlowInfo single_flow_info(const VirtualTopology& topo, const FlowRequest& request) {
+  MaxMinResult r = max_min_allocate(topo, {request});
+  return r.flows.empty() ? FlowInfo{} : std::move(r.flows.front());
+}
+
+}  // namespace remos::core

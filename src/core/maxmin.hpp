@@ -1,0 +1,31 @@
+// Max-min fair flow allocation on a measured virtual topology.
+//
+// The Modeler answers flow queries by solving, on *measured residual
+// capacities*, the same bandwidth-sharing problem the network itself solves
+// for real traffic: "the Modeler also performs max-min flow calculations on
+// the Collector's topologies to determine solutions to flow queries."
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace remos::core {
+
+struct MaxMinResult {
+  /// Per requested flow, in input order.
+  std::vector<FlowInfo> flows;
+};
+
+/// Allocate max-min fair rates for the requested flows over `topo`,
+/// routing each flow along its shortest path and treating each edge
+/// direction's *available* bandwidth (capacity - measured utilization) as
+/// its capacity. Unroutable flows get available_bps == 0 and an empty path.
+[[nodiscard]] MaxMinResult max_min_allocate(const VirtualTopology& topo,
+                                            const std::vector<FlowRequest>& requests);
+
+/// Available bandwidth for a single new flow: the max-min rate it would
+/// get if introduced alone (bottleneck residual capacity along the path).
+[[nodiscard]] FlowInfo single_flow_info(const VirtualTopology& topo, const FlowRequest& request);
+
+}  // namespace remos::core

@@ -1,0 +1,162 @@
+#include "core/modeler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace remos::core {
+
+Modeler::Modeler(Collector& collector, ModelerConfig config)
+    : collector_(collector), config_(std::move(config)), predictor_(config_.prediction_model) {}
+
+VirtualTopology Modeler::fetch(const std::vector<net::Ipv4Address>& nodes) {
+  // Deduplicate while preserving order (collectors key caches on pairs).
+  std::vector<net::Ipv4Address> unique;
+  for (net::Ipv4Address a : nodes) {
+    if (std::find(unique.begin(), unique.end(), a) == unique.end()) unique.push_back(a);
+  }
+  CollectorResponse resp = collector_.query(unique);
+  last_cost_s_ = resp.cost_s;
+  last_complete_ = resp.complete;
+  return std::move(resp.topology);
+}
+
+VirtualTopology Modeler::topology_query(const std::vector<net::Ipv4Address>& nodes) {
+  VirtualTopology topo = fetch(nodes);
+  return config_.simplify_topology ? simplify(topo) : topo;
+}
+
+std::vector<FlowInfo> Modeler::flow_query(const FlowQuery& query) {
+  std::vector<net::Ipv4Address> endpoints;
+  for (const FlowRequest& f : query.flows) {
+    endpoints.push_back(f.src);
+    endpoints.push_back(f.dst);
+  }
+  const VirtualTopology topo = fetch(endpoints);
+  return max_min_allocate(topo, query.flows).flows;
+}
+
+FlowInfo Modeler::flow_info(net::Ipv4Address src, net::Ipv4Address dst) {
+  FlowQuery q;
+  q.flows.push_back(FlowRequest{src, dst, std::numeric_limits<double>::infinity()});
+  auto infos = flow_query(q);
+  return infos.empty() ? FlowInfo{} : std::move(infos.front());
+}
+
+std::optional<FlowPrediction> Modeler::predict_flow(const FlowRequest& request,
+                                                    std::size_t horizon) {
+  if (horizon == 0) horizon = config_.prediction_horizon;
+  const VirtualTopology topo = fetch({request.src, request.dst});
+  const FlowInfo info = single_flow_info(topo, request);
+  if (!info.routable()) return std::nullopt;
+
+  // Bottleneck edge: minimum available bandwidth along the path.
+  const VEdge* bottleneck = nullptr;
+  double best_avail = std::numeric_limits<double>::infinity();
+  for (const std::string& id : info.path_edge_ids) {
+    for (const VEdge& e : topo.edges()) {
+      if (e.id != id) continue;
+      const double avail = std::min(e.available_bps(true), e.available_bps(false));
+      if (avail < best_avail) {
+        best_avail = avail;
+        bottleneck = &e;
+      }
+    }
+  }
+  if (bottleneck == nullptr) return std::nullopt;
+
+  // Utilization histories are per direction; predict on the binding one
+  // (the direction with the higher recent load).
+  const sim::MeasurementHistory* h_ab = collector_.history(bottleneck->id);
+  const sim::MeasurementHistory* h_ba = collector_.history(bottleneck->id + ":ba");
+  const sim::MeasurementHistory* hist = h_ab;
+  if (h_ab != nullptr && h_ba != nullptr) {
+    auto mean_of = [](const sim::MeasurementHistory& h) {
+      sim::RunningStats s;
+      for (double v : h.values()) s.add(v);
+      return s.mean();
+    };
+    hist = mean_of(*h_ba) > mean_of(*h_ab) ? h_ba : h_ab;
+  } else if (hist == nullptr) {
+    hist = h_ba;
+  }
+  if (hist == nullptr || hist->size() < config_.min_history) return std::nullopt;
+  const std::vector<double> values = hist->values();
+
+  rps::ClientServerPredictor::Request req;
+  req.history = values;
+  req.horizon = horizon;
+  rps::Prediction pred;
+  try {
+    pred = predictor_.predict(req);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;  // history too short for the configured model
+  }
+
+  FlowPrediction out;
+  out.model_name = config_.prediction_model.to_string();
+  out.variance = std::move(pred.variance);
+  out.mean_bps.reserve(pred.mean.size());
+  const bool history_is_available_bw = bottleneck->id.starts_with("wan:");
+  for (double v : pred.mean) {
+    // SNMP-collector histories record *utilization*; available bandwidth is
+    // capacity minus that. Benchmark (WAN) histories record available
+    // bandwidth directly.
+    double avail = history_is_available_bw ? v : bottleneck->capacity_bps - v;
+    out.mean_bps.push_back(std::clamp(avail, 0.0, bottleneck->capacity_bps));
+  }
+  return out;
+}
+
+VirtualTopology Modeler::simplify(const VirtualTopology& topo) {
+  const auto& nodes = topo.nodes();
+  // Union-find over switch-kind vertices connected by an edge.
+  std::vector<std::size_t> parent(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) parent[i] = i;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto is_switchy = [&](std::size_t i) {
+    return nodes[i].kind == VNodeKind::kSwitch || nodes[i].kind == VNodeKind::kVirtualSwitch;
+  };
+  for (const VEdge& e : topo.edges()) {
+    if (is_switchy(e.a) && is_switchy(e.b)) parent[find(e.a)] = find(e.b);
+  }
+
+  VirtualTopology out;
+  std::vector<VNodeIndex> remap(nodes.size(), kNoVNode);
+  // Endpoints copy through; each switch cluster becomes one virtual switch.
+  std::map<std::size_t, VNodeIndex> cluster_node;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!is_switchy(i)) {
+      remap[i] = out.add_node(nodes[i]);
+      continue;
+    }
+    const std::size_t root = find(i);
+    auto it = cluster_node.find(root);
+    if (it == cluster_node.end()) {
+      VNode vs;
+      vs.kind = VNodeKind::kVirtualSwitch;
+      vs.name = "vswitch#" + std::to_string(cluster_node.size());
+      it = cluster_node.emplace(root, out.add_node(std::move(vs))).first;
+    }
+    remap[i] = it->second;
+  }
+  for (const VEdge& e : topo.edges()) {
+    const VNodeIndex a = remap[e.a];
+    const VNodeIndex b = remap[e.b];
+    if (a == b) continue;  // intra-cluster trunk: absorbed by the vswitch
+    VEdge copy = e;
+    copy.a = a;
+    copy.b = b;
+    out.add_edge(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace remos::core

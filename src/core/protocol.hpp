@@ -1,0 +1,58 @@
+// Wire protocols between Remos components.
+//
+// Two generations, both from the paper:
+//  * ASCII — "the Modeler ... communicates with the Collector over a TCP
+//    socket, using a simple ASCII protocol. Because currently only
+//    topologies are exchanged", it cannot transfer measurement histories.
+//  * XML over HTTP — the successor (§6.2): richer payloads, and crucially
+//    the ability "to send an entire history of network measurements to the
+//    RPS subsystem for prediction purposes".
+//
+// Serialization is transport-agnostic; remote.hpp pairs these with a
+// request/response transport.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/stats.hpp"
+
+namespace remos::core {
+
+enum class ProtocolKind { kAscii, kXml };
+
+// ---- ASCII protocol (queries + topology responses only) ----
+
+[[nodiscard]] std::string ascii_encode_query(const std::vector<net::Ipv4Address>& nodes);
+[[nodiscard]] std::optional<std::vector<net::Ipv4Address>> ascii_decode_query(
+    const std::string& wire);
+[[nodiscard]] std::string ascii_encode_response(const CollectorResponse& response);
+[[nodiscard]] std::optional<CollectorResponse> ascii_decode_response(const std::string& wire);
+
+// ---- XML protocol (queries, responses, measurement histories) ----
+
+[[nodiscard]] std::string xml_encode_query(const std::vector<net::Ipv4Address>& nodes);
+[[nodiscard]] std::optional<std::vector<net::Ipv4Address>> xml_decode_query(
+    const std::string& wire);
+[[nodiscard]] std::string xml_encode_response(const CollectorResponse& response);
+[[nodiscard]] std::optional<CollectorResponse> xml_decode_response(const std::string& wire);
+
+[[nodiscard]] std::string xml_encode_history_request(const std::string& resource_id);
+[[nodiscard]] std::optional<std::string> xml_decode_history_request(const std::string& wire);
+[[nodiscard]] std::string xml_encode_history(const std::string& resource_id,
+                                             const sim::MeasurementHistory& history);
+/// Returns (resource id, samples); nullopt on malformed input.
+[[nodiscard]] std::optional<std::pair<std::string, std::vector<sim::Sample>>> xml_decode_history(
+    const std::string& wire);
+
+// ---- HTTP-style framing for the XML protocol ----
+
+/// "POST <path> HTTP/1.0" + Content-Length framing around an XML body.
+[[nodiscard]] std::string http_frame(const std::string& path, const std::string& body);
+/// Returns (path, body); nullopt on malformed framing.
+[[nodiscard]] std::optional<std::pair<std::string, std::string>> http_unframe(
+    const std::string& wire);
+
+}  // namespace remos::core

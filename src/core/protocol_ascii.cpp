@@ -1,0 +1,152 @@
+#include <charconv>
+#include <sstream>
+
+#include "core/protocol.hpp"
+
+namespace remos::core {
+namespace {
+
+std::vector<std::string> split_lines(const std::string& wire) {
+  std::vector<std::string> lines;
+  std::istringstream in(wire);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::istringstream in(line);
+  std::string field;
+  while (in >> field) fields.push_back(field);
+  return fields;
+}
+
+std::optional<double> to_double(const std::string& s) {
+  double v = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint32_t> to_u32(const std::string& s) {
+  std::uint32_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+const char* kind_token(VNodeKind kind) { return to_string(kind); }
+
+std::optional<VNodeKind> kind_from_token(const std::string& token) {
+  if (token == "host") return VNodeKind::kHost;
+  if (token == "router") return VNodeKind::kRouter;
+  if (token == "switch") return VNodeKind::kSwitch;
+  if (token == "vswitch") return VNodeKind::kVirtualSwitch;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string ascii_encode_query(const std::vector<net::Ipv4Address>& nodes) {
+  std::string out = "QUERY " + std::to_string(nodes.size()) + "\n";
+  for (net::Ipv4Address a : nodes) out += "NODE " + a.to_string() + "\n";
+  out += "END\n";
+  return out;
+}
+
+std::optional<std::vector<net::Ipv4Address>> ascii_decode_query(const std::string& wire) {
+  const auto lines = split_lines(wire);
+  if (lines.empty() || !lines.front().starts_with("QUERY ")) return std::nullopt;
+  std::vector<net::Ipv4Address> nodes;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i] == "END") return nodes;
+    if (!lines[i].starts_with("NODE ")) return std::nullopt;
+    auto addr = net::Ipv4Address::parse(lines[i].substr(5));
+    if (!addr) return std::nullopt;
+    nodes.push_back(*addr);
+  }
+  return std::nullopt;  // missing END
+}
+
+std::string ascii_encode_response(const CollectorResponse& response) {
+  const VirtualTopology& t = response.topology;
+  std::string out = "TOPOLOGY " + std::to_string(t.node_count()) + " " +
+                    std::to_string(t.edge_count()) + "\n";
+  for (std::size_t i = 0; i < t.node_count(); ++i) {
+    const VNode& n = t.nodes()[i];
+    out += "VNODE " + std::to_string(i) + " " + kind_token(n.kind) + " " + n.name + " " +
+           n.addr.to_string() + "\n";
+  }
+  char buf[320];
+  for (const VEdge& e : t.edges()) {
+    std::snprintf(buf, sizeof buf, "VEDGE %u %u %.9g %.9g %.9g %.9g %s\n", e.a, e.b,
+                  e.capacity_bps, e.util_ab_bps, e.util_ba_bps, e.latency_s, e.id.c_str());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "COST %.9g\n", response.cost_s);
+  out += buf;
+  out += std::string("COMPLETE ") + (response.complete ? "1" : "0") + "\n";
+  out += "END\n";
+  return out;
+}
+
+std::optional<CollectorResponse> ascii_decode_response(const std::string& wire) {
+  const auto lines = split_lines(wire);
+  if (lines.empty() || !lines.front().starts_with("TOPOLOGY ")) return std::nullopt;
+  CollectorResponse resp;
+  bool ended = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto fields = split_fields(lines[i]);
+    if (fields.empty()) continue;
+    if (fields[0] == "END") {
+      ended = true;
+      break;
+    }
+    if (fields[0] == "VNODE") {
+      if (fields.size() != 5) return std::nullopt;
+      auto kind = kind_from_token(fields[2]);
+      auto addr = net::Ipv4Address::parse(fields[4]);
+      if (!kind || !addr) return std::nullopt;
+      resp.topology.add_node(VNode{*kind, fields[3], *addr});
+    } else if (fields[0] == "VEDGE") {
+      if (fields.size() != 8) return std::nullopt;
+      VEdge e;
+      auto a = to_u32(fields[1]);
+      auto b = to_u32(fields[2]);
+      auto cap = to_double(fields[3]);
+      auto uab = to_double(fields[4]);
+      auto uba = to_double(fields[5]);
+      auto lat = to_double(fields[6]);
+      if (!a || !b || !cap || !uab || !uba || !lat) return std::nullopt;
+      e.a = *a;
+      e.b = *b;
+      if (e.a >= resp.topology.node_count() || e.b >= resp.topology.node_count()) {
+        return std::nullopt;
+      }
+      e.capacity_bps = *cap;
+      e.util_ab_bps = *uab;
+      e.util_ba_bps = *uba;
+      e.latency_s = *lat;
+      e.id = fields[7];
+      resp.topology.add_edge(std::move(e));
+    } else if (fields[0] == "COST") {
+      if (fields.size() != 2) return std::nullopt;
+      auto cost = to_double(fields[1]);
+      if (!cost) return std::nullopt;
+      resp.cost_s = *cost;
+    } else if (fields[0] == "COMPLETE") {
+      if (fields.size() != 2) return std::nullopt;
+      resp.complete = fields[1] == "1";
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!ended) return std::nullopt;
+  return resp;
+}
+
+}  // namespace remos::core

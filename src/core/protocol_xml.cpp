@@ -1,0 +1,174 @@
+#include <charconv>
+
+#include "core/protocol.hpp"
+#include "core/xml.hpp"
+
+namespace remos::core {
+namespace {
+
+std::optional<VNodeKind> kind_from_token(const std::string& token) {
+  if (token == "host") return VNodeKind::kHost;
+  if (token == "router") return VNodeKind::kRouter;
+  if (token == "switch") return VNodeKind::kSwitch;
+  if (token == "vswitch") return VNodeKind::kVirtualSwitch;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string xml_encode_query(const std::vector<net::Ipv4Address>& nodes) {
+  XmlElement root("query");
+  for (net::Ipv4Address a : nodes) root.add_child("node").set_attr("addr", a.to_string());
+  return root.to_string();
+}
+
+std::optional<std::vector<net::Ipv4Address>> xml_decode_query(const std::string& wire) {
+  auto root = xml_parse(wire);
+  if (!root || root->name != "query") return std::nullopt;
+  std::vector<net::Ipv4Address> nodes;
+  for (const XmlElement* node : root->children_named("node")) {
+    auto addr_text = node->attr("addr");
+    if (!addr_text) return std::nullopt;
+    auto addr = net::Ipv4Address::parse(*addr_text);
+    if (!addr) return std::nullopt;
+    nodes.push_back(*addr);
+  }
+  return nodes;
+}
+
+std::string xml_encode_response(const CollectorResponse& response) {
+  XmlElement root("response");
+  root.set_attr("cost", response.cost_s);
+  root.set_attr("complete", std::int64_t{response.complete ? 1 : 0});
+  XmlElement& topo = root.add_child("topology");
+  for (const VNode& n : response.topology.nodes()) {
+    XmlElement& vn = topo.add_child("vnode");
+    vn.set_attr("kind", std::string(to_string(n.kind)));
+    vn.set_attr("name", n.name);
+    vn.set_attr("addr", n.addr.to_string());
+  }
+  for (const VEdge& e : response.topology.edges()) {
+    XmlElement& ve = topo.add_child("vedge");
+    ve.set_attr("a", std::int64_t{e.a});
+    ve.set_attr("b", std::int64_t{e.b});
+    ve.set_attr("capacity", e.capacity_bps);
+    ve.set_attr("utilab", e.util_ab_bps);
+    ve.set_attr("utilba", e.util_ba_bps);
+    ve.set_attr("latency", e.latency_s);
+    ve.set_attr("id", e.id);
+  }
+  return root.to_string();
+}
+
+std::optional<CollectorResponse> xml_decode_response(const std::string& wire) {
+  auto root = xml_parse(wire);
+  if (!root || root->name != "response") return std::nullopt;
+  CollectorResponse resp;
+  resp.cost_s = root->attr_double("cost");
+  resp.complete = root->attr_int("complete", 1) != 0;
+  const XmlElement* topo = root->first_child("topology");
+  if (topo == nullptr) return std::nullopt;
+  for (const XmlElement* vn : topo->children_named("vnode")) {
+    auto kind = kind_from_token(vn->attr("kind").value_or(""));
+    auto addr = net::Ipv4Address::parse(vn->attr("addr").value_or(""));
+    if (!kind || !addr) return std::nullopt;
+    resp.topology.add_node(VNode{*kind, vn->attr("name").value_or(""), *addr});
+  }
+  for (const XmlElement* ve : topo->children_named("vedge")) {
+    VEdge e;
+    e.a = static_cast<VNodeIndex>(ve->attr_int("a"));
+    e.b = static_cast<VNodeIndex>(ve->attr_int("b"));
+    if (e.a >= resp.topology.node_count() || e.b >= resp.topology.node_count()) {
+      return std::nullopt;
+    }
+    e.capacity_bps = ve->attr_double("capacity");
+    e.util_ab_bps = ve->attr_double("utilab");
+    e.util_ba_bps = ve->attr_double("utilba");
+    e.latency_s = ve->attr_double("latency");
+    e.id = ve->attr("id").value_or("");
+    resp.topology.add_edge(std::move(e));
+  }
+  return resp;
+}
+
+std::string xml_encode_history_request(const std::string& resource_id) {
+  XmlElement root("history-request");
+  root.set_attr("resource", resource_id);
+  return root.to_string();
+}
+
+std::optional<std::string> xml_decode_history_request(const std::string& wire) {
+  auto root = xml_parse(wire);
+  if (!root || root->name != "history-request") return std::nullopt;
+  return root->attr("resource");
+}
+
+std::string xml_encode_history(const std::string& resource_id,
+                               const sim::MeasurementHistory& history) {
+  XmlElement root("history");
+  root.set_attr("resource", resource_id);
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    XmlElement& s = root.add_child("sample");
+    s.set_attr("t", history.at(i).time);
+    s.set_attr("v", history.at(i).value);
+  }
+  return root.to_string();
+}
+
+std::optional<std::pair<std::string, std::vector<sim::Sample>>> xml_decode_history(
+    const std::string& wire) {
+  auto root = xml_parse(wire);
+  if (!root || root->name != "history") return std::nullopt;
+  auto resource = root->attr("resource");
+  if (!resource) return std::nullopt;
+  std::vector<sim::Sample> samples;
+  for (const XmlElement* s : root->children_named("sample")) {
+    samples.push_back(sim::Sample{s->attr_double("t"), s->attr_double("v")});
+  }
+  return std::make_pair(*resource, std::move(samples));
+}
+
+std::string http_frame(const std::string& path, const std::string& body) {
+  std::string out = "POST " + path + " HTTP/1.0\r\n";
+  out += "Content-Type: text/xml\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::optional<std::pair<std::string, std::string>> http_unframe(const std::string& wire) {
+  const auto line_end = wire.find("\r\n");
+  if (line_end == std::string::npos) return std::nullopt;
+  const std::string request_line = wire.substr(0, line_end);
+  if (!request_line.starts_with("POST ")) return std::nullopt;
+  const auto path_end = request_line.find(' ', 5);
+  if (path_end == std::string::npos) return std::nullopt;
+  const std::string path = request_line.substr(5, path_end - 5);
+
+  const auto headers_end = wire.find("\r\n\r\n");
+  if (headers_end == std::string::npos) return std::nullopt;
+  // Content-Length validation.
+  std::size_t content_length = std::string::npos;
+  std::size_t cursor = line_end + 2;
+  while (cursor < headers_end) {
+    auto eol = wire.find("\r\n", cursor);
+    if (eol == std::string::npos || eol > headers_end) eol = headers_end;
+    const std::string header = wire.substr(cursor, eol - cursor);
+    if (header.starts_with("Content-Length:")) {
+      const std::string value = header.substr(15);
+      std::size_t v = 0;
+      auto trimmed = value;
+      trimmed.erase(0, trimmed.find_first_not_of(' '));
+      auto [ptr, ec] = std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), v);
+      (void)ptr;
+      if (ec == std::errc{}) content_length = v;
+    }
+    cursor = eol + 2;
+  }
+  const std::string body = wire.substr(headers_end + 4);
+  if (content_length != std::string::npos && content_length != body.size()) return std::nullopt;
+  return std::make_pair(path, body);
+}
+
+}  // namespace remos::core

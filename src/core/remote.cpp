@@ -1,0 +1,82 @@
+#include "core/remote.hpp"
+
+namespace remos::core {
+
+CollectorServer::CollectorServer(Collector& collector, ProtocolKind protocol)
+    : collector_(collector), protocol_(protocol) {}
+
+std::string CollectorServer::handle(const std::string& request) {
+  ++handled_;
+  if (protocol_ == ProtocolKind::kAscii) {
+    auto nodes = ascii_decode_query(request);
+    if (!nodes) return {};
+    return ascii_encode_response(collector_.query(*nodes));
+  }
+  // XML over HTTP.
+  auto framed = http_unframe(request);
+  if (!framed) return {};
+  const auto& [path, body] = *framed;
+  if (path == "/query") {
+    auto nodes = xml_decode_query(body);
+    if (!nodes) return {};
+    return http_frame("/response", xml_encode_response(collector_.query(*nodes)));
+  }
+  if (path == "/history") {
+    auto resource = xml_decode_history_request(body);
+    if (!resource) return {};
+    const sim::MeasurementHistory* hist = collector_.history(*resource);
+    if (hist == nullptr) {
+      // Empty history document: resource unknown.
+      sim::MeasurementHistory empty(1);
+      return http_frame("/history", xml_encode_history(*resource, empty));
+    }
+    return http_frame("/history", xml_encode_history(*resource, *hist));
+  }
+  return {};
+}
+
+RemoteCollector::RemoteCollector(std::string name, std::vector<net::Ipv4Prefix> responsibility,
+                                 Transport transport, ProtocolKind protocol)
+    : name_(std::move(name)),
+      responsibility_(std::move(responsibility)),
+      transport_(std::move(transport)),
+      protocol_(protocol) {}
+
+CollectorResponse RemoteCollector::query(const std::vector<net::Ipv4Address>& nodes) {
+  std::string reply;
+  if (protocol_ == ProtocolKind::kAscii) {
+    reply = transport_(ascii_encode_query(nodes));
+    auto resp = ascii_decode_response(reply);
+    if (resp) return std::move(*resp);
+  } else {
+    reply = transport_(http_frame("/query", xml_encode_query(nodes)));
+    if (auto framed = http_unframe(reply)) {
+      auto resp = xml_decode_response(framed->second);
+      if (resp) return std::move(*resp);
+    }
+  }
+  CollectorResponse failed;
+  failed.complete = false;
+  return failed;
+}
+
+const sim::MeasurementHistory* RemoteCollector::history(const std::string& resource_id) const {
+  if (protocol_ != ProtocolKind::kXml) return nullptr;  // ASCII limitation
+  const std::string reply =
+      transport_(http_frame("/history", xml_encode_history_request(resource_id)));
+  auto framed = http_unframe(reply);
+  if (!framed) return nullptr;
+  auto decoded = xml_decode_history(framed->second);
+  if (!decoded || decoded->second.empty()) return nullptr;
+  sim::MeasurementHistory materialized(decoded->second.size());
+  for (const sim::Sample& s : decoded->second) materialized.add(s.time, s.value);
+  auto [it, inserted] = history_cache_.insert_or_assign(resource_id, std::move(materialized));
+  (void)inserted;
+  return &it->second;
+}
+
+RemoteCollector::Transport loopback_transport(CollectorServer& server) {
+  return [&server](const std::string& request) { return server.handle(request); };
+}
+
+}  // namespace remos::core

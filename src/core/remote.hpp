@@ -1,0 +1,72 @@
+// Remote collector access: a server that exposes any Collector over a wire
+// protocol, and a client-side stub that *is* a Collector. Together they let
+// a Modeler (or a Master Collector) talk to collectors at remote sites
+// exactly as it talks to local ones — the property the paper's architecture
+// depends on ("Local or global collectors at remote sites can be contacted
+// to obtain information about those remote sites").
+//
+// The transport is a pluggable request->response function; tests use an
+// in-memory loopback standing in for the TCP socket of the original system.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "core/collector.hpp"
+#include "core/protocol.hpp"
+
+namespace remos::core {
+
+/// Serves one Collector over the chosen protocol. ASCII handles queries
+/// only; XML also answers history requests (the paper's motivation for the
+/// protocol transition).
+class CollectorServer {
+ public:
+  CollectorServer(Collector& collector, ProtocolKind protocol);
+
+  /// Handle one request (wire format in, wire format out). Malformed
+  /// requests yield an empty string (connection reset, in spirit).
+  [[nodiscard]] std::string handle(const std::string& request);
+
+  [[nodiscard]] ProtocolKind protocol() const { return protocol_; }
+  [[nodiscard]] std::uint64_t requests_handled() const { return handled_; }
+
+ private:
+  Collector& collector_;
+  ProtocolKind protocol_;
+  std::uint64_t handled_ = 0;
+};
+
+/// Client stub: forwards Collector calls through a transport to a
+/// CollectorServer. Registerable in a directory like any local collector.
+class RemoteCollector final : public Collector {
+ public:
+  using Transport = std::function<std::string(const std::string&)>;
+
+  RemoteCollector(std::string name, std::vector<net::Ipv4Prefix> responsibility,
+                  Transport transport, ProtocolKind protocol);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::vector<net::Ipv4Prefix> responsibility() const override {
+    return responsibility_;
+  }
+  CollectorResponse query(const std::vector<net::Ipv4Address>& nodes) override;
+
+  /// Only available over the XML protocol; the ASCII protocol "only
+  /// topologies are exchanged" limitation returns nullptr.
+  [[nodiscard]] const sim::MeasurementHistory* history(const std::string& resource_id) const override;
+
+ private:
+  std::string name_;
+  std::vector<net::Ipv4Prefix> responsibility_;
+  Transport transport_;
+  ProtocolKind protocol_;
+  /// Materialized histories fetched over the wire.
+  mutable std::map<std::string, sim::MeasurementHistory> history_cache_;
+};
+
+/// In-memory loopback transport bound to a server (the test/sim stand-in
+/// for a TCP connection).
+[[nodiscard]] RemoteCollector::Transport loopback_transport(CollectorServer& server);
+
+}  // namespace remos::core

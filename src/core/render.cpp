@@ -1,0 +1,70 @@
+#include "core/render.hpp"
+
+#include <cstdio>
+
+namespace remos::core {
+namespace {
+
+const char* shape_of(VNodeKind kind) {
+  switch (kind) {
+    case VNodeKind::kHost: return "box";
+    case VNodeKind::kRouter: return "diamond";
+    case VNodeKind::kSwitch: return "ellipse";
+    case VNodeKind::kVirtualSwitch: return "ellipse";
+  }
+  return "box";
+}
+
+std::string dot_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const VirtualTopology& topo, const RenderOptions& options) {
+  std::string out = "graph \"" + dot_escape(options.graph_name) + "\" {\n";
+  out += "  node [fontsize=10];\n";
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    const VNode& n = topo.nodes()[i];
+    char line[256];
+    std::snprintf(line, sizeof line, "  n%zu [label=\"%s\", shape=%s%s];\n", i,
+                  dot_escape(n.name).c_str(), shape_of(n.kind),
+                  n.kind == VNodeKind::kVirtualSwitch ? ", style=dashed" : "");
+    out += line;
+  }
+  for (const VEdge& e : topo.edges()) {
+    char line[320];
+    if (options.edge_labels && e.capacity_bps > 0) {
+      std::snprintf(line, sizeof line,
+                    "  n%u -- n%u [label=\"%.1f Mb/s\\n%.1f/%.1f used\"];\n", e.a, e.b,
+                    e.capacity_bps / 1e6, e.util_ab_bps / 1e6, e.util_ba_bps / 1e6);
+    } else {
+      std::snprintf(line, sizeof line, "  n%u -- n%u;\n", e.a, e.b);
+    }
+    out += line;
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_adjacency_text(const VirtualTopology& topo) {
+  std::string out;
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    out += topo.nodes()[i].name + ":";
+    for (std::size_t ei : topo.incident_edges(static_cast<VNodeIndex>(i))) {
+      const VEdge& e = topo.edges()[ei];
+      const VNodeIndex other = (e.a == i) ? e.b : e.a;
+      out += " " + topo.nodes()[other].name;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace remos::core

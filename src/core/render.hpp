@@ -1,0 +1,26 @@
+// Topology rendering helpers for the release: Graphviz DOT export and a
+// compact adjacency listing — what users point at `dot -Tpng` to see the
+// virtual topology Remos returned.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace remos::core {
+
+struct RenderOptions {
+  /// Include capacity/utilization labels on edges.
+  bool edge_labels = true;
+  /// Graph name in the DOT preamble.
+  std::string graph_name = "remos";
+};
+
+/// Graphviz DOT rendering of a virtual topology. Hosts are boxes, routers
+/// diamonds, switches ellipses, virtual switches dashed ellipses.
+[[nodiscard]] std::string to_dot(const VirtualTopology& topo, const RenderOptions& options = {});
+
+/// Compact one-line-per-vertex adjacency listing.
+[[nodiscard]] std::string to_adjacency_text(const VirtualTopology& topo);
+
+}  // namespace remos::core

@@ -1,0 +1,136 @@
+#include "core/wireless_collector.hpp"
+
+#include <algorithm>
+
+namespace remos::core {
+
+WirelessCollector::WirelessCollector(sim::Engine& engine, const net::Network& net,
+                                     std::vector<net::NodeId> aps, WirelessCollectorConfig config)
+    : engine_(engine), net_(net), aps_(std::move(aps)), config_(std::move(config)) {
+  poll_associations();  // initial association table
+  if (config_.association_poll_s > 0) {
+    poll_task_ = engine_.every(config_.association_poll_s, [this] { poll_associations(); });
+  }
+}
+
+WirelessCollector::~WirelessCollector() {
+  if (poll_task_ != 0) engine_.cancel_task(poll_task_);
+}
+
+net::NodeId WirelessCollector::current_ap(net::NodeId station) const {
+  // Association ground truth: the AP (hub) at the far end of the station's
+  // access link — what a basestation's association table reports.
+  const net::Node& s = net_.node(station);
+  for (const net::Interface& ifc : s.interfaces) {
+    if (ifc.link == net::kNone) continue;
+    const net::NodeId far = net_.link(ifc.link).other(station);
+    if (std::find(aps_.begin(), aps_.end(), far) != aps_.end()) return far;
+  }
+  return net::kNone;
+}
+
+std::size_t WirelessCollector::poll_associations() {
+  std::size_t moved = 0;
+  // Enumerate stations: hosts attached to any configured AP.
+  for (const net::Node& n : net_.nodes()) {
+    if (n.kind != net::NodeKind::kHost) continue;
+    const net::NodeId ap = current_ap(n.id);
+    auto it = association_.find(n.id);
+    if (ap == net::kNone) {
+      if (it != association_.end()) {
+        association_.erase(it);  // left the wireless network
+        ++moved;
+        ++handoffs_;
+      }
+      continue;
+    }
+    if (it == association_.end()) {
+      association_.emplace(n.id, ap);
+    } else if (it->second != ap) {
+      it->second = ap;
+      ++moved;
+      ++handoffs_;
+    }
+  }
+  return moved;
+}
+
+net::NodeId WirelessCollector::association_of(net::Ipv4Address station) const {
+  const net::NodeId id = net_.node_by_ip(station);
+  if (id == net::kNone) return net::kNone;
+  auto it = association_.find(id);
+  return it == association_.end() ? net::kNone : it->second;
+}
+
+std::size_t WirelessCollector::station_count(net::NodeId ap) const {
+  std::size_t count = 0;
+  for (const auto& [station, assoc] : association_) {
+    (void)station;
+    if (assoc == ap) ++count;
+  }
+  return count;
+}
+
+std::optional<double> WirelessCollector::expected_bandwidth(net::Ipv4Address station) const {
+  const net::NodeId ap = association_of(station);
+  if (ap == net::kNone) return std::nullopt;
+  const std::size_t stations = std::max<std::size_t>(station_count(ap), 1);
+  return net_.node(ap).shared_capacity_bps / static_cast<double>(stations);
+}
+
+CollectorResponse WirelessCollector::query(const std::vector<net::Ipv4Address>& nodes) {
+  CollectorResponse resp;
+  // Each AP in play becomes a virtual switch annotated with its shared
+  // capacity; stations hang off their AP with the expected share as the
+  // utilization-adjusted edge.
+  for (net::Ipv4Address addr : nodes) {
+    const net::NodeId station = net_.node_by_ip(addr);
+    const net::NodeId ap = association_of(addr);
+    if (station == net::kNone || ap == net::kNone) {
+      resp.complete = false;
+      continue;
+    }
+    const net::Node& ap_node = net_.node(ap);
+    const VNodeIndex vs = resp.topology.ensure_node(
+        VNode{VNodeKind::kVirtualSwitch, "ap:" + ap_node.name, {}});
+    const VNodeIndex st = resp.topology.ensure_node(
+        VNode{VNodeKind::kHost, "host@" + addr.to_string(), addr});
+    VEdge e;
+    e.a = st;
+    e.b = vs;
+    e.capacity_bps = ap_node.shared_capacity_bps;
+    // Report the medium's current contention as utilization: with k
+    // stations sharing, a new flow can expect capacity/k.
+    const auto stations = static_cast<double>(std::max<std::size_t>(station_count(ap), 1));
+    e.util_ab_bps = ap_node.shared_capacity_bps * (1.0 - 1.0 / stations);
+    e.util_ba_bps = e.util_ab_bps;
+    e.id = "wifi:" + ap_node.name + ":" + addr.to_string();
+    resp.topology.add_edge(std::move(e));
+    resp.cost_s += config_.per_station_cost_s;
+  }
+  // APs on the same distribution system interconnect (wired backhaul);
+  // join the AP virtual switches through a distribution node so multi-AP
+  // queries stay connected.
+  if (resp.topology.node_count() > 0) {
+    std::vector<VNodeIndex> ap_nodes;
+    for (std::size_t i = 0; i < resp.topology.node_count(); ++i) {
+      if (resp.topology.nodes()[i].name.starts_with("ap:")) {
+        ap_nodes.push_back(static_cast<VNodeIndex>(i));
+      }
+    }
+    if (ap_nodes.size() > 1) {
+      const VNodeIndex dist = resp.topology.ensure_node(
+          VNode{VNodeKind::kVirtualSwitch, "wifi-distribution", {}});
+      for (VNodeIndex ap : ap_nodes) {
+        VEdge e;
+        e.a = ap;
+        e.b = dist;
+        e.id = "wifi:dist:" + resp.topology.nodes()[ap].name;
+        resp.topology.add_edge(std::move(e));
+      }
+    }
+  }
+  return resp;
+}
+
+}  // namespace remos::core

@@ -1,0 +1,83 @@
+// Wireless Collector — the paper's §6.2 work-in-progress ("a collector for
+// wireless LANs (802.11) is under development ... improving our existing
+// collectors to support mobile hosts").
+//
+// Model: each 802.11 access point is a shared medium (a hub in the network
+// model) hanging off the wired distribution switch; stations re-associate
+// by moving between APs. The collector tracks, via periodic Bridge-MIB
+// style association polls of the distribution switches plus its AP
+// configuration:
+//   * which AP each station is associated with (and handoff events),
+//   * per-AP load (station count) and the shared medium's capacity,
+//   * the bandwidth a station can expect: the AP's shared capacity split
+//     max-min among its associated stations.
+// Topology responses represent each AP as a virtual switch annotated with
+// the shared capacity, exactly how the SNMP Collector renders shared
+// Ethernets.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/collector.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace remos::core {
+
+struct WirelessCollectorConfig {
+  std::string name = "wireless-collector";
+  /// Prefixes this collector reports on (the wireless subnet).
+  std::vector<net::Ipv4Prefix> domain;
+  /// How often station associations are re-polled.
+  double association_poll_s = 5.0;
+  /// Processing latency charged per query (association table lookups).
+  double per_station_cost_s = 0.001;
+};
+
+class WirelessCollector final : public Collector {
+ public:
+  /// `aps`: the hub nodes acting as access points. The collector reads
+  /// association ground truth from the network model the way the real one
+  /// reads basestation association tables.
+  WirelessCollector(sim::Engine& engine, const net::Network& net, std::vector<net::NodeId> aps,
+                    WirelessCollectorConfig config);
+  ~WirelessCollector() override;
+  WirelessCollector(const WirelessCollector&) = delete;
+  WirelessCollector& operator=(const WirelessCollector&) = delete;
+
+  [[nodiscard]] std::string name() const override { return config_.name; }
+  [[nodiscard]] std::vector<net::Ipv4Prefix> responsibility() const override {
+    return config_.domain;
+  }
+  CollectorResponse query(const std::vector<net::Ipv4Address>& nodes) override;
+
+  /// AP a station is currently associated with; kNone when unknown.
+  [[nodiscard]] net::NodeId association_of(net::Ipv4Address station) const;
+  /// Stations currently associated with an AP.
+  [[nodiscard]] std::size_t station_count(net::NodeId ap) const;
+  /// Expected per-station bandwidth at the station's AP (shared capacity /
+  /// association count); nullopt for unknown stations.
+  [[nodiscard]] std::optional<double> expected_bandwidth(net::Ipv4Address station) const;
+
+  /// Handoffs observed by the periodic association poll.
+  [[nodiscard]] std::uint64_t handoff_count() const { return handoffs_; }
+  /// Re-poll associations once (the periodic task body; exposed for tests).
+  /// Returns the number of stations that moved.
+  std::size_t poll_associations();
+
+ private:
+  [[nodiscard]] net::NodeId current_ap(net::NodeId station) const;
+
+  sim::Engine& engine_;
+  const net::Network& net_;
+  std::vector<net::NodeId> aps_;
+  WirelessCollectorConfig config_;
+  std::map<net::NodeId, net::NodeId> association_;  // station -> AP
+  sim::TaskId poll_task_ = 0;
+  std::uint64_t handoffs_ = 0;
+};
+
+}  // namespace remos::core

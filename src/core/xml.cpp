@@ -1,0 +1,233 @@
+#include "core/xml.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace remos::core {
+
+XmlElement& XmlElement::add_child(std::string tag) {
+  children.push_back(std::make_unique<XmlElement>(std::move(tag)));
+  return *children.back();
+}
+
+void XmlElement::set_attr(std::string key, std::string value) {
+  attributes[std::move(key)] = std::move(value);
+}
+
+void XmlElement::set_attr(std::string key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  attributes[std::move(key)] = buf;
+}
+
+void XmlElement::set_attr(std::string key, std::int64_t value) {
+  attributes[std::move(key)] = std::to_string(value);
+}
+
+const XmlElement* XmlElement::first_child(std::string_view tag) const {
+  for (const auto& c : children) {
+    if (c->name == tag) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlElement*> XmlElement::children_named(std::string_view tag) const {
+  std::vector<const XmlElement*> out;
+  for (const auto& c : children) {
+    if (c->name == tag) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::optional<std::string> XmlElement::attr(std::string_view key) const {
+  auto it = attributes.find(std::string(key));
+  if (it == attributes.end()) return std::nullopt;
+  return it->second;
+}
+
+double XmlElement::attr_double(std::string_view key, double fallback) const {
+  auto v = attr(key);
+  if (!v) return fallback;
+  double out = fallback;
+  auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  (void)ptr;
+  return ec == std::errc{} ? out : fallback;
+}
+
+std::int64_t XmlElement::attr_int(std::string_view key, std::int64_t fallback) const {
+  auto v = attr(key);
+  if (!v) return fallback;
+  std::int64_t out = fallback;
+  auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  (void)ptr;
+  return ec == std::errc{} ? out : fallback;
+}
+
+std::string xml_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string XmlElement::to_string() const {
+  std::string out = "<" + name;
+  for (const auto& [k, v] : attributes) out += " " + k + "=\"" + xml_escape(v) + "\"";
+  if (children.empty() && text.empty()) {
+    out += "/>";
+    return out;
+  }
+  out += ">";
+  out += xml_escape(text);
+  for (const auto& c : children) out += c->to_string();
+  out += "</" + name + ">";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::unique_ptr<XmlElement> parse_document() {
+    skip_ws();
+    if (peek_starts("<?")) {  // XML declaration
+      const auto end = text_.find("?>", pos_);
+      if (end == std::string_view::npos) return nullptr;
+      pos_ = end + 2;
+      skip_ws();
+    }
+    auto root = parse_element();
+    if (!root) return nullptr;
+    skip_ws();
+    return pos_ == text_.size() ? std::move(root) : nullptr;
+  }
+
+ private:
+  bool peek_starts(std::string_view s) const {
+    return text_.substr(pos_, s.size()) == s;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+  static std::string unescape(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      const std::string_view rest = raw.substr(i);
+      auto take = [&](std::string_view entity, char c) {
+        if (rest.substr(0, entity.size()) == entity) {
+          out += c;
+          i += entity.size() - 1;
+          return true;
+        }
+        return false;
+      };
+      if (take("&amp;", '&') || take("&lt;", '<') || take("&gt;", '>') || take("&quot;", '"') ||
+          take("&apos;", '\'')) {
+        continue;
+      }
+      out += raw[i];
+    }
+    return out;
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' || c == ':' ||
+          c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::unique_ptr<XmlElement> parse_element() {
+    if (pos_ >= text_.size() || text_[pos_] != '<') return nullptr;
+    ++pos_;
+    auto elem = std::make_unique<XmlElement>(parse_name());
+    if (elem->name.empty()) return nullptr;
+    // Attributes.
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size()) return nullptr;
+      if (peek_starts("/>")) {
+        pos_ += 2;
+        return elem;
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      const std::string key = parse_name();
+      if (key.empty()) return nullptr;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '=') return nullptr;
+      ++pos_;
+      skip_ws();
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) return nullptr;
+      const char quote = text_[pos_++];
+      const std::size_t vstart = pos_;
+      while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+      if (pos_ >= text_.size()) return nullptr;
+      elem->attributes[key] = unescape(text_.substr(vstart, pos_ - vstart));
+      ++pos_;
+    }
+    // Content.
+    for (;;) {
+      if (pos_ >= text_.size()) return nullptr;
+      if (peek_starts("</")) {
+        pos_ += 2;
+        const std::string closing = parse_name();
+        if (closing != elem->name) return nullptr;
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != '>') return nullptr;
+        ++pos_;
+        return elem;
+      }
+      if (text_[pos_] == '<') {
+        auto child = parse_element();
+        if (!child) return nullptr;
+        elem->children.push_back(std::move(child));
+      } else {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != '<') ++pos_;
+        elem->text += unescape(text_.substr(start, pos_ - start));
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<XmlElement> xml_parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace remos::core

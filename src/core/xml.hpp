@@ -1,0 +1,46 @@
+// Minimal XML document model and parser — enough for the Remos component
+// protocol ("we would like to replace [the text format] with an XML format
+// using HTTP as a communication protocol", §6.2). Supports elements,
+// attributes, text, self-closing tags, and the five predefined entities.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace remos::core {
+
+struct XmlElement {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<std::unique_ptr<XmlElement>> children;
+  std::string text;
+
+  XmlElement() = default;
+  explicit XmlElement(std::string tag) : name(std::move(tag)) {}
+
+  XmlElement& add_child(std::string tag);
+  void set_attr(std::string key, std::string value);
+  void set_attr(std::string key, double value);
+  void set_attr(std::string key, std::int64_t value);
+
+  [[nodiscard]] const XmlElement* first_child(std::string_view tag) const;
+  [[nodiscard]] std::vector<const XmlElement*> children_named(std::string_view tag) const;
+  [[nodiscard]] std::optional<std::string> attr(std::string_view key) const;
+  [[nodiscard]] double attr_double(std::string_view key, double fallback = 0.0) const;
+  [[nodiscard]] std::int64_t attr_int(std::string_view key, std::int64_t fallback = 0) const;
+
+  /// Serialize (compact, deterministic attribute order).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Escape the five predefined entities.
+[[nodiscard]] std::string xml_escape(std::string_view text);
+
+/// Parse a single-root document. nullptr on malformed input.
+[[nodiscard]] std::unique_ptr<XmlElement> xml_parse(std::string_view text);
+
+}  // namespace remos::core

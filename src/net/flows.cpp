@@ -1,0 +1,272 @@
+#include "net/flows.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace remos::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Residual bytes below this are considered drained. Sub-byte residues are
+/// physically meaningless, and chasing them risks scheduling ever-smaller
+/// completion deltas that underflow the simulated clock's resolution.
+constexpr double kByteEpsilon = 0.5;
+/// Completion events are never scheduled closer than this, so the event
+/// loop always advances the clock (guards an FP livelock at large t).
+constexpr double kMinCompletionDt = 1e-9;
+
+}  // namespace
+
+FlowEngine::FlowEngine(sim::Engine& engine, Network& net) : engine_(engine), net_(net) {
+  last_sync_ = engine_.now();
+}
+
+FlowId FlowEngine::start(FlowSpec spec) {
+  sync();
+  Flow f;
+  PathResult path = net_.resolve_path(spec.src, spec.dst);
+  f.hops = std::move(path.hops);
+  // A flow crossing a shared (hub) segment loads the collision domain once,
+  // however many hops it takes inside it.
+  for (const Hop& h : f.hops) {
+    SegmentId sid = net_.link(h.link).segment;
+    const Segment& s = net_.segment(sid);
+    if (s.shared && s.shared_capacity_bps > 0 &&
+        std::find(f.shared_segments.begin(), f.shared_segments.end(), sid) ==
+            f.shared_segments.end()) {
+      f.shared_segments.push_back(sid);
+    }
+  }
+  f.remaining_bytes = static_cast<double>(spec.bytes);
+  f.stats.start_time = engine_.now();
+  f.spec = std::move(spec);
+
+  FlowId id = next_id_++;
+  flows_.emplace(id, std::move(f));
+  recompute_rates();
+  schedule_next_completion();
+  return id;
+}
+
+void FlowEngine::stop(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  sync();
+  it->second.stats.end_time = engine_.now();
+  it->second.stats.completed = false;
+  record_finished(id, it->second.stats);
+  flows_.erase(it);
+  recompute_rates();
+  schedule_next_completion();
+}
+
+double FlowEngine::rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate_bps;
+}
+
+double FlowEngine::directed_link_rate(LinkId link, bool forward) const {
+  double total = 0.0;
+  for (const auto& [id, f] : flows_) {
+    (void)id;
+    for (const Hop& h : f.hops) {
+      if (h.link == link && h.forward == forward) {
+        total += f.rate_bps;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+std::optional<FlowStats> FlowEngine::stats(FlowId id) const {
+  if (auto it = flows_.find(id); it != flows_.end()) return it->second.stats;
+  if (auto it = finished_.find(id); it != finished_.end()) return it->second;
+  return std::nullopt;
+}
+
+void FlowEngine::record_finished(FlowId id, const FlowStats& stats) {
+  finished_.insert_or_assign(id, stats);
+  while (finished_.size() > kFinishedCap) finished_.erase(finished_.begin());
+}
+
+void FlowEngine::sync() {
+  const sim::Time now = engine_.now();
+  const double dt = now - last_sync_;
+  if (dt <= 0) {
+    last_sync_ = now;
+    return;
+  }
+  for (auto& [id, f] : flows_) {
+    (void)id;
+    if (f.rate_bps <= 0) continue;
+    double bytes = f.rate_bps / 8.0 * dt;
+    if (f.spec.bytes > 0) {
+      bytes = std::min(bytes, f.remaining_bytes);
+      f.remaining_bytes -= bytes;
+    }
+    const auto whole = static_cast<std::uint64_t>(bytes);
+    f.stats.delivered_bytes += whole;
+    for (const Hop& h : f.hops) {
+      net_.egress_interface(h).out_octets += whole;
+      net_.ingress_interface(h).in_octets += whole;
+    }
+  }
+  last_sync_ = now;
+}
+
+double FlowEngine::current_rtt(NodeId src, NodeId dst, double queue_scale_s) const {
+  const PathResult path = net_.resolve_path(src, dst);
+  double rtt = 0.0;
+  for (const Hop& h : path.hops) {
+    const Link& l = net_.link(h.link);
+    rtt += 2.0 * l.latency_s;
+    for (const bool dir : {h.forward, !h.forward}) {
+      const double load = directed_link_rate(l.id, dir);
+      const double rho = std::min(load / l.capacity_bps, 0.95);
+      rtt += queue_scale_s * rho / (1.0 - rho);
+    }
+  }
+  return rtt;
+}
+
+void FlowEngine::recompute_rates() {
+  // Progressive filling (water-filling) with demand caps.
+  //
+  // Resources: each directed link plus each shared segment. All unfrozen
+  // flows share a common rising "water level"; a resource saturates when
+  // frozen_usage + level * unfrozen_count == capacity, at which point every
+  // unfrozen flow crossing it freezes at the current level. Flows whose
+  // demand cap is reached freeze at their demand.
+  struct Resource {
+    double capacity;
+    double frozen_usage = 0.0;
+    std::uint32_t unfrozen = 0;
+  };
+  // Key: directed link -> 2*link+dir; shared segment -> offset + segment id.
+  const std::size_t seg_offset = net_.link_count() * 2;
+  std::unordered_map<std::size_t, Resource> resources;
+  std::unordered_map<FlowId, std::vector<std::size_t>> uses;
+
+  for (auto& [id, f] : flows_) {
+    auto& u = uses[id];
+    for (const Hop& h : f.hops) {
+      const std::size_t key = static_cast<std::size_t>(h.link) * 2 + (h.forward ? 0 : 1);
+      resources.try_emplace(key, Resource{net_.link(h.link).capacity_bps});
+      u.push_back(key);
+    }
+    for (SegmentId sid : f.shared_segments) {
+      const std::size_t key = seg_offset + sid;
+      resources.try_emplace(key, Resource{net_.segment(sid).shared_capacity_bps});
+      u.push_back(key);
+    }
+  }
+  for (auto& [key, r] : resources) {
+    (void)key;
+    r.unfrozen = 0;
+    r.frozen_usage = 0.0;
+  }
+
+  std::unordered_map<FlowId, bool> frozen;
+  for (auto& [id, f] : flows_) {
+    frozen[id] = false;
+    f.rate_bps = 0.0;
+    for (std::size_t key : uses[id]) ++resources[key].unfrozen;
+  }
+
+  std::size_t unfrozen_flows = flows_.size();
+  double level = 0.0;
+  while (unfrozen_flows > 0) {
+    // Next saturation level among resources, and next demand cap.
+    double next_level = kInf;
+    for (const auto& [key, r] : resources) {
+      (void)key;
+      if (r.unfrozen == 0) continue;
+      const double sat = (r.capacity - r.frozen_usage) / static_cast<double>(r.unfrozen);
+      next_level = std::min(next_level, sat);
+    }
+    for (const auto& [id, f] : flows_) {
+      if (!frozen[id]) next_level = std::min(next_level, f.spec.demand_bps);
+    }
+    if (!std::isfinite(next_level)) {
+      // Only unconstrained flows remain (shouldn't happen: every flow
+      // crosses at least one finite-capacity link). Freeze at 0 defensively.
+      break;
+    }
+    level = std::max(level, next_level);
+
+    // Freeze demand-capped flows first, then flows on saturated resources.
+    std::vector<FlowId> to_freeze;
+    for (const auto& [id, f] : flows_) {
+      if (frozen[id]) continue;
+      if (f.spec.demand_bps <= level + 1e-9) {
+        to_freeze.push_back(id);
+        continue;
+      }
+      for (std::size_t key : uses[id]) {
+        const Resource& r = resources[key];
+        const double sat = (r.capacity - r.frozen_usage) / static_cast<double>(r.unfrozen);
+        if (sat <= level + 1e-9) {
+          to_freeze.push_back(id);
+          break;
+        }
+      }
+    }
+    if (to_freeze.empty()) break;  // numerical guard
+    for (FlowId id : to_freeze) {
+      Flow& f = flows_.at(id);
+      const double r = std::min(level, f.spec.demand_bps);
+      f.rate_bps = r;
+      frozen[id] = true;
+      --unfrozen_flows;
+      for (std::size_t key : uses[id]) {
+        Resource& res = resources[key];
+        res.frozen_usage += r;
+        --res.unfrozen;
+      }
+    }
+  }
+}
+
+void FlowEngine::schedule_next_completion() {
+  if (completion_event_ != 0) {
+    engine_.cancel(completion_event_);
+    completion_event_ = 0;
+  }
+  double earliest = kInf;
+  for (const auto& [id, f] : flows_) {
+    (void)id;
+    if (f.spec.bytes == 0 || f.rate_bps <= 0) continue;
+    earliest = std::min(earliest, f.remaining_bytes / (f.rate_bps / 8.0));
+  }
+  if (!std::isfinite(earliest)) return;
+  earliest = std::max(earliest, kMinCompletionDt);
+  completion_event_ = engine_.after(earliest, [this] { handle_completion_event(); });
+}
+
+void FlowEngine::handle_completion_event() {
+  completion_event_ = 0;
+  sync();
+  std::vector<std::pair<FlowId, std::function<void(FlowId)>>> callbacks;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    Flow& f = it->second;
+    if (f.spec.bytes > 0 && f.remaining_bytes <= kByteEpsilon) {
+      f.stats.end_time = engine_.now();
+      f.stats.completed = true;
+      // Account the fractional tail byte so delivered == requested.
+      f.stats.delivered_bytes = f.spec.bytes;
+      record_finished(it->first, f.stats);
+      if (f.spec.on_complete) callbacks.emplace_back(it->first, std::move(f.spec.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  recompute_rates();
+  schedule_next_completion();
+  // Run callbacks last: they may start/stop flows reentrantly.
+  for (auto& [id, cb] : callbacks) cb(id);
+}
+
+}  // namespace remos::net

@@ -1,0 +1,120 @@
+// Fluid-flow traffic engine with max-min fair bandwidth sharing.
+//
+// Flows are fluid streams over resolved forwarding paths. At any instant the
+// engine assigns every active flow its max-min fair rate (progressive
+// filling, honoring per-flow demand caps and shared-Ethernet segments). As
+// simulated time advances, each traversed interface accumulates octets —
+// exactly the counters the SNMP Collector samples — and finite transfers
+// complete at the precise instant their last byte drains.
+//
+// The same max-min allocation problem is solved a second time, on measured
+// data, by the Remos Modeler (core/maxmin); comparing the two is how the
+// reproduction evaluates SNMP Collector accuracy (Figs 4-5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace remos::net {
+
+using FlowId = std::uint64_t;
+
+struct FlowSpec {
+  NodeId src = kNone;
+  NodeId dst = kNone;
+  /// Application demand cap in bits/second; infinity = greedy (TCP bulk).
+  double demand_bps = std::numeric_limits<double>::infinity();
+  /// Transfer size in bytes; 0 = unbounded (runs until stop()).
+  std::uint64_t bytes = 0;
+  /// Invoked (from the simulation event loop) when a finite flow drains.
+  std::function<void(FlowId)> on_complete;
+};
+
+struct FlowStats {
+  sim::Time start_time = 0.0;
+  sim::Time end_time = 0.0;  // completion or stop(); 0 while active
+  std::uint64_t delivered_bytes = 0;
+  bool completed = false;  // true: drained; false: stopped early / active
+  /// Average achieved throughput in bits/second over the flow's lifetime.
+  [[nodiscard]] double average_bps() const {
+    const double dur = end_time - start_time;
+    return dur > 0 ? static_cast<double>(delivered_bytes) * 8.0 / dur : 0.0;
+  }
+};
+
+class FlowEngine {
+ public:
+  FlowEngine(sim::Engine& engine, Network& net);
+
+  /// Start a flow; resolves the forwarding path immediately.
+  FlowId start(FlowSpec spec);
+  /// Stop an unbounded (or not-yet-finished) flow. No-op for unknown ids.
+  void stop(FlowId id);
+
+  [[nodiscard]] bool active(FlowId id) const { return flows_.contains(id); }
+  [[nodiscard]] std::size_t active_count() const { return flows_.size(); }
+
+  /// Current max-min rate of a flow in bits/second (0 for unknown ids).
+  [[nodiscard]] double rate(FlowId id) const;
+
+  /// Ground-truth aggregate rate currently crossing a directed link.
+  [[nodiscard]] double directed_link_rate(LinkId link, bool forward) const;
+
+  /// Lifetime statistics; available while active and after completion.
+  /// Finished records are retained up to a bounded history (oldest flows
+  /// age out first), so callers should read stats promptly.
+  [[nodiscard]] std::optional<FlowStats> stats(FlowId id) const;
+
+  /// Bring octet counters up to the current simulated time. Called
+  /// automatically before any rate change; exposed so SNMP agents can
+  /// sample fresh counters at arbitrary instants.
+  void sync();
+
+  /// Round-trip time estimate between two endpoints under the current
+  /// load: per traversed hop (both directions), propagation latency plus
+  /// an M/M/1-style queueing penalty `queue_scale * rho / (1 - rho)` with
+  /// rho the directed link's current utilization (capped at 0.95). This is
+  /// what a small ping-like probe would observe, and the source of the
+  /// latency/jitter metric the paper lists as future work.
+  [[nodiscard]] double current_rtt(NodeId src, NodeId dst, double queue_scale_s = 0.002) const;
+
+  /// Total flows ever started.
+  [[nodiscard]] std::uint64_t started_count() const { return next_id_ - 1; }
+
+ private:
+  struct Flow {
+    FlowSpec spec;
+    std::vector<Hop> hops;
+    std::vector<SegmentId> shared_segments;  // deduped shared segments crossed
+    double rate_bps = 0.0;
+    double remaining_bytes = 0.0;  // only meaningful when spec.bytes > 0
+    FlowStats stats;
+  };
+
+  void recompute_rates();
+  void schedule_next_completion();
+  void handle_completion_event();
+
+  /// Bound on retained finished-flow records (FIFO eviction by FlowId).
+  static constexpr std::size_t kFinishedCap = 1 << 16;
+
+  void record_finished(FlowId id, const FlowStats& stats);
+
+  sim::Engine& engine_;
+  Network& net_;
+  std::unordered_map<FlowId, Flow> flows_;
+  std::map<FlowId, FlowStats> finished_;  // ordered: begin() is the oldest
+  FlowId next_id_ = 1;
+  sim::Time last_sync_ = 0.0;
+  sim::EventId completion_event_ = 0;
+};
+
+}  // namespace remos::net

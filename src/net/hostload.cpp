@@ -1,0 +1,60 @@
+#include "net/hostload.hpp"
+
+#include <cmath>
+
+namespace remos::net {
+namespace {
+
+/// One step of the shared host-load recurrence.
+double load_step(double& prev1, double& prev2, double& spike, std::uint64_t tick,
+                 sim::Rng& rng, const HostLoadParams& p, double tick_spacing_s) {
+  const double ar = p.ar1 * prev1 + p.ar2 * prev2;
+  const double noise = rng.normal(0.0, p.noise_sigma);
+  const double phase = 2.0 * M_PI * static_cast<double>(tick) * tick_spacing_s / p.diurnal_period;
+  const double diurnal = p.diurnal_amplitude * std::sin(phase);
+  if (rng.chance(p.spike_probability)) spike += p.spike_magnitude * rng.uniform(0.5, 1.5);
+  spike *= p.spike_decay;
+  // The AR recurrence runs on deviations from the (diurnal-modulated) mean.
+  const double dev = ar + noise;
+  prev2 = prev1;
+  prev1 = dev;
+  double load = p.base_load + diurnal + dev + spike;
+  return load < 0.0 ? 0.0 : load;
+}
+
+}  // namespace
+
+std::vector<double> generate_host_load(std::size_t n, sim::Rng& rng, const HostLoadParams& params) {
+  std::vector<double> out;
+  out.reserve(n);
+  double prev1 = 0.0, prev2 = 0.0, spike = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(load_step(prev1, prev2, spike, i, rng, params, 1.0));
+  }
+  return out;
+}
+
+HostLoadSensor::HostLoadSensor(sim::Engine& engine, sim::Rng rng, double interval_s,
+                               HostLoadParams params)
+    : engine_(engine), rng_(rng), interval_s_(interval_s), params_(params) {}
+
+HostLoadSensor::~HostLoadSensor() { stop(); }
+
+void HostLoadSensor::start() {
+  if (task_ != 0) return;
+  task_ = engine_.every(interval_s_, [this] { sample(); });
+}
+
+void HostLoadSensor::stop() {
+  if (task_ == 0) return;
+  engine_.cancel_task(task_);
+  task_ = 0;
+}
+
+void HostLoadSensor::sample() {
+  const double load = load_step(prev1_, prev2_, spike_, tick_++, rng_, params_, interval_s_);
+  history_.add(engine_.now(), load);
+  if (callback_) callback_(engine_.now(), load);
+}
+
+}  // namespace remos::net

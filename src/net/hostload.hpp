@@ -1,0 +1,71 @@
+// Synthetic host-load signals.
+//
+// The paper's RPS evaluation (Figs 6-7) predicts Unix host load (the
+// exponentially-smoothed run-queue length). Real load traces are not
+// available offline, so we synthesize signals with the statistical
+// properties Dinda reports for host load: strong autocorrelation (well
+// modeled by AR(16)), self-similarity-like long-range structure (slow
+// sinusoidal components), epochal spikes, and strictly non-negative values.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace remos::net {
+
+struct HostLoadParams {
+  double base_load = 0.8;        // long-term mean
+  double ar1 = 0.72, ar2 = 0.18; // short-range AR structure
+  double noise_sigma = 0.08;
+  double diurnal_amplitude = 0.3;
+  double diurnal_period = 3600.0;  // seconds (compressed "day")
+  double spike_probability = 0.002;
+  double spike_magnitude = 3.0;
+  double spike_decay = 0.9;
+};
+
+/// Generate `n` load samples at 1-sample spacing. Deterministic given rng.
+[[nodiscard]] std::vector<double> generate_host_load(std::size_t n, sim::Rng& rng,
+                                                     const HostLoadParams& params = {});
+
+/// Periodic host-load sensor: the measurement source RPS attaches a
+/// streaming predictor to. Samples the synthetic signal at a fixed rate,
+/// appends to a history, and invokes an optional per-sample callback.
+class HostLoadSensor {
+ public:
+  HostLoadSensor(sim::Engine& engine, sim::Rng rng, double interval_s,
+                 HostLoadParams params = {});
+  ~HostLoadSensor();
+  HostLoadSensor(const HostLoadSensor&) = delete;
+  HostLoadSensor& operator=(const HostLoadSensor&) = delete;
+
+  void start();
+  void stop();
+
+  /// Invoked with (time, load) on every sample, after the history append.
+  void set_callback(std::function<void(sim::Time, double)> cb) { callback_ = std::move(cb); }
+
+  [[nodiscard]] const sim::MeasurementHistory& history() const { return history_; }
+  [[nodiscard]] double interval() const { return interval_s_; }
+
+ private:
+  void sample();
+
+  sim::Engine& engine_;
+  sim::Rng rng_;
+  double interval_s_;
+  HostLoadParams params_;
+  sim::MeasurementHistory history_{1 << 16};
+  std::function<void(sim::Time, double)> callback_;
+  sim::TaskId task_ = 0;
+  // Signal state (mirrors generate_host_load's recurrence).
+  double prev1_ = 0.0, prev2_ = 0.0, spike_ = 0.0;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace remos::net

@@ -1,0 +1,87 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+
+namespace remos::net {
+namespace {
+
+// Parse a decimal octet from the front of `text`; advances `text`.
+std::optional<std::uint32_t> take_number(std::string_view& text, std::uint32_t max) {
+  std::uint32_t out = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr == begin || out > max) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return out;
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto octet = take_number(text, 255);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+    if (i < 3) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((value_ >> shift) & 0xFF);
+    if (shift > 0) out += '.';
+  }
+  return out;
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address base, int length) : length_(length) {
+  if (length_ < 0) length_ = 0;
+  if (length_ > 32) length_ = 32;
+  const std::uint32_t mask =
+      length_ == 0 ? 0u : (length_ == 32 ? ~0u : ~0u << (32 - length_));
+  base_ = Ipv4Address(base.value() & mask);
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  auto len = take_number(len_text, 32);
+  if (!len || !len_text.empty()) return std::nullopt;
+  return Ipv4Prefix(*addr, static_cast<int>(*len));
+}
+
+std::uint32_t Ipv4Prefix::netmask() const {
+  if (length_ == 0) return 0;
+  if (length_ == 32) return ~0u;
+  return ~0u << (32 - length_);
+}
+
+bool Ipv4Prefix::contains(Ipv4Address addr) const {
+  return (addr.value() & netmask()) == base_.value();
+}
+
+bool Ipv4Prefix::contains(const Ipv4Prefix& other) const {
+  return other.length_ >= length_ && contains(other.base_);
+}
+
+Ipv4Address Ipv4Prefix::host(std::uint32_t k) const {
+  return Ipv4Address(base_.value() + k);
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace remos::net

@@ -1,0 +1,69 @@
+// IPv4 addresses and CIDR prefixes.
+//
+// Remos partitions monitoring responsibility by IP prefix (each SNMP
+// Collector owns "an IP domain corresponding to a university or
+// department"), so prefixes are a first-class type with longest-match
+// support used by the Master Collector's directory.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace remos::net {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  /// Parse dotted-quad; nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool is_zero() const { return value_ == 0; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  /// Construct base/len; host bits of `base` are masked off.
+  Ipv4Prefix(Ipv4Address base, int length);
+
+  /// Parse "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  [[nodiscard]] Ipv4Address base() const { return base_; }
+  [[nodiscard]] int length() const { return length_; }
+  [[nodiscard]] std::uint32_t netmask() const;
+  [[nodiscard]] bool contains(Ipv4Address addr) const;
+  [[nodiscard]] bool contains(const Ipv4Prefix& other) const;
+  /// The k-th host address inside the prefix (k starts at 1).
+  [[nodiscard]] Ipv4Address host(std::uint32_t k) const;
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+
+ private:
+  Ipv4Address base_{};
+  int length_ = 0;
+};
+
+}  // namespace remos::net
+
+template <>
+struct std::hash<remos::net::Ipv4Address> {
+  std::size_t operator()(const remos::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,64 @@
+#include "net/l2.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace remos::net {
+
+Attachment host_attachment(const Network& net, NodeId host) {
+  const Node& h = net.node(host);
+  for (const auto& ifc : h.interfaces) {
+    if (ifc.link == kNone) continue;
+    const Link& l = net.link(ifc.link);
+    const bool host_is_a = (l.a == host);
+    return Attachment{host_is_a ? l.b : l.a, host_is_a ? l.b_if : l.a_if};
+  }
+  throw std::runtime_error("host_attachment: host has no link");
+}
+
+std::map<std::uint64_t, std::uint32_t> fdb_snapshot(const Node& sw) {
+  return {sw.fdb.begin(), sw.fdb.end()};
+}
+
+std::vector<LinkId> forwarding_links(const Network& net, SegmentId segment) {
+  std::vector<LinkId> out;
+  for (LinkId lid : net.segment(segment).links) {
+    if (net.link(lid).forwarding) out.push_back(lid);
+  }
+  return out;
+}
+
+bool forwarding_topology_is_tree(const Network& net, SegmentId segment) {
+  const Segment& s = net.segment(segment);
+  // Vertices: every node touched by a segment link.
+  std::unordered_set<NodeId> vertices;
+  std::size_t edges = 0;
+  std::unordered_map<NodeId, std::vector<LinkId>> adj;
+  for (LinkId lid : s.links) {
+    const Link& l = net.link(lid);
+    vertices.insert(l.a);
+    vertices.insert(l.b);
+    if (!l.forwarding) continue;
+    ++edges;
+    adj[l.a].push_back(lid);
+    adj[l.b].push_back(lid);
+  }
+  if (vertices.empty()) return true;
+  if (edges != vertices.size() - 1) return false;
+  // Connectivity check.
+  std::unordered_set<NodeId> seen;
+  std::vector<NodeId> stack{*vertices.begin()};
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    if (!seen.insert(u).second) continue;
+    for (LinkId lid : adj[u]) {
+      NodeId v = net.link(lid).other(u);
+      if (!seen.contains(v)) stack.push_back(v);
+    }
+  }
+  return seen.size() == vertices.size();
+}
+
+}  // namespace remos::net

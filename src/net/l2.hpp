@@ -1,0 +1,38 @@
+// L2 (bridged Ethernet) inspection helpers.
+//
+// Ground-truth views over switch forwarding databases used by tests and by
+// the Bridge Collector's verification paths. The Bridge Collector itself
+// must *discover* this information through SNMP Bridge-MIB walks; these
+// helpers read the model directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace remos::net {
+
+/// Where a (single-homed) host plugs into its segment.
+struct Attachment {
+  NodeId device = kNone;       // switch/hub/router/host on the far end
+  std::uint32_t ifindex = 0;   // port on that device
+};
+
+/// The device and port a host's access link lands on; device may be any
+/// node kind (point-to-point links attach directly to a router or host).
+[[nodiscard]] Attachment host_attachment(const Network& net, NodeId host);
+
+/// Sorted copy of a switch's forwarding database (MAC -> port), the exact
+/// relation the Bridge-MIB dot1dTpFdbTable exposes.
+[[nodiscard]] std::map<std::uint64_t, std::uint32_t> fdb_snapshot(const Node& sw);
+
+/// Links of a segment that forward after spanning-tree blocking.
+[[nodiscard]] std::vector<LinkId> forwarding_links(const Network& net, SegmentId segment);
+
+/// True when the segment's forwarding links form a tree spanning all its
+/// bridges and attachments (an invariant finalize() must establish).
+[[nodiscard]] bool forwarding_topology_is_tree(const Network& net, SegmentId segment);
+
+}  // namespace remos::net

@@ -1,0 +1,54 @@
+#include "net/routing.hpp"
+
+#include <limits>
+
+namespace remos::net {
+
+double bottleneck_capacity(const Network& net, const PathResult& path) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Hop& h : path.hops) {
+    const Link& l = net.link(h.link);
+    best = std::min(best, l.capacity_bps);
+    const Segment& s = net.segment(l.segment);
+    if (s.shared && s.shared_capacity_bps > 0) best = std::min(best, s.shared_capacity_bps);
+  }
+  return best;
+}
+
+double path_latency(const Network& net, const PathResult& path) {
+  double total = 0.0;
+  for (const Hop& h : path.hops) total += net.link(h.link).latency_s;
+  return total;
+}
+
+std::vector<Ipv4Address> trace_route(const Network& net, const PathResult& path) {
+  std::vector<Ipv4Address> out;
+  out.reserve(path.routers.size());
+  for (NodeId r : path.routers) out.push_back(net.node(r).primary_address());
+  return out;
+}
+
+std::vector<NodeId> path_nodes(const Network& net, NodeId src, const PathResult& path) {
+  std::vector<NodeId> out{src};
+  NodeId cur = src;
+  for (const Hop& h : path.hops) {
+    const Link& l = net.link(h.link);
+    cur = l.other(cur);
+    out.push_back(cur);
+  }
+  return out;
+}
+
+std::string describe_path(const Network& net, NodeId src, const PathResult& path) {
+  std::string out = net.node(src).name;
+  NodeId cur = src;
+  for (const Hop& h : path.hops) {
+    const Link& l = net.link(h.link);
+    cur = l.other(cur);
+    out += " -(" + std::to_string(static_cast<long long>(l.capacity_bps / 1e6)) + "Mb)-> ";
+    out += net.node(cur).name;
+  }
+  return out;
+}
+
+}  // namespace remos::net

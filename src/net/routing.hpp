@@ -1,0 +1,29 @@
+// L3 path inspection helpers over resolved forwarding paths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace remos::net {
+
+/// Bottleneck (minimum) link capacity along a path, in bits/second.
+/// Shared (hub) segments are included: their shared capacity caps every hop
+/// inside them. Returns +inf for an empty path.
+[[nodiscard]] double bottleneck_capacity(const Network& net, const PathResult& path);
+
+/// Total propagation latency along a path, in seconds.
+[[nodiscard]] double path_latency(const Network& net, const PathResult& path);
+
+/// The IP addresses of the routers a path traverses (a traceroute view).
+[[nodiscard]] std::vector<Ipv4Address> trace_route(const Network& net, const PathResult& path);
+
+/// Human-readable "hostA -(cap)-> sw1 -> rtr1 -> hostB" description.
+[[nodiscard]] std::string describe_path(const Network& net, NodeId src, const PathResult& path);
+
+/// All node ids a path traverses (excluding endpoints' own ids only when
+/// absent from hops), in traversal order starting with `src`.
+[[nodiscard]] std::vector<NodeId> path_nodes(const Network& net, NodeId src, const PathResult& path);
+
+}  // namespace remos::net

@@ -1,0 +1,648 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+namespace remos::net {
+namespace {
+
+/// Locally administered MAC derived from the node id.
+std::uint64_t synth_mac(NodeId id) { return 0x020000000000ull | id; }
+
+/// Smallest power of two >= n.
+std::uint32_t next_pow2(std::uint32_t n) {
+  std::uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kHost: return "host";
+    case NodeKind::kRouter: return "router";
+    case NodeKind::kSwitch: return "switch";
+    case NodeKind::kHub: return "hub";
+  }
+  return "?";
+}
+
+Interface* Node::find_interface(std::uint32_t ifindex) {
+  for (auto& ifc : interfaces) {
+    if (ifc.ifindex == ifindex) return &ifc;
+  }
+  return nullptr;
+}
+
+const Interface* Node::find_interface(std::uint32_t ifindex) const {
+  return const_cast<Node*>(this)->find_interface(ifindex);
+}
+
+Ipv4Address Node::primary_address() const {
+  for (const auto& ifc : interfaces) {
+    if (!ifc.addr.is_zero()) return ifc.addr;
+  }
+  return mgmt_addr;
+}
+
+Network::Network(std::string name) : name_(std::move(name)) {}
+
+NodeId Network::add_node(NodeKind kind, std::string name) {
+  if (finalized_) throw std::logic_error("Network: cannot add nodes after finalize()");
+  if (by_name_.contains(name)) throw std::invalid_argument("Network: duplicate node name " + name);
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.id = id;
+  n.kind = kind;
+  n.name = name;
+  n.mac = synth_mac(id);
+  n.snmp_enabled = (kind == NodeKind::kRouter || kind == NodeKind::kSwitch);
+  by_name_.emplace(std::move(name), id);
+  by_mac_.emplace(n.mac, id);
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+NodeId Network::add_host(std::string name) { return add_node(NodeKind::kHost, std::move(name)); }
+NodeId Network::add_router(std::string name) { return add_node(NodeKind::kRouter, std::move(name)); }
+NodeId Network::add_switch(std::string name) { return add_node(NodeKind::kSwitch, std::move(name)); }
+
+NodeId Network::add_hub(std::string name, double shared_capacity_bps) {
+  NodeId id = add_node(NodeKind::kHub, std::move(name));
+  nodes_[id].shared_capacity_bps = shared_capacity_bps;
+  nodes_[id].snmp_enabled = false;  // dumb hubs are unmanaged
+  return id;
+}
+
+std::uint32_t Network::add_interface(NodeId node_id, LinkId link, double capacity_bps) {
+  Node& n = nodes_.at(node_id);
+  Interface ifc;
+  ifc.ifindex = static_cast<std::uint32_t>(n.interfaces.size()) + 1;
+  ifc.link = link;
+  ifc.speed_bps = static_cast<std::uint64_t>(capacity_bps);
+  ifc.descr = n.name + "/eth" + std::to_string(ifc.ifindex - 1);
+  n.interfaces.push_back(std::move(ifc));
+  return n.interfaces.back().ifindex;
+}
+
+LinkId Network::connect(NodeId a, NodeId b, double capacity_bps, double latency_s) {
+  if (finalized_) throw std::logic_error("Network: cannot add links after finalize()");
+  if (a == b) throw std::invalid_argument("Network: self-link");
+  if (a >= nodes_.size() || b >= nodes_.size()) throw std::out_of_range("Network: bad node id");
+  if (capacity_bps <= 0) throw std::invalid_argument("Network: capacity must be positive");
+  LinkId id = static_cast<LinkId>(links_.size());
+  Link l;
+  l.id = id;
+  l.a = a;
+  l.b = b;
+  l.capacity_bps = capacity_bps;
+  l.latency_s = latency_s;
+  l.a_if = add_interface(a, id, capacity_bps);
+  l.b_if = add_interface(b, id, capacity_bps);
+  links_.push_back(l);
+  return id;
+}
+
+void Network::set_gateway(NodeId host, NodeId router) {
+  nodes_.at(host).gateway = router;
+}
+
+void Network::set_snmp(NodeId node_id, bool enabled, std::string community) {
+  Node& n = nodes_.at(node_id);
+  n.snmp_enabled = enabled;
+  n.snmp_community = std::move(community);
+}
+
+// ---------------------------------------------------------------------------
+// finalize
+// ---------------------------------------------------------------------------
+
+void Network::finalize(Ipv4Prefix site_prefix) {
+  if (finalized_) throw std::logic_error("Network: finalize() called twice");
+  compute_segments();
+  assign_subnets(site_prefix);
+  build_spanning_trees();
+  build_fdbs();
+  assign_gateways();
+  build_routing_tables();
+  finalized_ = true;
+}
+
+void Network::compute_segments() {
+  // Union-find over links: links sharing a switch/hub endpoint belong to one
+  // L2 segment; a point-to-point link between L3 devices is its own segment.
+  std::vector<LinkId> parent(links_.size());
+  std::iota(parent.begin(), parent.end(), 0u);
+  auto find = [&](LinkId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](LinkId x, LinkId y) { parent[find(x)] = find(y); };
+
+  for (const Node& n : nodes_) {
+    if (n.kind != NodeKind::kSwitch && n.kind != NodeKind::kHub) continue;
+    LinkId first = kNone;
+    for (const auto& ifc : n.interfaces) {
+      if (ifc.link == kNone) continue;
+      if (first == kNone) {
+        first = ifc.link;
+      } else {
+        unite(first, ifc.link);
+      }
+    }
+  }
+
+  std::unordered_map<LinkId, SegmentId> root_to_segment;
+  segments_.clear();
+  for (Link& l : links_) {
+    LinkId root = find(l.id);
+    auto [it, inserted] = root_to_segment.try_emplace(root, static_cast<SegmentId>(segments_.size()));
+    if (inserted) {
+      Segment s;
+      s.id = it->second;
+      segments_.push_back(std::move(s));
+    }
+    l.segment = it->second;
+    segments_[it->second].links.push_back(l.id);
+  }
+
+  // Fill per-segment membership.
+  for (Segment& s : segments_) {
+    std::vector<bool> seen(nodes_.size(), false);
+    for (LinkId lid : s.links) {
+      const Link& l = links_[lid];
+      for (auto [node_id, ifidx] : {std::pair{l.a, l.a_if}, std::pair{l.b, l.b_if}}) {
+        const Node& n = nodes_[node_id];
+        if (n.kind == NodeKind::kSwitch || n.kind == NodeKind::kHub) {
+          if (!seen[node_id]) {
+            seen[node_id] = true;
+            s.bridges.push_back(node_id);
+            if (n.kind == NodeKind::kHub) {
+              s.shared = true;
+              s.shared_capacity_bps = s.shared ? std::max(s.shared_capacity_bps, 0.0) : 0.0;
+              if (s.shared_capacity_bps == 0.0 || n.shared_capacity_bps < s.shared_capacity_bps) {
+                s.shared_capacity_bps = n.shared_capacity_bps;
+              }
+            }
+          }
+        } else {
+          s.attachments.emplace_back(node_id, ifidx);
+        }
+      }
+    }
+    std::sort(s.bridges.begin(), s.bridges.end());
+    std::sort(s.attachments.begin(), s.attachments.end());
+  }
+}
+
+void Network::assign_subnets(Ipv4Prefix site_prefix) {
+  // Bump allocator with power-of-two alignment inside the site prefix.
+  std::uint32_t cursor = site_prefix.base().value();
+  const std::uint32_t limit = cursor + (site_prefix.length() == 0
+                                            ? ~0u
+                                            : (1u << (32 - site_prefix.length())) - 1);
+  for (Segment& s : segments_) {
+    // Hosts/routers plus a management address per switch, net+bcast+slack.
+    const auto needed =
+        static_cast<std::uint32_t>(s.attachments.size() + s.bridges.size()) + 3;
+    const std::uint32_t size = std::max<std::uint32_t>(next_pow2(needed), 4);
+    // Align cursor up to the block size.
+    cursor = (cursor + size - 1) & ~(size - 1);
+    if (cursor + size - 1 > limit) {
+      throw std::runtime_error("Network: site prefix exhausted while assigning subnets");
+    }
+    int prefix_len = 32;
+    for (std::uint32_t v = size; v > 1; v >>= 1) --prefix_len;
+    s.prefix = Ipv4Prefix(Ipv4Address(cursor), prefix_len);
+    std::uint32_t host_index = 1;
+    for (auto [node_id, ifidx] : s.attachments) {
+      Interface* ifc = nodes_[node_id].find_interface(ifidx);
+      assert(ifc != nullptr);
+      ifc->addr = s.prefix.host(host_index++);
+      by_ip_.emplace(ifc->addr, node_id);
+    }
+    for (NodeId bridge : s.bridges) {
+      Node& b = nodes_[bridge];
+      if (b.kind == NodeKind::kSwitch && b.mgmt_addr.is_zero()) {
+        b.mgmt_addr = s.prefix.host(host_index++);
+        by_ip_.emplace(b.mgmt_addr, bridge);
+      }
+    }
+    cursor += size;
+  }
+}
+
+void Network::build_spanning_trees() {
+  // Per segment: BFS tree over the bridge-bridge subgraph rooted at the
+  // lowest-id bridge; every non-tree bridge-bridge link is blocked.
+  for (Segment& s : segments_) {
+    if (s.bridges.size() < 2) continue;
+    std::unordered_map<NodeId, std::vector<LinkId>> adj;
+    for (LinkId lid : s.links) {
+      const Link& l = links_[lid];
+      const bool a_bridge = nodes_[l.a].kind == NodeKind::kSwitch || nodes_[l.a].kind == NodeKind::kHub;
+      const bool b_bridge = nodes_[l.b].kind == NodeKind::kSwitch || nodes_[l.b].kind == NodeKind::kHub;
+      if (a_bridge && b_bridge) {
+        adj[l.a].push_back(lid);
+        adj[l.b].push_back(lid);
+      }
+    }
+    for (auto& [node_id, lids] : adj) std::sort(lids.begin(), lids.end());
+
+    std::unordered_map<NodeId, bool> visited;
+    std::vector<LinkId> tree;
+    std::deque<NodeId> frontier{s.bridges.front()};
+    visited[s.bridges.front()] = true;
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop_front();
+      for (LinkId lid : adj[u]) {
+        NodeId v = links_[lid].other(u);
+        if (!visited[v]) {
+          visited[v] = true;
+          tree.push_back(lid);
+          frontier.push_back(v);
+        }
+      }
+    }
+    std::sort(tree.begin(), tree.end());
+    for (LinkId lid : s.links) {
+      const Link& l = links_[lid];
+      const bool a_bridge = nodes_[l.a].kind != NodeKind::kHost && nodes_[l.a].kind != NodeKind::kRouter;
+      const bool b_bridge = nodes_[l.b].kind != NodeKind::kHost && nodes_[l.b].kind != NodeKind::kRouter;
+      if (a_bridge && b_bridge && !std::binary_search(tree.begin(), tree.end(), lid)) {
+        links_[lid].forwarding = false;
+      }
+    }
+  }
+}
+
+void Network::build_fdbs() {
+  for (Segment& s : segments_) {
+    for (NodeId bridge : s.bridges) nodes_[bridge].fdb.clear();
+    for (NodeId bridge : s.bridges) {
+      Node& b = nodes_[bridge];
+      if (b.kind != NodeKind::kSwitch) continue;  // hubs have no FDB
+      // For each forwarding port, flood-fill the far side and record which
+      // endpoint MACs live behind it.
+      for (const auto& ifc : b.interfaces) {
+        if (ifc.link == kNone || !links_[ifc.link].forwarding) continue;
+        if (links_[ifc.link].segment != s.id) continue;
+        std::vector<bool> seen(nodes_.size(), false);
+        seen[bridge] = true;
+        std::deque<NodeId> frontier{links_[ifc.link].other(bridge)};
+        while (!frontier.empty()) {
+          NodeId u = frontier.front();
+          frontier.pop_front();
+          if (seen[u]) continue;
+          seen[u] = true;
+          const Node& un = nodes_[u];
+          if (un.kind == NodeKind::kHost || un.kind == NodeKind::kRouter) {
+            b.fdb[un.mac] = ifc.ifindex;
+            continue;  // L3 endpoints do not forward L2 frames
+          }
+          for (const auto& uifc : un.interfaces) {
+            if (uifc.link == kNone || !links_[uifc.link].forwarding) continue;
+            if (links_[uifc.link].segment != s.id) continue;
+            NodeId v = links_[uifc.link].other(u);
+            if (!seen[v]) frontier.push_back(v);
+          }
+        }
+      }
+    }
+  }
+}
+
+void Network::assign_gateways() {
+  for (Node& n : nodes_) {
+    if (n.kind != NodeKind::kHost || n.gateway != kNone) continue;
+    // Pick the lowest-id router sharing a segment with the host.
+    NodeId best = kNone;
+    for (const auto& ifc : n.interfaces) {
+      SegmentId sid = segment_of(n.id, ifc.ifindex);
+      if (sid == kNone) continue;
+      for (auto [att_node, att_if] : segments_[sid].attachments) {
+        (void)att_if;
+        if (nodes_[att_node].kind == NodeKind::kRouter && (best == kNone || att_node < best)) {
+          best = att_node;
+        }
+      }
+    }
+    n.gateway = best;
+  }
+}
+
+void Network::build_routing_tables() {
+  // Router-level graph: routers adjacent when they share a segment.
+  std::vector<NodeId> routers;
+  for (const Node& n : nodes_) {
+    if (n.kind == NodeKind::kRouter) routers.push_back(n.id);
+  }
+  // router -> list of (neighbor router, via segment)
+  std::unordered_map<NodeId, std::vector<std::pair<NodeId, SegmentId>>> adj;
+  for (const Segment& s : segments_) {
+    std::vector<NodeId> attached;
+    for (auto [node_id, ifidx] : s.attachments) {
+      (void)ifidx;
+      if (nodes_[node_id].kind == NodeKind::kRouter) attached.push_back(node_id);
+    }
+    for (NodeId u : attached) {
+      for (NodeId v : attached) {
+        if (u != v) adj[u].emplace_back(v, s.id);
+      }
+    }
+  }
+  for (auto& [r, neighbors] : adj) std::sort(neighbors.begin(), neighbors.end());
+
+  auto interface_in_segment = [&](NodeId router, SegmentId sid) -> const Interface* {
+    for (const auto& ifc : nodes_[router].interfaces) {
+      if (ifc.link != kNone && links_[ifc.link].segment == sid) return &ifc;
+    }
+    return nullptr;
+  };
+
+  for (NodeId r : routers) {
+    // BFS with parent tracking (hop-count metric, deterministic tie-break).
+    std::unordered_map<NodeId, std::pair<NodeId, SegmentId>> parent;  // child -> (parent, via)
+    std::unordered_map<NodeId, std::uint32_t> dist;
+    std::deque<NodeId> frontier{r};
+    dist[r] = 0;
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop_front();
+      for (auto [v, sid] : adj[u]) {
+        if (!dist.contains(v)) {
+          dist[v] = dist[u] + 1;
+          parent[v] = {u, sid};
+          frontier.push_back(v);
+        }
+      }
+    }
+    auto first_hop = [&](NodeId target) -> std::pair<NodeId, SegmentId> {
+      NodeId cur = target;
+      while (parent.at(cur).first != r) cur = parent.at(cur).first;
+      return {cur, parent.at(cur).second};
+    };
+
+    Node& rn = nodes_[r];
+    rn.routes.clear();
+    for (const Segment& s : segments_) {
+      if (const Interface* direct = interface_in_segment(r, s.id)) {
+        rn.routes.push_back(Route{s.prefix, Ipv4Address{}, direct->ifindex, 0});
+        continue;
+      }
+      // Nearest router attached to the segment.
+      NodeId best = kNone;
+      std::uint32_t best_dist = ~0u;
+      for (auto [node_id, ifidx] : s.attachments) {
+        (void)ifidx;
+        if (nodes_[node_id].kind != NodeKind::kRouter) continue;
+        auto it = dist.find(node_id);
+        if (it == dist.end()) continue;
+        if (it->second < best_dist || (it->second == best_dist && node_id < best)) {
+          best = node_id;
+          best_dist = it->second;
+        }
+      }
+      if (best == kNone) continue;  // segment unreachable from this router
+      auto [hop, via_segment] = first_hop(best);
+      const Interface* out = interface_in_segment(r, via_segment);
+      const Interface* hop_if = interface_in_segment(hop, via_segment);
+      assert(out != nullptr && hop_if != nullptr);
+      rn.routes.push_back(Route{s.prefix, hop_if->addr, out->ifindex, best_dist});
+    }
+    // ipRouteTable is indexed by destination prefix; keep it sorted.
+    std::sort(rn.routes.begin(), rn.routes.end(), [](const Route& x, const Route& y) {
+      return std::pair(x.dest.base().value(), x.dest.length()) <
+             std::pair(y.dest.base().value(), y.dest.length());
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lookup
+// ---------------------------------------------------------------------------
+
+Node& Network::node(NodeId id) { return nodes_.at(id); }
+const Node& Network::node(NodeId id) const { return nodes_.at(id); }
+Link& Network::link(LinkId id) { return links_.at(id); }
+const Link& Network::link(LinkId id) const { return links_.at(id); }
+Segment& Network::segment(SegmentId id) { return segments_.at(id); }
+const Segment& Network::segment(SegmentId id) const { return segments_.at(id); }
+
+NodeId Network::find_node(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNone : it->second;
+}
+
+NodeId Network::node_by_ip(Ipv4Address addr) const {
+  auto it = by_ip_.find(addr);
+  return it == by_ip_.end() ? kNone : it->second;
+}
+
+NodeId Network::node_by_mac(std::uint64_t mac) const {
+  auto it = by_mac_.find(mac);
+  return it == by_mac_.end() ? kNone : it->second;
+}
+
+SegmentId Network::segment_of(NodeId node_id, std::uint32_t ifindex) const {
+  const Interface* ifc = nodes_.at(node_id).find_interface(ifindex);
+  if (ifc == nullptr || ifc->link == kNone) return kNone;
+  return links_[ifc->link].segment;
+}
+
+const Route* Network::lookup_route(NodeId router, Ipv4Address dest) const {
+  const Node& r = nodes_.at(router);
+  const Route* best = nullptr;
+  for (const Route& route : r.routes) {
+    if (route.dest.contains(dest) && (best == nullptr || route.dest.length() > best->dest.length())) {
+      best = &route;
+    }
+  }
+  return best;
+}
+
+Interface& Network::ingress_interface(const Hop& hop) {
+  Link& l = links_.at(hop.link);
+  Node& n = nodes_[hop.forward ? l.b : l.a];
+  Interface* ifc = n.find_interface(hop.forward ? l.b_if : l.a_if);
+  assert(ifc != nullptr);
+  return *ifc;
+}
+
+Interface& Network::egress_interface(const Hop& hop) {
+  Link& l = links_.at(hop.link);
+  Node& n = nodes_[hop.forward ? l.a : l.b];
+  Interface* ifc = n.find_interface(hop.forward ? l.a_if : l.b_if);
+  assert(ifc != nullptr);
+  return *ifc;
+}
+
+// ---------------------------------------------------------------------------
+// path resolution
+// ---------------------------------------------------------------------------
+
+std::vector<Hop> Network::l2_path(NodeId from, NodeId to) const {
+  require_finalized("l2_path");
+  if (from == to) return {};
+  // Find the segment both endpoints attach to.
+  SegmentId shared = kNone;
+  for (const auto& ifc : nodes_.at(from).interfaces) {
+    SegmentId sid = segment_of(from, ifc.ifindex);
+    if (sid == kNone) continue;
+    const Segment& s = segments_[sid];
+    const bool to_in = std::any_of(
+        s.attachments.begin(), s.attachments.end(),
+        [&](const auto& att) { return att.first == to; });
+    const bool to_is_bridge = std::binary_search(s.bridges.begin(), s.bridges.end(), to);
+    if (to_in || to_is_bridge) {
+      shared = sid;
+      break;
+    }
+  }
+  if (shared == kNone) throw std::runtime_error("l2_path: endpoints share no segment");
+
+  // BFS over forwarding links of the segment, endpoints + bridges as vertices.
+  const Segment& s = segments_[shared];
+  std::unordered_map<NodeId, Hop> arrived_via;  // node -> hop used to reach it
+  std::unordered_map<NodeId, NodeId> prev;
+  std::deque<NodeId> frontier{from};
+  std::unordered_map<NodeId, bool> visited{{from, true}};
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop_front();
+    if (u == to) break;
+    // Endpoints other than `from` do not forward.
+    const Node& un = nodes_[u];
+    const bool is_endpoint = un.kind == NodeKind::kHost || un.kind == NodeKind::kRouter;
+    if (is_endpoint && u != from) continue;
+    for (const auto& ifc : un.interfaces) {
+      if (ifc.link == kNone) continue;
+      const Link& l = links_[ifc.link];
+      if (l.segment != s.id || !l.forwarding) continue;
+      NodeId v = l.other(u);
+      if (visited[v]) continue;
+      visited[v] = true;
+      arrived_via[v] = Hop{l.id, l.a == u};
+      prev[v] = u;
+      frontier.push_back(v);
+    }
+  }
+  if (!visited[to]) throw std::runtime_error("l2_path: no L2 path (blocked links?)");
+  std::vector<Hop> hops;
+  for (NodeId cur = to; cur != from; cur = prev.at(cur)) hops.push_back(arrived_via.at(cur));
+  std::reverse(hops.begin(), hops.end());
+  return hops;
+}
+
+PathResult Network::resolve_path(NodeId src, NodeId dst) const {
+  require_finalized("resolve_path");
+  PathResult out;
+  if (src == dst) return out;
+  const Ipv4Address dst_ip = nodes_.at(dst).primary_address();
+  if (dst_ip.is_zero()) throw std::runtime_error("resolve_path: destination has no address");
+
+  auto append = [&](std::vector<Hop> hops) {
+    for (const Hop& h : hops) {
+      out.latency_s += links_[h.link].latency_s;
+      out.hops.push_back(h);
+    }
+  };
+
+  // Same-segment fast path (pure L2 delivery).
+  for (const auto& ifc : nodes_.at(src).interfaces) {
+    SegmentId sid = segment_of(src, ifc.ifindex);
+    if (sid == kNone) continue;
+    const Segment& s = segments_[sid];
+    if (std::any_of(s.attachments.begin(), s.attachments.end(),
+                    [&](const auto& att) { return att.first == dst; })) {
+      append(l2_path(src, dst));
+      return out;
+    }
+  }
+
+  // Walk the L3 forwarding chain.
+  NodeId current = src;
+  if (nodes_[src].kind == NodeKind::kHost) {
+    NodeId gw = nodes_[src].gateway;
+    if (gw == kNone) throw std::runtime_error("resolve_path: host " + nodes_[src].name + " has no gateway");
+    append(l2_path(src, gw));
+    out.routers.push_back(gw);
+    current = gw;
+  }
+  for (int guard = 0; guard < 64; ++guard) {
+    const Route* route = lookup_route(current, dst_ip);
+    if (route == nullptr) {
+      throw std::runtime_error("resolve_path: no route from " + nodes_[current].name + " to " +
+                               dst_ip.to_string());
+    }
+    if (route->next_hop.is_zero()) {
+      append(l2_path(current, dst));
+      return out;
+    }
+    NodeId next = node_by_ip(route->next_hop);
+    if (next == kNone) throw std::runtime_error("resolve_path: dangling next hop");
+    append(l2_path(current, next));
+    out.routers.push_back(next);
+    current = next;
+  }
+  throw std::runtime_error("resolve_path: routing loop detected");
+}
+
+// ---------------------------------------------------------------------------
+// dynamic reconfiguration
+// ---------------------------------------------------------------------------
+
+LinkId Network::move_host(NodeId host, NodeId new_switch, double capacity_bps, double latency_s) {
+  require_finalized("move_host");
+  Node& h = nodes_.at(host);
+  if (h.kind != NodeKind::kHost) throw std::invalid_argument("move_host: not a host");
+  if (h.interfaces.size() != 1 || h.interfaces[0].link == kNone) {
+    throw std::invalid_argument("move_host: host must be single-homed");
+  }
+  Link& l = links_[h.interfaces[0].link];
+  const NodeId old_attach = l.other(host);
+  if (old_attach == new_switch) return l.id;
+  const NodeKind target_kind = nodes_.at(new_switch).kind;
+  if (target_kind != NodeKind::kSwitch && target_kind != NodeKind::kHub) {
+    // Hubs model 802.11 access points: re-association is a host move onto
+    // the AP's shared medium.
+    throw std::invalid_argument("move_host: target is not a switch or hub");
+  }
+  const Segment& s = segments_[l.segment];
+  if (!std::binary_search(s.bridges.begin(), s.bridges.end(), new_switch)) {
+    throw std::invalid_argument("move_host: target switch in a different segment");
+  }
+
+  // Rewire the host's link end from the old device to the new switch.
+  const bool host_is_a = (l.a == host);
+  NodeId& far_node = host_is_a ? l.b : l.a;
+  std::uint32_t& far_if = host_is_a ? l.b_if : l.a_if;
+  // Detach the old port (it keeps existing but points at no link).
+  if (Interface* old_ifc = nodes_[far_node].find_interface(far_if)) old_ifc->link = kNone;
+  far_node = new_switch;
+  far_if = add_interface(new_switch, l.id, capacity_bps);
+  l.capacity_bps = capacity_bps;
+  l.latency_s = latency_s;
+
+  // The move changed which MACs live behind which ports: relearn the
+  // segment's forwarding databases (real bridges age entries out; we model
+  // the post-convergence state).
+  build_fdbs();
+  ++version_;
+  return l.id;
+}
+
+void Network::require_finalized(const char* what) const {
+  if (!finalized_) throw std::logic_error(std::string("Network: ") + what + " before finalize()");
+}
+
+}  // namespace remos::net

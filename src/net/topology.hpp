@@ -1,0 +1,225 @@
+// Network topology model: hosts, routers (L3), switches and hubs (L2),
+// duplex links, L2 segments (= IP subnets), interface octet counters.
+//
+// This is the ground-truth substrate that stands in for the paper's real
+// campus/WAN networks. SNMP agents (src/snmp) expose read-only views of
+// these structures; the fluid flow engine (net/flows) moves traffic over
+// them and advances the octet counters the SNMP Collector samples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "sim/time.hpp"
+
+namespace remos::net {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+using SegmentId = std::uint32_t;
+
+/// Sentinel for "no node / no link / no segment".
+inline constexpr std::uint32_t kNone = ~0u;
+
+enum class NodeKind : std::uint8_t {
+  kHost,    // end system; runs applications, no SNMP agent by default
+  kRouter,  // L3 forwarder; SNMP agent with ifTable + ipRouteTable
+  kSwitch,  // L2 bridge; SNMP agent with ifTable + Bridge-MIB
+  kHub,     // shared-Ethernet segment: all attached traffic shares one capacity
+};
+
+[[nodiscard]] const char* to_string(NodeKind kind);
+
+/// One routing-table entry on a router (mirrors SNMP ipRouteTable rows).
+struct Route {
+  Ipv4Prefix dest;
+  Ipv4Address next_hop{};     // 0.0.0.0 for directly connected subnets
+  std::uint32_t out_ifindex = 0;
+  std::uint32_t metric = 0;
+};
+
+struct Interface {
+  std::uint32_t ifindex = 0;  // 1-based, like SNMP ifIndex
+  LinkId link = kNone;
+  Ipv4Address addr{};         // zero for pure L2 ports
+  std::uint64_t speed_bps = 0;
+  std::uint64_t in_octets = 0;
+  std::uint64_t out_octets = 0;
+  std::string descr;
+};
+
+struct Node {
+  NodeId id = kNone;
+  NodeKind kind = NodeKind::kHost;
+  std::string name;
+  std::uint64_t mac = 0;  // synthesized locally administered address
+  std::vector<Interface> interfaces;
+
+  // SNMP manageability (routers/switches; hosts default to no agent).
+  bool snmp_enabled = false;
+  std::string snmp_community = "public";
+
+  // Hosts: default gateway (router NodeId); kNone when single-subnet.
+  NodeId gateway = kNone;
+
+  // Routers: forwarding table, filled by Network::finalize().
+  std::vector<Route> routes;
+
+  // Switches: forwarding database MAC -> ifindex, filled by finalize()
+  // and updated when hosts move (wireless handoff simulation).
+  std::unordered_map<std::uint64_t, std::uint32_t> fdb;
+
+  // Hubs: shared capacity of the collision domain.
+  double shared_capacity_bps = 0.0;
+
+  // Switches: management address (switch ports themselves carry no IP).
+  Ipv4Address mgmt_addr{};
+
+  [[nodiscard]] Interface* find_interface(std::uint32_t ifindex);
+  [[nodiscard]] const Interface* find_interface(std::uint32_t ifindex) const;
+  /// First interface with an IP address (management/primary address).
+  [[nodiscard]] Ipv4Address primary_address() const;
+};
+
+struct Link {
+  LinkId id = kNone;
+  NodeId a = kNone;
+  std::uint32_t a_if = 0;
+  NodeId b = kNone;
+  std::uint32_t b_if = 0;
+  double capacity_bps = 0.0;
+  double latency_s = 0.0;
+  SegmentId segment = kNone;
+  /// False when the L2 spanning tree blocked this switch-switch link.
+  bool forwarding = true;
+
+  [[nodiscard]] NodeId other(NodeId n) const { return n == a ? b : a; }
+};
+
+/// L2 broadcast domain; carries exactly one IP subnet.
+struct Segment {
+  SegmentId id = kNone;
+  Ipv4Prefix prefix{};
+  std::vector<LinkId> links;
+  std::vector<NodeId> bridges;  // switches and hubs in the segment
+  /// (node, ifindex) pairs of L3 endpoints attached to the segment.
+  std::vector<std::pair<NodeId, std::uint32_t>> attachments;
+  /// True when the segment contains a hub (shared Ethernet).
+  bool shared = false;
+  double shared_capacity_bps = 0.0;
+};
+
+/// One directed traversal of a link: forward means a -> b.
+struct Hop {
+  LinkId link = kNone;
+  bool forward = true;
+  friend bool operator==(const Hop&, const Hop&) = default;
+};
+
+/// A resolved src->dst forwarding path.
+struct PathResult {
+  std::vector<Hop> hops;
+  /// L3 devices traversed, in order, including neither endpoint.
+  std::vector<NodeId> routers;
+  double latency_s = 0.0;
+  [[nodiscard]] bool empty() const { return hops.empty(); }
+};
+
+class Network {
+ public:
+  explicit Network(std::string name = "net");
+
+  // ---- construction (before finalize) ----
+  NodeId add_host(std::string name);
+  NodeId add_router(std::string name);
+  NodeId add_switch(std::string name);
+  NodeId add_hub(std::string name, double shared_capacity_bps);
+  /// Connect two nodes with a full-duplex link.
+  LinkId connect(NodeId a, NodeId b, double capacity_bps, double latency_s = 0.0005);
+  /// Pin a host's default gateway (otherwise auto-selected at finalize).
+  void set_gateway(NodeId host, NodeId router);
+  /// Configure SNMP manageability (default: routers+switches enabled, "public").
+  void set_snmp(NodeId node, bool enabled, std::string community = "public");
+
+  /// Compute segments, assign subnets/addresses out of `site_prefix`,
+  /// build spanning trees + FDBs, and fill router routing tables.
+  /// Must be called exactly once, after which the topology is static
+  /// (except for explicit host moves).
+  void finalize(Ipv4Prefix site_prefix = *Ipv4Prefix::parse("10.0.0.0/8"));
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  // ---- dynamic reconfiguration (after finalize) ----
+  /// Detach a (single-homed) host from its current switch port and attach
+  /// it to `new_switch`, adding a fresh link. Models 802.11 re-association;
+  /// FDB entries along the segment are updated. Both switches must belong
+  /// to the same segment. Returns the new link id.
+  LinkId move_host(NodeId host, NodeId new_switch, double capacity_bps, double latency_s = 0.0005);
+
+  // ---- lookup ----
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] Link& link(LinkId id);
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] Segment& segment(SegmentId id);
+  [[nodiscard]] const Segment& segment(SegmentId id) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  [[nodiscard]] const std::vector<Segment>& segments() const { return segments_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] NodeId find_node(std::string_view name) const;  // kNone if absent
+  [[nodiscard]] NodeId node_by_ip(Ipv4Address addr) const;      // kNone if absent
+  [[nodiscard]] NodeId node_by_mac(std::uint64_t mac) const;    // kNone if absent
+  /// Segment a given (node, ifindex) attaches to; kNone for unlinked ports.
+  [[nodiscard]] SegmentId segment_of(NodeId node, std::uint32_t ifindex) const;
+
+  // ---- path resolution (ground truth; collectors must *discover* this) ----
+  /// Forwarding path between two L3 endpoints (hosts or routers).
+  /// Throws std::runtime_error when unroutable.
+  [[nodiscard]] PathResult resolve_path(NodeId src, NodeId dst) const;
+  /// L2 path between two attachment points within one segment.
+  [[nodiscard]] std::vector<Hop> l2_path(NodeId from, NodeId to) const;
+
+  /// Longest-prefix-match lookup in a router's table; nullptr if no route.
+  [[nodiscard]] const Route* lookup_route(NodeId router, Ipv4Address dest) const;
+
+  /// Interface at the receiving end of a hop.
+  [[nodiscard]] Interface& ingress_interface(const Hop& hop);
+  /// Interface at the sending end of a hop.
+  [[nodiscard]] Interface& egress_interface(const Hop& hop);
+
+  /// Monotonic counter bumped by any post-finalize reconfiguration
+  /// (move_host). Lets cached views (SNMP agents, collector caches)
+  /// detect staleness.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+ private:
+  NodeId add_node(NodeKind kind, std::string name);
+  std::uint32_t add_interface(NodeId node, LinkId link, double capacity_bps);
+  void compute_segments();
+  void assign_subnets(Ipv4Prefix site_prefix);
+  void build_spanning_trees();
+  void build_fdbs();
+  void assign_gateways();
+  void build_routing_tables();
+  void require_finalized(const char* what) const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<Segment> segments_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::unordered_map<Ipv4Address, NodeId> by_ip_;
+  std::unordered_map<std::uint64_t, NodeId> by_mac_;
+  bool finalized_ = false;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace remos::net

@@ -1,0 +1,135 @@
+#include "net/traffic.hpp"
+
+#include <stdexcept>
+
+namespace remos::net {
+
+// ---------------------------------------------------------------------------
+// OnOffSource
+// ---------------------------------------------------------------------------
+
+OnOffSource::OnOffSource(sim::Engine& engine, FlowEngine& flows, sim::Rng rng, Params params)
+    : engine_(engine), flows_(flows), rng_(rng), params_(params) {}
+
+OnOffSource::~OnOffSource() { stop(); }
+
+void OnOffSource::start() {
+  if (running_) return;
+  running_ = true;
+  pending_ = engine_.after(rng_.exponential(params_.mean_off_s), [this] { enter_on(); });
+}
+
+void OnOffSource::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != 0) {
+    engine_.cancel(pending_);
+    pending_ = 0;
+  }
+  if (flow_ != 0) {
+    flows_.stop(flow_);
+    flow_ = 0;
+  }
+}
+
+void OnOffSource::enter_on() {
+  if (!running_) return;
+  FlowSpec spec;
+  spec.src = params_.src;
+  spec.dst = params_.dst;
+  spec.demand_bps = params_.demand_bps;
+  flow_ = flows_.start(std::move(spec));
+  pending_ = engine_.after(rng_.exponential(params_.mean_on_s), [this] { enter_off(); });
+}
+
+void OnOffSource::enter_off() {
+  if (!running_) return;
+  if (flow_ != 0) {
+    flows_.stop(flow_);
+    flow_ = 0;
+  }
+  pending_ = engine_.after(rng_.exponential(params_.mean_off_s), [this] { enter_on(); });
+}
+
+// ---------------------------------------------------------------------------
+// PoissonSource
+// ---------------------------------------------------------------------------
+
+PoissonSource::PoissonSource(sim::Engine& engine, FlowEngine& flows, sim::Rng rng, Params params)
+    : engine_(engine), flows_(flows), rng_(rng), params_(params) {}
+
+PoissonSource::~PoissonSource() { stop(); }
+
+void PoissonSource::start() {
+  if (running_) return;
+  running_ = true;
+  pending_ = engine_.after(rng_.exponential(1.0 / params_.arrivals_per_s), [this] { arrival(); });
+}
+
+void PoissonSource::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != 0) {
+    engine_.cancel(pending_);
+    pending_ = 0;
+  }
+  // In-flight transfers drain on their own; the source only stops launching.
+}
+
+void PoissonSource::arrival() {
+  if (!running_) return;
+  FlowSpec spec;
+  spec.src = params_.src;
+  spec.dst = params_.dst;
+  spec.demand_bps = params_.demand_bps;
+  spec.bytes = static_cast<std::uint64_t>(rng_.pareto(params_.pareto_alpha, params_.min_bytes));
+  flows_.start(std::move(spec));
+  ++launched_;
+  pending_ = engine_.after(rng_.exponential(1.0 / params_.arrivals_per_s), [this] { arrival(); });
+}
+
+// ---------------------------------------------------------------------------
+// NetperfSession
+// ---------------------------------------------------------------------------
+
+NetperfSession::NetperfSession(sim::Engine& engine, FlowEngine& flows, NodeId src, NodeId dst,
+                               std::vector<NetperfBurst> bursts, double sample_interval_s)
+    : engine_(engine),
+      flows_(flows),
+      src_(src),
+      dst_(dst),
+      bursts_(std::move(bursts)),
+      sample_interval_s_(sample_interval_s) {}
+
+NetperfSession::~NetperfSession() {
+  if (sampler_ != 0) engine_.cancel_task(sampler_);
+}
+
+void NetperfSession::run() {
+  if (scheduled_) throw std::logic_error("NetperfSession::run called twice");
+  scheduled_ = true;
+  throughputs_.assign(bursts_.size(), 0.0);
+  for (std::size_t i = 0; i < bursts_.size(); ++i) {
+    const NetperfBurst& b = bursts_[i];
+    engine_.at(b.start, [this, i] {
+      FlowSpec spec;
+      spec.src = src_;
+      spec.dst = dst_;
+      spec.demand_bps = bursts_[i].demand_bps;
+      active_flow_ = flows_.start(std::move(spec));
+      const FlowId flow = active_flow_;
+      engine_.after(bursts_[i].duration_s, [this, i, flow] {
+        auto st = flows_.stats(flow);
+        flows_.stop(flow);
+        st = flows_.stats(flow);  // refresh: stop() finalizes delivered bytes
+        if (st) throughputs_[i] = st->average_bps();
+        if (active_flow_ == flow) active_flow_ = 0;
+      });
+    });
+  }
+  sampler_ = engine_.every(sample_interval_s_, [this] {
+    history_.add(engine_.now(), active_flow_ != 0 ? flows_.rate(active_flow_) : 0.0);
+  });
+}
+
+}  // namespace remos::net

@@ -1,0 +1,130 @@
+// Traffic generators driving the fluid flow engine: Markov on/off cross
+// traffic, Poisson arrivals of heavy-tailed transfers, and scripted
+// Netperf-style bursts (the ground-truth workload of Figs 4-5).
+#pragma once
+
+#include <vector>
+
+#include "net/flows.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace remos::net {
+
+/// Exponential on/off source: during "on" periods it runs one demand-capped
+/// unbounded flow from src to dst; silent during "off" periods.
+class OnOffSource {
+ public:
+  struct Params {
+    NodeId src = kNone;
+    NodeId dst = kNone;
+    double demand_bps = 1e6;
+    double mean_on_s = 5.0;
+    double mean_off_s = 5.0;
+  };
+
+  OnOffSource(sim::Engine& engine, FlowEngine& flows, sim::Rng rng, Params params);
+  ~OnOffSource();
+  OnOffSource(const OnOffSource&) = delete;
+  OnOffSource& operator=(const OnOffSource&) = delete;
+
+  /// Begin the on/off cycle (starts in the "off" state).
+  void start();
+  /// Stop generating (tears down any active flow).
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] bool in_on_period() const { return flow_ != 0; }
+
+ private:
+  void enter_on();
+  void enter_off();
+
+  sim::Engine& engine_;
+  FlowEngine& flows_;
+  sim::Rng rng_;
+  Params params_;
+  bool running_ = false;
+  FlowId flow_ = 0;
+  sim::EventId pending_ = 0;
+};
+
+/// Poisson flow arrivals with Pareto-distributed transfer sizes — the
+/// classic heavy-tailed WAN background-traffic model.
+class PoissonSource {
+ public:
+  struct Params {
+    NodeId src = kNone;
+    NodeId dst = kNone;
+    double arrivals_per_s = 0.5;
+    double pareto_alpha = 1.5;
+    double min_bytes = 50e3;
+    /// Per-flow demand cap (infinity = greedy).
+    double demand_bps = std::numeric_limits<double>::infinity();
+  };
+
+  PoissonSource(sim::Engine& engine, FlowEngine& flows, sim::Rng rng, Params params);
+  ~PoissonSource();
+  PoissonSource(const PoissonSource&) = delete;
+  PoissonSource& operator=(const PoissonSource&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t flows_launched() const { return launched_; }
+
+ private:
+  void arrival();
+
+  sim::Engine& engine_;
+  FlowEngine& flows_;
+  sim::Rng rng_;
+  Params params_;
+  bool running_ = false;
+  sim::EventId pending_ = 0;
+  std::uint64_t launched_ = 0;
+};
+
+/// One scripted traffic burst.
+struct NetperfBurst {
+  sim::Time start = 0.0;
+  double duration_s = 0.0;
+  /// Offered load; infinity = greedy TCP.
+  double demand_bps = std::numeric_limits<double>::infinity();
+};
+
+/// Scripted Netperf-like session between two endpoints. Runs each burst as
+/// a demand-capped flow, records the achieved rate per burst, and samples
+/// the instantaneous end-to-end rate on a fine grid — the "bandwidth
+/// reported by Netperf" series the paper plots against Remos (Figs 4-5).
+class NetperfSession {
+ public:
+  NetperfSession(sim::Engine& engine, FlowEngine& flows, NodeId src, NodeId dst,
+                 std::vector<NetperfBurst> bursts, double sample_interval_s = 0.5);
+  ~NetperfSession();
+  NetperfSession(const NetperfSession&) = delete;
+  NetperfSession& operator=(const NetperfSession&) = delete;
+
+  /// Schedule every burst (call once, before running the engine).
+  void run();
+
+  /// Achieved throughput per burst (bits/second), filled as bursts finish.
+  [[nodiscard]] const std::vector<double>& burst_throughputs() const { return throughputs_; }
+
+  /// Fine-grained ground-truth series of the session's instantaneous rate.
+  [[nodiscard]] const sim::MeasurementHistory& rate_history() const { return history_; }
+
+ private:
+  sim::Engine& engine_;
+  FlowEngine& flows_;
+  NodeId src_, dst_;
+  std::vector<NetperfBurst> bursts_;
+  double sample_interval_s_;
+  std::vector<double> throughputs_;
+  sim::MeasurementHistory history_{1 << 16};
+  FlowId active_flow_ = 0;
+  sim::TaskId sampler_ = 0;
+  bool scheduled_ = false;
+};
+
+}  // namespace remos::net

@@ -1,0 +1,55 @@
+#include "rps/evaluator.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace remos::rps {
+
+Evaluator::Evaluator(EvaluatorConfig config) : config_(config) {
+  if (config_.window == 0) throw std::invalid_argument("Evaluator: window must be > 0");
+}
+
+void Evaluator::note_prediction(double predicted_next) {
+  pending_ = true;
+  pending_prediction_ = predicted_next;
+}
+
+void Evaluator::observe(double actual) {
+  if (!pending_) return;  // nothing was predicted for this observation
+  pending_ = false;
+  errors_.push_back(actual - pending_prediction_);
+  if (errors_.size() > config_.window) errors_.pop_front();
+}
+
+double Evaluator::observed_mse() const {
+  if (errors_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double e : errors_) sum += e * e;
+  return sum / static_cast<double>(errors_.size());
+}
+
+double Evaluator::observed_bias() const {
+  if (errors_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double e : errors_) sum += e;
+  return sum / static_cast<double>(errors_.size());
+}
+
+bool Evaluator::needs_refit(double claimed_variance) const {
+  if (errors_.size() < config_.min_samples) return false;
+  if (claimed_variance <= 0.0) return observed_mse() > 0.0;
+  return observed_mse() > config_.tolerance * claimed_variance;
+}
+
+double Evaluator::calibration_ratio(double claimed_variance) const {
+  if (claimed_variance <= 0.0) return std::numeric_limits<double>::infinity();
+  return observed_mse() / claimed_variance;
+}
+
+void Evaluator::reset() {
+  pending_ = false;
+  errors_.clear();
+}
+
+}  // namespace remos::rps

@@ -1,0 +1,59 @@
+// Prediction-error evaluator.
+//
+// RPS continuously tests a fitted model against incoming measurements and
+// uses the result to (a) decide when the model must be refit and (b)
+// characterize the system's own prediction error — the property the paper
+// highlights as "usually quite accurate regardless of the data ... in large
+// part due to the feedback in the system".
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace remos::rps {
+
+struct EvaluatorConfig {
+  /// Sliding window of one-step errors to track.
+  std::size_t window = 64;
+  /// Refit when observed MSE exceeds `tolerance` x the model's own
+  /// claimed one-step variance.
+  double tolerance = 2.0;
+  /// Minimum tracked errors before a refit verdict is possible.
+  std::size_t min_samples = 16;
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(EvaluatorConfig config = {});
+
+  /// Record the prediction made for the *next* observation, then later the
+  /// actual value via observe(). The pair order is enforced.
+  void note_prediction(double predicted_next);
+  void observe(double actual);
+
+  /// Observed one-step mean squared error over the window.
+  [[nodiscard]] double observed_mse() const;
+  /// Observed mean error (bias) over the window.
+  [[nodiscard]] double observed_bias() const;
+  /// Number of (prediction, actual) pairs tracked.
+  [[nodiscard]] std::size_t sample_count() const { return errors_.size(); }
+
+  /// Verdict: does the observed error say the fit no longer holds?
+  /// `claimed_variance` is the model's own one-step error estimate.
+  [[nodiscard]] bool needs_refit(double claimed_variance) const;
+
+  /// Ratio observed MSE / claimed variance — ~1 when the model
+  /// characterizes its error well.
+  [[nodiscard]] double calibration_ratio(double claimed_variance) const;
+
+  void reset();
+
+ private:
+  EvaluatorConfig config_;
+  bool pending_ = false;
+  double pending_prediction_ = 0.0;
+  std::deque<double> errors_;
+};
+
+}  // namespace remos::rps

@@ -1,0 +1,114 @@
+#include "rps/multi_expert.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace remos::rps {
+
+MultiExpertPredictor::MultiExpertPredictor(std::vector<ModelSpec> experts,
+                                           MultiExpertConfig config)
+    : specs_(std::move(experts)), config_(config) {
+  if (specs_.empty()) throw std::invalid_argument("MultiExpertPredictor: need >= 1 expert");
+}
+
+void MultiExpertPredictor::prime(std::span<const double> history) {
+  experts_.clear();
+  for (const ModelSpec& spec : specs_) {
+    Expert e;
+    e.model = make_model(spec);
+    e.name = spec.to_string();
+    try {
+      e.model->fit(history);
+    } catch (const std::invalid_argument&) {
+      continue;  // not enough data for this expert's order: drop it
+    }
+    experts_.push_back(std::move(e));
+  }
+  last_best_ = 0;
+  switches_ = 0;
+}
+
+std::size_t MultiExpertPredictor::best_index() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < experts_.size(); ++i) {
+    if (experts_[i].error < experts_[best].error) best = i;
+  }
+  return best;
+}
+
+Prediction MultiExpertPredictor::push(double measurement) {
+  if (!primed()) throw std::logic_error("MultiExpertPredictor: push before prime");
+  for (Expert& e : experts_) {
+    if (e.has_pending) {
+      const double err = measurement - e.pending_prediction;
+      e.error = config_.error_decay * e.error + (1.0 - config_.error_decay) * err * err;
+    }
+    e.model->step(measurement);
+    const Prediction next = e.model->predict(1);
+    e.pending_prediction = next.mean.empty() ? measurement : next.mean[0];
+    e.has_pending = true;
+  }
+  const std::size_t best = best_index();
+  if (best != last_best_) {
+    ++switches_;
+    last_best_ = best;
+  }
+  return experts_[best].model->predict(config_.horizon);
+}
+
+Prediction MultiExpertPredictor::predict() const {
+  if (!primed()) throw std::logic_error("MultiExpertPredictor: predict before prime");
+  return experts_[best_index()].model->predict(config_.horizon);
+}
+
+std::string MultiExpertPredictor::best_expert() const {
+  if (!primed()) return {};
+  return experts_[best_index()].name;
+}
+
+namespace {
+
+/// Rough free-parameter count per model family (for AIC's 2k penalty).
+std::size_t parameter_count(const ModelSpec& spec) {
+  switch (spec.family) {
+    case ModelSpec::Family::kMean: return 1;
+    case ModelSpec::Family::kLast: return 1;
+    case ModelSpec::Family::kWindow: return 1;
+    case ModelSpec::Family::kAr: return spec.p + 1;
+    case ModelSpec::Family::kMa: return spec.q + 1;
+    case ModelSpec::Family::kArma: return spec.p + spec.q + 1;
+    case ModelSpec::Family::kArima: return spec.p + spec.q + 2;
+    case ModelSpec::Family::kFarima: return spec.p + spec.q + 2;
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::size_t select_model_aic(const std::vector<ModelSpec>& candidates,
+                             std::span<const double> data) {
+  if (candidates.empty()) throw std::invalid_argument("select_model_aic: no candidates");
+  std::size_t best = 0;
+  double best_aic = std::numeric_limits<double>::infinity();
+  const double n = static_cast<double>(data.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    double sigma2 = 0.0;
+    try {
+      auto model = make_model(candidates[i]);
+      model->fit(data);
+      sigma2 = model->one_step_variance();
+    } catch (const std::invalid_argument&) {
+      continue;  // infeasible candidate for this data length
+    }
+    // Guard degenerate zero-variance fits (constant data).
+    const double aic =
+        n * std::log(std::max(sigma2, 1e-12)) + 2.0 * static_cast<double>(parameter_count(candidates[i]));
+    if (aic < best_aic) {
+      best_aic = aic;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace remos::rps

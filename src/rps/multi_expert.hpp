@@ -1,0 +1,78 @@
+// NWS-style multi-expert predictor — the baseline the paper contrasts RPS
+// against: "the Network Weather Service uses similar feedback to decide
+// which of a set of models to use next in a variant of the multiple expert
+// machine learning approach."
+//
+// A panel of experts (one model each) runs in parallel on the measurement
+// stream; every prediction comes from the expert with the lowest recent
+// one-step error. Where RPS keeps one well-chosen model honest by refitting
+// it, NWS hedges across simple models and switches.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rps/models.hpp"
+
+namespace remos::rps {
+
+struct MultiExpertConfig {
+  /// Exponential forgetting factor for each expert's tracked error
+  /// (closer to 1 = longer memory).
+  double error_decay = 0.9;
+  std::size_t horizon = 30;
+};
+
+class MultiExpertPredictor {
+ public:
+  explicit MultiExpertPredictor(std::vector<ModelSpec> experts, MultiExpertConfig config = {});
+
+  /// Fit every expert on the history (experts whose model order exceeds
+  /// the data are dropped from the panel).
+  void prime(std::span<const double> history);
+  [[nodiscard]] bool primed() const { return !experts_.empty(); }
+
+  /// Feed one measurement: score every expert on its pending prediction,
+  /// step all of them, and return the current best expert's forecast.
+  Prediction push(double measurement);
+
+  /// Forecast from the current best expert without new data.
+  [[nodiscard]] Prediction predict() const;
+
+  /// Name of the currently winning expert.
+  [[nodiscard]] std::string best_expert() const;
+  /// How often the winner changed so far.
+  [[nodiscard]] std::uint64_t switches() const { return switches_; }
+  [[nodiscard]] std::size_t expert_count() const { return experts_.size(); }
+  /// Tracked (decayed) squared error of expert `i`.
+  [[nodiscard]] double expert_error(std::size_t i) const { return experts_.at(i).error; }
+  [[nodiscard]] const std::string& expert_name(std::size_t i) const {
+    return experts_.at(i).name;
+  }
+
+ private:
+  struct Expert {
+    std::unique_ptr<Model> model;
+    std::string name;
+    double error = 0.0;
+    double pending_prediction = 0.0;
+    bool has_pending = false;
+  };
+
+  [[nodiscard]] std::size_t best_index() const;
+
+  std::vector<ModelSpec> specs_;
+  MultiExpertConfig config_;
+  std::vector<Expert> experts_;
+  std::size_t last_best_ = 0;
+  std::uint64_t switches_ = 0;
+};
+
+/// Offline model selection by information criterion — the "system
+/// identification" question the paper flags as complex. Fits every
+/// candidate on `data`, scores AIC = n*ln(sigma2) + 2k (k = parameter
+/// count), and returns the index of the best candidate.
+[[nodiscard]] std::size_t select_model_aic(const std::vector<ModelSpec>& candidates,
+                                           std::span<const double> data);
+
+}  // namespace remos::rps

@@ -1,0 +1,62 @@
+#include "rps/predictor.hpp"
+
+#include <stdexcept>
+
+namespace remos::rps {
+
+StreamingPredictor::StreamingPredictor(ModelSpec spec, StreamingConfig config)
+    : spec_(spec), config_(config), evaluator_(config.evaluator) {}
+
+void StreamingPredictor::prime(std::span<const double> history) {
+  const std::size_t take = std::min(config_.fit_window, history.size());
+  buffer_.assign(history.end() - static_cast<std::ptrdiff_t>(take), history.end());
+  model_ = make_model(spec_);
+  model_->fit(buffer_);
+  evaluator_.reset();
+  refits_ = 1;
+}
+
+void StreamingPredictor::refit() {
+  auto fresh = make_model(spec_);
+  try {
+    fresh->fit(buffer_);
+  } catch (const std::invalid_argument&) {
+    return;  // buffer too short for the model order; keep the current fit
+  }
+  model_ = std::move(fresh);
+  evaluator_.reset();
+  ++refits_;
+}
+
+Prediction StreamingPredictor::push(double measurement) {
+  if (!primed()) throw std::logic_error("StreamingPredictor: push before prime");
+  ++steps_;
+  evaluator_.observe(measurement);
+  buffer_.push_back(measurement);
+  if (buffer_.size() > config_.fit_window) buffer_.erase(buffer_.begin());
+  model_->step(measurement);
+  if (config_.refit_on_error && evaluator_.needs_refit(model_->one_step_variance())) {
+    refit();
+  }
+  Prediction p = model_->predict(config_.horizon);
+  if (!p.mean.empty()) evaluator_.note_prediction(p.mean.front());
+  return p;
+}
+
+Prediction StreamingPredictor::predict() const {
+  if (!primed()) throw std::logic_error("StreamingPredictor: predict before prime");
+  return model_->predict(config_.horizon);
+}
+
+ClientServerPredictor::ClientServerPredictor(ModelSpec default_spec)
+    : default_spec_(default_spec) {}
+
+Prediction ClientServerPredictor::predict(const Request& request) const {
+  ++served_;
+  const ModelSpec spec = request.spec.value_or(default_spec_);
+  auto model = make_model(spec);
+  model->fit(request.history);
+  return model->predict(request.horizon);
+}
+
+}  // namespace remos::rps

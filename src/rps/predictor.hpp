@@ -1,0 +1,81 @@
+// The two RPS operating modes the paper describes (§2.3):
+//
+//  * StreamingPredictor — stateful: one model fit is amortized over many
+//    predictions; each new measurement is pushed through the fitted model
+//    (step/predict), with evaluator feedback triggering refits when the fit
+//    stops holding.
+//  * ClientServerPredictor — stateless: every request carries a measurement
+//    history, is fitted from scratch, and returns a vector of predictions.
+//    "The advantage of the client-server form is that it is stateless,
+//    while the advantage of the streaming mode is that a single model
+//    fitting operation can be amortized over multiple predictions."
+#pragma once
+
+#include <memory>
+
+#include "rps/evaluator.hpp"
+#include "rps/models.hpp"
+
+namespace remos::rps {
+
+struct StreamingConfig {
+  std::size_t horizon = 30;     // steps ahead per prediction
+  std::size_t fit_window = 600; // samples kept for refitting
+  EvaluatorConfig evaluator{};
+  bool refit_on_error = true;   // evaluator-driven refits
+};
+
+class StreamingPredictor {
+ public:
+  StreamingPredictor(ModelSpec spec, StreamingConfig config = {});
+
+  /// Initial fit from a measurement history (oldest first).
+  void prime(std::span<const double> history);
+  [[nodiscard]] bool primed() const { return model_ != nullptr && model_->fitted(); }
+
+  /// Feed one new measurement; returns the refreshed multi-step forecast.
+  Prediction push(double measurement);
+
+  /// Forecast from current state without new data.
+  [[nodiscard]] Prediction predict() const;
+
+  [[nodiscard]] const Evaluator& evaluator() const { return evaluator_; }
+  [[nodiscard]] std::size_t refit_count() const { return refits_; }
+  [[nodiscard]] const Model& model() const { return *model_; }
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+ private:
+  void refit();
+
+  ModelSpec spec_;
+  StreamingConfig config_;
+  std::unique_ptr<Model> model_;
+  Evaluator evaluator_;
+  std::vector<double> buffer_;
+  std::size_t refits_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+/// Stateless request/response prediction service: fit + predict per call.
+/// "the RPS request-response prediction system is stateless and computation
+/// happens only in direct response to queries."
+class ClientServerPredictor {
+ public:
+  explicit ClientServerPredictor(ModelSpec default_spec = ModelSpec::ar(16));
+
+  struct Request {
+    std::span<const double> history;
+    std::size_t horizon = 30;
+    /// Override the service's default model; nullopt = use default.
+    std::optional<ModelSpec> spec;
+  };
+
+  [[nodiscard]] Prediction predict(const Request& request) const;
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+ private:
+  ModelSpec default_spec_;
+  mutable std::uint64_t served_ = 0;
+};
+
+}  // namespace remos::rps

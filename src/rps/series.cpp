@@ -1,0 +1,107 @@
+#include "rps/series.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace remos::rps {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+std::vector<double> autocovariance(std::span<const double> xs, std::size_t max_lag) {
+  const std::size_t n = xs.size();
+  std::vector<double> out(max_lag + 1, 0.0);
+  if (n == 0) return out;
+  const double m = mean(xs);
+  for (std::size_t lag = 0; lag <= max_lag && lag < n; ++lag) {
+    double sum = 0.0;
+    for (std::size_t t = lag; t < n; ++t) sum += (xs[t] - m) * (xs[t - lag] - m);
+    out[lag] = sum / static_cast<double>(n);
+  }
+  return out;
+}
+
+std::vector<double> autocorrelation(std::span<const double> xs, std::size_t max_lag) {
+  std::vector<double> acov = autocovariance(xs, max_lag);
+  if (acov[0] <= 0.0) return std::vector<double>(max_lag + 1, 0.0);
+  std::vector<double> out(acov.size());
+  for (std::size_t i = 0; i < acov.size(); ++i) out[i] = acov[i] / acov[0];
+  out[0] = 1.0;
+  return out;
+}
+
+std::vector<double> difference(std::span<const double> xs, int d) {
+  std::vector<double> cur(xs.begin(), xs.end());
+  for (int k = 0; k < d; ++k) {
+    if (cur.size() < 2) return {};
+    std::vector<double> next(cur.size() - 1);
+    for (std::size_t i = 0; i + 1 < cur.size(); ++i) next[i] = cur[i + 1] - cur[i];
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+std::vector<double> integration_tails(std::span<const double> xs, int d) {
+  std::vector<double> tails;
+  tails.reserve(static_cast<std::size_t>(d));
+  std::vector<double> cur(xs.begin(), xs.end());
+  for (int k = 0; k < d; ++k) {
+    if (cur.empty()) throw std::invalid_argument("integration_tails: series too short");
+    tails.push_back(cur.back());
+    cur = difference(cur, 1);
+  }
+  return tails;
+}
+
+std::vector<double> integrate_forecast(std::span<const double> diff_forecast,
+                                       std::span<const double> tails) {
+  std::vector<double> cur(diff_forecast.begin(), diff_forecast.end());
+  // Integrate innermost difference first: walk tails from deepest to 0.
+  for (std::size_t level = tails.size(); level-- > 0;) {
+    double prev = tails[level];
+    for (double& v : cur) {
+      v += prev;
+      prev = v;
+    }
+  }
+  return cur;
+}
+
+std::vector<double> fractional_diff_coeffs(double d, std::size_t count) {
+  std::vector<double> pi(count, 0.0);
+  if (count == 0) return pi;
+  pi[0] = 1.0;
+  for (std::size_t j = 1; j < count; ++j) {
+    // pi_j = pi_{j-1} * (j - 1 - d) / j
+    pi[j] = pi[j - 1] * ((static_cast<double>(j) - 1.0 - d) / static_cast<double>(j));
+  }
+  return pi;
+}
+
+std::vector<double> fractional_difference(std::span<const double> xs, double d,
+                                          std::size_t window) {
+  const std::vector<double> pi = fractional_diff_coeffs(d, window);
+  std::vector<double> out(xs.size(), 0.0);
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    const std::size_t kmax = std::min(t + 1, window);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < kmax; ++k) sum += pi[k] * xs[t - k];
+    out[t] = sum;
+  }
+  return out;
+}
+
+}  // namespace remos::rps

@@ -1,0 +1,46 @@
+// Time-series primitives shared by the RPS predictive models: sample
+// moments, autocovariance, ordinary and fractional differencing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace remos::rps {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+/// Sample variance with n denominator (matches autocovariance(0)).
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Biased sample autocovariance at lags 0..max_lag (n denominator, the
+/// standard choice for Yule-Walker: keeps the Toeplitz matrix PSD).
+[[nodiscard]] std::vector<double> autocovariance(std::span<const double> xs, std::size_t max_lag);
+
+/// Autocorrelation at lags 0..max_lag (acf[0] == 1).
+[[nodiscard]] std::vector<double> autocorrelation(std::span<const double> xs, std::size_t max_lag);
+
+/// First difference applied `d` times; output length max(0, n - d).
+[[nodiscard]] std::vector<double> difference(std::span<const double> xs, int d);
+
+/// Undo `difference`: given the forecast of the d-times-differenced series
+/// and the last `d` "integration tails" of the original series, rebuild
+/// forecasts on the original scale.
+///
+/// `tails[k]` must hold the final value of the series differenced k times
+/// (k = 0..d-1).
+[[nodiscard]] std::vector<double> integrate_forecast(std::span<const double> diff_forecast,
+                                                     std::span<const double> tails);
+
+/// The last values needed by integrate_forecast for a given series/d.
+[[nodiscard]] std::vector<double> integration_tails(std::span<const double> xs, int d);
+
+/// Coefficients pi_j of the fractional differencing operator (1-B)^d,
+/// j = 0..count-1 (pi_0 = 1). Valid for any real d (negative d gives the
+/// inverse operator's psi weights).
+[[nodiscard]] std::vector<double> fractional_diff_coeffs(double d, std::size_t count);
+
+/// Apply the truncated fractional differencing filter (window `window`).
+[[nodiscard]] std::vector<double> fractional_difference(std::span<const double> xs, double d,
+                                                        std::size_t window = 100);
+
+}  // namespace remos::rps

@@ -1,0 +1,37 @@
+#include "rps/shared_cache.hpp"
+
+#include <stdexcept>
+
+namespace remos::rps {
+
+SharedPredictionCache::SharedPredictionCache(double ttl_s, std::function<double()> now)
+    : ttl_s_(ttl_s), now_(std::move(now)) {
+  if (!now_) throw std::invalid_argument("SharedPredictionCache: time source required");
+}
+
+const Prediction* SharedPredictionCache::peek(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  if (now_() - it->second.computed_at > ttl_s_) return nullptr;
+  return &it->second.prediction;
+}
+
+const Prediction& SharedPredictionCache::get_or_compute(
+    const std::string& key, const std::function<Prediction()>& compute) {
+  auto it = entries_.find(key);
+  if (it != entries_.end() && now_() - it->second.computed_at <= ttl_s_) {
+    ++hits_;
+    return it->second.prediction;
+  }
+  ++misses_;
+  Entry entry{compute(), now_()};
+  auto [pos, inserted] = entries_.insert_or_assign(key, std::move(entry));
+  (void)inserted;
+  return pos->second.prediction;
+}
+
+void SharedPredictionCache::invalidate(const std::string& key) { entries_.erase(key); }
+
+void SharedPredictionCache::clear() { entries_.clear(); }
+
+}  // namespace remos::rps

@@ -1,0 +1,57 @@
+// Shared prediction cache — the paper's §6.2 open issue: "an evaluation of
+// techniques for caching and sharing of prediction results".
+//
+// Multiple consumers asking about the same resource within a short window
+// (e.g. every student's video client probing the same mirror list) should
+// not each pay a model fit. The cache keys predictions by resource id and
+// serves them until a TTL expires or the owner invalidates them; hit/miss
+// accounting supports the ablation study.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "rps/models.hpp"
+
+namespace remos::rps {
+
+class SharedPredictionCache {
+ public:
+  /// `now`: time source (simulated seconds in this repo).
+  SharedPredictionCache(double ttl_s, std::function<double()> now);
+
+  /// Return the cached prediction for `key` if fresh; otherwise run
+  /// `compute`, cache, and return its result.
+  const Prediction& get_or_compute(const std::string& key,
+                                   const std::function<Prediction()>& compute);
+
+  /// Fresh cached entry, or nullptr.
+  [[nodiscard]] const Prediction* peek(const std::string& key) const;
+
+  /// Drop one entry (a collector noticed the resource changed).
+  void invalidate(const std::string& key);
+  void clear();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] double hit_rate() const {
+    const double total = static_cast<double>(hits_ + misses_);
+    return total > 0 ? static_cast<double>(hits_) / total : 0.0;
+  }
+
+ private:
+  struct Entry {
+    Prediction prediction;
+    double computed_at = 0.0;
+  };
+
+  double ttl_s_;
+  std::function<double()> now_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace remos::rps

@@ -1,0 +1,89 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace remos::sim {
+
+struct Engine::PeriodicTask {
+  Duration period;
+  std::function<void()> fn;
+};
+
+EventId Engine::after(Duration delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId Engine::at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  return queue_.schedule(t, std::move(fn));
+}
+
+TaskId Engine::every(Duration period, std::function<void()> fn, Duration phase) {
+  if (period <= 0) throw std::invalid_argument("Engine::every: period must be > 0");
+  if (phase < 0) phase = period;
+  TaskId id = next_task_++;
+  auto task = std::make_shared<PeriodicTask>(PeriodicTask{period, std::move(fn)});
+  EventId ev = after(phase, [this, id] { fire_periodic(id); });
+  tasks_.emplace(id, std::make_pair(ev, std::move(task)));
+  return id;
+}
+
+void Engine::fire_periodic(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;  // cancelled between scheduling and firing
+  auto task = it->second.second;   // keep alive across the callback
+  // Reschedule before running so the task body can cancel itself.
+  it->second.first = after(task->period, [this, id] { fire_periodic(id); });
+  task->fn();
+}
+
+bool Engine::cancel_task(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return false;
+  queue_.cancel(it->second.first);
+  tasks_.erase(it);
+  return true;
+}
+
+std::size_t Engine::run_until(Time until) {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    Time t = queue_.next_time();
+    if (t > until) break;
+    auto ev = queue_.pop();
+    assert(ev.time >= now_ && "event queue went backwards");
+    now_ = ev.time;
+    ev.fn();
+    ++dispatched_;
+    ++fired;
+  }
+  if (until > now_ && until != kTimeNever) now_ = until;
+  return fired;
+}
+
+std::size_t Engine::run() {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    auto ev = queue_.pop();
+    assert(ev.time >= now_ && "event queue went backwards");
+    now_ = ev.time;
+    ev.fn();
+    ++dispatched_;
+    ++fired;
+  }
+  return fired;
+}
+
+void Engine::warp_to(Time t) {
+  if (t < now_) throw std::invalid_argument("Engine::warp_to: cannot move backwards");
+  if (queue_.next_time() < t) {
+    throw std::logic_error("Engine::warp_to: events pending before warp target");
+  }
+  now_ = t;
+}
+
+}  // namespace remos::sim

@@ -1,0 +1,80 @@
+// Discrete-event simulation engine: the single authority for simulated time
+// in a Remos simulation. Collectors, the fluid-flow network model, traffic
+// generators and SNMP latency accounting all advance time through it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace remos::sim {
+
+/// Handle for a periodic task registered with Engine::every().
+using TaskId = std::uint64_t;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time (seconds).
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now. Negative delays clamp
+  /// to "immediately" to tolerate floating-point underrun in callers.
+  EventId after(Duration delay, std::function<void()> fn);
+
+  /// Schedule `fn` at absolute time `at` (clamped to now).
+  EventId at(Time at, std::function<void()> fn);
+
+  /// Cancel a pending event. No-op for fired/unknown ids.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Register a periodic task firing every `period` seconds, first firing
+  /// at now()+`phase` (phase defaults to one period). The task keeps
+  /// rescheduling itself until cancelled with cancel_task().
+  TaskId every(Duration period, std::function<void()> fn, Duration phase = -1.0);
+
+  /// Stop a periodic task.
+  bool cancel_task(TaskId id);
+
+  /// Run until the event queue is empty or `until` is reached (the clock is
+  /// left at min(until, last event time); events at exactly `until` fire).
+  /// Returns the number of events dispatched.
+  std::size_t run_until(Time until);
+
+  /// Run every pending event (dangerous with periodic tasks; intended for
+  /// closed simulations). Returns events dispatched.
+  std::size_t run();
+
+  /// Advance the clock by `dt` seconds, firing everything due in between.
+  std::size_t advance(Duration dt) { return run_until(now_ + dt); }
+
+  /// Move the clock directly to `t` without dispatching events before it.
+  /// Only valid when nothing is scheduled earlier than `t`; used by tests.
+  void warp_to(Time t);
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Total events dispatched since construction.
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct PeriodicTask;
+  void fire_periodic(TaskId id);
+
+  EventQueue queue_;
+  Time now_ = 0.0;
+  std::uint64_t dispatched_ = 0;
+  TaskId next_task_ = 1;
+  // TaskId -> current pending EventId (0 while the task body runs).
+  std::unordered_map<TaskId, std::pair<EventId, std::shared_ptr<PeriodicTask>>> tasks_;
+};
+
+}  // namespace remos::sim

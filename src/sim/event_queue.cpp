@@ -1,0 +1,64 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace remos::sim {
+
+EventId EventQueue::schedule(Time at, std::function<void()> fn) {
+  EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  auto [it, inserted] = cancelled_.insert(id);
+  (void)it;
+  if (inserted && live_ > 0) --live_;
+  return inserted;
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty()) {
+    auto found = cancelled_.find(heap_.top().id);
+    if (found == cancelled_.end()) break;
+    cancelled_.erase(found);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  // `live_` already excludes lazily-cancelled entries still in the heap.
+  return live_ == 0;
+}
+
+Time EventQueue::next_time() const {
+  // const_cast-free variant: scan past cancelled entries without popping is
+  // not possible with std::priority_queue, so we maintain the invariant that
+  // callers use pop()/empty() which compact; here we conservatively peek.
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled_head();
+  return heap_.empty() ? kTimeNever : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  // priority_queue::top() returns const&; the function object must be moved
+  // out, which is safe because we pop immediately afterwards.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, top.id, std::move(top.fn)};
+  heap_.pop();
+  --live_;
+  return fired;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  cancelled_.clear();
+  live_ = 0;
+}
+
+}  // namespace remos::sim

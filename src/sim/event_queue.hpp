@@ -1,0 +1,73 @@
+// Priority queue of timestamped events with stable FIFO ordering for
+// simultaneous events and O(log n) cancellation via handles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace remos::sim {
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+/// Min-heap of (time, sequence) ordered events.
+///
+/// Events scheduled for the same instant fire in scheduling order, which
+/// makes simulations deterministic. Cancellation is lazy: cancelled ids are
+/// remembered and skipped at pop time.
+class EventQueue {
+ public:
+  /// Schedule `fn` to run at absolute simulated time `at`.
+  EventId schedule(Time at, std::function<void()> fn);
+
+  /// Cancel a previously scheduled event. Cancelling an already-fired or
+  /// unknown id is a harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  /// True if no live events remain.
+  [[nodiscard]] bool empty() const;
+
+  /// Number of live (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Timestamp of the earliest live event; kTimeNever when empty.
+  [[nodiscard]] Time next_time() const;
+
+  /// Remove and return the earliest live event. Precondition: !empty().
+  struct Fired {
+    Time time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  Fired pop();
+
+  /// Drop every pending event.
+  void clear();
+
+ private:
+  struct Entry {
+    Time time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  void drop_cancelled_head();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace remos::sim

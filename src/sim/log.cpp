@@ -1,0 +1,38 @@
+#include "sim/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace remos::sim {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_out_mu;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(LogLevel level, std::string_view subsystem, std::string_view message) {
+  if (level < log_level()) return;
+  std::lock_guard lock(g_out_mu);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(subsystem.size()), subsystem.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace remos::sim

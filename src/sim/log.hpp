@@ -1,0 +1,43 @@
+// Minimal leveled logger. Quiet by default so tests and benches stay clean;
+// components tag messages with their subsystem name.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace remos::sim {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (thread-safe).
+void log_message(LogLevel level, std::string_view subsystem, std::string_view message);
+
+/// Convenience stream-style builder: LOG(kInfo, "snmp") << "walk " << oid;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view subsystem)
+      : level_(level), subsystem_(subsystem), enabled_(level >= log_level()) {}
+  ~LogLine() {
+    if (enabled_) log_message(level_, subsystem_, stream_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string subsystem_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace remos::sim
+
+#define REMOS_LOG(level, subsystem) ::remos::sim::LogLine(::remos::sim::LogLevel::level, subsystem)

@@ -1,0 +1,95 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+namespace remos::sim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// FNV-1a over the stream name: stable, portable stream derivation.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  for (auto& s : s_) s = splitmix64(seed);
+  // Avoid the all-zero state xoshiro cannot leave.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng Rng::fork(std::string_view name) const {
+  std::uint64_t mix = s_[0] ^ rotl(s_[2], 17) ^ fnv1a(name);
+  return Rng(mix);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (hi <= lo) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Modulo bias is < 2^-40 for the spans used here; acceptable for simulation.
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double Rng::pareto(double alpha, double xm) {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+}  // namespace remos::sim

@@ -1,0 +1,148 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace remos::sim {
+
+void RunningStats::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_), nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  if (buckets == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: need hi > lo and buckets > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // x just below hi_
+    ++counts_[idx];
+  }
+}
+
+double Histogram::bucket_low(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bucket_high(std::size_t i) const { return bucket_low(i) + width_; }
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target && underflow_ > 0) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_low(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+MeasurementHistory::MeasurementHistory(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+void MeasurementHistory::add(Time t, double value) {
+  if (samples_.size() == capacity_) samples_.pop_front();
+  samples_.push_back(Sample{t, value});
+}
+
+std::vector<double> MeasurementHistory::values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.value);
+  return out;
+}
+
+std::vector<Sample> MeasurementHistory::window(Time from, Time to) const {
+  std::vector<Sample> out;
+  for (const auto& s : samples_) {
+    if (s.time >= from && s.time <= to) out.push_back(s);
+  }
+  return out;
+}
+
+double MeasurementHistory::mean_over(Time from, Time to) const {
+  RunningStats rs;
+  for (const auto& s : samples_) {
+    if (s.time >= from && s.time <= to) rs.add(s.value);
+  }
+  return rs.mean();
+}
+
+std::vector<double> MeasurementHistory::last(std::size_t n) const {
+  n = std::min(n, samples_.size());
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = samples_.size() - n; i < samples_.size(); ++i) {
+    out.push_back(samples_[i].value);
+  }
+  return out;
+}
+
+std::string ascii_sparkline(const std::vector<double>& values) {
+  static const char* kLevels = " .:-=+*#%@";
+  if (values.empty()) return {};
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = (hi > lo) ? (hi - lo) : 1.0;
+  std::string out;
+  out.reserve(values.size());
+  for (double v : values) {
+    auto idx = static_cast<std::size_t>((v - lo) / span * 9.0);
+    idx = std::min<std::size_t>(idx, 9);
+    out.push_back(kLevels[idx]);
+  }
+  return out;
+}
+
+}  // namespace remos::sim

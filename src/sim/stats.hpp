@@ -1,0 +1,103 @@
+// Streaming statistics used throughout the Remos reproduction: Welford
+// running moments, fixed-bucket histograms, and time-stamped measurement
+// ring buffers (the history a collector keeps per monitored resource).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace remos::sim {
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Approximate quantile (linear interpolation within the bucket).
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double bucket_low(std::size_t i) const;
+  [[nodiscard]] double bucket_high(std::size_t i) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// One timestamped measurement.
+struct Sample {
+  Time time = 0.0;
+  double value = 0.0;
+  friend bool operator==(const Sample&, const Sample&) = default;
+};
+
+/// Bounded history of timestamped measurements, newest at the back.
+///
+/// This is the per-resource history collectors maintain (and, once the XML
+/// protocol transfers histories, what gets shipped to RPS for fitting).
+class MeasurementHistory {
+ public:
+  explicit MeasurementHistory(std::size_t capacity = 4096);
+
+  void add(Time t, double value);
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const Sample& at(std::size_t i) const { return samples_.at(i); }
+  [[nodiscard]] const Sample& latest() const { return samples_.back(); }
+
+  /// Values only, oldest first (what a time-series fitter consumes).
+  [[nodiscard]] std::vector<double> values() const;
+  /// Samples within [from, to], oldest first.
+  [[nodiscard]] std::vector<Sample> window(Time from, Time to) const;
+  /// Mean of values within [from, to]; 0 when the window is empty.
+  [[nodiscard]] double mean_over(Time from, Time to) const;
+  /// The last `n` values, oldest first (n clamped to size).
+  [[nodiscard]] std::vector<double> last(std::size_t n) const;
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Sample> samples_;
+};
+
+/// Render a crude ASCII sparkline of a series; used by benches to show the
+/// *shape* of a reproduced figure directly in terminal output.
+std::string ascii_sparkline(const std::vector<double>& values);
+
+}  // namespace remos::sim

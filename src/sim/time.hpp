@@ -1,0 +1,33 @@
+// Simulated-time representation for the Remos discrete-event kernel.
+//
+// Simulated time is a double counting seconds since simulation start. A
+// dedicated strong-ish alias (rather than a wrapper class) keeps arithmetic
+// natural for rate*dt style fluid-flow integration while still making
+// signatures self-documenting.
+#pragma once
+
+#include <limits>
+
+namespace remos::sim {
+
+/// Simulated time in seconds since simulation start.
+using Time = double;
+
+/// Duration in simulated seconds.
+using Duration = double;
+
+/// Sentinel meaning "never" / "no deadline".
+inline constexpr Time kTimeNever = std::numeric_limits<double>::infinity();
+
+/// Tolerance used when comparing simulated timestamps that were produced by
+/// accumulating floating-point increments.
+inline constexpr double kTimeEpsilon = 1e-9;
+
+/// True if two simulated timestamps are equal up to accumulation error.
+inline bool time_close(Time a, Time b, double eps = kTimeEpsilon) {
+  double diff = a - b;
+  if (diff < 0) diff = -diff;
+  return diff <= eps;
+}
+
+}  // namespace remos::sim

@@ -1,0 +1,115 @@
+#include "snmp/agent.hpp"
+
+namespace remos::snmp {
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kNoSuchName: return "noSuchName";
+    case Status::kEndOfMib: return "endOfMib";
+    case Status::kTimeout: return "timeout";
+    case Status::kAuthFailure: return "authFailure";
+  }
+  return "?";
+}
+
+Agent::Agent(const net::Network& net, net::NodeId node, sim::Rng rng, MibQuirks quirks)
+    : net_(net), node_(node), rng_(rng), quirks_(quirks) {
+  view_ = build_device_mib(net_, node_, quirks_);
+  built_at_version_ = net_.version();
+}
+
+void Agent::rebuild_if_stale() {
+  if (net_.version() != built_at_version_) {
+    view_ = build_device_mib(net_, node_, quirks_);
+    built_at_version_ = net_.version();
+  }
+}
+
+AgentResponse Agent::serve(std::string_view community, const Oid& oid, bool next) {
+  ++served_;
+  if (drop_probability > 0 && rng_.chance(drop_probability)) {
+    return AgentResponse{Status::kTimeout, {}, 0.0};
+  }
+  if (community != net_.node(node_).snmp_community) {
+    // Real agents silently ignore wrong-community requests; the client
+    // observes a timeout. We surface the cause for diagnosability but the
+    // client maps it to the same retry path.
+    return AgentResponse{Status::kAuthFailure, {}, 0.0};
+  }
+  rebuild_if_stale();
+  if (next) {
+    if (auto vb = view_.get_next(oid)) return AgentResponse{Status::kOk, *vb, response_latency_s};
+    return AgentResponse{Status::kEndOfMib, {}, response_latency_s};
+  }
+  if (auto vb = view_.get(oid)) return AgentResponse{Status::kOk, *vb, response_latency_s};
+  return AgentResponse{Status::kNoSuchName, {}, response_latency_s};
+}
+
+AgentResponse Agent::get(std::string_view community, const Oid& oid) {
+  return serve(community, oid, /*next=*/false);
+}
+
+AgentResponse Agent::get_next(std::string_view community, const Oid& oid) {
+  return serve(community, oid, /*next=*/true);
+}
+
+BulkResponse Agent::get_bulk(std::string_view community, const Oid& oid,
+                             std::size_t max_repetitions) {
+  ++served_;
+  if (drop_probability > 0 && rng_.chance(drop_probability)) {
+    return BulkResponse{Status::kTimeout, {}, 0.0};
+  }
+  if (community != net_.node(node_).snmp_community) {
+    return BulkResponse{Status::kAuthFailure, {}, 0.0};
+  }
+  rebuild_if_stale();
+  BulkResponse resp;
+  resp.status = Status::kOk;
+  Oid cursor = oid;
+  for (std::size_t i = 0; i < max_repetitions; ++i) {
+    auto vb = view_.get_next(cursor);
+    if (!vb) {
+      resp.status = Status::kEndOfMib;
+      break;
+    }
+    cursor = vb->oid;
+    resp.vbs.push_back(std::move(*vb));
+  }
+  resp.latency_s = response_latency_s;
+  if (!resp.vbs.empty()) {
+    resp.latency_s += per_binding_latency_s * static_cast<double>(resp.vbs.size() - 1);
+  }
+  return resp;
+}
+
+AgentRegistry::AgentRegistry(const net::Network& net, sim::Rng rng) : net_(net), rng_(rng) {
+  for (const net::Node& n : net.nodes()) {
+    if (!n.snmp_enabled) continue;
+    const net::Ipv4Address addr = n.primary_address();
+    if (addr.is_zero()) continue;  // unaddressed device cannot be managed
+    by_node_.emplace(n.id, std::make_unique<Agent>(net_, n.id, rng_.fork(n.name)));
+    by_addr_.emplace(addr, n.id);
+  }
+}
+
+Agent* AgentRegistry::find(net::Ipv4Address addr) {
+  auto it = by_addr_.find(addr);
+  return it == by_addr_.end() ? nullptr : by_node_.at(it->second).get();
+}
+
+Agent* AgentRegistry::find_by_node(net::NodeId id) {
+  auto it = by_node_.find(id);
+  return it == by_node_.end() ? nullptr : it->second.get();
+}
+
+void AgentRegistry::configure(net::NodeId id, MibQuirks quirks, double drop_probability) {
+  auto it = by_node_.find(id);
+  if (it == by_node_.end()) return;
+  auto fresh = std::make_unique<Agent>(net_, id, rng_.fork(net_.node(id).name + "#cfg"), quirks);
+  fresh->drop_probability = drop_probability;
+  fresh->response_latency_s = it->second->response_latency_s;
+  it->second = std::move(fresh);
+}
+
+}  // namespace remos::snmp

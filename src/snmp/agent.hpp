@@ -1,0 +1,115 @@
+// Simulated SNMP agents and the site-wide agent registry.
+//
+// Every manageable device (router/switch with snmp_enabled) runs one agent
+// reachable at its primary IP address. Agents enforce community-string
+// authentication and can inject the failure modes the paper's §6.2 reports
+// from real deployments: agents that time out, and agents with non-standard
+// MIB coverage.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "net/flows.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+#include "snmp/mib.hpp"
+
+namespace remos::snmp {
+
+enum class Status {
+  kOk,
+  kNoSuchName,   // object absent (GET) — also GETNEXT walked off the MIB
+  kEndOfMib,
+  kTimeout,      // agent disabled, unreachable, or dropped the request
+  kAuthFailure,  // wrong community string
+};
+
+[[nodiscard]] const char* to_string(Status status);
+
+struct AgentResponse {
+  Status status = Status::kTimeout;
+  VarBind vb;
+  /// How long the exchange took (request latency; timeouts cost the
+  /// client's timeout budget instead, accounted by SnmpClient).
+  double latency_s = 0.0;
+};
+
+/// Response to an SNMPv2 GetBulk: up to max_repetitions successor bindings
+/// in one exchange.
+struct BulkResponse {
+  Status status = Status::kTimeout;
+  std::vector<VarBind> vbs;
+  double latency_s = 0.0;
+};
+
+class Agent {
+ public:
+  Agent(const net::Network& net, net::NodeId node, sim::Rng rng, MibQuirks quirks = {});
+
+  [[nodiscard]] AgentResponse get(std::string_view community, const Oid& oid);
+  [[nodiscard]] AgentResponse get_next(std::string_view community, const Oid& oid);
+  /// SNMPv2 GetBulk: up to `max_repetitions` lexicographic successors of
+  /// `oid` in a single round trip. Status kEndOfMib when the MIB ends
+  /// inside the batch (the collected rows are still returned).
+  [[nodiscard]] BulkResponse get_bulk(std::string_view community, const Oid& oid,
+                                      std::size_t max_repetitions);
+
+  [[nodiscard]] net::NodeId node_id() const { return node_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+  /// Per-request processing latency (simulated seconds).
+  double response_latency_s = 0.002;
+  /// Additional marshaling latency per binding beyond the first in a
+  /// GetBulk response — much cheaper than a full round trip per row.
+  double per_binding_latency_s = 0.0001;
+  /// Fraction of requests silently dropped (client sees a timeout).
+  double drop_probability = 0.0;
+
+ private:
+  AgentResponse serve(std::string_view community, const Oid& oid, bool next);
+  void rebuild_if_stale();
+
+  const net::Network& net_;
+  net::NodeId node_;
+  sim::Rng rng_;
+  MibQuirks quirks_;
+  MibView view_;
+  std::uint64_t built_at_version_ = 0;
+  std::uint64_t served_ = 0;
+};
+
+/// Deploys agents for every snmp_enabled node of a network and resolves
+/// them by management (primary) IP address. Holds an optional pre-read
+/// hook used to bring fluid-flow octet counters up to date before a sample
+/// is taken.
+class AgentRegistry {
+ public:
+  AgentRegistry(const net::Network& net, sim::Rng rng);
+
+  /// Wire counter synchronization (normally FlowEngine::sync).
+  void set_before_read(std::function<void()> hook) { before_read_ = std::move(hook); }
+
+  [[nodiscard]] Agent* find(net::Ipv4Address addr);
+  [[nodiscard]] Agent* find_by_node(net::NodeId id);
+
+  /// Invoke the pre-read hook (called by SnmpClient before each request).
+  void before_read() const {
+    if (before_read_) before_read_();
+  }
+
+  /// Apply quirks/failure knobs to one device's agent.
+  void configure(net::NodeId id, MibQuirks quirks, double drop_probability = 0.0);
+
+  [[nodiscard]] std::size_t agent_count() const { return by_node_.size(); }
+  [[nodiscard]] const net::Network& network() const { return net_; }
+
+ private:
+  const net::Network& net_;
+  sim::Rng rng_;
+  std::unordered_map<net::NodeId, std::unique_ptr<Agent>> by_node_;
+  std::unordered_map<net::Ipv4Address, net::NodeId> by_addr_;
+  std::function<void()> before_read_;
+};
+
+}  // namespace remos::snmp

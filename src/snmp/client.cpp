@@ -1,0 +1,117 @@
+#include "snmp/client.hpp"
+
+#include <algorithm>
+
+namespace remos::snmp {
+
+SnmpClient::SnmpClient(AgentRegistry& registry, ClientConfig config)
+    : registry_(registry), config_(config) {}
+
+ClientResult SnmpClient::request(net::Ipv4Address agent_addr, const std::string& community,
+                                 const Oid& oid, bool next) {
+  Agent* agent = registry_.find(agent_addr);
+  for (int attempt = 0; attempt <= config_.retries; ++attempt) {
+    ++requests_;
+    if (agent == nullptr) {
+      consumed_s_ += config_.timeout_s;
+      continue;
+    }
+    registry_.before_read();
+    AgentResponse r = next ? agent->get_next(community, oid) : agent->get(community, oid);
+    if (r.status == Status::kTimeout || r.status == Status::kAuthFailure) {
+      // Both look like silence on the wire: burn the timeout and retry.
+      consumed_s_ += config_.timeout_s;
+      if (attempt == config_.retries) return ClientResult{r.status, {}};
+      continue;
+    }
+    consumed_s_ += r.latency_s;
+    return ClientResult{r.status, std::move(r.vb)};
+  }
+  return ClientResult{Status::kTimeout, {}};
+}
+
+ClientResult SnmpClient::get(net::Ipv4Address agent, const std::string& community, const Oid& oid) {
+  return request(agent, community, oid, /*next=*/false);
+}
+
+ClientResult SnmpClient::get_next(net::Ipv4Address agent, const std::string& community,
+                                  const Oid& oid) {
+  return request(agent, community, oid, /*next=*/true);
+}
+
+std::vector<VarBind> SnmpClient::walk(net::Ipv4Address agent, const std::string& community,
+                                      const Oid& subtree, Status* status_out) {
+  std::vector<VarBind> out;
+  Oid cursor = subtree;
+  for (;;) {
+    ClientResult r = get_next(agent, community, cursor);
+    if (!r.ok()) {
+      if (status_out) {
+        *status_out = (r.status == Status::kEndOfMib) ? Status::kOk : r.status;
+      }
+      return out;
+    }
+    if (!subtree.is_prefix_of(r.vb.oid)) break;  // walked past the subtree
+    cursor = r.vb.oid;
+    out.push_back(std::move(r.vb));
+  }
+  if (status_out) *status_out = Status::kOk;
+  return out;
+}
+
+std::vector<VarBind> SnmpClient::walk_bulk(net::Ipv4Address agent_addr,
+                                           const std::string& community, const Oid& subtree,
+                                           Status* status_out, std::size_t max_repetitions) {
+  std::vector<VarBind> out;
+  Agent* agent = registry_.find(agent_addr);
+  Oid cursor = subtree;
+  for (;;) {
+    BulkResponse resp;
+    bool answered = false;
+    for (int attempt = 0; attempt <= config_.retries; ++attempt) {
+      ++requests_;
+      if (agent == nullptr) {
+        consumed_s_ += config_.timeout_s;
+        continue;
+      }
+      registry_.before_read();
+      resp = agent->get_bulk(community, cursor, max_repetitions);
+      if (resp.status == Status::kTimeout || resp.status == Status::kAuthFailure) {
+        consumed_s_ += config_.timeout_s;
+        continue;
+      }
+      consumed_s_ += resp.latency_s;
+      answered = true;
+      break;
+    }
+    if (!answered) {
+      if (status_out) *status_out = agent == nullptr ? Status::kTimeout : resp.status;
+      return out;
+    }
+    bool past_subtree = false;
+    for (VarBind& vb : resp.vbs) {
+      if (!subtree.is_prefix_of(vb.oid)) {
+        past_subtree = true;
+        break;
+      }
+      cursor = vb.oid;
+      out.push_back(std::move(vb));
+    }
+    if (past_subtree || resp.status == Status::kEndOfMib) break;
+  }
+  if (status_out) *status_out = Status::kOk;
+  return out;
+}
+
+void SnmpClient::parallel(std::span<const std::function<void()>> lanes) {
+  const double base = consumed_s_;
+  double max_end = base;
+  for (const auto& lane : lanes) {
+    consumed_s_ = base;
+    lane();
+    max_end = std::max(max_end, consumed_s_);
+  }
+  consumed_s_ = max_end;
+}
+
+}  // namespace remos::snmp

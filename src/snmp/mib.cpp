@@ -1,0 +1,116 @@
+#include "snmp/mib.hpp"
+
+#include "snmp/oids.hpp"
+
+namespace remos::snmp {
+
+void MibView::set(Oid oid, ValueFn fn) { objects_[std::move(oid)] = std::move(fn); }
+
+void MibView::set_const(Oid oid, Value value) {
+  objects_[std::move(oid)] = [v = std::move(value)] { return v; };
+}
+
+std::optional<VarBind> MibView::get(const Oid& oid) const {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return std::nullopt;
+  return VarBind{it->first, it->second()};
+}
+
+std::optional<VarBind> MibView::get_next(const Oid& oid) const {
+  auto it = objects_.upper_bound(oid);
+  if (it == objects_.end()) return std::nullopt;
+  return VarBind{it->first, it->second()};
+}
+
+namespace {
+
+/// Truncate a 64-bit octet count to Counter32 semantics (wraps at 2^32).
+Counter32 as_counter32(std::uint64_t octets) {
+  return Counter32{static_cast<std::uint32_t>(octets & 0xFFFFFFFFull)};
+}
+
+void add_system_group(MibView& view, const net::Network& net, net::NodeId id) {
+  const net::Node& n = net.node(id);
+  view.set_const(oids::kSysDescr,
+                 std::string("remos-sim ") + net::to_string(n.kind) + " " + n.name);
+  view.set_const(oids::kSysName, n.name);
+}
+
+void add_if_table(MibView& view, const net::Network& net, net::NodeId id,
+                  const MibQuirks& quirks) {
+  const net::Node& n = net.node(id);
+  view.set_const(oids::kIfNumber, static_cast<std::int64_t>(n.interfaces.size()));
+  for (const net::Interface& ifc : n.interfaces) {
+    const std::uint32_t idx = ifc.ifindex;
+    view.set_const(oids::kIfIndex.child(idx), static_cast<std::int64_t>(idx));
+    view.set_const(oids::kIfDescr.child(idx), ifc.descr);
+    view.set_const(oids::kIfType.child(idx), oids::kIfTypeEthernet);
+    if (!quirks.hide_if_speed) {
+      // ifSpeed is Gauge32 in bits/second; saturates like real agents do.
+      const std::uint64_t speed = ifc.speed_bps;
+      const std::uint32_t reported =
+          speed > 0xFFFFFFFFull ? 0xFFFFFFFFu : static_cast<std::uint32_t>(speed);
+      view.set_const(oids::kIfSpeed.child(idx), Gauge32{reported});
+    }
+    // Counters read live (and wrap) — the collector must difference them.
+    view.set(oids::kIfInOctets.child(idx), [&net, id, idx] {
+      return Value{as_counter32(net.node(id).find_interface(idx)->in_octets)};
+    });
+    view.set(oids::kIfOutOctets.child(idx), [&net, id, idx] {
+      return Value{as_counter32(net.node(id).find_interface(idx)->out_octets)};
+    });
+  }
+}
+
+void add_route_table(MibView& view, const net::Network& net, net::NodeId id,
+                     const MibQuirks& quirks) {
+  const net::Node& n = net.node(id);
+  for (const net::Route& r : n.routes) {
+    const Oid index = oids::ip_index(r.dest.base());
+    view.set_const(oids::kIpRouteDest.concat(index), r.dest.base());
+    view.set_const(oids::kIpRouteIfIndex.concat(index), static_cast<std::int64_t>(r.out_ifindex));
+    view.set_const(oids::kIpRouteNextHop.concat(index), r.next_hop);
+    view.set_const(oids::kIpRouteType.concat(index),
+                   r.next_hop.is_zero() ? oids::kRouteTypeDirect : oids::kRouteTypeIndirect);
+    if (!quirks.hide_route_mask) {
+      view.set_const(oids::kIpRouteMask.concat(index), net::Ipv4Address(r.dest.netmask()));
+    }
+  }
+}
+
+void add_bridge_mib(MibView& view, const net::Network& net, net::NodeId id) {
+  const net::Node& n = net.node(id);
+  view.set_const(oids::kDot1dBaseNumPorts, static_cast<std::int64_t>(n.interfaces.size()));
+  // Row keys are the MACs present at build time; the *port* values read
+  // live so host moves inside the segment show up without a rebuild.
+  for (const auto& [mac, port] : n.fdb) {
+    (void)port;
+    const Oid index = oids::mac_index(mac);
+    std::string mac_octets(6, '\0');
+    for (int i = 0; i < 6; ++i) {
+      mac_octets[static_cast<std::size_t>(i)] =
+          static_cast<char>((mac >> (40 - 8 * i)) & 0xFF);
+    }
+    view.set_const(oids::kDot1dTpFdbAddress.concat(index), std::move(mac_octets));
+    view.set(oids::kDot1dTpFdbPort.concat(index), [&net, id, mac = mac]() -> Value {
+      const auto& fdb = net.node(id).fdb;
+      auto it = fdb.find(mac);
+      return static_cast<std::int64_t>(it == fdb.end() ? 0 : it->second);
+    });
+    view.set_const(oids::kDot1dTpFdbStatus.concat(index), oids::kFdbStatusLearned);
+  }
+}
+
+}  // namespace
+
+MibView build_device_mib(const net::Network& net, net::NodeId id, const MibQuirks& quirks) {
+  MibView view;
+  add_system_group(view, net, id);
+  add_if_table(view, net, id, quirks);
+  const net::Node& n = net.node(id);
+  if (n.kind == net::NodeKind::kRouter) add_route_table(view, net, id, quirks);
+  if (n.kind == net::NodeKind::kSwitch) add_bridge_mib(view, net, id);
+  return view;
+}
+
+}  // namespace remos::snmp

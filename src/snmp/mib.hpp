@@ -1,0 +1,50 @@
+// MIB views: sorted OID -> value mappings served by simulated agents.
+//
+// Structure (the OID key set) is computed when a view is built; values are
+// evaluated lazily at read time so octet counters and forwarding-database
+// ports always reflect the live network state.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "net/topology.hpp"
+#include "snmp/value.hpp"
+
+namespace remos::snmp {
+
+class MibView {
+ public:
+  using ValueFn = std::function<Value()>;
+
+  /// Register an object. Later insertions of the same OID overwrite.
+  void set(Oid oid, ValueFn fn);
+  void set_const(Oid oid, Value value);
+
+  /// Exact lookup.
+  [[nodiscard]] std::optional<VarBind> get(const Oid& oid) const;
+  /// Lexicographically next object strictly after `oid`; nullopt at end.
+  [[nodiscard]] std::optional<VarBind> get_next(const Oid& oid) const;
+
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+
+ private:
+  std::map<Oid, ValueFn> objects_;
+};
+
+/// Options simulating non-standard/misconfigured agents (the portability
+/// hazards §6.2 reports: "network elements that were misconfigured or have
+/// non-standard features").
+struct MibQuirks {
+  bool hide_if_speed = false;    // agent omits the ifSpeed column
+  bool hide_route_mask = false;  // agent omits ipRouteMask (some old IOSes)
+};
+
+/// Build the full MIB view a device of the given kind exposes:
+/// system + interfaces for everything manageable; ipRouteTable for routers;
+/// Bridge-MIB for switches. Values read through `net` live.
+[[nodiscard]] MibView build_device_mib(const net::Network& net, net::NodeId id,
+                                       const MibQuirks& quirks = {});
+
+}  // namespace remos::snmp

@@ -1,0 +1,60 @@
+#include "snmp/oid.hpp"
+
+#include <charconv>
+
+namespace remos::snmp {
+
+std::optional<Oid> Oid::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  if (text.front() == '.') text.remove_prefix(1);  // tolerate leading dot
+  if (text.empty()) return std::nullopt;
+  std::vector<std::uint32_t> parts;
+  while (!text.empty()) {
+    std::uint32_t value = 0;
+    const char* begin = text.data();
+    const char* end = text.data() + text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin) return std::nullopt;
+    parts.push_back(value);
+    text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+    if (!text.empty()) {
+      if (text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+      if (text.empty()) return std::nullopt;  // trailing dot
+    }
+  }
+  return Oid(std::move(parts));
+}
+
+Oid Oid::child(std::uint32_t component) const {
+  std::vector<std::uint32_t> parts = parts_;
+  parts.push_back(component);
+  return Oid(std::move(parts));
+}
+
+Oid Oid::concat(const Oid& suffix) const {
+  std::vector<std::uint32_t> parts = parts_;
+  parts.insert(parts.end(), suffix.parts_.begin(), suffix.parts_.end());
+  return Oid(std::move(parts));
+}
+
+bool Oid::is_prefix_of(const Oid& other) const {
+  if (parts_.size() > other.parts_.size()) return false;
+  return std::equal(parts_.begin(), parts_.end(), other.parts_.begin());
+}
+
+Oid Oid::suffix_after(const Oid& prefix) const {
+  return Oid(std::vector<std::uint32_t>(parts_.begin() + static_cast<std::ptrdiff_t>(prefix.size()),
+                                        parts_.end()));
+}
+
+std::string Oid::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(parts_[i]);
+  }
+  return out;
+}
+
+}  // namespace remos::snmp

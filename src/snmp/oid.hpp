@@ -1,0 +1,49 @@
+// SNMP object identifiers with the lexicographic ordering GETNEXT depends on.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace remos::snmp {
+
+class Oid {
+ public:
+  Oid() = default;
+  Oid(std::initializer_list<std::uint32_t> parts) : parts_(parts) {}
+  explicit Oid(std::vector<std::uint32_t> parts) : parts_(std::move(parts)) {}
+
+  /// Parse dotted numeric form ("1.3.6.1.2.1"); nullopt on malformed input.
+  static std::optional<Oid> parse(std::string_view text);
+
+  [[nodiscard]] std::size_t size() const { return parts_.size(); }
+  [[nodiscard]] bool empty() const { return parts_.empty(); }
+  [[nodiscard]] std::uint32_t operator[](std::size_t i) const { return parts_[i]; }
+  [[nodiscard]] const std::vector<std::uint32_t>& parts() const { return parts_; }
+
+  /// New OID with one extra component.
+  [[nodiscard]] Oid child(std::uint32_t component) const;
+  /// New OID with another OID appended (table row indexing).
+  [[nodiscard]] Oid concat(const Oid& suffix) const;
+  /// True when this OID is a (non-strict) prefix of `other`.
+  [[nodiscard]] bool is_prefix_of(const Oid& other) const;
+  /// Components after a given prefix (precondition: prefix.is_prefix_of(*this)).
+  [[nodiscard]] Oid suffix_after(const Oid& prefix) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Oid& a, const Oid& b) {
+    // Lexicographic component order — the SNMP GETNEXT traversal order.
+    return a.parts_ <=> b.parts_;
+  }
+  friend bool operator==(const Oid&, const Oid&) = default;
+
+ private:
+  std::vector<std::uint32_t> parts_;
+};
+
+}  // namespace remos::snmp

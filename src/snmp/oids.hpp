@@ -1,0 +1,79 @@
+// Well-known OIDs used by the Remos collectors (MIB-II and Bridge-MIB).
+#pragma once
+
+#include "net/ipv4.hpp"
+#include "snmp/oid.hpp"
+
+namespace remos::snmp::oids {
+
+// system group (1.3.6.1.2.1.1)
+inline const Oid kSysDescr{1, 3, 6, 1, 2, 1, 1, 1, 0};
+inline const Oid kSysName{1, 3, 6, 1, 2, 1, 1, 5, 0};
+
+// interfaces group (1.3.6.1.2.1.2)
+inline const Oid kIfNumber{1, 3, 6, 1, 2, 1, 2, 1, 0};
+inline const Oid kIfTableEntry{1, 3, 6, 1, 2, 1, 2, 2, 1};
+inline const Oid kIfIndex{1, 3, 6, 1, 2, 1, 2, 2, 1, 1};
+inline const Oid kIfDescr{1, 3, 6, 1, 2, 1, 2, 2, 1, 2};
+inline const Oid kIfType{1, 3, 6, 1, 2, 1, 2, 2, 1, 3};
+inline const Oid kIfSpeed{1, 3, 6, 1, 2, 1, 2, 2, 1, 5};
+inline const Oid kIfInOctets{1, 3, 6, 1, 2, 1, 2, 2, 1, 10};
+inline const Oid kIfOutOctets{1, 3, 6, 1, 2, 1, 2, 2, 1, 16};
+
+// ip group: ipRouteTable (1.3.6.1.2.1.4.21)
+inline const Oid kIpRouteEntry{1, 3, 6, 1, 2, 1, 4, 21, 1};
+inline const Oid kIpRouteDest{1, 3, 6, 1, 2, 1, 4, 21, 1, 1};
+inline const Oid kIpRouteIfIndex{1, 3, 6, 1, 2, 1, 4, 21, 1, 2};
+inline const Oid kIpRouteNextHop{1, 3, 6, 1, 2, 1, 4, 21, 1, 7};
+inline const Oid kIpRouteType{1, 3, 6, 1, 2, 1, 4, 21, 1, 8};
+inline const Oid kIpRouteMask{1, 3, 6, 1, 2, 1, 4, 21, 1, 11};
+
+// ipRouteType values
+inline constexpr std::int64_t kRouteTypeDirect = 3;
+inline constexpr std::int64_t kRouteTypeIndirect = 4;
+
+// ifType values
+inline constexpr std::int64_t kIfTypeEthernet = 6;
+
+// Bridge-MIB (1.3.6.1.2.1.17)
+inline const Oid kDot1dBaseNumPorts{1, 3, 6, 1, 2, 1, 17, 1, 2, 0};
+inline const Oid kDot1dTpFdbEntry{1, 3, 6, 1, 2, 1, 17, 4, 3, 1};
+inline const Oid kDot1dTpFdbAddress{1, 3, 6, 1, 2, 1, 17, 4, 3, 1, 1};
+inline const Oid kDot1dTpFdbPort{1, 3, 6, 1, 2, 1, 17, 4, 3, 1, 2};
+inline const Oid kDot1dTpFdbStatus{1, 3, 6, 1, 2, 1, 17, 4, 3, 1, 3};
+
+// dot1dTpFdbStatus values
+inline constexpr std::int64_t kFdbStatusLearned = 3;
+
+/// Row index for a MAC address: six OID components, one per octet.
+[[nodiscard]] inline Oid mac_index(std::uint64_t mac) {
+  Oid out;
+  for (int shift = 40; shift >= 0; shift -= 8) {
+    out = out.child(static_cast<std::uint32_t>((mac >> shift) & 0xFF));
+  }
+  return out;
+}
+
+/// Inverse of mac_index.
+[[nodiscard]] inline std::uint64_t mac_from_index(const Oid& index) {
+  std::uint64_t mac = 0;
+  for (std::size_t i = 0; i < index.size() && i < 6; ++i) {
+    mac = (mac << 8) | (index[i] & 0xFF);
+  }
+  return mac;
+}
+
+/// Row index for an IP address: four OID components.
+[[nodiscard]] inline Oid ip_index(net::Ipv4Address addr) {
+  const std::uint32_t v = addr.value();
+  return Oid{(v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF};
+}
+
+/// Inverse of ip_index.
+[[nodiscard]] inline net::Ipv4Address ip_from_index(const Oid& index) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < index.size() && i < 4; ++i) v = (v << 8) | (index[i] & 0xFF);
+  return net::Ipv4Address(v);
+}
+
+}  // namespace remos::snmp::oids

@@ -1,0 +1,58 @@
+// SNMP values and variable bindings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "net/ipv4.hpp"
+#include "snmp/oid.hpp"
+
+namespace remos::snmp {
+
+/// 32-bit wrapping counter, as MIB-II Counter32 (ifInOctets/ifOutOctets).
+struct Counter32 {
+  std::uint32_t value = 0;
+  friend bool operator==(Counter32, Counter32) = default;
+};
+
+/// Non-wrapping gauge (ifSpeed).
+struct Gauge32 {
+  std::uint32_t value = 0;
+  friend bool operator==(Gauge32, Gauge32) = default;
+};
+
+using Value = std::variant<std::int64_t,      // INTEGER
+                           Counter32,         // Counter32
+                           Gauge32,           // Gauge32
+                           std::string,       // OCTET STRING
+                           Oid,               // OBJECT IDENTIFIER
+                           net::Ipv4Address>; // IpAddress
+
+struct VarBind {
+  Oid oid;
+  Value value;
+};
+
+/// Render a Value for logs/tests.
+[[nodiscard]] inline std::string to_string(const Value& v) {
+  struct Visitor {
+    std::string operator()(std::int64_t x) const { return std::to_string(x); }
+    std::string operator()(Counter32 x) const { return std::to_string(x.value); }
+    std::string operator()(Gauge32 x) const { return std::to_string(x.value); }
+    std::string operator()(const std::string& x) const { return x; }
+    std::string operator()(const Oid& x) const { return x.to_string(); }
+    std::string operator()(net::Ipv4Address x) const { return x.to_string(); }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+/// Wrap-aware Counter32 difference: how many octets passed between two
+/// samples, assuming at most one wrap (valid when sampling faster than the
+/// counter can wrap — the standard MIB-II assumption).
+[[nodiscard]] inline std::uint64_t counter32_delta(std::uint32_t earlier, std::uint32_t later) {
+  if (later >= earlier) return later - earlier;
+  return (0x100000000ull - earlier) + later;
+}
+
+}  // namespace remos::snmp

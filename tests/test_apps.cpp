@@ -1,0 +1,185 @@
+// Application layer: movie model, adaptive streaming, mirror client,
+// testbed invariants.
+#include <gtest/gtest.h>
+
+#include "apps/mirror.hpp"
+#include "apps/testbed.hpp"
+#include "apps/video.hpp"
+
+namespace remos::apps {
+namespace {
+
+TEST(Movie, GenerateIsDeterministicAndSized) {
+  sim::Rng r1(5), r2(5);
+  const Movie a = Movie::generate("m", 10, 1e6, r1);
+  const Movie b = Movie::generate("m", 10, 1e6, r2);
+  EXPECT_EQ(a.chunks.size(), 10u);
+  EXPECT_EQ(a.frame_count(), 240u);  // 24 fps
+  ASSERT_EQ(a.frame_count(), b.frame_count());
+  for (std::size_t c = 0; c < a.chunks.size(); ++c) {
+    EXPECT_EQ(a.chunks[c].total_bytes(), b.chunks[c].total_bytes());
+  }
+  EXPECT_NEAR(a.mean_rate_bps(), 1e6, 0.35e6);  // content varies around the mean
+}
+
+TEST(Movie, GopStructure) {
+  sim::Rng rng(6);
+  const Movie m = Movie::generate("m", 2, 1e6, rng);
+  const VideoChunk& c = m.chunks[0];
+  EXPECT_EQ(c.frames[0].type, FrameType::kI);
+  std::size_t i_frames = 0;
+  for (const VideoFrame& f : c.frames) {
+    if (f.type == FrameType::kI) ++i_frames;
+  }
+  EXPECT_GE(i_frames, 1u);
+  // I frames are the big ones.
+  EXPECT_GT(c.frames[0].bytes, c.frames[1].bytes);
+}
+
+TEST(Streaming, AmpleBandwidthDeliversEverything) {
+  net::Network net("v");
+  sim::Engine engine;
+  const auto server = net.add_host("server");
+  const auto client = net.add_host("client");
+  const auto r = net.add_router("r");
+  net.connect(server, r, 100e6);
+  net.connect(r, client, 100e6);
+  net.finalize();
+  net::FlowEngine flows(engine, net);
+  sim::Rng rng(7);
+  const Movie movie = Movie::generate("m", 8, 0.5e6, rng);
+  VideoServerConfig cfg;
+  cfg.initial_estimate_bps = 50e6;
+  const StreamResult r1 = stream_movie(engine, flows, server, client, movie, cfg);
+  EXPECT_EQ(r1.frames_received_correctly, movie.frame_count());
+  EXPECT_EQ(r1.frames_sent, movie.frame_count());
+}
+
+TEST(Streaming, TightBandwidthDropsLowPriorityFirst) {
+  net::Network net("v");
+  sim::Engine engine;
+  const auto server = net.add_host("server");
+  const auto client = net.add_host("client");
+  const auto r = net.add_router("r");
+  net.connect(server, r, 0.3e6);  // below the movie's mean rate
+  net.connect(r, client, 100e6);
+  net.finalize();
+  net::FlowEngine flows(engine, net);
+  sim::Rng rng(8);
+  const Movie movie = Movie::generate("m", 8, 0.6e6, rng);
+  VideoServerConfig cfg;
+  cfg.initial_estimate_bps = 0.3e6;
+  const StreamResult result = stream_movie(engine, flows, server, client, movie, cfg);
+  EXPECT_LT(result.frames_sent, movie.frame_count());  // adaptation dropped frames
+  EXPECT_GT(result.frames_received_correctly, movie.frame_count() / 4);
+  EXPECT_LE(result.frames_received_correctly, result.frames_sent);
+}
+
+TEST(Streaming, MoreBandwidthNeverFewerFrames) {
+  sim::Rng rng(9);
+  const Movie movie = Movie::generate("m", 6, 0.6e6, rng);
+  std::size_t prev_frames = 0;
+  for (double cap : {0.15e6, 0.4e6, 1.0e6, 5e6}) {
+    net::Network net("v");
+    sim::Engine engine;
+    const auto server = net.add_host("server");
+    const auto client = net.add_host("client");
+    net.connect(server, client, cap);
+    net.finalize();
+    net::FlowEngine flows(engine, net);
+    VideoServerConfig cfg;
+    cfg.initial_estimate_bps = cap;
+    const StreamResult result = stream_movie(engine, flows, server, client, movie, cfg);
+    EXPECT_GE(result.frames_received_correctly + 4, prev_frames) << cap;  // small slack
+    prev_frames = result.frames_received_correctly;
+  }
+}
+
+TEST(Streaming, GoodputNeverExceedsPathRate) {
+  net::Network net("v");
+  sim::Engine engine;
+  const auto server = net.add_host("server");
+  const auto client = net.add_host("client");
+  net.connect(server, client, 0.5e6);
+  net.finalize();
+  net::FlowEngine flows(engine, net);
+  sim::Rng rng(10);
+  const Movie movie = Movie::generate("m", 6, 0.8e6, rng);
+  VideoServerConfig cfg;
+  cfg.initial_estimate_bps = 0.5e6;
+  const StreamResult result = stream_movie(engine, flows, server, client, movie, cfg);
+  for (double goodput : result.chunk_goodput_bps) {
+    EXPECT_LE(goodput, 0.5e6 * 1.1);
+  }
+}
+
+TEST(MirrorClient, TrialRanksAndDownloads) {
+  WanTestbed::Params p;
+  p.sites = {{"client", 2, 100e6, 20e6},
+             {"fast", 2, 100e6, 8e6},
+             {"slow", 2, 100e6, 1e6}};
+  p.cross_traffic_load = 0.0;
+  WanTestbed wan(p);
+  wan.warm_up(60.0);
+  MirrorClient client(wan.engine, *wan.flows, *wan.modeler, wan.host("client", 1),
+                      wan.addr(wan.host("client", 1)),
+                      {{"fast", wan.host("fast", 1), wan.addr(wan.host("fast", 1))},
+                       {"slow", wan.host("slow", 1), wan.addr(wan.host("slow", 1))}});
+  const MirrorTrialResult r = client.run_trial();
+  EXPECT_EQ(r.remos_ranking.front(), 0u);  // "fast" ranked first
+  EXPECT_TRUE(r.remos_correct);
+  EXPECT_NEAR(r.achieved_bps[0], 8e6, 1e6);
+  // Benchmark probes legitimately share the 1 Mb/s access link during the
+  // download, so the achieved rate sits somewhat below capacity.
+  EXPECT_NEAR(r.achieved_bps[1], 1e6, 4.5e5);
+  EXPECT_GT(r.effective_bps, 0.0);
+  EXPECT_LE(r.effective_bps, r.achieved_bps[0]);  // query time only subtracts
+  EXPECT_GT(r.remos_query_time_s, 0.0);
+}
+
+TEST(LanTestbed, CustomPrefixRespected) {
+  LanTestbed::Params p;
+  p.hosts = 2;
+  p.switches = 1;
+  p.site_prefix = "172.16.0.0/12";
+  LanTestbed lan(p);
+  const auto prefix = *net::Ipv4Prefix::parse("172.16.0.0/12");
+  for (const auto addr : lan.host_addrs(2)) EXPECT_TRUE(prefix.contains(addr));
+}
+
+TEST(WanTestbed, RequiresTwoSites) {
+  WanTestbed::Params p;
+  p.sites = {{"only", 2, 100e6, 1e6}};
+  EXPECT_THROW(WanTestbed w(p), std::invalid_argument);
+}
+
+TEST(WanTestbed, SiteLookup) {
+  WanTestbed::Params p;
+  p.sites = {{"x", 2, 100e6, 1e6}, {"y", 2, 100e6, 1e6}};
+  WanTestbed wan(p);
+  EXPECT_EQ(wan.site("x").name, "x");
+  EXPECT_THROW(wan.site("z"), std::out_of_range);
+  EXPECT_EQ(wan.host("y", 1), wan.site("y").hosts[1]);
+}
+
+TEST(WanTestbed, CrossTrafficLoadsAccessLink) {
+  WanTestbed::Params p;
+  p.sites = {{"x", 2, 100e6, 2e6}, {"y", 2, 100e6, 2e6}};
+  p.cross_traffic_load = 0.5;
+  p.cross_period_s = 2.0;
+  WanTestbed wan(p);
+  wan.warm_up(300.0);
+  // Average x->core utilization should be near 50% of 2 Mb/s. Measure via
+  // a long transfer's achieved rate: it gets what cross traffic leaves.
+  const auto f = wan.flows->start(
+      net::FlowSpec{.src = wan.host("x", 1), .dst = wan.host("y", 1)});
+  wan.engine.advance(300.0);
+  wan.flows->stop(f);
+  const auto stats = wan.flows->stats(f);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_LT(stats->average_bps(), 1.9e6);  // noticeably below capacity
+  EXPECT_GT(stats->average_bps(), 0.9e6);  // but never starved (max-min)
+}
+
+}  // namespace
+}  // namespace remos::apps

@@ -1,0 +1,130 @@
+// Application-feedback (SPAND-like) collector: passive reports, aging,
+// query semantics, integration with the mirror application.
+#include <gtest/gtest.h>
+
+#include "apps/mirror.hpp"
+#include "apps/testbed.hpp"
+#include "core/app_collector.hpp"
+#include "core/gma.hpp"
+
+namespace remos::core {
+namespace {
+
+net::Ipv4Address ip(const char* text) { return *net::Ipv4Address::parse(text); }
+
+AppFeedbackConfig config(double ttl = 300.0) {
+  AppFeedbackConfig cfg;
+  cfg.domain = {*net::Ipv4Prefix::parse("10.0.0.0/8")};
+  cfg.report_ttl_s = ttl;
+  return cfg;
+}
+
+TEST(AppFeedback, ReportsAccumulatePerPair) {
+  sim::Engine engine;
+  AppFeedbackCollector c(engine, config());
+  c.report(ip("10.0.0.1"), ip("10.0.0.2"), 5e6);
+  c.report(ip("10.0.0.2"), ip("10.0.0.1"), 6e6);  // same pair, other direction
+  c.report(ip("10.0.0.1"), ip("10.0.0.3"), 2e6);
+  EXPECT_EQ(c.reports_received(), 3u);
+  EXPECT_EQ(c.pair_count(), 2u);
+  EXPECT_DOUBLE_EQ(*c.observed_bandwidth(ip("10.0.0.1"), ip("10.0.0.2")), 6e6);  // latest
+  EXPECT_DOUBLE_EQ(*c.mean_bandwidth(ip("10.0.0.1"), ip("10.0.0.2")), 5.5e6);
+}
+
+TEST(AppFeedback, InvalidReportsIgnored) {
+  sim::Engine engine;
+  AppFeedbackCollector c(engine, config());
+  c.report(ip("10.0.0.1"), ip("10.0.0.1"), 5e6);  // self pair
+  c.report(ip("10.0.0.1"), ip("10.0.0.2"), 0.0);  // no signal
+  c.report(ip("10.0.0.1"), ip("10.0.0.2"), -1.0);
+  EXPECT_EQ(c.reports_received(), 0u);
+}
+
+TEST(AppFeedback, ReportsAgeOut) {
+  sim::Engine engine;
+  AppFeedbackCollector c(engine, config(/*ttl=*/60.0));
+  c.report(ip("10.0.0.1"), ip("10.0.0.2"), 5e6);
+  engine.advance(59.0);
+  EXPECT_TRUE(c.observed_bandwidth(ip("10.0.0.1"), ip("10.0.0.2")).has_value());
+  engine.advance(2.0);
+  EXPECT_FALSE(c.observed_bandwidth(ip("10.0.0.1"), ip("10.0.0.2")).has_value());
+  EXPECT_FALSE(c.mean_bandwidth(ip("10.0.0.1"), ip("10.0.0.2")).has_value());
+}
+
+TEST(AppFeedback, QueryBuildsEdgesForObservedPairs) {
+  sim::Engine engine;
+  AppFeedbackCollector c(engine, config());
+  c.report(ip("10.0.0.1"), ip("10.0.0.2"), 5e6);
+  const auto resp = c.query({ip("10.0.0.1"), ip("10.0.0.2"), ip("10.0.0.3")});
+  EXPECT_FALSE(resp.complete);  // pairs involving .3 never observed
+  ASSERT_EQ(resp.topology.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(resp.topology.edges()[0].capacity_bps, 5e6);
+  // The flow-level answer through the passive edge is usable.
+  const auto info = single_flow_info(
+      resp.topology, FlowRequest{.src = ip("10.0.0.1"), .dst = ip("10.0.0.2")});
+  EXPECT_DOUBLE_EQ(info.available_bps, 5e6);
+}
+
+TEST(AppFeedback, HistoryExposedByPairId) {
+  sim::Engine engine;
+  AppFeedbackCollector c(engine, config());
+  c.report(ip("10.0.0.2"), ip("10.0.0.1"), 3e6);
+  // Keyed by sorted addresses.
+  const auto* hist = c.history("app:10.0.0.1-10.0.0.2");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->size(), 1u);
+  EXPECT_EQ(c.history("app:10.0.0.9-10.0.0.8"), nullptr);
+}
+
+TEST(AppFeedback, MirrorDownloadsFeedThePassiveCollector) {
+  // The mirror application's achieved rates, reported after each trial,
+  // give the passive collector real data — and its answer agrees with
+  // what the downloads actually achieved.
+  apps::WanTestbed::Params p;
+  p.sites = {{"client", 2, 100e6, 20e6}, {"srv", 2, 100e6, 3e6}};
+  p.cross_traffic_load = 0.0;
+  apps::WanTestbed wan(p);
+  wan.warm_up(60.0);
+  AppFeedbackCollector passive(wan.engine, config());
+
+  apps::MirrorClient client(wan.engine, *wan.flows, *wan.modeler, wan.host("client", 1),
+                            wan.addr(wan.host("client", 1)),
+                            {{"srv", wan.host("srv", 1), wan.addr(wan.host("srv", 1))}});
+  const auto r = client.run_trial();
+  passive.report(wan.addr(wan.host("srv", 1)), wan.addr(wan.host("client", 1)),
+                 r.achieved_bps[0]);
+  const auto observed =
+      passive.observed_bandwidth(wan.addr(wan.host("srv", 1)), wan.addr(wan.host("client", 1)));
+  ASSERT_TRUE(observed.has_value());
+  EXPECT_NEAR(*observed, 3e6, 1e6);
+}
+
+TEST(GmaModelerProducer, ProducesTopologyAndPredictions) {
+  apps::LanTestbed::Params p;
+  p.hosts = 4;
+  p.switches = 2;
+  apps::LanTestbed lan(p);
+  ModelerConfig mcfg;
+  mcfg.min_history = 16;
+  mcfg.prediction_model = rps::ModelSpec::ar(2);
+  Modeler modeler(*lan.collector, mcfg);
+  gma::ModelerProducer producer(modeler);
+  EXPECT_EQ(producer.event_types().size(), 1u);
+
+  const auto nodes = lan.host_addrs(3);
+  const auto resp = producer.produce_topology(nodes);
+  EXPECT_TRUE(resp.complete);
+  EXPECT_GT(resp.cost_s, 0.0);
+  EXPECT_EQ(producer.produce_history("anything"), nullptr);
+
+  // End-to-end prediction event after history accumulates.
+  (void)modeler.flow_info(nodes[0], nodes[1]);
+  lan.engine.advance(5.0 * 20);
+  const auto pred = producer.produce_flow_prediction(
+      FlowRequest{.src = nodes[0], .dst = nodes[1]}, 5);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_EQ(pred->mean_bps.size(), 5u);
+}
+
+}  // namespace
+}  // namespace remos::core

@@ -1,0 +1,195 @@
+// Benchmark Collector probing + Master Collector query decomposition.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+
+namespace remos::core {
+namespace {
+
+using apps::WanTestbed;
+
+WanTestbed::Params two_sites() {
+  WanTestbed::Params p;
+  p.sites = {{"cmu", 3, 100e6, 10e6}, {"eth", 3, 100e6, 4e6}};
+  p.cross_traffic_load = 0.0;  // quiet network unless a test adds load
+  return p;
+}
+
+TEST(BenchmarkCollector, MeasuresBottleneckBandwidth) {
+  WanTestbed w(two_sites());
+  double measured = -1.0;
+  ASSERT_TRUE(w.benchmark->measure_now("cmu", "eth", [&](double bps) { measured = bps; }));
+  w.engine.advance(10.0);
+  // The cmu-eth path is bounded by eth's 4 Mb/s access link.
+  EXPECT_NEAR(measured, 4e6, 1e5);
+  EXPECT_EQ(w.benchmark->probes_completed(), 1u);
+}
+
+TEST(BenchmarkCollector, RejectsUnknownSiteAndInFlightDuplicates) {
+  WanTestbed w(two_sites());
+  EXPECT_FALSE(w.benchmark->measure_now("cmu", "nowhere"));
+  EXPECT_TRUE(w.benchmark->measure_now("cmu", "eth"));
+  EXPECT_FALSE(w.benchmark->measure_now("cmu", "eth"));  // already probing
+  w.engine.advance(10.0);
+  EXPECT_TRUE(w.benchmark->measure_now("cmu", "eth"));  // done, allowed again
+}
+
+TEST(BenchmarkCollector, PeriodicModeBuildsHistory) {
+  WanTestbed::Params p = two_sites();
+  p.benchmark_period_s = 5.0;
+  WanTestbed w(p);
+  w.warm_up(61.0);
+  const auto* hist = w.benchmark->pair_history("cmu", "eth");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GE(hist->size(), 10u);
+}
+
+TEST(BenchmarkCollector, IntrusivenessAccounted) {
+  WanTestbed w(two_sites());
+  EXPECT_EQ(w.benchmark->bytes_injected(), 0u);
+  w.benchmark->measure_now("cmu", "eth");
+  EXPECT_EQ(w.benchmark->bytes_injected(), w.params.probe_bytes);
+}
+
+TEST(BenchmarkCollector, AvailableBandwidthCachesAndRefreshes) {
+  WanTestbed w(two_sites());
+  // Nothing measured yet: nullopt, but a probe gets scheduled.
+  EXPECT_FALSE(w.benchmark->available_bandwidth("cmu", "eth").has_value());
+  w.engine.advance(10.0);
+  const auto bw = w.benchmark->available_bandwidth("cmu", "eth");
+  ASSERT_TRUE(bw.has_value());
+  EXPECT_NEAR(*bw, 4e6, 1e5);
+}
+
+TEST(BenchmarkCollector, CrossTrafficReducesMeasurement) {
+  WanTestbed::Params p = two_sites();
+  p.site_cross_load = {0.0, 0.6};  // load eth's access link
+  WanTestbed w(p);
+  w.warm_up(30.0);
+  double measured = -1.0;
+  // Wait for any in-flight periodic probe, then measure explicitly.
+  for (int tries = 0; tries < 20 && measured < 0; ++tries) {
+    w.benchmark->measure_now("eth", "cmu", [&](double bps) { measured = bps; });
+    w.engine.advance(5.0);
+  }
+  ASSERT_GT(measured, 0.0);
+  EXPECT_LT(measured, 4e6);  // cross traffic steals capacity
+}
+
+TEST(CollectorDirectory, LongestPrefixMatch) {
+  WanTestbed w(two_sites());
+  const auto& dir = w.master->directory();
+  EXPECT_GE(dir.size(), 2u);
+  const auto cmu_host = w.addr(w.host("cmu", 0));
+  Collector* c = dir.lookup(cmu_host);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->name(), "cmu-snmp");
+  EXPECT_EQ(dir.lookup(*net::Ipv4Address::parse("192.0.2.1")), nullptr);
+}
+
+TEST(CollectorDirectory, UnregisterRemoves) {
+  CollectorDirectory dir;
+  WanTestbed w(two_sites());
+  dir.register_collector(*w.sites[0].collector);
+  EXPECT_GT(dir.size(), 0u);
+  dir.unregister(*w.sites[0].collector);
+  EXPECT_EQ(dir.size(), 0u);
+}
+
+TEST(MasterCollector, SingleSiteQueryPassesThrough) {
+  WanTestbed w(two_sites());
+  const auto a = w.addr(w.host("cmu", 0));
+  const auto b = w.addr(w.host("cmu", 1));
+  const CollectorResponse resp = w.master->query({a, b});
+  EXPECT_TRUE(resp.complete);
+  const auto path =
+      resp.topology.shortest_path(resp.topology.find_by_addr(a), resp.topology.find_by_addr(b));
+  EXPECT_TRUE(path.has_value());
+}
+
+TEST(MasterCollector, MultiSiteQueryStitchesWanEdge) {
+  WanTestbed w(two_sites());
+  w.warm_up(30.0);  // let benchmark measure the pair
+  const auto a = w.addr(w.host("cmu", 1));
+  const auto b = w.addr(w.host("eth", 1));
+  const CollectorResponse resp = w.master->query({a, b});
+  EXPECT_TRUE(resp.complete);
+  // The merged topology routes a -> b across the WAN edge.
+  const auto path =
+      resp.topology.shortest_path(resp.topology.find_by_addr(a), resp.topology.find_by_addr(b));
+  ASSERT_TRUE(path.has_value());
+  bool saw_wan = false;
+  for (std::size_t ei : *path) {
+    if (resp.topology.edges()[ei].id.starts_with("wan:")) saw_wan = true;
+  }
+  EXPECT_TRUE(saw_wan);
+}
+
+TEST(MasterCollector, WanEdgeCarriesBenchmarkBandwidth) {
+  WanTestbed w(two_sites());
+  w.warm_up(30.0);
+  const CollectorResponse resp =
+      w.master->query({w.addr(w.host("cmu", 0)), w.addr(w.host("eth", 0))});
+  for (const VEdge& e : resp.topology.edges()) {
+    if (e.id.starts_with("wan:")) {
+      EXPECT_NEAR(e.capacity_bps, 4e6, 4e5);
+      return;
+    }
+  }
+  FAIL() << "no WAN edge in merged topology";
+}
+
+TEST(MasterCollector, UnknownNodeMarksIncomplete) {
+  WanTestbed w(two_sites());
+  const auto resp = w.master->query({*net::Ipv4Address::parse("203.0.113.9")});
+  EXPECT_FALSE(resp.complete);
+}
+
+TEST(MasterCollector, WithoutBenchmarkMultiSiteIncomplete) {
+  WanTestbed w(two_sites());
+  w.master->set_benchmark(nullptr);
+  const auto resp = w.master->query({w.addr(w.host("cmu", 0)), w.addr(w.host("eth", 0))});
+  EXPECT_FALSE(resp.complete);
+}
+
+TEST(MasterCollector, HistoryDelegation) {
+  WanTestbed w(two_sites());
+  w.warm_up(40.0);
+  // Benchmark histories surface with the "wan:" prefix.
+  EXPECT_NE(w.master->history("wan:cmu-eth"), nullptr);
+  EXPECT_EQ(w.master->history("wan:eth-xyz"), nullptr);
+}
+
+TEST(MasterCollector, ThreeSitesAllPairsStitched) {
+  WanTestbed::Params p;
+  p.sites = {{"a", 2, 100e6, 10e6}, {"b", 2, 100e6, 5e6}, {"c", 2, 100e6, 2e6}};
+  p.cross_traffic_load = 0.0;
+  WanTestbed w(p);
+  w.warm_up(40.0);
+  const auto resp = w.master->query(
+      {w.addr(w.host("a", 0)), w.addr(w.host("b", 0)), w.addr(w.host("c", 0))});
+  std::size_t wan_edges = 0;
+  for (const VEdge& e : resp.topology.edges()) {
+    if (e.id.starts_with("wan:")) ++wan_edges;
+  }
+  EXPECT_EQ(wan_edges, 3u);  // a-b, a-c, b-c
+}
+
+TEST(MasterCollector, HierarchicalMasterAsSite) {
+  // A top-level master whose "site" is another master (the paper's layered
+  // collectors): queries delegate transparently.
+  WanTestbed w(two_sites());
+  w.warm_up(30.0);
+  MasterCollector top(MasterCollectorConfig{"top-master", 0.002, true});
+  top.add_site(MasterCollector::Site{"federation", w.master.get(), {}});
+  const auto a = w.addr(w.host("cmu", 0));
+  const auto b = w.addr(w.host("eth", 0));
+  const auto resp = top.query({a, b});
+  EXPECT_TRUE(resp.complete);
+  EXPECT_TRUE(resp.topology
+                  .shortest_path(resp.topology.find_by_addr(a), resp.topology.find_by_addr(b))
+                  .has_value());
+}
+
+}  // namespace
+}  // namespace remos::core

@@ -1,0 +1,199 @@
+// Bridge Collector: L2 topology inference from Bridge-MIB walks,
+// path queries, host-location monitoring.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "core/bridge_collector.hpp"
+
+namespace remos::core {
+namespace {
+
+struct Lan {
+  net::Network net{"lan"};
+  sim::Engine engine;
+  std::vector<net::NodeId> switches;
+  std::vector<net::NodeId> hosts;
+  std::unique_ptr<snmp::AgentRegistry> agents;
+  std::unique_ptr<BridgeCollector> bridge;
+
+  /// Chain of `n_switches`, hosts round-robin, fully finalized + collector.
+  Lan(std::size_t n_switches, std::size_t n_hosts, double check_interval = 0.0) {
+    for (std::size_t i = 0; i < n_switches; ++i) {
+      switches.push_back(net.add_switch("s" + std::to_string(i)));
+      if (i > 0) net.connect(switches[i - 1], switches[i], 1e9);
+    }
+    for (std::size_t i = 0; i < n_hosts; ++i) {
+      hosts.push_back(net.add_host("h" + std::to_string(i)));
+      net.connect(hosts.back(), switches[i % n_switches], 100e6);
+    }
+    net.finalize();
+    agents = std::make_unique<snmp::AgentRegistry>(net, sim::Rng(1));
+    BridgeCollectorConfig cfg;
+    for (net::NodeId sw : switches) cfg.switches.push_back(net.node(sw).primary_address());
+    cfg.arp = apps::make_arp(net);
+    cfg.location_check_interval_s = check_interval;
+    bridge = std::make_unique<BridgeCollector>(engine, *agents, std::move(cfg));
+  }
+  [[nodiscard]] net::Ipv4Address addr(net::NodeId id) const {
+    return net.node(id).primary_address();
+  }
+};
+
+TEST(BridgeCollector, StartupDiscoversEndpointsAndTrunks) {
+  Lan lan(3, 6);
+  const double cost = lan.bridge->startup();
+  EXPECT_GT(cost, 0.0);
+  EXPECT_TRUE(lan.bridge->started());
+  EXPECT_EQ(lan.bridge->endpoint_count(), 6u);
+  EXPECT_EQ(lan.bridge->inter_switch_link_count(), 2u);  // chain of 3
+}
+
+TEST(BridgeCollector, SingleSwitchStar) {
+  Lan lan(1, 5);
+  lan.bridge->startup();
+  EXPECT_EQ(lan.bridge->endpoint_count(), 5u);
+  EXPECT_EQ(lan.bridge->inter_switch_link_count(), 0u);
+  const auto path = lan.bridge->l2_path(lan.addr(lan.hosts[0]), lan.addr(lan.hosts[1]));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 2u);  // h0 -> sw -> h1
+}
+
+TEST(BridgeCollector, PathAcrossSwitchChain) {
+  Lan lan(4, 8);
+  lan.bridge->startup();
+  // h0 on s0, h3 on s3: path h0-s0-s1-s2-s3-h3 = 5 edges.
+  const auto path = lan.bridge->l2_path(lan.addr(lan.hosts[0]), lan.addr(lan.hosts[3]));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 5u);
+  // Every hop is monitorable at a switch and carries a capacity.
+  for (const auto& hop : *path) {
+    EXPECT_FALSE(hop.agent.is_zero());
+    EXPECT_GT(hop.capacity_bps, 0.0);
+    EXPECT_FALSE(hop.link_id.empty());
+  }
+}
+
+TEST(BridgeCollector, PathLabelsFormChain) {
+  Lan lan(2, 4);
+  lan.bridge->startup();
+  const auto path = lan.bridge->l2_path(lan.addr(lan.hosts[0]), lan.addr(lan.hosts[1]));
+  ASSERT_TRUE(path.has_value());
+  for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+    EXPECT_EQ((*path)[i].to_label, (*path)[i + 1].from_label);
+  }
+  EXPECT_TRUE((*path).front().from_label.starts_with("mac:"));
+  EXPECT_TRUE((*path).back().to_label.starts_with("mac:"));
+}
+
+TEST(BridgeCollector, SamePathBothDirections) {
+  Lan lan(3, 6);
+  lan.bridge->startup();
+  const auto fwd = lan.bridge->l2_path(lan.addr(lan.hosts[0]), lan.addr(lan.hosts[5]));
+  const auto rev = lan.bridge->l2_path(lan.addr(lan.hosts[5]), lan.addr(lan.hosts[0]));
+  ASSERT_TRUE(fwd && rev);
+  ASSERT_EQ(fwd->size(), rev->size());
+  for (std::size_t i = 0; i < fwd->size(); ++i) {
+    EXPECT_EQ((*fwd)[i].link_id, (*rev)[rev->size() - 1 - i].link_id);
+  }
+}
+
+TEST(BridgeCollector, UnknownEndpointNullopt) {
+  Lan lan(2, 2);
+  lan.bridge->startup();
+  EXPECT_FALSE(lan.bridge->l2_path(*net::Ipv4Address::parse("9.9.9.9"),
+                                   lan.addr(lan.hosts[0])).has_value());
+}
+
+TEST(BridgeCollector, QueriesAnsweredFromDatabase) {
+  Lan lan(3, 9);
+  lan.bridge->startup();
+  const auto before = lan.bridge->client().request_count();
+  for (int i = 0; i < 10; ++i) {
+    (void)lan.bridge->l2_path(lan.addr(lan.hosts[0]), lan.addr(lan.hosts[8]));
+  }
+  EXPECT_EQ(lan.bridge->client().request_count(), before);  // zero SNMP traffic
+}
+
+TEST(BridgeCollector, LocationOfHost) {
+  Lan lan(2, 4);
+  lan.bridge->startup();
+  const auto loc = lan.bridge->location_of(lan.addr(lan.hosts[0]));
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->first, lan.addr(lan.switches[0]));
+}
+
+TEST(BridgeCollector, DetectsHostMove) {
+  Lan lan(2, 4);
+  lan.bridge->startup();
+  EXPECT_EQ(lan.bridge->move_count(), 0u);
+  // h0 re-associates from s0 to s1 (wireless handoff).
+  lan.net.move_host(lan.hosts[0], lan.switches[1], 100e6);
+  const std::size_t moved = lan.bridge->check_locations();
+  EXPECT_EQ(moved, 1u);
+  EXPECT_EQ(lan.bridge->move_count(), 1u);
+  EXPECT_GT(lan.bridge->topology_version(), 0u);
+  const auto loc = lan.bridge->location_of(lan.addr(lan.hosts[0]));
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->first, lan.addr(lan.switches[1]));
+  // Paths now route via the new attachment.
+  const auto path = lan.bridge->l2_path(lan.addr(lan.hosts[0]), lan.addr(lan.hosts[3]));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 2u);  // h0 and h3 both on s1 now
+}
+
+TEST(BridgeCollector, PeriodicMonitorRunsAutomatically) {
+  Lan lan(2, 4, /*check_interval=*/10.0);
+  lan.bridge->startup();
+  lan.net.move_host(lan.hosts[1], lan.switches[0], 100e6);
+  lan.engine.run_until(25.0);  // two monitor passes
+  EXPECT_EQ(lan.bridge->move_count(), 1u);
+}
+
+TEST(BridgeCollector, StableLocationsCauseNoMoves) {
+  Lan lan(3, 6, /*check_interval=*/5.0);
+  lan.bridge->startup();
+  lan.engine.run_until(60.0);
+  EXPECT_EQ(lan.bridge->move_count(), 0u);
+}
+
+TEST(BridgeCollector, HubBehindPortBecomesCloud) {
+  net::Network net("hublan");
+  sim::Engine engine;
+  const net::NodeId sw = net.add_switch("sw");
+  const net::NodeId hub = net.add_hub("hub", 10e6);
+  net.connect(sw, hub, 10e6);
+  const net::NodeId a = net.add_host("a");
+  const net::NodeId b = net.add_host("b");
+  const net::NodeId c = net.add_host("c");
+  net.connect(a, hub, 10e6);
+  net.connect(b, hub, 10e6);
+  net.connect(c, sw, 100e6);
+  net.finalize();
+  snmp::AgentRegistry agents(net, sim::Rng(2));
+  BridgeCollectorConfig cfg;
+  cfg.switches = {net.node(sw).primary_address()};
+  cfg.arp = apps::make_arp(net);
+  BridgeCollector bridge(engine, agents, std::move(cfg));
+  bridge.startup();
+  // a and b share the hub port; the path between them crosses the cloud.
+  const auto path = bridge.l2_path(net.node(a).primary_address(), net.node(b).primary_address());
+  ASSERT_TRUE(path.has_value());
+  bool saw_shared = false;
+  for (const auto& hop : *path) saw_shared |= hop.shared_medium;
+  EXPECT_TRUE(saw_shared);
+  // a to c crosses the switch.
+  const auto path2 = bridge.l2_path(net.node(a).primary_address(), net.node(c).primary_address());
+  ASSERT_TRUE(path2.has_value());
+  EXPECT_GE(path2->size(), 2u);
+}
+
+TEST(BridgeCollector, StartupCostGrowsWithLanSize) {
+  Lan small(2, 8);
+  Lan large(2, 64);
+  const double small_cost = small.bridge->startup();
+  const double large_cost = large.bridge->startup();
+  EXPECT_GT(large_cost, 2.0 * small_cost);
+}
+
+}  // namespace
+}  // namespace remos::core

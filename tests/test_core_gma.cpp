@@ -1,0 +1,132 @@
+// GMA mapping: producers, directory service, directory-driven consumer.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "core/gma.hpp"
+
+namespace remos::core::gma {
+namespace {
+
+using apps::LanTestbed;
+
+LanTestbed::Params campus(const char* prefix, std::uint64_t seed) {
+  LanTestbed::Params p;
+  p.hosts = 4;
+  p.switches = 2;
+  p.seed = seed;
+  p.site_prefix = prefix;
+  return p;
+}
+
+TEST(Gma, CollectorIsAProducer) {
+  LanTestbed lan(campus("10.1.0.0/16", 1));
+  CollectorProducer producer(*lan.collector);
+  EXPECT_EQ(producer.producer_name(), "campus-snmp");
+  const auto types = producer.event_types();
+  EXPECT_EQ(types.size(), 2u);
+  const auto resp = producer.produce_topology(lan.host_addrs(2));
+  EXPECT_TRUE(resp.complete);
+  EXPECT_GT(resp.topology.node_count(), 0u);
+}
+
+TEST(Gma, ProducerServesHistoryEvents) {
+  LanTestbed lan(campus("10.1.0.0/16", 2));
+  CollectorProducer producer(*lan.collector);
+  const auto resp = producer.produce_topology(lan.host_addrs(2));
+  lan.engine.advance(30.0);
+  bool found = false;
+  for (const VEdge& e : resp.topology.edges()) {
+    if (producer.produce_history(e.id) != nullptr) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(producer.produce_history("nonsense"), nullptr);
+}
+
+TEST(GmaDirectory, RegisterLookupUnregister) {
+  LanTestbed lan(campus("10.1.0.0/16", 3));
+  CollectorProducer producer(*lan.collector);
+  DirectoryService directory;
+  directory.register_producer(
+      {"campusA", "snmp", lan.collector->responsibility(), &producer});
+  EXPECT_EQ(directory.size(), 1u);
+  const auto found = directory.lookup(lan.host_addrs(1)[0]);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], &producer);
+  EXPECT_TRUE(directory.lookup(*net::Ipv4Address::parse("192.0.2.1")).empty());
+  directory.unregister("campusA");
+  EXPECT_EQ(directory.size(), 0u);
+}
+
+TEST(GmaDirectory, MostSpecificPrefixFirst) {
+  LanTestbed lan(campus("10.1.0.0/16", 4));
+  CollectorProducer narrow(*lan.collector);
+  CollectorProducer wide(*lan.collector);
+  DirectoryService directory;
+  directory.register_producer({"wide", "master", {*net::Ipv4Prefix::parse("10.0.0.0/8")}, &wide});
+  directory.register_producer(
+      {"narrow", "snmp", lan.collector->responsibility(), &narrow});
+  const auto found = directory.lookup(lan.host_addrs(1)[0]);
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0], &narrow);  // longest prefix wins the front slot
+  EXPECT_EQ(found[1], &wide);
+}
+
+TEST(GmaDirectory, ClassFilteredLookup) {
+  LanTestbed lan(campus("10.1.0.0/16", 5));
+  CollectorProducer a(*lan.collector);
+  CollectorProducer b(*lan.collector);
+  DirectoryService directory;
+  directory.register_producer({"a", "snmp", {*net::Ipv4Prefix::parse("10.0.0.0/8")}, &a});
+  directory.register_producer({"b", "benchmark", {*net::Ipv4Prefix::parse("10.0.0.0/8")}, &b});
+  const auto snmp_only = directory.lookup(lan.host_addrs(1)[0], "snmp");
+  ASSERT_EQ(snmp_only.size(), 1u);
+  EXPECT_EQ(snmp_only[0], &a);
+}
+
+TEST(GmaDirectory, ReregistrationReplaces) {
+  LanTestbed lan(campus("10.1.0.0/16", 6));
+  CollectorProducer p1(*lan.collector);
+  CollectorProducer p2(*lan.collector);
+  DirectoryService directory;
+  directory.register_producer({"x", "snmp", lan.collector->responsibility(), &p1});
+  directory.register_producer({"x", "snmp", lan.collector->responsibility(), &p2});
+  EXPECT_EQ(directory.size(), 1u);
+  EXPECT_EQ(directory.find("x")->producer, &p2);
+}
+
+TEST(GmaConsumer, QueriesAcrossProducers) {
+  // Two campuses with disjoint address spaces, discovered via the GMA
+  // directory rather than a hard-wired master.
+  LanTestbed a(campus("10.1.0.0/16", 7));
+  LanTestbed b(campus("10.2.0.0/16", 8));
+  CollectorProducer pa(*a.collector);
+  CollectorProducer pb(*b.collector);
+  DirectoryService directory;
+  directory.register_producer({"campusA", "snmp", a.collector->responsibility(), &pa});
+  directory.register_producer({"campusB", "snmp", b.collector->responsibility(), &pb});
+
+  DirectoryConsumer consumer(directory);
+  std::vector<net::Ipv4Address> subjects = a.host_addrs(2);
+  const auto b_nodes = b.host_addrs(2);
+  subjects.insert(subjects.end(), b_nodes.begin(), b_nodes.end());
+  const CollectorResponse resp = consumer.query(subjects);
+  EXPECT_TRUE(resp.complete);
+  for (const auto& subj : subjects) {
+    EXPECT_NE(resp.topology.find_by_addr(subj), kNoVNode) << subj.to_string();
+  }
+  EXPECT_EQ(consumer.queries_issued(), 1u);
+}
+
+TEST(GmaConsumer, UncoveredSubjectIncomplete) {
+  LanTestbed a(campus("10.1.0.0/16", 9));
+  CollectorProducer pa(*a.collector);
+  DirectoryService directory;
+  directory.register_producer({"campusA", "snmp", a.collector->responsibility(), &pa});
+  DirectoryConsumer consumer(directory);
+  auto subjects = a.host_addrs(1);
+  subjects.push_back(*net::Ipv4Address::parse("198.51.100.1"));
+  EXPECT_FALSE(consumer.query(subjects).complete);
+}
+
+}  // namespace
+}  // namespace remos::core::gma

@@ -1,0 +1,112 @@
+// Latency / jitter metrics (§6.2 extension): queueing-aware RTT in the
+// fluid model and the Benchmark Collector's ping machinery.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "net/flows.hpp"
+
+namespace remos::core {
+namespace {
+
+using apps::WanTestbed;
+
+WanTestbed::Params two_sites() {
+  WanTestbed::Params p;
+  p.sites = {{"a", 2, 100e6, 5e6}, {"b", 2, 100e6, 5e6}};
+  p.cross_traffic_load = 0.0;
+  return p;
+}
+
+TEST(Rtt, IdleNetworkIsPurePropagation) {
+  net::Network net("rtt");
+  sim::Engine engine;
+  const auto a = net.add_host("a");
+  const auto r = net.add_router("r");
+  const auto b = net.add_host("b");
+  net.connect(a, r, 10e6, 0.010);
+  net.connect(r, b, 10e6, 0.020);
+  net.finalize();
+  net::FlowEngine flows(engine, net);
+  EXPECT_NEAR(flows.current_rtt(a, b), 2 * (0.010 + 0.020), 1e-12);
+}
+
+TEST(Rtt, LoadAddsQueueingDelay) {
+  net::Network net("rtt");
+  sim::Engine engine;
+  const auto a = net.add_host("a");
+  const auto r = net.add_router("r");
+  const auto b = net.add_host("b");
+  net.connect(a, r, 10e6, 0.001);
+  net.connect(r, b, 10e6, 0.001);
+  net.finalize();
+  net::FlowEngine flows(engine, net);
+  const double idle = flows.current_rtt(a, b);
+  flows.start(net::FlowSpec{.src = a, .dst = b, .demand_bps = 8e6});  // 80% load
+  const double loaded = flows.current_rtt(a, b);
+  EXPECT_GT(loaded, idle);
+  // rho = 0.8 -> penalty 0.002 * 4 per loaded directed hop (2 hops).
+  EXPECT_NEAR(loaded - idle, 2 * 0.002 * (0.8 / 0.2), 1e-9);
+}
+
+TEST(Rtt, SaturatedLinkClampsPenalty) {
+  net::Network net("rtt");
+  sim::Engine engine;
+  const auto a = net.add_host("a");
+  const auto b = net.add_host("b");
+  net.connect(a, b, 10e6, 0.001);
+  net.finalize();
+  net::FlowEngine flows(engine, net);
+  flows.start(net::FlowSpec{.src = a, .dst = b});  // greedy: 100%
+  const double rtt = flows.current_rtt(a, b);
+  EXPECT_LT(rtt, 1.0);  // rho capped at 0.95, so the penalty stays finite
+}
+
+TEST(BenchmarkLatency, PingRecordsRtt) {
+  WanTestbed w(two_sites());
+  const auto rtt = w.benchmark->ping("a", "b");
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_GT(*rtt, 0.0);
+  EXPECT_FALSE(w.benchmark->ping("a", "nowhere").has_value());
+}
+
+TEST(BenchmarkLatency, LatencyIsMeanOfPings) {
+  WanTestbed w(two_sites());
+  EXPECT_FALSE(w.benchmark->latency("a", "b").has_value());
+  for (int i = 0; i < 5; ++i) {
+    w.benchmark->ping("a", "b");
+    w.engine.advance(1.0);
+  }
+  const auto lat = w.benchmark->latency("a", "b");
+  ASSERT_TRUE(lat.has_value());
+  EXPECT_GT(*lat, 0.0);
+}
+
+TEST(BenchmarkLatency, JitterNeedsTwoSamplesAndSeesLoadChange) {
+  WanTestbed w(two_sites());
+  w.benchmark->ping("a", "b");
+  EXPECT_FALSE(w.benchmark->jitter("a", "b").has_value());
+  // Load the path between pings: RTT samples now differ -> jitter > 0.
+  w.flows->start(net::FlowSpec{.src = w.host("a", 1), .dst = w.host("b", 1)});
+  w.benchmark->ping("a", "b");
+  const auto jit = w.benchmark->jitter("a", "b");
+  ASSERT_TRUE(jit.has_value());
+  EXPECT_GT(*jit, 0.0);
+}
+
+TEST(BenchmarkLatency, PeriodicProbesAccumulateJitter) {
+  WanTestbed::Params p = two_sites();
+  p.cross_traffic_load = 0.4;
+  p.cross_period_s = 3.0;  // fast-changing load => jitter
+  WanTestbed w(p);
+  w.benchmark->enable_latency_probes();
+  w.warm_up(120.0);
+  const auto lat = w.benchmark->latency("a", "b");
+  const auto jit = w.benchmark->jitter("a", "b");
+  ASSERT_TRUE(lat.has_value());
+  ASSERT_TRUE(jit.has_value());
+  EXPECT_GT(*jit, 0.0);
+  EXPECT_LT(*jit, *lat);  // jitter is a fraction of the RTT, not noise blowup
+}
+
+}  // namespace
+}  // namespace remos::core

@@ -1,0 +1,137 @@
+// Modeler-side max-min allocation on measured virtual topologies.
+#include <gtest/gtest.h>
+
+#include "core/maxmin.hpp"
+
+namespace remos::core {
+namespace {
+
+net::Ipv4Address ip(const char* text) { return *net::Ipv4Address::parse(text); }
+
+/// a -- r1 -- r2 -- b, with a second pair c/d sharing the middle link.
+struct Dumbbell {
+  VirtualTopology topo;
+  net::Ipv4Address a = ip("10.0.0.1"), b = ip("10.0.1.1");
+  net::Ipv4Address c = ip("10.0.0.2"), d = ip("10.0.1.2");
+
+  explicit Dumbbell(double middle_capacity = 10e6, double middle_util_ab = 0.0) {
+    const auto na = topo.add_node(VNode{VNodeKind::kHost, "a", a});
+    const auto nc = topo.add_node(VNode{VNodeKind::kHost, "c", c});
+    const auto r1 = topo.add_node(VNode{VNodeKind::kRouter, "r1", ip("10.0.0.254")});
+    const auto r2 = topo.add_node(VNode{VNodeKind::kRouter, "r2", ip("10.0.1.254")});
+    const auto nb = topo.add_node(VNode{VNodeKind::kHost, "b", b});
+    const auto nd = topo.add_node(VNode{VNodeKind::kHost, "d", d});
+    topo.add_edge(VEdge{na, r1, 100e6, 0, 0, 0.001, "a-r1"});
+    topo.add_edge(VEdge{nc, r1, 100e6, 0, 0, 0.001, "c-r1"});
+    topo.add_edge(VEdge{r1, r2, middle_capacity, middle_util_ab, 0, 0.010, "mid"});
+    topo.add_edge(VEdge{r2, nb, 100e6, 0, 0, 0.001, "r2-b"});
+    topo.add_edge(VEdge{r2, nd, 100e6, 0, 0, 0.001, "r2-d"});
+  }
+};
+
+TEST(MaxMin, SingleFlowGetsBottleneck) {
+  Dumbbell t;
+  const FlowInfo info = single_flow_info(t.topo, FlowRequest{.src = t.a, .dst = t.b});
+  EXPECT_TRUE(info.routable());
+  EXPECT_DOUBLE_EQ(info.available_bps, 10e6);
+  EXPECT_DOUBLE_EQ(info.bottleneck_capacity_bps, 10e6);
+  EXPECT_NEAR(info.latency_s, 0.012, 1e-12);
+  EXPECT_EQ(info.path_edge_ids.size(), 3u);
+}
+
+TEST(MaxMin, MeasuredUtilizationReducesAvailability) {
+  Dumbbell t(10e6, /*middle_util_ab=*/4e6);
+  const FlowInfo fwd = single_flow_info(t.topo, FlowRequest{.src = t.a, .dst = t.b});
+  EXPECT_DOUBLE_EQ(fwd.available_bps, 6e6);
+  // Reverse direction is unloaded.
+  const FlowInfo rev = single_flow_info(t.topo, FlowRequest{.src = t.b, .dst = t.a});
+  EXPECT_DOUBLE_EQ(rev.available_bps, 10e6);
+}
+
+TEST(MaxMin, TwoFlowsShareBottleneck) {
+  Dumbbell t;
+  const auto result =
+      max_min_allocate(t.topo, {FlowRequest{.src = t.a, .dst = t.b}, FlowRequest{.src = t.c, .dst = t.d}});
+  EXPECT_DOUBLE_EQ(result.flows[0].available_bps, 5e6);
+  EXPECT_DOUBLE_EQ(result.flows[1].available_bps, 5e6);
+}
+
+TEST(MaxMin, DemandCapFreesBandwidth) {
+  Dumbbell t;
+  const auto result =
+      max_min_allocate(t.topo, {FlowRequest{.src = t.a, .dst = t.b, .demand_bps = 2e6}, FlowRequest{.src = t.c, .dst = t.d}});
+  EXPECT_DOUBLE_EQ(result.flows[0].available_bps, 2e6);
+  EXPECT_DOUBLE_EQ(result.flows[1].available_bps, 8e6);
+}
+
+TEST(MaxMin, UnknownEndpointUnroutable) {
+  Dumbbell t;
+  const FlowInfo info = single_flow_info(t.topo, FlowRequest{.src = t.a, .dst = ip("99.9.9.9")});
+  EXPECT_FALSE(info.routable());
+  EXPECT_DOUBLE_EQ(info.available_bps, 0.0);
+}
+
+TEST(MaxMin, MixedRoutableAndUnroutable) {
+  Dumbbell t;
+  const auto result = max_min_allocate(
+      t.topo, {FlowRequest{.src = t.a, .dst = ip("99.9.9.9")}, FlowRequest{.src = t.c, .dst = t.d}});
+  EXPECT_FALSE(result.flows[0].routable());
+  EXPECT_DOUBLE_EQ(result.flows[1].available_bps, 10e6);
+}
+
+TEST(MaxMin, OppositeDirectionsIndependent) {
+  Dumbbell t;
+  const auto result =
+      max_min_allocate(t.topo, {FlowRequest{.src = t.a, .dst = t.b}, FlowRequest{.src = t.d, .dst = t.c}});
+  EXPECT_DOUBLE_EQ(result.flows[0].available_bps, 10e6);
+  EXPECT_DOUBLE_EQ(result.flows[1].available_bps, 10e6);
+}
+
+TEST(MaxMin, SameSourceSharesAccessLink) {
+  Dumbbell t;
+  // Two flows from a: both cross a's 100 Mb access and the 10 Mb middle.
+  const auto result =
+      max_min_allocate(t.topo, {FlowRequest{.src = t.a, .dst = t.b}, FlowRequest{.src = t.a, .dst = t.d}});
+  EXPECT_DOUBLE_EQ(result.flows[0].available_bps, 5e6);
+  EXPECT_DOUBLE_EQ(result.flows[1].available_bps, 5e6);
+}
+
+TEST(MaxMin, ParkingLotFairness) {
+  // r1 -- r2 -- r3 chain; long flow + two one-hop flows.
+  VirtualTopology t;
+  const auto s0 = t.add_node(VNode{VNodeKind::kHost, "s0", ip("1.0.0.1")});
+  const auto s1 = t.add_node(VNode{VNodeKind::kHost, "s1", ip("1.0.0.2")});
+  const auto e1 = t.add_node(VNode{VNodeKind::kHost, "e1", ip("1.0.0.3")});
+  const auto e2 = t.add_node(VNode{VNodeKind::kHost, "e2", ip("1.0.0.4")});
+  const auto r1 = t.add_node(VNode{VNodeKind::kRouter, "r1", ip("1.0.1.1")});
+  const auto r2 = t.add_node(VNode{VNodeKind::kRouter, "r2", ip("1.0.1.2")});
+  const auto r3 = t.add_node(VNode{VNodeKind::kRouter, "r3", ip("1.0.1.3")});
+  t.add_edge(VEdge{s0, r1, 100e6, 0, 0, 0, "s0-r1"});
+  t.add_edge(VEdge{s1, r2, 100e6, 0, 0, 0, "s1-r2"});
+  t.add_edge(VEdge{e1, r2, 100e6, 0, 0, 0, "e1-r2"});
+  t.add_edge(VEdge{e2, r3, 100e6, 0, 0, 0, "e2-r3"});
+  t.add_edge(VEdge{r1, r2, 10e6, 0, 0, 0, "l1"});
+  t.add_edge(VEdge{r2, r3, 10e6, 0, 0, 0, "l2"});
+  const auto result = max_min_allocate(
+      t, {FlowRequest{.src = ip("1.0.0.1"), .dst = ip("1.0.0.4")},   // long
+          FlowRequest{.src = ip("1.0.0.1"), .dst = ip("1.0.0.3")},   // l1 only
+          FlowRequest{.src = ip("1.0.0.2"), .dst = ip("1.0.0.4")}}); // l2 only
+  EXPECT_DOUBLE_EQ(result.flows[0].available_bps, 5e6);
+  EXPECT_DOUBLE_EQ(result.flows[1].available_bps, 5e6);
+  EXPECT_DOUBLE_EQ(result.flows[2].available_bps, 5e6);
+}
+
+TEST(MaxMin, EmptyRequestList) {
+  Dumbbell t;
+  EXPECT_TRUE(max_min_allocate(t.topo, {}).flows.empty());
+}
+
+TEST(MaxMin, ZeroAvailableBandwidthEdge) {
+  Dumbbell t(10e6, /*middle_util_ab=*/10e6);  // fully utilized
+  const FlowInfo info = single_flow_info(t.topo, FlowRequest{.src = t.a, .dst = t.b});
+  EXPECT_TRUE(info.routable());
+  EXPECT_DOUBLE_EQ(info.available_bps, 0.0);
+}
+
+}  // namespace
+}  // namespace remos::core

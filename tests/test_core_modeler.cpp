@@ -1,0 +1,179 @@
+// Modeler: Remos API semantics — topology simplification, flow queries,
+// predictions, query-cost reporting.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "core/modeler.hpp"
+
+namespace remos::core {
+namespace {
+
+using apps::LanTestbed;
+using apps::WanTestbed;
+
+WanTestbed::Params two_sites() {
+  WanTestbed::Params p;
+  p.sites = {{"cmu", 3, 100e6, 10e6}, {"eth", 3, 100e6, 4e6}};
+  p.cross_traffic_load = 0.0;
+  return p;
+}
+
+TEST(Modeler, FlowInfoReportsBottleneck) {
+  WanTestbed w(two_sites());
+  w.warm_up(30.0);
+  const FlowInfo info =
+      w.modeler->flow_info(w.addr(w.host("eth", 0)), w.addr(w.host("cmu", 0)));
+  EXPECT_TRUE(info.routable());
+  EXPECT_NEAR(info.available_bps, 4e6, 4e5);
+}
+
+TEST(Modeler, FlowQuerySharesWanBottleneck) {
+  WanTestbed w(two_sites());
+  w.warm_up(30.0);
+  FlowQuery q;
+  q.flows.push_back(FlowRequest{.src = w.addr(w.host("cmu", 0)), .dst = w.addr(w.host("eth", 0))});
+  q.flows.push_back(FlowRequest{.src = w.addr(w.host("cmu", 1)), .dst = w.addr(w.host("eth", 1))});
+  const auto infos = w.modeler->flow_query(q);
+  ASSERT_EQ(infos.size(), 2u);
+  // Both flows cross the same measured WAN edge: max-min splits it.
+  EXPECT_NEAR(infos[0].available_bps, infos[1].available_bps, 1e3);
+  EXPECT_LT(infos[0].available_bps, 3e6);
+}
+
+TEST(Modeler, LastQueryCostExposed) {
+  WanTestbed w(two_sites());
+  w.warm_up(30.0);
+  (void)w.modeler->flow_info(w.addr(w.host("cmu", 0)), w.addr(w.host("eth", 0)));
+  EXPECT_GT(w.modeler->last_query_cost_s(), 0.0);
+  EXPECT_TRUE(w.modeler->last_query_complete());
+}
+
+TEST(Modeler, TopologyQuerySimplifiesSwitches) {
+  LanTestbed::Params p;
+  p.hosts = 6;
+  p.switches = 3;
+  LanTestbed lan(p);
+  Modeler modeler(*lan.collector);
+  const auto nodes = lan.host_addrs(6);
+  const VirtualTopology topo = modeler.topology_query(nodes);
+  // The 3-switch chain collapses into one virtual switch.
+  std::size_t switches = 0, vswitches = 0;
+  for (const VNode& n : topo.nodes()) {
+    if (n.kind == VNodeKind::kSwitch) ++switches;
+    if (n.kind == VNodeKind::kVirtualSwitch) ++vswitches;
+  }
+  EXPECT_EQ(switches, 0u);
+  EXPECT_EQ(vswitches, 1u);
+  // Hosts keep their identity and access capacity.
+  for (const auto addr : nodes) {
+    const VNodeIndex v = topo.find_by_addr(addr);
+    ASSERT_NE(v, kNoVNode);
+    const auto incident = topo.incident_edges(v);
+    ASSERT_EQ(incident.size(), 1u);
+    EXPECT_DOUBLE_EQ(topo.edges()[incident[0]].capacity_bps, 100e6);
+  }
+}
+
+TEST(Modeler, SimplifyPreservesConnectivity) {
+  LanTestbed::Params p;
+  p.hosts = 8;
+  p.switches = 4;
+  LanTestbed lan(p);
+  Modeler modeler(*lan.collector);
+  const auto nodes = lan.host_addrs(8);
+  const VirtualTopology topo = modeler.topology_query(nodes);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_TRUE(topo.shortest_path(topo.find_by_addr(nodes[0]), topo.find_by_addr(nodes[i]))
+                    .has_value())
+        << i;
+  }
+}
+
+TEST(Modeler, SimplifyCanBeDisabled) {
+  LanTestbed::Params p;
+  p.hosts = 4;
+  p.switches = 2;
+  LanTestbed lan(p);
+  ModelerConfig cfg;
+  cfg.simplify_topology = false;
+  Modeler modeler(*lan.collector, cfg);
+  const VirtualTopology topo = modeler.topology_query(lan.host_addrs(4));
+  std::size_t switches = 0;
+  for (const VNode& n : topo.nodes()) {
+    if (n.kind == VNodeKind::kSwitch) ++switches;
+  }
+  EXPECT_EQ(switches, 2u);
+}
+
+TEST(Modeler, SimplifyStaticFunction) {
+  VirtualTopology t;
+  const auto h1 = t.add_node(VNode{VNodeKind::kHost, "h1", *net::Ipv4Address::parse("1.0.0.1")});
+  const auto s1 = t.add_node(VNode{VNodeKind::kSwitch, "s1", {}});
+  const auto s2 = t.add_node(VNode{VNodeKind::kSwitch, "s2", {}});
+  const auto h2 = t.add_node(VNode{VNodeKind::kHost, "h2", *net::Ipv4Address::parse("1.0.0.2")});
+  t.add_edge(VEdge{h1, s1, 100e6, 5e6, 0, 0, "e1"});
+  t.add_edge(VEdge{s1, s2, 1e9, 0, 0, 0, "trunk"});
+  t.add_edge(VEdge{s2, h2, 100e6, 0, 0, 0, "e2"});
+  const VirtualTopology simple = Modeler::simplify(t);
+  EXPECT_EQ(simple.node_count(), 3u);
+  EXPECT_EQ(simple.edge_count(), 2u);
+  // Utilization annotations survive the collapse.
+  bool saw_util = false;
+  for (const VEdge& e : simple.edges()) saw_util |= (e.util_ab_bps == 5e6);
+  EXPECT_TRUE(saw_util);
+}
+
+TEST(Modeler, PredictFlowUsesHistory) {
+  WanTestbed w(two_sites());
+  // Long warm-up so the WAN benchmark history has >= min_history samples.
+  ModelerConfig cfg;
+  cfg.min_history = 16;
+  cfg.prediction_model = rps::ModelSpec::ar(4);
+  Modeler modeler(*w.master, cfg);
+  w.warm_up(16.0 * w.params.benchmark_period_s + 30.0);
+  const auto pred = modeler.predict_flow(
+      FlowRequest{.src = w.addr(w.host("cmu", 0)), .dst = w.addr(w.host("eth", 0))}, 10);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_EQ(pred->mean_bps.size(), 10u);
+  EXPECT_EQ(pred->model_name, "AR4");
+  // Prediction should land near the quiet-network bandwidth, and within
+  // physical bounds.
+  for (double v : pred->mean_bps) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 4e6 * 1.01);
+  }
+  EXPECT_NEAR(pred->mean_bps[0], 4e6, 8e5);
+}
+
+TEST(Modeler, PredictFlowWithoutHistoryNullopt) {
+  WanTestbed w(two_sites());
+  Modeler modeler(*w.master);
+  // No warm-up: benchmark history empty -> no prediction.
+  const auto pred = modeler.predict_flow(
+      FlowRequest{.src = w.addr(w.host("cmu", 0)), .dst = w.addr(w.host("eth", 0))}, 5);
+  EXPECT_FALSE(pred.has_value());
+}
+
+TEST(Modeler, UnroutableFlowZeroInfo) {
+  WanTestbed w(two_sites());
+  const FlowInfo info =
+      w.modeler->flow_info(w.addr(w.host("cmu", 0)), *net::Ipv4Address::parse("198.51.100.7"));
+  EXPECT_FALSE(info.routable());
+  EXPECT_DOUBLE_EQ(info.available_bps, 0.0);
+}
+
+TEST(Modeler, DuplicateEndpointsHandled) {
+  WanTestbed w(two_sites());
+  FlowQuery q;
+  const auto a = w.addr(w.host("cmu", 0));
+  const auto b = w.addr(w.host("cmu", 1));
+  q.flows.push_back(FlowRequest{.src = a, .dst = b});
+  q.flows.push_back(FlowRequest{.src = b, .dst = a});
+  const auto infos = w.modeler->flow_query(q);
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_TRUE(infos[0].routable());
+  EXPECT_TRUE(infos[1].routable());
+}
+
+}  // namespace
+}  // namespace remos::core

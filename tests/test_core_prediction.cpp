@@ -1,0 +1,123 @@
+// RPS <-> Remos binding: host-load prediction system, flow bandwidth
+// sensor, client-server prediction over collector histories.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "core/prediction_service.hpp"
+
+namespace remos::core {
+namespace {
+
+using apps::LanTestbed;
+using apps::WanTestbed;
+
+TEST(HostLoadPredictionSystem, StreamsPredictionsPerSample) {
+  sim::Engine engine;
+  HostLoadPredictionSystem system(engine, sim::Rng(1), /*rate_hz=*/1.0);
+  system.start(600);
+  EXPECT_TRUE(system.running());
+  engine.run_until(100.0);
+  EXPECT_EQ(system.predictions_made(), 100u);
+  EXPECT_EQ(system.latest().mean.size(), 30u);  // default horizon
+  system.stop();
+  engine.run_until(150.0);
+  EXPECT_EQ(system.predictions_made(), 100u);
+}
+
+TEST(HostLoadPredictionSystem, Ar16BeatsSignalVariance) {
+  // The paper: "AR(16) predictors produce one-second-ahead error variances
+  // that are 70% lower than raw signal variance." Drive the same pipeline
+  // (host load sensor -> streaming AR(16)) by hand and compare.
+  sim::Engine engine;
+  net::HostLoadSensor sensor(engine, sim::Rng(2).fork("hostload-sensor"), 1.0);
+  rps::StreamingPredictor predictor(rps::ModelSpec::ar(16));
+  sim::Rng prime_rng = sim::Rng(2).fork("prime");
+  predictor.prime(net::generate_host_load(600, prime_rng));
+  sim::RunningStats errors, signal;
+  double predicted_next = 0.0;
+  bool have_prediction = false;
+  sensor.set_callback([&](sim::Time, double load) {
+    signal.add(load);
+    if (have_prediction) errors.add(load - predicted_next);
+    const auto pred = predictor.push(load);
+    predicted_next = pred.mean.empty() ? load : pred.mean[0];
+    have_prediction = true;
+  });
+  sensor.start();
+  engine.run_until(2000.0);
+  ASSERT_GT(errors.count(), 500u);
+  const double err_var = errors.variance();
+  const double sig_var = signal.variance();
+  EXPECT_LT(err_var, 0.5 * sig_var);  // comfortably beats the raw signal
+}
+
+TEST(FlowBandwidthSensor, RecordsAndPredicts) {
+  WanTestbed::Params p;
+  p.sites = {{"cmu", 2, 100e6, 10e6}, {"eth", 2, 100e6, 4e6}};
+  p.cross_traffic_load = 0.0;
+  WanTestbed w(p);
+  w.warm_up(30.0);
+  FlowBandwidthSensor sensor(w.engine, *w.modeler, w.addr(w.host("cmu", 0)),
+                             w.addr(w.host("eth", 0)), /*interval_s=*/5.0,
+                             rps::ModelSpec::ar(4), /*prime_after=*/16);
+  sensor.start();
+  w.engine.advance(5.0 * 40);
+  EXPECT_GE(sensor.history().size(), 39u);
+  const auto pred = sensor.latest_prediction();
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_NEAR(pred->mean[0], 4e6, 1e6);  // quiet network: ~eth access rate
+  sensor.stop();
+}
+
+TEST(PredictionService, PredictsCollectorResource) {
+  LanTestbed::Params p;
+  p.hosts = 4;
+  p.switches = 2;
+  LanTestbed lan(p);
+  const auto a = lan.addr(lan.hosts[0]);
+  const auto b = lan.addr(lan.hosts[1]);
+  const auto resp = lan.collector->query({a, b});
+  // Constant 20 Mb/s flow -> stationary utilization history.
+  lan.flows->start(net::FlowSpec{.src = lan.hosts[0], .dst = lan.hosts[1], .demand_bps = 20e6});
+  lan.engine.advance(5.0 * 80);
+
+  PredictionService service(*lan.collector, rps::ModelSpec::ar(4));
+  bool predicted = false;
+  for (const VEdge& e : resp.topology.edges()) {
+    const auto pred = service.predict_resource(e.id, 5);
+    if (!pred) continue;
+    predicted = true;
+    if (lan.collector->history(e.id)->latest().value > 1e6) {
+      EXPECT_NEAR(pred->mean[0], 20e6, 2e6);
+    }
+  }
+  EXPECT_TRUE(predicted);
+}
+
+TEST(PredictionService, UnknownResourceNullopt) {
+  LanTestbed lan;
+  PredictionService service(*lan.collector);
+  EXPECT_FALSE(service.predict_resource("nope", 5).has_value());
+}
+
+TEST(PredictionService, ModelOverridePerRequest) {
+  LanTestbed::Params p;
+  p.hosts = 2;
+  p.switches = 1;
+  LanTestbed lan(p);
+  const auto resp = lan.collector->query(lan.host_addrs(2));
+  lan.engine.advance(5.0 * 40);
+  PredictionService service(*lan.collector, rps::ModelSpec::ar(16));
+  for (const VEdge& e : resp.topology.edges()) {
+    // LAST on an idle link predicts 0.
+    const auto pred = service.predict_resource(e.id, 3, rps::ModelSpec::last());
+    if (pred) {
+      EXPECT_DOUBLE_EQ(pred->mean[0], 0.0);
+      return;
+    }
+  }
+  FAIL() << "no resource with history";
+}
+
+}  // namespace
+}  // namespace remos::core

@@ -1,0 +1,245 @@
+// Wire protocols: ASCII, XML, HTTP framing, XML mini-DOM, remote stubs.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "core/protocol.hpp"
+#include "core/remote.hpp"
+#include "core/xml.hpp"
+
+namespace remos::core {
+namespace {
+
+net::Ipv4Address ip(const char* text) { return *net::Ipv4Address::parse(text); }
+
+CollectorResponse sample_response() {
+  CollectorResponse resp;
+  const auto a = resp.topology.add_node(VNode{VNodeKind::kHost, "host@10.0.0.1", ip("10.0.0.1")});
+  const auto r = resp.topology.add_node(VNode{VNodeKind::kRouter, "rtr@10.0.0.254", ip("10.0.0.254")});
+  const auto v = resp.topology.add_node(VNode{VNodeKind::kVirtualSwitch, "vs:x", {}});
+  resp.topology.add_edge(VEdge{a, r, 100e6, 12.5e6, 0.25e6, 0.0015, "edge-1"});
+  resp.topology.add_edge(VEdge{r, v, 45e6, 0, 0, 0.02, "edge-2"});
+  resp.cost_s = 0.125;
+  resp.complete = false;
+  return resp;
+}
+
+void expect_equal(const CollectorResponse& x, const CollectorResponse& y) {
+  EXPECT_DOUBLE_EQ(x.cost_s, y.cost_s);
+  EXPECT_EQ(x.complete, y.complete);
+  ASSERT_EQ(x.topology.node_count(), y.topology.node_count());
+  ASSERT_EQ(x.topology.edge_count(), y.topology.edge_count());
+  for (std::size_t i = 0; i < x.topology.node_count(); ++i) {
+    EXPECT_EQ(x.topology.nodes()[i].kind, y.topology.nodes()[i].kind);
+    EXPECT_EQ(x.topology.nodes()[i].name, y.topology.nodes()[i].name);
+    EXPECT_EQ(x.topology.nodes()[i].addr, y.topology.nodes()[i].addr);
+  }
+  for (std::size_t i = 0; i < x.topology.edge_count(); ++i) {
+    const VEdge& ex = x.topology.edges()[i];
+    const VEdge& ey = y.topology.edges()[i];
+    EXPECT_EQ(ex.a, ey.a);
+    EXPECT_EQ(ex.b, ey.b);
+    EXPECT_DOUBLE_EQ(ex.capacity_bps, ey.capacity_bps);
+    EXPECT_DOUBLE_EQ(ex.util_ab_bps, ey.util_ab_bps);
+    EXPECT_DOUBLE_EQ(ex.util_ba_bps, ey.util_ba_bps);
+    EXPECT_EQ(ex.id, ey.id);
+  }
+}
+
+TEST(AsciiProtocol, QueryRoundTrip) {
+  const std::vector<net::Ipv4Address> nodes{ip("10.0.0.1"), ip("10.0.0.2")};
+  const auto decoded = ascii_decode_query(ascii_encode_query(nodes));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, nodes);
+}
+
+TEST(AsciiProtocol, EmptyQueryRoundTrip) {
+  const auto decoded = ascii_decode_query(ascii_encode_query({}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(AsciiProtocol, QueryRejectsMalformed) {
+  EXPECT_FALSE(ascii_decode_query(""));
+  EXPECT_FALSE(ascii_decode_query("HELLO\n"));
+  EXPECT_FALSE(ascii_decode_query("QUERY 1\nNODE not-an-ip\nEND\n"));
+  EXPECT_FALSE(ascii_decode_query("QUERY 1\nNODE 10.0.0.1\n"));  // missing END
+}
+
+TEST(AsciiProtocol, ResponseRoundTrip) {
+  const CollectorResponse resp = sample_response();
+  const auto decoded = ascii_decode_response(ascii_encode_response(resp));
+  ASSERT_TRUE(decoded.has_value());
+  expect_equal(resp, *decoded);
+}
+
+TEST(AsciiProtocol, ResponseRejectsCorruption) {
+  const std::string wire = ascii_encode_response(sample_response());
+  EXPECT_FALSE(ascii_decode_response("GARBAGE"));
+  // Edge referencing a nonexistent node index.
+  std::string bad = "TOPOLOGY 1 1\nVNODE 0 host h 10.0.0.1\nVEDGE 0 7 1 0 0 0 e\nEND\n";
+  EXPECT_FALSE(ascii_decode_response(bad));
+}
+
+TEST(XmlDom, BuildAndSerialize) {
+  XmlElement root("query");
+  root.add_child("node").set_attr("addr", std::string("10.0.0.1"));
+  EXPECT_EQ(root.to_string(), "<query><node addr=\"10.0.0.1\"/></query>");
+}
+
+TEST(XmlDom, ParseRoundTripWithEscapes) {
+  XmlElement root("a");
+  root.set_attr("k", std::string("x<y&\"z'"));
+  root.add_child("b").text = "1 < 2 & 3";
+  const std::string wire = root.to_string();
+  auto parsed = xml_parse(wire);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->attr("k").value(), "x<y&\"z'");
+  EXPECT_EQ(parsed->first_child("b")->text, "1 < 2 & 3");
+}
+
+TEST(XmlDom, ParseRejectsMalformed) {
+  EXPECT_EQ(xml_parse(""), nullptr);
+  EXPECT_EQ(xml_parse("<a>"), nullptr);
+  EXPECT_EQ(xml_parse("<a></b>"), nullptr);
+  EXPECT_EQ(xml_parse("<a attr></a>"), nullptr);
+  EXPECT_EQ(xml_parse("<a>text</a><b/>"), nullptr);  // two roots
+}
+
+TEST(XmlDom, ParseXmlDeclaration) {
+  auto parsed = xml_parse("<?xml version=\"1.0\"?><root x=\"1\"/>");
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->attr_int("x"), 1);
+}
+
+TEST(XmlDom, NumericAttributeHelpers) {
+  auto parsed = xml_parse("<n i=\"-5\" d=\"2.5e3\" bad=\"zz\"/>");
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->attr_int("i"), -5);
+  EXPECT_DOUBLE_EQ(parsed->attr_double("d"), 2500.0);
+  EXPECT_DOUBLE_EQ(parsed->attr_double("bad", 7.0), 7.0);
+  EXPECT_EQ(parsed->attr_int("missing", 9), 9);
+}
+
+TEST(XmlProtocol, QueryRoundTrip) {
+  const std::vector<net::Ipv4Address> nodes{ip("10.1.0.1"), ip("10.2.0.2")};
+  const auto decoded = xml_decode_query(xml_encode_query(nodes));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, nodes);
+}
+
+TEST(XmlProtocol, ResponseRoundTrip) {
+  const CollectorResponse resp = sample_response();
+  const auto decoded = xml_decode_response(xml_encode_response(resp));
+  ASSERT_TRUE(decoded.has_value());
+  expect_equal(resp, *decoded);
+}
+
+TEST(XmlProtocol, HistoryRoundTrip) {
+  sim::MeasurementHistory hist(16);
+  hist.add(1.0, 100.5);
+  hist.add(2.0, 200.25);
+  const auto decoded = xml_decode_history(xml_encode_history("edge-1", hist));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->first, "edge-1");
+  ASSERT_EQ(decoded->second.size(), 2u);
+  EXPECT_DOUBLE_EQ(decoded->second[0].value, 100.5);
+  EXPECT_DOUBLE_EQ(decoded->second[1].time, 2.0);
+}
+
+TEST(XmlProtocol, HistoryRequestRoundTrip) {
+  const auto decoded = xml_decode_history_request(xml_encode_history_request("wan:a-b"));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, "wan:a-b");
+}
+
+TEST(HttpFraming, RoundTrip) {
+  const auto unframed = http_unframe(http_frame("/query", "<query/>"));
+  ASSERT_TRUE(unframed.has_value());
+  EXPECT_EQ(unframed->first, "/query");
+  EXPECT_EQ(unframed->second, "<query/>");
+}
+
+TEST(HttpFraming, RejectsBadLengthAndMethod) {
+  EXPECT_FALSE(http_unframe("GET / HTTP/1.0\r\n\r\n"));
+  EXPECT_FALSE(http_unframe("POST /x HTTP/1.0\r\nContent-Length: 99\r\n\r\nshort"));
+  EXPECT_FALSE(http_unframe("no headers at all"));
+}
+
+TEST(Remote, AsciiLoopbackQuery) {
+  apps::LanTestbed::Params p;
+  p.hosts = 4;
+  p.switches = 2;
+  apps::LanTestbed lan(p);
+  CollectorServer server(*lan.collector, ProtocolKind::kAscii);
+  RemoteCollector remote("remote-campus", lan.collector->responsibility(),
+                         loopback_transport(server), ProtocolKind::kAscii);
+  const auto nodes = lan.host_addrs(3);
+  const CollectorResponse resp = remote.query(nodes);
+  EXPECT_TRUE(resp.complete);
+  for (const auto addr : nodes) EXPECT_NE(resp.topology.find_by_addr(addr), kNoVNode);
+  EXPECT_EQ(server.requests_handled(), 1u);
+  // ASCII protocol cannot transfer histories (the paper's stated
+  // limitation of the first protocol generation).
+  EXPECT_EQ(remote.history("anything"), nullptr);
+}
+
+TEST(Remote, XmlLoopbackQueryAndHistory) {
+  apps::LanTestbed::Params p;
+  p.hosts = 4;
+  p.switches = 2;
+  apps::LanTestbed lan(p);
+  const auto nodes = lan.host_addrs(2);
+  const auto local = lan.collector->query(nodes);
+  lan.engine.advance(30.0);  // several polls -> histories exist
+
+  CollectorServer server(*lan.collector, ProtocolKind::kXml);
+  RemoteCollector remote("remote-campus", lan.collector->responsibility(),
+                         loopback_transport(server), ProtocolKind::kXml);
+  const CollectorResponse resp = remote.query(nodes);
+  EXPECT_EQ(resp.topology.node_count(), local.topology.node_count());
+
+  // XML protocol ships measurement histories (the transition's motivation).
+  const sim::MeasurementHistory* remote_hist = nullptr;
+  for (const VEdge& e : resp.topology.edges()) {
+    remote_hist = remote.history(e.id);
+    if (remote_hist != nullptr) {
+      const auto* local_hist = lan.collector->history(e.id);
+      ASSERT_NE(local_hist, nullptr);
+      EXPECT_EQ(remote_hist->size(), local_hist->size());
+      break;
+    }
+  }
+  EXPECT_NE(remote_hist, nullptr);
+}
+
+TEST(Remote, MalformedTransportYieldsIncomplete) {
+  RemoteCollector remote("broken", {}, [](const std::string&) { return std::string("garbage"); },
+                         ProtocolKind::kAscii);
+  const CollectorResponse resp = remote.query({ip("10.0.0.1")});
+  EXPECT_FALSE(resp.complete);
+  EXPECT_EQ(resp.topology.node_count(), 0u);
+}
+
+TEST(Remote, RegistersInMasterHierarchy) {
+  // A remote (wire-protocol) collector serving a LAN, registered as a site
+  // in a Master Collector: end-to-end layered query.
+  apps::LanTestbed::Params p;
+  p.hosts = 4;
+  p.switches = 2;
+  apps::LanTestbed lan(p);
+  CollectorServer server(*lan.collector, ProtocolKind::kXml);
+  RemoteCollector remote("remote-campus", lan.collector->responsibility(),
+                         loopback_transport(server), ProtocolKind::kXml);
+  MasterCollector master;
+  master.add_site(MasterCollector::Site{"campus", &remote, {}});
+  const auto nodes = lan.host_addrs(2);
+  const auto resp = master.query(nodes);
+  EXPECT_TRUE(resp.complete);
+  EXPECT_TRUE(resp.topology
+                  .shortest_path(resp.topology.find_by_addr(nodes[0]),
+                                 resp.topology.find_by_addr(nodes[1]))
+                  .has_value());
+}
+
+}  // namespace
+}  // namespace remos::core

@@ -1,0 +1,130 @@
+// Portability hazards (§6.2): misconfigured and non-standard agents must
+// degrade the collector, never wedge it.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "core/snmp_collector.hpp"
+
+namespace remos::core {
+namespace {
+
+/// a - r1 - r2 - b with configurable quirks on r1.
+struct RoutedPair {
+  net::Network net{"quirks"};
+  sim::Engine engine;
+  net::NodeId a, r1, r2, b;
+  std::unique_ptr<snmp::AgentRegistry> agents;
+  std::unique_ptr<SnmpCollector> collector;
+
+  RoutedPair() {
+    a = net.add_host("a");
+    r1 = net.add_router("r1");
+    r2 = net.add_router("r2");
+    b = net.add_host("b");
+    net.connect(a, r1, 100e6);
+    net.connect(r1, r2, 45e6);
+    net.connect(r2, b, 100e6);
+    net.finalize();
+    agents = std::make_unique<snmp::AgentRegistry>(net, sim::Rng(1));
+  }
+
+  void make_collector() {
+    SnmpCollectorConfig cfg;
+    cfg.domain = {*net::Ipv4Prefix::parse("10.0.0.0/8")};
+    for (const net::Segment& seg : net.segments()) {
+      net::Ipv4Address gw{};
+      for (auto [node, ifidx] : seg.attachments) {
+        (void)ifidx;
+        if (net.node(node).kind == net::NodeKind::kRouter) {
+          gw = net.node(node).primary_address();
+          break;
+        }
+      }
+      cfg.subnets.push_back({seg.prefix, gw, nullptr, false, 0.0});
+    }
+    collector = std::make_unique<SnmpCollector>(engine, *agents, std::move(cfg));
+  }
+  [[nodiscard]] net::Ipv4Address addr(net::NodeId id) const {
+    return net.node(id).primary_address();
+  }
+};
+
+TEST(Quirks, MissingRouteMaskDoesNotCrash) {
+  RoutedPair t;
+  snmp::MibQuirks quirks;
+  quirks.hide_route_mask = true;  // old IOS-style agent
+  t.agents->configure(t.r1, quirks);
+  t.make_collector();
+  // The route table degenerates to default routes; discovery must finish
+  // (possibly via virtual-switch fallbacks) without wedging.
+  const auto resp = t.collector->query({t.addr(t.a), t.addr(t.b)});
+  EXPECT_NE(resp.topology.find_by_addr(t.addr(t.a)), kNoVNode);
+  EXPECT_NE(resp.topology.find_by_addr(t.addr(t.b)), kNoVNode);
+}
+
+TEST(Quirks, FlakyAgentStillConvergesOverRetries) {
+  RoutedPair t;
+  t.agents->configure(t.r1, snmp::MibQuirks{}, /*drop=*/0.2);
+  t.make_collector();
+  const auto resp = t.collector->query({t.addr(t.a), t.addr(t.b)});
+  // With 20% drops and one retry, the query very likely completes; at
+  // minimum both endpoints exist and nothing crashed.
+  EXPECT_NE(resp.topology.find_by_addr(t.addr(t.a)), kNoVNode);
+  EXPECT_GT(resp.cost_s, 0.0);
+}
+
+TEST(Quirks, TotallyDeadRouterBecomesVirtualSwitch) {
+  RoutedPair t;
+  t.agents->configure(t.r1, snmp::MibQuirks{}, /*drop=*/1.0);
+  t.make_collector();
+  const auto resp = t.collector->query({t.addr(t.a), t.addr(t.b)});
+  bool saw_vswitch = false;
+  for (const VNode& n : resp.topology.nodes()) {
+    saw_vswitch |= (n.kind == VNodeKind::kVirtualSwitch && n.name.starts_with("vs:dark:"));
+  }
+  EXPECT_TRUE(saw_vswitch);
+  // Dead agents are remembered: the second query costs far less (no
+  // repeated timeout storms).
+  const double second = t.collector->query({t.addr(t.a), t.addr(t.b)}).cost_s;
+  EXPECT_LT(second, 2.5);
+}
+
+TEST(Quirks, PairwiseDiscoveryMatchesStarTopology) {
+  apps::LanTestbed::Params p;
+  p.hosts = 8;
+  p.switches = 2;
+  apps::LanTestbed lan(p);
+  SnmpCollectorConfig cfg = lan.collector->config();
+  cfg.name = "pairwise";
+  cfg.pairwise_discovery = true;
+  SnmpCollector pairwise(lan.engine, *lan.agents, cfg);
+
+  const auto nodes = lan.host_addrs(8);
+  const auto star = lan.collector->query(nodes);
+  const auto pair = pairwise.query(nodes);
+  EXPECT_TRUE(pair.complete);
+  // Same connectivity answer, different cost profile.
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const bool star_connected =
+        star.topology
+            .shortest_path(star.topology.find_by_addr(nodes[0]),
+                           star.topology.find_by_addr(nodes[i]))
+            .has_value();
+    const bool pair_connected =
+        pair.topology
+            .shortest_path(pair.topology.find_by_addr(nodes[0]),
+                           pair.topology.find_by_addr(nodes[i]))
+            .has_value();
+    EXPECT_TRUE(star_connected);
+    EXPECT_TRUE(pair_connected);
+  }
+  // Pairwise pays more on a cold cache.
+  lan.collector->clear_caches();
+  pairwise.clear_caches();
+  const double star_cost = lan.collector->query(nodes).cost_s;
+  const double pair_cost = pairwise.query(nodes).cost_s;
+  EXPECT_GT(pair_cost, star_cost);
+}
+
+}  // namespace
+}  // namespace remos::core

@@ -1,0 +1,62 @@
+// DOT / adjacency rendering of virtual topologies.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "core/render.hpp"
+
+namespace remos::core {
+namespace {
+
+VirtualTopology sample() {
+  VirtualTopology t;
+  const auto h = t.add_node(VNode{VNodeKind::kHost, "h1", *net::Ipv4Address::parse("10.0.0.1")});
+  const auto vs = t.add_node(VNode{VNodeKind::kVirtualSwitch, "vs\"x\"", {}});
+  t.add_edge(VEdge{h, vs, 100e6, 10e6, 0, 0, "e1"});
+  return t;
+}
+
+TEST(Render, DotContainsNodesAndEdges) {
+  const std::string dot = to_dot(sample());
+  EXPECT_NE(dot.find("graph \"remos\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label=\"h1\", shape=box]"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // virtual switch
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("100.0 Mb/s"), std::string::npos);
+}
+
+TEST(Render, DotEscapesQuotes) {
+  const std::string dot = to_dot(sample());
+  EXPECT_NE(dot.find("vs\\\"x\\\""), std::string::npos);
+}
+
+TEST(Render, LabelsCanBeDisabled) {
+  RenderOptions opts;
+  opts.edge_labels = false;
+  opts.graph_name = "g2";
+  const std::string dot = to_dot(sample(), opts);
+  EXPECT_EQ(dot.find("Mb/s"), std::string::npos);
+  EXPECT_NE(dot.find("graph \"g2\""), std::string::npos);
+}
+
+TEST(Render, AdjacencyListsNeighbors) {
+  const std::string adj = to_adjacency_text(sample());
+  EXPECT_NE(adj.find("h1: vs\"x\""), std::string::npos);
+}
+
+TEST(Render, RealCollectorTopologyRenders) {
+  apps::LanTestbed::Params p;
+  p.hosts = 4;
+  p.switches = 2;
+  apps::LanTestbed lan(p);
+  const auto resp = lan.collector->query(lan.host_addrs(4));
+  const std::string dot = to_dot(resp.topology);
+  // Every node appears once; DOT is balanced.
+  for (const VNode& n : resp.topology.nodes()) {
+    EXPECT_NE(dot.find(n.name), std::string::npos) << n.name;
+  }
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'), 1);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '}'), 1);
+}
+
+}  // namespace
+}  // namespace remos::core

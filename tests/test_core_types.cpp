@@ -1,0 +1,129 @@
+// VirtualTopology: node/edge management, merging, shortest paths.
+#include <gtest/gtest.h>
+
+#include "core/types.hpp"
+
+namespace remos::core {
+namespace {
+
+net::Ipv4Address ip(const char* text) { return *net::Ipv4Address::parse(text); }
+
+TEST(VirtualTopology, EnsureNodeDeduplicatesByName) {
+  VirtualTopology t;
+  const VNodeIndex a = t.ensure_node(VNode{VNodeKind::kHost, "h1", ip("10.0.0.1")});
+  const VNodeIndex b = t.ensure_node(VNode{VNodeKind::kHost, "h1", ip("10.0.0.9")});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_EQ(t.nodes()[a].addr, ip("10.0.0.1"));  // first writer wins
+}
+
+TEST(VirtualTopology, FindByAddrIgnoresZero) {
+  VirtualTopology t;
+  t.add_node(VNode{VNodeKind::kVirtualSwitch, "vs", {}});
+  EXPECT_EQ(t.find_by_addr(net::Ipv4Address{}), kNoVNode);
+}
+
+TEST(VirtualTopology, DuplicateEdgeUpdatesMeasurements) {
+  VirtualTopology t;
+  const VNodeIndex a = t.add_node(VNode{VNodeKind::kHost, "a", ip("10.0.0.1")});
+  const VNodeIndex b = t.add_node(VNode{VNodeKind::kHost, "b", ip("10.0.0.2")});
+  t.add_edge(VEdge{a, b, 1e6, 100.0, 200.0, 0.0, "e1"});
+  t.add_edge(VEdge{a, b, 1e6, 300.0, 400.0, 0.0, "e1"});
+  ASSERT_EQ(t.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.edges()[0].util_ab_bps, 300.0);
+}
+
+TEST(VirtualTopology, DuplicateEdgeFlippedEndpointsSwapsDirections) {
+  VirtualTopology t;
+  const VNodeIndex a = t.add_node(VNode{VNodeKind::kHost, "a", ip("10.0.0.1")});
+  const VNodeIndex b = t.add_node(VNode{VNodeKind::kHost, "b", ip("10.0.0.2")});
+  t.add_edge(VEdge{a, b, 1e6, 100.0, 200.0, 0.0, "e1"});
+  t.add_edge(VEdge{b, a, 1e6, 999.0, 111.0, 0.0, "e1"});
+  ASSERT_EQ(t.edge_count(), 1u);
+  // b->a utilization 999 maps onto the stored edge's a<-b direction.
+  EXPECT_DOUBLE_EQ(t.edges()[0].util_ab_bps, 111.0);
+  EXPECT_DOUBLE_EQ(t.edges()[0].util_ba_bps, 999.0);
+}
+
+TEST(VirtualTopology, AvailableBandwidthClampsAtZero) {
+  VEdge e;
+  e.capacity_bps = 10e6;
+  e.util_ab_bps = 12e6;  // over-measured
+  e.util_ba_bps = 4e6;
+  EXPECT_DOUBLE_EQ(e.available_bps(true), 0.0);
+  EXPECT_DOUBLE_EQ(e.available_bps(false), 6e6);
+}
+
+TEST(VirtualTopology, MergeUnionsByName) {
+  VirtualTopology t1, t2;
+  const VNodeIndex a1 = t1.add_node(VNode{VNodeKind::kHost, "a", ip("10.0.0.1")});
+  const VNodeIndex r1 = t1.add_node(VNode{VNodeKind::kRouter, "r", ip("10.0.0.254")});
+  t1.add_edge(VEdge{a1, r1, 1e6, 0, 0, 0, "a-r"});
+  const VNodeIndex r2 = t2.add_node(VNode{VNodeKind::kRouter, "r", ip("10.0.0.254")});
+  const VNodeIndex b2 = t2.add_node(VNode{VNodeKind::kHost, "b", ip("10.0.1.1")});
+  t2.add_edge(VEdge{r2, b2, 2e6, 0, 0, 0, "r-b"});
+  t1.merge(t2);
+  EXPECT_EQ(t1.node_count(), 3u);  // r deduplicated
+  EXPECT_EQ(t1.edge_count(), 2u);
+  // The merged graph connects a to b through r.
+  const auto path = t1.shortest_path(t1.find_by_name("a"), t1.find_by_name("b"));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 2u);
+}
+
+TEST(VirtualTopology, ShortestPathPrefersFewerHops) {
+  VirtualTopology t;
+  const VNodeIndex a = t.add_node(VNode{VNodeKind::kHost, "a", ip("1.0.0.1")});
+  const VNodeIndex b = t.add_node(VNode{VNodeKind::kHost, "b", ip("1.0.0.2")});
+  const VNodeIndex s1 = t.add_node(VNode{VNodeKind::kSwitch, "s1", {}});
+  const VNodeIndex s2 = t.add_node(VNode{VNodeKind::kSwitch, "s2", {}});
+  t.add_edge(VEdge{a, s1, 1e6, 0, 0, 0, "a-s1"});
+  t.add_edge(VEdge{s1, s2, 1e6, 0, 0, 0, "s1-s2"});
+  t.add_edge(VEdge{s2, b, 1e6, 0, 0, 0, "s2-b"});
+  t.add_edge(VEdge{s1, b, 1e6, 0, 0, 0, "s1-b"});  // shortcut
+  const auto path = t.shortest_path(a, b);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 2u);
+}
+
+TEST(VirtualTopology, ShortestPathDoesNotTransitHosts) {
+  VirtualTopology t;
+  const VNodeIndex a = t.add_node(VNode{VNodeKind::kHost, "a", ip("1.0.0.1")});
+  const VNodeIndex mid = t.add_node(VNode{VNodeKind::kHost, "mid", ip("1.0.0.3")});
+  const VNodeIndex b = t.add_node(VNode{VNodeKind::kHost, "b", ip("1.0.0.2")});
+  t.add_edge(VEdge{a, mid, 1e6, 0, 0, 0, "a-mid"});
+  t.add_edge(VEdge{mid, b, 1e6, 0, 0, 0, "mid-b"});
+  EXPECT_FALSE(t.shortest_path(a, b).has_value());  // hosts do not forward
+}
+
+TEST(VirtualTopology, ShortestPathDisconnected) {
+  VirtualTopology t;
+  const VNodeIndex a = t.add_node(VNode{VNodeKind::kHost, "a", ip("1.0.0.1")});
+  const VNodeIndex b = t.add_node(VNode{VNodeKind::kHost, "b", ip("1.0.0.2")});
+  EXPECT_FALSE(t.shortest_path(a, b).has_value());
+  EXPECT_TRUE(t.shortest_path(a, a)->empty());
+}
+
+TEST(VirtualTopology, TextRenderingMentionsNodes) {
+  VirtualTopology t;
+  const VNodeIndex a = t.add_node(VNode{VNodeKind::kHost, "alpha", ip("1.0.0.1")});
+  const VNodeIndex b = t.add_node(VNode{VNodeKind::kRouter, "beta", ip("1.0.0.2")});
+  t.add_edge(VEdge{a, b, 5e6, 1e6, 0, 0, "e"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+}
+
+TEST(VirtualTopology, IncidentEdges) {
+  VirtualTopology t;
+  const VNodeIndex a = t.add_node(VNode{VNodeKind::kHost, "a", ip("1.0.0.1")});
+  const VNodeIndex b = t.add_node(VNode{VNodeKind::kSwitch, "b", {}});
+  const VNodeIndex c = t.add_node(VNode{VNodeKind::kHost, "c", ip("1.0.0.2")});
+  t.add_edge(VEdge{a, b, 1, 0, 0, 0, "ab"});
+  t.add_edge(VEdge{b, c, 1, 0, 0, 0, "bc"});
+  EXPECT_EQ(t.incident_edges(b).size(), 2u);
+  EXPECT_EQ(t.incident_edges(a).size(), 1u);
+}
+
+}  // namespace
+}  // namespace remos::core

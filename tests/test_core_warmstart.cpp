@@ -1,0 +1,65 @@
+// Computational-center warm start (§3.1.1's "logical extension"): a
+// collector configured with warm_start_nodes pre-discovers them so the
+// first application query is already warm.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "core/snmp_collector.hpp"
+
+namespace remos::core {
+namespace {
+
+TEST(WarmStart, FirstQueryIsAlreadyWarm) {
+  apps::LanTestbed::Params p;
+  p.hosts = 16;
+  p.switches = 3;
+  apps::LanTestbed lan(p);
+  const auto nodes = lan.host_addrs(16);
+
+  // Reference: a cold collector's first-query cost.
+  const double cold_cost = lan.collector->query(nodes).cost_s;
+  const double warm_cost = lan.collector->query(nodes).cost_s;
+
+  // A second collector configured to pre-monitor the same nodes.
+  SnmpCollectorConfig cfg = lan.collector->config();
+  cfg.name = "center-snmp";
+  cfg.warm_start_nodes = nodes;
+  SnmpCollector center(lan.engine, *lan.agents, cfg);
+  EXPECT_GT(center.monitored_interface_count(), 0u);  // monitoring began at startup
+
+  const double first_query = center.query(nodes).cost_s;
+  EXPECT_LT(first_query, cold_cost / 2.0);
+  EXPECT_NEAR(first_query, warm_cost, warm_cost);  // same ballpark as warm
+}
+
+TEST(WarmStart, MonitoringRunsBeforeAnyQuery) {
+  apps::LanTestbed::Params p;
+  p.hosts = 4;
+  p.switches = 1;
+  apps::LanTestbed lan(p);
+  SnmpCollectorConfig cfg = lan.collector->config();
+  cfg.name = "center-snmp";
+  cfg.warm_start_nodes = lan.host_addrs(4);
+  SnmpCollector center(lan.engine, *lan.agents, cfg);
+
+  // Traffic flows; the pre-started monitor sees it without any query.
+  lan.flows->start(net::FlowSpec{.src = lan.hosts[0], .dst = lan.hosts[1], .demand_bps = 30e6});
+  lan.engine.advance(11.0);
+  const auto resp = center.query(lan.host_addrs(2));
+  double max_util = 0.0;
+  for (const VEdge& e : resp.topology.edges()) {
+    max_util = std::max({max_util, e.util_ab_bps, e.util_ba_bps});
+  }
+  EXPECT_NEAR(max_util, 30e6, 2e6);
+}
+
+TEST(WarmStart, EmptyListMeansOnDemand) {
+  apps::LanTestbed::Params p;
+  p.hosts = 2;
+  p.switches = 1;
+  apps::LanTestbed lan(p);
+  EXPECT_EQ(lan.collector->monitored_interface_count(), 0u);  // default: on-demand
+}
+
+}  // namespace
+}  // namespace remos::core

@@ -1,0 +1,138 @@
+// Wireless Collector: association tracking, handoffs, expected bandwidth.
+#include <gtest/gtest.h>
+
+#include "core/wireless_collector.hpp"
+#include "net/flows.hpp"
+
+namespace remos::core {
+namespace {
+
+/// Wired distribution switch with two APs (hubs) and three stations.
+struct Wlan {
+  net::Network net{"wlan"};
+  sim::Engine engine;
+  net::NodeId sw, ap1, ap2;
+  net::NodeId s0, s1, s2;   // stations
+  net::NodeId wired;        // a wired host on the switch
+  std::unique_ptr<WirelessCollector> collector;
+
+  explicit Wlan(double poll_s = 5.0) {
+    sw = net.add_switch("dist-sw");
+    ap1 = net.add_hub("ap1", 11e6);  // 802.11b-ish
+    ap2 = net.add_hub("ap2", 11e6);
+    net.connect(sw, ap1, 100e6);
+    net.connect(sw, ap2, 100e6);
+    s0 = net.add_host("s0");
+    s1 = net.add_host("s1");
+    s2 = net.add_host("s2");
+    net.connect(s0, ap1, 11e6);
+    net.connect(s1, ap1, 11e6);
+    net.connect(s2, ap2, 11e6);
+    wired = net.add_host("wired");
+    net.connect(wired, sw, 100e6);
+    net.finalize();
+
+    WirelessCollectorConfig cfg;
+    cfg.domain = {net.segment(0).prefix};
+    cfg.association_poll_s = poll_s;
+    collector = std::make_unique<WirelessCollector>(engine, net, std::vector{ap1, ap2},
+                                                    std::move(cfg));
+  }
+  [[nodiscard]] net::Ipv4Address addr(net::NodeId id) const {
+    return net.node(id).primary_address();
+  }
+};
+
+TEST(WirelessCollector, InitialAssociations) {
+  Wlan w;
+  EXPECT_EQ(w.collector->association_of(w.addr(w.s0)), w.ap1);
+  EXPECT_EQ(w.collector->association_of(w.addr(w.s1)), w.ap1);
+  EXPECT_EQ(w.collector->association_of(w.addr(w.s2)), w.ap2);
+  EXPECT_EQ(w.collector->station_count(w.ap1), 2u);
+  EXPECT_EQ(w.collector->station_count(w.ap2), 1u);
+}
+
+TEST(WirelessCollector, WiredHostsAreNotStations) {
+  Wlan w;
+  EXPECT_EQ(w.collector->association_of(w.addr(w.wired)), net::kNone);
+  EXPECT_FALSE(w.collector->expected_bandwidth(w.addr(w.wired)).has_value());
+}
+
+TEST(WirelessCollector, ExpectedBandwidthSplitsSharedMedium) {
+  Wlan w;
+  // ap1 carries two stations: each can expect half of 11 Mb/s.
+  EXPECT_DOUBLE_EQ(*w.collector->expected_bandwidth(w.addr(w.s0)), 5.5e6);
+  // ap2 carries one: the full medium.
+  EXPECT_DOUBLE_EQ(*w.collector->expected_bandwidth(w.addr(w.s2)), 11e6);
+}
+
+TEST(WirelessCollector, HandoffDetectedByPoll) {
+  Wlan w(/*poll_s=*/0.0);  // manual polling
+  w.net.move_host(w.s0, w.ap2, 11e6);
+  EXPECT_EQ(w.collector->poll_associations(), 1u);
+  EXPECT_EQ(w.collector->handoff_count(), 1u);
+  EXPECT_EQ(w.collector->association_of(w.addr(w.s0)), w.ap2);
+  EXPECT_EQ(w.collector->station_count(w.ap2), 2u);
+  EXPECT_DOUBLE_EQ(*w.collector->expected_bandwidth(w.addr(w.s2)), 5.5e6);
+}
+
+TEST(WirelessCollector, PeriodicPollCatchesRoaming) {
+  Wlan w(/*poll_s=*/2.0);
+  w.net.move_host(w.s1, w.ap2, 11e6);
+  w.engine.run_until(3.0);
+  EXPECT_EQ(w.collector->handoff_count(), 1u);
+  EXPECT_EQ(w.collector->association_of(w.addr(w.s1)), w.ap2);
+}
+
+TEST(WirelessCollector, StableNetworkNoHandoffs) {
+  Wlan w(/*poll_s=*/1.0);
+  w.engine.run_until(30.0);
+  EXPECT_EQ(w.collector->handoff_count(), 0u);
+}
+
+TEST(WirelessCollector, QueryRendersApsAsVirtualSwitches) {
+  Wlan w;
+  const auto resp = w.collector->query({w.addr(w.s0), w.addr(w.s2)});
+  EXPECT_TRUE(resp.complete);
+  std::size_t vswitches = 0;
+  for (const VNode& n : resp.topology.nodes()) {
+    if (n.kind == VNodeKind::kVirtualSwitch) ++vswitches;
+  }
+  // ap1 + ap2 + the distribution joiner.
+  EXPECT_EQ(vswitches, 3u);
+  // Stations connect; the path crosses both APs.
+  const auto path = resp.topology.shortest_path(resp.topology.find_by_addr(w.addr(w.s0)),
+                                                resp.topology.find_by_addr(w.addr(w.s2)));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 4u);
+}
+
+TEST(WirelessCollector, QueryAnnotatesContention) {
+  Wlan w;
+  const auto resp = w.collector->query({w.addr(w.s0)});
+  ASSERT_EQ(resp.topology.edge_count(), 1u);
+  const VEdge& e = resp.topology.edges()[0];
+  EXPECT_DOUBLE_EQ(e.capacity_bps, 11e6);
+  // Two stations on ap1: a new flow can expect half.
+  EXPECT_DOUBLE_EQ(e.available_bps(true), 5.5e6);
+}
+
+TEST(WirelessCollector, UnknownStationIncomplete) {
+  Wlan w;
+  const auto resp = w.collector->query({*net::Ipv4Address::parse("203.0.113.5")});
+  EXPECT_FALSE(resp.complete);
+}
+
+TEST(WirelessCollector, FluidModelAgreesWithExpectation) {
+  // Ground truth check: two greedy flows out of ap1's stations really do
+  // split the 11 Mb/s medium — the collector's estimate is honest.
+  Wlan w;
+  net::FlowEngine flows(w.engine, w.net);
+  const auto f0 = flows.start(net::FlowSpec{.src = w.s0, .dst = w.wired});
+  const auto f1 = flows.start(net::FlowSpec{.src = w.s1, .dst = w.wired});
+  EXPECT_DOUBLE_EQ(flows.rate(f0), 5.5e6);
+  EXPECT_DOUBLE_EQ(flows.rate(f1), 5.5e6);
+}
+
+}  // namespace
+}  // namespace remos::core

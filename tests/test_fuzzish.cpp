@@ -1,0 +1,121 @@
+// Robustness sweeps: parsers and decoders must reject or survive mangled
+// input — never crash, hang, or return half-validated garbage.
+#include <gtest/gtest.h>
+
+#include "core/protocol.hpp"
+#include "core/xml.hpp"
+#include "sim/rng.hpp"
+#include "snmp/oid.hpp"
+
+namespace remos {
+namespace {
+
+std::string random_bytes(sim::Rng& rng, std::size_t max_len) {
+  const auto len = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(max_len)));
+  std::string out(len, '\0');
+  for (char& c : out) c = static_cast<char>(rng.uniform_int(1, 255));
+  return out;
+}
+
+/// Mutate a valid document: flip, delete, or insert bytes.
+std::string mangle(std::string doc, sim::Rng& rng) {
+  const int edits = static_cast<int>(rng.uniform_int(1, 8));
+  for (int e = 0; e < edits && !doc.empty(); ++e) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(doc.size()) - 1));
+    switch (rng.uniform_int(0, 2)) {
+      case 0: doc[pos] = static_cast<char>(rng.uniform_int(1, 255)); break;
+      case 1: doc.erase(pos, 1); break;
+      default: doc.insert(pos, 1, static_cast<char>(rng.uniform_int(32, 126))); break;
+    }
+  }
+  return doc;
+}
+
+core::CollectorResponse sample_response() {
+  core::CollectorResponse resp;
+  const auto a = resp.topology.add_node(
+      core::VNode{core::VNodeKind::kHost, "host@10.0.0.1", *net::Ipv4Address::parse("10.0.0.1")});
+  const auto b = resp.topology.add_node(
+      core::VNode{core::VNodeKind::kRouter, "rtr@10.0.0.254", *net::Ipv4Address::parse("10.0.0.254")});
+  resp.topology.add_edge(core::VEdge{a, b, 1e8, 1e6, 2e6, 0.001, "edge-1"});
+  resp.cost_s = 0.5;
+  return resp;
+}
+
+TEST(Fuzzish, XmlParserSurvivesRandomBytes) {
+  sim::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    (void)core::xml_parse(random_bytes(rng, 200));  // must not crash/hang
+  }
+}
+
+TEST(Fuzzish, XmlParserSurvivesMangledDocuments) {
+  sim::Rng rng(2);
+  const std::string valid = core::xml_encode_response(sample_response());
+  for (int i = 0; i < 2000; ++i) {
+    const std::string doc = mangle(valid, rng);
+    auto parsed = core::xml_parse(doc);
+    // Parsing may succeed or fail; decoding must validate what it accepts.
+    auto decoded = core::xml_decode_response(doc);
+    if (decoded) {
+      for (const auto& e : decoded->topology.edges()) {
+        EXPECT_LT(e.a, decoded->topology.node_count());
+        EXPECT_LT(e.b, decoded->topology.node_count());
+      }
+    }
+    (void)parsed;
+  }
+}
+
+TEST(Fuzzish, AsciiDecoderSurvivesMangledResponses) {
+  sim::Rng rng(3);
+  const std::string valid = core::ascii_encode_response(sample_response());
+  for (int i = 0; i < 2000; ++i) {
+    auto decoded = core::ascii_decode_response(mangle(valid, rng));
+    if (decoded) {
+      for (const auto& e : decoded->topology.edges()) {
+        EXPECT_LT(e.a, decoded->topology.node_count());
+        EXPECT_LT(e.b, decoded->topology.node_count());
+      }
+    }
+  }
+}
+
+TEST(Fuzzish, AsciiQueryDecoderSurvives) {
+  sim::Rng rng(4);
+  const std::string valid = core::ascii_encode_query(
+      {*net::Ipv4Address::parse("10.0.0.1"), *net::Ipv4Address::parse("10.0.0.2")});
+  for (int i = 0; i < 2000; ++i) {
+    (void)core::ascii_decode_query(mangle(valid, rng));
+    (void)core::ascii_decode_query(random_bytes(rng, 120));
+  }
+}
+
+TEST(Fuzzish, HttpUnframeSurvives) {
+  sim::Rng rng(5);
+  const std::string valid = core::http_frame("/query", "<query/>");
+  for (int i = 0; i < 2000; ++i) {
+    (void)core::http_unframe(mangle(valid, rng));
+    (void)core::http_unframe(random_bytes(rng, 150));
+  }
+}
+
+TEST(Fuzzish, OidParserSurvives) {
+  sim::Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    (void)snmp::Oid::parse(random_bytes(rng, 60));
+    (void)snmp::Oid::parse(mangle("1.3.6.1.2.1.2.2.1.10.4", rng));
+  }
+}
+
+TEST(Fuzzish, Ipv4ParserSurvives) {
+  sim::Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    (void)net::Ipv4Address::parse(random_bytes(rng, 24));
+    (void)net::Ipv4Prefix::parse(mangle("10.20.30.0/24", rng));
+  }
+}
+
+}  // namespace
+}  // namespace remos

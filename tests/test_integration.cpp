@@ -1,0 +1,224 @@
+// End-to-end integration scenarios through the full Remos stack:
+// failure injection, counter wrap, mobility under monitoring, protocol
+// federation, prediction round trips.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "core/prediction_service.hpp"
+#include "core/remote.hpp"
+#include "snmp/oids.hpp"
+
+namespace remos {
+namespace {
+
+using apps::LanTestbed;
+using apps::WanTestbed;
+
+TEST(Integration, QueryDuringLiveTrafficReflectsUtilization) {
+  LanTestbed::Params p;
+  p.hosts = 6;
+  p.switches = 2;
+  LanTestbed lan(p);
+  core::Modeler modeler(*lan.collector);
+  // First query discovers the path and starts monitoring it.
+  (void)modeler.flow_info(lan.addr(lan.hosts[4]), lan.addr(lan.hosts[1]));
+
+  // Two concurrent flows at different rates; Remos should see the sum on
+  // shared segments and the modeler's availability must reflect it.
+  lan.flows->start(net::FlowSpec{.src = lan.hosts[0], .dst = lan.hosts[1], .demand_bps = 20e6});
+  lan.flows->start(net::FlowSpec{.src = lan.hosts[2], .dst = lan.hosts[1], .demand_bps = 30e6});
+  lan.engine.advance(11.0);
+
+  const auto info = modeler.flow_info(lan.addr(lan.hosts[4]), lan.addr(lan.hosts[1]));
+  // h1's 100 Mb access carries 50 Mb inbound; a new flow can expect ~50.
+  EXPECT_NEAR(info.available_bps, 50e6, 5e6);
+}
+
+TEST(Integration, AgentFailureMidOperationDegradesGracefully) {
+  LanTestbed::Params p;
+  p.hosts = 4;
+  p.switches = 2;
+  LanTestbed lan(p);
+  const auto nodes = lan.host_addrs(4);
+  const auto before = lan.collector->query(nodes);
+  EXPECT_TRUE(before.complete);
+
+  // sw1's agent starts dropping everything (crash / ACL change).
+  lan.agents->configure(lan.switches[1], snmp::MibQuirks{}, /*drop=*/1.0);
+  lan.engine.advance(30.0);  // polls hit timeouts; must not wedge anything
+
+  // Queries still answer from cached structure.
+  const auto after = lan.collector->query(nodes);
+  EXPECT_EQ(after.topology.node_count(), before.topology.node_count());
+}
+
+TEST(Integration, NonStandardAgentWithoutIfSpeed) {
+  // §6.2: "network elements that were misconfigured or have non-standard
+  // features (e.g. non-standard SNMP implementations)". An agent without
+  // ifSpeed yields capacity-unknown edges, which the modeler treats as
+  // unconstrained rather than zero.
+  net::Network net("odd");
+  sim::Engine engine;
+  const auto a = net.add_host("a");
+  const auto r1 = net.add_router("r1");
+  const auto r2 = net.add_router("r2");
+  const auto b = net.add_host("b");
+  net.connect(a, r1, 100e6);
+  net.connect(r1, r2, 45e6);
+  net.connect(r2, b, 100e6);
+  net.finalize();
+  snmp::AgentRegistry agents(net, sim::Rng(1));
+  snmp::MibQuirks quirks;
+  quirks.hide_if_speed = true;
+  agents.configure(r1, quirks);
+
+  core::SnmpCollectorConfig cfg;
+  cfg.domain = {*net::Ipv4Prefix::parse("10.0.0.0/8")};
+  for (const net::Segment& seg : net.segments()) {
+    net::Ipv4Address gw{};
+    for (auto [node, ifidx] : seg.attachments) {
+      (void)ifidx;
+      if (net.node(node).kind == net::NodeKind::kRouter) {
+        gw = net.node(node).primary_address();
+        break;
+      }
+    }
+    cfg.subnets.push_back({seg.prefix, gw, nullptr, false, 0.0});
+  }
+  core::SnmpCollector collector(engine, agents, std::move(cfg));
+  core::Modeler modeler(collector);
+  const auto info =
+      modeler.flow_info(net.node(a).primary_address(), net.node(b).primary_address());
+  EXPECT_TRUE(info.routable());
+  // r2's interfaces still report speeds, so the path is not fully unknown.
+  EXPECT_GT(info.available_bps, 0.0);
+}
+
+TEST(Integration, Counter32WrapHandledByCollector) {
+  LanTestbed::Params p;
+  p.hosts = 2;
+  p.switches = 1;
+  LanTestbed lan(p);
+  const auto nodes = lan.host_addrs(2);
+  (void)lan.collector->query(nodes);
+
+  // Push every monitored counter close to the 2^32 boundary, then run
+  // traffic across the wrap. Utilization must stay sane (no 4 GB/s spikes).
+  for (net::NodeId id = 0; id < lan.net.node_count(); ++id) {
+    for (auto& ifc : lan.net.node(id).interfaces) {
+      ifc.in_octets = 0xFFFFFF00ull;
+      ifc.out_octets = 0xFFFFFF00ull;
+    }
+  }
+  lan.collector->poll_now();  // re-baseline near the wrap
+  lan.flows->start(net::FlowSpec{.src = lan.hosts[0], .dst = lan.hosts[1], .demand_bps = 40e6});
+  lan.engine.advance(11.0);
+  const auto resp = lan.collector->query(nodes);
+  for (const core::VEdge& e : resp.topology.edges()) {
+    EXPECT_LT(e.util_ab_bps, 101e6) << e.id;  // within physical limits
+    EXPECT_LT(e.util_ba_bps, 101e6) << e.id;
+  }
+  double max_util = 0.0;
+  for (const core::VEdge& e : resp.topology.edges()) {
+    max_util = std::max({max_util, e.util_ab_bps, e.util_ba_bps});
+  }
+  EXPECT_NEAR(max_util, 40e6, 3e6);  // correct rate across the wrap
+}
+
+TEST(Integration, MobilityDuringMonitoring) {
+  LanTestbed::Params p;
+  p.hosts = 6;
+  p.switches = 3;
+  p.location_check_interval_s = 5.0;
+  LanTestbed lan(p);
+  core::Modeler modeler(*lan.collector);
+  const auto nodes = lan.host_addrs(6);
+  (void)modeler.topology_query(nodes);
+
+  // h0 roams across all switches while monitoring runs.
+  lan.engine.advance(7.0);
+  lan.net.move_host(lan.hosts[0], lan.switches[1], 100e6);
+  lan.engine.advance(12.0);
+  lan.net.move_host(lan.hosts[0], lan.switches[2], 100e6);
+  lan.engine.advance(12.0);
+  EXPECT_EQ(lan.bridge->move_count(), 2u);
+
+  // Topology queries reflect the final location: h0 and a host on sw2
+  // are now one switch apart.
+  const auto resp = lan.collector->query({lan.addr(lan.hosts[0]), lan.addr(lan.hosts[2])});
+  const auto path = resp.topology.shortest_path(
+      resp.topology.find_by_addr(lan.addr(lan.hosts[0])),
+      resp.topology.find_by_addr(lan.addr(lan.hosts[2])));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 2u);
+}
+
+TEST(Integration, FullGridStackWithXmlProtocolAndPrediction) {
+  // Modeler -> Master -> XML/HTTP remote -> SNMP collector, with an RPS
+  // prediction on a collector-held history fetched over the wire.
+  LanTestbed::Params p;
+  p.hosts = 4;
+  p.switches = 2;
+  LanTestbed lan(p);
+  core::CollectorServer server(*lan.collector, core::ProtocolKind::kXml);
+  core::RemoteCollector remote("remote-campus", lan.collector->responsibility(),
+                               core::loopback_transport(server), core::ProtocolKind::kXml);
+  core::MasterCollector master;
+  master.add_site(core::MasterCollector::Site{"campus", &remote, {}});
+  core::ModelerConfig mcfg;
+  mcfg.min_history = 32;
+  mcfg.prediction_model = rps::ModelSpec::ar(4);
+  core::Modeler modeler(master, mcfg);
+
+  // Discover first so monitoring begins, then run steady traffic so the
+  // histories carry signal.
+  (void)modeler.flow_info(lan.addr(lan.hosts[0]), lan.addr(lan.hosts[1]));
+  lan.flows->start(net::FlowSpec{.src = lan.hosts[0], .dst = lan.hosts[1], .demand_bps = 25e6});
+  lan.engine.advance(5.0 * 40);
+
+  const auto info = modeler.flow_info(lan.addr(lan.hosts[0]), lan.addr(lan.hosts[1]));
+  EXPECT_TRUE(info.routable());
+  EXPECT_NEAR(info.available_bps, 75e6, 8e6);
+
+  const auto pred = modeler.predict_flow(
+      core::FlowRequest{.src = lan.addr(lan.hosts[0]), .dst = lan.addr(lan.hosts[1])}, 5);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_NEAR(pred->mean_bps[0], 75e6, 10e6);
+}
+
+TEST(Integration, PredictionServiceSharesAcrossConsumers) {
+  WanTestbed::Params p;
+  p.sites = {{"a", 2, 100e6, 5e6}, {"b", 2, 100e6, 5e6}};
+  p.cross_traffic_load = 0.0;
+  WanTestbed w(p);
+  w.warm_up(16 * w.params.benchmark_period_s + 10.0);
+  core::PredictionService service(*w.master, rps::ModelSpec::ar(4));
+  const auto p1 = service.predict_resource("wan:a-b", 5);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_NEAR(p1->mean[0], 5e6, 1e6);
+}
+
+TEST(Integration, TwoApplicationsTwoModelersOneCollector) {
+  // "By connecting a different Modeler to each application, the modeler
+  // architecture provides the flexibility needed" — two modelers with
+  // different post-processing share one collector.
+  LanTestbed::Params p;
+  p.hosts = 4;
+  p.switches = 2;
+  LanTestbed lan(p);
+  core::ModelerConfig raw_cfg;
+  raw_cfg.simplify_topology = false;
+  core::Modeler simplifying(*lan.collector);
+  core::Modeler raw(*lan.collector, raw_cfg);
+  const auto nodes = lan.host_addrs(4);
+  const auto t1 = simplifying.topology_query(nodes);
+  const auto t2 = raw.topology_query(nodes);
+  EXPECT_LT(t1.node_count(), t2.node_count());  // simplification collapsed switches
+  // Both agree on flow-level answers.
+  const auto i1 = simplifying.flow_info(nodes[0], nodes[1]);
+  const auto i2 = raw.flow_info(nodes[0], nodes[1]);
+  EXPECT_DOUBLE_EQ(i1.available_bps, i2.available_bps);
+}
+
+}  // namespace
+}  // namespace remos

@@ -1,0 +1,253 @@
+// FlowEngine: max-min fairness, demand caps, octet accounting, completion.
+#include <gtest/gtest.h>
+
+#include "net/flows.hpp"
+#include "net/l2.hpp"
+
+namespace remos::net {
+namespace {
+
+/// Dumbbell: a0,a1 - swL - r0 --bottleneck-- r1 - swR - b0,b1
+struct Dumbbell {
+  Network net{"dumbbell"};
+  sim::Engine engine;
+  NodeId a0, a1, b0, b1, r0, r1;
+  std::unique_ptr<FlowEngine> flows;
+
+  explicit Dumbbell(double bottleneck_bps = 10e6) {
+    const NodeId swl = net.add_switch("swL");
+    const NodeId swr = net.add_switch("swR");
+    r0 = net.add_router("r0");
+    r1 = net.add_router("r1");
+    a0 = net.add_host("a0");
+    a1 = net.add_host("a1");
+    b0 = net.add_host("b0");
+    b1 = net.add_host("b1");
+    net.connect(a0, swl, 100e6);
+    net.connect(a1, swl, 100e6);
+    net.connect(swl, r0, 1e9);
+    net.connect(r0, r1, bottleneck_bps);
+    net.connect(r1, swr, 1e9);
+    net.connect(b0, swr, 100e6);
+    net.connect(b1, swr, 100e6);
+    net.finalize();
+    flows = std::make_unique<FlowEngine>(engine, net);
+  }
+};
+
+TEST(FlowEngine, SingleGreedyFlowGetsBottleneck) {
+  Dumbbell d;
+  const FlowId f = d.flows->start(FlowSpec{.src = d.a0, .dst = d.b0});
+  EXPECT_DOUBLE_EQ(d.flows->rate(f), 10e6);
+}
+
+TEST(FlowEngine, TwoGreedyFlowsShareFairly) {
+  Dumbbell d;
+  const FlowId f1 = d.flows->start(FlowSpec{.src = d.a0, .dst = d.b0});
+  const FlowId f2 = d.flows->start(FlowSpec{.src = d.a1, .dst = d.b1});
+  EXPECT_DOUBLE_EQ(d.flows->rate(f1), 5e6);
+  EXPECT_DOUBLE_EQ(d.flows->rate(f2), 5e6);
+}
+
+TEST(FlowEngine, DemandCappedFlowLeavesRestToOthers) {
+  Dumbbell d;
+  const FlowId small = d.flows->start(FlowSpec{.src = d.a0, .dst = d.b0, .demand_bps = 2e6});
+  const FlowId big = d.flows->start(FlowSpec{.src = d.a1, .dst = d.b1});
+  EXPECT_DOUBLE_EQ(d.flows->rate(small), 2e6);
+  EXPECT_DOUBLE_EQ(d.flows->rate(big), 8e6);
+}
+
+TEST(FlowEngine, StoppingFlowRestoresBandwidth) {
+  Dumbbell d;
+  const FlowId f1 = d.flows->start(FlowSpec{.src = d.a0, .dst = d.b0});
+  const FlowId f2 = d.flows->start(FlowSpec{.src = d.a1, .dst = d.b1});
+  d.flows->stop(f2);
+  EXPECT_DOUBLE_EQ(d.flows->rate(f1), 10e6);
+  EXPECT_FALSE(d.flows->active(f2));
+}
+
+TEST(FlowEngine, AccessLinkCanBeTheBottleneck) {
+  Dumbbell d(1e9);  // backbone wider than the 100 Mb access links
+  const FlowId f = d.flows->start(FlowSpec{.src = d.a0, .dst = d.b0});
+  EXPECT_DOUBLE_EQ(d.flows->rate(f), 100e6);
+}
+
+TEST(FlowEngine, OppositeDirectionsDoNotContend) {
+  Dumbbell d;
+  const FlowId fwd = d.flows->start(FlowSpec{.src = d.a0, .dst = d.b0});
+  const FlowId rev = d.flows->start(FlowSpec{.src = d.b1, .dst = d.a1});
+  // Full duplex: both directions get the whole bottleneck.
+  EXPECT_DOUBLE_EQ(d.flows->rate(fwd), 10e6);
+  EXPECT_DOUBLE_EQ(d.flows->rate(rev), 10e6);
+}
+
+TEST(FlowEngine, FiniteFlowCompletesAtExactTime) {
+  Dumbbell d;
+  bool done = false;
+  FlowSpec spec{.src = d.a0, .dst = d.b0};
+  spec.bytes = 10'000'000;  // 10 MB at 10 Mb/s = 8 s
+  spec.on_complete = [&](FlowId) { done = true; };
+  const FlowId f = d.flows->start(std::move(spec));
+  d.engine.run_until(7.99);
+  EXPECT_FALSE(done);
+  d.engine.run_until(8.01);
+  EXPECT_TRUE(done);
+  const auto stats = d.flows->stats(f);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(stats->delivered_bytes, 10'000'000u);
+  EXPECT_NEAR(stats->average_bps(), 10e6, 1.0);
+}
+
+TEST(FlowEngine, CompletionTimeAdaptsToRateChanges) {
+  Dumbbell d;
+  bool done = false;
+  FlowSpec spec{.src = d.a0, .dst = d.b0};
+  spec.bytes = 10'000'000;
+  spec.on_complete = [&](FlowId) { done = true; };
+  d.flows->start(std::move(spec));
+  // At t=2 a competitor halves the rate; remaining 7.5 MB now drain at
+  // 5 Mb/s -> 12 s more. The competitor is infinite, so total is 14 s.
+  d.engine.after(2.0, [&] { d.flows->start(FlowSpec{.src = d.a1, .dst = d.b1}); });
+  d.engine.run_until(13.9);
+  EXPECT_FALSE(done);
+  d.engine.run_until(14.1);
+  EXPECT_TRUE(done);
+}
+
+TEST(FlowEngine, OctetCountersMatchDelivery) {
+  Dumbbell d;
+  const FlowId f = d.flows->start(FlowSpec{.src = d.a0, .dst = d.b0});
+  d.engine.advance(4.0);
+  d.flows->sync();
+  (void)f;
+  // Bottleneck egress on r0 toward r1: 10 Mb/s * 4 s = 5 MB.
+  const PathResult p = d.net.resolve_path(d.a0, d.b0);
+  std::uint64_t bottleneck_out = 0;
+  for (const Hop& h : p.hops) {
+    const Link& l = d.net.link(h.link);
+    if (l.capacity_bps == 10e6) {
+      bottleneck_out = d.net.egress_interface(h).out_octets;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(bottleneck_out), 5e6, 1.0);
+}
+
+TEST(FlowEngine, EveryHopCountsOctets) {
+  Dumbbell d;
+  d.flows->start(FlowSpec{.src = d.a0, .dst = d.b0});
+  d.engine.advance(2.0);
+  d.flows->sync();
+  const PathResult p = d.net.resolve_path(d.a0, d.b0);
+  for (const Hop& h : p.hops) {
+    EXPECT_GT(d.net.egress_interface(h).out_octets, 0u);
+    EXPECT_GT(d.net.ingress_interface(h).in_octets, 0u);
+  }
+}
+
+TEST(FlowEngine, DirectedLinkRateAggregates) {
+  Dumbbell d;
+  d.flows->start(FlowSpec{.src = d.a0, .dst = d.b0});
+  d.flows->start(FlowSpec{.src = d.a1, .dst = d.b1});
+  const PathResult p = d.net.resolve_path(d.a0, d.b0);
+  for (const Hop& h : p.hops) {
+    const Link& l = d.net.link(h.link);
+    if (l.capacity_bps == 10e6) {
+      EXPECT_DOUBLE_EQ(d.flows->directed_link_rate(l.id, h.forward), 10e6);
+      EXPECT_DOUBLE_EQ(d.flows->directed_link_rate(l.id, !h.forward), 0.0);
+    }
+  }
+}
+
+TEST(FlowEngine, StoppedFlowKeepsStats) {
+  Dumbbell d;
+  const FlowId f = d.flows->start(FlowSpec{.src = d.a0, .dst = d.b0});
+  d.engine.advance(3.0);
+  d.flows->stop(f);
+  const auto stats = d.flows->stats(f);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_FALSE(stats->completed);
+  EXPECT_NEAR(stats->average_bps(), 10e6, 10.0);
+}
+
+TEST(FlowEngine, SharedHubSegmentIsSingleResource) {
+  Network net;
+  sim::Engine engine;
+  const NodeId hub = net.add_hub("hub", 10e6);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  const NodeId c = net.add_host("c");
+  const NodeId d = net.add_host("d");
+  for (NodeId h : {a, b, c, d}) net.connect(h, hub, 100e6);
+  net.finalize();
+  FlowEngine flows(engine, net);
+  // Two flows in *different directions* through the hub still share the
+  // 10 Mb/s collision domain (half duplex).
+  const FlowId f1 = flows.start(FlowSpec{.src = a, .dst = b});
+  const FlowId f2 = flows.start(FlowSpec{.src = c, .dst = d});
+  EXPECT_DOUBLE_EQ(flows.rate(f1), 5e6);
+  EXPECT_DOUBLE_EQ(flows.rate(f2), 5e6);
+}
+
+TEST(FlowEngine, ManyFlowsConvergeToEqualShares) {
+  Dumbbell d;
+  std::vector<FlowId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(d.flows->start(FlowSpec{.src = i % 2 ? d.a0 : d.a1, .dst = i % 2 ? d.b0 : d.b1}));
+  }
+  for (FlowId f : ids) EXPECT_NEAR(d.flows->rate(f), 1e6, 1e-6);
+}
+
+TEST(FlowEngine, MaxMinThreeLinkExample) {
+  // Classic parking-lot: flows (s0->e2 long), (s0->e1), (s1->e2).
+  Network net;
+  sim::Engine engine;
+  const NodeId r0 = net.add_router("r0");
+  const NodeId r1 = net.add_router("r1");
+  const NodeId r2 = net.add_router("r2");
+  net.connect(r0, r1, 10e6);
+  net.connect(r1, r2, 10e6);
+  const NodeId s0 = net.add_host("s0");
+  const NodeId s1 = net.add_host("s1");
+  const NodeId e1 = net.add_host("e1");
+  const NodeId e2 = net.add_host("e2");
+  net.connect(s0, r0, 100e6);
+  net.connect(s1, r1, 100e6);
+  net.connect(e1, r1, 100e6);
+  net.connect(e2, r2, 100e6);
+  net.finalize();
+  FlowEngine flows(engine, net);
+  const FlowId fl = flows.start(FlowSpec{.src = s0, .dst = e2});  // both links
+  const FlowId f1 = flows.start(FlowSpec{.src = s0, .dst = e1});  // link 1
+  const FlowId f2 = flows.start(FlowSpec{.src = s1, .dst = e2});  // link 2
+  // Max-min: each link splits 10 Mb/s between two flows -> all get 5.
+  EXPECT_DOUBLE_EQ(flows.rate(fl), 5e6);
+  EXPECT_DOUBLE_EQ(flows.rate(f1), 5e6);
+  EXPECT_DOUBLE_EQ(flows.rate(f2), 5e6);
+  // Remove the long flow: f1 and f2 each get their whole link.
+  flows.stop(fl);
+  EXPECT_DOUBLE_EQ(flows.rate(f1), 10e6);
+  EXPECT_DOUBLE_EQ(flows.rate(f2), 10e6);
+}
+
+TEST(FlowEngine, FinishedHistoryIsBounded) {
+  // Long-running simulations churn through many flows; finished-flow
+  // records must not grow without bound, and recent stats stay readable.
+  Dumbbell d;
+  FlowId last = 0;
+  for (int i = 0; i < 300; ++i) {
+    FlowSpec spec{.src = d.a0, .dst = d.b0};
+    spec.bytes = 1000;
+    last = d.flows->start(std::move(spec));
+    d.engine.advance(0.1);
+  }
+  d.engine.advance(10.0);  // drain everything
+  EXPECT_EQ(d.flows->active_count(), 0u);
+  // The most recent flow's stats are retained.
+  const auto stats = d.flows->stats(last);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->completed);
+}
+
+}  // namespace
+}  // namespace remos::net

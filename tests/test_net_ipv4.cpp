@@ -1,0 +1,92 @@
+// Ipv4Address / Ipv4Prefix parsing, formatting, containment.
+#include <gtest/gtest.h>
+
+#include "net/ipv4.hpp"
+
+namespace remos::net {
+namespace {
+
+TEST(Ipv4Address, RoundTrip) {
+  const auto a = Ipv4Address::parse("10.1.2.3");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "10.1.2.3");
+  EXPECT_EQ(a->value(), 0x0A010203u);
+}
+
+TEST(Ipv4Address, OctetConstructor) {
+  const Ipv4Address a(192, 168, 0, 1);
+  EXPECT_EQ(a.to_string(), "192.168.0.1");
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4Address::parse("-1.2.3.4"));
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(*Ipv4Address::parse("10.0.0.1"), *Ipv4Address::parse("10.0.0.2"));
+  EXPECT_LT(*Ipv4Address::parse("9.255.255.255"), *Ipv4Address::parse("10.0.0.0"));
+}
+
+TEST(Ipv4Prefix, MasksHostBits) {
+  const Ipv4Prefix p(*Ipv4Address::parse("10.1.2.3"), 24);
+  EXPECT_EQ(p.base().to_string(), "10.1.2.0");
+  EXPECT_EQ(p.length(), 24);
+  EXPECT_EQ(p.to_string(), "10.1.2.0/24");
+}
+
+TEST(Ipv4Prefix, ParseRoundTrip) {
+  const auto p = Ipv4Prefix::parse("172.16.0.0/12");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "172.16.0.0/12");
+}
+
+TEST(Ipv4Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0/24"));
+}
+
+TEST(Ipv4Prefix, ContainsAddresses) {
+  const auto p = *Ipv4Prefix::parse("10.1.0.0/16");
+  EXPECT_TRUE(p.contains(*Ipv4Address::parse("10.1.0.1")));
+  EXPECT_TRUE(p.contains(*Ipv4Address::parse("10.1.255.255")));
+  EXPECT_FALSE(p.contains(*Ipv4Address::parse("10.2.0.0")));
+}
+
+TEST(Ipv4Prefix, ContainsPrefixes) {
+  const auto outer = *Ipv4Prefix::parse("10.0.0.0/8");
+  const auto inner = *Ipv4Prefix::parse("10.5.0.0/16");
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+}
+
+TEST(Ipv4Prefix, EdgeLengths) {
+  const auto all = *Ipv4Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(all.contains(*Ipv4Address::parse("255.255.255.255")));
+  const auto host = *Ipv4Prefix::parse("10.0.0.1/32");
+  EXPECT_TRUE(host.contains(*Ipv4Address::parse("10.0.0.1")));
+  EXPECT_FALSE(host.contains(*Ipv4Address::parse("10.0.0.2")));
+}
+
+TEST(Ipv4Prefix, HostEnumeration) {
+  const auto p = *Ipv4Prefix::parse("10.0.0.0/24");
+  EXPECT_EQ(p.host(1).to_string(), "10.0.0.1");
+  EXPECT_EQ(p.host(254).to_string(), "10.0.0.254");
+}
+
+TEST(Ipv4Prefix, NetmaskValues) {
+  EXPECT_EQ(Ipv4Prefix::parse("10.0.0.0/8")->netmask(), 0xFF000000u);
+  EXPECT_EQ(Ipv4Prefix::parse("10.0.0.0/32")->netmask(), 0xFFFFFFFFu);
+  EXPECT_EQ(Ipv4Prefix::parse("0.0.0.0/0")->netmask(), 0u);
+}
+
+}  // namespace
+}  // namespace remos::net

@@ -1,0 +1,187 @@
+// Path resolution: L2 delivery, routed forwarding, routing tables.
+#include <gtest/gtest.h>
+
+#include "net/l2.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace remos::net {
+namespace {
+
+/// Two LANs joined by a router chain:
+///   a - swA - r1 --- r2 - swB - b
+struct TwoLans {
+  Network net{"two-lans"};
+  NodeId a, b, r1, r2, swa, swb;
+  TwoLans() {
+    a = net.add_host("a");
+    b = net.add_host("b");
+    r1 = net.add_router("r1");
+    r2 = net.add_router("r2");
+    swa = net.add_switch("swA");
+    swb = net.add_switch("swB");
+    net.connect(a, swa, 100e6);
+    net.connect(swa, r1, 1e9);
+    net.connect(r1, r2, 45e6);  // WAN-ish link
+    net.connect(r2, swb, 1e9);
+    net.connect(b, swb, 100e6);
+    net.finalize();
+  }
+};
+
+TEST(Paths, SameNodeEmptyPath) {
+  TwoLans t;
+  EXPECT_TRUE(t.net.resolve_path(t.a, t.a).empty());
+}
+
+TEST(Paths, IntraSegmentViaSwitch) {
+  Network net;
+  const NodeId s = net.add_switch("s");
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  net.connect(a, s, 1e8);
+  net.connect(b, s, 1e8);
+  net.finalize();
+  const PathResult p = net.resolve_path(a, b);
+  EXPECT_EQ(p.hops.size(), 2u);
+  EXPECT_TRUE(p.routers.empty());
+  const auto nodes = path_nodes(net, a, p);
+  EXPECT_EQ(nodes, (std::vector<NodeId>{a, s, b}));
+}
+
+TEST(Paths, RoutedPathTraversesBothRouters) {
+  TwoLans t;
+  const PathResult p = t.net.resolve_path(t.a, t.b);
+  EXPECT_EQ(p.routers, (std::vector<NodeId>{t.r1, t.r2}));
+  const auto nodes = path_nodes(t.net, t.a, p);
+  EXPECT_EQ(nodes, (std::vector<NodeId>{t.a, t.swa, t.r1, t.r2, t.swb, t.b}));
+}
+
+TEST(Paths, ReversePathIsSymmetric) {
+  TwoLans t;
+  const PathResult fwd = t.net.resolve_path(t.a, t.b);
+  const PathResult rev = t.net.resolve_path(t.b, t.a);
+  EXPECT_EQ(fwd.hops.size(), rev.hops.size());
+  for (std::size_t i = 0; i < fwd.hops.size(); ++i) {
+    const Hop& f = fwd.hops[i];
+    const Hop& r = rev.hops[rev.hops.size() - 1 - i];
+    EXPECT_EQ(f.link, r.link);
+    EXPECT_NE(f.forward, r.forward);
+  }
+}
+
+TEST(Paths, BottleneckCapacityIsMinimum) {
+  TwoLans t;
+  const PathResult p = t.net.resolve_path(t.a, t.b);
+  EXPECT_DOUBLE_EQ(bottleneck_capacity(t.net, p), 45e6);
+}
+
+TEST(Paths, LatencyAccumulates) {
+  Network net;
+  const NodeId a = net.add_host("a");
+  const NodeId r = net.add_router("r");
+  const NodeId b = net.add_host("b");
+  net.connect(a, r, 1e8, 0.010);
+  net.connect(r, b, 1e8, 0.020);
+  net.finalize();
+  const PathResult p = net.resolve_path(a, b);
+  EXPECT_NEAR(p.latency_s, 0.030, 1e-12);
+  EXPECT_NEAR(path_latency(net, p), 0.030, 1e-12);
+}
+
+TEST(Paths, TraceRouteListsRouterAddresses) {
+  TwoLans t;
+  const PathResult p = t.net.resolve_path(t.a, t.b);
+  const auto trace = trace_route(t.net, p);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0], t.net.node(t.r1).primary_address());
+  EXPECT_EQ(trace[1], t.net.node(t.r2).primary_address());
+}
+
+TEST(Paths, RoutingTablesCoverAllSegments) {
+  TwoLans t;
+  for (NodeId r : {t.r1, t.r2}) {
+    const Node& router = t.net.node(r);
+    EXPECT_EQ(router.routes.size(), t.net.segment_count()) << router.name;
+  }
+}
+
+TEST(Paths, LongestPrefixMatchWins) {
+  TwoLans t;
+  const Ipv4Address dst = t.net.node(t.b).primary_address();
+  const Route* route = t.net.lookup_route(t.r1, dst);
+  ASSERT_NE(route, nullptr);
+  EXPECT_TRUE(route->dest.contains(dst));
+  EXPECT_FALSE(route->next_hop.is_zero());  // b's LAN is not directly attached to r1
+  const Route* direct = t.net.lookup_route(t.r2, dst);
+  ASSERT_NE(direct, nullptr);
+  EXPECT_TRUE(direct->next_hop.is_zero());  // ...but it is to r2
+}
+
+TEST(Paths, MultiHopRouterChain) {
+  Network net;
+  std::vector<NodeId> routers;
+  for (int i = 0; i < 5; ++i) routers.push_back(net.add_router("r" + std::to_string(i)));
+  for (int i = 0; i + 1 < 5; ++i) net.connect(routers[i], routers[i + 1], 1e8);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  net.connect(a, routers.front(), 1e8);
+  net.connect(b, routers.back(), 1e8);
+  net.finalize();
+  const PathResult p = net.resolve_path(a, b);
+  EXPECT_EQ(p.routers.size(), 5u);
+  EXPECT_EQ(p.hops.size(), 6u);
+}
+
+TEST(Paths, UnroutableThrows) {
+  Network net;
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  const NodeId c = net.add_host("c");
+  const NodeId d = net.add_host("d");
+  net.connect(a, b, 1e8);
+  net.connect(c, d, 1e8);  // disconnected island
+  net.finalize();
+  EXPECT_THROW(net.resolve_path(a, c), std::runtime_error);
+}
+
+TEST(Paths, L2PathThroughSpanningTreeOnly) {
+  Network net;
+  const NodeId s0 = net.add_switch("s0");
+  const NodeId s1 = net.add_switch("s1");
+  const NodeId s2 = net.add_switch("s2");
+  net.connect(s0, s1, 1e9);
+  net.connect(s1, s2, 1e9);
+  net.connect(s2, s0, 1e9);  // blocked by spanning tree
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  net.connect(a, s0, 1e8);
+  net.connect(b, s2, 1e8);
+  net.finalize();
+  const auto hops = net.l2_path(a, b);
+  for (const Hop& h : hops) EXPECT_TRUE(net.link(h.link).forwarding);
+}
+
+TEST(Paths, HostAttachmentHelper) {
+  TwoLans t;
+  const Attachment att = host_attachment(t.net, t.a);
+  EXPECT_EQ(att.device, t.swa);
+}
+
+TEST(Paths, FdbSnapshotSorted) {
+  TwoLans t;
+  const auto snap = fdb_snapshot(t.net.node(t.swa));
+  EXPECT_EQ(snap.size(), 2u);  // a and r1 attach to swA's segment
+}
+
+TEST(Paths, DescribePathMentionsEndpoints) {
+  TwoLans t;
+  const PathResult p = t.net.resolve_path(t.a, t.b);
+  const std::string desc = describe_path(t.net, t.a, p);
+  EXPECT_NE(desc.find("a"), std::string::npos);
+  EXPECT_NE(desc.find("b"), std::string::npos);
+  EXPECT_NE(desc.find("r1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace remos::net

@@ -1,0 +1,238 @@
+// Network construction, finalize(): segments, subnets, FDBs, gateways.
+#include <gtest/gtest.h>
+
+#include "net/l2.hpp"
+#include "net/topology.hpp"
+
+namespace remos::net {
+namespace {
+
+/// router -- sw0 -- sw1, hosts split across the two switches.
+Network switched_lan() {
+  Network net("lan");
+  const NodeId r = net.add_router("r");
+  const NodeId s0 = net.add_switch("s0");
+  const NodeId s1 = net.add_switch("s1");
+  net.connect(r, s0, 1e9);
+  net.connect(s0, s1, 1e9);
+  net.connect(net.add_host("a"), s0, 100e6);
+  net.connect(net.add_host("b"), s1, 100e6);
+  net.connect(net.add_host("c"), s1, 100e6);
+  net.finalize();
+  return net;
+}
+
+TEST(Topology, NamesMustBeUnique) {
+  Network net;
+  net.add_host("x");
+  EXPECT_THROW(net.add_host("x"), std::invalid_argument);
+}
+
+TEST(Topology, SelfLinkRejected) {
+  Network net;
+  const NodeId h = net.add_host("h");
+  EXPECT_THROW(net.connect(h, h, 1e6), std::invalid_argument);
+}
+
+TEST(Topology, NonPositiveCapacityRejected) {
+  Network net;
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  EXPECT_THROW(net.connect(a, b, 0.0), std::invalid_argument);
+}
+
+TEST(Topology, MutationAfterFinalizeRejected) {
+  Network net;
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  net.connect(a, b, 1e6);
+  net.finalize();
+  EXPECT_THROW(net.add_host("c"), std::logic_error);
+  EXPECT_THROW(net.connect(a, b, 1e6), std::logic_error);
+  EXPECT_THROW(net.finalize(), std::logic_error);
+}
+
+TEST(Topology, PointToPointLinkIsOwnSegment) {
+  Network net;
+  const NodeId a = net.add_host("a");
+  const NodeId r = net.add_router("r");
+  const NodeId b = net.add_host("b");
+  net.connect(a, r, 1e6);
+  net.connect(r, b, 1e6);
+  net.finalize();
+  EXPECT_EQ(net.segment_count(), 2u);
+  EXPECT_NE(net.link(0).segment, net.link(1).segment);
+}
+
+TEST(Topology, SwitchMergesLinksIntoOneSegment) {
+  const Network net = switched_lan();
+  // All 5 links belong to one L2 segment.
+  EXPECT_EQ(net.segment_count(), 1u);
+  const Segment& s = net.segment(0);
+  EXPECT_EQ(s.links.size(), 5u);
+  EXPECT_EQ(s.bridges.size(), 2u);
+  EXPECT_EQ(s.attachments.size(), 4u);  // router + 3 hosts
+}
+
+TEST(Topology, SubnetAssignedToAttachments) {
+  const Network net = switched_lan();
+  const Segment& s = net.segment(0);
+  for (auto [node_id, ifidx] : s.attachments) {
+    const Interface* ifc = net.node(node_id).find_interface(ifidx);
+    ASSERT_NE(ifc, nullptr);
+    EXPECT_FALSE(ifc->addr.is_zero());
+    EXPECT_TRUE(s.prefix.contains(ifc->addr));
+  }
+}
+
+TEST(Topology, AddressesAreUniqueAndReverseMapped) {
+  const Network net = switched_lan();
+  for (const Node& n : net.nodes()) {
+    const Ipv4Address addr = n.primary_address();
+    if (addr.is_zero()) continue;
+    EXPECT_EQ(net.node_by_ip(addr), n.id) << n.name;
+  }
+}
+
+TEST(Topology, SwitchesGetManagementAddresses) {
+  const Network net = switched_lan();
+  for (const Node& n : net.nodes()) {
+    if (n.kind == NodeKind::kSwitch) {
+      EXPECT_FALSE(n.primary_address().is_zero()) << n.name;
+      EXPECT_TRUE(net.segment(0).prefix.contains(n.primary_address()));
+    }
+  }
+}
+
+TEST(Topology, HostsGetGatewayFromSegment) {
+  const Network net = switched_lan();
+  const NodeId r = net.find_node("r");
+  for (const char* name : {"a", "b", "c"}) {
+    EXPECT_EQ(net.node(net.find_node(name)).gateway, r) << name;
+  }
+}
+
+TEST(Topology, ExplicitGatewayPreserved) {
+  Network net;
+  const NodeId h = net.add_host("h");
+  const NodeId r1 = net.add_router("r1");
+  const NodeId r2 = net.add_router("r2");
+  const NodeId sw = net.add_switch("sw");
+  net.connect(h, sw, 1e6);
+  net.connect(r1, sw, 1e6);
+  net.connect(r2, sw, 1e6);
+  net.set_gateway(h, r2);
+  net.finalize();
+  EXPECT_EQ(net.node(h).gateway, r2);
+}
+
+TEST(Topology, FdbCoversAllEndpoints) {
+  const Network net = switched_lan();
+  for (const Node& n : net.nodes()) {
+    if (n.kind != NodeKind::kSwitch) continue;
+    // Every endpoint (router + 3 hosts) must be in each switch's FDB.
+    EXPECT_EQ(n.fdb.size(), 4u) << n.name;
+  }
+}
+
+TEST(Topology, FdbPointsTowardEndpoint) {
+  const Network net = switched_lan();
+  const Node& s0 = net.node(net.find_node("s0"));
+  const Node& host_b = net.node(net.find_node("b"));
+  // b hangs off s1; from s0, b must be behind the trunk port to s1.
+  const auto port = s0.fdb.at(host_b.mac);
+  const Interface* ifc = s0.find_interface(port);
+  ASSERT_NE(ifc, nullptr);
+  const Link& l = net.link(ifc->link);
+  EXPECT_EQ(l.other(s0.id), net.find_node("s1"));
+}
+
+TEST(Topology, SpanningTreeBlocksLoop) {
+  Network net;
+  const NodeId s0 = net.add_switch("s0");
+  const NodeId s1 = net.add_switch("s1");
+  const NodeId s2 = net.add_switch("s2");
+  net.connect(s0, s1, 1e9);
+  net.connect(s1, s2, 1e9);
+  net.connect(s2, s0, 1e9);  // loop
+  net.connect(net.add_host("h0"), s0, 1e8);
+  net.connect(net.add_host("h1"), s1, 1e8);
+  net.connect(net.add_host("h2"), s2, 1e8);
+  net.finalize();
+  std::size_t blocked = 0;
+  for (const Link& l : net.links()) {
+    if (!l.forwarding) ++blocked;
+  }
+  EXPECT_EQ(blocked, 1u);
+  EXPECT_TRUE(forwarding_topology_is_tree(net, 0));
+}
+
+TEST(Topology, HubSegmentMarkedShared) {
+  Network net;
+  const NodeId hub = net.add_hub("hub", 10e6);
+  net.connect(net.add_host("a"), hub, 10e6);
+  net.connect(net.add_host("b"), hub, 10e6);
+  net.finalize();
+  const Segment& s = net.segment(0);
+  EXPECT_TRUE(s.shared);
+  EXPECT_DOUBLE_EQ(s.shared_capacity_bps, 10e6);
+}
+
+TEST(Topology, VersionBumpsOnMove) {
+  Network net;
+  const NodeId s0 = net.add_switch("s0");
+  const NodeId s1 = net.add_switch("s1");
+  net.connect(s0, s1, 1e9);
+  const NodeId h = net.add_host("h");
+  net.connect(h, s0, 1e8);
+  net.connect(net.add_host("anchor"), s1, 1e8);
+  net.finalize();
+  EXPECT_EQ(net.version(), 0u);
+  net.move_host(h, s1, 1e8);
+  EXPECT_EQ(net.version(), 1u);
+}
+
+TEST(Topology, MoveHostRelearnsFdb) {
+  Network net;
+  const NodeId s0 = net.add_switch("s0");
+  const NodeId s1 = net.add_switch("s1");
+  net.connect(s0, s1, 1e9);
+  const NodeId h = net.add_host("h");
+  net.connect(h, s0, 1e8);
+  net.connect(net.add_host("anchor"), s1, 1e8);
+  net.finalize();
+
+  const auto before = host_attachment(net, h);
+  EXPECT_EQ(before.device, s0);
+  net.move_host(h, s1, 1e8);
+  const auto after = host_attachment(net, h);
+  EXPECT_EQ(after.device, s1);
+  // s0 now sees h through its trunk to s1.
+  const Node& sw0 = net.node(s0);
+  const auto port = sw0.fdb.at(net.node(h).mac);
+  const Interface* ifc = sw0.find_interface(port);
+  ASSERT_NE(ifc, nullptr);
+  EXPECT_EQ(net.link(ifc->link).other(s0), s1);
+}
+
+TEST(Topology, MoveHostToOtherSegmentRejected) {
+  Network net;
+  const NodeId s0 = net.add_switch("s0");
+  const NodeId s1 = net.add_switch("s1");  // disconnected from s0
+  const NodeId h = net.add_host("h");
+  net.connect(h, s0, 1e8);
+  net.connect(net.add_host("x"), s1, 1e8);
+  net.finalize();
+  EXPECT_THROW(net.move_host(h, s1, 1e8), std::invalid_argument);
+}
+
+TEST(Topology, LookupHelpers) {
+  const Network net = switched_lan();
+  EXPECT_EQ(net.find_node("nope"), kNone);
+  EXPECT_EQ(net.node_by_ip(Ipv4Address(1, 2, 3, 4)), kNone);
+  const Node& a = net.node(net.find_node("a"));
+  EXPECT_EQ(net.node_by_mac(a.mac), a.id);
+}
+
+}  // namespace
+}  // namespace remos::net

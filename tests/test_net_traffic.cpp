@@ -1,0 +1,167 @@
+// Traffic generators: on/off cycling, Poisson arrivals, Netperf sessions,
+// host-load signal properties.
+#include <gtest/gtest.h>
+
+#include "net/hostload.hpp"
+#include "net/traffic.hpp"
+#include "rps/series.hpp"
+
+namespace remos::net {
+namespace {
+
+struct Pipe {
+  Network net{"pipe"};
+  sim::Engine engine;
+  NodeId a, b;
+  std::unique_ptr<FlowEngine> flows;
+  Pipe() {
+    a = net.add_host("a");
+    const NodeId r = net.add_router("r");
+    b = net.add_host("b");
+    net.connect(a, r, 10e6);
+    net.connect(r, b, 10e6);
+    net.finalize();
+    flows = std::make_unique<FlowEngine>(engine, net);
+  }
+};
+
+TEST(OnOffSource, CyclesBetweenStates) {
+  Pipe p;
+  OnOffSource src(p.engine, *p.flows, sim::Rng(1), {p.a, p.b, 5e6, 2.0, 2.0});
+  src.start();
+  int on_seen = 0, off_seen = 0;
+  for (int i = 0; i < 400; ++i) {
+    p.engine.advance(0.25);
+    (src.in_on_period() ? on_seen : off_seen)++;
+  }
+  // Both states must occur with comparable frequency.
+  EXPECT_GT(on_seen, 50);
+  EXPECT_GT(off_seen, 50);
+}
+
+TEST(OnOffSource, StopTearsDownFlow) {
+  Pipe p;
+  OnOffSource src(p.engine, *p.flows, sim::Rng(2), {p.a, p.b, 5e6, 100.0, 0.001});
+  src.start();
+  p.engine.advance(1.0);  // almost surely in "on"
+  EXPECT_TRUE(src.in_on_period());
+  EXPECT_EQ(p.flows->active_count(), 1u);
+  src.stop();
+  EXPECT_EQ(p.flows->active_count(), 0u);
+  p.engine.advance(5.0);
+  EXPECT_EQ(p.flows->active_count(), 0u);  // no zombie reschedule
+}
+
+TEST(OnOffSource, RespectsDemandCap) {
+  Pipe p;
+  OnOffSource src(p.engine, *p.flows, sim::Rng(3), {p.a, p.b, 3e6, 50.0, 0.001});
+  src.start();
+  p.engine.advance(2.0);
+  ASSERT_TRUE(src.in_on_period());
+  const PathResult path = p.net.resolve_path(p.a, p.b);
+  EXPECT_DOUBLE_EQ(p.flows->directed_link_rate(path.hops[0].link, path.hops[0].forward), 3e6);
+}
+
+TEST(PoissonSource, LaunchesRoughlyLambdaT) {
+  Pipe p;
+  PoissonSource::Params params;
+  params.src = p.a;
+  params.dst = p.b;
+  params.arrivals_per_s = 2.0;
+  params.min_bytes = 1e3;
+  params.pareto_alpha = 1.8;
+  PoissonSource src(p.engine, *p.flows, sim::Rng(4), params);
+  src.start();
+  p.engine.advance(200.0);
+  src.stop();
+  EXPECT_NEAR(static_cast<double>(src.flows_launched()), 400.0, 80.0);
+}
+
+TEST(PoissonSource, TransfersEventuallyDrain) {
+  Pipe p;
+  PoissonSource::Params params;
+  params.src = p.a;
+  params.dst = p.b;
+  params.arrivals_per_s = 1.0;
+  params.min_bytes = 10e3;
+  PoissonSource src(p.engine, *p.flows, sim::Rng(5), params);
+  src.start();
+  p.engine.advance(30.0);
+  src.stop();
+  p.engine.advance(3600.0);  // generous drain time for the pareto tail
+  EXPECT_EQ(p.flows->active_count(), 0u);
+}
+
+TEST(NetperfSession, MeasuresBurstThroughput) {
+  Pipe p;
+  std::vector<NetperfBurst> bursts{
+      {.start = 1.0, .duration_s = 4.0, .demand_bps = 4e6},  // below capacity: achieves demand
+      {.start = 6.0, .duration_s = 4.0},  // greedy: achieves link capacity
+  };
+  NetperfSession session(p.engine, *p.flows, p.a, p.b, bursts, 0.5);
+  session.run();
+  p.engine.run_until(12.0);
+  ASSERT_EQ(session.burst_throughputs().size(), 2u);
+  EXPECT_NEAR(session.burst_throughputs()[0], 4e6, 1e3);
+  EXPECT_NEAR(session.burst_throughputs()[1], 10e6, 1e3);
+}
+
+TEST(NetperfSession, RateHistoryShowsOnAndOff) {
+  Pipe p;
+  NetperfSession session(p.engine, *p.flows, p.a, p.b, {{2.0, 3.0, 8e6}}, 0.5);
+  session.run();
+  p.engine.run_until(8.0);
+  const auto& hist = session.rate_history();
+  ASSERT_GT(hist.size(), 10u);
+  EXPECT_DOUBLE_EQ(hist.mean_over(0.0, 1.9), 0.0);
+  EXPECT_NEAR(hist.mean_over(2.6, 4.9), 8e6, 1e3);
+  EXPECT_DOUBLE_EQ(hist.mean_over(5.6, 8.0), 0.0);
+}
+
+TEST(NetperfSession, RunTwiceThrows) {
+  Pipe p;
+  NetperfSession session(p.engine, *p.flows, p.a, p.b, {}, 0.5);
+  session.run();
+  EXPECT_THROW(session.run(), std::logic_error);
+}
+
+TEST(HostLoad, NonNegativeAndDeterministic) {
+  sim::Rng r1(9), r2(9);
+  const auto a = generate_host_load(500, r1);
+  const auto b = generate_host_load(500, r2);
+  EXPECT_EQ(a, b);
+  for (double v : a) EXPECT_GE(v, 0.0);
+}
+
+TEST(HostLoad, HasStrongAutocorrelation) {
+  sim::Rng rng(10);
+  const auto series = generate_host_load(4000, rng);
+  const auto acf = rps::autocorrelation(series, 5);
+  // Host load is highly predictable short-term (the basis for AR(16)).
+  EXPECT_GT(acf[1], 0.5);
+  EXPECT_GT(acf[1], acf[5]);
+}
+
+TEST(HostLoadSensor, SamplesAtConfiguredRate) {
+  sim::Engine engine;
+  HostLoadSensor sensor(engine, sim::Rng(11), 0.5);
+  sensor.start();
+  engine.run_until(10.0);
+  EXPECT_EQ(sensor.history().size(), 20u);
+  sensor.stop();
+  engine.run_until(20.0);
+  EXPECT_EQ(sensor.history().size(), 20u);
+}
+
+TEST(HostLoadSensor, CallbackSeesEverySample) {
+  sim::Engine engine;
+  HostLoadSensor sensor(engine, sim::Rng(12), 1.0);
+  int called = 0;
+  sensor.set_callback([&](sim::Time, double) { ++called; });
+  sensor.start();
+  engine.run_until(25.0);
+  EXPECT_EQ(called, 25);
+}
+
+}  // namespace
+}  // namespace remos::net

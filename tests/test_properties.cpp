@@ -1,0 +1,318 @@
+// Parameterized property sweeps (TEST_P): invariants that must hold across
+// whole families of inputs, not just hand-picked examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/testbed.hpp"
+#include "core/maxmin.hpp"
+#include "core/protocol.hpp"
+#include "net/l2.hpp"
+#include "rps/linear.hpp"
+#include "sim/rng.hpp"
+
+namespace remos {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LAN family: for any (hosts, switches), finalize() must produce a valid
+// addressed spanning-tree LAN and the collector must answer connected,
+// complete queries.
+// ---------------------------------------------------------------------------
+
+using LanShape = std::tuple<std::size_t, std::size_t>;  // hosts, switches
+
+class LanFamily : public ::testing::TestWithParam<LanShape> {};
+
+TEST_P(LanFamily, FinalizeInvariants) {
+  const auto [hosts, switches] = GetParam();
+  apps::LanTestbed::Params p;
+  p.hosts = hosts;
+  p.switches = switches;
+  apps::LanTestbed lan(p);
+
+  // One L2 segment spanning everything; forwarding topology is a tree.
+  ASSERT_EQ(lan.net.segment_count(), 1u);
+  EXPECT_TRUE(net::forwarding_topology_is_tree(lan.net, 0));
+  // Unique addresses inside the segment prefix.
+  const net::Segment& seg = lan.net.segment(0);
+  std::set<std::uint32_t> seen;
+  for (auto [node, ifidx] : seg.attachments) {
+    const auto addr = lan.net.node(node).find_interface(ifidx)->addr;
+    EXPECT_TRUE(seg.prefix.contains(addr));
+    EXPECT_TRUE(seen.insert(addr.value()).second);
+  }
+  // Every host can reach every other host.
+  for (std::size_t i = 1; i < lan.hosts.size(); ++i) {
+    EXPECT_FALSE(lan.net.resolve_path(lan.hosts[0], lan.hosts[i]).empty());
+  }
+}
+
+TEST_P(LanFamily, CollectorAnswersComplete) {
+  const auto [hosts, switches] = GetParam();
+  apps::LanTestbed::Params p;
+  p.hosts = hosts;
+  p.switches = switches;
+  apps::LanTestbed lan(p);
+  const auto nodes = lan.host_addrs(hosts);
+  const auto resp = lan.collector->query(nodes);
+  EXPECT_TRUE(resp.complete);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_TRUE(resp.topology
+                    .shortest_path(resp.topology.find_by_addr(nodes[0]),
+                                   resp.topology.find_by_addr(nodes[i]))
+                    .has_value())
+        << "host " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LanFamily,
+                         ::testing::Values(LanShape{2, 1}, LanShape{5, 1}, LanShape{8, 2},
+                                           LanShape{16, 3}, LanShape{30, 5}, LanShape{48, 7},
+                                           LanShape{64, 8}));
+
+// ---------------------------------------------------------------------------
+// Max-min allocation on random dumbbell-ish topologies: feasibility and
+// max-min optimality (every flow is demand-satisfied or crosses a
+// saturated edge on which it has a maximal rate).
+// ---------------------------------------------------------------------------
+
+class MaxMinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinProperty, FeasibleAndMaxMinOptimal) {
+  sim::Rng rng(GetParam());
+  // Random small topology: routers in a line, hosts hung off random routers.
+  core::VirtualTopology topo;
+  const int n_routers = static_cast<int>(rng.uniform_int(2, 5));
+  std::vector<core::VNodeIndex> routers;
+  for (int r = 0; r < n_routers; ++r) {
+    routers.push_back(topo.add_node(core::VNode{
+        core::VNodeKind::kRouter, "r" + std::to_string(r),
+        net::Ipv4Address(10, 0, 255, static_cast<std::uint8_t>(r + 1))}));
+  }
+  for (int r = 0; r + 1 < n_routers; ++r) {
+    topo.add_edge(core::VEdge{routers[static_cast<std::size_t>(r)],
+                              routers[static_cast<std::size_t>(r + 1)],
+                              rng.uniform(5e6, 50e6), 0, 0, 0, "core" + std::to_string(r)});
+  }
+  const int n_hosts = static_cast<int>(rng.uniform_int(3, 8));
+  std::vector<net::Ipv4Address> host_addrs;
+  for (int h = 0; h < n_hosts; ++h) {
+    const net::Ipv4Address addr(10, 0, 0, static_cast<std::uint8_t>(h + 1));
+    host_addrs.push_back(addr);
+    const auto v = topo.add_node(core::VNode{core::VNodeKind::kHost,
+                                             "h" + std::to_string(h), addr});
+    const auto attach = routers[static_cast<std::size_t>(
+        rng.uniform_int(0, n_routers - 1))];
+    topo.add_edge(core::VEdge{v, attach, rng.uniform(10e6, 100e6), 0, 0, 0,
+                              "acc" + std::to_string(h)});
+  }
+  // Random flow set (some with demand caps).
+  std::vector<core::FlowRequest> requests;
+  const int n_flows = static_cast<int>(rng.uniform_int(2, 6));
+  for (int f = 0; f < n_flows; ++f) {
+    core::FlowRequest req;
+    req.src = host_addrs[static_cast<std::size_t>(rng.uniform_int(0, n_hosts - 1))];
+    do {
+      req.dst = host_addrs[static_cast<std::size_t>(rng.uniform_int(0, n_hosts - 1))];
+    } while (req.dst == req.src);
+    if (rng.chance(0.3)) req.demand_bps = rng.uniform(1e6, 20e6);
+    requests.push_back(req);
+  }
+
+  const auto result = core::max_min_allocate(topo, requests);
+
+  // Re-walk every flow's path once to recover directed resources.
+  using DirectedEdge = std::pair<std::string, bool>;
+  std::vector<std::vector<DirectedEdge>> flow_resources(requests.size());
+  for (std::size_t f = 0; f < requests.size(); ++f) {
+    if (!result.flows[f].routable()) continue;
+    const auto src = topo.find_by_addr(requests[f].src);
+    auto path = topo.shortest_path(src, topo.find_by_addr(requests[f].dst));
+    ASSERT_TRUE(path.has_value());
+    core::VNodeIndex cur = src;
+    for (std::size_t ei : *path) {
+      const core::VEdge& e = topo.edges()[ei];
+      const bool ab = (e.a == cur);
+      flow_resources[f].emplace_back(e.id, ab);
+      cur = ab ? e.b : e.a;
+    }
+  }
+
+  // Feasibility + per-directed-edge aggregates.
+  std::map<DirectedEdge, double> usage;
+  std::map<DirectedEdge, double> max_rate;
+  for (std::size_t f = 0; f < requests.size(); ++f) {
+    const auto& info = result.flows[f];
+    if (!info.routable()) continue;
+    EXPECT_LE(info.available_bps, requests[f].demand_bps * (1 + 1e-9));
+    for (const DirectedEdge& de : flow_resources[f]) {
+      usage[de] += info.available_bps;
+      max_rate[de] = std::max(max_rate[de], info.available_bps);
+    }
+  }
+  for (const auto& [key, used] : usage) {
+    const auto& [id, ab] = key;
+    for (const core::VEdge& e : topo.edges()) {
+      if (e.id == id) {
+        EXPECT_LE(used, e.available_bps(ab) * (1 + 1e-6)) << id;
+      }
+    }
+  }
+
+  // Max-min optimality: every routable flow meets its demand or crosses a
+  // saturated directed edge on which its rate is maximal.
+  for (std::size_t f = 0; f < requests.size(); ++f) {
+    const auto& info = result.flows[f];
+    if (!info.routable()) continue;
+    if (info.available_bps >= requests[f].demand_bps * (1 - 1e-9)) continue;
+    bool bottlenecked = false;
+    for (const DirectedEdge& de : flow_resources[f]) {
+      double avail = 0.0;
+      for (const core::VEdge& e : topo.edges()) {
+        if (e.id == de.first) avail = e.available_bps(de.second);
+      }
+      const bool saturated = usage[de] >= avail * (1 - 1e-6);
+      if (saturated && info.available_bps >= max_rate[de] * (1 - 1e-6)) bottlenecked = true;
+    }
+    EXPECT_TRUE(bottlenecked) << "flow " << f << " is neither satisfied nor bottlenecked";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinProperty, ::testing::Range<std::uint64_t>(1, 25));
+
+// ---------------------------------------------------------------------------
+// AR estimation: Yule-Walker and Burg recover phi across the stability
+// range, and the innovation variance stays close to truth.
+// ---------------------------------------------------------------------------
+
+class ArRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(ArRecovery, YuleWalkerAndBurgRecoverPhi) {
+  const double phi = GetParam();
+  sim::Rng rng(static_cast<std::uint64_t>(std::fabs(phi) * 1000) + 3);
+  std::vector<double> xs{0.0};
+  for (int i = 0; i < 30000; ++i) xs.push_back(phi * xs.back() + rng.normal());
+  const auto yw = rps::fit_ar_yule_walker(xs, 1);
+  const auto burg = rps::fit_ar_burg(xs, 1);
+  EXPECT_NEAR(yw.phi[0], phi, 0.05) << "yule-walker";
+  EXPECT_NEAR(burg.phi[0], phi, 0.05) << "burg";
+  EXPECT_NEAR(yw.sigma2, 1.0, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(PhiSweep, ArRecovery,
+                         ::testing::Values(-0.9, -0.6, -0.3, 0.0, 0.3, 0.6, 0.9, 0.95));
+
+// ---------------------------------------------------------------------------
+// Protocol round trips survive arbitrary generated topologies (both wire
+// formats agree with the original and with each other).
+// ---------------------------------------------------------------------------
+
+class ProtocolRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolRoundTrip, AsciiAndXmlAgree) {
+  sim::Rng rng(GetParam());
+  core::CollectorResponse resp;
+  const int n = static_cast<int>(rng.uniform_int(1, 12));
+  for (int i = 0; i < n; ++i) {
+    const auto kind = static_cast<core::VNodeKind>(rng.uniform_int(0, 3));
+    resp.topology.add_node(core::VNode{
+        kind, "node-" + std::to_string(i),
+        rng.chance(0.8) ? net::Ipv4Address(static_cast<std::uint32_t>(rng.next()))
+                        : net::Ipv4Address{}});
+  }
+  const int edges = static_cast<int>(rng.uniform_int(0, 2 * n));
+  for (int e = 0; e < edges; ++e) {
+    core::VEdge edge;
+    edge.a = static_cast<core::VNodeIndex>(rng.uniform_int(0, n - 1));
+    edge.b = static_cast<core::VNodeIndex>(rng.uniform_int(0, n - 1));
+    edge.capacity_bps = rng.uniform(0.0, 1e10);
+    edge.util_ab_bps = rng.uniform(0.0, edge.capacity_bps);
+    edge.util_ba_bps = rng.uniform(0.0, edge.capacity_bps);
+    edge.latency_s = rng.uniform(0.0, 0.5);
+    edge.id = "edge-" + std::to_string(e);
+    resp.topology.add_edge(std::move(edge));
+  }
+  resp.cost_s = rng.uniform(0.0, 100.0);
+  resp.complete = rng.chance(0.5);
+
+  const auto via_ascii = core::ascii_decode_response(core::ascii_encode_response(resp));
+  const auto via_xml = core::xml_decode_response(core::xml_encode_response(resp));
+  ASSERT_TRUE(via_ascii.has_value());
+  ASSERT_TRUE(via_xml.has_value());
+  for (const auto* decoded : {&*via_ascii, &*via_xml}) {
+    EXPECT_EQ(decoded->complete, resp.complete);
+    EXPECT_NEAR(decoded->cost_s, resp.cost_s, 1e-6 * (1 + resp.cost_s));
+    ASSERT_EQ(decoded->topology.node_count(), resp.topology.node_count());
+    ASSERT_EQ(decoded->topology.edge_count(), resp.topology.edge_count());
+    for (std::size_t i = 0; i < resp.topology.edge_count(); ++i) {
+      const auto& x = resp.topology.edges()[i];
+      const auto& y = decoded->topology.edges()[i];
+      EXPECT_EQ(x.id, y.id);
+      EXPECT_NEAR(y.capacity_bps, x.capacity_bps, 1e-6 * (1 + x.capacity_bps));
+      EXPECT_NEAR(y.util_ab_bps, x.util_ab_bps, 1e-6 * (1 + x.util_ab_bps));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolRoundTrip, ::testing::Range<std::uint64_t>(100, 120));
+
+// ---------------------------------------------------------------------------
+// Fluid engine conservation: for any random flow set on the shared LAN,
+// per-link allocated rate never exceeds capacity, and octet counters equal
+// the integral of the allocated rates.
+// ---------------------------------------------------------------------------
+
+class FluidConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FluidConservation, RatesFeasibleAndCountersConsistent) {
+  sim::Rng rng(GetParam());
+  apps::LanTestbed::Params p;
+  p.hosts = 10;
+  p.switches = 3;
+  apps::LanTestbed lan(p);
+  std::vector<net::FlowId> flows;
+  const int n = static_cast<int>(rng.uniform_int(2, 8));
+  for (int i = 0; i < n; ++i) {
+    net::FlowSpec spec;
+    spec.src = lan.hosts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+    do {
+      spec.dst = lan.hosts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+    } while (spec.dst == spec.src);
+    if (rng.chance(0.4)) spec.demand_bps = rng.uniform(1e6, 60e6);
+    flows.push_back(lan.flows->start(std::move(spec)));
+  }
+  // Feasibility on every directed link.
+  for (const net::Link& l : lan.net.links()) {
+    EXPECT_LE(lan.flows->directed_link_rate(l.id, true), l.capacity_bps * (1 + 1e-9));
+    EXPECT_LE(lan.flows->directed_link_rate(l.id, false), l.capacity_bps * (1 + 1e-9));
+  }
+  // Counter consistency over a fixed window (rates are constant here).
+  std::map<std::pair<net::LinkId, bool>, double> expected;
+  for (const net::Link& l : lan.net.links()) {
+    expected[{l.id, true}] = lan.flows->directed_link_rate(l.id, true);
+    expected[{l.id, false}] = lan.flows->directed_link_rate(l.id, false);
+  }
+  std::map<std::pair<net::LinkId, bool>, std::uint64_t> before;
+  lan.flows->sync();
+  for (const net::Link& l : lan.net.links()) {
+    before[{l.id, true}] = lan.net.egress_interface(net::Hop{l.id, true}).out_octets;
+    before[{l.id, false}] = lan.net.egress_interface(net::Hop{l.id, false}).out_octets;
+  }
+  lan.engine.advance(3.0);
+  lan.flows->sync();
+  for (const net::Link& l : lan.net.links()) {
+    for (bool dir : {true, false}) {
+      const auto now = lan.net.egress_interface(net::Hop{l.id, dir}).out_octets;
+      const double delta = static_cast<double>(now - before[{l.id, dir}]);
+      const double want = expected[{l.id, dir}] / 8.0 * 3.0;
+      EXPECT_NEAR(delta, want, 16.0) << "link " << l.id << " dir " << dir;
+    }
+  }
+  for (net::FlowId f : flows) lan.flows->stop(f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidConservation, ::testing::Range<std::uint64_t>(200, 215));
+
+}  // namespace
+}  // namespace remos

@@ -1,0 +1,213 @@
+// Estimators: Yule-Walker/Levinson-Durbin, Burg, innovations MA,
+// Hannan-Rissanen ARMA, psi-weights, OLS.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rps/linear.hpp"
+#include "rps/series.hpp"
+#include "sim/rng.hpp"
+
+namespace remos::rps {
+namespace {
+
+std::vector<double> simulate_ar(std::span<const double> phi, double sigma, std::size_t n,
+                                std::uint64_t seed, double mu = 0.0) {
+  sim::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  std::vector<double> state(phi.size(), 0.0);
+  for (std::size_t t = 0; t < n + 200; ++t) {  // burn-in
+    double z = rng.normal(0.0, sigma);
+    for (std::size_t j = 0; j < phi.size(); ++j) z += phi[j] * state[j];
+    for (std::size_t j = phi.size(); j-- > 1;) state[j] = state[j - 1];
+    if (!state.empty()) state[0] = z;
+    if (t >= 200) xs.push_back(mu + z);
+  }
+  return xs;
+}
+
+std::vector<double> simulate_ma(std::span<const double> theta, double sigma, std::size_t n,
+                                std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<double> eps(n + theta.size(), 0.0);
+  for (double& e : eps) e = rng.normal(0.0, sigma);
+  std::vector<double> xs(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    double v = eps[t + theta.size()];
+    for (std::size_t j = 0; j < theta.size(); ++j) v += theta[j] * eps[t + theta.size() - 1 - j];
+    xs[t] = v;
+  }
+  return xs;
+}
+
+TEST(YuleWalker, RecoversAr1) {
+  const std::vector<double> phi{0.7};
+  const auto xs = simulate_ar(phi, 1.0, 20000, 11);
+  const ArFit fit = fit_ar_yule_walker(xs, 1);
+  EXPECT_NEAR(fit.phi[0], 0.7, 0.03);
+  EXPECT_NEAR(fit.sigma2, 1.0, 0.08);
+}
+
+TEST(YuleWalker, RecoversAr2) {
+  const std::vector<double> phi{0.5, 0.3};
+  const auto xs = simulate_ar(phi, 1.0, 40000, 12);
+  const ArFit fit = fit_ar_yule_walker(xs, 2);
+  EXPECT_NEAR(fit.phi[0], 0.5, 0.04);
+  EXPECT_NEAR(fit.phi[1], 0.3, 0.04);
+}
+
+TEST(YuleWalker, MeanInvariant) {
+  const std::vector<double> phi{0.6};
+  const auto xs = simulate_ar(phi, 1.0, 20000, 13, /*mu=*/100.0);
+  const ArFit fit = fit_ar_yule_walker(xs, 1);
+  EXPECT_NEAR(fit.phi[0], 0.6, 0.03);
+}
+
+TEST(YuleWalker, ConstantSeriesHandled) {
+  const std::vector<double> xs(100, 3.0);
+  const ArFit fit = fit_ar_yule_walker(xs, 4);
+  EXPECT_DOUBLE_EQ(fit.sigma2, 0.0);
+}
+
+TEST(YuleWalker, ShortSeriesThrows) {
+  EXPECT_THROW(fit_ar_yule_walker(std::vector<double>{1, 2}, 4), std::invalid_argument);
+}
+
+TEST(LevinsonDurbin, NeedsEnoughLags) {
+  EXPECT_THROW(levinson_durbin(std::vector<double>{1.0}, 2), std::invalid_argument);
+}
+
+TEST(Burg, RecoversAr1) {
+  const std::vector<double> phi{0.7};
+  const auto xs = simulate_ar(phi, 1.0, 20000, 14);
+  const ArFit fit = fit_ar_burg(xs, 1);
+  EXPECT_NEAR(fit.phi[0], 0.7, 0.03);
+}
+
+TEST(Burg, WorksOnShortSeriesWhereYwIsNoisy) {
+  const std::vector<double> phi{0.8};
+  const auto xs = simulate_ar(phi, 1.0, 64, 15);
+  const ArFit fit = fit_ar_burg(xs, 1);
+  EXPECT_NEAR(fit.phi[0], 0.8, 0.2);
+}
+
+TEST(InnovationsMa, RecoversMa1) {
+  const std::vector<double> theta{0.6};
+  const auto xs = simulate_ma(theta, 1.0, 40000, 16);
+  const MaFit fit = fit_ma_innovations(xs, 1);
+  EXPECT_NEAR(fit.theta[0], 0.6, 0.06);
+  EXPECT_NEAR(fit.sigma2, 1.0, 0.1);
+}
+
+TEST(InnovationsMa, RecoversMa2Signs) {
+  const std::vector<double> theta{0.5, -0.3};
+  const auto xs = simulate_ma(theta, 1.0, 60000, 17);
+  const MaFit fit = fit_ma_innovations(xs, 2);
+  EXPECT_NEAR(fit.theta[0], 0.5, 0.07);
+  EXPECT_NEAR(fit.theta[1], -0.3, 0.07);
+}
+
+TEST(HannanRissanen, RecoversArma11) {
+  // Simulate ARMA(1,1): x_t = 0.6 x_{t-1} + e_t + 0.4 e_{t-1}.
+  sim::Rng rng(18);
+  std::vector<double> xs;
+  double prev_x = 0.0, prev_e = 0.0;
+  for (int t = 0; t < 62000; ++t) {
+    const double e = rng.normal();
+    const double x = 0.6 * prev_x + e + 0.4 * prev_e;
+    if (t >= 2000) xs.push_back(x);
+    prev_x = x;
+    prev_e = e;
+  }
+  const ArmaFit fit = fit_arma_hannan_rissanen(xs, 1, 1);
+  EXPECT_NEAR(fit.phi[0], 0.6, 0.06);
+  EXPECT_NEAR(fit.theta[0], 0.4, 0.08);
+  EXPECT_NEAR(fit.sigma2, 1.0, 0.1);
+}
+
+TEST(HannanRissanen, PureArFallback) {
+  const std::vector<double> phi{0.7};
+  const auto xs = simulate_ar(phi, 1.0, 20000, 19);
+  const ArmaFit fit = fit_arma_hannan_rissanen(xs, 1, 0);
+  EXPECT_TRUE(fit.theta.empty());
+  EXPECT_NEAR(fit.phi[0], 0.7, 0.03);
+}
+
+TEST(PsiWeights, PureArGeometric) {
+  const std::vector<double> phi{0.5};
+  const auto psi = psi_weights(phi, {}, 5);
+  EXPECT_DOUBLE_EQ(psi[0], 1.0);
+  EXPECT_DOUBLE_EQ(psi[1], 0.5);
+  EXPECT_DOUBLE_EQ(psi[2], 0.25);
+  EXPECT_DOUBLE_EQ(psi[4], 0.0625);
+}
+
+TEST(PsiWeights, PureMaTruncates) {
+  const std::vector<double> theta{0.4, 0.2};
+  const auto psi = psi_weights({}, theta, 5);
+  EXPECT_DOUBLE_EQ(psi[0], 1.0);
+  EXPECT_DOUBLE_EQ(psi[1], 0.4);
+  EXPECT_DOUBLE_EQ(psi[2], 0.2);
+  EXPECT_DOUBLE_EQ(psi[3], 0.0);
+}
+
+TEST(PsiWeights, ArmaMixes) {
+  const std::vector<double> phi{0.5};
+  const std::vector<double> theta{0.3};
+  const auto psi = psi_weights(phi, theta, 4);
+  EXPECT_DOUBLE_EQ(psi[0], 1.0);
+  EXPECT_DOUBLE_EQ(psi[1], 0.8);   // theta1 + phi1*psi0
+  EXPECT_DOUBLE_EQ(psi[2], 0.4);   // phi1*psi1
+  EXPECT_DOUBLE_EQ(psi[3], 0.2);
+}
+
+TEST(Ols, ExactSolveOnNoiselessData) {
+  // y = 2 a + 3 b.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    const double a = i, b = i * i * 0.1 + 1;
+    rows.push_back({a, b});
+    y.push_back(2 * a + 3 * b);
+  }
+  const auto beta = ols(rows, y);
+  ASSERT_EQ(beta.size(), 2u);
+  EXPECT_NEAR(beta[0], 2.0, 1e-6);
+  EXPECT_NEAR(beta[1], 3.0, 1e-6);
+}
+
+TEST(Ols, NoisyRecovery) {
+  sim::Rng rng(20);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 5000; ++i) {
+    const double a = rng.normal(), b = rng.normal();
+    rows.push_back({a, b});
+    y.push_back(1.5 * a - 0.7 * b + rng.normal(0.0, 0.1));
+  }
+  const auto beta = ols(rows, y);
+  EXPECT_NEAR(beta[0], 1.5, 0.02);
+  EXPECT_NEAR(beta[1], -0.7, 0.02);
+}
+
+TEST(Ols, ShapeMismatchThrows) {
+  EXPECT_THROW(ols({{1.0}}, std::vector<double>{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(ols({}, std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Ols, DegenerateColumnYieldsZero) {
+  // Second column is all zeros: its coefficient must come back ~0.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 1; i <= 10; ++i) {
+    rows.push_back({static_cast<double>(i), 0.0});
+    y.push_back(4.0 * i);
+  }
+  const auto beta = ols(rows, y);
+  EXPECT_NEAR(beta[0], 4.0, 1e-6);
+  EXPECT_NEAR(beta[1], 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace remos::rps

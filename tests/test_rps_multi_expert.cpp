@@ -1,0 +1,136 @@
+// NWS-style multi-expert predictor and AIC model selection.
+#include <gtest/gtest.h>
+
+#include "net/hostload.hpp"
+#include "rps/multi_expert.hpp"
+#include "rps/predictor.hpp"
+#include "sim/rng.hpp"
+
+namespace remos::rps {
+namespace {
+
+std::vector<double> ar1_series(double phi, std::size_t n, std::uint64_t seed, double mu = 0.0) {
+  sim::Rng rng(seed);
+  std::vector<double> xs;
+  double x = 0.0;
+  for (std::size_t t = 0; t < n + 100; ++t) {
+    x = phi * x + rng.normal();
+    if (t >= 100) xs.push_back(mu + x);
+  }
+  return xs;
+}
+
+std::vector<ModelSpec> panel() {
+  return {ModelSpec::mean(), ModelSpec::last(), ModelSpec::window_avg(16), ModelSpec::ar(8)};
+}
+
+TEST(MultiExpert, RequiresExperts) {
+  EXPECT_THROW(MultiExpertPredictor({}), std::invalid_argument);
+}
+
+TEST(MultiExpert, PushBeforePrimeThrows) {
+  MultiExpertPredictor p(panel());
+  EXPECT_THROW(p.push(1.0), std::logic_error);
+  EXPECT_THROW(p.predict(), std::logic_error);
+}
+
+TEST(MultiExpert, DropsInfeasibleExperts) {
+  MultiExpertPredictor p({ModelSpec::mean(), ModelSpec::ar(64)});
+  const std::vector<double> tiny{1, 2, 3, 4, 5, 6, 7, 8};
+  p.prime(tiny);
+  EXPECT_EQ(p.expert_count(), 1u);  // AR(64) cannot fit 8 samples
+  EXPECT_TRUE(p.primed());
+}
+
+TEST(MultiExpert, PicksArOnAutocorrelatedSignal) {
+  MultiExpertPredictor p(panel());
+  const auto xs = ar1_series(0.9, 3000, 1);
+  p.prime(std::span(xs).subspan(0, 2000));
+  for (std::size_t t = 2000; t < xs.size(); ++t) p.push(xs[t]);
+  EXPECT_EQ(p.best_expert(), "AR8");
+}
+
+TEST(MultiExpert, PicksWindowOnNoisySignal) {
+  // Pure white noise around a mean: averaging models beat LAST; AR offers
+  // nothing. Winner must be MEAN or BM16, never LAST.
+  MultiExpertPredictor p(panel());
+  sim::Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 3000; ++i) xs.push_back(5.0 + rng.normal());
+  p.prime(std::span(xs).subspan(0, 2000));
+  for (std::size_t t = 2000; t < xs.size(); ++t) p.push(xs[t]);
+  EXPECT_NE(p.best_expert(), "LAST");
+}
+
+TEST(MultiExpert, SwitchesOnRegimeChange) {
+  // Steep ramp (trend followers win) followed by loud white noise around a
+  // fixed level (averagers win): the panel must switch experts.
+  MultiExpertPredictor p(panel());
+  sim::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 1200; ++i) xs.push_back(2.0 * i + rng.normal(0.0, 0.3));
+  p.prime(xs);
+  double level = xs.back();
+  for (int i = 0; i < 300; ++i) {
+    level += 2.0;
+    p.push(level + rng.normal(0.0, 0.3));
+  }
+  const std::string trending = p.best_expert();
+  EXPECT_TRUE(trending == "LAST" || trending == "AR8") << trending;
+  for (int i = 0; i < 1200; ++i) p.push(level + rng.normal(0.0, 40.0));
+  const std::string noisy = p.best_expert();
+  EXPECT_GE(p.switches(), 1u);
+  EXPECT_TRUE(noisy == "MEAN" || noisy == "BM16") << noisy;
+}
+
+TEST(MultiExpert, TracksCloseToRefittingRps) {
+  // The paper's framing: RPS refits one good model; NWS switches among
+  // simple ones. On host load both should land in the same error ballpark,
+  // with the well-chosen AR(16) at least as good.
+  sim::Rng rng(4);
+  const auto series = net::generate_host_load(4000, rng);
+  const std::vector<double> train(series.begin(), series.begin() + 3000);
+
+  StreamingPredictor rps(ModelSpec::ar(16));
+  rps.prime(train);
+  MultiExpertPredictor nws(panel());
+  nws.prime(train);
+
+  double rps_sse = 0.0, nws_sse = 0.0;
+  double rps_pred = train.back(), nws_pred = train.back();
+  for (std::size_t t = 3000; t < series.size(); ++t) {
+    rps_sse += (series[t] - rps_pred) * (series[t] - rps_pred);
+    nws_sse += (series[t] - nws_pred) * (series[t] - nws_pred);
+    rps_pred = rps.push(series[t]).mean[0];
+    nws_pred = nws.push(series[t]).mean[0];
+  }
+  EXPECT_LE(rps_sse, nws_sse * 1.05);  // the tuned model is not worse
+  EXPECT_LE(nws_sse, rps_sse * 2.0);   // ...and the hedge stays competitive
+}
+
+TEST(SelectModelAic, PrefersArForArData) {
+  const auto xs = ar1_series(0.85, 4000, 5);
+  const std::vector<ModelSpec> candidates{ModelSpec::mean(), ModelSpec::ar(1), ModelSpec::ar(4)};
+  const std::size_t best = select_model_aic(candidates, xs);
+  EXPECT_GE(best, 1u);  // some AR beats MEAN
+}
+
+TEST(SelectModelAic, PenalizesUselessParameters) {
+  // White noise: MEAN (1 parameter) should beat AR(16) (17 parameters)
+  // once AIC's penalty is applied.
+  sim::Rng rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) xs.push_back(rng.normal(3.0, 1.0));
+  const std::vector<ModelSpec> candidates{ModelSpec::mean(), ModelSpec::ar(16)};
+  EXPECT_EQ(select_model_aic(candidates, xs), 0u);
+}
+
+TEST(SelectModelAic, SkipsInfeasibleCandidates) {
+  const std::vector<double> tiny{1, 2, 3, 4, 5, 6};
+  const std::vector<ModelSpec> candidates{ModelSpec::ar(32), ModelSpec::mean()};
+  EXPECT_EQ(select_model_aic(candidates, tiny), 1u);
+  EXPECT_THROW((void)select_model_aic({}, tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace remos::rps

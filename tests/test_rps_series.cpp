@@ -1,0 +1,131 @@
+// Series primitives: moments, autocovariance, differencing (ordinary and
+// fractional), forecast integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rps/series.hpp"
+#include "sim/rng.hpp"
+
+namespace remos::rps {
+namespace {
+
+TEST(Series, MeanAndVariance) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 2.0);  // n-denominator
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Series, AutocovarianceLagZeroIsVariance) {
+  sim::Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal());
+  const auto acov = autocovariance(xs, 3);
+  EXPECT_NEAR(acov[0], variance(xs), 1e-12);
+}
+
+TEST(Series, WhiteNoiseHasNearZeroAcf) {
+  sim::Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal());
+  const auto acf = autocorrelation(xs, 3);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+  EXPECT_NEAR(acf[1], 0.0, 0.03);
+  EXPECT_NEAR(acf[2], 0.0, 0.03);
+}
+
+TEST(Series, Ar1AcfDecaysGeometrically) {
+  sim::Rng rng(3);
+  std::vector<double> xs{0.0};
+  for (int i = 0; i < 50000; ++i) xs.push_back(0.8 * xs.back() + rng.normal());
+  const auto acf = autocorrelation(xs, 3);
+  EXPECT_NEAR(acf[1], 0.8, 0.03);
+  EXPECT_NEAR(acf[2], 0.64, 0.04);
+}
+
+TEST(Series, ConstantSeriesAcfIsZero) {
+  const std::vector<double> xs(100, 5.0);
+  const auto acf = autocorrelation(xs, 2);
+  EXPECT_DOUBLE_EQ(acf[1], 0.0);
+}
+
+TEST(Series, DifferenceOnce) {
+  const std::vector<double> xs{1, 4, 9, 16};
+  EXPECT_EQ(difference(xs, 1), (std::vector<double>{3, 5, 7}));
+  EXPECT_EQ(difference(xs, 2), (std::vector<double>{2, 2}));
+  EXPECT_EQ(difference(xs, 0), xs);
+}
+
+TEST(Series, DifferenceOfShortSeriesEmpty) {
+  EXPECT_TRUE(difference(std::vector<double>{1.0}, 1).empty());
+}
+
+TEST(Series, IntegrationRoundTrip) {
+  // Forecasting a linear ramp: difference twice, "forecast" the constant
+  // second difference, and integrate back.
+  const std::vector<double> xs{1, 3, 6, 10, 15};  // triangle numbers
+  const auto tails = integration_tails(xs, 2);
+  ASSERT_EQ(tails.size(), 2u);
+  EXPECT_DOUBLE_EQ(tails[0], 15.0);  // last value
+  EXPECT_DOUBLE_EQ(tails[1], 5.0);   // last first-difference
+  const std::vector<double> diff_forecast{1, 1, 1};  // second differences
+  const auto restored = integrate_forecast(diff_forecast, tails);
+  EXPECT_EQ(restored, (std::vector<double>{21, 28, 36}));
+}
+
+TEST(Series, IntegrateWithNoTailsIsIdentity) {
+  const std::vector<double> f{2, 4, 6};
+  EXPECT_EQ(integrate_forecast(f, {}), f);
+}
+
+TEST(Series, FractionalCoeffsMatchIntegerD) {
+  // d = 1 gives the classic (1, -1, 0, 0, ...) differencing filter.
+  const auto pi = fractional_diff_coeffs(1.0, 5);
+  EXPECT_DOUBLE_EQ(pi[0], 1.0);
+  EXPECT_DOUBLE_EQ(pi[1], -1.0);
+  EXPECT_NEAR(pi[2], 0.0, 1e-12);
+}
+
+TEST(Series, FractionalCoeffsDecayForFractionalD) {
+  const auto pi = fractional_diff_coeffs(0.4, 50);
+  EXPECT_DOUBLE_EQ(pi[0], 1.0);
+  EXPECT_DOUBLE_EQ(pi[1], -0.4);
+  // Coefficients decay in magnitude hyperbolically.
+  for (std::size_t j = 2; j < 50; ++j) EXPECT_LT(std::fabs(pi[j]), std::fabs(pi[j - 1]));
+}
+
+TEST(Series, FractionalInverseCancels) {
+  // Applying (1-B)^d then (1-B)^{-d} recovers a zero-mean signal
+  // (mid-series, away from truncation warm-up). Note the filter is only
+  // an approximate inverse under truncation: a nonzero mean would leave a
+  // bias proportional to the truncated coefficient mass.
+  sim::Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  const auto filtered = fractional_difference(xs, 0.4, 200);
+  const auto restored = fractional_difference(filtered, -0.4, 200);
+  for (std::size_t i = 250; i < 400; ++i) EXPECT_NEAR(restored[i], xs[i], 0.1);
+}
+
+TEST(Series, FractionalDifferenceReducesLongMemory) {
+  // A long-memory-ish signal (integrated noise) has huge lag-1 ACF; after
+  // fractional differencing with d close to 1, it drops substantially.
+  sim::Rng rng(5);
+  std::vector<double> xs{0.0};
+  for (int i = 0; i < 5000; ++i) xs.push_back(xs.back() + rng.normal());
+  const auto acf_before = autocorrelation(xs, 1);
+  const auto filtered = fractional_difference(xs, 0.9, 100);
+  const std::vector<double> stable(filtered.begin() + 200, filtered.end());
+  const auto acf_after = autocorrelation(stable, 1);
+  EXPECT_GT(acf_before[1], 0.95);
+  EXPECT_LT(acf_after[1], acf_before[1] - 0.2);
+}
+
+TEST(Series, IntegrationTailsTooShortThrows) {
+  EXPECT_THROW(integration_tails(std::vector<double>{1.0}, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace remos::rps

@@ -1,0 +1,116 @@
+// SharedPredictionCache: TTL semantics, hit accounting, invalidation.
+#include <gtest/gtest.h>
+
+#include "rps/shared_cache.hpp"
+
+namespace remos::rps {
+namespace {
+
+struct Clock {
+  double t = 0.0;
+  std::function<double()> fn() {
+    return [this] { return t; };
+  }
+};
+
+Prediction make_prediction(double value) {
+  Prediction p;
+  p.mean = {value};
+  p.variance = {1.0};
+  return p;
+}
+
+TEST(SharedPredictionCache, MissThenHit) {
+  Clock clock;
+  SharedPredictionCache cache(10.0, clock.fn());
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return make_prediction(42.0);
+  };
+  const Prediction& p1 = cache.get_or_compute("edge-1", compute);
+  EXPECT_DOUBLE_EQ(p1.mean[0], 42.0);
+  const Prediction& p2 = cache.get_or_compute("edge-1", compute);
+  EXPECT_DOUBLE_EQ(p2.mean[0], 42.0);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(SharedPredictionCache, DistinctKeysDistinctEntries) {
+  Clock clock;
+  SharedPredictionCache cache(10.0, clock.fn());
+  cache.get_or_compute("a", [] { return make_prediction(1.0); });
+  cache.get_or_compute("b", [] { return make_prediction(2.0); });
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_DOUBLE_EQ(cache.peek("a")->mean[0], 1.0);
+  EXPECT_DOUBLE_EQ(cache.peek("b")->mean[0], 2.0);
+}
+
+TEST(SharedPredictionCache, TtlExpiryRecomputes) {
+  Clock clock;
+  SharedPredictionCache cache(5.0, clock.fn());
+  int computes = 0;
+  auto compute = [&] { return make_prediction(static_cast<double>(++computes)); };
+  cache.get_or_compute("k", compute);
+  clock.t = 4.9;
+  EXPECT_DOUBLE_EQ(cache.get_or_compute("k", compute).mean[0], 1.0);  // fresh
+  clock.t = 5.1;
+  EXPECT_DOUBLE_EQ(cache.get_or_compute("k", compute).mean[0], 2.0);  // expired
+  EXPECT_EQ(computes, 2);
+}
+
+TEST(SharedPredictionCache, PeekDoesNotCompute) {
+  Clock clock;
+  SharedPredictionCache cache(5.0, clock.fn());
+  EXPECT_EQ(cache.peek("missing"), nullptr);
+  cache.get_or_compute("k", [] { return make_prediction(7.0); });
+  EXPECT_NE(cache.peek("k"), nullptr);
+  clock.t = 6.0;
+  EXPECT_EQ(cache.peek("k"), nullptr);  // stale entries hidden
+}
+
+TEST(SharedPredictionCache, InvalidateForcesRecompute) {
+  Clock clock;
+  SharedPredictionCache cache(100.0, clock.fn());
+  int computes = 0;
+  auto compute = [&] { return make_prediction(static_cast<double>(++computes)); };
+  cache.get_or_compute("k", compute);
+  cache.invalidate("k");
+  EXPECT_DOUBLE_EQ(cache.get_or_compute("k", compute).mean[0], 2.0);
+}
+
+TEST(SharedPredictionCache, ClearDropsEverything) {
+  Clock clock;
+  SharedPredictionCache cache(100.0, clock.fn());
+  cache.get_or_compute("a", [] { return make_prediction(1.0); });
+  cache.get_or_compute("b", [] { return make_prediction(2.0); });
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.peek("a"), nullptr);
+}
+
+TEST(SharedPredictionCache, RequiresTimeSource) {
+  EXPECT_THROW(SharedPredictionCache(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(SharedPredictionCache, ManyConsumersOneFit) {
+  // The sharing scenario the paper raises: N consumers of the same
+  // resource within the TTL pay one fit.
+  Clock clock;
+  SharedPredictionCache cache(30.0, clock.fn());
+  int computes = 0;
+  for (int consumer = 0; consumer < 50; ++consumer) {
+    cache.get_or_compute("popular-edge", [&] {
+      ++computes;
+      return make_prediction(3.0);
+    });
+    clock.t += 0.5;  // consumers arrive over 25 s, within one TTL
+  }
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.hits(), 49u);
+}
+
+}  // namespace
+}  // namespace remos::rps

@@ -1,0 +1,147 @@
+// Engine: clock semantics, run_until, periodic tasks, cancellation.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace remos::sim {
+namespace {
+
+TEST(Engine, ClockStartsAtZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+}
+
+TEST(Engine, AfterSchedulesRelative) {
+  Engine e;
+  double fired_at = -1.0;
+  e.after(2.5, [&] { fired_at = e.now(); });
+  e.run_until(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);  // clock advances to the horizon
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine e;
+  e.advance(5.0);
+  double fired_at = -1.0;
+  e.after(-3.0, [&] { fired_at = e.now(); });
+  e.run_until(6.0);
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine e;
+  int count = 0;
+  e.after(1.0, [&] { ++count; });
+  e.after(5.0, [&] { ++count; });
+  e.run_until(3.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  e.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, EventAtExactHorizonFires) {
+  Engine e;
+  bool fired = false;
+  e.after(3.0, [&] { fired = true; });
+  e.run_until(3.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine e;
+  std::vector<double> times;
+  e.after(1.0, [&] {
+    times.push_back(e.now());
+    e.after(1.0, [&] { times.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Engine, CancelledEventDoesNotFire) {
+  Engine e;
+  bool fired = false;
+  EventId id = e.after(1.0, [&] { fired = true; });
+  e.cancel(id);
+  e.run_until(5.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, PeriodicTaskFiresAtPeriod) {
+  Engine e;
+  std::vector<double> times;
+  e.every(2.0, [&] { times.push_back(e.now()); });
+  e.run_until(7.0);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 2.0);
+  EXPECT_DOUBLE_EQ(times[1], 4.0);
+  EXPECT_DOUBLE_EQ(times[2], 6.0);
+}
+
+TEST(Engine, PeriodicTaskWithPhase) {
+  Engine e;
+  std::vector<double> times;
+  e.every(5.0, [&] { times.push_back(e.now()); }, /*phase=*/1.0);
+  e.run_until(12.0);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 6.0);
+  EXPECT_DOUBLE_EQ(times[2], 11.0);
+}
+
+TEST(Engine, CancelTaskStopsFiring) {
+  Engine e;
+  int count = 0;
+  TaskId id = e.every(1.0, [&] { ++count; });
+  e.run_until(3.5);
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(e.cancel_task(id));
+  e.run_until(10.0);
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(e.cancel_task(id));
+}
+
+TEST(Engine, TaskCanCancelItself) {
+  Engine e;
+  int count = 0;
+  TaskId id = 0;
+  id = e.every(1.0, [&] {
+    if (++count == 2) e.cancel_task(id);
+  });
+  e.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, InvalidPeriodThrows) {
+  Engine e;
+  EXPECT_THROW(e.every(0.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(e.every(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, WarpForwardOnly) {
+  Engine e;
+  e.warp_to(5.0);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  EXPECT_THROW(e.warp_to(1.0), std::invalid_argument);
+}
+
+TEST(Engine, WarpPastPendingEventThrows) {
+  Engine e;
+  e.after(2.0, [] {});
+  EXPECT_THROW(e.warp_to(3.0), std::logic_error);
+}
+
+TEST(Engine, DispatchedCounter) {
+  Engine e;
+  e.after(1.0, [] {});
+  e.after(2.0, [] {});
+  e.run();
+  EXPECT_EQ(e.dispatched(), 2u);
+}
+
+}  // namespace
+}  // namespace remos::sim

@@ -1,0 +1,125 @@
+// Rng: determinism, stream independence, distribution sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace remos::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng root(99);
+  Rng a1 = root.fork("traffic");
+  Rng a2 = root.fork("traffic");
+  Rng b = root.fork("hostload");
+  EXPECT_EQ(a1.next(), a2.next());
+  EXPECT_NE(a1.next(), b.next());
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a(7), b(7);
+  (void)a.fork("x");
+  (void)a.fork("y");
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(3.0, 7.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng r(1);
+  EXPECT_EQ(r.uniform_int(4, 4), 4);
+  EXPECT_EQ(r.uniform_int(9, 3), 9);  // inverted range clamps to lo
+}
+
+TEST(Rng, ExponentialMeanCloseToRequested) {
+  Rng r(17);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(r.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.15);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(Rng, NormalMomentsCloseToRequested) {
+  Rng r(23);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ParetoRespectsMinimumAndIsHeavyTailed) {
+  Rng r(31);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(r.pareto(1.5, 100.0));
+  EXPECT_GE(stats.min(), 100.0);
+  // Mean of Pareto(1.5, 100) = alpha*xm/(alpha-1) = 300; heavy tail means
+  // the sample mean is noisy, so use a generous band.
+  EXPECT_GT(stats.mean(), 200.0);
+  EXPECT_GT(stats.max(), 1000.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(41);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceProportionRoughlyCorrect) {
+  Rng r(43);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 20000.0, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace remos::sim

@@ -1,0 +1,136 @@
+// RunningStats, Histogram, MeasurementHistory.
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace remos::sim {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.7 - 3.0;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Histogram, BucketsAndBounds) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-1.0);
+  h.add(10.0);
+  h.add(25.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(MeasurementHistory, RingBufferEviction) {
+  MeasurementHistory h(3);
+  for (int i = 0; i < 5; ++i) h.add(static_cast<double>(i), static_cast<double>(i) * 10);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_DOUBLE_EQ(h.at(0).value, 20.0);
+  EXPECT_DOUBLE_EQ(h.latest().value, 40.0);
+}
+
+TEST(MeasurementHistory, ValuesOldestFirst) {
+  MeasurementHistory h(10);
+  h.add(1.0, 5.0);
+  h.add(2.0, 6.0);
+  h.add(3.0, 7.0);
+  EXPECT_EQ(h.values(), (std::vector<double>{5.0, 6.0, 7.0}));
+}
+
+TEST(MeasurementHistory, WindowFilters) {
+  MeasurementHistory h(10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i), static_cast<double>(i));
+  const auto w = h.window(3.0, 6.0);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w.front().time, 3.0);
+  EXPECT_DOUBLE_EQ(w.back().time, 6.0);
+}
+
+TEST(MeasurementHistory, MeanOverWindow) {
+  MeasurementHistory h(10);
+  h.add(0.0, 2.0);
+  h.add(1.0, 4.0);
+  h.add(2.0, 9.0);
+  EXPECT_DOUBLE_EQ(h.mean_over(0.0, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.mean_over(5.0, 9.0), 0.0);  // empty window
+}
+
+TEST(MeasurementHistory, LastN) {
+  MeasurementHistory h(10);
+  for (int i = 0; i < 5; ++i) h.add(static_cast<double>(i), static_cast<double>(i));
+  EXPECT_EQ(h.last(2), (std::vector<double>{3.0, 4.0}));
+  EXPECT_EQ(h.last(99).size(), 5u);
+}
+
+TEST(Sparkline, ShapeAndLength) {
+  const std::string s = ascii_sparkline({0.0, 5.0, 10.0});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.front(), ' ');
+  EXPECT_EQ(s.back(), '@');
+  EXPECT_TRUE(ascii_sparkline({}).empty());
+  EXPECT_EQ(ascii_sparkline({7.0, 7.0}).size(), 2u);  // constant series
+}
+
+}  // namespace
+}  // namespace remos::sim

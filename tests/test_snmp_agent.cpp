@@ -1,0 +1,180 @@
+// MIB views + agents: ifTable/ipRouteTable/Bridge-MIB contents,
+// community auth, quirks, live counters, staleness rebuild.
+#include <gtest/gtest.h>
+
+#include "net/flows.hpp"
+#include "snmp/agent.hpp"
+#include "snmp/oids.hpp"
+
+namespace remos::snmp {
+namespace {
+
+/// a - sw - r - b (sw-based LAN plus routed p2p subnet to b).
+struct Fixture {
+  net::Network net{"fix"};
+  sim::Engine engine;
+  net::NodeId a, b, r, sw;
+  std::unique_ptr<net::FlowEngine> flows;
+  std::unique_ptr<AgentRegistry> agents;
+
+  Fixture() {
+    a = net.add_host("a");
+    b = net.add_host("b");
+    r = net.add_router("r");
+    sw = net.add_switch("sw");
+    net.connect(a, sw, 100e6);
+    net.connect(sw, r, 1000e6);
+    net.connect(r, b, 10e6);
+    net.finalize();
+    flows = std::make_unique<net::FlowEngine>(engine, net);
+    agents = std::make_unique<AgentRegistry>(net, sim::Rng(3));
+    agents->set_before_read([this] { flows->sync(); });
+  }
+  [[nodiscard]] net::Ipv4Address addr(net::NodeId id) const {
+    return net.node(id).primary_address();
+  }
+};
+
+TEST(MibView, GetAndGetNext) {
+  MibView v;
+  v.set_const(Oid{1, 1}, std::int64_t{10});
+  v.set_const(Oid{1, 3}, std::int64_t{30});
+  auto got = v.get(Oid{1, 1});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(got->value), 10);
+  EXPECT_FALSE(v.get(Oid{1, 2}).has_value());
+  auto next = v.get_next(Oid{1, 1});
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->oid.to_string(), "1.3");
+  EXPECT_FALSE(v.get_next(Oid{1, 3}).has_value());
+}
+
+TEST(MibView, GetNextFromBeforeFirst) {
+  MibView v;
+  v.set_const(Oid{1, 3, 6}, std::string("x"));
+  auto next = v.get_next(Oid{});
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->oid.to_string(), "1.3.6");
+}
+
+TEST(DeviceMib, RouterHasSystemIfAndRouteGroups) {
+  Fixture f;
+  const MibView v = build_device_mib(f.net, f.r);
+  EXPECT_TRUE(v.get(oids::kSysName).has_value());
+  EXPECT_EQ(std::get<std::string>(v.get(oids::kSysName)->value), "r");
+  EXPECT_EQ(std::get<std::int64_t>(v.get(oids::kIfNumber)->value), 2);
+  // Route rows exist for both segments.
+  EXPECT_GE(v.object_count(), 10u);
+  bool found_route = false;
+  Oid cursor = oids::kIpRouteNextHop;
+  if (auto nh = v.get_next(cursor); nh && oids::kIpRouteNextHop.is_prefix_of(nh->oid)) {
+    found_route = true;
+  }
+  EXPECT_TRUE(found_route);
+}
+
+TEST(DeviceMib, SwitchHasBridgeMib) {
+  Fixture f;
+  const MibView v = build_device_mib(f.net, f.sw);
+  auto ports = v.get(oids::kDot1dBaseNumPorts);
+  ASSERT_TRUE(ports.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(ports->value), 2);
+  // FDB row for host a's MAC must exist and point at a's port.
+  const Oid row = oids::kDot1dTpFdbPort.concat(oids::mac_index(f.net.node(f.a).mac));
+  auto port = v.get(row);
+  ASSERT_TRUE(port.has_value());
+  EXPECT_GT(std::get<std::int64_t>(port->value), 0);
+}
+
+TEST(DeviceMib, IfSpeedSaturatesAt32Bits) {
+  net::Network net;
+  const net::NodeId r1 = net.add_router("r1");
+  const net::NodeId r2 = net.add_router("r2");
+  net.connect(r1, r2, 10e9);  // 10 Gb/s exceeds Gauge32
+  net.finalize();
+  const MibView v = build_device_mib(net, r1);
+  auto speed = v.get(oids::kIfSpeed.child(1));
+  ASSERT_TRUE(speed.has_value());
+  EXPECT_EQ(std::get<Gauge32>(speed->value).value, 0xFFFFFFFFu);
+}
+
+TEST(DeviceMib, QuirkHidesIfSpeed) {
+  Fixture f;
+  MibQuirks quirks;
+  quirks.hide_if_speed = true;
+  const MibView v = build_device_mib(f.net, f.r, quirks);
+  EXPECT_FALSE(v.get(oids::kIfSpeed.child(1)).has_value());
+  EXPECT_TRUE(v.get(oids::kIfInOctets.child(1)).has_value());
+}
+
+TEST(DeviceMib, CountersReadLive) {
+  Fixture f;
+  const MibView v = build_device_mib(f.net, f.r);
+  const Oid out1 = oids::kIfOutOctets.child(2);  // r's interface toward b
+  const auto before = std::get<Counter32>(v.get(out1)->value).value;
+  f.flows->start(net::FlowSpec{.src = f.a, .dst = f.b});
+  f.engine.advance(2.0);
+  f.flows->sync();
+  const auto after = std::get<Counter32>(v.get(out1)->value).value;
+  EXPECT_NEAR(static_cast<double>(counter32_delta(before, after)), 10e6 / 8 * 2, 10.0);
+}
+
+TEST(AgentRegistry, DeploysOnlyManageableDevices) {
+  Fixture f;
+  EXPECT_EQ(f.agents->agent_count(), 2u);  // router + switch
+  EXPECT_NE(f.agents->find(f.addr(f.r)), nullptr);
+  EXPECT_NE(f.agents->find(f.addr(f.sw)), nullptr);
+  EXPECT_EQ(f.agents->find(f.addr(f.a)), nullptr);  // hosts have no agent
+}
+
+TEST(Agent, CommunityAuthEnforced) {
+  Fixture f;
+  Agent* agent = f.agents->find_by_node(f.r);
+  ASSERT_NE(agent, nullptr);
+  EXPECT_EQ(agent->get("public", oids::kSysName).status, Status::kOk);
+  EXPECT_EQ(agent->get("wrong", oids::kSysName).status, Status::kAuthFailure);
+}
+
+TEST(Agent, GetNextWalksInOrder) {
+  Fixture f;
+  Agent* agent = f.agents->find_by_node(f.r);
+  Oid cursor = oids::kIfIndex;
+  std::vector<std::int64_t> indices;
+  for (;;) {
+    auto r = agent->get_next("public", cursor);
+    if (r.status != Status::kOk || !oids::kIfIndex.is_prefix_of(r.vb.oid)) break;
+    indices.push_back(std::get<std::int64_t>(r.vb.value));
+    cursor = r.vb.oid;
+  }
+  EXPECT_EQ(indices, (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Agent, DropProbabilityCausesTimeouts) {
+  Fixture f;
+  f.agents->configure(f.r, MibQuirks{}, /*drop_probability=*/1.0);
+  Agent* agent = f.agents->find_by_node(f.r);
+  EXPECT_EQ(agent->get("public", oids::kSysName).status, Status::kTimeout);
+}
+
+TEST(Agent, RebuildsViewAfterHostMove) {
+  net::Network net;
+  sim::Engine engine;
+  const net::NodeId s0 = net.add_switch("s0");
+  const net::NodeId s1 = net.add_switch("s1");
+  net.connect(s0, s1, 1e9);
+  const net::NodeId h = net.add_host("h");
+  net.connect(h, s0, 1e8);
+  net.connect(net.add_host("anchor"), s1, 1e8);
+  net.finalize();
+  AgentRegistry agents(net, sim::Rng(5));
+  Agent* agent = agents.find_by_node(s0);
+  ASSERT_NE(agent, nullptr);
+  const Oid row = oids::kDot1dTpFdbPort.concat(oids::mac_index(net.node(h).mac));
+  const auto before = std::get<std::int64_t>(agent->get("public", row).vb.value);
+  net.move_host(h, s1, 1e8);
+  const auto after = std::get<std::int64_t>(agent->get("public", row).vb.value);
+  EXPECT_NE(before, after);  // h now behind the trunk port
+}
+
+}  // namespace
+}  // namespace remos::snmp

@@ -1,0 +1,111 @@
+// SNMPv2 GetBulk: agent semantics, bulk walks, cost advantage.
+#include <gtest/gtest.h>
+
+#include "snmp/client.hpp"
+#include "snmp/oids.hpp"
+
+namespace remos::snmp {
+namespace {
+
+struct Fixture {
+  net::Network net{"bulk"};
+  net::NodeId r, sw;
+  std::vector<net::NodeId> hosts;
+  std::unique_ptr<AgentRegistry> agents;
+
+  explicit Fixture(std::size_t n_hosts = 12) {
+    r = net.add_router("r");
+    sw = net.add_switch("sw");
+    net.connect(r, sw, 1e9);
+    for (std::size_t i = 0; i < n_hosts; ++i) {
+      hosts.push_back(net.add_host("h" + std::to_string(i)));
+      net.connect(hosts.back(), sw, 100e6);
+    }
+    net.finalize();
+    agents = std::make_unique<AgentRegistry>(net, sim::Rng(1));
+  }
+  [[nodiscard]] net::Ipv4Address addr(net::NodeId id) const {
+    return net.node(id).primary_address();
+  }
+};
+
+TEST(GetBulk, ReturnsUpToMaxRepetitions) {
+  Fixture f;
+  Agent* agent = f.agents->find_by_node(f.sw);
+  ASSERT_NE(agent, nullptr);
+  const auto resp = agent->get_bulk("public", oids::kDot1dTpFdbPort, 5);
+  EXPECT_EQ(resp.status, Status::kOk);
+  ASSERT_EQ(resp.vbs.size(), 5u);
+  for (std::size_t i = 1; i < resp.vbs.size(); ++i) {
+    EXPECT_LT(resp.vbs[i - 1].oid, resp.vbs[i].oid);  // lexicographic order
+  }
+}
+
+TEST(GetBulk, EndOfMibInsideBatch) {
+  Fixture f(2);
+  Agent* agent = f.agents->find_by_node(f.sw);
+  // Request far more rows than the MIB holds past the FDB status column.
+  const auto resp = agent->get_bulk("public", oids::kDot1dTpFdbStatus, 1000);
+  EXPECT_EQ(resp.status, Status::kEndOfMib);
+  EXPECT_GT(resp.vbs.size(), 0u);  // partial rows still delivered
+}
+
+TEST(GetBulk, AuthFailureAndLatencyShape) {
+  Fixture f;
+  Agent* agent = f.agents->find_by_node(f.r);
+  EXPECT_EQ(agent->get_bulk("wrong", oids::kIfIndex, 4).status, Status::kAuthFailure);
+  const auto one = agent->get_bulk("public", oids::kIfIndex, 1);
+  const auto many = agent->get_bulk("public", oids::kIfTableEntry, 12);
+  EXPECT_GT(many.latency_s, one.latency_s);           // per-binding cost
+  EXPECT_LT(many.latency_s, 12.0 * one.latency_s);    // far below 12 round trips
+}
+
+TEST(WalkBulk, SameRowsAsGetNextWalk) {
+  Fixture f;
+  SnmpClient client(*f.agents);
+  const auto a = f.addr(f.sw);
+  Status s1 = Status::kTimeout, s2 = Status::kTimeout;
+  const auto rows = client.walk(a, "public", oids::kDot1dTpFdbEntry, &s1);
+  const auto bulk = client.walk_bulk(a, "public", oids::kDot1dTpFdbEntry, &s2, 7);
+  EXPECT_EQ(s1, Status::kOk);
+  EXPECT_EQ(s2, Status::kOk);
+  ASSERT_EQ(rows.size(), bulk.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].oid, bulk[i].oid);
+    EXPECT_EQ(to_string(rows[i].value), to_string(bulk[i].value));
+  }
+}
+
+TEST(WalkBulk, FarFewerRequestsAndCheaper) {
+  Fixture f(40);
+  SnmpClient getnext(*f.agents);
+  SnmpClient bulk(*f.agents);
+  const auto a = f.addr(f.sw);
+  (void)getnext.walk(a, "public", oids::kDot1dTpFdbEntry);
+  (void)bulk.walk_bulk(a, "public", oids::kDot1dTpFdbEntry, nullptr, 24);
+  EXPECT_LT(bulk.request_count() * 10, getnext.request_count());
+  EXPECT_LT(bulk.consumed_s() * 4, getnext.consumed_s());
+}
+
+TEST(WalkBulk, UnknownAgentTimesOut) {
+  Fixture f;
+  SnmpClient client(*f.agents, ClientConfig{0.5, 0});
+  Status status = Status::kOk;
+  const auto rows =
+      client.walk_bulk(*net::Ipv4Address::parse("1.2.3.4"), "public", oids::kIfIndex, &status);
+  EXPECT_TRUE(rows.empty());
+  EXPECT_EQ(status, Status::kTimeout);
+}
+
+TEST(WalkBulk, EmptySubtreeOk) {
+  Fixture f;
+  SnmpClient client(*f.agents);
+  Status status = Status::kTimeout;
+  // Switch has no route table.
+  const auto rows = client.walk_bulk(f.addr(f.sw), "public", oids::kIpRouteEntry, &status);
+  EXPECT_TRUE(rows.empty());
+  EXPECT_EQ(status, Status::kOk);
+}
+
+}  // namespace
+}  // namespace remos::snmp

@@ -1,0 +1,154 @@
+// SnmpClient: walks, latency metering, timeouts/retries, parallel lanes.
+#include <gtest/gtest.h>
+
+#include "snmp/client.hpp"
+#include "snmp/oids.hpp"
+
+namespace remos::snmp {
+namespace {
+
+struct Fixture {
+  net::Network net{"fix"};
+  net::NodeId r, sw;
+  std::unique_ptr<AgentRegistry> agents;
+
+  Fixture() {
+    const net::NodeId a = net.add_host("a");
+    const net::NodeId b = net.add_host("b");
+    r = net.add_router("r");
+    sw = net.add_switch("sw");
+    net.connect(a, sw, 100e6);
+    net.connect(sw, r, 1000e6);
+    net.connect(r, b, 10e6);
+    net.finalize();
+    agents = std::make_unique<AgentRegistry>(net, sim::Rng(1));
+  }
+  [[nodiscard]] net::Ipv4Address addr(net::NodeId id) const {
+    return net.node(id).primary_address();
+  }
+};
+
+TEST(SnmpClient, GetReturnsValueAndCharges) {
+  Fixture f;
+  SnmpClient client(*f.agents);
+  auto r = client.get(f.addr(f.r), "public", oids::kSysName);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::get<std::string>(r.vb.value), "r");
+  EXPECT_EQ(client.request_count(), 1u);
+  EXPECT_GT(client.consumed_s(), 0.0);
+}
+
+TEST(SnmpClient, UnknownAgentTimesOutWithRetries) {
+  Fixture f;
+  SnmpClient client(*f.agents, ClientConfig{1.0, 1});
+  auto r = client.get(*net::Ipv4Address::parse("1.2.3.4"), "public", oids::kSysName);
+  EXPECT_EQ(r.status, Status::kTimeout);
+  EXPECT_EQ(client.request_count(), 2u);           // initial + 1 retry
+  EXPECT_DOUBLE_EQ(client.consumed_s(), 2.0);      // two timeout budgets
+}
+
+TEST(SnmpClient, WrongCommunityLooksLikeTimeout) {
+  Fixture f;
+  SnmpClient client(*f.agents, ClientConfig{0.5, 0});
+  auto r = client.get(f.addr(f.r), "secret", oids::kSysName);
+  EXPECT_EQ(r.status, Status::kAuthFailure);
+  EXPECT_DOUBLE_EQ(client.consumed_s(), 0.5);  // burned the timeout budget
+}
+
+TEST(SnmpClient, WalkCollectsSubtreeInOrder) {
+  Fixture f;
+  SnmpClient client(*f.agents);
+  Status status = Status::kTimeout;
+  const auto rows = client.walk(f.addr(f.r), "public", oids::kIfSpeed, &status);
+  EXPECT_EQ(status, Status::kOk);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(oids::kIfSpeed.is_prefix_of(rows[0].oid));
+  EXPECT_LT(rows[0].oid, rows[1].oid);
+}
+
+TEST(SnmpClient, WalkOfMissingSubtreeIsEmpty) {
+  Fixture f;
+  SnmpClient client(*f.agents);
+  Status status = Status::kTimeout;
+  // Switch has no ipRouteTable.
+  const auto rows = client.walk(f.addr(f.sw), "public", oids::kIpRouteNextHop, &status);
+  EXPECT_TRUE(rows.empty());
+  EXPECT_EQ(status, Status::kOk);
+}
+
+TEST(SnmpClient, WalkCostScalesWithRows) {
+  Fixture f;
+  SnmpClient client(*f.agents);
+  const double c1 = client.metered(
+      [&] { client.walk(f.addr(f.r), "public", oids::kIfSpeed); });
+  const double c2 = client.metered(
+      [&] { client.walk(f.addr(f.r), "public", oids::kIfTableEntry); });
+  EXPECT_GT(c2, c1);  // whole ifTable has more rows than one column
+}
+
+TEST(SnmpClient, ParallelChargesMaxLane) {
+  Fixture f;
+  SnmpClient client(*f.agents);
+  const net::Ipv4Address router = f.addr(f.r);
+  const net::Ipv4Address sw = f.addr(f.sw);
+  // Sequential baseline.
+  SnmpClient seq(*f.agents);
+  seq.get(router, "public", oids::kSysName);
+  seq.get(sw, "public", oids::kSysName);
+  const double sequential = seq.consumed_s();
+
+  std::vector<std::function<void()>> lanes;
+  lanes.emplace_back([&] { client.get(router, "public", oids::kSysName); });
+  lanes.emplace_back([&] { client.get(sw, "public", oids::kSysName); });
+  client.parallel(lanes);
+  EXPECT_LT(client.consumed_s(), sequential);
+  EXPECT_DOUBLE_EQ(client.consumed_s(), sequential / 2.0);  // equal lane costs
+}
+
+TEST(SnmpClient, ParallelLaneWithSequentialChainCostsChain) {
+  Fixture f;
+  SnmpClient client(*f.agents);
+  const net::Ipv4Address router = f.addr(f.r);
+  std::vector<std::function<void()>> lanes;
+  lanes.emplace_back([&] {
+    client.get(router, "public", oids::kSysName);
+    client.get(router, "public", oids::kSysDescr);
+  });
+  lanes.emplace_back([&] { client.get(router, "public", oids::kSysName); });
+  client.parallel(lanes);
+  SnmpClient two(*f.agents);
+  two.get(router, "public", oids::kSysName);
+  two.get(router, "public", oids::kSysDescr);
+  EXPECT_DOUBLE_EQ(client.consumed_s(), two.consumed_s());  // max lane = 2 gets
+}
+
+TEST(SnmpClient, MeteredReturnsDelta) {
+  Fixture f;
+  SnmpClient client(*f.agents);
+  client.get(f.addr(f.r), "public", oids::kSysName);
+  const double delta = client.metered([&] {
+    client.get(f.addr(f.r), "public", oids::kSysName);
+  });
+  EXPECT_GT(delta, 0.0);
+  EXPECT_LT(delta, client.consumed_s());
+}
+
+TEST(SnmpClient, ChargeAddsVirtualTime) {
+  Fixture f;
+  SnmpClient client(*f.agents);
+  client.charge(1.25);
+  EXPECT_DOUBLE_EQ(client.consumed_s(), 1.25);
+}
+
+TEST(SnmpClient, BeforeReadHookInvoked) {
+  Fixture f;
+  int calls = 0;
+  f.agents->set_before_read([&] { ++calls; });
+  SnmpClient client(*f.agents);
+  client.get(f.addr(f.r), "public", oids::kSysName);
+  client.get_next(f.addr(f.r), "public", oids::kSysName);
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace remos::snmp

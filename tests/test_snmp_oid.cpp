@@ -1,0 +1,95 @@
+// Oid: parsing, ordering (GETNEXT traversal order), prefix operations.
+#include <gtest/gtest.h>
+
+#include "snmp/oid.hpp"
+#include "snmp/oids.hpp"
+#include "snmp/value.hpp"
+
+namespace remos::snmp {
+namespace {
+
+TEST(Oid, ParseAndFormat) {
+  const auto oid = Oid::parse("1.3.6.1.2.1");
+  ASSERT_TRUE(oid.has_value());
+  EXPECT_EQ(oid->to_string(), "1.3.6.1.2.1");
+  EXPECT_EQ(oid->size(), 6u);
+}
+
+TEST(Oid, ParseToleratesLeadingDot) {
+  const auto oid = Oid::parse(".1.3.6");
+  ASSERT_TRUE(oid.has_value());
+  EXPECT_EQ(oid->to_string(), "1.3.6");
+}
+
+TEST(Oid, ParseRejectsMalformed) {
+  EXPECT_FALSE(Oid::parse(""));
+  EXPECT_FALSE(Oid::parse("."));
+  EXPECT_FALSE(Oid::parse("1..3"));
+  EXPECT_FALSE(Oid::parse("1.3."));
+  EXPECT_FALSE(Oid::parse("1.a.3"));
+}
+
+TEST(Oid, LexicographicOrdering) {
+  const Oid a{1, 3, 6};
+  const Oid b{1, 3, 6, 1};
+  const Oid c{1, 3, 7};
+  EXPECT_LT(a, b);  // prefix sorts before extension
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(Oid, ChildAndConcat) {
+  const Oid base{1, 3};
+  EXPECT_EQ(base.child(6).to_string(), "1.3.6");
+  EXPECT_EQ(base.concat(Oid{6, 1}).to_string(), "1.3.6.1");
+  EXPECT_EQ(base.to_string(), "1.3");  // original untouched
+}
+
+TEST(Oid, PrefixChecks) {
+  const Oid base{1, 3, 6};
+  EXPECT_TRUE(base.is_prefix_of(Oid{1, 3, 6, 1, 2}));
+  EXPECT_TRUE(base.is_prefix_of(base));
+  EXPECT_FALSE(base.is_prefix_of(Oid{1, 3}));
+  EXPECT_FALSE(base.is_prefix_of(Oid{1, 3, 7}));
+}
+
+TEST(Oid, SuffixAfter) {
+  const Oid full{1, 3, 6, 1, 42};
+  EXPECT_EQ(full.suffix_after(Oid{1, 3, 6, 1}).to_string(), "42");
+  EXPECT_TRUE(full.suffix_after(full).empty());
+}
+
+TEST(Oids, MacIndexRoundTrip) {
+  const std::uint64_t mac = 0x020000000007ull;
+  const Oid index = oids::mac_index(mac);
+  EXPECT_EQ(index.size(), 6u);
+  EXPECT_EQ(index.to_string(), "2.0.0.0.0.7");
+  EXPECT_EQ(oids::mac_from_index(index), mac);
+}
+
+TEST(Oids, IpIndexRoundTrip) {
+  const auto addr = *net::Ipv4Address::parse("10.1.2.3");
+  const Oid index = oids::ip_index(addr);
+  EXPECT_EQ(index.to_string(), "10.1.2.3");
+  EXPECT_EQ(oids::ip_from_index(index), addr);
+}
+
+TEST(Oids, WellKnownRelationships) {
+  EXPECT_TRUE(oids::kIfTableEntry.is_prefix_of(oids::kIfSpeed));
+  EXPECT_TRUE(oids::kIfTableEntry.is_prefix_of(oids::kIfInOctets));
+  EXPECT_TRUE(oids::kIpRouteEntry.is_prefix_of(oids::kIpRouteNextHop));
+  EXPECT_TRUE(oids::kDot1dTpFdbEntry.is_prefix_of(oids::kDot1dTpFdbPort));
+}
+
+TEST(Counter32, DeltaWithoutWrap) {
+  EXPECT_EQ(counter32_delta(100, 250), 150u);
+  EXPECT_EQ(counter32_delta(0, 0), 0u);
+}
+
+TEST(Counter32, DeltaAcrossWrap) {
+  EXPECT_EQ(counter32_delta(0xFFFFFF00u, 0x100u), 0x200u);
+  EXPECT_EQ(counter32_delta(0xFFFFFFFFu, 0x0u), 1u);
+}
+
+}  // namespace
+}  // namespace remos::snmp
