@@ -1,0 +1,113 @@
+// Ablation: expiring quarantine vs permanent blacklisting of failed
+// agents.
+//
+// A router flaps (hard outage for 30 simulated seconds). Both collectors
+// keep answering: quarantine fail-fasts the dark agent and re-probes it
+// after expiry; the blacklist variant (quarantine so long it never
+// expires, the seed's dead_agents_ behavior) stays on the degraded
+// virtual-switch answer forever. Columns track the trade: query cost,
+// reported staleness, and whether the query still sees the true 45 Mb/s
+// bottleneck capacity.
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "core/snmp_collector.hpp"
+#include "net/topology.hpp"
+#include "snmp/agent.hpp"
+
+using namespace remos;
+
+namespace {
+
+struct Rig {
+  net::Network net{"flap"};
+  sim::Engine engine;
+  net::NodeId a, r1, r2, b;
+  std::unique_ptr<snmp::AgentRegistry> agents;
+  std::unique_ptr<core::SnmpCollector> collector;
+
+  explicit Rig(double quarantine_s) {
+    a = net.add_host("a");
+    r1 = net.add_router("r1");
+    r2 = net.add_router("r2");
+    b = net.add_host("b");
+    net.connect(a, r1, 100e6);
+    net.connect(r1, r2, 45e6);
+    net.connect(r2, b, 100e6);
+    net.finalize();
+    agents = std::make_unique<snmp::AgentRegistry>(net, sim::Rng(11));
+    core::SnmpCollectorConfig cfg;
+    cfg.domain = {*net::Ipv4Prefix::parse("10.0.0.0/8")};
+    for (const net::Segment& seg : net.segments()) {
+      net::Ipv4Address gw{};
+      for (auto [node, ifidx] : seg.attachments) {
+        (void)ifidx;
+        if (net.node(node).kind == net::NodeKind::kRouter) {
+          gw = net.node(node).primary_address();
+          break;
+        }
+      }
+      cfg.subnets.push_back({seg.prefix, gw, nullptr, false, 0.0});
+    }
+    cfg.quarantine_s = quarantine_s;
+    collector = std::make_unique<core::SnmpCollector>(engine, *agents, std::move(cfg));
+  }
+  [[nodiscard]] net::Ipv4Address addr(net::NodeId id) const {
+    return net.node(id).primary_address();
+  }
+};
+
+struct PhaseStats {
+  double cost = 0.0, staleness = 0.0, accurate = 0.0;
+  int queries = 0;
+  void add(const core::CollectorResponse& resp) {
+    cost += resp.cost_s;
+    staleness += resp.max_staleness_s;
+    bool saw_bottleneck = false;
+    for (const core::VEdge& e : resp.topology.edges()) {
+      saw_bottleneck |= (e.capacity_bps == 45e6);
+    }
+    accurate += saw_bottleneck ? 1.0 : 0.0;
+    ++queries;
+  }
+};
+
+void run(const char* label, double quarantine_s) {
+  Rig rig(quarantine_s);
+  const std::vector<net::Ipv4Address> nodes{rig.addr(rig.a), rig.addr(rig.b)};
+  (void)rig.collector->query(nodes);  // warm discovery at t=0
+
+  // Outage window [30, 60): phases before / during / after.
+  PhaseStats phases[3];
+  for (double t = 5.0; t <= 100.0; t += 5.0) {
+    rig.engine.run_until(t);
+    if (t == 30.0) rig.agents->find_by_node(rig.r1)->down = true;
+    if (t == 60.0) rig.agents->find_by_node(rig.r1)->down = false;
+    const int phase = t < 30.0 ? 0 : (t < 60.0 ? 1 : 2);
+    phases[phase].add(rig.collector->query(nodes));
+  }
+
+  bench::row("%-22s %8s %12s %14s %10s", label, "phase", "avg cost", "avg staleness",
+             "accuracy");
+  const char* names[3] = {"before", "outage", "after"};
+  for (int i = 0; i < 3; ++i) {
+    const PhaseStats& p = phases[i];
+    bench::row("%-22s %8s %12.3f %14.1f %9.0f%%", "", names[i], p.cost / p.queries,
+               p.staleness / p.queries, 100.0 * p.accurate / p.queries);
+  }
+  bench::row("");
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation — agent-failure recovery: quarantine vs blacklist",
+                "fault tolerance (par. 6.2): query cost/staleness/accuracy across an outage");
+  run("quarantine 15 s", 15.0);
+  run("blacklist (no expiry)", 1e18);
+  bench::row("accuracy = fraction of queries reporting the true 45 Mb/s bottleneck.");
+  bench::row("the quarantine collector pays brief re-probe timeouts around expiry but");
+  bench::row("regains the real topology after the outage; the blacklist variant stays");
+  bench::row("on the virtual-switch guess (and stale capacities) forever.");
+  return 0;
+}

@@ -127,9 +127,11 @@ class WanTestbed {
   sim::Engine engine;
   net::Network net{"wan"};
   net::NodeId core_router = net::kNone;
-  std::vector<Site> sites;
+  // flows/agents before sites: each Site's OnOffSources reference *flows,
+  // so the engine must outlive them (members destroy in reverse order).
   std::unique_ptr<net::FlowEngine> flows;
   std::unique_ptr<snmp::AgentRegistry> agents;
+  std::vector<Site> sites;
   std::unique_ptr<core::BenchmarkCollector> benchmark;
   std::unique_ptr<core::MasterCollector> master;
   std::unique_ptr<core::Modeler> modeler;

@@ -50,6 +50,7 @@ CollectorResponse MasterCollector::query(const std::vector<net::Ipv4Address>& no
     resp.topology = std::move(sub.topology);
     resp.cost_s += sub.cost_s;
     resp.complete = resp.complete && sub.complete;
+    resp.max_staleness_s = sub.max_staleness_s;
     return resp;
   }
 
@@ -65,6 +66,8 @@ CollectorResponse MasterCollector::query(const std::vector<net::Ipv4Address>& no
     CollectorResponse sub = site->collector->query(sub_nodes);
     resp.topology.merge(sub.topology);
     resp.complete = resp.complete && sub.complete;
+    // Worst measurement age across sites bounds the merged answer's quality.
+    resp.max_staleness_s = std::max(resp.max_staleness_s, sub.max_staleness_s);
     max_site_cost = std::max(max_site_cost, sub.cost_s);
     sum_site_cost += sub.cost_s;
   }

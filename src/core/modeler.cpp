@@ -19,6 +19,7 @@ VirtualTopology Modeler::fetch(const std::vector<net::Ipv4Address>& nodes) {
   CollectorResponse resp = collector_.query(unique);
   last_cost_s_ = resp.cost_s;
   last_complete_ = resp.complete;
+  last_staleness_s_ = resp.max_staleness_s;
   return std::move(resp.topology);
 }
 

@@ -57,6 +57,9 @@ class Modeler {
   /// computing *effective* bandwidth (Figs 8-9) add this to transfer time.
   [[nodiscard]] double last_query_cost_s() const { return last_cost_s_; }
   [[nodiscard]] bool last_query_complete() const { return last_complete_; }
+  /// Worst measurement age in the most recent answer (0 = all fresh).
+  /// Rises while agents along the reported paths are unreachable.
+  [[nodiscard]] double last_query_staleness_s() const { return last_staleness_s_; }
 
   /// Collapse maximal switch/virtual-switch clusters into single virtual
   /// switches; endpoints keep their access-link capacity and utilization.
@@ -70,6 +73,7 @@ class Modeler {
   rps::ClientServerPredictor predictor_;
   double last_cost_s_ = 0.0;
   bool last_complete_ = true;
+  double last_staleness_s_ = 0.0;
 };
 
 }  // namespace remos::core

@@ -40,6 +40,7 @@ std::string xml_encode_response(const CollectorResponse& response) {
   XmlElement root("response");
   root.set_attr("cost", response.cost_s);
   root.set_attr("complete", std::int64_t{response.complete ? 1 : 0});
+  if (response.max_staleness_s > 0.0) root.set_attr("staleness", response.max_staleness_s);
   XmlElement& topo = root.add_child("topology");
   for (const VNode& n : response.topology.nodes()) {
     XmlElement& vn = topo.add_child("vnode");
@@ -56,6 +57,7 @@ std::string xml_encode_response(const CollectorResponse& response) {
     ve.set_attr("utilba", e.util_ba_bps);
     ve.set_attr("latency", e.latency_s);
     ve.set_attr("id", e.id);
+    if (e.staleness_s > 0.0) ve.set_attr("staleness", e.staleness_s);
   }
   return root.to_string();
 }
@@ -66,6 +68,7 @@ std::optional<CollectorResponse> xml_decode_response(const std::string& wire) {
   CollectorResponse resp;
   resp.cost_s = root->attr_double("cost");
   resp.complete = root->attr_int("complete", 1) != 0;
+  resp.max_staleness_s = root->attr_double("staleness");
   const XmlElement* topo = root->first_child("topology");
   if (topo == nullptr) return std::nullopt;
   for (const XmlElement* vn : topo->children_named("vnode")) {
@@ -86,6 +89,7 @@ std::optional<CollectorResponse> xml_decode_response(const std::string& wire) {
     e.util_ba_bps = ve->attr_double("utilba");
     e.latency_s = ve->attr_double("latency");
     e.id = ve->attr("id").value_or("");
+    e.staleness_s = ve->attr_double("staleness");
     resp.topology.add_edge(std::move(e));
   }
   return resp;

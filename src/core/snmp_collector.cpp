@@ -1,8 +1,10 @@
 #include "core/snmp_collector.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdio>
+#include <set>
 
 #include "snmp/oids.hpp"
 
@@ -17,6 +19,8 @@ std::string router_name(net::Ipv4Address addr) { return "rtr@" + addr.to_string(
 SnmpCollector::SnmpCollector(sim::Engine& engine, snmp::AgentRegistry& registry,
                              SnmpCollectorConfig config)
     : engine_(engine), config_(std::move(config)), client_(registry) {
+  // Health records timestamp successes/failures in simulation time.
+  client_.set_clock([this] { return engine_.now(); });
   if (config_.poll_interval_s > 0) {
     poll_task_ = engine_.every(config_.poll_interval_s, [this] { poll_pass(); });
   }
@@ -76,25 +80,100 @@ VNode SnmpCollector::label_to_vnode(const std::string& label, net::Ipv4Address s
   return VNode{VNodeKind::kVirtualSwitch, "vs:" + label, {}};
 }
 
+// ---------------------------------------------------------------------------
+// fault handling
+// ---------------------------------------------------------------------------
+
+bool SnmpCollector::agent_quarantined(net::Ipv4Address agent) {
+  auto it = quarantine_.find(agent);
+  if (it == quarantine_.end()) return false;
+  if (engine_.now() >= it->second) {
+    // Quarantine expired: forget the entry so the next touch re-probes.
+    quarantine_.erase(it);
+    return false;
+  }
+  discovery_degraded_ = true;
+  return true;
+}
+
+bool SnmpCollector::agent_in_quarantine(net::Ipv4Address agent) const {
+  auto it = quarantine_.find(agent);
+  return it != quarantine_.end() && engine_.now() < it->second;
+}
+
+void SnmpCollector::note_agent_failure(net::Ipv4Address agent) {
+  discovery_degraded_ = true;
+  const snmp::AgentHealth* h = client_.health(agent);
+  if (h != nullptr &&
+      h->consecutive_failures >= static_cast<std::uint64_t>(config_.quarantine_after_failures)) {
+    quarantine_agent(agent);
+  }
+}
+
+void SnmpCollector::quarantine_agent(net::Ipv4Address agent) {
+  const bool fresh = !quarantine_.contains(agent);
+  quarantine_[agent] = engine_.now() + config_.quarantine_s;
+  if (!fresh) return;
+  // Newly quarantined: cached paths that run through this agent describe a
+  // topology we can no longer vouch for — flush them so the next query
+  // rebuilds around (and later, through) the failed device.
+  std::erase_if(path_cache_, [this, agent](const auto& entry) {
+    for (const std::string& id : entry.second.edge_ids) {
+      auto it = edges_.find(id);
+      if (it == edges_.end()) continue;
+      const KnownEdge& e = it->second;
+      if (e.monitor.agent == agent || e.a.addr == agent || e.b.addr == agent) return true;
+    }
+    return false;
+  });
+}
+
 double SnmpCollector::interface_speed(net::Ipv4Address agent, std::uint32_t ifindex) {
   const MonitorPoint key{agent, ifindex};
-  if (config_.cache_enabled) {
-    auto it = speed_cache_.find(key);
-    if (it != speed_cache_.end()) return it->second;
+  auto it = speed_cache_.find(key);
+  const bool have_cached = it != speed_cache_.end();
+  if (config_.cache_enabled && have_cached && !cache_expired(it->second.fetched_at, config_.speed_cache_ttl_s)) {
+    return it->second.bps;
   }
-  double speed = 0.0;
+  if (agent_quarantined(agent)) {
+    // Fail fast; a stale capacity beats a timeout storm and beats zero.
+    return have_cached ? it->second.bps : 0.0;
+  }
   auto r = client_.get(agent, config_.community, snmp::oids::kIfSpeed.child(ifindex));
   if (r.ok()) {
+    double speed = 0.0;
     if (const auto* g = std::get_if<snmp::Gauge32>(&r.vb.value)) {
       speed = static_cast<double>(g->value);
     }
+    speed_cache_[key] = CachedSpeed{speed, engine_.now()};
+    return speed;
   }
-  speed_cache_[key] = speed;
-  return speed;
+  if (r.status == snmp::Status::kNoSuchName || r.status == snmp::Status::kEndOfMib) {
+    // The agent answered: it genuinely has no ifSpeed object. That is a
+    // definitive (cacheable) zero, unlike a timeout.
+    speed_cache_[key] = CachedSpeed{0.0, engine_.now()};
+    return 0.0;
+  }
+  // Timeout/auth failure: do NOT cache the failure as a 0.0 capacity —
+  // that poisoned every later query until the cache was dropped.
+  note_agent_failure(agent);
+  return have_cached ? it->second.bps : 0.0;
 }
 
 void SnmpCollector::add_edge(KnownEdge edge) {
-  edges_.try_emplace(edge.id, std::move(edge));
+  auto it = edges_.find(edge.id);
+  if (it == edges_.end()) {
+    edges_.emplace(edge.id, std::move(edge));
+    return;
+  }
+  // Re-discovered edge. Don't let a degraded rebuild (no capacity, no
+  // monitor — e.g. the device is dark right now) clobber an entry that
+  // was measured while the device was healthy: staleness already tells
+  // the caller the numbers are old.
+  const KnownEdge& old = it->second;
+  const bool downgrade = edge.capacity_bps <= 0.0 && edge.monitor.agent.is_zero() &&
+                         (old.capacity_bps > 0.0 || !old.monitor.agent.is_zero());
+  if (!downgrade) it->second = std::move(edge);
 }
 
 void SnmpCollector::ensure_monitored(const MonitorPoint& point, double capacity_bps) {
@@ -112,10 +191,21 @@ void SnmpCollector::ensure_monitored(const MonitorPoint& point, double capacity_
 }
 
 void SnmpCollector::sample_interface(const MonitorPoint& point, MonitoredIf& m) {
+  // Quarantined agents are skipped fail-fast; their last sample ages,
+  // which is exactly what the staleness annotation reports.
+  if (agent_quarantined(point.agent)) return;
   auto rin = client_.get(point.agent, config_.community,
                          snmp::oids::kIfInOctets.child(point.ifindex));
+  if (rin.status == snmp::Status::kTimeout || rin.status == snmp::Status::kAuthFailure) {
+    note_agent_failure(point.agent);
+    return;
+  }
   auto rout = client_.get(point.agent, config_.community,
                           snmp::oids::kIfOutOctets.child(point.ifindex));
+  if (rout.status == snmp::Status::kTimeout || rout.status == snmp::Status::kAuthFailure) {
+    note_agent_failure(point.agent);
+    return;
+  }
   if (!rin.ok() || !rout.ok()) return;  // keep previous sample on failure
   const auto* cin = std::get_if<snmp::Counter32>(&rin.vb.value);
   const auto* cout = std::get_if<snmp::Counter32>(&rout.vb.value);
@@ -167,12 +257,14 @@ std::optional<SnmpCollector::RouteEntry> SnmpCollector::route_lookup(net::Ipv4Ad
                                                                      net::Ipv4Address dst,
                                                                      bool* agent_ok) {
   *agent_ok = true;
-  if (dead_agents_.contains(router)) {
+  if (agent_quarantined(router)) {
     *agent_ok = false;
     return std::nullopt;
   }
   auto it = route_tables_.find(router);
-  if (it == route_tables_.end() || !config_.cache_enabled) {
+  const bool fresh = it != route_tables_.end() && config_.cache_enabled &&
+                     !cache_expired(it->second.fetched_at, config_.route_table_ttl_s);
+  if (!fresh) {
     // Walk the agent's ipRouteTable columns and join rows by index.
     snmp::Status status = snmp::Status::kOk;
     std::map<snmp::Oid, RouteEntry> rows;
@@ -185,7 +277,9 @@ std::optional<SnmpCollector::RouteEntry> SnmpCollector::route_lookup(net::Ipv4Ad
       if (const auto* ip = std::get_if<net::Ipv4Address>(&vb.value)) rows[idx].next_hop = *ip;
     }
     if (status != snmp::Status::kOk) {
-      dead_agents_.insert(router);
+      // A failed walk is decisive evidence the agent is unreachable —
+      // quarantine immediately (re-probed once the quarantine expires).
+      quarantine_agent(router);
       *agent_ok = false;
       return std::nullopt;
     }
@@ -194,8 +288,16 @@ std::optional<SnmpCollector::RouteEntry> SnmpCollector::route_lookup(net::Ipv4Ad
       auto row = rows.find(idx);
       if (row == rows.end()) continue;
       if (const auto* mask = std::get_if<net::Ipv4Address>(&vb.value)) {
-        int len = 0;
-        for (std::uint32_t v = mask->value(); v & 0x80000000u; v <<= 1) ++len;
+        const std::uint32_t v = mask->value();
+        const int len = std::countl_one(v);
+        if (len < 32 && (v & (0xFFFFFFFFu >> len)) != 0) {
+          // Non-contiguous netmask (e.g. 255.0.255.0): no prefix length
+          // represents it. Counting leading ones used to silently install
+          // a too-short prefix (/8) that hijacked longest-prefix match —
+          // reject the row instead.
+          rows.erase(row);
+          continue;
+        }
         row->second.dest = net::Ipv4Prefix(snmp::oids::ip_from_index(idx), len);
       }
     }
@@ -213,10 +315,11 @@ std::optional<SnmpCollector::RouteEntry> SnmpCollector::route_lookup(net::Ipv4Ad
       (void)idx;
       table.push_back(entry);
     }
-    it = route_tables_.insert_or_assign(router, std::move(table)).first;
+    it = route_tables_.insert_or_assign(router, CachedRouteTable{std::move(table), engine_.now()})
+             .first;
   }
   const RouteEntry* best = nullptr;
-  for (const RouteEntry& e : it->second) {
+  for (const RouteEntry& e : it->second.entries) {
     if (e.dest.contains(dst) && (best == nullptr || e.dest.length() > best->dest.length())) {
       best = &e;
     }
@@ -294,6 +397,7 @@ std::vector<std::string> SnmpCollector::discover_l2(const SnmpCollectorConfig::S
       add_edge(std::move(e));
     }
     *complete = false;
+    discovery_degraded_ = true;
     return ids;
   }
   for (const L2PathHop& hop : *path) {
@@ -319,8 +423,19 @@ std::vector<std::string> SnmpCollector::discover_pair(net::Ipv4Address src, net:
   const std::pair<net::Ipv4Address, net::Ipv4Address> key = std::minmax(src, dst);
   if (config_.cache_enabled) {
     auto it = path_cache_.find(key);
-    if (it != path_cache_.end()) return it->second;
+    if (it != path_cache_.end()) {
+      if (!cache_expired(it->second.built_at, config_.path_cache_ttl_s)) {
+        return it->second.edge_ids;
+      }
+      path_cache_.erase(it);
+    }
   }
+  // Track whether this discovery had to degrade (quarantined device, dark
+  // router, failed speed read). Degraded paths are served but never
+  // cached, so recovery is picked up on the next query instead of TTL.
+  discovery_degraded_ = false;
+  bool pair_complete = true;
+  ++path_discoveries_;
   std::vector<std::string> ids;
   const auto* s_sub = subnet_of(src);
   const auto* d_sub = subnet_of(dst);
@@ -329,25 +444,24 @@ std::vector<std::string> SnmpCollector::discover_pair(net::Ipv4Address src, net:
     return ids;
   }
   if (s_sub == d_sub) {
-    ids = discover_l2(*s_sub, src, dst, complete);
+    ids = discover_l2(*s_sub, src, dst, &pair_complete);
+  } else if (s_sub->gateway.is_zero()) {
+    pair_complete = false;
   } else {
-    if (s_sub->gateway.is_zero()) {
-      *complete = false;
-      return ids;
-    }
     // Host to its first-hop router, inside the source subnet.
-    auto first = discover_l2(*s_sub, src, s_sub->gateway, complete);
+    auto first = discover_l2(*s_sub, src, s_sub->gateway, &pair_complete);
     ids.insert(ids.end(), first.begin(), first.end());
     // Follow the route hop-to-hop (§3.1.1), reusing cached router tables.
     net::Ipv4Address cur = s_sub->gateway;
-    bool done = false;
-    for (int guard = 0; guard < 32 && !done; ++guard) {
+    bool reached = false;
+    for (int guard = 0; guard < 32 && !reached; ++guard) {
       bool agent_ok = true;
       auto route = route_lookup(cur, dst, &agent_ok);
       if (!agent_ok) {
         // Inaccessible router: "when the collector discovers nodes ...
         // connected to routers it cannot access, it represents their
         // connection with a virtual switch."
+        discovery_degraded_ = true;
         const VNode vs{VNodeKind::kVirtualSwitch, "vs:dark:" + cur.to_string(), {}};
         for (const VNode ep : {node_descriptor(cur), node_descriptor(dst)}) {
           KnownEdge e;
@@ -357,21 +471,19 @@ std::vector<std::string> SnmpCollector::discover_pair(net::Ipv4Address src, net:
           ids.push_back(e.id);
           add_edge(std::move(e));
         }
+        reached = true;  // the virtual switch stands in for the rest
         break;
       }
-      if (!route) {
-        *complete = false;
-        break;
-      }
+      if (!route) break;
       if (route->next_hop.is_zero()) {
-        auto last = discover_l2(*d_sub, cur, dst, complete);
+        auto last = discover_l2(*d_sub, cur, dst, &pair_complete);
         ids.insert(ids.end(), last.begin(), last.end());
-        done = true;
+        reached = true;
         break;
       }
       const auto* transit = subnet_of(route->next_hop);
       if (transit != nullptr && transit->bridge != nullptr) {
-        auto mid = discover_l2(*transit, cur, route->next_hop, complete);
+        auto mid = discover_l2(*transit, cur, route->next_hop, &pair_complete);
         ids.insert(ids.end(), mid.begin(), mid.end());
       } else {
         KnownEdge e;
@@ -387,11 +499,18 @@ std::vector<std::string> SnmpCollector::discover_pair(net::Ipv4Address src, net:
       }
       cur = route->next_hop;
     }
+    // Routing loop or table gap: the hop chain never reached `dst`. The
+    // old code fell out of the guard silently and reported a partial path
+    // as complete — misconfigured next hops looked like healthy answers.
+    if (!reached) pair_complete = false;
   }
   // Path assembly is collector CPU spent per followed hop, even when the
   // hops came from the bridge database instead of fresh SNMP walks.
   client_.charge(config_.per_hop_discovery_s * static_cast<double>(1 + ids.size()));
-  if (config_.cache_enabled) path_cache_[key] = ids;
+  if (config_.cache_enabled && pair_complete && !discovery_degraded_) {
+    path_cache_[key] = CachedPath{ids, engine_.now()};
+  }
+  if (!pair_complete) *complete = false;
   return ids;
 }
 
@@ -442,13 +561,15 @@ CollectorResponse SnmpCollector::query(const std::vector<net::Ipv4Address>& node
       }
       continue;
     }
+    // Star through the reference node. When the reference is the gateway
+    // (multi-subnet queries) the loop above already discovered every
+    // member's leg to it — the old extra member->gateway pass re-ran
+    // discover_pair(members.front(), gateway) redundantly, costing one
+    // spurious discovery per subnet on cold caches.
     const net::Ipv4Address ref =
         (!sub->gateway.is_zero() && groups.size() > 1) ? sub->gateway : members.front();
     for (net::Ipv4Address addr : members) {
       if (addr != ref) append(discover_pair(addr, ref, &complete));
-    }
-    if (groups.size() > 1 && !sub->gateway.is_zero() && members.front() != sub->gateway) {
-      append(discover_pair(members.front(), sub->gateway, &complete));
     }
   }
   // Inter-subnet: one representative pair per subnet pair.
@@ -478,6 +599,12 @@ CollectorResponse SnmpCollector::query(const std::vector<net::Ipv4Address>& node
         const MonitoredIf& m = mit->second;
         ve.util_ab_bps = ke.monitor_on_a ? m.util_out_bps : m.util_in_bps;
         ve.util_ba_bps = ke.monitor_on_a ? m.util_in_bps : m.util_out_bps;
+        // Quality annotation: how old the measurement behind this edge is.
+        // Grows while the monitoring agent is down; resets on recovery.
+        if (m.last_sample >= 0.0) {
+          ve.staleness_s = engine_.now() - m.last_sample;
+          resp.max_staleness_s = std::max(resp.max_staleness_s, ve.staleness_s);
+        }
       }
     }
     resp.topology.add_edge(std::move(ve));
@@ -532,7 +659,7 @@ void SnmpCollector::clear_caches() {
   path_cache_.clear();
   route_tables_.clear();
   speed_cache_.clear();
-  dead_agents_.clear();
+  quarantine_.clear();
   bridge_versions_.clear();
 }
 

@@ -17,7 +17,6 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -60,6 +59,21 @@ struct SnmpCollectorConfig {
   /// first time (route following + bookkeeping) — even when the hops come
   /// from the Bridge Collector's database rather than fresh SNMP walks.
   double per_hop_discovery_s = 0.001;
+
+  // --- fault tolerance (§6.2: agents time out, drop requests, rotate
+  // --- credentials; the collector must degrade and then recover) ---
+  /// How long a failed agent sits in quarantine before the collector
+  /// re-probes it (on the next query or poll pass touching it). During
+  /// quarantine the agent is skipped fail-fast — no timeout storms — and
+  /// its connectivity renders as a virtual switch.
+  double quarantine_s = 30.0;
+  /// Consecutive fully-retried request failures that trigger quarantine.
+  int quarantine_after_failures = 1;
+  /// TTL-based invalidation so recovered agents get re-walked instead of
+  /// served stale data forever. <= 0 disables expiry for that cache.
+  double route_table_ttl_s = 600.0;
+  double speed_cache_ttl_s = 600.0;
+  double path_cache_ttl_s = 600.0;
 
   /// Nodes to discover and begin monitoring at startup — the paper's
   /// "logical extension ... to configure it to begin monitoring specific
@@ -105,6 +119,16 @@ class SnmpCollector final : public Collector {
   [[nodiscard]] std::uint64_t snmp_request_count() const { return client_.request_count(); }
   [[nodiscard]] double snmp_time_consumed_s() const { return client_.consumed_s(); }
   [[nodiscard]] const SnmpCollectorConfig& config() const { return config_; }
+  /// Paths actually constructed (path-cache misses) — the unit Fig 3's
+  /// discovery cost scales with; star discovery constructs N-1 per subnet.
+  [[nodiscard]] std::uint64_t path_discovery_count() const { return path_discoveries_; }
+  /// Agents currently in quarantine (failed, awaiting re-probe).
+  [[nodiscard]] std::size_t quarantined_agent_count() const { return quarantine_.size(); }
+  [[nodiscard]] bool agent_in_quarantine(net::Ipv4Address agent) const;
+  /// Per-agent request health as seen by this collector's client.
+  [[nodiscard]] const snmp::AgentHealth* agent_health(net::Ipv4Address agent) const {
+    return client_.health(agent);
+  }
   /// Latest utilization (bps, a->b / b->a) of a known edge; nullopt if unknown.
   [[nodiscard]] std::optional<std::pair<double, double>> edge_utilization(
       const std::string& edge_id) const;
@@ -155,6 +179,18 @@ class SnmpCollector final : public Collector {
   double interface_speed(net::Ipv4Address agent, std::uint32_t ifindex);
   void ensure_monitored(const MonitorPoint& point, double capacity_bps);
   void add_edge(KnownEdge edge);
+
+  // --- fault handling ---
+  /// True while `agent` is quarantined; erases (and returns false for)
+  /// entries whose expiry has passed, which is what triggers the re-probe.
+  bool agent_quarantined(net::Ipv4Address agent);
+  /// Record a failed exchange; quarantines once the client's consecutive
+  /// failure count reaches the configured threshold.
+  void note_agent_failure(net::Ipv4Address agent);
+  void quarantine_agent(net::Ipv4Address agent);
+  [[nodiscard]] bool cache_expired(sim::Time stored_at, double ttl_s) const {
+    return ttl_s > 0.0 && engine_.now() - stored_at > ttl_s;
+  }
   VNode node_descriptor(net::Ipv4Address addr) const;
   VNode label_to_vnode(const std::string& label, net::Ipv4Address src, net::Ipv4Address dst,
                        std::uint64_t src_mac, std::uint64_t dst_mac) const;
@@ -168,12 +204,33 @@ class SnmpCollector final : public Collector {
   snmp::SnmpClient client_;
   sim::TaskId poll_task_ = 0;
 
+  struct CachedPath {
+    std::vector<std::string> edge_ids;
+    sim::Time built_at = 0.0;
+  };
+  struct CachedRouteTable {
+    std::vector<RouteEntry> entries;
+    sim::Time fetched_at = 0.0;
+  };
+  struct CachedSpeed {
+    double bps = 0.0;
+    sim::Time fetched_at = 0.0;
+  };
+
   std::map<std::string, KnownEdge> edges_;
   std::map<MonitorPoint, MonitoredIf> monitored_;
-  std::map<std::pair<net::Ipv4Address, net::Ipv4Address>, std::vector<std::string>> path_cache_;
-  std::map<net::Ipv4Address, std::vector<RouteEntry>> route_tables_;
-  std::map<MonitorPoint, double> speed_cache_;
-  std::set<net::Ipv4Address> dead_agents_;  // agents that timed out
+  std::map<std::pair<net::Ipv4Address, net::Ipv4Address>, CachedPath> path_cache_;
+  std::map<net::Ipv4Address, CachedRouteTable> route_tables_;
+  std::map<MonitorPoint, CachedSpeed> speed_cache_;
+  /// Failed agents and when their quarantine expires. Replaces the old
+  /// permanent dead-agent set: expiry forces a re-probe, so recovered
+  /// agents rejoin the topology instead of staying dark forever.
+  std::map<net::Ipv4Address, sim::Time> quarantine_;
+  /// Set while the current discover_pair() had to degrade (quarantined or
+  /// unreachable device, missing speed) — degraded paths are never cached,
+  /// so every later query re-probes instead of serving dark topology.
+  bool discovery_degraded_ = false;
+  std::uint64_t path_discoveries_ = 0;
   std::unordered_map<const BridgeCollector*, std::uint64_t> bridge_versions_;
 };
 

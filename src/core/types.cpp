@@ -37,6 +37,7 @@ std::size_t VirtualTopology::add_edge(VEdge edge) {
       e.util_ab_bps = flipped ? edge.util_ba_bps : edge.util_ab_bps;
       e.util_ba_bps = flipped ? edge.util_ab_bps : edge.util_ba_bps;
       e.latency_s = edge.latency_s;
+      e.staleness_s = edge.staleness_s;
       return i;
     }
   }

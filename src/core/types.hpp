@@ -44,6 +44,10 @@ struct VEdge {
   double util_ba_bps = 0.0;        // measured traffic b -> a
   double latency_s = 0.0;
   std::string id;                  // stable resource identifier for history lookups
+  /// Quality annotation: age (seconds) of the utilization measurements at
+  /// response time. 0 = fresh (or unmeasured — capacity-only edges). Grows
+  /// while the monitoring agent is unreachable; resets when it recovers.
+  double staleness_s = 0.0;
 
   /// Available bandwidth in the given direction. A zero capacity means
   /// "unknown" (an unmeasurable virtual-switch edge) and is treated as
@@ -144,6 +148,10 @@ struct CollectorResponse {
   VirtualTopology topology;
   double cost_s = 0.0;
   bool complete = true;  // false when parts of the query failed
+  /// Worst-case measurement age across the reported edges — applications
+  /// (and upstream Master Collectors) use it to judge answer quality when
+  /// agents are flapping.
+  double max_staleness_s = 0.0;
 };
 
 }  // namespace remos::core

@@ -28,7 +28,7 @@ void Agent::rebuild_if_stale() {
 
 AgentResponse Agent::serve(std::string_view community, const Oid& oid, bool next) {
   ++served_;
-  if (drop_probability > 0 && rng_.chance(drop_probability)) {
+  if (down || (drop_probability > 0 && rng_.chance(drop_probability))) {
     return AgentResponse{Status::kTimeout, {}, 0.0};
   }
   if (community != net_.node(node_).snmp_community) {
@@ -57,7 +57,7 @@ AgentResponse Agent::get_next(std::string_view community, const Oid& oid) {
 BulkResponse Agent::get_bulk(std::string_view community, const Oid& oid,
                              std::size_t max_repetitions) {
   ++served_;
-  if (drop_probability > 0 && rng_.chance(drop_probability)) {
+  if (down || (drop_probability > 0 && rng_.chance(drop_probability))) {
     return BulkResponse{Status::kTimeout, {}, 0.0};
   }
   if (community != net_.node(node_).snmp_community) {
@@ -109,6 +109,7 @@ void AgentRegistry::configure(net::NodeId id, MibQuirks quirks, double drop_prob
   auto fresh = std::make_unique<Agent>(net_, id, rng_.fork(net_.node(id).name + "#cfg"), quirks);
   fresh->drop_probability = drop_probability;
   fresh->response_latency_s = it->second->response_latency_s;
+  fresh->down = it->second->down;
   it->second = std::move(fresh);
 }
 

@@ -65,6 +65,9 @@ class Agent {
   double per_binding_latency_s = 0.0001;
   /// Fraction of requests silently dropped (client sees a timeout).
   double drop_probability = 0.0;
+  /// Hard outage: the device is unreachable and every request times out.
+  /// Fault-injection scripts flip this to model agent crashes/reboots.
+  bool down = false;
 
  private:
   AgentResponse serve(std::string_view community, const Oid& oid, bool next);

@@ -1,16 +1,45 @@
 #include "snmp/client.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace remos::snmp {
 
 SnmpClient::SnmpClient(AgentRegistry& registry, ClientConfig config)
     : registry_(registry), config_(config) {}
 
+double SnmpClient::backoff_s(int retry_index) const {
+  if (config_.backoff_base_s <= 0.0 || retry_index <= 0) return 0.0;
+  const double wait =
+      config_.backoff_base_s * std::pow(config_.backoff_multiplier, retry_index - 1);
+  return std::min(wait, config_.backoff_max_s);
+}
+
+void SnmpClient::note_success(net::Ipv4Address agent) {
+  AgentHealth& h = health_[agent];
+  h.consecutive_failures = 0;
+  ++h.successes;
+  if (clock_) h.last_success_s = clock_();
+}
+
+void SnmpClient::note_failure(net::Ipv4Address agent) {
+  AgentHealth& h = health_[agent];
+  ++h.consecutive_failures;
+  ++h.failures;
+  if (clock_) h.last_failure_s = clock_();
+}
+
+const AgentHealth* SnmpClient::health(net::Ipv4Address agent) const {
+  auto it = health_.find(agent);
+  return it == health_.end() ? nullptr : &it->second;
+}
+
 ClientResult SnmpClient::request(net::Ipv4Address agent_addr, const std::string& community,
                                  const Oid& oid, bool next) {
   Agent* agent = registry_.find(agent_addr);
+  Status last = Status::kTimeout;
   for (int attempt = 0; attempt <= config_.retries; ++attempt) {
+    consumed_s_ += backoff_s(attempt);
     ++requests_;
     if (agent == nullptr) {
       consumed_s_ += config_.timeout_s;
@@ -21,13 +50,15 @@ ClientResult SnmpClient::request(net::Ipv4Address agent_addr, const std::string&
     if (r.status == Status::kTimeout || r.status == Status::kAuthFailure) {
       // Both look like silence on the wire: burn the timeout and retry.
       consumed_s_ += config_.timeout_s;
-      if (attempt == config_.retries) return ClientResult{r.status, {}};
+      last = r.status;
       continue;
     }
     consumed_s_ += r.latency_s;
+    note_success(agent_addr);
     return ClientResult{r.status, std::move(r.vb)};
   }
-  return ClientResult{Status::kTimeout, {}};
+  note_failure(agent_addr);
+  return ClientResult{last, {}};
 }
 
 ClientResult SnmpClient::get(net::Ipv4Address agent, const std::string& community, const Oid& oid) {
@@ -69,6 +100,7 @@ std::vector<VarBind> SnmpClient::walk_bulk(net::Ipv4Address agent_addr,
     BulkResponse resp;
     bool answered = false;
     for (int attempt = 0; attempt <= config_.retries; ++attempt) {
+      consumed_s_ += backoff_s(attempt);
       ++requests_;
       if (agent == nullptr) {
         consumed_s_ += config_.timeout_s;
@@ -85,9 +117,11 @@ std::vector<VarBind> SnmpClient::walk_bulk(net::Ipv4Address agent_addr,
       break;
     }
     if (!answered) {
+      note_failure(agent_addr);
       if (status_out) *status_out = agent == nullptr ? Status::kTimeout : resp.status;
       return out;
     }
+    note_success(agent_addr);
     bool past_subtree = false;
     for (VarBind& vb : resp.vbs) {
       if (!subtree.is_prefix_of(vb.oid)) {

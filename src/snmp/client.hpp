@@ -10,9 +10,15 @@
 // capable of monitoring a number of routers ... simultaneously"; the
 // parallel() scope reproduces that by charging the *maximum* lane cost
 // instead of the sum.
+//
+// Fault tolerance (§6.2): retries back off exponentially (deterministic,
+// charged to the virtual meter like the timeouts themselves), and the
+// client keeps a per-agent health record so collectors can quarantine
+// flapping agents instead of treating one drop as permanent death.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <span>
 #include <string>
 #include <vector>
@@ -26,12 +32,29 @@ struct ClientConfig {
   double timeout_s = 1.0;
   /// Retries after the first timeout before giving up.
   int retries = 1;
+  /// Wait charged before retry k (k = 1, 2, ...):
+  /// min(backoff_max_s, backoff_base_s * backoff_multiplier^(k-1)).
+  /// Zero base disables backoff (retry immediately, as SNMPv1 tools did).
+  double backoff_base_s = 0.5;
+  double backoff_multiplier = 2.0;
+  double backoff_max_s = 8.0;
 };
 
 struct ClientResult {
   Status status = Status::kTimeout;
   VarBind vb;
   [[nodiscard]] bool ok() const { return status == Status::kOk; }
+};
+
+/// Per-agent health, updated on every logical request (after retries).
+/// Collectors use consecutive_failures to decide when to quarantine and
+/// last_success_s to judge how stale their cached view of the agent is.
+struct AgentHealth {
+  std::uint64_t consecutive_failures = 0;
+  std::uint64_t failures = 0;   // logical requests that exhausted retries
+  std::uint64_t successes = 0;  // logical requests the agent answered
+  double last_success_s = -1.0;  // sim-clock time; -1 = never (or no clock)
+  double last_failure_s = -1.0;
 };
 
 class SnmpClient {
@@ -65,6 +88,17 @@ class SnmpClient {
   /// Total requests issued (including retries).
   [[nodiscard]] std::uint64_t request_count() const { return requests_; }
 
+  /// Time source for health-record timestamps (normally the sim engine's
+  /// clock). Without one, timestamps stay at -1 but counters still work.
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+  /// Health record of an agent this client has talked to; nullptr if the
+  /// agent was never addressed.
+  [[nodiscard]] const AgentHealth* health(net::Ipv4Address agent) const;
+  [[nodiscard]] const std::map<net::Ipv4Address, AgentHealth>& health_map() const {
+    return health_;
+  }
+
   /// Measure the cost of one code region: returns meter delta.
   template <typename F>
   double metered(F&& fn) {
@@ -76,11 +110,16 @@ class SnmpClient {
  private:
   ClientResult request(net::Ipv4Address agent, const std::string& community, const Oid& oid,
                        bool next);
+  [[nodiscard]] double backoff_s(int retry_index) const;
+  void note_success(net::Ipv4Address agent);
+  void note_failure(net::Ipv4Address agent);
 
   AgentRegistry& registry_;
   ClientConfig config_;
   double consumed_s_ = 0.0;
   std::uint64_t requests_ = 0;
+  std::function<double()> clock_;
+  std::map<net::Ipv4Address, AgentHealth> health_;
 };
 
 }  // namespace remos::snmp

@@ -67,13 +67,18 @@ void add_route_table(MibView& view, const net::Network& net, net::NodeId id,
   const net::Node& n = net.node(id);
   for (const net::Route& r : n.routes) {
     const Oid index = oids::ip_index(r.dest.base());
+    const net::Ipv4Address next_hop =
+        quirks.force_next_hop.is_zero() ? r.next_hop : quirks.force_next_hop;
     view.set_const(oids::kIpRouteDest.concat(index), r.dest.base());
     view.set_const(oids::kIpRouteIfIndex.concat(index), static_cast<std::int64_t>(r.out_ifindex));
-    view.set_const(oids::kIpRouteNextHop.concat(index), r.next_hop);
+    view.set_const(oids::kIpRouteNextHop.concat(index), next_hop);
     view.set_const(oids::kIpRouteType.concat(index),
-                   r.next_hop.is_zero() ? oids::kRouteTypeDirect : oids::kRouteTypeIndirect);
+                   next_hop.is_zero() ? oids::kRouteTypeDirect : oids::kRouteTypeIndirect);
     if (!quirks.hide_route_mask) {
-      view.set_const(oids::kIpRouteMask.concat(index), net::Ipv4Address(r.dest.netmask()));
+      const net::Ipv4Address mask = quirks.corrupt_route_mask
+                                        ? net::Ipv4Address(0xFF00FF00u)
+                                        : net::Ipv4Address(r.dest.netmask());
+      view.set_const(oids::kIpRouteMask.concat(index), mask);
     }
   }
 }

@@ -39,6 +39,14 @@ class MibView {
 struct MibQuirks {
   bool hide_if_speed = false;    // agent omits the ifSpeed column
   bool hide_route_mask = false;  // agent omits ipRouteMask (some old IOSes)
+  /// Misconfigured static routing: every row reports this next hop. Two
+  /// routers pointing at each other produce a routing loop — the case the
+  /// collector's hop-following guard must detect and flag as incomplete.
+  net::Ipv4Address force_next_hop{};
+  /// Agent reports a non-contiguous netmask (255.0.255.0) for every row —
+  /// seen on broken stacks; no prefix length represents it, so the
+  /// collector must reject the row rather than install a wrong route.
+  bool corrupt_route_mask = false;
 };
 
 /// Build the full MIB view a device of the given kind exposes:

@@ -1,0 +1,69 @@
+// Scriptable fault injection for collector tests and ablations.
+//
+// A FaultScript schedules agent failures on the discrete-event engine so
+// tests can describe an outage declaratively ("r1 is down during
+// [30,60)") and then just advance the clock. Three fault families match
+// the §6.2 field reports: hard outages (crash/reboot), lossy agents
+// (drop-rate ramps), and credential rotation (community change under the
+// collector's feet).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "snmp/agent.hpp"
+
+namespace remos::testing {
+
+class FaultScript {
+ public:
+  FaultScript(sim::Engine& engine, snmp::AgentRegistry& registry)
+      : engine_(engine), registry_(registry) {}
+
+  /// Hard outage: the node's agent times out for every request during
+  /// [start, end). The agent object survives MIB rebuilds (the registry
+  /// copies failure knobs), so flipping `down` is reliable.
+  void outage(net::NodeId node, sim::Time start, sim::Time end) {
+    engine_.at(start, [this, node] { set_down(node, true); });
+    engine_.at(end, [this, node] { set_down(node, false); });
+  }
+
+  /// Lossy agent: ramp drop_probability linearly from `from` to `to`
+  /// across [start, end) in `steps` plateaus, then leave it at `to`.
+  void drop_ramp(net::NodeId node, sim::Time start, sim::Time end, double from, double to,
+                 int steps = 4) {
+    if (steps < 1) steps = 1;
+    const double dt = (end - start) / steps;
+    for (int i = 0; i < steps; ++i) {
+      const double p = from + (to - from) * static_cast<double>(i) / steps;
+      engine_.at(start + dt * i, [this, node, p] { set_drop(node, p); });
+    }
+    engine_.at(end, [this, node, to] { set_drop(node, to); });
+  }
+
+  /// Credential rotation: at time `at` the device's community string
+  /// changes. Collectors still using the old community see auth failures
+  /// (indistinguishable from timeouts, per the SNMP spec).
+  void rotate_community(net::Network& net, net::NodeId node, sim::Time at,
+                        std::string community) {
+    engine_.at(at, [&net, node, community = std::move(community)] {
+      net.set_snmp(node, true, community);
+    });
+  }
+
+ private:
+  void set_down(net::NodeId node, bool down) {
+    if (snmp::Agent* a = registry_.find_by_node(node)) a->down = down;
+  }
+  void set_drop(net::NodeId node, double p) {
+    if (snmp::Agent* a = registry_.find_by_node(node)) a->drop_probability = p;
+  }
+
+  sim::Engine& engine_;
+  snmp::AgentRegistry& registry_;
+};
+
+}  // namespace remos::testing

@@ -134,6 +134,23 @@ TEST(XmlProtocol, ResponseRoundTrip) {
   expect_equal(resp, *decoded);
 }
 
+TEST(XmlProtocol, StalenessAnnotationRoundTrip) {
+  // XML (the extensible protocol) carries the staleness quality
+  // annotation; the fixed-field ASCII protocol intentionally does not.
+  CollectorResponse resp = sample_response();
+  resp.max_staleness_s = 12.5;
+  resp.topology.edges()[0].staleness_s = 12.5;
+  const auto decoded = xml_decode_response(xml_encode_response(resp));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_DOUBLE_EQ(decoded->max_staleness_s, 12.5);
+  EXPECT_DOUBLE_EQ(decoded->topology.edges()[0].staleness_s, 12.5);
+  EXPECT_DOUBLE_EQ(decoded->topology.edges()[1].staleness_s, 0.0);
+
+  // Fresh responses omit the attribute entirely (wire compatibility).
+  const CollectorResponse fresh = sample_response();
+  EXPECT_EQ(xml_encode_response(fresh).find("staleness"), std::string::npos);
+}
+
 TEST(XmlProtocol, HistoryRoundTrip) {
   sim::MeasurementHistory hist(16);
   hist.add(1.0, 100.5);

@@ -1,0 +1,368 @@
+// Fault-tolerant collection: agents fail and come back, and the collector
+// must quarantine (not blacklist) them, keep answering from degraded
+// topology, annotate answers with staleness, and recover fully — the
+// operational behavior §6.2's field reports demand.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/testbed.hpp"
+#include "core/modeler.hpp"
+#include "core/snmp_collector.hpp"
+#include "fault_injection.hpp"
+
+namespace remos::core {
+namespace {
+
+namespace ftest = remos::testing;
+
+/// a - r1 - r2 - b with live traffic and scriptable faults.
+struct FaultedPair {
+  net::Network net{"faults"};
+  sim::Engine engine;
+  net::NodeId a, r1, r2, b;
+  std::unique_ptr<net::FlowEngine> flows;
+  std::unique_ptr<snmp::AgentRegistry> agents;
+  std::unique_ptr<SnmpCollector> collector;
+
+  FaultedPair() {
+    a = net.add_host("a");
+    r1 = net.add_router("r1");
+    r2 = net.add_router("r2");
+    b = net.add_host("b");
+    net.connect(a, r1, 100e6);
+    net.connect(r1, r2, 45e6);
+    net.connect(r2, b, 100e6);
+    net.finalize();
+    flows = std::make_unique<net::FlowEngine>(engine, net);
+    agents = std::make_unique<snmp::AgentRegistry>(net, sim::Rng(7));
+    agents->set_before_read([this] { flows->sync(); });
+  }
+
+  void make_collector(const std::function<void(SnmpCollectorConfig&)>& tweak = {}) {
+    SnmpCollectorConfig cfg;
+    cfg.domain = {*net::Ipv4Prefix::parse("10.0.0.0/8")};
+    for (const net::Segment& seg : net.segments()) {
+      net::Ipv4Address gw{};
+      for (auto [node, ifidx] : seg.attachments) {
+        (void)ifidx;
+        if (net.node(node).kind == net::NodeKind::kRouter) {
+          gw = net.node(node).primary_address();
+          break;
+        }
+      }
+      cfg.subnets.push_back({seg.prefix, gw, nullptr, false, 0.0});
+    }
+    if (tweak) tweak(cfg);
+    collector = std::make_unique<SnmpCollector>(engine, *agents, std::move(cfg));
+  }
+  [[nodiscard]] net::Ipv4Address addr(net::NodeId id) const {
+    return net.node(id).primary_address();
+  }
+};
+
+std::map<std::string, double> capacities(const CollectorResponse& resp) {
+  std::map<std::string, double> out;
+  for (const VEdge& e : resp.topology.edges()) out[e.id] = e.capacity_bps;
+  return out;
+}
+
+bool has_dark_vswitch(const CollectorResponse& resp) {
+  for (const VNode& n : resp.topology.nodes()) {
+    if (n.kind == VNodeKind::kVirtualSwitch && n.name.starts_with("vs:dark:")) return true;
+  }
+  return false;
+}
+
+// The acceptance scenario: flap r1, watch quarantine -> virtual-switch
+// fallback -> staleness growth -> full recovery within one quarantine
+// period of the agent coming back.
+TEST(FaultRecovery, OutageQuarantineRecoveryLifecycle) {
+  FaultedPair t;
+  t.make_collector([](SnmpCollectorConfig& cfg) { cfg.quarantine_s = 20.0; });
+  const auto nodes = {t.addr(t.a), t.addr(t.b)};
+  const auto baseline = t.collector->query(nodes);
+  ASSERT_TRUE(baseline.complete);
+  const auto base_caps = capacities(baseline);
+
+  t.flows->start(net::FlowSpec{.src = t.a, .dst = t.b, .demand_bps = 10e6});
+  ftest::FaultScript script(t.engine, *t.agents);
+  script.outage(t.r1, 14.0, 47.0);
+
+  t.engine.advance(13.0);  // polls at 5 and 10 succeeded; agent still up
+  const auto pre = t.collector->query(nodes);
+  EXPECT_TRUE(pre.complete);
+  EXPECT_LE(pre.max_staleness_s, 5.0 + 1e-9);
+  EXPECT_FALSE(has_dark_vswitch(pre));
+
+  // Outage begins at 14; the poll at 15 fails and quarantines r1.
+  t.engine.advance(7.0);  // t = 20
+  EXPECT_TRUE(t.collector->agent_in_quarantine(t.addr(t.r1)));
+  const auto mid1 = t.collector->query(nodes);
+  EXPECT_TRUE(has_dark_vswitch(mid1));
+  EXPECT_GT(mid1.max_staleness_s, 5.0);
+
+  t.engine.advance(10.0);  // t = 30, still down, still quarantined
+  const auto mid2 = t.collector->query(nodes);
+  EXPECT_TRUE(has_dark_vswitch(mid2));
+  // Staleness is monotone while the agent stays dark...
+  EXPECT_GT(mid2.max_staleness_s, mid1.max_staleness_s);
+  // ...and no edge that had a measured capacity decays to zero: the
+  // degraded answer keeps pre-outage capacities, flagged by staleness.
+  for (const auto& [id, cap] : capacities(mid2)) {
+    auto it = base_caps.find(id);
+    if (it != base_caps.end()) EXPECT_DOUBLE_EQ(cap, it->second) << id;
+  }
+
+  // Agent returns at 47. Quarantine re-armed at 35 expires at 55; the
+  // poll at 55 re-probes and succeeds — recovery within one quarantine
+  // period of the outage ending.
+  t.engine.advance(30.0);  // t = 60
+  EXPECT_FALSE(t.collector->agent_in_quarantine(t.addr(t.r1)));
+  const snmp::AgentHealth* h = t.collector->agent_health(t.addr(t.r1));
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->consecutive_failures, 0u);
+
+  const auto post = t.collector->query(nodes);
+  EXPECT_TRUE(post.complete);
+  EXPECT_FALSE(has_dark_vswitch(post));
+  // Topology and capacities are back to the pre-outage answer exactly —
+  // no zero-capacity residue from the degraded phase.
+  EXPECT_EQ(capacities(post), base_caps);
+  // Fresh samples again: staleness reset to within one poll period.
+  EXPECT_LE(post.max_staleness_s, 5.0 + 1e-9);
+}
+
+// Satellite regression: a failed ifSpeed GET must not poison the speed
+// cache with 0.0. Before the fix, one query during an outage cached a
+// zero capacity that survived the agent's recovery indefinitely.
+TEST(FaultRecovery, FailedSpeedReadIsNotCachedAsZero) {
+  net::Network net{"poison"};
+  sim::Engine engine;
+  const auto a = net.add_host("a");
+  const auto b = net.add_host("b");
+  const auto c = net.add_host("c");
+  const auto r1 = net.add_router("r1");
+  net.connect(a, r1, 100e6);
+  net.connect(b, r1, 100e6);
+  net.connect(c, r1, 100e6);
+  net.finalize();
+  snmp::AgentRegistry agents(net, sim::Rng(3));
+  SnmpCollectorConfig cfg;
+  cfg.domain = {*net::Ipv4Prefix::parse("10.0.0.0/8")};
+  for (const net::Segment& seg : net.segments()) {
+    cfg.subnets.push_back({seg.prefix, net.node(r1).primary_address(), nullptr, false, 0.0});
+  }
+  cfg.quarantine_s = 10.0;
+  SnmpCollector collector(engine, agents, std::move(cfg));
+  const auto addr = [&](net::NodeId id) { return net.node(id).primary_address(); };
+
+  // Warm the route table and the a/b-side speeds while the agent is up.
+  ASSERT_TRUE(collector.query({addr(a), addr(b)}).complete);
+
+  // r1 crashes; a query toward the never-before-seen c-side interface has
+  // a cached route but must fetch ifSpeed — which times out.
+  agents.find_by_node(r1)->down = true;
+  (void)collector.query({addr(a), addr(c)});
+  EXPECT_TRUE(collector.agent_in_quarantine(addr(r1)));
+
+  // Recovery: agent back up, quarantine allowed to lapse.
+  agents.find_by_node(r1)->down = false;
+  engine.advance(11.0);
+  const auto resp = collector.query({addr(a), addr(c)});
+  EXPECT_TRUE(resp.complete);
+  // The router-side access edges report the real 100 Mb/s — a cached 0.0
+  // from the failed GET would surface here as a permanent dead link.
+  bool saw_c_side_speed = false;
+  for (const VEdge& e : resp.topology.edges()) {
+    if (e.capacity_bps > 0.0) saw_c_side_speed |= (e.capacity_bps == 100e6);
+  }
+  EXPECT_TRUE(saw_c_side_speed);
+  for (const VEdge& e : resp.topology.edges()) {
+    const VNode& na = resp.topology.nodes()[e.a];
+    const VNode& nb = resp.topology.nodes()[e.b];
+    if (na.kind == VNodeKind::kRouter || nb.kind == VNodeKind::kRouter) {
+      EXPECT_DOUBLE_EQ(e.capacity_bps, 100e6) << e.id;
+    }
+  }
+}
+
+// Satellite regression: two routers pointing at each other (forced next
+// hops) form a routing loop; the 32-hop guard used to exhaust silently
+// and report the partial path as complete.
+TEST(FaultRecovery, RoutingLoopReportsIncomplete) {
+  FaultedPair t;
+  snmp::MibQuirks loop1;
+  loop1.force_next_hop = t.addr(t.r2);
+  t.agents->configure(t.r1, loop1);
+  snmp::MibQuirks loop2;
+  loop2.force_next_hop = t.addr(t.r1);
+  t.agents->configure(t.r2, loop2);
+  t.make_collector();
+  const auto resp = t.collector->query({t.addr(t.a), t.addr(t.b)});
+  EXPECT_FALSE(resp.complete);
+  // Endpoints still appear; the answer degrades instead of wedging.
+  EXPECT_NE(resp.topology.find_by_addr(t.addr(t.a)), kNoVNode);
+  EXPECT_NE(resp.topology.find_by_addr(t.addr(t.b)), kNoVNode);
+}
+
+// Satellite regression: a non-contiguous netmask (255.0.255.0) has no
+// prefix length. Counting its leading ones installed a bogus /8 that
+// swallowed every lookup; the row must be rejected instead.
+TEST(FaultRecovery, NonContiguousNetmaskRowsRejected) {
+  FaultedPair t;
+  snmp::MibQuirks quirks;
+  quirks.corrupt_route_mask = true;
+  t.agents->configure(t.r1, quirks);
+  t.make_collector();
+  const auto resp = t.collector->query({t.addr(t.a), t.addr(t.b)});
+  // Every r1 row is corrupt, so no usable route exists: incomplete, but
+  // both endpoints still reported.
+  EXPECT_FALSE(resp.complete);
+  EXPECT_NE(resp.topology.find_by_addr(t.addr(t.a)), kNoVNode);
+  EXPECT_NE(resp.topology.find_by_addr(t.addr(t.b)), kNoVNode);
+}
+
+// Satellite regression: multi-subnet star discovery issued a redundant
+// member->gateway discover_pair when the reference node already was the
+// gateway — one spurious path construction per subnet.
+TEST(FaultRecovery, StarDiscoveryHasNoRedundantGatewayLeg) {
+  net::Network net{"star"};
+  sim::Engine engine;
+  const auto a1 = net.add_host("a1");
+  const auto a2 = net.add_host("a2");
+  const auto sw = net.add_switch("sw");
+  const auto r1 = net.add_router("r1");
+  const auto r2 = net.add_router("r2");
+  const auto b1 = net.add_host("b1");
+  net.connect(a1, sw, 100e6);
+  net.connect(a2, sw, 100e6);
+  net.connect(sw, r1, 100e6);
+  net.connect(r1, r2, 45e6);
+  net.connect(r2, b1, 100e6);
+  net.finalize();
+  snmp::AgentRegistry agents(net, sim::Rng(5));
+  SnmpCollectorConfig cfg;
+  cfg.domain = {*net::Ipv4Prefix::parse("10.0.0.0/8")};
+  // Count raw constructions: with caching on, the old redundant leg was a
+  // cache hit and the defect was invisible in the discovery count.
+  cfg.cache_enabled = false;
+  for (const net::Segment& seg : net.segments()) {
+    net::Ipv4Address gw{};
+    for (auto [node, ifidx] : seg.attachments) {
+      (void)ifidx;
+      if (net.node(node).kind == net::NodeKind::kRouter) {
+        gw = net.node(node).primary_address();
+        break;
+      }
+    }
+    cfg.subnets.push_back({seg.prefix, gw, nullptr, false, 0.0});
+  }
+  SnmpCollector collector(engine, agents, std::move(cfg));
+  const auto addr = [&](net::NodeId id) { return net.node(id).primary_address(); };
+
+  const auto resp = collector.query({addr(a1), addr(a2), addr(b1)});
+  EXPECT_TRUE(resp.complete);
+  // Two legs in subnet A (a1->gw, a2->gw), one in subnet B (b1->gw), one
+  // inter-subnet representative pair. The redundant member->gateway pass
+  // used to add one more per routed subnet.
+  EXPECT_EQ(collector.path_discovery_count(), 4u);
+}
+
+// Fig 3's star shape: an N-host single-subnet query constructs exactly
+// N-1 paths.
+TEST(FaultRecovery, SingleSubnetStarConstructsNMinus1Paths) {
+  apps::LanTestbed::Params p;
+  p.hosts = 8;
+  p.switches = 2;
+  apps::LanTestbed lan(p);
+  (void)lan.collector->query(lan.host_addrs(8));
+  EXPECT_EQ(lan.collector->path_discovery_count(), 7u);
+}
+
+// Credential rotation (§6.2: "authentication ... community strings
+// changed under us"): auth failures quarantine like timeouts, and the
+// collector recovers once the credentials match again.
+TEST(FaultRecovery, CommunityRotationQuarantinesAndRecovers) {
+  FaultedPair t;
+  t.make_collector([](SnmpCollectorConfig& cfg) { cfg.quarantine_s = 15.0; });
+  const auto nodes = {t.addr(t.a), t.addr(t.b)};
+  ASSERT_TRUE(t.collector->query(nodes).complete);
+
+  ftest::FaultScript script(t.engine, *t.agents);
+  script.rotate_community(t.net, t.r1, 10.0, "s3cret");
+  script.rotate_community(t.net, t.r1, 40.0, "public");
+
+  t.engine.advance(16.0);  // poll at 15 hits auth failures -> quarantine
+  EXPECT_TRUE(t.collector->agent_in_quarantine(t.addr(t.r1)));
+  const auto mid = t.collector->query(nodes);
+  EXPECT_TRUE(has_dark_vswitch(mid));
+
+  t.engine.advance(44.0);  // t = 60: credentials restored, quarantine lapsed
+  EXPECT_FALSE(t.collector->agent_in_quarantine(t.addr(t.r1)));
+  const auto post = t.collector->query(nodes);
+  EXPECT_TRUE(post.complete);
+  EXPECT_FALSE(has_dark_vswitch(post));
+}
+
+// Drop-rate ramps degrade and then restore service without operator
+// intervention — exercised end to end through the fault script.
+TEST(FaultRecovery, DropRampDegradesThenRecovers) {
+  FaultedPair t;
+  t.make_collector([](SnmpCollectorConfig& cfg) { cfg.quarantine_s = 10.0; });
+  const auto nodes = {t.addr(t.a), t.addr(t.b)};
+  ASSERT_TRUE(t.collector->query(nodes).complete);
+
+  ftest::FaultScript script(t.engine, *t.agents);
+  script.drop_ramp(t.r1, 10.0, 30.0, 0.2, 1.0);
+  script.drop_ramp(t.r1, 30.0, 31.0, 1.0, 0.0, 1);
+
+  t.engine.advance(29.0);  // lossy-to-dead window
+  (void)t.collector->query(nodes);
+  t.engine.advance(31.0);  // t = 60: healthy again, quarantine lapsed
+  const auto post = t.collector->query(nodes);
+  EXPECT_TRUE(post.complete);
+  EXPECT_FALSE(has_dark_vswitch(post));
+  const snmp::AgentHealth* h = t.collector->agent_health(t.addr(t.r1));
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->consecutive_failures, 0u);
+}
+
+// Staleness propagates through the Modeler so applications can judge
+// answer quality without knowing collector internals.
+TEST(FaultRecovery, StalenessSurfacesThroughModeler) {
+  FaultedPair t;
+  // Effectively disable polling: samples only happen at discovery time.
+  t.make_collector([](SnmpCollectorConfig& cfg) { cfg.poll_interval_s = 1000.0; });
+  Modeler modeler(*t.collector);
+  (void)modeler.topology_query({t.addr(t.a), t.addr(t.b)});
+  EXPECT_DOUBLE_EQ(modeler.last_query_staleness_s(), 0.0);
+
+  t.engine.advance(30.0);
+  (void)modeler.topology_query({t.addr(t.a), t.addr(t.b)});
+  EXPECT_NEAR(modeler.last_query_staleness_s(), 30.0, 1e-9);
+}
+
+// Route tables expire: a TTL-lapsed table is re-walked, so routing
+// changes are eventually observed even on a warm cache.
+TEST(FaultRecovery, RouteTableTtlForcesRewalk) {
+  FaultedPair t;
+  t.make_collector([](SnmpCollectorConfig& cfg) {
+    cfg.route_table_ttl_s = 20.0;
+    cfg.path_cache_ttl_s = 20.0;
+    cfg.poll_interval_s = 0.0;  // isolate request counting
+  });
+  const auto nodes = {t.addr(t.a), t.addr(t.b)};
+  (void)t.collector->query(nodes);
+  const auto warm = t.collector->snmp_request_count();
+  (void)t.collector->query(nodes);
+  // Within TTL: fully cached, no new SNMP traffic.
+  EXPECT_EQ(t.collector->snmp_request_count(), warm);
+  t.engine.advance(21.0);
+  (void)t.collector->query(nodes);
+  // Past TTL: the route walks happen again.
+  EXPECT_GT(t.collector->snmp_request_count(), warm);
+}
+
+}  // namespace
+}  // namespace remos::core

@@ -43,8 +43,75 @@ TEST(SnmpClient, UnknownAgentTimesOutWithRetries) {
   SnmpClient client(*f.agents, ClientConfig{1.0, 1});
   auto r = client.get(*net::Ipv4Address::parse("1.2.3.4"), "public", oids::kSysName);
   EXPECT_EQ(r.status, Status::kTimeout);
-  EXPECT_EQ(client.request_count(), 2u);           // initial + 1 retry
-  EXPECT_DOUBLE_EQ(client.consumed_s(), 2.0);      // two timeout budgets
+  EXPECT_EQ(client.request_count(), 2u);       // initial + 1 retry
+  // Two timeout budgets plus the 0.5 s default backoff before the retry.
+  EXPECT_DOUBLE_EQ(client.consumed_s(), 2.5);
+}
+
+TEST(SnmpClient, ZeroBackoffRetriesImmediately) {
+  Fixture f;
+  SnmpClient client(*f.agents, ClientConfig{.timeout_s = 1.0, .retries = 1, .backoff_base_s = 0.0});
+  (void)client.get(*net::Ipv4Address::parse("1.2.3.4"), "public", oids::kSysName);
+  EXPECT_DOUBLE_EQ(client.consumed_s(), 2.0);  // timeouts only, no waits
+}
+
+TEST(SnmpClient, BackoffGrowsExponentiallyAndCaps) {
+  Fixture f;
+  SnmpClient client(*f.agents, ClientConfig{.timeout_s = 1.0,
+                                            .retries = 5,
+                                            .backoff_base_s = 0.5,
+                                            .backoff_multiplier = 2.0,
+                                            .backoff_max_s = 2.0});
+  (void)client.get(*net::Ipv4Address::parse("1.2.3.4"), "public", oids::kSysName);
+  // 6 timeouts + backoffs 0.5, 1.0, 2.0 (capped), 2.0, 2.0.
+  EXPECT_DOUBLE_EQ(client.consumed_s(), 6.0 + 0.5 + 1.0 + 2.0 + 2.0 + 2.0);
+}
+
+TEST(SnmpClient, HealthTracksFailuresAndRecovery) {
+  Fixture f;
+  SnmpClient client(*f.agents);
+  double now = 0.0;
+  client.set_clock([&now] { return now; });
+  const net::Ipv4Address router = f.addr(f.r);
+
+  EXPECT_EQ(client.health(router), nullptr);  // never addressed
+  (void)client.get(router, "public", oids::kSysName);
+  const AgentHealth* h = client.health(router);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->successes, 1u);
+  EXPECT_EQ(h->consecutive_failures, 0u);
+  EXPECT_DOUBLE_EQ(h->last_success_s, 0.0);
+
+  // Agent goes down: every exhausted request counts one logical failure.
+  f.agents->find_by_node(f.r)->down = true;
+  now = 10.0;
+  (void)client.get(router, "public", oids::kSysName);
+  (void)client.get(router, "public", oids::kSysDescr);
+  EXPECT_EQ(h->failures, 2u);
+  EXPECT_EQ(h->consecutive_failures, 2u);
+  EXPECT_DOUBLE_EQ(h->last_failure_s, 10.0);
+  EXPECT_DOUBLE_EQ(h->last_success_s, 0.0);
+
+  // Recovery resets the consecutive counter but keeps the totals.
+  f.agents->find_by_node(f.r)->down = false;
+  now = 20.0;
+  (void)client.get(router, "public", oids::kSysName);
+  EXPECT_EQ(h->consecutive_failures, 0u);
+  EXPECT_EQ(h->failures, 2u);
+  EXPECT_EQ(h->successes, 2u);
+  EXPECT_DOUBLE_EQ(h->last_success_s, 20.0);
+}
+
+TEST(SnmpClient, AnsweredErrorsCountAsAlive) {
+  Fixture f;
+  SnmpClient client(*f.agents);
+  // kNoSuchName is a definitive answer from a live agent, not a failure.
+  auto r = client.get(f.addr(f.sw), "public", oids::kIpRouteNextHop);
+  EXPECT_EQ(r.status, Status::kNoSuchName);
+  const AgentHealth* h = client.health(f.addr(f.sw));
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->consecutive_failures, 0u);
+  EXPECT_EQ(h->successes, 1u);
 }
 
 TEST(SnmpClient, WrongCommunityLooksLikeTimeout) {
