@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Pre-merge gate: the full verification matrix for this repo. Run from the
+# repository root before merging any change:
+#
+#   ./ci/check.sh            # everything
+#   ./ci/check.sh --fast     # tier-1 only (Release build + ctest, audited)
+#
+# Matrix:
+#   1. default preset  — RelWithDebInfo, REMOS_AUDIT=ON, full ctest
+#                        (includes the remos_lint ctest and test_audit)
+#   2. sanitize preset — ASan + UBSan, full ctest
+#   3. tsan preset     — ThreadSanitizer on the threaded test binaries
+#                        (ThreadPool, shared prediction cache, MIB walks)
+#   4. remos_lint      — project lint, run standalone for a readable report
+#   5. clang-tidy      — `lint` build target (skips itself when clang-tidy
+#                        is not installed; see .clang-tidy for the profile)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "tier-1: default preset (audited Release) + ctest"
+cmake --preset default >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$FAST" == 1 ]]; then
+  echo "--fast: skipping sanitize/tsan/lint stages"
+  exit 0
+fi
+
+step "sanitize preset (ASan + UBSan) + ctest"
+cmake --preset sanitize >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+step "tsan preset (ThreadSanitizer) on the threaded tests"
+cmake --preset tsan >/dev/null
+cmake --build build-tsan -j "$JOBS" --target test_concurrency test_sim_thread_pool test_rps_shared_cache
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'Concurrency|ThreadPool|SharedPredictionCache'
+
+step "remos_lint"
+python3 tools/remos_lint.py --root .
+
+step "clang-tidy (lint target; no-op when clang-tidy is absent)"
+cmake --build build --target lint
+
+echo
+echo "ci/check.sh: all stages passed"

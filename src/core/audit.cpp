@@ -1,0 +1,174 @@
+#include "core/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "core/maxmin.hpp"
+#include "core/types.hpp"
+
+namespace remos::core::audit {
+namespace {
+
+constexpr double kRelEps = 1e-6;
+/// Absolute slack (bps) for capacity sums: octet counters are integral, so
+/// measured rates can overshoot the fluid-model rate by a few bytes/dt.
+constexpr double kAbsEpsBps = 1024.0;
+
+[[nodiscard]] bool finite_nonneg(double v) { return std::isfinite(v) && v >= 0.0; }
+
+}  // namespace
+
+void audit_topology(const VirtualTopology& topo) {
+  if constexpr (!kEnabled) return;
+  const auto& nodes = topo.nodes();
+  const auto& edges = topo.edges();
+  std::vector<std::size_t> degree(nodes.size(), 0);
+  std::set<std::tuple<VNodeIndex, VNodeIndex, std::string>> seen;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const VEdge& e = edges[i];
+    const std::string where = "edge #" + std::to_string(i) + " (" + e.id + ")";
+    REMOS_AUDIT(kTopology, e.a < nodes.size() && e.b < nodes.size(),
+                where + ": endpoint out of range");
+    REMOS_AUDIT(kTopology, e.a != e.b, where + ": self loop");
+    REMOS_AUDIT(kTopology, !e.id.empty(), where + ": empty edge id");
+    REMOS_AUDIT(kTopology, finite_nonneg(e.capacity_bps), where + ": bad capacity");
+    REMOS_AUDIT(kTopology, finite_nonneg(e.util_ab_bps) && finite_nonneg(e.util_ba_bps),
+                where + ": bad utilization");
+    REMOS_AUDIT(kTopology, finite_nonneg(e.latency_s), where + ": bad latency");
+    REMOS_AUDIT(kTopology, finite_nonneg(e.staleness_s), where + ": bad staleness");
+    // Duplex consistency: measured per-direction load fits the link. Warn
+    // only — integral octet counters can overshoot the fluid rate slightly.
+    if (e.capacity_bps > 0.0) {
+      const double cap = e.capacity_bps * (1.0 + 1e-3) + kAbsEpsBps;
+      REMOS_AUDIT_SEV(kTopology, kWarn, e.util_ab_bps <= cap && e.util_ba_bps <= cap,
+                      where + ": utilization exceeds capacity");
+    }
+    const auto key = std::make_tuple(std::min(e.a, e.b), std::max(e.a, e.b), e.id);
+    REMOS_AUDIT(kTopology, seen.insert(key).second, where + ": duplicate (a,b,id) edge");
+    if (e.a < nodes.size()) ++degree[e.a];
+    if (e.b < nodes.size()) ++degree[e.b];
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const VNode& n = nodes[i];
+    if (n.kind != VNodeKind::kVirtualSwitch) continue;
+    const std::string where = "vswitch #" + std::to_string(i) + " (" + n.name + ")";
+    // A virtual switch stands in for an unmeasurable network element: it
+    // never carries an address, and it only exists to connect things.
+    REMOS_AUDIT(kTopology, n.addr.is_zero(), where + ": virtual switch with an address");
+    REMOS_AUDIT_SEV(kTopology, kWarn, degree[i] > 0, where + ": isolated virtual switch");
+  }
+}
+
+void audit_max_min(const VirtualTopology& topo, const std::vector<FlowRequest>& requests,
+                   const MaxMinResult& result) {
+  if constexpr (!kEnabled) return;
+  REMOS_AUDIT(kMaxMin, result.flows.size() == requests.size(),
+              "result size " + std::to_string(result.flows.size()) + " != request size " +
+                  std::to_string(requests.size()));
+
+  // Re-walk each flow's path to recover the directed resources it uses.
+  struct Walked {
+    std::vector<std::pair<std::size_t, bool>> resources;  // (edge index, a->b)
+    bool has_finite_edge = false;
+  };
+  std::vector<Walked> walked(requests.size());
+  for (std::size_t f = 0; f < requests.size(); ++f) {
+    const FlowInfo& info = result.flows[f];
+    REMOS_AUDIT(kMaxMin, std::isfinite(info.available_bps) && info.available_bps >= 0.0,
+                "flow #" + std::to_string(f) + ": bad rate");
+    REMOS_AUDIT(kMaxMin,
+                info.available_bps <= requests[f].demand_bps * (1.0 + kRelEps) + kAbsEpsBps,
+                "flow #" + std::to_string(f) + ": rate exceeds demand");
+    if (!info.routable()) {
+      REMOS_AUDIT(kMaxMin, info.available_bps <= 0.0,
+                  "flow #" + std::to_string(f) + ": unroutable flow with nonzero rate");
+      continue;
+    }
+    const VNodeIndex src = topo.find_by_addr(requests[f].src);
+    const VNodeIndex dst = topo.find_by_addr(requests[f].dst);
+    REMOS_AUDIT(kMaxMin, src != kNoVNode && dst != kNoVNode,
+                "flow #" + std::to_string(f) + ": routable flow with unknown endpoint");
+    const auto path = topo.shortest_path(src, dst);
+    REMOS_AUDIT(kMaxMin, path.has_value(),
+                "flow #" + std::to_string(f) + ": routable flow with no path");
+    VNodeIndex cur = src;
+    for (std::size_t ei : *path) {
+      const VEdge& e = topo.edges()[ei];
+      const bool ab = (e.a == cur);
+      walked[f].resources.emplace_back(ei, ab);
+      if (e.capacity_bps > 0.0) walked[f].has_finite_edge = true;
+      cur = ab ? e.b : e.a;
+    }
+  }
+
+  // Feasibility: per directed edge, allocated rates fit available capacity.
+  std::map<std::pair<std::size_t, bool>, double> usage;
+  for (std::size_t f = 0; f < requests.size(); ++f) {
+    if (!result.flows[f].routable()) continue;
+    for (const auto& r : walked[f].resources) usage[r] += result.flows[f].available_bps;
+  }
+  for (const auto& [key, used] : usage) {
+    const VEdge& e = topo.edges()[key.first];
+    const double avail = e.available_bps(key.second);
+    if (!std::isfinite(avail)) continue;  // unmeasurable (virtual) edge
+    REMOS_AUDIT(kMaxMin, used <= avail * (1.0 + kRelEps) + kAbsEpsBps,
+                "directed edge " + e.id + (key.second ? "" : ":ba") + " overcommitted: " +
+                    std::to_string(used) + " > " + std::to_string(avail));
+  }
+
+  // Max-min optimality: an unsatisfied flow must be bottlenecked by at
+  // least one saturated measurable link on its path. Flows whose path has
+  // no measurable edge at all (fully virtual, e.g. everything quarantined)
+  // are exempt — there is no link to saturate.
+  for (std::size_t f = 0; f < requests.size(); ++f) {
+    const FlowInfo& info = result.flows[f];
+    if (!info.routable() || !walked[f].has_finite_edge) continue;
+    if (info.available_bps >= requests[f].demand_bps * (1.0 - kRelEps)) continue;
+    bool bottlenecked = false;
+    for (const auto& r : walked[f].resources) {
+      const VEdge& e = topo.edges()[r.first];
+      const double avail = e.available_bps(r.second);
+      if (!std::isfinite(avail)) continue;
+      if (usage[r] >= avail * (1.0 - kRelEps) - kAbsEpsBps) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    REMOS_AUDIT(kMaxMin, bottlenecked,
+                "flow #" + std::to_string(f) + " is neither demand-satisfied nor bottlenecked");
+  }
+}
+
+void audit_response(const CollectorResponse& response, double now) {
+  if constexpr (!kEnabled) return;
+  REMOS_AUDIT(kCache, finite_nonneg(response.cost_s),
+              "response cost " + std::to_string(response.cost_s) + " invalid");
+  REMOS_AUDIT(kCache, finite_nonneg(response.max_staleness_s),
+              "response staleness " + std::to_string(response.max_staleness_s) + " invalid");
+  double worst = 0.0;
+  for (const VEdge& e : response.topology.edges()) {
+    // A staleness annotation larger than the age of the simulation means
+    // the measurement timestamp moved backwards vs. virtual time.
+    REMOS_AUDIT(kCache, e.staleness_s <= now + 1e-9,
+                "edge " + e.id + " staleness " + std::to_string(e.staleness_s) +
+                    " exceeds virtual time " + std::to_string(now));
+    worst = std::max(worst, e.staleness_s);
+  }
+  REMOS_AUDIT(kCache, response.max_staleness_s >= worst - 1e-9,
+              "response max_staleness " + std::to_string(response.max_staleness_s) +
+                  " below worst edge staleness " + std::to_string(worst));
+  audit_topology(response.topology);
+}
+
+void audit_timestamp(const char* what, double stamp, double now) {
+  if constexpr (!kEnabled) return;
+  REMOS_AUDIT(kCache, std::isfinite(stamp) && stamp >= 0.0 && stamp <= now + 1e-9,
+              std::string(what) + " timestamp " + std::to_string(stamp) +
+                  " outside [0, now=" + std::to_string(now) + "]");
+}
+
+}  // namespace remos::core::audit

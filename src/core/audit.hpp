@@ -1,0 +1,202 @@
+// Invariant audit framework: machine-checked correctness for the collector
+// hierarchy. Applications trust Remos' topology and flow answers, so a
+// cache, merge, or max-min step that silently violates its invariants is
+// worse than a crash — this header gives every layer cheap, compile-time
+// gated checks plus deep auditors invoked at component boundaries.
+//
+// Two macro families:
+//   REMOS_CHECK(cond, msg)            — invariant check, active in debug
+//                                       builds and whenever the build was
+//                                       configured with -DREMOS_AUDIT=ON
+//                                       (replaces raw assert(), which
+//                                       vanished in Release builds).
+//   REMOS_AUDIT(category, cond, msg)  — deep audit check, active only with
+//                                       -DREMOS_AUDIT=ON. Categorized so
+//                                       failures are countable per subsystem.
+//   REMOS_AUDIT_SEV(category, severity, cond, msg)
+//                                     — same with an explicit severity:
+//                                       kWarn counts + logs, kError (the
+//                                       default) also throws AuditError,
+//                                       kFatal aborts the process.
+//
+// The macro core is header-only (inline counters) so the base libraries
+// (sim, net, snmp) can use it without linking remos_core; the deep auditor
+// functions over core types live in audit.cpp.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/log.hpp"
+
+namespace remos::core::audit {
+
+#if defined(REMOS_AUDIT_ENABLED)
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// True when REMOS_CHECK is compiled in (audited build OR debug build).
+#if defined(REMOS_AUDIT_ENABLED) || !defined(NDEBUG)
+inline constexpr bool kCheckActive = true;
+#else
+inline constexpr bool kCheckActive = false;
+#endif
+
+/// Audit categories, one per subsystem invariant family.
+enum class Category : std::uint8_t {
+  kInvariant,    // REMOS_CHECK sites (former raw asserts)
+  kTopology,     // virtual-topology graph well-formedness
+  kMaxMin,       // max-min allocation feasibility/optimality
+  kMib,          // OID ordering, table index consistency
+  kCache,        // TTL / staleness timestamps vs. virtual time
+  kSim,          // event queue / engine time monotonicity
+  kConcurrency,  // thread pool & shared-state checks
+};
+inline constexpr std::size_t kCategoryCount = 7;
+
+[[nodiscard]] constexpr const char* to_string(Category c) {
+  switch (c) {
+    case Category::kInvariant: return "invariant";
+    case Category::kTopology: return "topology";
+    case Category::kMaxMin: return "maxmin";
+    case Category::kMib: return "mib";
+    case Category::kCache: return "cache";
+    case Category::kSim: return "sim";
+    case Category::kConcurrency: return "concurrency";
+  }
+  return "?";
+}
+
+enum class Severity : std::uint8_t { kWarn, kError, kFatal };
+
+/// Thrown on kError audit failures so tests can exercise fail paths and
+/// long-running deployments can contain a bad answer to one query.
+class AuditError : public std::logic_error {
+ public:
+  AuditError(Category category, const std::string& what)
+      : std::logic_error(what), category_(category) {}
+  [[nodiscard]] Category category() const { return category_; }
+
+ private:
+  Category category_;
+};
+
+namespace detail {
+inline std::array<std::atomic<std::uint64_t>, kCategoryCount> counters{};
+}  // namespace detail
+
+/// Failures recorded so far for one category (process-wide).
+[[nodiscard]] inline std::uint64_t failure_count(Category c) {
+  return detail::counters[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline std::uint64_t total_failures() {
+  std::uint64_t sum = 0;
+  for (const auto& c : detail::counters) sum += c.load(std::memory_order_relaxed);
+  return sum;
+}
+
+inline void reset_counters() {
+  for (auto& c : detail::counters) c.store(0, std::memory_order_relaxed);
+}
+
+/// Record one audit failure: bump the category counter, log, then act on
+/// severity (kWarn: continue; kError: throw AuditError; kFatal: abort).
+inline void fail(Category category, Severity severity, const std::string& message,
+                 const char* file, int line) {
+  detail::counters[static_cast<std::size_t>(category)].fetch_add(1, std::memory_order_relaxed);
+  const std::string full = std::string(to_string(category)) + " audit failed: " + message + " [" +
+                           file + ":" + std::to_string(line) + "]";
+  REMOS_LOG(kWarn, "audit") << full;
+  if (severity == Severity::kFatal) std::abort();
+  if (severity == Severity::kError) throw AuditError(category, full);
+}
+
+}  // namespace remos::core::audit
+
+#if defined(REMOS_AUDIT_ENABLED) || !defined(NDEBUG)
+#define REMOS_CHECK(cond, msg)                                                              \
+  do {                                                                                      \
+    if (!(cond)) {                                                                          \
+      ::remos::core::audit::fail(::remos::core::audit::Category::kInvariant,                \
+                                 ::remos::core::audit::Severity::kError, (msg), __FILE__,   \
+                                 __LINE__);                                                 \
+    }                                                                                       \
+  } while (0)
+#else
+// Keep the operands type-checked (and their variables "used") in builds
+// where the check is compiled out.
+#define REMOS_CHECK(cond, msg)        \
+  do {                                \
+    if (false) {                      \
+      (void)(cond);                   \
+      (void)(msg);                    \
+    }                                 \
+  } while (0)
+#endif
+
+#if defined(REMOS_AUDIT_ENABLED)
+#define REMOS_AUDIT_SEV(category, severity, cond, msg)                                      \
+  do {                                                                                      \
+    if (!(cond)) {                                                                          \
+      ::remos::core::audit::fail(::remos::core::audit::Category::category,                  \
+                                 ::remos::core::audit::Severity::severity, (msg), __FILE__, \
+                                 __LINE__);                                                 \
+    }                                                                                       \
+  } while (0)
+#else
+#define REMOS_AUDIT_SEV(category, severity, cond, msg) \
+  do {                                                 \
+    if (false) {                                       \
+      (void)(cond);                                    \
+      (void)(msg);                                     \
+    }                                                  \
+  } while (0)
+#endif
+
+#define REMOS_AUDIT(category, cond, msg) REMOS_AUDIT_SEV(category, kError, cond, msg)
+
+namespace remos::core {
+
+class VirtualTopology;
+struct FlowRequest;
+struct MaxMinResult;
+struct CollectorResponse;
+
+namespace audit {
+
+// Deep auditors over core types (audit.cpp). Each is a no-op unless the
+// build was configured with -DREMOS_AUDIT=ON; callers may still guard with
+// `if constexpr (audit::kEnabled)` to skip argument setup.
+
+/// Topology-graph audit: edge endpoints in range, no self loops, finite
+/// non-negative capacities/utilizations/latencies, per-direction
+/// utilization within capacity (duplex consistency, warn-level), virtual
+/// switches well-formed (no address, not isolated), no duplicate
+/// (a, b, id) edges. Sound after any Bridge/SNMP/Master merge.
+void audit_topology(const VirtualTopology& topo);
+
+/// Max-min audit: per directed link, sum of allocated flow rates must not
+/// exceed available capacity (within epsilon); every routable flow is
+/// either demand-satisfied or crosses >=1 saturated measurable link; rates
+/// are finite, non-negative, and within demand.
+void audit_max_min(const VirtualTopology& topo, const std::vector<FlowRequest>& requests,
+                   const MaxMinResult& result);
+
+/// Response audit: cost/staleness annotations are finite, non-negative,
+/// consistent with per-edge staleness, and never exceed virtual `now`.
+void audit_response(const CollectorResponse& response, double now);
+
+/// Cache/staleness audit: a stored timestamp may never sit in the virtual
+/// future (that would make TTLs and staleness move backwards vs. time).
+void audit_timestamp(const char* what, double stamp, double now);
+
+}  // namespace audit
+}  // namespace remos::core

@@ -1,5 +1,7 @@
 #include "core/master_collector.hpp"
 
+#include "core/audit.hpp"
+
 #include <algorithm>
 #include <map>
 
@@ -107,6 +109,10 @@ CollectorResponse MasterCollector::query(const std::vector<net::Ipv4Address>& no
       resp.topology.add_edge(std::move(e));
     }
   }
+  // The merged, WAN-stitched graph is what applications route over — audit
+  // it before it leaves the Master Collector. (No engine clock up here, so
+  // the staleness-vs-now response audit stays with the site collectors.)
+  audit::audit_topology(resp.topology);
   return resp;
 }
 

@@ -1,5 +1,7 @@
 #include "core/maxmin.hpp"
 
+#include "core/audit.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -132,6 +134,10 @@ MaxMinResult max_min_allocate(const VirtualTopology& topo,
     info.latency_s = routed[i].latency_s;
     info.path_edge_ids = routed[i].edge_ids;
   }
+  // Every allocation leaves through this audit: feasibility (no directed
+  // edge overcommitted) and max-min optimality (unsatisfied flows are
+  // bottlenecked) are checked before any caller sees the answer.
+  audit::audit_max_min(topo, requests, result);
   return result;
 }
 

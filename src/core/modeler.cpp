@@ -1,5 +1,7 @@
 #include "core/modeler.hpp"
 
+#include "core/audit.hpp"
+
 #include <algorithm>
 #include <limits>
 #include <map>
@@ -25,7 +27,12 @@ VirtualTopology Modeler::fetch(const std::vector<net::Ipv4Address>& nodes) {
 
 VirtualTopology Modeler::topology_query(const std::vector<net::Ipv4Address>& nodes) {
   VirtualTopology topo = fetch(nodes);
-  return config_.simplify_topology ? simplify(topo) : topo;
+  if (!config_.simplify_topology) return topo;
+  VirtualTopology simplified = simplify(topo);
+  // simplify() collapses switch clusters into virtual switches — exactly
+  // the merge step the topology audit exists to guard.
+  audit::audit_topology(simplified);
+  return simplified;
 }
 
 std::vector<FlowInfo> Modeler::flow_query(const FlowQuery& query) {

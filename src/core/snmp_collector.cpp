@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <set>
 
+#include "core/audit.hpp"
 #include "snmp/oids.hpp"
 
 namespace remos::core {
@@ -463,7 +464,7 @@ std::vector<std::string> SnmpCollector::discover_pair(net::Ipv4Address src, net:
         // connection with a virtual switch."
         discovery_degraded_ = true;
         const VNode vs{VNodeKind::kVirtualSwitch, "vs:dark:" + cur.to_string(), {}};
-        for (const VNode ep : {node_descriptor(cur), node_descriptor(dst)}) {
+        for (const VNode& ep : {node_descriptor(cur), node_descriptor(dst)}) {
           KnownEdge e;
           e.id = "vs:dark:" + cur.to_string() + ":" + ep.name;
           e.a = ep;
@@ -618,6 +619,11 @@ CollectorResponse SnmpCollector::query(const std::vector<net::Ipv4Address>& node
 
   resp.cost_s = client_.consumed_s() - before;
   resp.complete = complete;
+  // Boundary audit: the response graph must be well-formed, its staleness
+  // annotations consistent with virtual time, and no internal cache may
+  // hold a timestamp from the future.
+  audit::audit_response(resp, engine_.now());
+  audit_caches();
   return resp;
 }
 
@@ -661,6 +667,31 @@ void SnmpCollector::clear_caches() {
   speed_cache_.clear();
   quarantine_.clear();
   bridge_versions_.clear();
+}
+
+void SnmpCollector::audit_caches() const {
+  if constexpr (!audit::kEnabled) return;
+  const double now = engine_.now();
+  for (const auto& [key, cached] : path_cache_) {
+    audit::audit_timestamp("path-cache built_at", cached.built_at, now);
+  }
+  for (const auto& [agent, cached] : route_tables_) {
+    audit::audit_timestamp("route-table fetched_at", cached.fetched_at, now);
+  }
+  for (const auto& [point, cached] : speed_cache_) {
+    audit::audit_timestamp("speed-cache fetched_at", cached.fetched_at, now);
+  }
+  for (const auto& [point, m] : monitored_) {
+    if (m.last_sample >= 0.0) {  // -1 = never sampled
+      audit::audit_timestamp("monitor last_sample", m.last_sample, now);
+    }
+  }
+  // Quarantine entries hold *expiry* times: they live in the future, but
+  // never further out than one full quarantine period.
+  for (const auto& [agent, expiry] : quarantine_) {
+    REMOS_AUDIT(kCache, std::isfinite(expiry) && expiry <= now + config_.quarantine_s + 1e-9,
+                "quarantine expiry for " + agent.to_string() + " beyond one period");
+  }
 }
 
 }  // namespace remos::core

@@ -111,6 +111,13 @@ class SnmpCollector final : public Collector {
   /// Drop every cache (cold-start state for scalability experiments).
   void clear_caches();
 
+  /// Cache/staleness audit (kCache): every stored timestamp — path-cache
+  /// build times, route-table and speed fetch times, monitor samples,
+  /// quarantine expiries — is consistent with the engine's virtual clock
+  /// (TTLs never move backwards). Runs after every query(); callable
+  /// directly from tests. No-op unless built with -DREMOS_AUDIT=ON.
+  void audit_caches() const;
+
   // Introspection.
   [[nodiscard]] std::size_t monitored_interface_count() const { return monitored_.size(); }
   [[nodiscard]] std::size_t known_edge_count() const { return edges_.size(); }

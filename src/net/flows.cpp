@@ -1,7 +1,6 @@
 #include "net/flows.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace remos::net {

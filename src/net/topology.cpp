@@ -1,7 +1,8 @@
 #include "net/topology.hpp"
 
+#include "core/audit.hpp"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <deque>
 #include <numeric>
@@ -131,6 +132,7 @@ void Network::finalize(Ipv4Prefix site_prefix) {
   assign_gateways();
   build_routing_tables();
   finalized_ = true;
+  audit();
 }
 
 void Network::compute_segments() {
@@ -188,7 +190,7 @@ void Network::compute_segments() {
             if (n.kind == NodeKind::kHub) {
               s.shared = true;
               s.shared_capacity_bps = s.shared ? std::max(s.shared_capacity_bps, 0.0) : 0.0;
-              if (s.shared_capacity_bps == 0.0 || n.shared_capacity_bps < s.shared_capacity_bps) {
+              if (s.shared_capacity_bps <= 0.0 || n.shared_capacity_bps < s.shared_capacity_bps) {
                 s.shared_capacity_bps = n.shared_capacity_bps;
               }
             }
@@ -225,7 +227,7 @@ void Network::assign_subnets(Ipv4Prefix site_prefix) {
     std::uint32_t host_index = 1;
     for (auto [node_id, ifidx] : s.attachments) {
       Interface* ifc = nodes_[node_id].find_interface(ifidx);
-      assert(ifc != nullptr);
+      REMOS_CHECK(ifc != nullptr, "segment attachment references a missing interface");
       ifc->addr = s.prefix.host(host_index++);
       by_ip_.emplace(ifc->addr, node_id);
     }
@@ -416,7 +418,8 @@ void Network::build_routing_tables() {
       auto [hop, via_segment] = first_hop(best);
       const Interface* out = interface_in_segment(r, via_segment);
       const Interface* hop_if = interface_in_segment(hop, via_segment);
-      assert(out != nullptr && hop_if != nullptr);
+      REMOS_CHECK(out != nullptr && hop_if != nullptr,
+                  "routing-table build: no interface in the transit segment");
       rn.routes.push_back(Route{s.prefix, hop_if->addr, out->ifindex, best_dist});
     }
     // ipRouteTable is indexed by destination prefix; keep it sorted.
@@ -474,7 +477,7 @@ Interface& Network::ingress_interface(const Hop& hop) {
   Link& l = links_.at(hop.link);
   Node& n = nodes_[hop.forward ? l.b : l.a];
   Interface* ifc = n.find_interface(hop.forward ? l.b_if : l.a_if);
-  assert(ifc != nullptr);
+  REMOS_CHECK(ifc != nullptr, "hop ingress interface missing");
   return *ifc;
 }
 
@@ -482,7 +485,7 @@ Interface& Network::egress_interface(const Hop& hop) {
   Link& l = links_.at(hop.link);
   Node& n = nodes_[hop.forward ? l.a : l.b];
   Interface* ifc = n.find_interface(hop.forward ? l.a_if : l.b_if);
-  assert(ifc != nullptr);
+  REMOS_CHECK(ifc != nullptr, "hop egress interface missing");
   return *ifc;
 }
 
@@ -638,11 +641,69 @@ LinkId Network::move_host(NodeId host, NodeId new_switch, double capacity_bps, d
   // the post-convergence state).
   build_fdbs();
   ++version_;
+  audit();
   return l.id;
 }
 
 void Network::require_finalized(const char* what) const {
   if (!finalized_) throw std::logic_error(std::string("Network: ") + what + " before finalize()");
+}
+
+void Network::audit() const {
+  if constexpr (!core::audit::kEnabled) return;
+  for (const Link& l : links_) {
+    const std::string where = "link #" + std::to_string(l.id);
+    REMOS_AUDIT(kTopology, l.a < nodes_.size() && l.b < nodes_.size(),
+                where + ": endpoint node out of range");
+    REMOS_AUDIT(kTopology, l.a != l.b, where + ": both ends on one node");
+    REMOS_AUDIT(kTopology, std::isfinite(l.capacity_bps) && l.capacity_bps >= 0.0,
+                where + ": bad capacity");
+    REMOS_AUDIT(kTopology, std::isfinite(l.latency_s) && l.latency_s >= 0.0,
+                where + ": bad latency");
+    const Interface* ia = nodes_[l.a].find_interface(l.a_if);
+    const Interface* ib = nodes_[l.b].find_interface(l.b_if);
+    REMOS_AUDIT(kTopology, ia != nullptr && ia->link == l.id,
+                where + ": a-side interface missing or not pointing back");
+    REMOS_AUDIT(kTopology, ib != nullptr && ib->link == l.id,
+                where + ": b-side interface missing or not pointing back");
+    if (finalized_) {
+      REMOS_AUDIT(kTopology, l.segment < segments_.size(), where + ": segment out of range");
+      const auto& seg_links = segments_[l.segment].links;
+      REMOS_AUDIT(kTopology,
+                  std::find(seg_links.begin(), seg_links.end(), l.id) != seg_links.end(),
+                  where + ": not listed by its segment");
+    }
+  }
+  for (const Node& n : nodes_) {
+    const std::string where = "node " + n.name;
+    for (const Interface& ifc : n.interfaces) {
+      if (ifc.link == kNone) continue;  // detached port (after move_host)
+      REMOS_AUDIT(kTopology, ifc.link < links_.size(),
+                  where + ": interface link out of range");
+      const Link& l = links_[ifc.link];
+      const bool ours = (l.a == n.id && l.a_if == ifc.ifindex) ||
+                        (l.b == n.id && l.b_if == ifc.ifindex);
+      REMOS_AUDIT(kTopology, ours, where + ": interface points at a link that disowns it");
+    }
+    for (const auto& [mac, port] : n.fdb) {
+      REMOS_AUDIT(kTopology, n.find_interface(port) != nullptr,
+                  where + ": fdb entry for mac " + std::to_string(mac) +
+                      " names a missing port");
+    }
+  }
+  for (const Segment& s : segments_) {
+    for (const auto& [node_id, ifindex] : s.attachments) {
+      REMOS_AUDIT(kTopology,
+                  node_id < nodes_.size() && nodes_[node_id].find_interface(ifindex) != nullptr,
+                  "segment #" + std::to_string(s.id) + ": dangling attachment");
+    }
+    for (NodeId b : s.bridges) {
+      REMOS_AUDIT(kTopology,
+                  b < nodes_.size() && (nodes_[b].kind == NodeKind::kSwitch ||
+                                        nodes_[b].kind == NodeKind::kHub),
+                  "segment #" + std::to_string(s.id) + ": bridge list names a non-bridge");
+    }
+  }
 }
 
 }  // namespace remos::net

@@ -200,6 +200,13 @@ class Network {
   /// detect staleness.
   [[nodiscard]] std::uint64_t version() const { return version_; }
 
+  /// Physical-graph audit (kTopology): link endpoints and interface
+  /// back-pointers resolve both ways, capacities/latencies are finite and
+  /// non-negative, every link belongs to the segment that lists it, and
+  /// forwarding-database ports exist. Runs automatically after finalize()
+  /// and move_host(); no-op unless built with -DREMOS_AUDIT=ON.
+  void audit() const;
+
  private:
   NodeId add_node(NodeKind kind, std::string name);
   std::uint32_t add_interface(NodeId node, LinkId link, double capacity_bps);

@@ -1,7 +1,6 @@
 #include "rps/series.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
 namespace remos::rps {

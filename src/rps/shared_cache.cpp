@@ -9,29 +9,40 @@ SharedPredictionCache::SharedPredictionCache(double ttl_s, std::function<double(
   if (!now_) throw std::invalid_argument("SharedPredictionCache: time source required");
 }
 
-const Prediction* SharedPredictionCache::peek(const std::string& key) const {
+std::optional<Prediction> SharedPredictionCache::peek(const std::string& key) const {
+  std::lock_guard lock(mu_);
   auto it = entries_.find(key);
-  if (it == entries_.end()) return nullptr;
-  if (now_() - it->second.computed_at > ttl_s_) return nullptr;
-  return &it->second.prediction;
+  if (it == entries_.end()) return std::nullopt;
+  if (now_() - it->second.computed_at > ttl_s_) return std::nullopt;
+  return it->second.prediction;
 }
 
-const Prediction& SharedPredictionCache::get_or_compute(
+Prediction SharedPredictionCache::get_or_compute(
     const std::string& key, const std::function<Prediction()>& compute) {
+  std::lock_guard lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end() && now_() - it->second.computed_at <= ttl_s_) {
     ++hits_;
     return it->second.prediction;
   }
   ++misses_;
+  // compute() runs under the lock: concurrent callers of the same cold key
+  // then fit the model once instead of racing to fit it N times (the whole
+  // point of sharing). Cost: unrelated keys briefly serialize behind a fit.
   Entry entry{compute(), now_()};
   auto [pos, inserted] = entries_.insert_or_assign(key, std::move(entry));
   (void)inserted;
   return pos->second.prediction;
 }
 
-void SharedPredictionCache::invalidate(const std::string& key) { entries_.erase(key); }
+void SharedPredictionCache::invalidate(const std::string& key) {
+  std::lock_guard lock(mu_);
+  entries_.erase(key);
+}
 
-void SharedPredictionCache::clear() { entries_.clear(); }
+void SharedPredictionCache::clear() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+}
 
 }  // namespace remos::rps

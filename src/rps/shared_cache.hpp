@@ -6,10 +6,18 @@
 // not each pay a model fit. The cache keys predictions by resource id and
 // serves them until a TTL expires or the owner invalidates them; hit/miss
 // accounting supports the ablation study.
+//
+// Thread safety: all operations are safe to call concurrently (the Master
+// Collector's worker threads share one cache). Results are returned by
+// value so no caller holds a reference into the map while another thread
+// mutates it. `compute` runs under the cache lock, so it must not reenter
+// the same cache.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <string>
 
 #include "rps/models.hpp"
@@ -18,25 +26,36 @@ namespace remos::rps {
 
 class SharedPredictionCache {
  public:
-  /// `now`: time source (simulated seconds in this repo).
+  /// `now`: time source (simulated seconds in this repo). Must itself be
+  /// safe to call from multiple threads.
   SharedPredictionCache(double ttl_s, std::function<double()> now);
 
   /// Return the cached prediction for `key` if fresh; otherwise run
   /// `compute`, cache, and return its result.
-  const Prediction& get_or_compute(const std::string& key,
-                                   const std::function<Prediction()>& compute);
+  Prediction get_or_compute(const std::string& key,
+                            const std::function<Prediction()>& compute);
 
-  /// Fresh cached entry, or nullptr.
-  [[nodiscard]] const Prediction* peek(const std::string& key) const;
+  /// Copy of the fresh cached entry, or nullopt.
+  [[nodiscard]] std::optional<Prediction> peek(const std::string& key) const;
 
   /// Drop one entry (a collector noticed the resource changed).
   void invalidate(const std::string& key);
   void clear();
 
-  [[nodiscard]] std::uint64_t hits() const { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const { return misses_; }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t hits() const {
+    std::lock_guard lock(mu_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    std::lock_guard lock(mu_);
+    return misses_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return entries_.size();
+  }
   [[nodiscard]] double hit_rate() const {
+    std::lock_guard lock(mu_);
     const double total = static_cast<double>(hits_ + misses_);
     return total > 0 ? static_cast<double>(hits_) / total : 0.0;
   }
@@ -49,6 +68,7 @@ class SharedPredictionCache {
 
   double ttl_s_;
   std::function<double()> now_;
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
-#include <cassert>
+#include "core/audit.hpp"
+
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -55,7 +56,7 @@ std::size_t Engine::run_until(Time until) {
     Time t = queue_.next_time();
     if (t > until) break;
     auto ev = queue_.pop();
-    assert(ev.time >= now_ && "event queue went backwards");
+    REMOS_CHECK(ev.time >= now_, "event queue went backwards");
     now_ = ev.time;
     ev.fn();
     ++dispatched_;
@@ -69,7 +70,7 @@ std::size_t Engine::run() {
   std::size_t fired = 0;
   while (!queue_.empty()) {
     auto ev = queue_.pop();
-    assert(ev.time >= now_ && "event queue went backwards");
+    REMOS_CHECK(ev.time >= now_, "event queue went backwards");
     now_ = ev.time;
     ev.fn();
     ++dispatched_;

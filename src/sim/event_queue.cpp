@@ -1,7 +1,8 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "core/audit.hpp"
 
 namespace remos::sim {
 
@@ -45,13 +46,19 @@ Time EventQueue::next_time() const {
 
 EventQueue::Fired EventQueue::pop() {
   drop_cancelled_head();
-  assert(!heap_.empty() && "pop() on empty EventQueue");
+  REMOS_CHECK(!heap_.empty(), "pop() on empty EventQueue");
   // priority_queue::top() returns const&; the function object must be moved
   // out, which is safe because we pop immediately afterwards.
   Entry& top = const_cast<Entry&>(heap_.top());
   Fired fired{top.time, top.id, std::move(top.fn)};
   heap_.pop();
   --live_;
+  // A pop that travels into the past would let the simulation schedule and
+  // observe events out of causal order — the core determinism invariant.
+  REMOS_AUDIT(kSim, fired.time >= last_pop_,
+              "event queue went backwards: popped t=" + std::to_string(fired.time) +
+                  " after t=" + std::to_string(last_pop_));
+  last_pop_ = fired.time;
   return fired;
 }
 
@@ -59,6 +66,7 @@ void EventQueue::clear() {
   while (!heap_.empty()) heap_.pop();
   cancelled_.clear();
   live_ = 0;
+  last_pop_ = Time{0};
 }
 
 }  // namespace remos::sim

@@ -68,6 +68,7 @@ class EventQueue {
   std::unordered_set<EventId> cancelled_;
   EventId next_id_ = 1;
   std::size_t live_ = 0;
+  Time last_pop_ = Time{0};  // pop() monotonicity audit (kSim)
 };
 
 }  // namespace remos::sim

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "sim/log.hpp"
+
 namespace remos::sim {
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -48,13 +50,25 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   }
   // Join every lane before propagating: rethrowing early would unwind the
   // stack frame that `next` and `fn` live in while other lanes still run.
+  // Aggregate: the first exception is rethrown, the rest are counted so the
+  // caller can tell a single bad index from a systemic failure.
   std::exception_ptr first_error;
+  std::size_t suppressed = 0;
   for (auto& f : futs) {
     try {
       f.get();
     } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      if (!first_error) {
+        first_error = std::current_exception();
+      } else {
+        ++suppressed;
+      }
     }
+  }
+  last_suppressed_ = suppressed;
+  if (suppressed > 0) {
+    REMOS_LOG(kWarn, "threadpool") << "parallel_for suppressed " << suppressed
+                                   << " additional worker exception(s)";
   }
   if (first_error) std::rethrow_exception(first_error);
 }

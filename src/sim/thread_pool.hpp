@@ -40,7 +40,17 @@ class ThreadPool {
   }
 
   /// Apply `fn(i)` for i in [0, n) across the pool and wait for all.
+  ///
+  /// Exception aggregation: every lane is joined before anything is
+  /// rethrown. The first exception propagates to the caller; any further
+  /// lane exceptions are counted (see last_suppressed()) and logged rather
+  /// than lost silently.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Number of worker exceptions swallowed (beyond the rethrown first one)
+  /// by the most recent parallel_for on this pool. Only meaningful on the
+  /// calling thread after parallel_for returns or throws.
+  [[nodiscard]] std::size_t last_suppressed() const { return last_suppressed_; }
 
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
@@ -52,6 +62,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+  std::size_t last_suppressed_ = 0;  // written only by the parallel_for caller
 };
 
 }  // namespace remos::sim

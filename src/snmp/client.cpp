@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/audit.hpp"
+
 namespace remos::snmp {
 
 SnmpClient::SnmpClient(AgentRegistry& registry, ClientConfig config)
@@ -83,6 +85,12 @@ std::vector<VarBind> SnmpClient::walk(net::Ipv4Address agent, const std::string&
       return out;
     }
     if (!subtree.is_prefix_of(r.vb.oid)) break;  // walked past the subtree
+    // A non-increasing GETNEXT answer would revisit this row forever; audit
+    // it, and break defensively even with audits compiled out.
+    REMOS_AUDIT(kMib, r.vb.oid > cursor,
+                "walk: GETNEXT returned " + r.vb.oid.to_string() + " not after " +
+                    cursor.to_string());
+    if (!(r.vb.oid > cursor)) break;
     cursor = r.vb.oid;
     out.push_back(std::move(r.vb));
   }
@@ -123,15 +131,23 @@ std::vector<VarBind> SnmpClient::walk_bulk(net::Ipv4Address agent_addr,
     }
     note_success(agent_addr);
     bool past_subtree = false;
+    bool stalled = false;
     for (VarBind& vb : resp.vbs) {
       if (!subtree.is_prefix_of(vb.oid)) {
         past_subtree = true;
         break;
       }
+      REMOS_AUDIT(kMib, vb.oid > cursor,
+                  "walk_bulk: response OID " + vb.oid.to_string() + " not after " +
+                      cursor.to_string());
+      if (!(vb.oid > cursor)) {
+        stalled = true;  // defensive: never loop on a non-advancing agent
+        break;
+      }
       cursor = vb.oid;
       out.push_back(std::move(vb));
     }
-    if (past_subtree || resp.status == Status::kEndOfMib) break;
+    if (past_subtree || stalled || resp.vbs.empty() || resp.status == Status::kEndOfMib) break;
   }
   if (status_out) *status_out = Status::kOk;
   return out;

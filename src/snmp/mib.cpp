@@ -1,8 +1,48 @@
 #include "snmp/mib.hpp"
 
+#include <set>
+#include <string>
+
+#include "core/audit.hpp"
 #include "snmp/oids.hpp"
 
 namespace remos::snmp {
+
+namespace {
+
+/// Row index suffixes present under one table-column prefix.
+std::set<Oid> column_rows(const std::map<Oid, MibView::ValueFn>& objects, const Oid& column) {
+  std::set<Oid> rows;
+  for (auto it = objects.lower_bound(column); it != objects.end(); ++it) {
+    if (!column.is_prefix_of(it->first)) break;
+    rows.insert(it->first.suffix_after(column));
+  }
+  return rows;
+}
+
+/// The row-index sets of every *present* column in a conceptual table must
+/// agree — a GETNEXT table walk pivots between columns by shared index, so
+/// a hole in one column silently truncates or skews the walked table.
+/// Absent columns are legal (quirky agents omit ifSpeed / ipRouteMask).
+void audit_table_columns(const std::map<Oid, MibView::ValueFn>& objects,
+                         const char* table, const std::vector<Oid>& columns) {
+  bool have_reference = false;
+  std::set<Oid> reference;
+  for (const Oid& col : columns) {
+    std::set<Oid> rows = column_rows(objects, col);
+    if (rows.empty()) continue;  // column absent on this agent
+    if (!have_reference) {
+      reference = std::move(rows);
+      have_reference = true;
+      continue;
+    }
+    REMOS_AUDIT(kMib, rows == reference,
+                std::string(table) + ": column " + col.to_string() +
+                    " row-index set disagrees with the table's other columns");
+  }
+}
+
+}  // namespace
 
 void MibView::set(Oid oid, ValueFn fn) { objects_[std::move(oid)] = std::move(fn); }
 
@@ -20,6 +60,46 @@ std::optional<VarBind> MibView::get_next(const Oid& oid) const {
   auto it = objects_.upper_bound(oid);
   if (it == objects_.end()) return std::nullopt;
   return VarBind{it->first, it->second()};
+}
+
+void MibView::audit() const {
+  if constexpr (!core::audit::kEnabled) return;
+  // GETNEXT termination: starting from the empty OID, stepping with
+  // get_next must yield strictly increasing OIDs and reach the end in
+  // exactly object_count() steps. Any equal-or-smaller step would make a
+  // management walk (and our collectors' walk()) loop forever.
+  Oid cursor;
+  std::size_t steps = 0;
+  while (true) {
+    auto next = get_next(cursor);
+    if (!next.has_value()) break;
+    REMOS_AUDIT(kMib, next->oid > cursor,
+                "GETNEXT not strictly increasing at " + next->oid.to_string());
+    REMOS_AUDIT(kMib, ++steps <= object_count(),
+                "GETNEXT walk did not terminate within object_count() steps");
+    cursor = next->oid;
+  }
+  REMOS_AUDIT(kMib, steps == object_count(),
+              "GETNEXT walk visited " + std::to_string(steps) + " of " +
+                  std::to_string(object_count()) + " objects");
+
+  audit_table_columns(objects_, "ifTable",
+                      {oids::kIfIndex, oids::kIfDescr, oids::kIfType, oids::kIfSpeed,
+                       oids::kIfInOctets, oids::kIfOutOctets});
+  audit_table_columns(objects_, "ipRouteTable",
+                      {oids::kIpRouteDest, oids::kIpRouteIfIndex, oids::kIpRouteNextHop,
+                       oids::kIpRouteType, oids::kIpRouteMask});
+  audit_table_columns(objects_, "dot1dTpFdbTable",
+                      {oids::kDot1dTpFdbAddress, oids::kDot1dTpFdbPort, oids::kDot1dTpFdbStatus});
+}
+
+void audit_walk_order(const std::vector<VarBind>& binds) {
+  if constexpr (!core::audit::kEnabled) return;
+  for (std::size_t i = 1; i < binds.size(); ++i) {
+    REMOS_AUDIT(kMib, binds[i - 1].oid < binds[i].oid,
+                "walk response not strictly increasing at step " + std::to_string(i) + " (" +
+                    binds[i].oid.to_string() + " after " + binds[i - 1].oid.to_string() + ")");
+  }
 }
 
 namespace {
@@ -115,6 +195,7 @@ MibView build_device_mib(const net::Network& net, net::NodeId id, const MibQuirk
   const net::Node& n = net.node(id);
   if (n.kind == net::NodeKind::kRouter) add_route_table(view, net, id, quirks);
   if (n.kind == net::NodeKind::kSwitch) add_bridge_mib(view, net, id);
+  view.audit();
   return view;
 }
 

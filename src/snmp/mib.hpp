@@ -8,6 +8,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "net/topology.hpp"
 #include "snmp/value.hpp"
@@ -29,9 +30,21 @@ class MibView {
 
   [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
 
+  /// MIB audit (kMib): a GETNEXT walk from the root visits every object in
+  /// strictly increasing OID order and terminates within object_count()
+  /// steps, and the ifTable / ipRouteTable columns expose consistent row
+  /// index sets. No-op unless built with -DREMOS_AUDIT=ON.
+  void audit() const;
+
  private:
   std::map<Oid, ValueFn> objects_;
 };
+
+/// Audit (kMib) one GETNEXT/WALK response sequence as seen on the wire:
+/// OIDs must be strictly lexicographically increasing, otherwise a walker
+/// revisits rows forever. Factored out of MibView::audit so corrupted agent
+/// responses can be checked (and unit-tested) without a view.
+void audit_walk_order(const std::vector<VarBind>& binds);
 
 /// Options simulating non-standard/misconfigured agents (the portability
 /// hazards §6.2 reports: "network elements that were misconfigured or have

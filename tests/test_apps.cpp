@@ -158,7 +158,7 @@ TEST(WanTestbed, SiteLookup) {
   p.sites = {{"x", 2, 100e6, 1e6}, {"y", 2, 100e6, 1e6}};
   WanTestbed wan(p);
   EXPECT_EQ(wan.site("x").name, "x");
-  EXPECT_THROW(wan.site("z"), std::out_of_range);
+  EXPECT_THROW((void)wan.site("z"), std::out_of_range);
   EXPECT_EQ(wan.host("y", 1), wan.site("y").hosts[1]);
 }
 

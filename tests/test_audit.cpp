@@ -1,0 +1,288 @@
+// Audit framework: every auditor must accept healthy inputs and trip the
+// right category on corrupted ones. Fail-path tests are skipped when the
+// build has audits compiled out (REMOS_AUDIT=OFF) — there is nothing to
+// trip — but pass paths still run to prove the no-op stubs stay callable.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "apps/testbed.hpp"
+#include "core/audit.hpp"
+#include "core/maxmin.hpp"
+#include "core/types.hpp"
+#include "sim/event_queue.hpp"
+#include "snmp/mib.hpp"
+#include "snmp/oids.hpp"
+
+namespace remos {
+namespace {
+
+using core::audit::AuditError;
+using core::audit::Category;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class AuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override { core::audit::reset_counters(); }
+  static bool enabled() { return core::audit::kEnabled; }
+};
+
+/// Two hosts joined through one measurable link — minimal healthy topology.
+core::VirtualTopology healthy_topology() {
+  core::VirtualTopology topo;
+  const auto a = topo.add_node(
+      core::VNode{core::VNodeKind::kHost, "a", net::Ipv4Address(10, 0, 0, 1)});
+  const auto b = topo.add_node(
+      core::VNode{core::VNodeKind::kHost, "b", net::Ipv4Address(10, 0, 0, 2)});
+  topo.add_edge(core::VEdge{a, b, 100e6, 10e6, 5e6, 0.001, "ab"});
+  return topo;
+}
+
+// ---------------------------------------------------------------------------
+// Macro core
+// ---------------------------------------------------------------------------
+
+TEST_F(AuditTest, CheckPassesQuietly) {
+  REMOS_CHECK(1 + 1 == 2, "arithmetic works");
+  EXPECT_EQ(core::audit::total_failures(), 0u);
+}
+
+TEST_F(AuditTest, CheckThrowsAndCounts) {
+  if (!enabled() && !core::audit::kCheckActive) GTEST_SKIP() << "REMOS_CHECK compiled out";
+  EXPECT_THROW(REMOS_CHECK(false, "deliberately false"), AuditError);
+  EXPECT_EQ(core::audit::failure_count(Category::kInvariant), 1u);
+}
+
+TEST_F(AuditTest, AuditCarriesCategoryAndMessage) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  try {
+    REMOS_AUDIT(kTopology, false, "spotted on purpose");
+    FAIL() << "REMOS_AUDIT did not throw";
+  } catch (const AuditError& e) {
+    EXPECT_EQ(e.category(), Category::kTopology);
+    EXPECT_NE(std::string(e.what()).find("spotted on purpose"), std::string::npos);
+  }
+  EXPECT_EQ(core::audit::failure_count(Category::kTopology), 1u);
+}
+
+TEST_F(AuditTest, WarnSeverityCountsWithoutThrowing) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  EXPECT_NO_THROW(REMOS_AUDIT_SEV(kCache, kWarn, false, "just a warning"));
+  EXPECT_EQ(core::audit::failure_count(Category::kCache), 1u);
+  core::audit::reset_counters();
+  EXPECT_EQ(core::audit::total_failures(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Topology auditor
+// ---------------------------------------------------------------------------
+
+TEST_F(AuditTest, TopologyHealthyPasses) {
+  EXPECT_NO_THROW(core::audit::audit_topology(healthy_topology()));
+}
+
+TEST_F(AuditTest, TopologyEndpointOutOfRangeTrips) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  auto topo = healthy_topology();
+  topo.edges()[0].b = 99;  // no such node
+  EXPECT_THROW(core::audit::audit_topology(topo), AuditError);
+  EXPECT_GE(core::audit::failure_count(Category::kTopology), 1u);
+}
+
+TEST_F(AuditTest, TopologySelfLoopTrips) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  auto topo = healthy_topology();
+  topo.edges()[0].b = topo.edges()[0].a;
+  EXPECT_THROW(core::audit::audit_topology(topo), AuditError);
+}
+
+TEST_F(AuditTest, TopologyNegativeCapacityTrips) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  auto topo = healthy_topology();
+  topo.edges()[0].capacity_bps = -1.0;
+  EXPECT_THROW(core::audit::audit_topology(topo), AuditError);
+}
+
+TEST_F(AuditTest, TopologyNanLatencyTrips) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  auto topo = healthy_topology();
+  topo.edges()[0].latency_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(core::audit::audit_topology(topo), AuditError);
+}
+
+TEST_F(AuditTest, TopologyDuplicateEdgeTrips) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  auto topo = healthy_topology();
+  // add_edge() dedups (merge refresh semantics), so corrupt the edge list
+  // directly — the state a buggy merge would have to produce.
+  topo.edges().push_back(topo.edges()[0]);
+  EXPECT_THROW(core::audit::audit_topology(topo), AuditError);
+}
+
+TEST_F(AuditTest, TopologyAddressedVirtualSwitchTrips) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  core::VirtualTopology topo = healthy_topology();
+  // A virtual switch must be addressless: it models an unmeasurable element.
+  topo.add_node(core::VNode{core::VNodeKind::kVirtualSwitch, "vs:bad",
+                            net::Ipv4Address(10, 0, 0, 9)});
+  EXPECT_THROW(core::audit::audit_topology(topo), AuditError);
+}
+
+TEST_F(AuditTest, TopologyUtilizationOverCapacityOnlyWarns) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  auto topo = healthy_topology();
+  topo.edges()[0].util_ab_bps = topo.edges()[0].capacity_bps * 2;  // counters overshoot
+  EXPECT_NO_THROW(core::audit::audit_topology(topo));
+  EXPECT_EQ(core::audit::failure_count(Category::kTopology), 1u);  // counted, not thrown
+}
+
+// ---------------------------------------------------------------------------
+// Max-min auditor
+// ---------------------------------------------------------------------------
+
+TEST_F(AuditTest, MaxMinHealthyAllocationPasses) {
+  auto topo = healthy_topology();
+  std::vector<core::FlowRequest> reqs(2);
+  reqs[0] = {net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(10, 0, 0, 2), kInf};
+  reqs[1] = {net::Ipv4Address(10, 0, 0, 2), net::Ipv4Address(10, 0, 0, 1), 5e6};
+  // max_min_allocate self-audits on the way out; auditing again is idempotent.
+  const auto result = core::max_min_allocate(topo, reqs);
+  EXPECT_NO_THROW(core::audit::audit_max_min(topo, reqs, result));
+}
+
+TEST_F(AuditTest, MaxMinSizeMismatchTrips) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  auto topo = healthy_topology();
+  std::vector<core::FlowRequest> reqs(1);
+  reqs[0] = {net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(10, 0, 0, 2), kInf};
+  core::MaxMinResult result;  // empty: wrong size
+  EXPECT_THROW(core::audit::audit_max_min(topo, reqs, result), AuditError);
+  EXPECT_GE(core::audit::failure_count(Category::kMaxMin), 1u);
+}
+
+TEST_F(AuditTest, MaxMinOvercommittedEdgeTrips) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  auto topo = healthy_topology();
+  std::vector<core::FlowRequest> reqs(1);
+  reqs[0] = {net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(10, 0, 0, 2), kInf};
+  auto result = core::max_min_allocate(topo, reqs);
+  // Corrupt: promise more than the link's residual capacity.
+  result.flows[0].available_bps = topo.edges()[0].capacity_bps * 2;
+  EXPECT_THROW(core::audit::audit_max_min(topo, reqs, result), AuditError);
+}
+
+TEST_F(AuditTest, MaxMinUnroutableWithRateTrips) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  auto topo = healthy_topology();
+  std::vector<core::FlowRequest> reqs(1);
+  reqs[0] = {net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(192, 168, 0, 7), kInf};
+  auto result = core::max_min_allocate(topo, reqs);
+  ASSERT_FALSE(result.flows[0].routable());
+  result.flows[0].available_bps = 1e6;  // unroutable flows must report zero
+  EXPECT_THROW(core::audit::audit_max_min(topo, reqs, result), AuditError);
+}
+
+TEST_F(AuditTest, MaxMinStarvedFlowTrips) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  auto topo = healthy_topology();
+  std::vector<core::FlowRequest> reqs(1);
+  reqs[0] = {net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(10, 0, 0, 2), kInf};
+  auto result = core::max_min_allocate(topo, reqs);
+  // Corrupt: a flow far below demand with no saturated link to blame.
+  result.flows[0].available_bps = 1.0;
+  EXPECT_THROW(core::audit::audit_max_min(topo, reqs, result), AuditError);
+}
+
+// ---------------------------------------------------------------------------
+// Response / cache auditors
+// ---------------------------------------------------------------------------
+
+TEST_F(AuditTest, ResponseHealthyPasses) {
+  core::CollectorResponse resp;
+  resp.topology = healthy_topology();
+  resp.topology.edges()[0].staleness_s = 2.0;
+  resp.max_staleness_s = 2.0;
+  resp.cost_s = 0.5;
+  EXPECT_NO_THROW(core::audit::audit_response(resp, /*now=*/10.0));
+}
+
+TEST_F(AuditTest, ResponseStalenessBeyondVirtualTimeTrips) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  core::CollectorResponse resp;
+  resp.topology = healthy_topology();
+  // Claims the measurement is older than the simulation itself.
+  resp.topology.edges()[0].staleness_s = 99.0;
+  resp.max_staleness_s = 99.0;
+  EXPECT_THROW(core::audit::audit_response(resp, /*now=*/10.0), AuditError);
+  EXPECT_GE(core::audit::failure_count(Category::kCache), 1u);
+}
+
+TEST_F(AuditTest, ResponseUnderstatedMaxStalenessTrips) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  core::CollectorResponse resp;
+  resp.topology = healthy_topology();
+  resp.topology.edges()[0].staleness_s = 5.0;
+  resp.max_staleness_s = 1.0;  // lies about answer quality
+  EXPECT_THROW(core::audit::audit_response(resp, /*now=*/10.0), AuditError);
+}
+
+TEST_F(AuditTest, TimestampInFutureTrips) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  EXPECT_NO_THROW(core::audit::audit_timestamp("t", 3.0, 10.0));
+  EXPECT_THROW(core::audit::audit_timestamp("t", 11.0, 10.0), AuditError);
+  EXPECT_THROW(core::audit::audit_timestamp("t", -1.0, 10.0), AuditError);
+}
+
+TEST_F(AuditTest, CollectorCachesStayAuditClean) {
+  apps::LanTestbed lan;
+  lan.engine.run_until(20.0);
+  (void)lan.collector->query(lan.host_addrs(4));
+  EXPECT_NO_THROW(lan.collector->audit_caches());
+}
+
+// ---------------------------------------------------------------------------
+// MIB auditor
+// ---------------------------------------------------------------------------
+
+TEST_F(AuditTest, DeviceMibsPassAudit) {
+  apps::LanTestbed lan;
+  // build_device_mib self-audits; rebuild one per device kind explicitly.
+  for (const net::Node& n : lan.net.nodes()) {
+    if (!n.snmp_enabled) continue;
+    EXPECT_NO_THROW(snmp::build_device_mib(lan.net, n.id).audit()) << n.name;
+  }
+}
+
+TEST_F(AuditTest, WalkOrderViolationTrips) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  std::vector<snmp::VarBind> binds;
+  binds.push_back({snmp::oids::kIfIndex.child(1), std::int64_t{1}});
+  binds.push_back({snmp::oids::kIfIndex.child(3), std::int64_t{3}});
+  EXPECT_NO_THROW(snmp::audit_walk_order(binds));
+  binds.push_back({snmp::oids::kIfIndex.child(2), std::int64_t{2}});  // went backwards
+  EXPECT_THROW(snmp::audit_walk_order(binds), AuditError);
+  EXPECT_GE(core::audit::failure_count(Category::kMib), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Sim auditor
+// ---------------------------------------------------------------------------
+
+TEST_F(AuditTest, EventQueuePopMonotonicityTrips) {
+  if (!enabled()) GTEST_SKIP() << "audits compiled out";
+  sim::EventQueue q;
+  q.schedule(5.0, [] {});
+  EXPECT_NO_THROW((void)q.pop());
+  // Scheduling behind an already-fired instant rewinds simulated time.
+  q.schedule(1.0, [] {});
+  EXPECT_THROW((void)q.pop(), core::audit::AuditError);
+  EXPECT_GE(core::audit::failure_count(Category::kSim), 1u);
+  // clear() resets the monotonicity watermark.
+  q.clear();
+  q.schedule(0.5, [] {});
+  EXPECT_NO_THROW((void)q.pop());
+}
+
+}  // namespace
+}  // namespace remos

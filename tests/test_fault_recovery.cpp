@@ -111,7 +111,9 @@ TEST(FaultRecovery, OutageQuarantineRecoveryLifecycle) {
   // degraded answer keeps pre-outage capacities, flagged by staleness.
   for (const auto& [id, cap] : capacities(mid2)) {
     auto it = base_caps.find(id);
-    if (it != base_caps.end()) EXPECT_DOUBLE_EQ(cap, it->second) << id;
+    if (it != base_caps.end()) {
+      EXPECT_DOUBLE_EQ(cap, it->second) << id;
+    }
   }
 
   // Agent returns at 47. Quarantine re-armed at 35 expires at 55; the

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "apps/testbed.hpp"
+#include "core/audit.hpp"
 #include "core/maxmin.hpp"
 #include "core/protocol.hpp"
 #include "net/l2.hpp"
@@ -122,6 +123,12 @@ TEST_P(MaxMinProperty, FeasibleAndMaxMinOptimal) {
 
   const auto result = core::max_min_allocate(topo, requests);
 
+  // The deep auditors must accept every randomly generated instance this
+  // test's independent re-check below accepts (they also ran once already,
+  // inside max_min_allocate itself).
+  EXPECT_NO_THROW(core::audit::audit_topology(topo));
+  EXPECT_NO_THROW(core::audit::audit_max_min(topo, requests, result));
+
   // Re-walk every flow's path once to recover directed resources.
   using DirectedEdge = std::pair<std::string, bool>;
   std::vector<std::vector<DirectedEdge>> flow_resources(requests.size());
@@ -180,6 +187,39 @@ TEST_P(MaxMinProperty, FeasibleAndMaxMinOptimal) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinProperty, ::testing::Range<std::uint64_t>(1, 25));
+
+// ---------------------------------------------------------------------------
+// Audited collection: on random LAN shapes, run the monitoring loop for a
+// while and require every auditor — physical network, response topology,
+// staleness annotations, collector caches — to accept the live state.
+// ---------------------------------------------------------------------------
+
+class AuditedCollection : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AuditedCollection, CollectorStateSurvivesAllAuditors) {
+  sim::Rng rng(GetParam());
+  apps::LanTestbed::Params p;
+  p.hosts = static_cast<std::size_t>(rng.uniform_int(3, 24));
+  p.switches = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  p.poll_interval_s = rng.uniform(1.0, 10.0);
+  apps::LanTestbed lan(p);
+
+  EXPECT_NO_THROW(lan.net.audit());
+  const auto nodes = lan.host_addrs(std::min<std::size_t>(p.hosts, 6));
+  for (int round = 0; round < 3; ++round) {
+    lan.engine.run_until(lan.engine.now() + rng.uniform(0.5, 20.0));
+    // query() self-audits (response + caches) when REMOS_AUDIT is on; call
+    // the auditors explicitly too so the test also covers audits-off builds
+    // where the self-audit compiles away.
+    core::CollectorResponse resp;
+    ASSERT_NO_THROW(resp = lan.collector->query(nodes));
+    EXPECT_NO_THROW(core::audit::audit_response(resp, lan.engine.now()));
+    EXPECT_NO_THROW(lan.collector->audit_caches());
+    EXPECT_TRUE(resp.complete);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuditedCollection, ::testing::Range<std::uint64_t>(1, 13));
 
 // ---------------------------------------------------------------------------
 // AR estimation: Yule-Walker and Burg recover phi across the stability

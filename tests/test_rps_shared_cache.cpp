@@ -28,9 +28,9 @@ TEST(SharedPredictionCache, MissThenHit) {
     ++computes;
     return make_prediction(42.0);
   };
-  const Prediction& p1 = cache.get_or_compute("edge-1", compute);
+  const Prediction p1 = cache.get_or_compute("edge-1", compute);
   EXPECT_DOUBLE_EQ(p1.mean[0], 42.0);
-  const Prediction& p2 = cache.get_or_compute("edge-1", compute);
+  const Prediction p2 = cache.get_or_compute("edge-1", compute);
   EXPECT_DOUBLE_EQ(p2.mean[0], 42.0);
   EXPECT_EQ(computes, 1);
   EXPECT_EQ(cache.hits(), 1u);
@@ -64,11 +64,11 @@ TEST(SharedPredictionCache, TtlExpiryRecomputes) {
 TEST(SharedPredictionCache, PeekDoesNotCompute) {
   Clock clock;
   SharedPredictionCache cache(5.0, clock.fn());
-  EXPECT_EQ(cache.peek("missing"), nullptr);
+  EXPECT_EQ(cache.peek("missing"), std::nullopt);
   cache.get_or_compute("k", [] { return make_prediction(7.0); });
-  EXPECT_NE(cache.peek("k"), nullptr);
+  EXPECT_NE(cache.peek("k"), std::nullopt);
   clock.t = 6.0;
-  EXPECT_EQ(cache.peek("k"), nullptr);  // stale entries hidden
+  EXPECT_EQ(cache.peek("k"), std::nullopt);  // stale entries hidden
 }
 
 TEST(SharedPredictionCache, InvalidateForcesRecompute) {
@@ -88,7 +88,7 @@ TEST(SharedPredictionCache, ClearDropsEverything) {
   cache.get_or_compute("b", [] { return make_prediction(2.0); });
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.peek("a"), nullptr);
+  EXPECT_EQ(cache.peek("a"), std::nullopt);
 }
 
 TEST(SharedPredictionCache, RequiresTimeSource) {

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""remos_lint: project-specific lint rules for the Remos reproduction.
+
+Registered as a ctest (see the top-level CMakeLists.txt); exits non-zero on
+any finding so CI fails. Rules:
+
+  wallclock    Determinism: simulation code must use sim::Engine virtual
+               time. Bans std::chrono::{system,steady,high_resolution}_clock,
+               ::time(), gettimeofday, clock() in src/.  bench/ is allowed
+               wall-clock, but only through bench/bench_util.hpp.
+  randomness   Determinism: bans rand()/srand()/random_device in src/
+               (seedable sim::Rng is the only sanctioned entropy source).
+  float-eq     ==/!= on floating-point expressions in src/net and src/core,
+               where capacities/rates are derived arithmetically and exact
+               comparison is a bug magnet. Comparisons against integer
+               literals on non-float identifiers are not flagged (heuristic:
+               see FLOAT_HINT).
+  include      Hygiene: headers start with #pragma once; no relative
+               ("../x", "./x") quoted includes — all project includes are
+               rooted at src/.
+  protocol     The ASCII wire protocol is frozen: the keyword set emitted by
+               src/core/protocol_ascii.cpp must be exactly the known set, so
+               a stray printf cannot silently extend the wire format.
+
+Suppression: append  // remos-lint: allow(<rule>)  to the offending line.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Files allowed to read the wall clock (real-time benchmark scaffolding).
+WALLCLOCK_ALLOWLIST = {
+    "bench/bench_util.hpp",
+}
+
+# The frozen ASCII protocol keyword surface (PR 1 froze the wire format).
+PROTOCOL_KEYWORDS = {"QUERY", "NODE", "END", "TOPOLOGY", "VNODE", "VEDGE", "COST", "COMPLETE"}
+PROTOCOL_FILE = "src/core/protocol_ascii.cpp"
+
+WALLCLOCK_PATTERNS = [
+    (re.compile(r"std::chrono::(system|steady|high_resolution)_clock"), "std::chrono wall clock"),
+    (re.compile(r"(?<![\w.:])time\s*\(\s*(nullptr|NULL|0|\&)"), "::time()"),
+    (re.compile(r"(?<![\w.:])gettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"(?<![\w.:])clock\s*\(\s*\)"), "clock()"),
+]
+
+RANDOMNESS_PATTERNS = [
+    (re.compile(r"(?<![\w.:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"std::random_device"), "std::random_device"),
+]
+
+ALLOW_RE = re.compile(r"//\s*remos-lint:\s*allow\(([a-z-]+)\)")
+
+# Heuristic marker that an == / != operand is floating-point: a float
+# literal, or an identifier conventionally holding a double in this repo.
+FLOAT_HINT = re.compile(
+    r"(\d\.\d|\d+e[+-]?\d+|_bps\b|_s\b|\bbps\b|latency\b|capacity\b|staleness\b|"
+    r"demand\b|rate\b|util\w*\b|cost_s\b|infinity\(\))"
+)
+CMP_RE = re.compile(r"([^=!<>&|?:;,]{1,60}?)\s(==|!=)\s([^=&|?:;,]{1,60})")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure
+    (and preserving the lint's own allow() markers)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            comment = text[i:j]
+            m = ALLOW_RE.search(comment)
+            out.append(m.group(0) if m else "")
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + quote)
+            i = min(j + 1, n)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.findings = []
+
+    def report(self, rule: str, path: Path, lineno: int, message: str, line: str):
+        if ALLOW_RE.search(line) and ALLOW_RE.search(line).group(1) == rule:
+            return
+        rel = path.relative_to(self.root)
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    def lint_file(self, path: Path):
+        rel = str(path.relative_to(self.root)).replace("\\", "/")
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        text = strip_comments_and_strings(raw)
+        lines = text.splitlines()
+
+        in_src = rel.startswith("src/")
+        in_bench = rel.startswith("bench/")
+        wallclock_banned = in_src or (in_bench and rel not in WALLCLOCK_ALLOWLIST)
+
+        for lineno, line in enumerate(lines, start=1):
+            if wallclock_banned:
+                for pat, what in WALLCLOCK_PATTERNS:
+                    if pat.search(line):
+                        self.report("wallclock", path, lineno,
+                                    f"{what} breaks simulation determinism; "
+                                    "use sim::Engine::now()", line)
+            if in_src:
+                for pat, what in RANDOMNESS_PATTERNS:
+                    if pat.search(line):
+                        self.report("randomness", path, lineno,
+                                    f"{what} is unseedable; use sim::Rng", line)
+            if rel.startswith(("src/net/", "src/core/")):
+                for m in CMP_RE.finditer(line):
+                    lhs, op, rhs = m.group(1), m.group(2), m.group(3)
+                    if FLOAT_HINT.search(lhs) or FLOAT_HINT.search(rhs):
+                        self.report("float-eq", path, lineno,
+                                    f"floating-point `{op}` comparison; use a "
+                                    "tolerance or <=/>= form", line)
+
+        # Include hygiene runs on the raw text: the stripper blanks string
+        # literals, which would hide the include path itself.
+        raw_lines = raw.splitlines()
+        if path.suffix == ".hpp":
+            if "#pragma once" not in (s.strip() for s in raw_lines):
+                self.report("include", path, 1, "header lacks #pragma once", "")
+        for lineno, line in enumerate(raw_lines, start=1):
+            m = re.search(r'#include\s+"(\.\.?/[^"]*)"', line)
+            if m:
+                self.report("include", path, lineno,
+                            f'relative include "{m.group(1)}"; include paths are '
+                            "rooted at src/", line)
+
+    def lint_protocol(self):
+        path = self.root / PROTOCOL_FILE
+        if not path.exists():
+            self.findings.append(f"{PROTOCOL_FILE}: [protocol] file missing but its "
+                                 "wire format is frozen")
+            return
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        # Keywords appear as the leading token of emitted/parsed lines:
+        # "QUERY ", starts_with("NODE ") etc. Collect every ALL-CAPS token
+        # that starts a string literal.
+        found = set()
+        for m in re.finditer(r'"([A-Z][A-Z0-9_]*)[ \\"]', raw):
+            found.add(m.group(1))
+        unknown = found - PROTOCOL_KEYWORDS
+        missing = PROTOCOL_KEYWORDS - found
+        if unknown:
+            self.findings.append(
+                f"{PROTOCOL_FILE}: [protocol] new wire keyword(s) {sorted(unknown)} — "
+                "the ASCII protocol surface is frozen")
+        if missing:
+            self.findings.append(
+                f"{PROTOCOL_FILE}: [protocol] frozen keyword(s) {sorted(missing)} "
+                "disappeared from the protocol implementation")
+
+    def run(self) -> int:
+        targets = []
+        for sub in ("src", "bench"):
+            targets.extend(sorted((self.root / sub).rglob("*.cpp")))
+            targets.extend(sorted((self.root / sub).rglob("*.hpp")))
+        for path in targets:
+            self.lint_file(path)
+        self.lint_protocol()
+        for f in self.findings:
+            print(f)
+        print(f"remos_lint: {len(self.findings)} finding(s) in {len(targets)} file(s)")
+        return 1 if self.findings else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent,
+                    help="repository root (default: parent of tools/)")
+    args = ap.parse_args()
+    sys.exit(Linter(args.root.resolve()).run())
+
+
+if __name__ == "__main__":
+    main()
