@@ -37,7 +37,8 @@ Point run(double period_s, std::uint64_t probe_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   bench::header("Ablation — benchmark probing intrusiveness",
                 "2 Mb/s WAN path shared by an application flow for 10 minutes");
 

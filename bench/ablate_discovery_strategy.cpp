@@ -27,7 +27,8 @@ double cold_query_cost(std::size_t hosts, bool pairwise) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   bench::header("Ablation — pairwise O(N^2) vs optimized star discovery",
                 "cold SNMP-collector query cost, bridge database pre-warmed");
   bench::row("%8s %14s %14s %12s", "nodes", "pairwise", "star", "ratio");

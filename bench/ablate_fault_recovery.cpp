@@ -100,7 +100,8 @@ void run(const char* label, double quarantine_s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   bench::header("Ablation — agent-failure recovery: quarantine vs blacklist",
                 "fault tolerance (par. 6.2): query cost/staleness/accuracy across an outage");
   run("quarantine 15 s", 15.0);

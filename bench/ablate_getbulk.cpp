@@ -42,7 +42,8 @@ Point run(std::size_t hosts, bool use_bulk) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   bench::header("Ablation — GetBulk vs GETNEXT walks",
                 "cold-cache 'query all hosts' cost on a bridged LAN");
   bench::row("%8s %16s %16s %14s %14s %10s", "hosts", "getnext cost", "bulk cost",

@@ -9,7 +9,8 @@
 
 using namespace remos;
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   bench::header("Ablation — parallel vs serial SNMP monitoring",
                 "one monitoring pass over all discovered interfaces (simulated seconds)");
   bench::row("%10s %10s %14s %14s %10s", "hosts", "devices", "serial", "parallel", "speedup");

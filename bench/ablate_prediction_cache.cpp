@@ -14,7 +14,8 @@
 
 using namespace remos;
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   bench::header("Ablation — caching/sharing of prediction results",
                 "N consumers of one resource within a 30 s window, AR(16) on 600 samples");
 

@@ -13,7 +13,8 @@
 
 using namespace remos;
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   bench::header("Ablation — client-server vs streaming prediction cost",
                 "AR(16) on host load, 600-sample fit, 30-step horizon (real CPU)");
 

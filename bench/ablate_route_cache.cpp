@@ -8,7 +8,8 @@
 
 using namespace remos;
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   bench::header("Ablation — route/path cache on vs off",
                 "repeated 'query all hosts' cost (simulated seconds)");
   bench::row("%8s %14s %14s %12s", "nodes", "cache on", "cache off", "speedup");

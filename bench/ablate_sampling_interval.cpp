@@ -8,7 +8,8 @@
 
 using namespace remos;
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   bench::header("Ablation — sampling interval: accuracy vs router strain",
                 "two-router testbed, same Netperf burst schedule per interval");
   bench::row("%12s %18s %14s %18s", "interval", "mean |err| (Mb/s)", "correlation",

@@ -64,7 +64,8 @@ void compare_on(const char* label, const std::vector<double>& series) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   bench::header("Baseline — RPS refit-on-error vs NWS multi-expert switching",
                 "one-step MSE + real CPU per prediction, 3000-sample fit / 1000-sample test");
   bench::row("%-18s %14s %14s %14s", "signal", "RPS AR(16)", "NWS panel", "LAST");

@@ -1,5 +1,8 @@
 // Shared helpers for the figure-reproduction benches: aligned table
-// printing and wall-clock timing.
+// printing, wall-clock timing, and the common command-line surface
+// (--metrics-out, --table-out) so every bench gains observability export
+// without per-bench argument plumbing.
+// remos-lint: allow-file(wallclock)
 #pragma once
 
 #include <chrono>
@@ -8,21 +11,34 @@
 #include <string>
 #include <vector>
 
+#include "core/obs.hpp"
+
 namespace remos::bench {
 
+namespace detail {
+/// Optional tee target for header()/row() output (see BenchMain --table-out).
+inline std::FILE*& table_file() {
+  static std::FILE* f = nullptr;
+  return f;
+}
+}  // namespace detail
+
 inline void header(const std::string& title, const std::string& paper_ref) {
-  std::printf("\n================================================================\n");
-  std::printf("%s\n", title.c_str());
-  std::printf("reproduces: %s\n", paper_ref.c_str());
-  std::printf("================================================================\n");
+  const char* bar = "================================================================";
+  std::printf("\n%s\n%s\nreproduces: %s\n%s\n", bar, title.c_str(), paper_ref.c_str(), bar);
+  if (std::FILE* f = detail::table_file()) {
+    std::fprintf(f, "\n%s\n%s\nreproduces: %s\n%s\n", bar, title.c_str(), paper_ref.c_str(), bar);
+  }
 }
 
 inline void row(const char* fmt, ...) {
+  char buf[1024];
   va_list args;
   va_start(args, fmt);
-  std::vprintf(fmt, args);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
   va_end(args);
-  std::printf("\n");
+  std::printf("%s\n", buf);
+  if (std::FILE* f = detail::table_file()) std::fprintf(f, "%s\n", buf);
 }
 
 /// Wall-clock seconds consumed by `fn()`.
@@ -49,5 +65,64 @@ double time_per_iteration(F&& fn, double min_total_s = 0.05, int min_reps = 3) {
     reps *= 4;
   }
 }
+
+/// Common bench entry point, declared first in every main():
+///
+///   int main(int argc, char** argv) {
+///     remos::bench::BenchMain bench(argc, argv);
+///     ...
+///   }
+///
+/// Flags (unknown arguments are ignored so google-benchmark flags pass
+/// through):
+///   --metrics-out <path>  write the observability export on exit
+///                         (.prom -> Prometheus text, else JSON)
+///   --table-out <path>    tee header()/row() table output to a file
+///
+/// On destruction (i.e. after the bench body ran) the export is written, so
+/// a figure run leaves its metric trail next to its table.
+class BenchMain {
+ public:
+  /// Consumed flags are removed from argc/argv so whatever remains can be
+  /// handed to another parser (benchmark::Initialize in the
+  /// google-benchmark benches).
+  BenchMain(int& argc, char** argv) {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--metrics-out" && i + 1 < argc) {
+        metrics_path_ = argv[++i];
+      } else if (arg == "--table-out" && i + 1 < argc) {
+        detail::table_file() = std::fopen(argv[++i], "w");
+        if (detail::table_file() == nullptr) {
+          std::fprintf(stderr, "bench: cannot open --table-out %s\n", argv[i]);
+        }
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+  }
+
+  BenchMain(const BenchMain&) = delete;
+  BenchMain& operator=(const BenchMain&) = delete;
+
+  ~BenchMain() {
+    if (!metrics_path_.empty()) {
+      if (core::obs::write_export_file(metrics_path_)) {
+        std::printf("metrics: %s\n", metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "bench: cannot write --metrics-out %s\n", metrics_path_.c_str());
+      }
+    }
+    if (std::FILE* f = detail::table_file()) {
+      std::fclose(f);
+      detail::table_file() = nullptr;
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+};
 
 }  // namespace remos::bench

@@ -52,7 +52,8 @@ Scenario run_point(std::size_t n_nodes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   bench::header("Fig 3 — LAN collector response time vs query size",
                 "SNMP Collector on a large bridged campus LAN, 4 cache states");
 

@@ -7,7 +7,8 @@
 // and prints both series plus agreement metrics.
 #include "bench/accuracy_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   remos::bench::run_accuracy_experiment(/*interval_s=*/2.0, "Fig 4", 42);
   return 0;
 }

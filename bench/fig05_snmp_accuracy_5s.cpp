@@ -3,7 +3,8 @@
 // bursts more loosely but still matches well on average.
 #include "bench/accuracy_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   remos::bench::run_accuracy_experiment(/*interval_s=*/5.0, "Fig 5", 42);
   return 0;
 }

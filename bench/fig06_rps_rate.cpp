@@ -13,7 +13,8 @@
 
 using namespace remos;
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   bench::header("Fig 6 — CPU usage of RPS host-load prediction vs measurement rate",
                 "streaming AR(16), 30-step horizon; fraction of one core consumed");
 

@@ -7,6 +7,7 @@
 // per model.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.hpp"
 #include "net/hostload.hpp"
 #include "rps/models.hpp"
 
@@ -71,4 +72,13 @@ REMOS_MODEL_BENCH(FARIMA, "FARIMA(1,0.4,1)");
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom entry point instead of BENCHMARK_MAIN(): BenchMain adds the shared
+// --metrics-out/--table-out flags (stripping them before google-benchmark
+// sees the argument list).
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,7 +5,8 @@
 // picked the actually-fastest site 83% of the time.
 #include "bench/mirror_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   remos::bench::run_mirror_experiment(
       "Fig 8", "well-connected sites (paper: 83% correct over 108 trials)",
       {

@@ -7,7 +7,8 @@
 // is slow.
 #include "bench/mirror_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   remos::bench::run_mirror_experiment(
       "Fig 9", "poorly-connected sites (paper: 82% correct over 72 trials)",
       {

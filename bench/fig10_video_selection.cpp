@@ -17,7 +17,8 @@
 
 using namespace remos;
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   apps::WanTestbed::Params params;
   params.seed = 10;
   params.probe_all_pairs = false;

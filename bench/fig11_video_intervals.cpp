@@ -32,7 +32,8 @@ void print_windows(const char* label, const apps::StreamResult& r, double remos_
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
   apps::WanTestbed::Params params;
   params.seed = 11;
   params.probe_all_pairs = false;

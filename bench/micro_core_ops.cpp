@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/testbed.hpp"
+#include "bench/bench_util.hpp"
 #include "core/maxmin.hpp"
 #include "core/protocol.hpp"
 #include "snmp/client.hpp"
@@ -107,4 +108,13 @@ BENCHMARK(BM_XmlEncodeDecode);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom entry point instead of BENCHMARK_MAIN(): BenchMain adds the shared
+// --metrics-out/--table-out flags (stripping them before google-benchmark
+// sees the argument list).
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,8 +11,12 @@
 #   2. sanitize preset — ASan + UBSan, full ctest
 #   3. tsan preset     — ThreadSanitizer on the threaded test binaries
 #                        (ThreadPool, shared prediction cache, MIB walks)
-#   4. remos_lint      — project lint, run standalone for a readable report
-#   5. clang-tidy      — `lint` build target (skips itself when clang-tidy
+#   4. golden runs     — every golden scenario twice (fresh process each),
+#                        exports diffed byte-for-byte; then once under the
+#                        tsan preset, diffed against the default-preset run
+#                        (determinism must survive both schedulers)
+#   5. remos_lint      — project lint, run standalone for a readable report
+#   6. clang-tidy      — `lint` build target (skips itself when clang-tidy
 #                        is not installed; see .clang-tidy for the profile)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -43,6 +47,23 @@ cmake --preset tsan >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_concurrency test_sim_thread_pool test_rps_shared_cache
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'Concurrency|ThreadPool|SharedPredictionCache'
+
+step "golden-run determinism: two fresh processes, byte-identical exports"
+GOLDEN_TMP="$(mktemp -d)"
+trap 'rm -rf "$GOLDEN_TMP"' EXIT
+mkdir -p "$GOLDEN_TMP/run1" "$GOLDEN_TMP/run2" "$GOLDEN_TMP/tsan"
+REMOS_OBS_EXPORT_DIR="$GOLDEN_TMP/run1" ./build/tests/test_observability \
+  --gtest_filter='GoldenRun.*' >/dev/null
+REMOS_OBS_EXPORT_DIR="$GOLDEN_TMP/run2" ./build/tests/test_observability \
+  --gtest_filter='GoldenRun.*' >/dev/null
+diff -r "$GOLDEN_TMP/run1" "$GOLDEN_TMP/run2"
+echo "same-build reruns identical"
+
+cmake --build build-tsan -j "$JOBS" --target test_observability
+REMOS_OBS_EXPORT_DIR="$GOLDEN_TMP/tsan" ./build-tsan/tests/test_observability \
+  --gtest_filter='GoldenRun.*' >/dev/null
+diff -r "$GOLDEN_TMP/run1" "$GOLDEN_TMP/tsan"
+echo "tsan-build exports identical to default-build exports"
 
 step "remos_lint"
 python3 tools/remos_lint.py --root .

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <set>
 
+#include "core/obs.hpp"
 #include "snmp/oids.hpp"
 
 namespace remos::core {
@@ -53,6 +54,9 @@ double BridgeCollector::walk_switch(SwitchData& data) {
 }
 
 double BridgeCollector::startup() {
+  auto sp = obs::span("bridge_collector.startup");
+  sp.attr("switches", config_.switches.size());
+  sim::metrics().counter("core.bridge_collector.startups_total").inc();
   const double before = client_.consumed_s();
   switches_.clear();
   entities_.clear();

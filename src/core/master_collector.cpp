@@ -1,6 +1,7 @@
 #include "core/master_collector.hpp"
 
 #include "core/audit.hpp"
+#include "core/obs.hpp"
 
 #include <algorithm>
 #include <map>
@@ -30,6 +31,9 @@ const MasterCollector::Site* MasterCollector::site_of(net::Ipv4Address addr) con
 }
 
 CollectorResponse MasterCollector::query(const std::vector<net::Ipv4Address>& nodes) {
+  auto sp = obs::span("master_collector.query");
+  sp.attr("nodes", nodes.size());
+  sim::metrics().counter("core.master_collector.queries_total").inc();
   CollectorResponse resp;
   resp.cost_s = config_.merge_overhead_s;
 
@@ -58,6 +62,9 @@ CollectorResponse MasterCollector::query(const std::vector<net::Ipv4Address>& no
 
   // Multi-site: each site answers for its own hosts *plus its border*, so
   // the merged graph can be stitched with WAN edges between borders.
+  sp.attr("sites", groups.size());
+  sim::metrics().counter("core.master_collector.merges_total").inc();
+  sim::metrics().counter("core.master_collector.site_queries_total").inc(groups.size());
   double max_site_cost = 0.0, sum_site_cost = 0.0;
   for (auto& [site, members] : groups) {
     std::vector<net::Ipv4Address> sub_nodes = members;

@@ -1,6 +1,7 @@
 #include "core/maxmin.hpp"
 
 #include "core/audit.hpp"
+#include "core/obs.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -85,7 +86,11 @@ MaxMinResult max_min_allocate(const VirtualTopology& topo,
       frozen[i] = true;
     }
   }
+  std::uint64_t iterations = 0;
+  std::uint64_t demand_frozen = 0;
+  std::uint64_t saturation_frozen = 0;
   while (remaining > 0) {
+    ++iterations;
     double level = kInf;
     for (const auto& [key, cap] : capacity) {
       const auto n = unfrozen_count[key];
@@ -103,6 +108,7 @@ MaxMinResult max_min_allocate(const VirtualTopology& topo,
       if (frozen[i]) continue;
       if (routed[i].demand <= level + 1e-9) {
         freeze.push_back(i);
+        ++demand_frozen;
         continue;
       }
       for (std::size_t key : routed[i].resources) {
@@ -110,6 +116,7 @@ MaxMinResult max_min_allocate(const VirtualTopology& topo,
             (capacity[key] - frozen_usage[key]) / static_cast<double>(unfrozen_count[key]);
         if (sat <= level + 1e-9) {
           freeze.push_back(i);
+          ++saturation_frozen;
           break;
         }
       }
@@ -134,6 +141,10 @@ MaxMinResult max_min_allocate(const VirtualTopology& topo,
     info.latency_s = routed[i].latency_s;
     info.path_edge_ids = routed[i].edge_ids;
   }
+  sim::metrics().counter("core.maxmin.solves_total").inc();
+  sim::metrics().counter("core.maxmin.iterations_total").inc(iterations);
+  sim::metrics().counter("core.maxmin.demand_frozen_total").inc(demand_frozen);
+  sim::metrics().counter("core.maxmin.saturation_frozen_total").inc(saturation_frozen);
   // Every allocation leaves through this audit: feasibility (no directed
   // edge overcommitted) and max-min optimality (unsatisfied flows are
   // bottlenecked) are checked before any caller sees the answer.

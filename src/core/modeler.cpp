@@ -1,6 +1,7 @@
 #include "core/modeler.hpp"
 
 #include "core/audit.hpp"
+#include "core/obs.hpp"
 
 #include <algorithm>
 #include <limits>
@@ -13,6 +14,8 @@ Modeler::Modeler(Collector& collector, ModelerConfig config)
     : collector_(collector), config_(std::move(config)), predictor_(config_.prediction_model) {}
 
 VirtualTopology Modeler::fetch(const std::vector<net::Ipv4Address>& nodes) {
+  auto sp = obs::span("modeler.fetch");
+  sp.attr("nodes", nodes.size());
   // Deduplicate while preserving order (collectors key caches on pairs).
   std::vector<net::Ipv4Address> unique;
   for (net::Ipv4Address a : nodes) {
@@ -22,6 +25,10 @@ VirtualTopology Modeler::fetch(const std::vector<net::Ipv4Address>& nodes) {
   last_cost_s_ = resp.cost_s;
   last_complete_ = resp.complete;
   last_staleness_s_ = resp.max_staleness_s;
+  sim::metrics().counter("core.modeler.queries_total").inc();
+  // Virtual response time of the underlying collector query — the quantity
+  // Fig 3/Fig 5 measure per scenario, pinned here as a distribution.
+  sim::metrics().histogram("core.modeler.query_latency_s").observe(resp.cost_s);
   return std::move(resp.topology);
 }
 

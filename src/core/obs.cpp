@@ -1,0 +1,282 @@
+// remos-lint: allow-file(wallclock) — the exporter's *optional* real-time
+// annotation (ExportOptions::annotate_realtime, off by default) is the one
+// sanctioned wall-clock read in src/; everything on the data path is
+// virtual-time only.
+#include "core/obs.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+
+namespace remos::core::obs {
+
+namespace {
+
+/// Seconds since the Unix epoch from the real clock — only reachable
+/// through annotate_realtime (see file header).
+double realtime_unix_s() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// JSON number token for `v`; non-finite values have no JSON number form,
+/// so they are emitted as quoted strings ("inf", "-inf", "nan").
+std::string json_number(double v) {
+  const std::string s = format_double(v);
+  if (s == "inf" || s == "-inf" || s == "nan") return "\"" + s + "\"";
+  return s;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "remos_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+// --- Tracer ----------------------------------------------------------------
+
+SpanRecord* Tracer::active_by_id(std::uint64_t id) {
+  for (auto it = active_.rbegin(); it != active_.rend(); ++it) {
+    if (it->id == id) return &*it;
+  }
+  return nullptr;
+}
+
+Tracer::Scope Tracer::span(std::string name) {
+  if constexpr (!sim::kObsEnabled) {
+    (void)name;
+    return Scope(nullptr, 0);
+  }
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.parent = active_.empty() ? 0 : active_.back().id;
+  rec.name = std::move(name);
+  rec.start_s = sim::obs_now();
+  active_.push_back(std::move(rec));
+  return Scope(this, active_.back().id);
+}
+
+void Tracer::finish(std::uint64_t id) {
+  // RAII scopes close LIFO, but an early end() between nested scopes is
+  // tolerated: everything opened after `id` is force-closed with it.
+  while (!active_.empty()) {
+    SpanRecord rec = std::move(active_.back());
+    active_.pop_back();
+    const bool target = rec.id == id;
+    rec.end_s = sim::obs_now();
+    if (finished_.size() < capacity_) {
+      finished_.push_back(std::move(rec));
+    } else {
+      ++dropped_;
+    }
+    if (target) return;
+  }
+}
+
+void Tracer::reset() {
+  active_.clear();
+  finished_.clear();
+  next_id_ = 1;
+  dropped_ = 0;
+}
+
+void Tracer::Scope::attr(const std::string& key, std::string value) {
+  if (tracer_ == nullptr) return;
+  if (SpanRecord* rec = tracer_->active_by_id(id_)) {
+    rec->attrs.emplace_back(key, std::move(value));
+  }
+}
+
+void Tracer::Scope::attr(const std::string& key, double v) { attr(key, format_double(v)); }
+
+void Tracer::Scope::attr(const std::string& key, bool v) {
+  attr(key, std::string(v ? "true" : "false"));
+}
+
+void Tracer::Scope::end() {
+  if (tracer_ == nullptr) return;
+  tracer_->finish(id_);
+  tracer_ = nullptr;
+}
+
+Tracer& tracer() {
+  static Tracer g_tracer;
+  return g_tracer;
+}
+
+Tracer::Scope span(std::string name) { return tracer().span(std::move(name)); }
+
+// --- exporters -------------------------------------------------------------
+
+std::string export_json(const ExportOptions& opts) {
+  const auto counters = sim::metrics().counters_snapshot();
+  const auto gauges = sim::metrics().gauges_snapshot();
+  const auto histograms = sim::metrics().histograms_snapshot();
+
+  std::string out;
+  out += "{\n  \"format\": \"remos-obs-v1\"";
+  if (opts.annotate_realtime) {
+    // Non-reproducible by construction; never on for golden runs.
+    out += ",\n  \"exported_at_unix_s\": " + json_number(realtime_unix_s());
+  }
+  out += ",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape_into(out, name);
+    out += "\": " + std::to_string(value);
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape_into(out, name);
+    out += "\": " + json_number(value);
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, snap] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape_into(out, name);
+    out += "\": {\"le\": [";
+    for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += json_number(snap.bounds[i]);
+    }
+    out += "], \"buckets\": [";
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(snap.buckets[i]);
+    }
+    out += "], \"sum\": " + json_number(snap.sum);
+    out += ", \"count\": " + std::to_string(snap.count) + "}";
+  }
+  out += first ? "}" : "\n  }";
+
+  if (opts.include_spans) {
+    const Tracer& t = tracer();
+    out += ",\n  \"spans\": {\n    \"dropped\": " + std::to_string(t.dropped());
+    out += ",\n    \"records\": [";
+    first = true;
+    for (const SpanRecord& rec : t.finished()) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "      {\"id\": " + std::to_string(rec.id);
+      out += ", \"parent\": " + std::to_string(rec.parent);
+      out += ", \"name\": \"";
+      json_escape_into(out, rec.name);
+      out += "\", \"start\": " + json_number(rec.start_s);
+      out += ", \"end\": " + json_number(rec.end_s);
+      out += ", \"attrs\": {";
+      bool afirst = true;
+      for (const auto& [k, v] : rec.attrs) {
+        if (!afirst) out += ", ";
+        afirst = false;
+        out += "\"";
+        json_escape_into(out, k);
+        out += "\": \"";
+        json_escape_into(out, v);
+        out += "\"";
+      }
+      out += "}}";
+    }
+    out += first ? "]" : "\n    ]";
+    out += "\n  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string export_prometheus(const ExportOptions& opts) {
+  std::string out;
+  if (opts.annotate_realtime) {
+    out += "# exported_at_unix_s " + format_double(realtime_unix_s()) + "\n";
+  }
+  for (const auto& [name, value] : sim::metrics().counters_snapshot()) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : sim::metrics().gauges_snapshot()) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + format_double(value) + "\n";
+  }
+  for (const auto& [name, snap] : sim::metrics().histograms_snapshot()) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+      cumulative += snap.buckets[i];
+      out += pname + "_bucket{le=\"" + format_double(snap.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) + "\n";
+    out += pname + "_sum " + format_double(snap.sum) + "\n";
+    out += pname + "_count " + std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+bool write_export_file(const std::string& path, const ExportOptions& opts) {
+  const bool prom = path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  const std::string body = prom ? export_prometheus(opts) : export_json(opts);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == body.size();
+  return ok;
+}
+
+void reset() {
+  sim::metrics().zero_all();
+  tracer().reset();
+}
+
+void clear_all() {
+  sim::metrics().clear();
+  tracer().reset();
+}
+
+}  // namespace remos::core::obs

@@ -1,0 +1,139 @@
+// Observability layer: span tracer + export formats over sim/metrics.hpp.
+//
+// Spans are RAII scopes timestamped exclusively by the simulation's virtual
+// clock (sim::obs_now(), bound by the live Engine). Because virtual time is
+// deterministic, a scenario's full export — metric values AND span
+// timeline — is byte-for-byte reproducible, which tests/golden/ pins as a
+// regression surface: an extra SNMP round trip, a lost cache hit, or a
+// changed solver iteration count shows up as a golden diff, not a silent
+// perf regression.
+//
+// Naming scheme (see DESIGN.md "Observability"):
+//   <layer>.<component>.<what>[_total|_s]
+//   e.g. snmp.client.requests_total, core.snmp_collector.path_cache_hits_total,
+//        core.modeler.query_latency_s (histogram, virtual seconds)
+// Span names are <component>.<operation>, e.g. snmp_collector.query.
+//
+// The tracer is single-threaded by design (the discrete-event sim thread);
+// metrics are thread-safe atomics (see sim/metrics.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace remos::core::obs {
+
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  std::string name;
+  double start_s = 0.0;  // virtual seconds
+  double end_s = 0.0;
+  /// Insertion-ordered key/value annotations (counts, costs, flags).
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+class Tracer {
+ public:
+  /// RAII span handle: finishes the span (stamping end_s) on destruction.
+  class Scope {
+   public:
+    Scope(Scope&& other) noexcept : tracer_(other.tracer_), id_(other.id_) {
+      other.tracer_ = nullptr;
+    }
+    Scope& operator=(Scope&&) = delete;
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { end(); }
+
+    void attr(const std::string& key, std::string value);
+    void attr(const std::string& key, const char* value) { attr(key, std::string(value)); }
+    template <class T,
+              std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>, int> = 0>
+    void attr(const std::string& key, T v) {
+      attr(key, std::to_string(v));
+    }
+    void attr(const std::string& key, double v);
+    void attr(const std::string& key, bool v);
+    /// Finish early (idempotent; destruction becomes a no-op).
+    void end();
+
+   private:
+    friend class Tracer;
+    Scope(Tracer* tracer, std::uint64_t id) : tracer_(tracer), id_(id) {}
+    Tracer* tracer_;  // nullptr: moved-from or observability compiled out
+    std::uint64_t id_;
+  };
+
+  /// Open a span; the currently active span (if any) becomes its parent.
+  [[nodiscard]] Scope span(std::string name);
+
+  [[nodiscard]] const std::vector<SpanRecord>& finished() const { return finished_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Retention cap: once `finished` holds this many records, completed
+  /// spans are counted in `dropped` instead of stored (long benches).
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+
+  void reset();
+
+ private:
+  SpanRecord* active_by_id(std::uint64_t id);
+  void finish(std::uint64_t id);
+
+  std::vector<SpanRecord> active_;  // open-span stack (LIFO via RAII)
+  std::vector<SpanRecord> finished_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::size_t capacity_ = 65536;
+};
+
+/// The process-global tracer every component reports into.
+Tracer& tracer();
+
+/// Convenience: open a span on the global tracer (no-op scope when
+/// observability is compiled out).
+[[nodiscard]] Tracer::Scope span(std::string name);
+
+// --- exporters -------------------------------------------------------------
+
+struct ExportOptions {
+  bool include_spans = true;
+  /// Stamp the export with the real wall-clock time. OFF by default and it
+  /// must stay that way for every golden/regression path: turning it on
+  /// makes the export non-reproducible by design (ops deployments only).
+  bool annotate_realtime = false;
+};
+
+/// Canonical JSON export of the global registry (+ span timeline).
+/// Deterministic: name-sorted metrics, shortest-round-trip doubles.
+[[nodiscard]] std::string export_json(const ExportOptions& opts = {});
+
+/// Prometheus text exposition of the global registry (metrics only; the
+/// span timeline has no Prometheus form). Names are sanitized to
+/// `remos_<name with [._-] -> _>`.
+[[nodiscard]] std::string export_prometheus(const ExportOptions& opts = {});
+
+/// Write export_json (or export_prometheus when `path` ends in ".prom")
+/// to `path`. Returns false on I/O failure.
+bool write_export_file(const std::string& path, const ExportOptions& opts = {});
+
+/// Zero metric values and clear the span timeline, keeping metric
+/// registrations (safe while components hold handles).
+void reset();
+
+/// Also drop metric registrations — only safe when no instrumented
+/// component is alive. Golden scenarios call this first so their exports
+/// contain exactly the metrics the scenario touched.
+void clear_all();
+
+/// Canonical shortest-round-trip decimal rendering used by the exporters
+/// (exposed for tests and bench CSV helpers).
+[[nodiscard]] std::string format_double(double v);
+
+}  // namespace remos::core::obs

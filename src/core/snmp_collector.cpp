@@ -7,6 +7,7 @@
 #include <set>
 
 #include "core/audit.hpp"
+#include "core/obs.hpp"
 #include "snmp/oids.hpp"
 
 namespace remos::core {
@@ -115,6 +116,9 @@ void SnmpCollector::quarantine_agent(net::Ipv4Address agent) {
   const bool fresh = !quarantine_.contains(agent);
   quarantine_[agent] = engine_.now() + config_.quarantine_s;
   if (!fresh) return;
+  sim::metrics().counter("core.snmp_collector.quarantine_events_total").inc();
+  sim::metrics().gauge("core.snmp_collector.quarantined_agents").set(
+      static_cast<double>(quarantine_.size()));
   // Newly quarantined: cached paths that run through this agent describe a
   // topology we can no longer vouch for — flush them so the next query
   // rebuilds around (and later, through) the failed device.
@@ -134,8 +138,10 @@ double SnmpCollector::interface_speed(net::Ipv4Address agent, std::uint32_t ifin
   auto it = speed_cache_.find(key);
   const bool have_cached = it != speed_cache_.end();
   if (config_.cache_enabled && have_cached && !cache_expired(it->second.fetched_at, config_.speed_cache_ttl_s)) {
+    sim::metrics().counter("core.snmp_collector.speed_cache_hits_total").inc();
     return it->second.bps;
   }
+  sim::metrics().counter("core.snmp_collector.speed_cache_misses_total").inc();
   if (agent_quarantined(agent)) {
     // Fail fast; a stale capacity beats a timeout storm and beats zero.
     return have_cached ? it->second.bps : 0.0;
@@ -230,6 +236,9 @@ void SnmpCollector::sample_interface(const MonitorPoint& point, MonitoredIf& m) 
 
 void SnmpCollector::poll_pass() {
   if (monitored_.empty()) return;
+  auto sp = obs::span("snmp_collector.poll");
+  sp.attr("interfaces", monitored_.size());
+  sim::metrics().counter("core.snmp_collector.poll_passes_total").inc();
   if (!config_.parallel_queries) {
     for (auto& [point, m] : monitored_) sample_interface(point, m);
     return;
@@ -265,6 +274,10 @@ std::optional<SnmpCollector::RouteEntry> SnmpCollector::route_lookup(net::Ipv4Ad
   auto it = route_tables_.find(router);
   const bool fresh = it != route_tables_.end() && config_.cache_enabled &&
                      !cache_expired(it->second.fetched_at, config_.route_table_ttl_s);
+  sim::metrics()
+      .counter(fresh ? "core.snmp_collector.route_table_hits_total"
+                     : "core.snmp_collector.route_table_misses_total")
+      .inc();
   if (!fresh) {
     // Walk the agent's ipRouteTable columns and join rows by index.
     snmp::Status status = snmp::Status::kOk;
@@ -426,11 +439,13 @@ std::vector<std::string> SnmpCollector::discover_pair(net::Ipv4Address src, net:
     auto it = path_cache_.find(key);
     if (it != path_cache_.end()) {
       if (!cache_expired(it->second.built_at, config_.path_cache_ttl_s)) {
+        sim::metrics().counter("core.snmp_collector.path_cache_hits_total").inc();
         return it->second.edge_ids;
       }
       path_cache_.erase(it);
     }
   }
+  sim::metrics().counter("core.snmp_collector.path_cache_misses_total").inc();
   // Track whether this discovery had to degrade (quarantined device, dark
   // router, failed speed read). Degraded paths are served but never
   // cached, so recovery is picked up on the next query instead of TTL.
@@ -520,6 +535,9 @@ std::vector<std::string> SnmpCollector::discover_pair(net::Ipv4Address src, net:
 // ---------------------------------------------------------------------------
 
 CollectorResponse SnmpCollector::query(const std::vector<net::Ipv4Address>& nodes) {
+  auto sp = obs::span("snmp_collector.query");
+  sp.attr("nodes", nodes.size());
+  sim::metrics().counter("core.snmp_collector.queries_total").inc();
   CollectorResponse resp;
   const double before = client_.consumed_s();
 
@@ -619,6 +637,10 @@ CollectorResponse SnmpCollector::query(const std::vector<net::Ipv4Address>& node
 
   resp.cost_s = client_.consumed_s() - before;
   resp.complete = complete;
+  sp.attr("edges", unique_ids.size());
+  sp.attr("cost_s", resp.cost_s);
+  sp.attr("complete", resp.complete);
+  sim::metrics().histogram("core.snmp_collector.query_cost_s").observe(resp.cost_s);
   // Boundary audit: the response graph must be well-formed, its staleness
   // annotations consistent with virtual time, and no internal cache may
   // hold a timestamp from the future.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/metrics.hpp"
+
 namespace remos::rps {
 
 SharedPredictionCache::SharedPredictionCache(double ttl_s, std::function<double()> now)
@@ -23,9 +25,11 @@ Prediction SharedPredictionCache::get_or_compute(
   auto it = entries_.find(key);
   if (it != entries_.end() && now_() - it->second.computed_at <= ttl_s_) {
     ++hits_;
+    sim::metrics().counter("rps.prediction_cache.hits_total").inc();
     return it->second.prediction;
   }
   ++misses_;
+  sim::metrics().counter("rps.prediction_cache.misses_total").inc();
   // compute() runs under the lock: concurrent callers of the same cold key
   // then fit the model once instead of racing to fit it N times (the whole
   // point of sharing). Cost: unrelated keys briefly serialize behind a fit.

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include "core/audit.hpp"
+#include "sim/metrics.hpp"
 
 #include <memory>
 #include <stdexcept>
@@ -12,6 +13,15 @@ struct Engine::PeriodicTask {
   Duration period;
   std::function<void()> fn;
 };
+
+// The first live engine becomes the observability layer's time source, so
+// spans and health timestamps are virtual-time by construction (bind is a
+// no-op while another engine holds the binding).
+Engine::Engine() {
+  bind_obs_clock(this, [this] { return now_; });
+}
+
+Engine::~Engine() { unbind_obs_clock(this); }
 
 EventId Engine::after(Duration delay, std::function<void()> fn) {
   if (delay < 0) delay = 0;

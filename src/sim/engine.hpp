@@ -18,7 +18,10 @@ using TaskId = std::uint64_t;
 
 class Engine {
  public:
-  Engine() = default;
+  /// Binds this engine's clock as the observability layer's time source
+  /// (first live engine wins; see sim/metrics.hpp).
+  Engine();
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 

@@ -1,0 +1,101 @@
+#include "sim/metrics.hpp"
+
+namespace remos::sim {
+
+const std::vector<double>& default_latency_buckets() {
+  static const std::vector<double> kBuckets{0.0005, 0.001, 0.0025, 0.005, 0.01,  0.025,
+                                            0.05,   0.1,   0.25,   0.5,   1.0,   2.5,
+                                            5.0,    10.0,  30.0,   60.0};
+  return kBuckets;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return gauges_[name];
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, const std::vector<double>& bounds) {
+  std::lock_guard lock(mu_);
+  return histograms_.try_emplace(name, bounds).first->second;
+}
+
+void MetricsRegistry::zero_all() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c.zero();
+  for (auto& [name, g] : gauges_) g.zero();
+  for (auto& [name, h] : histograms_) h.zero();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counters_snapshot() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c.value());
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::gauges_snapshot() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : gauges_) out.emplace(name, g.value());
+  return out;
+}
+
+std::map<std::string, MetricsRegistry::HistogramSnapshot> MetricsRegistry::histograms_snapshot()
+    const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.bounds = h.bounds();
+    snap.buckets.reserve(snap.bounds.size() + 1);
+    for (std::size_t i = 0; i <= snap.bounds.size(); ++i) snap.buckets.push_back(h.bucket(i));
+    snap.sum = h.sum();
+    snap.count = h.count();
+    out.emplace(name, std::move(snap));
+  }
+  return out;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry g_registry;
+  return g_registry;
+}
+
+namespace {
+std::mutex g_clock_mu;
+const void* g_clock_owner = nullptr;
+std::function<double()> g_clock;
+}  // namespace
+
+void bind_obs_clock(const void* owner, std::function<double()> clock) {
+  std::lock_guard lock(g_clock_mu);
+  if (g_clock_owner != nullptr) return;  // first engine wins
+  g_clock_owner = owner;
+  g_clock = std::move(clock);
+}
+
+void unbind_obs_clock(const void* owner) {
+  std::lock_guard lock(g_clock_mu);
+  if (g_clock_owner != owner) return;
+  g_clock_owner = nullptr;
+  g_clock = nullptr;
+}
+
+double obs_now() {
+  std::lock_guard lock(g_clock_mu);
+  return g_clock ? g_clock() : 0.0;
+}
+
+}  // namespace remos::sim

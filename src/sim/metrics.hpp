@@ -1,0 +1,173 @@
+// Metrics primitives for the observability layer: counters, gauges, and
+// fixed-bucket histograms, collected in a process-global registry.
+//
+// Everything here is timestamp-free by design — values are pure event
+// counts and accumulations, so two runs of the same deterministic scenario
+// produce byte-identical exports (the regression surface test_observability
+// pins). The *span* tracer, which does carry timestamps, lives in
+// src/core/obs.hpp and reads the simulation's virtual clock through the
+// binding at the bottom of this header; sim::Engine binds itself on
+// construction, so wall-clock time never enters the data path.
+//
+// Instrumentation cost: hot components (e.g. snmp::SnmpClient) fetch their
+// handles once at construction — registered entries are never invalidated
+// by zero_all() — and each update is a relaxed atomic increment. Configure
+// with -DREMOS_OBS=OFF to compile every update out entirely (the
+// micro_core_ops on/off comparison in the README).
+//
+// Thread safety: updates are lock-free atomics (Master Collector worker
+// threads share the prediction cache); registration and snapshots take the
+// registry mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace remos::sim {
+
+#if defined(REMOS_OBS_ENABLED)
+inline constexpr bool kObsEnabled = true;
+#else
+inline constexpr bool kObsEnabled = false;
+#endif
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if constexpr (kObsEnabled) v_.fetch_add(n, std::memory_order_relaxed);
+    (void)n;
+  }
+  [[nodiscard]] std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void zero() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (cache sizes, quarantine population, ...).
+class Gauge {
+ public:
+  void set(double v) {
+    if constexpr (kObsEnabled) v_.store(v, std::memory_order_relaxed);
+    (void)v;
+  }
+  void add(double d) {
+    if constexpr (kObsEnabled) {
+      double cur = v_.load(std::memory_order_relaxed);
+      while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+      }
+    }
+    (void)d;
+  }
+  [[nodiscard]] double value() const { return v_.load(std::memory_order_relaxed); }
+  void zero() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// extra +Inf bucket catches the rest. Bounds are fixed at registration so
+/// exports are structurally stable run to run.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> upper_bounds)
+      : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {}
+
+  void observe(double v) {
+    if constexpr (kObsEnabled) {
+      std::size_t i = 0;
+      while (i < bounds_.size() && v > bounds_[i]) ++i;
+      buckets_[i].fetch_add(1, std::memory_order_relaxed);
+      count_.fetch_add(1, std::memory_order_relaxed);
+      double cur = sum_.load(std::memory_order_relaxed);
+      while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+      }
+    }
+    (void)v;
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i`; index bounds().size() is the +Inf bucket.
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void zero() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<double> sum_{0.0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Default buckets for virtual-latency histograms (seconds): SNMP round
+/// trips land in the low milliseconds, timeout storms in the tens of
+/// seconds.
+[[nodiscard]] const std::vector<double>& default_latency_buckets();
+
+class MetricsRegistry {
+ public:
+  /// Look up or create. References stay valid for the registry's lifetime
+  /// (zero_all() keeps every registration) — hot components cache them.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  HistogramMetric& histogram(const std::string& name, const std::vector<double>& bounds);
+  HistogramMetric& histogram(const std::string& name) {
+    return histogram(name, default_latency_buckets());
+  }
+
+  /// Zero every value, keeping registrations (safe with live handles).
+  void zero_all();
+  /// Drop every registration. Only safe when no component holds a handle —
+  /// golden tests call this before building a scenario so exports contain
+  /// exactly the metrics that scenario touched.
+  void clear();
+
+  struct HistogramSnapshot {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (+Inf last)
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  /// Deterministically ordered (name-sorted) snapshots for exporters.
+  [[nodiscard]] std::map<std::string, std::uint64_t> counters_snapshot() const;
+  [[nodiscard]] std::map<std::string, double> gauges_snapshot() const;
+  [[nodiscard]] std::map<std::string, HistogramSnapshot> histograms_snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: stable node addresses (handles survive rehashing concerns)
+  // and name-sorted iteration for deterministic export.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, HistogramMetric> histograms_;
+};
+
+/// The process-global registry every component reports into.
+MetricsRegistry& metrics();
+
+// --- virtual-clock binding -------------------------------------------------
+// The observability layer timestamps spans exclusively with simulated time.
+// The first live Engine binds its clock here (engine.cpp); when no engine
+// exists the clock reads 0. `owner` disambiguates multiple engines: only
+// the binder can unbind, so nested/sequential testbeds behave sanely.
+
+void bind_obs_clock(const void* owner, std::function<double()> clock);
+void unbind_obs_clock(const void* owner);
+/// Current virtual time as seen by the observability layer (0 if unbound).
+[[nodiscard]] double obs_now();
+
+}  // namespace remos::sim

@@ -8,7 +8,14 @@
 namespace remos::snmp {
 
 SnmpClient::SnmpClient(AgentRegistry& registry, ClientConfig config)
-    : registry_(registry), config_(config) {}
+    : registry_(registry),
+      config_(config),
+      m_requests_(sim::metrics().counter("snmp.client.requests_total")),
+      m_retries_(sim::metrics().counter("snmp.client.retries_total")),
+      m_timeouts_(sim::metrics().counter("snmp.client.timeouts_total")),
+      m_successes_(sim::metrics().counter("snmp.client.successes_total")),
+      m_failures_(sim::metrics().counter("snmp.client.failures_total")),
+      m_latency_(sim::metrics().histogram("snmp.client.request_latency_s")) {}
 
 double SnmpClient::backoff_s(int retry_index) const {
   if (config_.backoff_base_s <= 0.0 || retry_index <= 0) return 0.0;
@@ -22,6 +29,7 @@ void SnmpClient::note_success(net::Ipv4Address agent) {
   h.consecutive_failures = 0;
   ++h.successes;
   if (clock_) h.last_success_s = clock_();
+  m_successes_.inc();
 }
 
 void SnmpClient::note_failure(net::Ipv4Address agent) {
@@ -29,6 +37,7 @@ void SnmpClient::note_failure(net::Ipv4Address agent) {
   ++h.consecutive_failures;
   ++h.failures;
   if (clock_) h.last_failure_s = clock_();
+  m_failures_.inc();
 }
 
 const AgentHealth* SnmpClient::health(net::Ipv4Address agent) const {
@@ -40,11 +49,15 @@ ClientResult SnmpClient::request(net::Ipv4Address agent_addr, const std::string&
                                  const Oid& oid, bool next) {
   Agent* agent = registry_.find(agent_addr);
   Status last = Status::kTimeout;
+  const double start_s = consumed_s_;
   for (int attempt = 0; attempt <= config_.retries; ++attempt) {
     consumed_s_ += backoff_s(attempt);
     ++requests_;
+    m_requests_.inc();
+    if (attempt > 0) m_retries_.inc();
     if (agent == nullptr) {
       consumed_s_ += config_.timeout_s;
+      m_timeouts_.inc();
       continue;
     }
     registry_.before_read();
@@ -52,14 +65,17 @@ ClientResult SnmpClient::request(net::Ipv4Address agent_addr, const std::string&
     if (r.status == Status::kTimeout || r.status == Status::kAuthFailure) {
       // Both look like silence on the wire: burn the timeout and retry.
       consumed_s_ += config_.timeout_s;
+      m_timeouts_.inc();
       last = r.status;
       continue;
     }
     consumed_s_ += r.latency_s;
     note_success(agent_addr);
+    m_latency_.observe(consumed_s_ - start_s);
     return ClientResult{r.status, std::move(r.vb)};
   }
   note_failure(agent_addr);
+  m_latency_.observe(consumed_s_ - start_s);
   return ClientResult{last, {}};
 }
 
@@ -107,23 +123,29 @@ std::vector<VarBind> SnmpClient::walk_bulk(net::Ipv4Address agent_addr,
   for (;;) {
     BulkResponse resp;
     bool answered = false;
+    const double start_s = consumed_s_;
     for (int attempt = 0; attempt <= config_.retries; ++attempt) {
       consumed_s_ += backoff_s(attempt);
       ++requests_;
+      m_requests_.inc();
+      if (attempt > 0) m_retries_.inc();
       if (agent == nullptr) {
         consumed_s_ += config_.timeout_s;
+        m_timeouts_.inc();
         continue;
       }
       registry_.before_read();
       resp = agent->get_bulk(community, cursor, max_repetitions);
       if (resp.status == Status::kTimeout || resp.status == Status::kAuthFailure) {
         consumed_s_ += config_.timeout_s;
+        m_timeouts_.inc();
         continue;
       }
       consumed_s_ += resp.latency_s;
       answered = true;
       break;
     }
+    m_latency_.observe(consumed_s_ - start_s);
     if (!answered) {
       note_failure(agent_addr);
       if (status_out) *status_out = agent == nullptr ? Status::kTimeout : resp.status;

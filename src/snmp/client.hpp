@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/metrics.hpp"
 #include "snmp/agent.hpp"
 
 namespace remos::snmp {
@@ -120,6 +121,14 @@ class SnmpClient {
   std::uint64_t requests_ = 0;
   std::function<double()> clock_;
   std::map<net::Ipv4Address, AgentHealth> health_;
+  // Metric handles, fetched once: this is the hottest instrumented path
+  // (every SNMP round trip), so updates must be a single relaxed atomic.
+  sim::Counter& m_requests_;
+  sim::Counter& m_retries_;
+  sim::Counter& m_timeouts_;
+  sim::Counter& m_successes_;
+  sim::Counter& m_failures_;
+  sim::HistogramMetric& m_latency_;
 };
 
 }  // namespace remos::snmp

@@ -10,6 +10,7 @@
 #include "core/modeler.hpp"
 #include "core/snmp_collector.hpp"
 #include "fault_injection.hpp"
+#include "sim/metrics.hpp"
 
 namespace remos::core {
 namespace {
@@ -343,6 +344,64 @@ TEST(FaultRecovery, StalenessSurfacesThroughModeler) {
   t.engine.advance(30.0);
   (void)modeler.topology_query({t.addr(t.a), t.addr(t.b)});
   EXPECT_NEAR(modeler.last_query_staleness_s(), 30.0, 1e-9);
+}
+
+// The observability counters must agree with the injected fault script:
+// a hard outage produces failures that are all timeouts, each logical
+// failure costs exactly 1 + retries wire attempts, and quarantine events
+// fire once per outage — so the metric deltas are fully determined by the
+// script and the collector config.
+TEST(FaultRecovery, MetricsMatchInjectedFaultScript) {
+  if constexpr (!sim::kObsEnabled) GTEST_SKIP() << "observability compiled out";
+  FaultedPair t;
+  t.make_collector([](SnmpCollectorConfig& cfg) { cfg.quarantine_s = 20.0; });
+  const auto nodes = {t.addr(t.a), t.addr(t.b)};
+  ASSERT_TRUE(t.collector->query(nodes).complete);
+
+  auto& reg = sim::metrics();
+  const auto val = [&reg](const char* name) { return reg.counter(name).value(); };
+  const auto base_successes = val("snmp.client.successes_total");
+  const auto base_failures = val("snmp.client.failures_total");
+  const auto base_timeouts = val("snmp.client.timeouts_total");
+  const auto base_retries = val("snmp.client.retries_total");
+  const auto base_quarantines = val("core.snmp_collector.quarantine_events_total");
+
+  ftest::FaultScript script(t.engine, *t.agents);
+  script.outage(t.r1, 14.0, 47.0);
+
+  // Healthy phase (polls at 5 and 10): successes flow, nothing fails.
+  t.engine.advance(13.0);
+  EXPECT_GT(val("snmp.client.successes_total"), base_successes);
+  EXPECT_EQ(val("snmp.client.failures_total"), base_failures);
+  EXPECT_EQ(val("snmp.client.timeouts_total"), base_timeouts);
+  EXPECT_EQ(val("core.snmp_collector.quarantine_events_total"), base_quarantines);
+
+  // Outage at 14; the poll at 15 fails and quarantines r1.
+  t.engine.advance(7.0);  // t = 20
+  ASSERT_TRUE(t.collector->agent_in_quarantine(t.addr(t.r1)));
+  const auto failures = val("snmp.client.failures_total") - base_failures;
+  const auto timeouts = val("snmp.client.timeouts_total") - base_timeouts;
+  const auto retries = val("snmp.client.retries_total") - base_retries;
+  EXPECT_GT(failures, 0u);
+  // A dead agent makes every failure a timeout: with the default 1 retry,
+  // each logical failure is exactly 2 wire attempts (1 retry each).
+  EXPECT_EQ(timeouts, 2 * failures);
+  EXPECT_EQ(retries, failures);
+  EXPECT_EQ(val("core.snmp_collector.quarantine_events_total"), base_quarantines + 1);
+  EXPECT_GE(reg.gauge("core.snmp_collector.quarantined_agents").value(), 1.0);
+
+  // Quarantine holds until 35, re-arms on the failed re-probe, lapses
+  // after the agent returns at 47: exactly one more quarantine event.
+  t.engine.advance(40.0);  // t = 60
+  EXPECT_FALSE(t.collector->agent_in_quarantine(t.addr(t.r1)));
+  EXPECT_EQ(val("core.snmp_collector.quarantine_events_total"), base_quarantines + 2);
+  // Recovered: successes advance again while failures stay flat.
+  const auto rec_successes = val("snmp.client.successes_total");
+  const auto rec_failures = val("snmp.client.failures_total");
+  ASSERT_TRUE(t.collector->query(nodes).complete);
+  t.engine.advance(5.0);
+  EXPECT_GT(val("snmp.client.successes_total"), rec_successes);
+  EXPECT_EQ(val("snmp.client.failures_total"), rec_failures);
 }
 
 // Route tables expire: a TTL-lapsed table is re-walked, so routing

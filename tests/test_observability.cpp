@@ -1,0 +1,347 @@
+// Observability layer: metric/tracer semantics, exporter formats, and the
+// golden-run regression surface — canonical scenarios whose full export
+// (counters, histograms, span timeline) is pinned byte-for-byte under
+// tests/golden/obs/. Any change to SNMP round-trip counts, cache behavior,
+// quarantine decisions, or solver iteration structure shows up here as a
+// golden diff instead of a silent perf/behavior drift.
+//
+// Regenerating after an *intentional* change:
+//   REMOS_REGEN_GOLDEN=1 ./tests/test_observability && git diff tests/golden
+//
+// CI determinism harness: REMOS_OBS_EXPORT_DIR=<dir> makes every golden
+// scenario also write its export to <dir>; ci/check.sh runs the binary
+// twice and diffs the two directories.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "apps/testbed.hpp"
+#include "core/modeler.hpp"
+#include "core/obs.hpp"
+#include "core/snmp_collector.hpp"
+#include "fault_injection.hpp"
+
+namespace remos::core {
+namespace {
+
+namespace ftest = remos::testing;
+
+// ---------------------------------------------------------------------------
+// primitives
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterGaugeHistogramSemantics) {
+  if constexpr (!sim::kObsEnabled) GTEST_SKIP() << "observability compiled out";
+  obs::clear_all();
+  auto& reg = sim::metrics();
+
+  auto& c = reg.counter("t.counter");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+
+  auto& g = reg.gauge("t.gauge");
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+
+  auto& h = reg.histogram("t.hist", {1.0, 10.0});
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (le = inclusive)
+  h.observe(5.0);   // bucket 1
+  h.observe(100.0); // +Inf bucket
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.5);
+}
+
+TEST(Metrics, ZeroAllKeepsRegistrationsClearDropsThem) {
+  if constexpr (!sim::kObsEnabled) GTEST_SKIP() << "observability compiled out";
+  obs::clear_all();
+  auto& reg = sim::metrics();
+  auto& c = reg.counter("t.zero");
+  c.inc(7);
+  reg.zero_all();
+  // The handle survives zero_all and keeps working.
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(reg.counters_snapshot().count("t.zero"), 1u);
+  reg.clear();
+  EXPECT_EQ(reg.counters_snapshot().count("t.zero"), 0u);
+}
+
+TEST(Metrics, LookupIsIdempotent) {
+  if constexpr (!sim::kObsEnabled) GTEST_SKIP() << "observability compiled out";
+  obs::clear_all();
+  auto& a = sim::metrics().counter("t.same");
+  auto& b = sim::metrics().counter("t.same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Tracer, NestingParentsAndEarlyEnd) {
+  obs::clear_all();
+  {
+    auto outer = obs::span("outer");
+    {
+      auto inner = obs::span("inner");
+      inner.attr("k", std::string("v"));
+    }
+    auto sibling = obs::span("sibling");
+    sibling.end();
+    sibling.end();  // idempotent
+  }
+  if constexpr (!sim::kObsEnabled) {
+    EXPECT_TRUE(obs::tracer().finished().empty());
+    return;
+  }
+  const auto& recs = obs::tracer().finished();
+  ASSERT_EQ(recs.size(), 3u);
+  // Finish order: inner, sibling, outer.
+  EXPECT_EQ(recs[0].name, "inner");
+  EXPECT_EQ(recs[1].name, "sibling");
+  EXPECT_EQ(recs[2].name, "outer");
+  EXPECT_EQ(recs[0].parent, recs[2].id);
+  EXPECT_EQ(recs[1].parent, recs[2].id);
+  EXPECT_EQ(recs[2].parent, 0u);
+  ASSERT_EQ(recs[0].attrs.size(), 1u);
+  EXPECT_EQ(recs[0].attrs[0].first, "k");
+  EXPECT_EQ(recs[0].attrs[0].second, "v");
+}
+
+TEST(Tracer, CapacityCapCountsDrops) {
+  if constexpr (!sim::kObsEnabled) GTEST_SKIP() << "observability compiled out";
+  obs::clear_all();
+  obs::tracer().set_capacity(2);
+  for (int i = 0; i < 5; ++i) (void)obs::span("s");
+  EXPECT_EQ(obs::tracer().finished().size(), 2u);
+  EXPECT_EQ(obs::tracer().dropped(), 3u);
+  obs::tracer().set_capacity(65536);
+  obs::tracer().reset();
+}
+
+TEST(Tracer, SpansReadTheVirtualClock) {
+  if constexpr (!sim::kObsEnabled) GTEST_SKIP() << "observability compiled out";
+  obs::clear_all();
+  {
+    sim::Engine engine;
+    engine.warp_to(10.0);
+    auto sp = obs::span("timed");
+    engine.warp_to(12.5);
+    sp.end();
+    const auto& recs = obs::tracer().finished();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_DOUBLE_EQ(recs[0].start_s, 10.0);
+    EXPECT_DOUBLE_EQ(recs[0].end_s, 12.5);
+    // A second engine must not steal the binding from the live one.
+    sim::Engine usurper;
+    usurper.warp_to(99.0);
+    EXPECT_DOUBLE_EQ(sim::obs_now(), 12.5);
+  }
+  // All engines destroyed: the clock reads 0 again.
+  EXPECT_DOUBLE_EQ(sim::obs_now(), 0.0);
+}
+
+TEST(Exporter, FormatDoubleRoundTrips) {
+  for (double v : {0.1, 1.0 / 3.0, 5e-4, 123456789.25, 0.0, -2.75e17}) {
+    const std::string s = obs::format_double(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(Exporter, JsonEscapesMetricNames) {
+  if constexpr (!sim::kObsEnabled) GTEST_SKIP() << "observability compiled out";
+  obs::clear_all();
+  sim::metrics().counter("weird\"name\\with\nnasties").inc();
+  const std::string json = obs::export_json({.include_spans = false});
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nnasties"), std::string::npos);
+  obs::clear_all();
+}
+
+TEST(Exporter, PrometheusShapeAndCumulativeBuckets) {
+  if constexpr (!sim::kObsEnabled) GTEST_SKIP() << "observability compiled out";
+  obs::clear_all();
+  sim::metrics().counter("a.b.c_total").inc(3);
+  auto& h = sim::metrics().histogram("lat.s", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  const std::string prom = obs::export_prometheus();
+  EXPECT_NE(prom.find("# TYPE remos_a_b_c_total counter\nremos_a_b_c_total 3\n"),
+            std::string::npos);
+  // Prometheus buckets are cumulative; +Inf equals the total count.
+  EXPECT_NE(prom.find("remos_lat_s_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(prom.find("remos_lat_s_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(prom.find("remos_lat_s_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("remos_lat_s_count 3\n"), std::string::npos);
+  obs::clear_all();
+}
+
+// ---------------------------------------------------------------------------
+// golden scenarios
+// ---------------------------------------------------------------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+}
+
+/// Compare `content` against the pinned export tests/golden/obs/<name>.
+/// REMOS_REGEN_GOLDEN=1 rewrites the pin; REMOS_OBS_EXPORT_DIR=<dir> also
+/// drops a copy there for the CI double-run diff.
+void golden_check(const std::string& name, const std::string& content) {
+  if (const char* dir = std::getenv("REMOS_OBS_EXPORT_DIR")) {
+    write_file(std::string(dir) + "/" + name, content);
+  }
+  const std::string path = std::string(REMOS_GOLDEN_DIR) + "/obs/" + name;
+  if (std::getenv("REMOS_REGEN_GOLDEN") != nullptr) {
+    write_file(path, content);
+    return;
+  }
+  const std::string pinned = read_file(path);
+  ASSERT_FALSE(pinned.empty()) << path << " missing — run with REMOS_REGEN_GOLDEN=1";
+  if (content != pinned) {
+    std::size_t i = 0;
+    while (i < content.size() && i < pinned.size() && content[i] == pinned[i]) ++i;
+    const std::size_t from = i < 80 ? 0 : i - 80;
+    FAIL() << name << " drifted from its golden pin at byte " << i
+           << "\n--- pinned   ...\n" << pinned.substr(from, 160)
+           << "\n--- actual   ...\n" << content.substr(from, 160)
+           << "\n(intentional change? REMOS_REGEN_GOLDEN=1 regenerates)";
+  }
+}
+
+/// Campus LAN: cold query, two poll passes, warm re-query. Pins the SNMP
+/// round-trip counts of discovery, the cache hit pattern, and the poll
+/// span timeline.
+std::string run_lan_scenario() {
+  obs::clear_all();
+  std::string out;
+  {
+    apps::LanTestbed::Params p;
+    p.hosts = 6;
+    p.switches = 2;
+    apps::LanTestbed lan(p);
+    const auto nodes = lan.host_addrs(4);
+    (void)lan.collector->query(nodes);
+    lan.engine.advance(12.0);  // polls at 5 and 10
+    (void)lan.collector->query(nodes);
+    out = obs::export_json();
+  }
+  return out;
+}
+
+/// a - r1 - r2 - b with a scripted r1 outage: pins retry/timeout counts,
+/// the quarantine event, and the degraded-then-recovered query spans.
+std::string run_fault_scenario() {
+  obs::clear_all();
+  std::string out;
+  {
+    net::Network net{"golden-faults"};
+    sim::Engine engine;
+    const auto a = net.add_host("a");
+    const auto r1 = net.add_router("r1");
+    const auto r2 = net.add_router("r2");
+    const auto b = net.add_host("b");
+    net.connect(a, r1, 100e6);
+    net.connect(r1, r2, 45e6);
+    net.connect(r2, b, 100e6);
+    net.finalize();
+    snmp::AgentRegistry agents(net, sim::Rng(7));
+    SnmpCollectorConfig cfg;
+    cfg.domain = {*net::Ipv4Prefix::parse("10.0.0.0/8")};
+    for (const net::Segment& seg : net.segments()) {
+      net::Ipv4Address gw{};
+      for (auto [node, ifidx] : seg.attachments) {
+        (void)ifidx;
+        if (net.node(node).kind == net::NodeKind::kRouter) {
+          gw = net.node(node).primary_address();
+          break;
+        }
+      }
+      cfg.subnets.push_back({seg.prefix, gw, nullptr, false, 0.0});
+    }
+    cfg.quarantine_s = 20.0;
+    SnmpCollector collector(engine, agents, std::move(cfg));
+    const auto addr = [&](net::NodeId id) { return net.node(id).primary_address(); };
+    const auto nodes = {addr(a), addr(b)};
+
+    (void)collector.query(nodes);
+    ftest::FaultScript script(engine, agents);
+    script.outage(r1, 14.0, 47.0);
+    engine.advance(20.0);  // poll at 15 fails -> quarantine
+    (void)collector.query(nodes);
+    engine.advance(40.0);  // agent back at 47, quarantine lapses
+    (void)collector.query(nodes);
+    out = obs::export_json();
+  }
+  return out;
+}
+
+/// Two-site WAN through Master Collector + Modeler: pins the site-merge
+/// counters, benchmark-driven topology, solver iteration counts, and the
+/// modeler latency histogram.
+std::string run_wan_scenario() {
+  obs::clear_all();
+  std::string out;
+  {
+    apps::WanTestbed::Params p;
+    p.sites = {{"alpha", 2, 100e6, 10e6}, {"beta", 2, 100e6, 8e6}};
+    apps::WanTestbed wan(p);
+    wan.warm_up(30.0);
+    FlowQuery q;
+    q.flows.push_back(FlowRequest{wan.addr(wan.host("alpha", 0)),
+                                  wan.addr(wan.host("beta", 0)), 20e6});
+    q.flows.push_back(FlowRequest{wan.addr(wan.host("alpha", 1)),
+                                  wan.addr(wan.host("beta", 1)), 5e6});
+    (void)wan.modeler->flow_query(q);
+    out = obs::export_json();
+  }
+  return out;
+}
+
+TEST(GoldenRun, LanScenarioJsonPinned) {
+  if constexpr (!sim::kObsEnabled) GTEST_SKIP() << "observability compiled out";
+  const std::string first = run_lan_scenario();
+  const std::string second = run_lan_scenario();
+  // In-process determinism first: identical rebuild, identical export.
+  ASSERT_EQ(first, second) << "same scenario, same process, different export";
+  golden_check("lan_small.json", first);
+}
+
+TEST(GoldenRun, LanScenarioPrometheusPinned) {
+  if constexpr (!sim::kObsEnabled) GTEST_SKIP() << "observability compiled out";
+  (void)run_lan_scenario();
+  golden_check("lan_small.prom", obs::export_prometheus());
+}
+
+TEST(GoldenRun, FaultScenarioJsonPinned) {
+  if constexpr (!sim::kObsEnabled) GTEST_SKIP() << "observability compiled out";
+  const std::string first = run_fault_scenario();
+  const std::string second = run_fault_scenario();
+  ASSERT_EQ(first, second) << "same scenario, same process, different export";
+  golden_check("fault_pair.json", first);
+}
+
+TEST(GoldenRun, WanScenarioJsonPinned) {
+  if constexpr (!sim::kObsEnabled) GTEST_SKIP() << "observability compiled out";
+  const std::string first = run_wan_scenario();
+  const std::string second = run_wan_scenario();
+  ASSERT_EQ(first, second) << "same scenario, same process, different export";
+  golden_check("wan_two_sites.json", first);
+}
+
+}  // namespace
+}  // namespace remos::core

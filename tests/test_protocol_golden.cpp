@@ -1,0 +1,172 @@
+// Wire-format golden pins. The ASCII and XML protocols are frozen surfaces
+// (remote Modelers/Collectors from other builds must interoperate), so the
+// exact bytes each encoder produces for a canonical payload are pinned
+// under tests/golden/protocol/ and every pin must survive a byte-exact
+// decode -> re-encode round trip. remos_lint freezes the ASCII keyword
+// *set*; this test freezes the full byte layout.
+//
+// REMOS_REGEN_GOLDEN=1 regenerates the pins after an intentional format
+// change (which is a protocol version bump — say so in the commit).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/protocol.hpp"
+
+namespace remos::core {
+namespace {
+
+net::Ipv4Address ip(const char* dotted) { return *net::Ipv4Address::parse(dotted); }
+
+/// Canonical payload exercising every field the encoders serialize: all
+/// four node kinds, a zero-address virtual switch, asymmetric utilization,
+/// nonzero latency/staleness, a capacity-unknown edge, and an incomplete
+/// response with nonzero cost.
+CollectorResponse canonical_response() {
+  CollectorResponse resp;
+  VirtualTopology& t = resp.topology;
+  const auto h1 = t.ensure_node({VNodeKind::kHost, "h1", ip("10.0.1.2")});
+  const auto r1 = t.ensure_node({VNodeKind::kRouter, "r1", ip("10.0.1.1")});
+  const auto sw = t.ensure_node({VNodeKind::kSwitch, "sw0", ip("10.0.2.1")});
+  const auto vs = t.ensure_node({VNodeKind::kVirtualSwitch, "vs:dark:1", {}});
+  const auto h2 = t.ensure_node({VNodeKind::kHost, "h2", ip("10.0.2.9")});
+  t.add_edge({h1, r1, 100e6, 12.5e6, 0.75e6, 0.0005, "if:h1:1", 0.0});
+  t.add_edge({r1, sw, 45e6, 30e6, 2e6, 0.002, "if:r1:2", 7.5});
+  t.add_edge({sw, vs, 0.0, 0.0, 0.0, 0.0, "vs:dark:1#0", 0.0});
+  t.add_edge({vs, h2, 10e6, 1e6, 0.125e6, 0.01, "if:h2:1", 2.25});
+  resp.cost_s = 0.04375;
+  resp.complete = false;
+  resp.max_staleness_s = 7.5;
+  return resp;
+}
+
+std::vector<net::Ipv4Address> canonical_query() {
+  return {ip("10.0.1.2"), ip("10.0.2.9"), ip("192.168.7.33")};
+}
+
+sim::MeasurementHistory canonical_history() {
+  // Values chosen to be fixpoints of the wire's %.9g double format (nine
+  // significant digits — the protocol's precision contract): a literal like
+  // 1.0/3.0 would decode to a different double and fail value equality.
+  sim::MeasurementHistory h(16);
+  h.add(0.0, 45e6);
+  h.add(5.0, 32.5e6);
+  h.add(10.0, 0.0);
+  h.add(15.0, 0.333333333);
+  return h;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void golden_check(const std::string& name, const std::string& wire) {
+  const std::string path = std::string(REMOS_GOLDEN_DIR) + "/protocol/" + name;
+  if (std::getenv("REMOS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << wire;
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    return;
+  }
+  const std::string pinned = read_file(path);
+  ASSERT_FALSE(pinned.empty()) << path << " missing — run with REMOS_REGEN_GOLDEN=1";
+  EXPECT_EQ(wire, pinned)
+      << name << ": wire bytes drifted — the protocol surface is frozen "
+      << "(intentional format change? regenerate and bump the protocol note)";
+}
+
+void expect_response_equal(const CollectorResponse& a, const CollectorResponse& b,
+                           bool carries_staleness) {
+  EXPECT_DOUBLE_EQ(a.cost_s, b.cost_s);
+  EXPECT_EQ(a.complete, b.complete);
+  // The ASCII generation predates staleness annotations ("only topologies
+  // are exchanged") and drops them on the wire; XML carries them.
+  EXPECT_DOUBLE_EQ(b.max_staleness_s, carries_staleness ? a.max_staleness_s : 0.0);
+  ASSERT_EQ(a.topology.node_count(), b.topology.node_count());
+  ASSERT_EQ(a.topology.edge_count(), b.topology.edge_count());
+  for (std::size_t i = 0; i < a.topology.edge_count(); ++i) {
+    const VEdge& ea = a.topology.edges()[i];
+    const VEdge& eb = b.topology.edges()[i];
+    EXPECT_EQ(ea.id, eb.id);
+    EXPECT_DOUBLE_EQ(eb.capacity_bps, ea.capacity_bps) << ea.id;
+    EXPECT_DOUBLE_EQ(eb.staleness_s, carries_staleness ? ea.staleness_s : 0.0) << ea.id;
+  }
+}
+
+TEST(ProtocolGolden, AsciiQuery) {
+  const std::string wire = ascii_encode_query(canonical_query());
+  golden_check("query.ascii", wire);
+  const auto decoded = ascii_decode_query(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, canonical_query());
+  // Byte-exact round trip: decode -> re-encode reproduces the pin.
+  EXPECT_EQ(ascii_encode_query(*decoded), wire);
+}
+
+TEST(ProtocolGolden, AsciiResponse) {
+  const CollectorResponse resp = canonical_response();
+  const std::string wire = ascii_encode_response(resp);
+  golden_check("response.ascii", wire);
+  const auto decoded = ascii_decode_response(wire);
+  ASSERT_TRUE(decoded.has_value());
+  expect_response_equal(resp, *decoded, /*carries_staleness=*/false);
+  EXPECT_EQ(ascii_encode_response(*decoded), wire);
+}
+
+TEST(ProtocolGolden, XmlQuery) {
+  const std::string wire = xml_encode_query(canonical_query());
+  golden_check("query.xml", wire);
+  const auto decoded = xml_decode_query(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, canonical_query());
+  EXPECT_EQ(xml_encode_query(*decoded), wire);
+}
+
+TEST(ProtocolGolden, XmlResponse) {
+  const CollectorResponse resp = canonical_response();
+  const std::string wire = xml_encode_response(resp);
+  golden_check("response.xml", wire);
+  const auto decoded = xml_decode_response(wire);
+  ASSERT_TRUE(decoded.has_value());
+  expect_response_equal(resp, *decoded, /*carries_staleness=*/true);
+  EXPECT_EQ(xml_encode_response(*decoded), wire);
+}
+
+TEST(ProtocolGolden, XmlHistory) {
+  const sim::MeasurementHistory hist = canonical_history();
+  const std::string req = xml_encode_history_request("if:r1:2");
+  golden_check("history_request.xml", req);
+  const auto req_id = xml_decode_history_request(req);
+  ASSERT_TRUE(req_id.has_value());
+  EXPECT_EQ(*req_id, "if:r1:2");
+  EXPECT_EQ(xml_encode_history_request(*req_id), req);
+
+  const std::string wire = xml_encode_history("if:r1:2", hist);
+  golden_check("history.xml", wire);
+  const auto decoded = xml_decode_history(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->first, "if:r1:2");
+  ASSERT_EQ(decoded->second.size(), hist.size());
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    EXPECT_EQ(decoded->second[i], hist.at(i)) << "sample " << i;
+  }
+}
+
+TEST(ProtocolGolden, HttpFraming) {
+  const std::string body = xml_encode_query(canonical_query());
+  const std::string wire = http_frame("/remos/query", body);
+  golden_check("framed_query.http", wire);
+  const auto unframed = http_unframe(wire);
+  ASSERT_TRUE(unframed.has_value());
+  EXPECT_EQ(unframed->first, "/remos/query");
+  EXPECT_EQ(unframed->second, body);
+  EXPECT_EQ(http_frame(unframed->first, unframed->second), wire);
+}
+
+}  // namespace
+}  // namespace remos::core

@@ -6,8 +6,12 @@ any finding so CI fails. Rules:
 
   wallclock    Determinism: simulation code must use sim::Engine virtual
                time. Bans std::chrono::{system,steady,high_resolution}_clock,
-               ::time(), gettimeofday, clock() in src/.  bench/ is allowed
-               wall-clock, but only through bench/bench_util.hpp.
+               ::time(), gettimeofday, clock() in src/ and bench/. Exemption
+               is two-sided: a file must appear in WALLCLOCK_ALLOWLIST below
+               AND carry a  // remos-lint: allow-file(wallclock)  marker near
+               its top, so neither an allowlist edit nor a pasted marker can
+               grant an exemption on its own. A one-sided entry (either
+               direction) is itself a finding.
   randomness   Determinism: bans rand()/srand()/random_device in src/
                (seedable sim::Rng is the only sanctioned entropy source).
   float-eq     ==/!= on floating-point expressions in src/net and src/core,
@@ -30,9 +34,15 @@ import re
 import sys
 from pathlib import Path
 
-# Files allowed to read the wall clock (real-time benchmark scaffolding).
+# Files allowed to read the wall clock. Each entry must be matched by a
+# `// remos-lint: allow-file(wallclock)` marker inside the file itself
+# (two-sided exemption; see the module docstring).
+#   bench/bench_util.hpp  real-time benchmark scaffolding
+#   src/core/obs.cpp      optional annotate_realtime export stamp (off by
+#                         default; never on for golden runs)
 WALLCLOCK_ALLOWLIST = {
     "bench/bench_util.hpp",
+    "src/core/obs.cpp",
 }
 
 # The frozen ASCII protocol keyword surface (PR 1 froze the wire format).
@@ -52,6 +62,7 @@ RANDOMNESS_PATTERNS = [
 ]
 
 ALLOW_RE = re.compile(r"//\s*remos-lint:\s*allow\(([a-z-]+)\)")
+ALLOW_FILE_RE = re.compile(r"//\s*remos-lint:\s*allow-file\(([a-z-]+)\)")
 
 # Heuristic marker that an == / != operand is floating-point: a float
 # literal, or an identifier conventionally holding a double in this repo.
@@ -113,7 +124,17 @@ class Linter:
 
         in_src = rel.startswith("src/")
         in_bench = rel.startswith("bench/")
-        wallclock_banned = in_src or (in_bench and rel not in WALLCLOCK_ALLOWLIST)
+        # Two-sided wall-clock exemption: allowlist entry AND in-file marker.
+        file_allows = set(ALLOW_FILE_RE.findall(raw))
+        listed = rel in WALLCLOCK_ALLOWLIST
+        marked = "wallclock" in file_allows
+        if listed != marked and (in_src or in_bench):
+            which = ("listed in WALLCLOCK_ALLOWLIST but missing the in-file "
+                     "`// remos-lint: allow-file(wallclock)` marker" if listed else
+                     "carries an allow-file(wallclock) marker but is not in "
+                     "WALLCLOCK_ALLOWLIST (tools/remos_lint.py)")
+            self.report("wallclock", path, 1, f"one-sided exemption: file is {which}", "")
+        wallclock_banned = (in_src or in_bench) and not (listed and marked)
 
         for lineno, line in enumerate(lines, start=1):
             if wallclock_banned:
