@@ -15,8 +15,13 @@
 #                        exports diffed byte-for-byte; then once under the
 #                        tsan preset, diffed against the default-preset run
 #                        (determinism must survive both schedulers)
-#   5. remos_lint      — project lint, run standalone for a readable report
-#   6. clang-tidy      — `lint` build target (skips itself when clang-tidy
+#   5. remos_lint      — project lint (self-test first), run standalone for
+#                        a readable report
+#   6. remos_analyze   — whole-project static analysis (lock discipline,
+#                        determinism leaks, layer DAG, audit coverage) plus
+#                        the fail-path corpus; --json report kept as a CI
+#                        artifact under build/
+#   7. clang-tidy      — `lint` build target (skips itself when clang-tidy
 #                        is not installed; see .clang-tidy for the profile)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -66,7 +71,16 @@ diff -r "$GOLDEN_TMP/run1" "$GOLDEN_TMP/tsan"
 echo "tsan-build exports identical to default-build exports"
 
 step "remos_lint"
+python3 tools/remos_lint.py --self-test
 python3 tools/remos_lint.py --root .
+
+step "remos_analyze: static analysis + fail-path corpus"
+cmake --build build -j "$JOBS" --target remos_analyze
+./build/tools/analyze/remos_analyze --root . --json > build/remos_analyze.json \
+  || { cat build/remos_analyze.json; exit 1; }
+./build/tools/analyze/remos_analyze --root .
+python3 tests/analyze_corpus/run_corpus.py \
+  --analyzer ./build/tools/analyze/remos_analyze --corpus tests/analyze_corpus
 
 step "clang-tidy (lint target; no-op when clang-tidy is absent)"
 cmake --build build --target lint

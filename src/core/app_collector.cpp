@@ -1,6 +1,9 @@
 #include "core/app_collector.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "core/audit.hpp"
 
 namespace remos::core {
 
@@ -19,6 +22,9 @@ std::string AppFeedbackCollector::id_of(const PairKey& key) {
 void AppFeedbackCollector::report(net::Ipv4Address src, net::Ipv4Address dst,
                                   double achieved_bps) {
   if (achieved_bps <= 0.0 || src == dst) return;  // nothing observable
+  // NaN slips past the <= 0 guard and would poison every mean over the
+  // pair's history.
+  REMOS_CHECK(std::isfinite(achieved_bps), "app-reported bandwidth must be finite");
   auto [it, inserted] =
       pairs_.try_emplace(key_of(src, dst), sim::MeasurementHistory(config_.history_capacity));
   (void)inserted;
@@ -70,6 +76,7 @@ CollectorResponse AppFeedbackCollector::query(const std::vector<net::Ipv4Address
       resp.topology.add_edge(std::move(e));
     }
   }
+  audit::audit_response(resp, engine_.now());
   return resp;
 }
 

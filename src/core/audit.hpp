@@ -22,6 +22,11 @@
 // The macro core is header-only (inline counters) so the base libraries
 // (sim, net, snmp) can use it without linking remos_core; the deep auditor
 // functions over core types live in audit.cpp.
+//
+// remos-analyze: public-header(project-wide assertion vocabulary — every
+// layer asserts with REMOS_CHECK, so this header is includable from below
+// core; matching `public core/audit.hpp` grant lives in
+// tools/analyze/layers.txt)
 #pragma once
 
 #include <array>

@@ -1,6 +1,9 @@
 #include "core/benchmark_collector.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "core/audit.hpp"
 
 namespace remos::core {
 
@@ -120,6 +123,7 @@ std::optional<double> BenchmarkCollector::ping(const std::string& site_a,
   const Daemon* b = find_daemon(site_b);
   if (a == nullptr || b == nullptr || a == b) return std::nullopt;
   const double rtt = flows_.current_rtt(a->host, b->host);
+  REMOS_CHECK(std::isfinite(rtt) && rtt >= 0.0, "probe RTT must be finite and non-negative");
   pair_state(key_of(site_a, site_b)).rtt_history.add(engine_.now(), rtt);
   return rtt;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <set>
 
+#include "core/audit.hpp"
 #include "core/obs.hpp"
 #include "snmp/oids.hpp"
 
@@ -289,6 +290,7 @@ std::size_t BridgeCollector::check_locations() {
   if (!started_) return 0;
   std::size_t moved = 0;
   for (auto& [mac, ep_idx] : endpoint_entity_) {
+    REMOS_CHECK(ep_idx < entities_.size(), "endpoint map must reference a live entity");
     // Find the endpoint's attachment edge and its recorded switch.
     std::size_t edge_idx = ~std::size_t{0};
     for (std::size_t ei = 0; ei < edges_.size(); ++ei) {

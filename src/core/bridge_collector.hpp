@@ -133,7 +133,9 @@ class BridgeCollector {
   std::vector<SwitchData> switches_;
   std::vector<Entity> entities_;
   std::vector<Edge> edges_;
-  std::unordered_map<std::uint64_t, std::size_t> endpoint_entity_;     // mac -> entity
+  // Ordered by MAC so check_locations() polls bridges in a deterministic
+  // sequence — iteration order here reaches the SNMP wire and the logs.
+  std::map<std::uint64_t, std::size_t> endpoint_entity_;               // mac -> entity
   std::map<std::pair<std::size_t, std::uint32_t>, bool> trunk_ports_;  // (switch entity, port)
   sim::TaskId monitor_task_ = 0;
   bool started_ = false;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/audit.hpp"
+
 namespace remos::core {
 
 void CollectorDirectory::register_collector(Collector& collector) {
@@ -17,6 +19,10 @@ void CollectorDirectory::unregister(const Collector& collector) {
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
                                 [&](const Entry& e) { return e.collector == &collector; }),
                  entries_.end());
+  // A dangling entry here becomes a use-after-free at the next lookup().
+  REMOS_CHECK(std::none_of(entries_.begin(), entries_.end(),
+                           [&](const Entry& e) { return e.collector == &collector; }),
+              "unregister must drop every entry for the collector");
 }
 
 Collector* CollectorDirectory::lookup(net::Ipv4Address addr) const {

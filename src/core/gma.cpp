@@ -13,7 +13,10 @@ const char* to_string(EventType type) {
 }
 
 void DirectoryService::register_producer(Registration registration) {
-  entries_[registration.name] = std::move(registration);
+  // Hoist the key: reading registration.name in the same full-expression
+  // that moves `registration` trips bugprone-use-after-move.
+  std::string name = registration.name;
+  entries_[std::move(name)] = std::move(registration);
 }
 
 void DirectoryService::unregister(const std::string& name) { entries_.erase(name); }

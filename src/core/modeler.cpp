@@ -171,6 +171,7 @@ VirtualTopology Modeler::simplify(const VirtualTopology& topo) {
     copy.b = b;
     out.add_edge(std::move(copy));
   }
+  audit::audit_topology(out);
   return out;
 }
 

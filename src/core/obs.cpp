@@ -8,6 +8,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "core/audit.hpp"
+
 namespace remos::core::obs {
 
 namespace {
@@ -81,6 +83,9 @@ Tracer::Scope Tracer::span(std::string name) {
   SpanRecord rec;
   rec.id = next_id_++;
   rec.parent = active_.empty() ? 0 : active_.back().id;
+  // Ids order parent-before-child; a wrapped or reset counter would let
+  // finish() close the wrong subtree.
+  REMOS_CHECK(rec.id > rec.parent, "span ids must increase monotonically");
   rec.name = std::move(name);
   rec.start_s = sim::obs_now();
   active_.push_back(std::move(rec));
@@ -113,6 +118,7 @@ void Tracer::reset() {
 
 void Tracer::Scope::attr(const std::string& key, std::string value) {
   if (tracer_ == nullptr) return;
+  REMOS_CHECK(!key.empty(), "span attribute key must be non-empty");
   if (SpanRecord* rec = tracer_->active_by_id(id_)) {
     rec->attrs.emplace_back(key, std::move(value));
   }

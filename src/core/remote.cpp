@@ -1,5 +1,9 @@
 #include "core/remote.hpp"
 
+#include <cmath>
+
+#include "core/audit.hpp"
+
 namespace remos::core {
 
 CollectorServer::CollectorServer(Collector& collector, ProtocolKind protocol)
@@ -43,16 +47,25 @@ RemoteCollector::RemoteCollector(std::string name, std::vector<net::Ipv4Prefix> 
       protocol_(protocol) {}
 
 CollectorResponse RemoteCollector::query(const std::vector<net::Ipv4Address>& nodes) {
+  // Decoded responses cross a trust boundary: the wire can carry values
+  // the local collectors never produce.
+  const auto checked = [](CollectorResponse resp) {
+    REMOS_CHECK(std::isfinite(resp.cost_s) && resp.cost_s >= 0.0,
+                "decoded response cost must be finite and non-negative");
+    REMOS_CHECK(std::isfinite(resp.max_staleness_s) && resp.max_staleness_s >= 0.0,
+                "decoded response staleness must be finite and non-negative");
+    return resp;
+  };
   std::string reply;
   if (protocol_ == ProtocolKind::kAscii) {
     reply = transport_(ascii_encode_query(nodes));
     auto resp = ascii_decode_response(reply);
-    if (resp) return std::move(*resp);
+    if (resp) return checked(std::move(*resp));
   } else {
     reply = transport_(http_frame("/query", xml_encode_query(nodes)));
     if (auto framed = http_unframe(reply)) {
       auto resp = xml_decode_response(framed->second);
-      if (resp) return std::move(*resp);
+      if (resp) return checked(std::move(*resp));
     }
   }
   CollectorResponse failed;

@@ -170,7 +170,10 @@ double SnmpCollector::interface_speed(net::Ipv4Address agent, std::uint32_t ifin
 void SnmpCollector::add_edge(KnownEdge edge) {
   auto it = edges_.find(edge.id);
   if (it == edges_.end()) {
-    edges_.emplace(edge.id, std::move(edge));
+    // Hoist the key: reading edge.id in the same full-expression that
+    // moves `edge` trips bugprone-use-after-move.
+    std::string id = edge.id;
+    edges_.emplace(std::move(id), std::move(edge));
     return;
   }
   // Re-discovered edge. Don't let a degraded rebuild (no capacity, no
@@ -681,6 +684,7 @@ std::optional<std::pair<double, double>> SnmpCollector::edge_utilization(
   return std::make_pair(ab, ba);
 }
 
+// remos-analyze: allow(audit): unconditional cache drop — there is no precondition or invariant to assert here; cache health is audited by audit_caches() below.
 void SnmpCollector::clear_caches() {
   edges_.clear();
   monitored_.clear();

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <deque>
 
+#include "core/audit.hpp"
+
 namespace remos::core {
 
 const char* to_string(VNodeKind kind) {
@@ -28,6 +30,8 @@ VNodeIndex VirtualTopology::ensure_node(VNode node) {
 }
 
 std::size_t VirtualTopology::add_edge(VEdge edge) {
+  REMOS_CHECK(edge.a < nodes_.size() && edge.b < nodes_.size(),
+              "edge endpoints must reference existing nodes");
   for (std::size_t i = 0; i < edges_.size(); ++i) {
     VEdge& e = edges_[i];
     if (e.id == edge.id && ((e.a == edge.a && e.b == edge.b) || (e.a == edge.b && e.b == edge.a))) {
@@ -74,6 +78,8 @@ void VirtualTopology::merge(const VirtualTopology& other) {
     remap[i] = ensure_node(other.nodes_[i]);
   }
   for (const VEdge& e : other.edges_) {
+    REMOS_CHECK(e.a < remap.size() && e.b < remap.size(),
+                "merged edge endpoints must be in range of the source topology");
     VEdge copy = e;
     copy.a = remap[e.a];
     copy.b = remap[e.b];

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/audit.hpp"
+
 namespace remos::core {
 
 WirelessCollector::WirelessCollector(sim::Engine& engine, const net::Network& net,
@@ -45,6 +47,8 @@ std::size_t WirelessCollector::poll_associations() {
       continue;
     }
     if (it == association_.end()) {
+      REMOS_CHECK(std::find(aps_.begin(), aps_.end(), ap) != aps_.end(),
+                  "stations may only associate with configured APs");
       association_.emplace(n.id, ap);
     } else if (it->second != ap) {
       it->second = ap;
@@ -130,6 +134,7 @@ CollectorResponse WirelessCollector::query(const std::vector<net::Ipv4Address>& 
       }
     }
   }
+  audit::audit_response(resp, engine_.now());
   return resp;
 }
 

@@ -17,7 +17,6 @@
 #include <limits>
 #include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -110,7 +109,9 @@ class FlowEngine {
 
   sim::Engine& engine_;
   Network& net_;
-  std::unordered_map<FlowId, Flow> flows_;
+  // Ordered by FlowId: max-min convergence and rate accumulation iterate
+  // this, so hash order would leak into float sums and event ordering.
+  std::map<FlowId, Flow> flows_;
   std::map<FlowId, FlowStats> finished_;  // ordered: begin() is the oldest
   FlowId next_id_ = 1;
   sim::Time last_sync_ = 0.0;

@@ -68,7 +68,7 @@ class SharedPredictionCache {
 
   double ttl_s_;
   std::function<double()> now_;
-  mutable std::mutex mu_;
+  mutable std::mutex mu_;  // remos-lock-order(20)
   std::map<std::string, Entry> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -8,7 +8,9 @@ namespace remos::sim {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_out_mu;
+// Highest order: logging happens under every other lock (REMOS_LOG is
+// callable from any locked region), so g_out_mu must always be innermost.
+std::mutex g_out_mu;  // remos-lock-order(50)
 
 const char* level_name(LogLevel level) {
   switch (level) {

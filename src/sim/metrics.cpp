@@ -74,7 +74,7 @@ MetricsRegistry& metrics() {
 }
 
 namespace {
-std::mutex g_clock_mu;
+std::mutex g_clock_mu;  // remos-lock-order(40)
 const void* g_clock_owner = nullptr;
 std::function<double()> g_clock;
 }  // namespace

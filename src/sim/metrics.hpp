@@ -148,7 +148,7 @@ class MetricsRegistry {
   [[nodiscard]] std::map<std::string, HistogramSnapshot> histograms_snapshot() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable std::mutex mu_;  // remos-lock-order(30)
   // std::map: stable node addresses (handles survive rehashing concerns)
   // and name-sorted iteration for deterministic export.
   std::map<std::string, Counter> counters_;

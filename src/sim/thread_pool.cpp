@@ -65,6 +65,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
       }
     }
   }
+  // remos-analyze: allow(lock): single-writer — only the parallel_for caller thread reaches this line, after every lane future is joined.
   last_suppressed_ = suppressed;
   if (suppressed > 0) {
     REMOS_LOG(kWarn, "threadpool") << "parallel_for suppressed " << suppressed

@@ -50,6 +50,7 @@ class ThreadPool {
   /// Number of worker exceptions swallowed (beyond the rethrown first one)
   /// by the most recent parallel_for on this pool. Only meaningful on the
   /// calling thread after parallel_for returns or throws.
+  // remos-analyze: allow(lock): read on the parallel_for caller thread after every lane future is joined; no concurrent writer exists.
   [[nodiscard]] std::size_t last_suppressed() const { return last_suppressed_; }
 
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
@@ -57,7 +58,7 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  std::mutex mu_;  // remos-lock-order(10)
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;

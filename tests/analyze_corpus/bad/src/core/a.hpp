@@ -1,0 +1,4 @@
+#pragma once  // expect(layer)
+#include "core/b.hpp"
+
+inline int alpha() { return 1; }

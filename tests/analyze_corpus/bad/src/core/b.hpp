@@ -1,0 +1,4 @@
+#pragma once
+#include "core/a.hpp"
+
+inline int beta() { return 2; }

@@ -1,0 +1,18 @@
+#include <string>
+#include <unordered_map>
+
+#include "core/render.hpp"
+
+namespace demo {
+
+std::string emit_all() {
+  std::unordered_map<int, int> table;
+  table[1] = 2;
+  std::string out;
+  for (const auto& [key, val] : table) {  // expect(determinism)
+    out += render_value(val);
+  }
+  return out;
+}
+
+}  // namespace demo

@@ -1,0 +1,18 @@
+#include "core/render.hpp"
+
+#include <string>
+#include <unordered_set>
+
+namespace demo {
+
+std::string render_tags() {
+  std::unordered_set<std::string> tags;
+  tags.insert("a");
+  std::string out;
+  for (const auto& t : tags) {  // expect(determinism)
+    out += t;
+  }
+  return out;
+}
+
+}  // namespace demo

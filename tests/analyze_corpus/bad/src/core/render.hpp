@@ -1,0 +1,8 @@
+#pragma once  // expect(layer)
+#include <string>
+
+namespace demo {
+
+inline std::string render_value(int v) { return std::to_string(v); }
+
+}  // namespace demo

@@ -1,0 +1,18 @@
+#pragma once
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace demo {
+
+class Store {
+ public:
+  void put(const std::string& key, double value);
+  [[nodiscard]] double get(const std::string& key) const;
+
+ private:
+  std::map<std::string, double> data_;
+  std::size_t writes_ = 0;
+};
+
+}  // namespace demo

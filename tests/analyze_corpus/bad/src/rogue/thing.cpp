@@ -1,0 +1,5 @@
+namespace demo {  // expect(layer)
+
+int rogue_thing() { return 42; }
+
+}  // namespace demo

@@ -1,0 +1,22 @@
+#pragma once
+#include <mutex>
+
+namespace demo {
+
+class Widget {
+ public:
+  void touch() {
+    count_ = count_ + 1;  // expect(lock)
+  }
+  void touch_locked() {
+    std::lock_guard<std::mutex> lk(mu_);
+    count_ = count_ + 1;
+  }
+
+ private:
+  std::mutex mu_;  // remos-lock-order(20)
+  int count_ = 0;
+  std::mutex aux_mu_;  // expect(lock)
+};
+
+}  // namespace demo

@@ -1,0 +1,21 @@
+#include <mutex>
+
+namespace demo {
+namespace {
+std::mutex g_high;  // remos-lock-order(30)
+std::mutex g_low;   // remos-lock-order(10)
+}  // namespace
+
+void take_low() { std::lock_guard<std::mutex> lk(g_low); }
+
+void backwards() {
+  std::lock_guard<std::mutex> hi(g_high);
+  std::lock_guard<std::mutex> lo(g_low);  // expect(lock)
+}
+
+void backwards_via_call() {
+  std::lock_guard<std::mutex> hi(g_high);
+  take_low();  // expect(lock)
+}
+
+}  // namespace demo

@@ -1,0 +1,27 @@
+#include <mutex>
+
+namespace demo {
+namespace {
+std::mutex g_mu;  // remos-lock-order(10)
+int counter = 0;
+}  // namespace
+
+// An allow() without a justification suppresses nothing: the original
+// finding survives AND the marker itself is flagged.
+void bump() {
+  counter = counter + 1;  // remos-analyze: allow(lock) expect(suppression) expect(lock)
+}
+
+// Justified but covering nothing: stale.
+void idle() {
+  int local = 0;  // remos-analyze: allow(determinism): nothing unordered here expect(suppression)
+  (void)local;
+}
+
+// Unknown pass name.
+void typo() {
+  int local = 1;  // remos-analyze: allow(frobnicate): no such pass expect(suppression)
+  (void)local;
+}
+
+}  // namespace demo

@@ -1,0 +1,18 @@
+#include <map>
+#include <string>
+
+#include "core/render.hpp"
+
+namespace demo {
+
+std::string emit_all() {
+  std::map<int, int> table;
+  table[1] = 2;
+  std::string out;
+  for (const auto& [key, val] : table) {
+    out += render_value(val);
+  }
+  return out;
+}
+
+}  // namespace demo

@@ -1,0 +1,18 @@
+#include "core/render.hpp"
+
+#include <set>
+#include <string>
+
+namespace demo {
+
+std::string render_tags() {
+  std::set<std::string> tags;
+  tags.insert("a");
+  std::string out;
+  for (const auto& t : tags) {
+    out += t;
+  }
+  return out;
+}
+
+}  // namespace demo

@@ -1,0 +1,10 @@
+#pragma once
+// remos-analyze: public-header(render helpers are a leaf utility usable
+// from any layer; matching grant lives in layers.txt)
+#include <string>
+
+namespace demo {
+
+inline std::string render_value(int v) { return std::to_string(v); }
+
+}  // namespace demo

@@ -1,0 +1,24 @@
+#include "core/store.hpp"
+
+namespace demo {
+
+void Store::put(const std::string& key, double value) {
+  REMOS_CHECK(!key.empty(), "store keys must be non-empty");
+  double scaled = value;
+  if (scaled < 0.0) {
+    scaled = 0.0;
+  }
+  data_[key] = scaled;
+  writes_ = writes_ + 1;
+  if (writes_ > 1000u) {
+    data_.clear();
+    writes_ = 0;
+  }
+}
+
+double Store::get(const std::string& key) const {
+  auto it = data_.find(key);
+  return it == data_.end() ? 0.0 : it->second;
+}
+
+}  // namespace demo

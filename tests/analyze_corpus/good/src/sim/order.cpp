@@ -1,0 +1,21 @@
+#include <mutex>
+
+namespace demo {
+namespace {
+std::mutex g_low;   // remos-lock-order(10)
+std::mutex g_high;  // remos-lock-order(30)
+}  // namespace
+
+void take_high() { std::lock_guard<std::mutex> lk(g_high); }
+
+void forwards() {
+  std::lock_guard<std::mutex> lo(g_low);
+  std::lock_guard<std::mutex> hi(g_high);
+}
+
+void forwards_via_call() {
+  std::lock_guard<std::mutex> lo(g_low);
+  take_high();
+}
+
+}  // namespace demo

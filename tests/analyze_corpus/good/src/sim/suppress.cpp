@@ -1,0 +1,19 @@
+#include <mutex>
+
+namespace demo {
+namespace {
+std::mutex g_mu;  // remos-lock-order(10)
+int counter = 0;
+}  // namespace
+
+void locked_bump() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  counter = counter + 1;
+}
+
+void init() {
+  // remos-analyze: allow(lock): single-threaded init runs before any worker exists.
+  counter = 7;
+}
+
+}  // namespace demo

@@ -1,0 +1,7 @@
+#include "core/render.hpp"
+
+namespace demo {
+
+int use_render() { return 0; }
+
+}  // namespace demo

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Corpus harness for remos_analyze.
+
+Each corpus root (bad/, good/) is a miniature repository: a layers.txt at
+the root and sources under src/. Planted defects carry an inline marker on
+the exact line the finding must land on:
+
+    // expect(<pass>)
+
+The harness runs the analyzer with --json on each root and demands an
+exact two-way match for bad/ (every marker flagged by its pass, zero
+unexpected findings) and total silence for good/.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+EXPECT_RE = re.compile(r"expect\((\w+)\)")
+
+
+def collect_expectations(root: Path):
+    expected = set()  # (rel_path, line, pass)
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in {".hpp", ".cpp", ".h", ".cc"}:
+            continue
+        rel = path.relative_to(root).as_posix()
+        for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+            for pass_name in EXPECT_RE.findall(text):
+                expected.add((rel, lineno, pass_name))
+    return expected
+
+
+def run_analyzer(analyzer: Path, root: Path):
+    proc = subprocess.run(
+        [str(analyzer), "--root", str(root), "--json"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode not in (0, 1):
+        raise SystemExit(
+            f"analyzer crashed on {root} (exit {proc.returncode}):\n{proc.stderr}"
+        )
+    report = json.loads(proc.stdout)
+    actual = set()
+    for f in report["findings"]:
+        actual.add((f["file"], f["line"], f["pass"]))
+    return actual, proc.returncode
+
+
+def check_root(analyzer: Path, root: Path, expect_findings: bool) -> int:
+    expected = collect_expectations(root)
+    actual, code = run_analyzer(analyzer, root)
+    failures = 0
+    if expect_findings:
+        for miss in sorted(expected - actual):
+            print(f"MISSED  {root.name}: {miss[0]}:{miss[1]} [{miss[2]}] "
+                  "planted defect not flagged")
+            failures += 1
+        for extra in sorted(actual - expected):
+            print(f"EXTRA   {root.name}: {extra[0]}:{extra[1]} [{extra[2]}] "
+                  "finding with no expect() marker")
+            failures += 1
+        if code != 1 and expected:
+            print(f"EXIT    {root.name}: expected exit 1, got {code}")
+            failures += 1
+    else:
+        if expected:
+            print(f"CORPUS  {root.name}: good tree must carry no expect() markers")
+            failures += 1
+        for extra in sorted(actual):
+            print(f"EXTRA   {root.name}: {extra[0]}:{extra[1]} [{extra[2]}] "
+                  "finding in the known-good twin")
+            failures += 1
+        if code != 0 and not actual:
+            print(f"EXIT    {root.name}: expected exit 0, got {code}")
+            failures += 1
+    return failures
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--analyzer", required=True, type=Path)
+    ap.add_argument("--corpus", required=True, type=Path)
+    args = ap.parse_args()
+
+    failures = 0
+    failures += check_root(args.analyzer, args.corpus / "bad", expect_findings=True)
+    failures += check_root(args.analyzer, args.corpus / "good", expect_findings=False)
+    if failures:
+        print(f"analyze_corpus: {failures} failure(s)")
+        return 1
+    print("analyze_corpus: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+// remos_analyze — whole-project static analyzer for the Remos tree.
+//
+//   remos_analyze --root <repo-root> [--json] [--layers <file>]
+//
+// Scans every .hpp/.cpp under <root>/src, builds the approximate project
+// model, and runs the four passes (lock, determinism, layer, audit) plus
+// the suppression meta-pass. Exit status: 0 clean, 1 findings, 2 usage or
+// I/O error. Layer spec resolution: --layers, else
+// <root>/tools/analyze/layers.txt, else <root>/layers.txt.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+#include "passes.hpp"
+#include "report.hpp"
+
+namespace fs = std::filesystem;
+using namespace remos::analyze;
+
+namespace {
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: remos_analyze --root <repo-root> [--json] "
+               "[--layers <file>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root_arg;
+  std::string layers_arg;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--root") && i + 1 < argc) {
+      root_arg = argv[++i];
+    } else if (!std::strcmp(argv[i], "--layers") && i + 1 < argc) {
+      layers_arg = argv[++i];
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json = true;
+    } else {
+      return usage();
+    }
+  }
+  if (root_arg.empty()) return usage();
+
+  const fs::path root(root_arg);
+  const fs::path src = root / "src";
+  if (!fs::is_directory(src)) {
+    std::fprintf(stderr, "remos_analyze: no src/ directory under %s\n",
+                 root_arg.c_str());
+    return 2;
+  }
+
+  // Deterministic scan order: collect then sort.
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+      paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    SourceFile sf;
+    sf.rel_path = fs::relative(p, root).generic_string();
+    const fs::path under_src = fs::relative(p, src);
+    sf.layer = under_src.begin() != under_src.end()
+                   ? under_src.begin()->string()
+                   : std::string();
+    if (!read_file(p, sf.raw)) {
+      std::fprintf(stderr, "remos_analyze: cannot read %s\n",
+                   p.string().c_str());
+      return 2;
+    }
+    sf.toks = tokenize(sf.raw);
+    files.push_back(std::move(sf));
+  }
+
+  fs::path layers_path;
+  if (!layers_arg.empty()) {
+    layers_path = layers_arg;
+  } else if (fs::exists(root / "tools" / "analyze" / "layers.txt")) {
+    layers_path = root / "tools" / "analyze" / "layers.txt";
+  } else if (fs::exists(root / "layers.txt")) {
+    layers_path = root / "layers.txt";
+  } else {
+    std::fprintf(stderr,
+                 "remos_analyze: no layers.txt (looked in "
+                 "tools/analyze/ and the root; or pass --layers)\n");
+    return 2;
+  }
+  std::string layers_text;
+  if (!read_file(layers_path, layers_text)) {
+    std::fprintf(stderr, "remos_analyze: cannot read %s\n",
+                 layers_path.string().c_str());
+    return 2;
+  }
+
+  const std::size_t n_files = files.size();
+  Project proj = build_project(std::move(files));
+  const CallGraph cg = build_call_graph(proj);
+
+  Findings all;
+  for (auto& pass :
+       {pass_lock(proj, cg), pass_determinism(proj, cg),
+        pass_layers(proj, layers_text,
+                    fs::relative(layers_path, root).generic_string()),
+        pass_audit(proj, cg)}) {
+    all.insert(all.end(), pass.begin(), pass.end());
+  }
+  all = apply_suppressions(std::move(all), proj);
+
+  if (json)
+    print_json(all);
+  else
+    print_text(all, n_files);
+  return all.empty() ? 0 : 1;
+}

@@ -1,0 +1,771 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace remos::analyze {
+namespace {
+
+bool is_kw(const std::string& s) {
+  static const std::set<std::string> kKeywords{
+      "if", "else", "for", "while", "do", "switch", "case", "return", "sizeof",
+      "alignof", "catch", "try", "throw", "new", "delete", "static_cast",
+      "dynamic_cast", "const_cast", "reinterpret_cast", "assert", "co_await",
+      "co_return", "default", "break", "continue", "goto", "noexcept",
+      "decltype", "typeid", "alignas", "static_assert"};
+  return kKeywords.count(s) > 0;
+}
+
+const std::set<std::string> kLockTakers{"lock_guard", "scoped_lock", "unique_lock",
+                                        "shared_lock"};
+const std::set<std::string> kAuditMacros{"REMOS_CHECK", "REMOS_AUDIT", "REMOS_AUDIT_SEV"};
+const std::set<std::string> kUnorderedNames{"unordered_map", "unordered_set",
+                                            "unordered_multimap", "unordered_multiset"};
+
+bool type_is_mutex(const std::string& compact) {
+  return compact.find("std::mutex") != std::string::npos ||
+         compact.find("std::shared_mutex") != std::string::npos ||
+         compact.find("std::recursive_mutex") != std::string::npos ||
+         compact.find("std::shared_timed_mutex") != std::string::npos ||
+         compact.find("std::timed_mutex") != std::string::npos;
+}
+
+bool type_is_unordered(const std::string& compact) {
+  return compact.find("std::unordered_") != std::string::npos;
+}
+
+bool type_is_exempt(const std::vector<std::string>& type_tokens) {
+  for (const auto& t : type_tokens) {
+    if (t == "atomic" || t == "condition_variable" || t == "condition_variable_any" ||
+        t == "thread" || t == "jthread" || t == "future" || t == "promise" ||
+        t == "constexpr" || t == "static") {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string join_compact(const std::vector<Token>& t, std::size_t b, std::size_t e) {
+  std::string out;
+  for (std::size_t k = b; k < e && k < t.size(); ++k) out += t[k].text.empty() ? "\"\"" : t[k].text;
+  return out;
+}
+
+/// Find the matching close for the open bracket at `i` (t[i] must be the
+/// open). Returns the index of the close, or `end` if unbalanced.
+std::size_t match_forward(const std::vector<Token>& t, std::size_t i, std::size_t end,
+                          const char* open, const char* close) {
+  int d = 0;
+  for (std::size_t k = i; k < end; ++k) {
+    if (t[k].kind != TokKind::kPunct) continue;
+    if (t[k].text == open) ++d;
+    else if (t[k].text == close && --d == 0) return k;
+  }
+  return end;
+}
+
+struct Ctx {
+  enum Kind { kNamespace, kClass } kind;
+  std::string name;
+  int entry_depth = 0;  // depth *outside* the block
+  bool anon = false;
+  bool public_access = false;  // current access inside a class
+};
+
+// ---------------------------------------------------------------------------
+// Phase A: structure
+// ---------------------------------------------------------------------------
+
+class StructureScanner {
+ public:
+  StructureScanner(SourceFile& sf, Project& proj) : sf_(sf), t_(sf.toks.tokens), proj_(proj) {}
+
+  void run() {
+    while (i_ < t_.size()) scan_element();
+  }
+
+ private:
+  SourceFile& sf_;
+  const std::vector<Token>& t_;
+  Project& proj_;
+  std::size_t i_ = 0;
+  int depth_ = 0;
+  std::vector<Ctx> ctx_;
+
+  bool in_anon() const {
+    for (const auto& c : ctx_)
+      if (c.anon) return true;
+    return false;
+  }
+  std::string current_class() const {
+    for (auto it = ctx_.rbegin(); it != ctx_.rend(); ++it)
+      if (it->kind == Ctx::kClass) return it->name;
+    return "";
+  }
+  Ctx* class_ctx() {
+    for (auto it = ctx_.rbegin(); it != ctx_.rend(); ++it)
+      if (it->kind == Ctx::kClass) return &*it;
+    return nullptr;
+  }
+
+  bool punct(std::size_t k, const char* p) const {
+    return k < t_.size() && t_[k].kind == TokKind::kPunct && t_[k].text == p;
+  }
+  bool ident(std::size_t k, const char* s) const {
+    return k < t_.size() && t_[k].kind == TokKind::kIdent && t_[k].text == s;
+  }
+
+  int lock_order_for_line(int line) const {
+    // Same-line annotation wins; only then fall back to the line above
+    // (consecutive declarations each carry their own trailing annotation).
+    for (const auto& a : sf_.toks.lock_orders) {
+      if (a.line == line) return a.order;
+    }
+    for (const auto& a : sf_.toks.lock_orders) {
+      if (a.line + 1 == line) return a.order;
+    }
+    return -1;
+  }
+
+  void scan_element() {
+    if (i_ >= t_.size()) return;
+    const Token& tok = t_[i_];
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == "{") { ++depth_; ++i_; return; }
+      if (tok.text == "}") {
+        --depth_;
+        while (!ctx_.empty() && ctx_.back().entry_depth == depth_) ctx_.pop_back();
+        ++i_;
+        return;
+      }
+      if (tok.text == ";") { ++i_; return; }
+      ++i_;
+      return;
+    }
+    if (tok.kind != TokKind::kIdent) { ++i_; return; }
+
+    const std::string& s = tok.text;
+    if (s == "namespace") { scan_namespace(); return; }
+    if (s == "class" || s == "struct" || s == "union") { scan_class(s == "struct" || s == "union"); return; }
+    if (s == "enum") { skip_enum(); return; }
+    if ((s == "public" || s == "private" || s == "protected") && punct(i_ + 1, ":")) {
+      if (Ctx* c = class_ctx()) c->public_access = (s == "public");
+      i_ += 2;
+      return;
+    }
+    if (s == "template") {
+      ++i_;
+      if (punct(i_, "<")) skip_angles();
+      return;  // the declaration that follows is scanned as its own element
+    }
+    if (s == "using" || s == "typedef" || s == "friend" || s == "static_assert" ||
+        s == "extern") {
+      skip_statement();
+      return;
+    }
+    scan_declaration();
+  }
+
+  void scan_namespace() {
+    ++i_;  // 'namespace'
+    std::string name;
+    bool anon = true;
+    while (i_ < t_.size() && (t_[i_].kind == TokKind::kIdent || punct(i_, "::"))) {
+      name += t_[i_].text;
+      anon = false;
+      ++i_;
+    }
+    if (punct(i_, "=")) { skip_statement(); return; }  // namespace alias
+    if (punct(i_, "{")) {
+      ctx_.push_back({Ctx::kNamespace, name, depth_, anon, false});
+      ++depth_;
+      ++i_;
+    }
+  }
+
+  void scan_class(bool is_struct) {
+    ++i_;  // 'class' / 'struct'
+    // Skip attributes [[...]].
+    while (punct(i_, "[")) i_ = match_forward(t_, i_, t_.size(), "[", "]") + 1;
+    if (i_ >= t_.size() || t_[i_].kind != TokKind::kIdent) { skip_statement(); return; }
+    const std::string name = t_[i_].text;
+    const int line = t_[i_].line;
+    ++i_;
+    // Find '{' (definition) or ';' (forward declaration / member of
+    // elaborated type) at top level.
+    int angle = 0;
+    while (i_ < t_.size()) {
+      const Token& tk = t_[i_];
+      if (tk.kind == TokKind::kPunct) {
+        if (tk.text == "<") ++angle;
+        else if (tk.text == ">" && angle > 0) --angle;
+        else if (angle == 0 && tk.text == ";") { ++i_; return; }
+        else if (angle == 0 && tk.text == "{") {
+          ctx_.push_back({Ctx::kClass, name, depth_, false, is_struct});
+          auto& ci = proj_.classes[name];
+          if (ci.name.empty()) {
+            ci.name = name;
+            ci.file = sf_.rel_path;
+            ci.line = line;
+          }
+          ++depth_;
+          ++i_;
+          return;
+        }
+      }
+      ++i_;
+    }
+  }
+
+  void skip_enum() {
+    // enum [class] [name] [: type] { ... } ;  — contributes nothing.
+    while (i_ < t_.size() && !punct(i_, "{") && !punct(i_, ";")) ++i_;
+    if (punct(i_, "{")) i_ = match_forward(t_, i_, t_.size(), "{", "}") + 1;
+    if (punct(i_, ";")) ++i_;
+  }
+
+  void skip_angles() {
+    int d = 0;
+    while (i_ < t_.size()) {
+      if (punct(i_, "<")) ++d;
+      else if (punct(i_, ">") && --d == 0) { ++i_; return; }
+      ++i_;
+    }
+  }
+
+  void skip_statement() {
+    int brace = 0, paren = 0;
+    while (i_ < t_.size()) {
+      if (punct(i_, "{")) ++brace;
+      else if (punct(i_, "}")) --brace;
+      else if (punct(i_, "(")) ++paren;
+      else if (punct(i_, ")")) --paren;
+      else if (punct(i_, ";") && brace == 0 && paren == 0) { ++i_; return; }
+      ++i_;
+    }
+  }
+
+  /// One declaration at class/namespace scope: either a function
+  /// (declaration or definition with body) or a variable.
+  void scan_declaration() {
+    const std::size_t start = i_;
+    int angle = 0;
+    std::size_t name_idx = t_.size();
+    bool is_function = false, saw_operator = false, params_closed = false;
+    std::size_t params_end = t_.size();
+    std::size_t init_brace = t_.size();  // top-level '{' used as initializer
+    bool terminated_by_body = false;
+    std::size_t body_open = t_.size();
+
+    while (i_ < t_.size()) {
+      const Token& tk = t_[i_];
+      if (tk.kind == TokKind::kIdent && tk.text == "operator" && !is_function) {
+        saw_operator = true;
+        name_idx = i_;
+        ++i_;
+        // The name may itself be punctuation (<<, ==, ()) — consume it.
+        if (punct(i_, "(") && punct(i_ + 1, ")")) { i_ += 2; }
+        else {
+          while (i_ < t_.size() && t_[i_].kind == TokKind::kPunct && !punct(i_, "(")) ++i_;
+        }
+        // Next '(' is the parameter list.
+        if (punct(i_, "(")) {
+          is_function = true;
+          i_ = match_forward(t_, i_, t_.size(), "(", ")");
+          params_end = i_;
+          params_closed = true;
+          ++i_;
+        }
+        continue;
+      }
+      if (tk.kind == TokKind::kPunct) {
+        if (tk.text == "<" && i_ > start &&
+            (t_[i_ - 1].kind == TokKind::kIdent || t_[i_ - 1].text == "::")) {
+          ++angle;
+          ++i_;
+          continue;
+        }
+        if (tk.text == ">" && angle > 0) { --angle; ++i_; continue; }
+        if (angle == 0) {
+          if (tk.text == "(" && !is_function && i_ > start &&
+              t_[i_ - 1].kind == TokKind::kIdent && !is_kw(t_[i_ - 1].text)) {
+            is_function = true;
+            name_idx = i_ - 1;
+            i_ = match_forward(t_, i_, t_.size(), "(", ")");
+            params_end = i_;
+            params_closed = true;
+            ++i_;
+            continue;
+          }
+          if (tk.text == "(") {  // parenthesized initializer or macro-ish
+            i_ = match_forward(t_, i_, t_.size(), "(", ")") + 1;
+            continue;
+          }
+          if (tk.text == ";") { ++i_; break; }
+          if (tk.text == "{") {
+            if (is_function && params_closed) {
+              terminated_by_body = true;
+              body_open = i_;
+              i_ = match_forward(t_, i_, t_.size(), "{", "}") + 1;
+              break;
+            }
+            // Brace initializer: int x{3}; or Type y{...};
+            if (init_brace == t_.size()) init_brace = i_;
+            i_ = match_forward(t_, i_, t_.size(), "{", "}") + 1;
+            continue;
+          }
+        }
+      }
+      ++i_;
+    }
+
+    const std::size_t stop = std::min(i_, t_.size());
+    if (stop <= start) { i_ = std::max(i_, start + 1); return; }
+
+    if (is_function) {
+      record_function(start, name_idx, params_end, saw_operator, terminated_by_body, body_open);
+      return;
+    }
+    record_variable(start, stop, init_brace);
+  }
+
+  void record_function(std::size_t start, std::size_t name_idx, std::size_t params_end,
+                       bool saw_operator, bool has_body, std::size_t body_open) {
+    if (name_idx >= t_.size()) return;
+    FunctionInfo fn;
+    fn.file = sf_.rel_path;
+    fn.name = t_[name_idx].text;
+    fn.line = t_[name_idx].line;
+    fn.is_operator = saw_operator;
+    // Destructor?
+    std::size_t qual_base = name_idx;  // token left of the (possibly ~'d) name
+    if (name_idx > start && punct(name_idx - 1, "~")) {
+      fn.name = "~" + fn.name;
+      fn.is_ctor_dtor = true;
+      qual_base = name_idx - 1;
+    }
+    // Qualifier: Class::name / Class::~Class at namespace scope.
+    std::size_t type_end = name_idx;
+    if (qual_base >= 2 && qual_base > start && punct(qual_base - 1, "::") &&
+        t_[qual_base - 2].kind == TokKind::kIdent) {
+      fn.cls = t_[qual_base - 2].text;
+      type_end = qual_base - 2;
+    } else {
+      fn.cls = current_class();
+      if (Ctx* cc = class_ctx()) {
+        fn.is_public = cc->public_access;
+        fn.access_known = true;
+      }
+    }
+    if (!fn.cls.empty()) fn.is_method = true;
+    if (!fn.cls.empty() && (fn.name == fn.cls || fn.name == "~" + fn.cls)) fn.is_ctor_dtor = true;
+    // Specifiers before the name.
+    std::vector<std::string> type_tokens;
+    for (std::size_t k = start; k < type_end && k < t_.size(); ++k) {
+      const std::string& s = t_[k].text;
+      if (s == "static") fn.is_static = true;
+      if (s == "virtual" || s == "inline" || s == "explicit" || s == "constexpr" ||
+          s == "static" || s == "friend" || s == "[" || s == "]" || s == "nodiscard" ||
+          s == "maybe_unused") {
+        continue;
+      }
+      type_tokens.push_back(s);
+    }
+    for (const auto& s : type_tokens) fn.return_type_text += s;
+    // Trailing const between ')' and body/';'.
+    const std::size_t trail_end = has_body ? body_open : i_;
+    for (std::size_t k = params_end; k < trail_end && k < t_.size(); ++k) {
+      if (t_[k].kind == TokKind::kIdent && t_[k].text == "const") fn.is_const = true;
+    }
+    fn.file_local = in_anon() || (fn.cls.empty() && fn.is_static);
+    if (has_body) {
+      fn.has_body = true;
+      const std::size_t body_close = match_forward(t_, body_open, t_.size(), "{", "}");
+      fn.body_tokens = body_close - body_open;
+      fn.body_begin = body_open + 1;
+      fn.body_end = body_close;
+    }
+    proj_.functions.push_back(std::move(fn));
+  }
+
+  void record_variable(std::size_t start, std::size_t stop, std::size_t init_brace) {
+    // Name: last identifier before '=', before the brace initializer, or
+    // before the terminating ';'.
+    std::size_t limit = stop;
+    for (std::size_t k = start; k < stop; ++k) {
+      if (punct(k, "=")) { limit = k; break; }
+      if (k == init_brace) { limit = k; break; }
+    }
+    std::size_t name_idx = t_.size();
+    for (std::size_t k = limit; k > start;) {
+      --k;
+      if (t_[k].kind == TokKind::kIdent && !is_kw(t_[k].text)) { name_idx = k; break; }
+    }
+    if (name_idx == t_.size()) return;
+    VarDecl v;
+    v.name = t_[name_idx].text;
+    v.file = sf_.rel_path;
+    v.line = t_[name_idx].line;
+    std::vector<std::string> type_tokens;
+    for (std::size_t k = start; k < name_idx; ++k) type_tokens.push_back(t_[k].text);
+    v.type_text = join_compact(t_, start, name_idx);
+    v.is_mutex = type_is_mutex(v.type_text);
+    v.is_unordered = type_is_unordered(v.type_text);
+    v.exempt = type_is_exempt(type_tokens);
+    const std::string cls = current_class();
+    if (v.is_mutex) {
+      MutexDecl m;
+      m.cls = cls;
+      m.name = v.name;
+      m.file = sf_.rel_path;
+      m.line = v.line;
+      m.order = lock_order_for_line(v.line);
+      m.recursive = v.type_text.find("recursive") != std::string::npos;
+      m.shared = v.type_text.find("shared_mutex") != std::string::npos;
+      m.id = (cls.empty() ? sf_.rel_path : cls) + "::" + v.name;
+      proj_.mutexes.emplace(m.id, m);
+    }
+    if (!cls.empty()) {
+      proj_.classes[cls].members.push_back(v);
+    } else {
+      proj_.namespace_vars[sf_.rel_path].push_back(v);
+    }
+  }
+};
+
+}  // namespace
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Phase B: bodies
+// ---------------------------------------------------------------------------
+
+class BodyScanner {
+ public:
+  BodyScanner(const SourceFile& sf, Project& proj, FunctionInfo& fn)
+      : sf_(sf), t_(sf.toks.tokens), proj_(proj), fn_(fn) {}
+
+  void run() {
+    const auto* cls = fn_.cls.empty() ? nullptr : find_class(fn_.cls);
+    if (cls) {
+      for (const auto& [member, guard] : cls->guarded_by) guarded_[member] = guard;
+      for (const auto& m : cls->members) {
+        if (m.is_unordered) unordered_.insert(m.name);
+      }
+    }
+    auto nsg = proj_.ns_guarded_by.find(sf_.rel_path);
+    if (nsg != proj_.ns_guarded_by.end()) {
+      for (const auto& [var, guard] : nsg->second) guarded_[var] = guard;
+    }
+    auto nsv = proj_.namespace_vars.find(sf_.rel_path);
+    if (nsv != proj_.namespace_vars.end()) {
+      for (const auto& v : nsv->second) {
+        if (v.is_unordered) unordered_.insert(v.name);
+      }
+    }
+    scan(fn_.body_begin, fn_.body_end);
+  }
+
+ private:
+  const SourceFile& sf_;
+  const std::vector<Token>& t_;
+  Project& proj_;
+  FunctionInfo& fn_;
+  std::map<std::string, std::string> guarded_;  // name -> mutex id
+  std::set<std::string> unordered_;             // names declared unordered
+  int depth_ = 0;
+  struct Held { std::string id; int depth; };
+  std::vector<Held> held_;
+
+  bool punct(std::size_t k, const char* p) const {
+    return k < t_.size() && t_[k].kind == TokKind::kPunct && t_[k].text == p;
+  }
+
+  std::vector<std::string> held_ids() const {
+    std::vector<std::string> out;
+    out.reserve(held_.size());
+    for (const auto& h : held_) out.push_back(h.id);
+    return out;
+  }
+
+  const ClassInfo* find_class(const std::string& name) const {
+    auto it = proj_.classes.find(name);
+    return it == proj_.classes.end() ? nullptr : &it->second;
+  }
+
+  /// Resolve a bare identifier used as a mutex operand.
+  std::string resolve_mutex(const std::string& name) const {
+    if (!fn_.cls.empty()) {
+      auto it = proj_.mutexes.find(fn_.cls + "::" + name);
+      if (it != proj_.mutexes.end()) return it->first;
+    }
+    auto it = proj_.mutexes.find(sf_.rel_path + "::" + name);
+    if (it != proj_.mutexes.end()) return it->first;
+    return "";
+  }
+
+  /// True when the identifier at k names an unordered container: a local,
+  /// a member of the enclosing class, a namespace var, a member access
+  /// x.name where any known class declares `name` unordered, or a call to
+  /// a project function whose return type is unordered.
+  bool names_unordered(std::size_t k) const {
+    const std::string& name = t_[k].text;
+    if (punct(k + 1, "(")) {  // call in range expression
+      auto it = proj_.by_name.find(name);
+      if (it != proj_.by_name.end()) {
+        for (std::size_t fi : it->second) {
+          if (type_is_unordered(proj_.functions[fi].return_type_text)) return true;
+        }
+      }
+      return false;
+    }
+    if (unordered_.count(name)) return true;
+    if (k > fn_.body_begin && (punct(k - 1, ".") || punct(k - 1, "->"))) {
+      for (const auto& [cname, ci] : proj_.classes) {
+        (void)cname;
+        for (const auto& m : ci.members) {
+          if (m.name == name && m.is_unordered) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void scan(std::size_t begin, std::size_t end) {
+    for (std::size_t j = begin; j < end && j < t_.size();) {
+      const Token& tk = t_[j];
+      if (tk.kind == TokKind::kPunct) {
+        if (tk.text == "{") { ++depth_; ++j; continue; }
+        if (tk.text == "}") {
+          --depth_;
+          while (!held_.empty() && held_.back().depth > depth_) held_.pop_back();
+          ++j;
+          continue;
+        }
+        ++j;
+        continue;
+      }
+      if (tk.kind != TokKind::kIdent) { ++j; continue; }
+      const std::string& s = tk.text;
+
+      if (kAuditMacros.count(s)) { fn_.has_audit = true; ++j; continue; }
+
+      if (kLockTakers.count(s)) {
+        j = scan_lock_taker(j, end);
+        continue;
+      }
+
+      if (kUnorderedNames.count(s)) {
+        j = scan_local_unordered(j, end);
+        continue;
+      }
+
+      if (s == "for" && punct(j + 1, "(")) {
+        scan_for_header(j, end);  // records loop span; tokens re-walked
+        ++j;
+        continue;
+      }
+
+      // Guarded-name access?
+      auto git = guarded_.find(s);
+      if (git != guarded_.end()) {
+        const bool receiver = j > begin && (punct(j - 1, ".") || punct(j - 1, "->"));
+        const bool via_this =
+            receiver && j >= 2 && t_[j - 2].kind == TokKind::kIdent && t_[j - 2].text == "this";
+        const bool qualified = j > begin && punct(j - 1, "::");
+        if ((!receiver || via_this) && !qualified) {
+          fn_.guarded_accesses.push_back({s, git->second, tk.line, held_ids()});
+        }
+      }
+
+      // Call?
+      if (punct(j + 1, "(") && !is_kw(s)) {
+        CallSite c;
+        c.name = s;
+        c.line = tk.line;
+        c.token_index = j;
+        c.held = held_ids();
+        if (j > begin && punct(j - 1, "::") && j >= 2 && t_[j - 2].kind == TokKind::kIdent) {
+          c.qualifier = t_[j - 2].text;
+        }
+        if (j > begin && (punct(j - 1, ".") || punct(j - 1, "->"))) {
+          const bool via_this =
+              j >= 2 && t_[j - 2].kind == TokKind::kIdent && t_[j - 2].text == "this";
+          c.method_call = !via_this;
+        }
+        fn_.calls.push_back(std::move(c));
+      }
+      ++j;
+    }
+  }
+
+  /// std::lock_guard [<...>] name(args...) — record acquisition(s), skip
+  /// past the argument list so `lock(mu_)` is not re-scanned as a call.
+  std::size_t scan_lock_taker(std::size_t j, std::size_t end) {
+    const int line = t_[j].line;
+    std::size_t k = j + 1;
+    if (punct(k, "<")) {  // explicit template arguments
+      int d = 0;
+      while (k < end) {
+        if (punct(k, "<")) ++d;
+        else if (punct(k, ">") && --d == 0) { ++k; break; }
+        ++k;
+      }
+    }
+    if (k < end && t_[k].kind == TokKind::kIdent) ++k;  // RAII variable name
+    if (!punct(k, "(")) return j + 1;  // e.g. a using-declaration mention
+    const std::size_t close = match_forward(t_, k, end, "(", ")");
+    for (std::size_t a = k + 1; a < close; ++a) {
+      if (t_[a].kind != TokKind::kIdent) continue;
+      if (a > 0 && (punct(a - 1, ".") || punct(a - 1, "->"))) continue;  // other.mu_
+      const std::string id = resolve_mutex(t_[a].text);
+      if (!id.empty()) {
+        fn_.acquires.push_back({id, line, held_ids()});
+        held_.push_back({id, depth_});
+      }
+    }
+    return close + 1;
+  }
+
+  /// std::unordered_map<...> name ...  — register a local unordered name.
+  std::size_t scan_local_unordered(std::size_t j, std::size_t end) {
+    std::size_t k = j + 1;
+    if (punct(k, "<")) {
+      int d = 0;
+      while (k < end) {
+        if (punct(k, "<")) ++d;
+        else if (punct(k, ">") && --d == 0) { ++k; break; }
+        ++k;
+      }
+    }
+    while (k < end && (punct(k, "&") || punct(k, "*") || (t_[k].kind == TokKind::kIdent &&
+                                                          t_[k].text == "const"))) {
+      ++k;
+    }
+    if (k < end && t_[k].kind == TokKind::kIdent) unordered_.insert(t_[k].text);
+    return j + 1;  // re-walk naturally; registration is what mattered
+  }
+
+  /// Range-for detection; records a LoopInfo with the body token span.
+  void scan_for_header(std::size_t j, std::size_t end) {
+    const std::size_t open = j + 1;
+    const std::size_t close = match_forward(t_, open, end, "(", ")");
+    if (close >= end) return;
+    // Top-level ':' (tokenizer fuses '::', so a lone ':' is the range
+    // separator) and no top-level ';' (classic for).
+    std::size_t colon = end;
+    int paren = 0, brace = 0;
+    for (std::size_t k = open + 1; k < close; ++k) {
+      if (punct(k, "(")) ++paren;
+      else if (punct(k, ")")) --paren;
+      else if (punct(k, "{")) ++brace;
+      else if (punct(k, "}")) --brace;
+      else if (paren == 0 && brace == 0) {
+        if (punct(k, ";")) return;  // classic for
+        if (punct(k, ":") && colon == end) colon = k;
+      }
+    }
+    if (colon == end) return;
+
+    LoopInfo loop;
+    loop.line = t_[j].line;
+    for (std::size_t k = colon + 1; k < close; ++k) {
+      if (t_[k].kind != TokKind::kIdent || is_kw(t_[k].text)) continue;
+      if (names_unordered(k)) {
+        loop.unordered = true;
+        loop.range_name = t_[k].text;
+        break;
+      }
+    }
+    std::size_t body_begin = close + 1, body_end = body_begin;
+    if (punct(body_begin, "{")) {
+      body_end = match_forward(t_, body_begin, end, "{", "}");
+      ++body_begin;
+    } else {
+      while (body_end < end && !punct(body_end, ";")) ++body_end;
+    }
+    loop.body_begin = body_begin;
+    loop.body_end = body_end;
+    fn_.loops.push_back(std::move(loop));
+  }
+};
+
+void compute_guarded(Project& proj) {
+  for (auto& [name, ci] : proj.classes) {
+    (void)name;
+    std::string guard;
+    for (const auto& m : ci.members) {
+      if (m.is_mutex) {
+        guard = (ci.name.empty() ? m.file : ci.name) + "::" + m.name;
+        continue;
+      }
+      if (m.exempt || guard.empty()) continue;
+      ci.guarded_by[m.name] = guard;
+    }
+  }
+  for (auto& [file, vars] : proj.namespace_vars) {
+    std::string guard;
+    for (const auto& v : vars) {
+      if (v.is_mutex) {
+        guard = file + "::" + v.name;
+        continue;
+      }
+      if (v.exempt || guard.empty()) continue;
+      proj.ns_guarded_by[file][v.name] = guard;
+    }
+  }
+}
+
+void fixup_method_qualifiers(Project& proj) {
+  // A qualifier that names no known class was a namespace qualifier:
+  // treat the function as free. Then resolve access for out-of-line
+  // definitions from the in-class declaration of the same name.
+  std::map<std::string, bool> declared_public;  // "Cls::name" -> any public decl
+  for (const auto& fn : proj.functions) {
+    if (fn.is_method && fn.access_known && proj.classes.count(fn.cls)) {
+      auto key = fn.cls + "::" + fn.name;
+      auto [it, fresh] = declared_public.try_emplace(key, fn.is_public);
+      if (!fresh) it->second = it->second || fn.is_public;
+    }
+  }
+  for (auto& fn : proj.functions) {
+    if (fn.is_method && !proj.classes.count(fn.cls)) {
+      fn.is_method = false;
+      fn.cls.clear();
+      continue;
+    }
+    if (fn.is_method && !fn.access_known) {
+      auto it = declared_public.find(fn.cls + "::" + fn.name);
+      fn.is_public = (it != declared_public.end()) ? it->second : false;
+      fn.access_known = it != declared_public.end();
+    }
+  }
+}
+
+}  // namespace
+
+Project build_project(std::vector<SourceFile> files) {
+  Project proj;
+  proj.files = std::move(files);
+  for (auto& sf : proj.files) {
+    StructureScanner(sf, proj).run();
+  }
+  compute_guarded(proj);
+  fixup_method_qualifiers(proj);
+  for (std::size_t k = 0; k < proj.functions.size(); ++k) {
+    proj.by_name[proj.functions[k].name].push_back(k);
+  }
+  for (auto& fn : proj.functions) {
+    if (!fn.has_body) continue;
+    for (const auto& sf : proj.files) {
+      if (sf.rel_path == fn.file) {
+        BodyScanner(sf, proj, fn).run();
+        break;
+      }
+    }
+  }
+  return proj;
+}
+
+}  // namespace remos::analyze

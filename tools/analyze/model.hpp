@@ -1,0 +1,144 @@
+// remos-analyze: project source model.
+//
+// Two-phase construction over the token streams of every file under
+// <root>/src:
+//
+//   Phase A (structure): namespaces, classes with their ordered member
+//   lists, mutex declarations (+ their // remos-lock-order(N) annotations),
+//   and function declarations/definitions with body token spans.
+//
+//   Phase B (bodies): for every function definition — RAII lock scopes and
+//   the lock set held at each point, calls (with qualifier / receiver
+//   shape), accesses to lock-guarded names, range-for loops over unordered
+//   containers, and REMOS_CHECK / REMOS_AUDIT usage.
+//
+// The model is approximate by design: names are matched textually, calls
+// are resolved by unqualified name, and types are substring-matched. The
+// passes (passes.hpp) are written so that approximation errs toward
+// silence, and the corpus tests (tests/analyze_corpus) pin the behaviors
+// the project relies on.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tokenizer.hpp"
+
+namespace remos::analyze {
+
+/// A mutex-typed variable: class member or namespace-scope.
+struct MutexDecl {
+  std::string id;       // "Class::name" or "file::name" (namespace scope)
+  std::string cls;      // owning class, "" for namespace scope
+  std::string name;
+  std::string file;     // repo-relative path of the declaration
+  int line = 0;
+  int order = -1;       // from // remos-lock-order(N); -1 = unannotated
+  bool recursive = false;
+  bool shared = false;  // std::shared_mutex
+};
+
+/// A non-function data declaration (class member or namespace-scope var).
+struct VarDecl {
+  std::string name;
+  std::string type_text;  // joined declaration tokens left of the name
+  std::string file;
+  int line = 0;
+  bool is_mutex = false;
+  bool is_unordered = false;
+  /// Types with their own synchronization story (atomics, cv, thread):
+  /// excluded from guarded-member analysis.
+  bool exempt = false;
+};
+
+struct ClassInfo {
+  std::string name;
+  std::string file;  // file of the defining class body
+  int line = 0;
+  std::vector<VarDecl> members;  // declaration order
+  /// member name -> guarding mutex id, derived from declaration order:
+  /// a member declared after a mutex member is guarded by it.
+  std::map<std::string, std::string> guarded_by;
+};
+
+struct CallSite {
+  std::string name;
+  std::string qualifier;  // "std" for std::foo(...), "" otherwise
+  bool method_call = false;  // receiver.name(...) / receiver->name(...)
+  int line = 0;
+  std::size_t token_index = 0;  // position in the file token stream
+  std::vector<std::string> held;  // mutex ids held at the call
+};
+
+struct AccessSite {
+  std::string name;       // guarded variable touched
+  std::string guard;      // mutex id that must be held
+  int line = 0;
+  std::vector<std::string> held;
+};
+
+struct AcquireSite {
+  std::string mutex;  // mutex id
+  int line = 0;
+  std::vector<std::string> held;  // already held when acquiring
+};
+
+struct LoopInfo {
+  int line = 0;
+  bool unordered = false;        // range resolves to an unordered container
+  std::string range_name;        // the container identifier, for messages
+  std::size_t body_begin = 0;    // token span of the loop body
+  std::size_t body_end = 0;
+};
+
+struct FunctionInfo {
+  std::string cls;   // enclosing/qualifying class, "" for free functions
+  std::string name;
+  std::string file;
+  int line = 0;             // definition (or declaration) line
+  bool is_method = false;
+  bool is_const = false;
+  bool is_public = true;    // access at declaration (methods)
+  bool is_static = false;
+  bool is_ctor_dtor = false;
+  bool is_operator = false;
+  bool file_local = false;  // anonymous namespace / static linkage
+  bool access_known = false;  // declared inside a class body (access seen)
+  bool has_body = false;
+  std::size_t body_begin = 0;  // token span of the body (exclusive braces)
+  std::size_t body_end = 0;
+  std::size_t body_tokens = 0;
+  bool has_audit = false;   // REMOS_CHECK / REMOS_AUDIT in the body
+  std::string return_type_text;
+  std::vector<CallSite> calls;
+  std::vector<AcquireSite> acquires;
+  std::vector<AccessSite> guarded_accesses;
+  std::vector<LoopInfo> loops;
+};
+
+struct SourceFile {
+  std::string rel_path;   // e.g. "src/core/modeler.cpp"
+  std::string layer;      // first path component under src/, e.g. "core"
+  std::string raw;        // file contents (marker searches)
+  TokenizedFile toks;
+};
+
+struct Project {
+  std::vector<SourceFile> files;
+  std::map<std::string, ClassInfo> classes;       // by class name
+  std::map<std::string, MutexDecl> mutexes;       // by mutex id
+  std::vector<FunctionInfo> functions;
+  /// unqualified function name -> indices into functions
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  /// per-file namespace-scope vars, declaration order (guarded-var rules)
+  std::map<std::string, std::vector<VarDecl>> namespace_vars;
+  /// per-file: namespace-scope var name -> guarding mutex id
+  std::map<std::string, std::map<std::string, std::string>> ns_guarded_by;
+};
+
+/// Build the model from tokenized files (rel_path must be set on each).
+Project build_project(std::vector<SourceFile> files);
+
+}  // namespace remos::analyze

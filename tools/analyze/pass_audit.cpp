@@ -1,0 +1,62 @@
+#include <vector>
+
+#include "passes.hpp"
+
+namespace remos::analyze {
+namespace {
+
+// Bodies below this many tokens are trivial accessors/forwarders; forcing
+// a REMOS_CHECK into a two-line setter adds noise, not safety. Calibrated
+// against the tree: real mutating entry points (add_site, record_*,
+// handle_*) are all comfortably above it.
+constexpr std::size_t kMinBodyTokens = 40;
+
+bool core_header(const std::string& file) {
+  return file.rfind("src/core/", 0) == 0 &&
+         file.size() > 4 && file.compare(file.size() - 4, 4, ".hpp") == 0;
+}
+
+}  // namespace
+
+Findings pass_audit(const Project& proj, const CallGraph& cg) {
+  Findings out;
+
+  // audited[i]: function i contains REMOS_CHECK/REMOS_AUDIT directly or
+  // reaches one through a resolvable callee.
+  std::vector<char> audited(proj.functions.size(), 0);
+  for (std::size_t i = 0; i < proj.functions.size(); ++i)
+    if (proj.functions[i].has_audit) audited[i] = 1;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < proj.functions.size(); ++i) {
+      if (audited[i]) continue;
+      for (std::size_t k : cg.edges[i]) {
+        if (audited[k]) {
+          audited[i] = 1;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < proj.functions.size(); ++i) {
+    const FunctionInfo& fn = proj.functions[i];
+    if (!fn.is_method || fn.cls.empty()) continue;
+    if (!fn.is_public || fn.is_const || fn.is_static) continue;
+    if (fn.is_ctor_dtor || fn.is_operator) continue;
+    if (!fn.has_body || fn.body_tokens < kMinBodyTokens) continue;
+    auto cls = proj.classes.find(fn.cls);
+    if (cls == proj.classes.end() || !core_header(cls->second.file)) continue;
+    if (audited[i]) continue;
+    out.push_back({"audit", fn.file, fn.line,
+                   "public mutating entry point `" + fn.cls + "::" + fn.name +
+                       "` never reaches REMOS_CHECK/REMOS_AUDIT — assert its "
+                       "preconditions or invariants"});
+  }
+
+  return out;
+}
+
+}  // namespace remos::analyze

@@ -1,0 +1,67 @@
+#include <set>
+
+#include "passes.hpp"
+
+namespace remos::analyze {
+namespace {
+
+// Receiver-calls with these names are STL container/primitive operations,
+// not project calls — resolving them by bare name would wire, say, every
+// `counters_.clear()` to every project `clear()` and drown the passes in
+// phantom edges.
+const std::set<std::string>& stl_method_names() {
+  static const std::set<std::string> kNames{
+      "clear",      "size",        "empty",       "begin",      "end",
+      "rbegin",     "rend",        "find",        "count",      "erase",
+      "insert",     "emplace",     "emplace_back", "push_back", "pop_back",
+      "push_front", "pop_front",   "at",          "front",      "back",
+      "reserve",    "resize",      "data",        "c_str",      "str",
+      "append",     "substr",      "length",      "swap",       "reset",
+      "get",        "release",     "load",        "store",      "exchange",
+      "fetch_add",  "fetch_sub",   "compare_exchange_weak",
+      "compare_exchange_strong",   "lock",        "unlock",     "try_lock",
+      "notify_one", "notify_all",  "wait",        "join",       "detach",
+      "valid",      "capacity",    "assign",      "insert_or_assign",
+      "try_emplace", "contains",   "lower_bound", "upper_bound",
+      "equal_range", "first",      "second",      "value",      "value_or",
+      "has_value",  "extract",     "merge",       "starts_with", "ends_with"};
+  return kNames;
+}
+
+}  // namespace
+
+std::vector<std::size_t> resolve_call(const Project& proj,
+                                      const FunctionInfo& caller,
+                                      const CallSite& call) {
+  std::vector<std::size_t> out;
+  if (call.qualifier == "std") return out;
+  if (call.method_call && stl_method_names().count(call.name)) return out;
+  std::string name = call.name;
+  if (name == "REMOS_LOG") name = "log_message";  // macro alias
+  auto it = proj.by_name.find(name);
+  if (it == proj.by_name.end()) return out;
+  for (std::size_t k : it->second) {
+    const FunctionInfo& callee = proj.functions[k];
+    if (callee.file_local && callee.file != caller.file) continue;
+    out.push_back(k);
+  }
+  return out;
+}
+
+CallGraph build_call_graph(const Project& proj) {
+  CallGraph cg;
+  cg.edges.resize(proj.functions.size());
+  for (std::size_t i = 0; i < proj.functions.size(); ++i) {
+    const FunctionInfo& fn = proj.functions[i];
+    std::set<std::size_t> out;
+    for (const CallSite& c : fn.calls) {
+      for (std::size_t k : resolve_call(proj, fn, c)) {
+        if (k != i) out.insert(k);
+      }
+    }
+    cg.edges[i].assign(out.begin(), out.end());
+  }
+  return cg;
+}
+
+}  // namespace remos::analyze

@@ -1,0 +1,79 @@
+#include <set>
+#include <vector>
+
+#include "passes.hpp"
+
+namespace remos::analyze {
+namespace {
+
+// Files whose functions emit externally visible, order-sensitive output:
+// the wire protocols, XML rendering, and the observability exporters.
+// Anything a loop body reaches here turns iteration order into output.
+const std::set<std::string>& sink_files() {
+  static const std::set<std::string> kSinks{
+      "src/core/protocol_ascii.cpp", "src/core/protocol_xml.cpp",
+      "src/core/xml.cpp",            "src/core/xml.hpp",
+      "src/core/obs.cpp",            "src/core/obs.hpp",
+      "src/core/render.cpp",         "src/core/render.hpp"};
+  return kSinks;
+}
+
+}  // namespace
+
+Findings pass_determinism(const Project& proj, const CallGraph& cg) {
+  Findings out;
+
+  // reaches_sink[i]: function i is defined in a sink file, or some
+  // resolvable callee (transitively) is. Fixpoint, same shape as the
+  // lock pass's transitive acquire sets.
+  std::vector<char> reaches(proj.functions.size(), 0);
+  for (std::size_t i = 0; i < proj.functions.size(); ++i)
+    if (sink_files().count(proj.functions[i].file)) reaches[i] = 1;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < proj.functions.size(); ++i) {
+      if (reaches[i]) continue;
+      for (std::size_t k : cg.edges[i]) {
+        if (reaches[k]) {
+          reaches[i] = 1;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < proj.functions.size(); ++i) {
+    const FunctionInfo& fn = proj.functions[i];
+    const bool fn_in_sink = sink_files().count(fn.file) != 0;
+    for (const LoopInfo& loop : fn.loops) {
+      if (!loop.unordered) continue;
+      bool leaks = fn_in_sink;
+      if (!leaks) {
+        for (const CallSite& c : fn.calls) {
+          if (c.token_index < loop.body_begin || c.token_index >= loop.body_end)
+            continue;
+          for (std::size_t k : resolve_call(proj, fn, c)) {
+            if (reaches[k]) {
+              leaks = true;
+              break;
+            }
+          }
+          if (leaks) break;
+        }
+      }
+      if (leaks) {
+        out.push_back(
+            {"determinism", fn.file, loop.line,
+             "iteration over unordered container `" + loop.range_name +
+                 "` reaches an export sink — iteration order leaks into "
+                 "output; use an ordered container or sort before emitting"});
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace remos::analyze

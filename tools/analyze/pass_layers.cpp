@@ -1,0 +1,248 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "passes.hpp"
+
+namespace remos::analyze {
+namespace {
+
+// Marker a header must carry in-file to honor a `public <header>` grant in
+// layers.txt — the exemption is two-sided so neither side can drift alone.
+constexpr const char* kPublicMarker = "remos-analyze: public-header(";
+
+struct LayerSpec {
+  std::map<std::string, std::set<std::string>> allowed;  // direct deps
+  std::set<std::string> public_headers;                  // src/-relative
+};
+
+LayerSpec parse_layers(const std::string& text, const std::string& display,
+                       Findings& out) {
+  LayerSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (auto hash = line.find('#'); hash != std::string::npos)
+      line.resize(hash);
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw)) continue;
+    if (kw == "layer") {
+      std::string name;
+      if (!(ls >> name) || name.back() != ':') {
+        out.push_back({"layer", display, lineno,
+                       "expected `layer <name>: [deps...]`"});
+        continue;
+      }
+      name.pop_back();
+      auto& deps = spec.allowed[name];  // creates the layer even dep-less
+      std::string dep;
+      while (ls >> dep) deps.insert(dep);
+    } else if (kw == "public") {
+      std::string path;
+      if (!(ls >> path)) {
+        out.push_back({"layer", display, lineno, "expected `public <header>`"});
+        continue;
+      }
+      spec.public_headers.insert(path);
+    } else {
+      out.push_back({"layer", display, lineno, "unknown directive `" + kw + "`"});
+    }
+  }
+  return spec;
+}
+
+/// DFS over a string-keyed dep graph; reports each cycle once via `on_cycle`
+/// with the back-edge path joined " -> ".
+template <typename EdgesFn, typename OnCycle>
+void find_cycles(const std::set<std::string>& nodes, EdgesFn edges,
+                 OnCycle on_cycle) {
+  std::set<std::string> done;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  // Iterative DFS with an explicit edge cursor per frame.
+  struct Frame {
+    std::string node;
+    std::vector<std::string> succ;
+    std::size_t next = 0;
+  };
+  for (const std::string& root : nodes) {
+    if (done.count(root)) continue;
+    std::vector<Frame> frames;
+    frames.push_back({root, edges(root), 0});
+    stack.push_back(root);
+    on_stack.insert(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.next < f.succ.size()) {
+        const std::string next = f.succ[f.next++];
+        if (on_stack.count(next)) {
+          auto it = std::find(stack.begin(), stack.end(), next);
+          std::string path;
+          for (; it != stack.end(); ++it) path += *it + " -> ";
+          on_cycle(path + next);
+        } else if (!done.count(next)) {
+          frames.push_back({next, edges(next), 0});
+          stack.push_back(next);
+          on_stack.insert(next);
+        }
+      } else {
+        done.insert(f.node);
+        on_stack.erase(f.node);
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Findings pass_layers(const Project& proj, const std::string& layers_text,
+                     const std::string& layers_display) {
+  Findings out;
+  LayerSpec spec = parse_layers(layers_text, layers_display, out);
+
+  // Declared deps must themselves be declared layers, and the declared
+  // graph must be a DAG.
+  std::set<std::string> layer_names;
+  for (const auto& [name, deps] : spec.allowed) layer_names.insert(name);
+  for (const auto& [name, deps] : spec.allowed) {
+    for (const std::string& d : deps) {
+      if (!layer_names.count(d)) {
+        out.push_back({"layer", layers_display, 1,
+                       "layer `" + name + "` depends on undeclared layer `" +
+                           d + "`"});
+      }
+    }
+  }
+  bool dag_cycle = false;
+  find_cycles(
+      layer_names,
+      [&](const std::string& n) {
+        const auto& d = spec.allowed.at(n);
+        return std::vector<std::string>(d.begin(), d.end());
+      },
+      [&](const std::string& path) {
+        dag_cycle = true;
+        out.push_back({"layer", layers_display, 1,
+                       "declared layer graph has a cycle: " + path});
+      });
+
+  // Transitive closure of allowed deps (skipped if the declaration itself
+  // is cyclic — everything below would be noise).
+  std::map<std::string, std::set<std::string>> reach = spec.allowed;
+  if (!dag_cycle) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (auto& [name, deps] : reach) {
+        std::set<std::string> add;
+        for (const std::string& d : deps) {
+          auto it = reach.find(d);
+          if (it == reach.end()) continue;
+          for (const std::string& dd : it->second)
+            if (!deps.count(dd)) add.insert(dd);
+        }
+        if (!add.empty()) {
+          deps.insert(add.begin(), add.end());
+          changed = true;
+        }
+      }
+    }
+  }
+
+  std::set<std::string> file_paths;
+  for (const SourceFile& sf : proj.files) file_paths.insert(sf.rel_path);
+
+  auto header_has_marker = [&](const std::string& src_rel) {
+    for (const SourceFile& sf : proj.files)
+      if (sf.rel_path == src_rel)
+        return sf.raw.find(kPublicMarker) != std::string::npos;
+    return false;
+  };
+
+  // Public grants are two-sided: the grant in layers.txt AND the marker in
+  // the header. Either one alone is a finding.
+  std::set<std::string> public_ok;
+  for (const std::string& p : spec.public_headers) {
+    const std::string src_rel = "src/" + p;
+    if (!file_paths.count(src_rel)) {
+      out.push_back({"layer", layers_display, 1,
+                     "public grant for `" + p + "` names no file under src/"});
+    } else if (!header_has_marker(src_rel)) {
+      out.push_back(
+          {"layer", src_rel, 1,
+           "layers.txt grants `public " + p +
+               "` but the header carries no remos-analyze: public-header(...) "
+               "marker"});
+    } else {
+      public_ok.insert(p);
+    }
+  }
+  for (const SourceFile& sf : proj.files) {
+    if (sf.raw.find(kPublicMarker) == std::string::npos) continue;
+    const std::string src_less =
+        sf.rel_path.rfind("src/", 0) == 0 ? sf.rel_path.substr(4) : sf.rel_path;
+    if (!spec.public_headers.count(src_less)) {
+      out.push_back({"layer", sf.rel_path, 1,
+                     "public-header(...) marker present but layers.txt has no "
+                     "matching `public " +
+                         src_less + "` grant"});
+    }
+  }
+
+  // Per-file checks: declared layer, and every project include must stay
+  // within the layer's allowed set (or target a public header).
+  for (const SourceFile& sf : proj.files) {
+    if (!layer_names.count(sf.layer)) {
+      out.push_back({"layer", sf.rel_path, 1,
+                     "directory `src/" + sf.layer +
+                         "` is not declared in " + layers_display});
+      continue;
+    }
+    const std::set<std::string>& ok = reach[sf.layer];
+    for (const IncludeDirective& inc : sf.toks.includes) {
+      if (!inc.quoted) continue;
+      auto slash = inc.path.find('/');
+      if (slash == std::string::npos) continue;  // not layer-qualified
+      const std::string target = inc.path.substr(0, slash);
+      if (!layer_names.count(target)) continue;  // not a project layer
+      if (target == sf.layer || ok.count(target)) continue;
+      if (public_ok.count(inc.path)) continue;
+      out.push_back({"layer", sf.rel_path, inc.line,
+                     "layer `" + sf.layer + "` must not include \"" +
+                         inc.path + "\" — `" + target +
+                         "` is not among its declared dependencies"});
+    }
+  }
+
+  // File-level include cycles (independent of the declared layering —
+  // a cycle inside one layer is still a build hazard).
+  std::map<std::string, std::vector<std::string>> inc_graph;
+  for (const SourceFile& sf : proj.files) {
+    auto& succ = inc_graph[sf.rel_path];
+    for (const IncludeDirective& inc : sf.toks.includes) {
+      if (!inc.quoted) continue;
+      const std::string dst = "src/" + inc.path;
+      if (file_paths.count(dst)) succ.push_back(dst);
+    }
+  }
+  find_cycles(
+      file_paths,
+      [&](const std::string& n) {
+        auto it = inc_graph.find(n);
+        return it == inc_graph.end() ? std::vector<std::string>{} : it->second;
+      },
+      [&](const std::string& path) {
+        const std::string head = path.substr(0, path.find(' '));
+        out.push_back({"layer", head, 1, "include cycle: " + path});
+      });
+
+  return out;
+}
+
+}  // namespace remos::analyze

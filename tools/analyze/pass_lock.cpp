@@ -1,0 +1,132 @@
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "passes.hpp"
+
+namespace remos::analyze {
+namespace {
+
+/// Transitive acquire set: for each function, every mutex id it may take
+/// directly or through any resolvable callee. Computed as a fixpoint so
+/// cycles in the (approximate) call graph converge instead of recursing.
+std::vector<std::set<std::string>> transitive_acquires(const Project& proj,
+                                                       const CallGraph& cg) {
+  std::vector<std::set<std::string>> ta(proj.functions.size());
+  for (std::size_t i = 0; i < proj.functions.size(); ++i)
+    for (const AcquireSite& a : proj.functions[i].acquires)
+      ta[i].insert(a.mutex);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < proj.functions.size(); ++i) {
+      for (std::size_t k : cg.edges[i]) {
+        for (const std::string& m : ta[k])
+          if (ta[i].insert(m).second) changed = true;
+      }
+    }
+  }
+  return ta;
+}
+
+std::string short_id(const std::string& mutex_id) { return mutex_id; }
+
+}  // namespace
+
+Findings pass_lock(const Project& proj, const CallGraph& cg) {
+  Findings out;
+
+  // 1. Every mutex must declare its place in the lock order.
+  for (const auto& [id, m] : proj.mutexes) {
+    if (m.order < 0) {
+      out.push_back({"lock", m.file, m.line,
+                     "mutex `" + m.name +
+                         "` lacks a // remos-lock-order(N) annotation"});
+    }
+  }
+
+  const auto ta = transitive_acquires(proj, cg);
+
+  auto order_of = [&](const std::string& id) -> int {
+    auto it = proj.mutexes.find(id);
+    return it == proj.mutexes.end() ? -1 : it->second.order;
+  };
+  auto is_recursive = [&](const std::string& id) {
+    auto it = proj.mutexes.find(id);
+    return it != proj.mutexes.end() && it->second.recursive;
+  };
+
+  std::set<std::string> seen;  // dedupe (file:line:message)
+  auto emit = [&](const std::string& file, int line, std::string msg) {
+    if (seen.insert(file + ":" + std::to_string(line) + ":" + msg).second)
+      out.push_back({"lock", file, line, std::move(msg)});
+  };
+
+  for (std::size_t i = 0; i < proj.functions.size(); ++i) {
+    const FunctionInfo& fn = proj.functions[i];
+
+    // 2. Direct nested acquisition must follow strictly increasing order.
+    for (const AcquireSite& a : fn.acquires) {
+      for (const std::string& h : a.held) {
+        if (h == a.mutex) {
+          if (!is_recursive(h))
+            emit(fn.file, a.line,
+                 "`" + short_id(a.mutex) + "` acquired while already held");
+          continue;
+        }
+        const int oh = order_of(h), oa = order_of(a.mutex);
+        if (oh >= 0 && oa >= 0 && oh >= oa) {
+          emit(fn.file, a.line,
+               "lock-order violation: acquiring `" + short_id(a.mutex) +
+                   "` (order " + std::to_string(oa) + ") while holding `" +
+                   short_id(h) + "` (order " + std::to_string(oh) + ")");
+        }
+      }
+    }
+
+    // 3. Calls made under a lock: the callee's transitive acquire set must
+    //    stay strictly above every held lock.
+    for (const CallSite& c : fn.calls) {
+      if (c.held.empty()) continue;
+      for (std::size_t k : resolve_call(proj, fn, c)) {
+        if (k == i) continue;
+        for (const std::string& m : ta[k]) {
+          for (const std::string& h : c.held) {
+            if (h == m) {
+              if (!is_recursive(h))
+                emit(fn.file, c.line,
+                     "call to `" + c.name + "` may re-acquire `" +
+                         short_id(m) + "` already held here");
+              continue;
+            }
+            const int oh = order_of(h), om = order_of(m);
+            if (oh >= 0 && om >= 0 && oh >= om) {
+              emit(fn.file, c.line,
+                   "lock-order violation: call to `" + c.name +
+                       "` may acquire `" + short_id(m) + "` (order " +
+                       std::to_string(om) + ") while holding `" + short_id(h) +
+                       "` (order " + std::to_string(oh) + ")");
+            }
+          }
+        }
+      }
+    }
+
+    // 4. Guarded members must only be touched under their mutex.
+    //    Constructors/destructors are exempt (object not yet/no longer
+    //    shared); the model only records accesses with a resolvable guard.
+    if (fn.is_ctor_dtor) continue;
+    for (const AccessSite& acc : fn.guarded_accesses) {
+      if (std::find(acc.held.begin(), acc.held.end(), acc.guard) !=
+          acc.held.end())
+        continue;
+      emit(fn.file, acc.line,
+           "`" + acc.name + "` is guarded by `" + short_id(acc.guard) +
+               "` (declared after it) but touched without holding it");
+    }
+  }
+
+  return out;
+}
+
+}  // namespace remos::analyze

@@ -1,0 +1,51 @@
+// remos-analyze: the four analysis passes.
+//
+//   lock          mutex members must carry // remos-lock-order(N); nested
+//                 acquisitions (direct or through the approximate call
+//                 graph) must acquire in strictly increasing order; members
+//                 declared after a mutex are guarded by it and must only be
+//                 touched while it is held.
+//   determinism   range-for over std::unordered_* whose body reaches an
+//                 export sink (protocol_ascii, protocol_xml, xml, obs,
+//                 render) — iteration order would leak into golden output.
+//   layer         the include layering declared in layers.txt: no upward
+//                 includes, no undeclared layers, no include cycles.
+//   audit         public mutating entry points in src/core must invoke
+//                 REMOS_CHECK / REMOS_AUDIT, directly or via a callee.
+//
+// Every pass is approximate (see model.hpp); each errs toward silence so
+// the tree stays warning-clean without suppression sprawl, and the corpus
+// fixtures in tests/analyze_corpus pin the must-catch cases.
+#pragma once
+
+#include "report.hpp"
+
+namespace remos::analyze {
+
+/// Name-resolved call graph: functions[i] -> indices of possible callees.
+/// Resolution is by unqualified name, excluding std::-qualified calls,
+/// receiver-calls with STL-container method names, and file-local
+/// functions of other files. The macro REMOS_LOG resolves to log_message
+/// so logging under a lock participates in lock-order checking.
+struct CallGraph {
+  std::vector<std::vector<std::size_t>> edges;  // parallel to proj.functions
+};
+CallGraph build_call_graph(const Project& proj);
+
+/// Resolve one call site to candidate function indices under the same
+/// policy build_call_graph uses. Passes that need per-site precision
+/// (e.g. which locks are held at *this* call) use this directly.
+std::vector<std::size_t> resolve_call(const Project& proj,
+                                      const FunctionInfo& caller,
+                                      const CallSite& call);
+
+Findings pass_lock(const Project& proj, const CallGraph& cg);
+Findings pass_determinism(const Project& proj, const CallGraph& cg);
+Findings pass_audit(const Project& proj, const CallGraph& cg);
+
+/// `layers_text` is the contents of layers.txt; `layers_display` is the
+/// path used in finding messages for problems with the file itself.
+Findings pass_layers(const Project& proj, const std::string& layers_text,
+                     const std::string& layers_display);
+
+}  // namespace remos::analyze

@@ -1,0 +1,114 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace remos::analyze {
+namespace {
+
+const std::set<std::string> kKnownPasses{"lock", "determinism", "layer", "audit",
+                                         "suppression"};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Findings apply_suppressions(Findings findings, const Project& proj) {
+  Findings out;
+  for (auto& f : findings) {
+    bool suppressed = false;
+    for (const auto& sf : proj.files) {
+      if (sf.rel_path != f.file) continue;
+      for (const auto& s : sf.toks.suppressions) {
+        if (s.pass != f.pass) continue;
+        if (s.justification.empty()) continue;  // malformed: cannot suppress
+        const bool covers =
+            (s.line == f.line) || (s.comment_only_line && s.line + 1 == f.line);
+        if (covers) {
+          s.used = true;
+          suppressed = true;
+          break;
+        }
+      }
+      break;
+    }
+    if (!suppressed) out.push_back(std::move(f));
+  }
+
+  // Meta-findings over the suppression markers themselves.
+  for (const auto& sf : proj.files) {
+    for (const auto& s : sf.toks.suppressions) {
+      if (!kKnownPasses.count(s.pass)) {
+        out.push_back({"suppression", sf.rel_path, s.line,
+                       "allow(" + s.pass + ") names no analyzer pass"});
+        continue;
+      }
+      if (s.justification.empty()) {
+        out.push_back({"suppression", sf.rel_path, s.line,
+                       "allow(" + s.pass +
+                           ") lacks a justification — write `allow(" + s.pass +
+                           "): <why this is safe>`"});
+        continue;
+      }
+      if (!s.used) {
+        out.push_back({"suppression", sf.rel_path, s.line,
+                       "stale allow(" + s.pass +
+                           "): it suppresses nothing on this line"});
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.pass != b.pass) return a.pass < b.pass;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+void print_text(const Findings& findings, std::size_t files_scanned) {
+  for (const auto& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.pass.c_str(),
+                f.message.c_str());
+  }
+  std::printf("remos_analyze: %zu finding(s) in %zu file(s)\n", findings.size(),
+              files_scanned);
+}
+
+void print_json(const Findings& findings) {
+  std::printf("{\n  \"findings\": [");
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    std::printf("%s\n    {\"pass\": \"%s\", \"file\": \"%s\", \"line\": %d, "
+                "\"message\": \"%s\"}",
+                i ? "," : "", json_escape(f.pass).c_str(), json_escape(f.file).c_str(),
+                f.line, json_escape(f.message).c_str());
+  }
+  std::printf("%s],\n  \"count\": %zu\n}\n", findings.empty() ? "" : "\n  ",
+              findings.size());
+}
+
+}  // namespace remos::analyze

@@ -1,0 +1,41 @@
+// remos-analyze: findings, suppression filtering, and output formats.
+//
+// Suppression grammar (per line, same discipline repo-wide):
+//
+//   // remos-analyze: allow(<pass>): <justification>
+//
+// The justification is mandatory — an allow() without one is itself a
+// finding, as is an allow() naming an unknown pass or one that suppresses
+// nothing (stale). A marker on a comment-only line suppresses the next
+// line, so long declarations can keep their justification above them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace remos::analyze {
+
+struct Finding {
+  std::string pass;  // "lock" | "determinism" | "layer" | "audit" | "suppression"
+  std::string file;  // repo-relative
+  int line = 0;
+  std::string message;
+};
+
+using Findings = std::vector<Finding>;
+
+/// Apply suppressions: drop findings covered by a matching, justified
+/// allow() marker; then append meta-findings for malformed, unknown-pass,
+/// and stale suppressions. Returns the surviving findings, sorted by
+/// (file, line, pass) for deterministic output.
+Findings apply_suppressions(Findings findings, const Project& proj);
+
+/// Human-readable report to stdout.
+void print_text(const Findings& findings, std::size_t files_scanned);
+
+/// Machine-diffable JSON report to stdout.
+void print_json(const Findings& findings);
+
+}  // namespace remos::analyze

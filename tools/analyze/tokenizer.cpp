@@ -1,0 +1,182 @@
+#include "tokenizer.hpp"
+
+#include <cctype>
+#include <regex>
+
+namespace remos::analyze {
+namespace {
+
+const std::regex kLockOrderRe{R"(//.*remos-lock-order\((\d+)\))"};
+const std::regex kAllowRe{
+    R"(//\s*remos-analyze:\s*allow\(([a-z-]*)\)(:\s*(.*))?)"};
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// True when the part of `line` before `pos` holds no code (only blanks),
+/// i.e. the comment at `pos` has the line to itself.
+bool comment_only(const std::string& line, std::size_t pos) {
+  for (std::size_t i = 0; i < pos && i < line.size(); ++i) {
+    if (!std::isspace(static_cast<unsigned char>(line[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TokenizedFile tokenize(const std::string& text) {
+  TokenizedFile out;
+
+  // Pass 1: line-anchored side channels (annotations, suppressions,
+  // includes). Runs on raw lines so comments are still visible.
+  {
+    int lineno = 0;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      ++lineno;
+      std::size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      const std::string line = text.substr(start, end - start);
+
+      std::smatch m;
+      if (std::regex_search(line, m, kLockOrderRe)) {
+        out.lock_orders.push_back({lineno, std::stoi(m[1].str())});
+      }
+      if (std::regex_search(line, m, kAllowRe)) {
+        Suppression s;
+        s.line = lineno;
+        s.pass = m[1].str();
+        s.justification = m[3].matched ? m[3].str() : "";
+        // Trim trailing whitespace from the justification.
+        while (!s.justification.empty() &&
+               std::isspace(static_cast<unsigned char>(s.justification.back()))) {
+          s.justification.pop_back();
+        }
+        s.comment_only_line = comment_only(line, static_cast<std::size_t>(m.position(0)));
+        out.suppressions.push_back(s);
+      }
+      if (std::regex_search(line, m,
+                            std::regex{R"(^\s*#\s*include\s*([<"])([^">]+)[">])"})) {
+        out.includes.push_back({m[2].str(), m[1].str() == "\"", lineno});
+      }
+
+      if (end == text.size()) break;
+      start = end + 1;
+    }
+  }
+
+  // Pass 2: token stream. Comments, strings (contents), and preprocessor
+  // directives are skipped; line numbers are preserved.
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  bool at_line_start = true;
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      // Preprocessor directive, possibly backslash-continued.
+      while (i < n) {
+        std::size_t eol = text.find('\n', i);
+        if (eol == std::string::npos) { i = n; break; }
+        bool continued = false;
+        for (std::size_t k = eol; k > i;) {
+          --k;
+          if (text[k] == '\\') { continued = true; break; }
+          if (!std::isspace(static_cast<unsigned char>(text[k]))) break;
+        }
+        ++line;
+        i = eol + 1;
+        if (!continued) break;
+      }
+      at_line_start = true;
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t eol = text.find('\n', i);
+      i = (eol == std::string::npos) ? n : eol;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t close = text.find("*/", i + 2);
+      if (close == std::string::npos) close = n;
+      for (std::size_t k = i; k < close && k < n; ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      i = (close == n) ? n : close + 2;
+      continue;
+    }
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      // Raw string literal R"delim(...)delim".
+      std::size_t open = text.find('(', i + 2);
+      if (open == std::string::npos) { ++i; continue; }
+      const std::string delim = text.substr(i + 2, open - (i + 2));
+      const std::string closer = ")" + delim + "\"";
+      std::size_t close = text.find(closer, open + 1);
+      if (close == std::string::npos) close = n;
+      for (std::size_t k = i; k < close && k < n; ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      out.tokens.push_back({TokKind::kString, "", line});
+      i = (close == n) ? n : close + closer.size();
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\') ++j;
+        ++j;
+      }
+      out.tokens.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar, "", line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(text[j])) ++j;
+      out.tokens.push_back({TokKind::kIdent, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && (is_ident_char(text[j]) || text[j] == '.' ||
+                       ((text[j] == '+' || text[j] == '-') && j > 0 &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation. `::` and `->` are fused: qualified names and member
+    // dereferences are pattern-matched constantly by the scanner.
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      out.tokens.push_back({TokKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      out.tokens.push_back({TokKind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace remos::analyze

@@ -1,0 +1,60 @@
+// remos-analyze: C++ tokenizer.
+//
+// A deliberately small lexer: it produces identifier / number / string /
+// punctuation tokens with line numbers, skips preprocessor directives
+// (including backslash-continued ones), and collects three line-anchored
+// side channels the passes need:
+//
+//   * #include directives (path + quote/angle form),
+//   * // remos-lock-order(N) annotations,
+//   * // remos-analyze: allow(<pass>): <justification> suppressions.
+//
+// It is not a compiler front end. remos-analyze is an approximate,
+// project-shaped analyzer (see DESIGN.md "Static analysis"): the grammar
+// it understands is the grammar this repository actually uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace remos::analyze {
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+struct IncludeDirective {
+  std::string path;   // as written between the delimiters
+  bool quoted = false;  // "..." (project include) vs <...> (system)
+  int line = 0;
+};
+
+struct LockOrderAnnotation {
+  int line = 0;
+  int order = 0;
+};
+
+struct Suppression {
+  int line = 0;
+  std::string pass;           // pass name inside allow(...)
+  std::string justification;  // text after the closing "):"
+  bool comment_only_line = false;  // annotation sits on its own line ->
+                                   // it suppresses the *next* line too
+  mutable bool used = false;
+};
+
+struct TokenizedFile {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<LockOrderAnnotation> lock_orders;
+  std::vector<Suppression> suppressions;
+};
+
+/// Tokenize one source file's contents. `text` is the raw file body.
+TokenizedFile tokenize(const std::string& text);
+
+}  // namespace remos::analyze

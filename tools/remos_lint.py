@@ -66,11 +66,66 @@ ALLOW_FILE_RE = re.compile(r"//\s*remos-lint:\s*allow-file\(([a-z-]+)\)")
 
 # Heuristic marker that an == / != operand is floating-point: a float
 # literal, or an identifier conventionally holding a double in this repo.
+# The literal alternative covers every C++ spelling: `1.0`, `1.`, `.5`,
+# `1e9` / `1E-9`, and f/F-suffixed forms like `1.f` or `2e3f`. The
+# lookbehind keeps hex literals (`0x1f`) and member tails (`v.x2`) out.
 FLOAT_HINT = re.compile(
-    r"(\d\.\d|\d+e[+-]?\d+|_bps\b|_s\b|\bbps\b|latency\b|capacity\b|staleness\b|"
+    r"((?<![\w.])(?:\d+\.\d*|\.\d+|\d+(?=[eEfF]))(?:[eE][+-]?\d+)?[fF]?|"
+    r"_bps\b|_s\b|\bbps\b|latency\b|capacity\b|staleness\b|"
     r"demand\b|rate\b|util\w*\b|cost_s\b|infinity\(\))"
 )
 CMP_RE = re.compile(r"([^=!<>&|?:;,]{1,60}?)\s(==|!=)\s([^=&|?:;,]{1,60})")
+
+
+def float_eq_hits(line: str) -> bool:
+    """True if the line contains an ==/!= with a float-typed operand."""
+    return any(
+        FLOAT_HINT.search(m.group(1)) or FLOAT_HINT.search(m.group(3))
+        for m in CMP_RE.finditer(line)
+    )
+
+
+# --self-test corpus: (rule, sample line, should_flag). Pins the heuristics
+# so a regex tweak that silently widens or narrows a rule fails the ctest.
+SELF_TEST_SAMPLES = [
+    ("float-eq", "if (capacity == limit) {", True),
+    ("float-eq", "if (x == 1.0) {", True),
+    ("float-eq", "if (x != 1.) {", True),
+    ("float-eq", "if (x == .5) {", True),
+    ("float-eq", "if (x == 1.f) {", True),
+    ("float-eq", "if (x == 2.5e3f) {", True),
+    ("float-eq", "if (x == 1e-9) {", True),
+    ("float-eq", "if (x == 1E9) {", True),
+    ("float-eq", "if (rate != 0.0) {", True),
+    ("float-eq", "if (count == 10) {", False),
+    ("float-eq", "if (mask == 0x1f) {", False),
+    ("float-eq", "if (version == 2) {", False),
+    ("float-eq", "if (name == other.name) {", False),
+    ("wallclock", "auto t = std::chrono::steady_clock::now();", True),
+    ("wallclock", "double t = engine.now();", False),
+    ("randomness", "std::random_device rd;", True),
+    ("randomness", "sim::Rng rng(seed);", False),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for rule, line, want in SELF_TEST_SAMPLES:
+        if rule == "float-eq":
+            got = float_eq_hits(line)
+        elif rule == "wallclock":
+            got = any(p.search(line) for p, _ in WALLCLOCK_PATTERNS)
+        elif rule == "randomness":
+            got = any(p.search(line) for p, _ in RANDOMNESS_PATTERNS)
+        else:
+            raise ValueError(f"no self-test harness for rule {rule}")
+        if got != want:
+            verb = "flagged" if got else "missed"
+            print(f"self-test FAIL [{rule}] {verb}: {line!r}")
+            failures += 1
+    print(f"remos_lint --self-test: {len(SELF_TEST_SAMPLES)} sample(s), "
+          f"{failures} failure(s)")
+    return 1 if failures else 0
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -148,13 +203,10 @@ class Linter:
                     if pat.search(line):
                         self.report("randomness", path, lineno,
                                     f"{what} is unseedable; use sim::Rng", line)
-            if rel.startswith(("src/net/", "src/core/")):
-                for m in CMP_RE.finditer(line):
-                    lhs, op, rhs = m.group(1), m.group(2), m.group(3)
-                    if FLOAT_HINT.search(lhs) or FLOAT_HINT.search(rhs):
-                        self.report("float-eq", path, lineno,
-                                    f"floating-point `{op}` comparison; use a "
-                                    "tolerance or <=/>= form", line)
+            if rel.startswith(("src/net/", "src/core/")) and float_eq_hits(line):
+                self.report("float-eq", path, lineno,
+                            "floating-point ==/!= comparison; use a "
+                            "tolerance or <=/>= form", line)
 
         # Include hygiene runs on the raw text: the stripper blanks string
         # literals, which would hide the include path itself.
@@ -211,7 +263,11 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent,
                     help="repository root (default: parent of tools/)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the embedded good/bad sample corpus and exit")
     args = ap.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
     sys.exit(Linter(args.root.resolve()).run())
 
 
