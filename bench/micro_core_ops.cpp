@@ -46,7 +46,7 @@ void BM_FluidMaxMinRecompute(benchmark::State& state) {
     lan.flows->stop(f);
   }
 }
-BENCHMARK(BM_FluidMaxMinRecompute)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_FluidMaxMinRecompute)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_ModelerMaxMinAllocate(benchmark::State& state) {
   apps::LanTestbed::Params p;

@@ -1,0 +1,161 @@
+// Scaling bench for the shared water-filling kernel (core/waterfill.hpp):
+// fluid FlowEngine recomputes (one start+stop pair) and Modeler
+// max_min_allocate at several flow counts. Emits a JSON report with each
+// size's ns/op plus the *deterministic* water-filling round count — rounds
+// depend only on the problem, never on the machine, so CI pins them
+// (bench/waterfill_rounds.json, compared by tools/check_waterfill.py in
+// the ci/check.sh perf-smoke stage) while the timings are informational.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/testbed.hpp"
+#include "bench/bench_util.hpp"
+#include "core/maxmin.hpp"
+#include "core/obs.hpp"
+
+namespace {
+
+using namespace remos;
+
+struct Result {
+  std::string name;
+  std::size_t size = 0;
+  double ns_per_op = 0.0;
+  std::uint64_t rounds = 0;      // deterministic per-op round count
+  double baseline_ns = 0.0;      // pre-kernel measurement, 0 if not recorded
+};
+
+/// Pre-PR baselines (ns/op, this repo's reference container, default
+/// audited preset, mean of 3 google-benchmark repetitions) measured at the
+/// commit before the shared kernel landed. Kept here so the report shows
+/// the speedup the kernel is expected to hold.
+double baseline_ns_for(const std::string& name, std::size_t size) {
+  if (name == "fluid_recompute_pair") {
+    if (size == 4) return 4818.0;
+    if (size == 16) return 11934.0;
+    if (size == 64) return 36506.0;
+  }
+  if (name == "modeler_allocate" && size == 16) return 59384.0;
+  return 0.0;
+}
+
+Result bench_fluid(std::size_t n_flows, double min_total_s) {
+  apps::LanTestbed::Params p;
+  p.hosts = 32;
+  p.switches = 4;
+  apps::LanTestbed lan(p);
+  for (std::size_t i = 0; i + 1 < n_flows; ++i) {
+    lan.flows->start(net::FlowSpec{.src = lan.hosts[i % 32], .dst = lan.hosts[(i + 7) % 32]});
+  }
+  const auto op = [&] {
+    const net::FlowId f =
+        lan.flows->start(net::FlowSpec{.src = lan.hosts[0], .dst = lan.hosts[9]});
+    lan.flows->stop(f);
+  };
+  // One pair = two recomputes; the round delta is a pure function of the
+  // flow population and the topology.
+  const std::uint64_t before = lan.flows->waterfill_rounds_total();
+  op();
+  Result r;
+  r.name = "fluid_recompute_pair";
+  r.size = n_flows;
+  r.rounds = lan.flows->waterfill_rounds_total() - before;
+  r.ns_per_op = bench::time_per_iteration(op, min_total_s) * 1e9;
+  r.baseline_ns = baseline_ns_for(r.name, r.size);
+  return r;
+}
+
+Result bench_modeler(std::size_t n_requests, double min_total_s) {
+  apps::LanTestbed::Params p;
+  p.hosts = 32;
+  p.switches = 4;
+  apps::LanTestbed lan(p);
+  const auto nodes = lan.host_addrs(32);
+  const auto resp = lan.collector->query(nodes);
+  std::vector<core::FlowRequest> requests;
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    requests.push_back(
+        core::FlowRequest{.src = nodes[(2 * i) % 32], .dst = nodes[(2 * i + 11) % 32]});
+  }
+  const auto op = [&] {
+    auto result = core::max_min_allocate(resp.topology, requests);
+    (void)result;
+  };
+  const std::uint64_t before = sim::metrics().counter("core.maxmin.iterations_total").value();
+  op();
+  Result r;
+  r.name = "modeler_allocate";
+  r.size = n_requests;
+  r.rounds = sim::metrics().counter("core.maxmin.iterations_total").value() - before;
+  r.ns_per_op = bench::time_per_iteration(op, min_total_s) * 1e9;
+  r.baseline_ns = baseline_ns_for(r.name, r.size);
+  return r;
+}
+
+void write_json(const std::string& path, const std::vector<Result>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_waterfill: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"size\": %zu, \"ns_per_op\": %.1f, "
+                 "\"rounds\": %llu, \"baseline_ns_per_op\": %.1f, \"speedup\": %.2f}%s\n",
+                 r.name.c_str(), r.size, r.ns_per_op,
+                 static_cast<unsigned long long>(r.rounds), r.baseline_ns,
+                 r.baseline_ns > 0.0 ? r.baseline_ns / r.ns_per_op : 0.0,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
+  std::string out = "BENCH_waterfill.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else if (arg == "--smoke") {
+      smoke = true;
+    }
+  }
+
+  // Smoke mode keeps the deterministic round counts (they do not depend on
+  // timing budget) but trims sizes and measurement time for CI latency.
+  const double min_total_s = smoke ? 0.01 : 0.05;
+  const std::vector<std::size_t> fluid_sizes =
+      smoke ? std::vector<std::size_t>{4, 64} : std::vector<std::size_t>{4, 16, 64, 256, 1024};
+  const std::vector<std::size_t> modeler_sizes =
+      smoke ? std::vector<std::size_t>{16} : std::vector<std::size_t>{4, 16, 64};
+
+  std::vector<Result> results;
+  for (const std::size_t n : fluid_sizes) results.push_back(bench_fluid(n, min_total_s));
+  for (const std::size_t n : modeler_sizes) results.push_back(bench_modeler(n, min_total_s));
+
+  remos::bench::header("micro_waterfill: shared water-filling kernel scaling",
+                       "DESIGN.md \"Performance\"");
+  remos::bench::row("%-22s %6s %12s %8s %12s %8s", "benchmark", "flows", "ns/op", "rounds",
+                    "baseline", "speedup");
+  for (const Result& r : results) {
+    if (r.baseline_ns > 0.0) {
+      remos::bench::row("%-22s %6zu %12.0f %8llu %12.0f %7.2fx", r.name.c_str(), r.size,
+                        r.ns_per_op, static_cast<unsigned long long>(r.rounds), r.baseline_ns,
+                        r.baseline_ns / r.ns_per_op);
+    } else {
+      remos::bench::row("%-22s %6zu %12.0f %8llu %12s %8s", r.name.c_str(), r.size, r.ns_per_op,
+                        static_cast<unsigned long long>(r.rounds), "-", "-");
+    }
+  }
+  write_json(out, results);
+  std::printf("report: %s\n", out.c_str());
+  return 0;
+}

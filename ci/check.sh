@@ -8,20 +8,23 @@
 # Matrix:
 #   1. default preset  — RelWithDebInfo, REMOS_AUDIT=ON, full ctest
 #                        (includes the remos_lint ctest and test_audit)
-#   2. sanitize preset — ASan + UBSan, full ctest
-#   3. tsan preset     — ThreadSanitizer on the threaded test binaries
+#   2. perf-smoke      — micro_waterfill --smoke; the deterministic
+#                        water-filling round counts must match the pins in
+#                        bench/waterfill_rounds.json (tools/check_waterfill.py)
+#   3. sanitize preset — ASan + UBSan, full ctest
+#   4. tsan preset     — ThreadSanitizer on the threaded test binaries
 #                        (ThreadPool, shared prediction cache, MIB walks)
-#   4. golden runs     — every golden scenario twice (fresh process each),
+#   5. golden runs     — every golden scenario twice (fresh process each),
 #                        exports diffed byte-for-byte; then once under the
 #                        tsan preset, diffed against the default-preset run
 #                        (determinism must survive both schedulers)
-#   5. remos_lint      — project lint (self-test first), run standalone for
+#   6. remos_lint      — project lint (self-test first), run standalone for
 #                        a readable report
-#   6. remos_analyze   — whole-project static analysis (lock discipline,
+#   7. remos_analyze   — whole-project static analysis (lock discipline,
 #                        determinism leaks, layer DAG, audit coverage) plus
 #                        the fail-path corpus; --json report kept as a CI
 #                        artifact under build/
-#   7. clang-tidy      — `lint` build target (skips itself when clang-tidy
+#   8. clang-tidy      — `lint` build target (skips itself when clang-tidy
 #                        is not installed; see .clang-tidy for the profile)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -41,6 +44,12 @@ if [[ "$FAST" == 1 ]]; then
   echo "--fast: skipping sanitize/tsan/lint stages"
   exit 0
 fi
+
+step "perf-smoke: deterministic water-filling round counts vs pins"
+cmake --build build -j "$JOBS" --target micro_waterfill
+./build/bench/micro_waterfill --smoke --out build/BENCH_waterfill_smoke.json
+python3 tools/check_waterfill.py --measured build/BENCH_waterfill_smoke.json \
+  --pins bench/waterfill_rounds.json
 
 step "sanitize preset (ASan + UBSan) + ctest"
 cmake --preset sanitize >/dev/null

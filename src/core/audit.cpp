@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
-#include <map>
 #include <set>
 #include <tuple>
 
@@ -71,11 +71,15 @@ void audit_max_min(const VirtualTopology& topo, const std::vector<FlowRequest>& 
                   std::to_string(requests.size()));
 
   // Re-walk each flow's path to recover the directed resources it uses.
-  struct Walked {
-    std::vector<std::pair<std::size_t, bool>> resources;  // (edge index, a->b)
-    bool has_finite_edge = false;
-  };
-  std::vector<Walked> walked(requests.size());
+  // The walk lives in a flat thread_local CSR (keys 2*edge + dir) instead
+  // of per-flow vectors: this audit runs on every Modeler allocation, and
+  // the historical per-flow heap churn was a large share of query cost.
+  thread_local std::vector<std::uint32_t> walk_keys;
+  thread_local std::vector<std::size_t> walk_off;
+  thread_local std::vector<char> has_finite;
+  walk_keys.clear();
+  walk_off.assign(1, 0);
+  has_finite.assign(requests.size(), 0);
   for (std::size_t f = 0; f < requests.size(); ++f) {
     const FlowInfo& info = result.flows[f];
     REMOS_AUDIT(kMaxMin, std::isfinite(info.available_bps) && info.available_bps >= 0.0,
@@ -86,6 +90,7 @@ void audit_max_min(const VirtualTopology& topo, const std::vector<FlowRequest>& 
     if (!info.routable()) {
       REMOS_AUDIT(kMaxMin, info.available_bps <= 0.0,
                   "flow #" + std::to_string(f) + ": unroutable flow with nonzero rate");
+      walk_off.push_back(walk_keys.size());
       continue;
     }
     const VNodeIndex src = topo.find_by_addr(requests[f].src);
@@ -99,25 +104,33 @@ void audit_max_min(const VirtualTopology& topo, const std::vector<FlowRequest>& 
     for (std::size_t ei : *path) {
       const VEdge& e = topo.edges()[ei];
       const bool ab = (e.a == cur);
-      walked[f].resources.emplace_back(ei, ab);
-      if (e.capacity_bps > 0.0) walked[f].has_finite_edge = true;
+      walk_keys.push_back(static_cast<std::uint32_t>(ei * 2 + (ab ? 0 : 1)));
+      if (e.capacity_bps > 0.0) has_finite[f] = 1;
       cur = ab ? e.b : e.a;
     }
+    walk_off.push_back(walk_keys.size());
   }
 
   // Feasibility: per directed edge, allocated rates fit available capacity.
-  std::map<std::pair<std::size_t, bool>, double> usage;
+  // The ledger accumulates rates in ascending flow order, same as the
+  // historical std::map ledger, so the sums are bit-identical.
+  thread_local std::vector<double> usage;
+  usage.assign(topo.edge_count() * 2, 0.0);
   for (std::size_t f = 0; f < requests.size(); ++f) {
     if (!result.flows[f].routable()) continue;
-    for (const auto& r : walked[f].resources) usage[r] += result.flows[f].available_bps;
+    const double rate = result.flows[f].available_bps;
+    for (std::size_t k = walk_off[f]; k < walk_off[f + 1]; ++k) usage[walk_keys[k]] += rate;
   }
-  for (const auto& [key, used] : usage) {
-    const VEdge& e = topo.edges()[key.first];
-    const double avail = e.available_bps(key.second);
-    if (!std::isfinite(avail)) continue;  // unmeasurable (virtual) edge
-    REMOS_AUDIT(kMaxMin, used <= avail * (1.0 + kRelEps) + kAbsEpsBps,
-                "directed edge " + e.id + (key.second ? "" : ":ba") + " overcommitted: " +
-                    std::to_string(used) + " > " + std::to_string(avail));
+  for (std::size_t ei = 0; ei < topo.edge_count(); ++ei) {
+    const VEdge& e = topo.edges()[ei];
+    for (const bool ab : {true, false}) {
+      const double avail = e.available_bps(ab);
+      if (!std::isfinite(avail)) continue;  // unmeasurable (virtual) edge
+      const double used = usage[ei * 2 + (ab ? 0 : 1)];
+      REMOS_AUDIT(kMaxMin, used <= avail * (1.0 + kRelEps) + kAbsEpsBps,
+                  "directed edge " + e.id + (ab ? "" : ":ba") + " overcommitted: " +
+                      std::to_string(used) + " > " + std::to_string(avail));
+    }
   }
 
   // Max-min optimality: an unsatisfied flow must be bottlenecked by at
@@ -126,14 +139,16 @@ void audit_max_min(const VirtualTopology& topo, const std::vector<FlowRequest>& 
   // are exempt — there is no link to saturate.
   for (std::size_t f = 0; f < requests.size(); ++f) {
     const FlowInfo& info = result.flows[f];
-    if (!info.routable() || !walked[f].has_finite_edge) continue;
+    if (!info.routable() || has_finite[f] == 0) continue;
     if (info.available_bps >= requests[f].demand_bps * (1.0 - kRelEps)) continue;
     bool bottlenecked = false;
-    for (const auto& r : walked[f].resources) {
-      const VEdge& e = topo.edges()[r.first];
-      const double avail = e.available_bps(r.second);
+    for (std::size_t k = walk_off[f]; k < walk_off[f + 1]; ++k) {
+      const std::uint32_t key = walk_keys[k];
+      const VEdge& e = topo.edges()[key / 2];
+      const bool ab = (key % 2) == 0;
+      const double avail = e.available_bps(ab);
       if (!std::isfinite(avail)) continue;
-      if (usage[r] >= avail * (1.0 - kRelEps) - kAbsEpsBps) {
+      if (usage[key] >= avail * (1.0 - kRelEps) - kAbsEpsBps) {
         bottlenecked = true;
         break;
       }

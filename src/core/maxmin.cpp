@@ -2,11 +2,11 @@
 
 #include "core/audit.hpp"
 #include "core/obs.hpp"
+#include "core/waterfill.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 
 namespace remos::core {
 namespace {
@@ -14,7 +14,7 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 struct RoutedFlow {
-  std::vector<std::size_t> resources;  // directed-edge resource keys
+  std::vector<std::uint32_t> resources;  // directed-edge resource keys
   double demand = kInf;
   double latency_s = 0.0;
   double bottleneck_capacity = 0.0;
@@ -23,7 +23,9 @@ struct RoutedFlow {
 };
 
 /// Directed resource key for edge `ei` traversed a->b (dir 0) or b->a (1).
-std::size_t resource_key(std::size_t ei, bool ab) { return ei * 2 + (ab ? 0 : 1); }
+std::uint32_t resource_key(std::size_t ei, bool ab) {
+  return static_cast<std::uint32_t>(ei * 2 + (ab ? 0 : 1));
+}
 
 }  // namespace
 
@@ -59,92 +61,56 @@ MaxMinResult max_min_allocate(const VirtualTopology& topo,
     if (!std::isfinite(rf.bottleneck_capacity)) rf.bottleneck_capacity = 0.0;
   }
 
-  // Residual capacity per directed edge.
-  std::unordered_map<std::size_t, double> capacity;
-  std::unordered_map<std::size_t, std::uint32_t> unfrozen_count;
+  // Progressive filling via the shared water-filling kernel. Resources are
+  // directed edges (key 2*edge+dir) with the edge direction's *available*
+  // bandwidth as capacity; unroutable flows stay out of the problem (and
+  // keep rate 0). All problem arrays are thread_local arenas, so
+  // steady-state queries allocate nothing here.
+  thread_local WaterfillSolver solver;
+  thread_local std::vector<double> capacity;
+  thread_local std::vector<std::size_t> offsets;
+  thread_local std::vector<std::uint32_t> resources;
+  thread_local std::vector<double> demand;
+  thread_local std::vector<double> rates;
+  thread_local std::vector<std::size_t> dense_to_request;
+  // Capacity slots for resources no routed flow references are never read
+  // by the kernel, so stale values from earlier queries are harmless.
+  capacity.resize(topo.edge_count() * 2);
+  offsets.clear();
+  offsets.push_back(0);
+  resources.clear();
+  demand.clear();
+  dense_to_request.clear();
   for (std::size_t i = 0; i < routed.size(); ++i) {
     if (!routed[i].routable) continue;
-    VNodeIndex unused = kNoVNode;
-    (void)unused;
-    for (std::size_t key : routed[i].resources) {
+    for (const std::uint32_t key : routed[i].resources) {
       const std::size_t ei = key / 2;
       const bool ab = (key % 2) == 0;
-      capacity.try_emplace(key, topo.edges()[ei].available_bps(ab));
-      ++unfrozen_count[key];
+      capacity[key] = topo.edges()[ei].available_bps(ab);
+      resources.push_back(key);
     }
+    offsets.push_back(resources.size());
+    demand.push_back(routed[i].demand);
+    dense_to_request.push_back(i);
   }
+  rates.assign(demand.size(), 0.0);
+  WaterfillOptions options;
+  options.clamp_negative_level = true;
+  const WaterfillStats stats =
+      solver.solve(capacity, offsets, resources, demand, rates, options);
 
-  // Progressive filling.
-  std::vector<bool> frozen(routed.size(), false);
-  std::vector<double> rate(routed.size(), 0.0);
-  std::unordered_map<std::size_t, double> frozen_usage;
-  std::size_t remaining = 0;
-  for (std::size_t i = 0; i < routed.size(); ++i) {
-    if (routed[i].routable) {
-      ++remaining;
-    } else {
-      frozen[i] = true;
-    }
-  }
-  std::uint64_t iterations = 0;
-  std::uint64_t demand_frozen = 0;
-  std::uint64_t saturation_frozen = 0;
-  while (remaining > 0) {
-    ++iterations;
-    double level = kInf;
-    for (const auto& [key, cap] : capacity) {
-      const auto n = unfrozen_count[key];
-      if (n == 0) continue;
-      level = std::min(level, (cap - frozen_usage[key]) / static_cast<double>(n));
-    }
-    for (std::size_t i = 0; i < routed.size(); ++i) {
-      if (!frozen[i]) level = std::min(level, routed[i].demand);
-    }
-    if (!std::isfinite(level)) break;
-    if (level < 0.0) level = 0.0;
-
-    std::vector<std::size_t> freeze;
-    for (std::size_t i = 0; i < routed.size(); ++i) {
-      if (frozen[i]) continue;
-      if (routed[i].demand <= level + 1e-9) {
-        freeze.push_back(i);
-        ++demand_frozen;
-        continue;
-      }
-      for (std::size_t key : routed[i].resources) {
-        const double sat =
-            (capacity[key] - frozen_usage[key]) / static_cast<double>(unfrozen_count[key]);
-        if (sat <= level + 1e-9) {
-          freeze.push_back(i);
-          ++saturation_frozen;
-          break;
-        }
-      }
-    }
-    if (freeze.empty()) break;  // numerical guard
-    for (std::size_t i : freeze) {
-      rate[i] = std::min(level, routed[i].demand);
-      frozen[i] = true;
-      --remaining;
-      for (std::size_t key : routed[i].resources) {
-        frozen_usage[key] += rate[i];
-        --unfrozen_count[key];
-      }
-    }
-  }
-
-  for (std::size_t i = 0; i < routed.size(); ++i) {
+  for (std::size_t d = 0; d < dense_to_request.size(); ++d) {
+    const std::size_t i = dense_to_request[d];
     FlowInfo& info = result.flows[i];
-    if (!routed[i].routable) continue;
-    info.available_bps = rate[i];
+    info.available_bps = rates[d];
     info.bottleneck_capacity_bps = routed[i].bottleneck_capacity;
     info.latency_s = routed[i].latency_s;
-    info.path_edge_ids = routed[i].edge_ids;
+    info.path_edge_ids = std::move(routed[i].edge_ids);
   }
   sim::metrics().counter("core.maxmin.solves_total").inc();
-  sim::metrics().counter("core.maxmin.iterations_total").inc(iterations);
-  sim::metrics().counter("core.maxmin.demand_frozen_total").inc(demand_frozen);
-  sim::metrics().counter("core.maxmin.saturation_frozen_total").inc(saturation_frozen);
+  sim::metrics().counter("core.maxmin.iterations_total").inc(stats.rounds);
+  sim::metrics().counter("core.maxmin.demand_frozen_total").inc(stats.demand_frozen);
+  sim::metrics().counter("core.maxmin.saturation_frozen_total").inc(stats.saturation_frozen);
   // Every allocation leaves through this audit: feasibility (no directed
   // edge overcommitted) and max-min optimality (unsatisfied flows are
   // bottlenecked) are checked before any caller sees the answer.

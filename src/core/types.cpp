@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <deque>
 
 #include "core/audit.hpp"
 
@@ -91,34 +90,57 @@ std::optional<std::vector<std::size_t>> VirtualTopology::shortest_path(VNodeInde
                                                                        VNodeIndex dst) const {
   if (src >= nodes_.size() || dst >= nodes_.size()) return std::nullopt;
   if (src == dst) return std::vector<std::size_t>{};
-  // Adjacency over edge list (graphs here are small: query-scoped).
-  std::vector<std::vector<std::size_t>> adj(nodes_.size());
-  for (std::size_t i = 0; i < edges_.size(); ++i) {
-    adj[edges_[i].a].push_back(i);
-    adj[edges_[i].b].push_back(i);
+  // BFS over a CSR adjacency built fresh per call from the edge list —
+  // results only depend on the current graph, so there is no cache to
+  // invalidate. All scratch lives in thread_local arenas: the historical
+  // implementation allocated one vector per node per call, which made
+  // routing the dominant cost of Modeler flow queries (see DESIGN.md
+  // "Performance"). Per-node edge lists stay in ascending edge order (the
+  // order the old per-node push_backs produced), so BFS tie-breaking — and
+  // therefore every returned path — is unchanged.
+  const std::size_t n = nodes_.size();
+  thread_local std::vector<std::size_t> off;
+  thread_local std::vector<std::size_t> cursor;
+  thread_local std::vector<std::size_t> adj;
+  thread_local std::vector<std::size_t> via_edge;
+  thread_local std::vector<VNodeIndex> prev;
+  thread_local std::vector<char> seen;
+  thread_local std::vector<VNodeIndex> frontier;
+  off.assign(n + 1, 0);
+  for (const VEdge& e : edges_) {
+    ++off[e.a + 1];
+    ++off[e.b + 1];
   }
-  std::vector<std::size_t> via_edge(nodes_.size(), ~std::size_t{0});
-  std::vector<VNodeIndex> prev(nodes_.size(), kNoVNode);
-  std::vector<bool> seen(nodes_.size(), false);
-  std::deque<VNodeIndex> frontier{src};
-  seen[src] = true;
-  while (!frontier.empty()) {
-    VNodeIndex u = frontier.front();
-    frontier.pop_front();
+  for (std::size_t v = 0; v < n; ++v) off[v + 1] += off[v];
+  adj.resize(edges_.size() * 2);
+  cursor.assign(off.begin(), off.end() - 1);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    adj[cursor[edges_[i].a]++] = i;
+    adj[cursor[edges_[i].b]++] = i;
+  }
+  via_edge.assign(n, ~std::size_t{0});
+  prev.assign(n, kNoVNode);
+  seen.assign(n, 0);
+  frontier.clear();
+  frontier.push_back(src);
+  seen[src] = 1;
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const VNodeIndex u = frontier[head];
     if (u == dst) break;
     // Hosts do not forward traffic.
     if (nodes_[u].kind == VNodeKind::kHost && u != src) continue;
-    for (std::size_t ei : adj[u]) {
+    for (std::size_t k = off[u]; k < off[u + 1]; ++k) {
+      const std::size_t ei = adj[k];
       const VEdge& e = edges_[ei];
       const VNodeIndex v = (e.a == u) ? e.b : e.a;
-      if (seen[v]) continue;
-      seen[v] = true;
+      if (seen[v] != 0) continue;
+      seen[v] = 1;
       via_edge[v] = ei;
       prev[v] = u;
       frontier.push_back(v);
     }
   }
-  if (!seen[dst]) return std::nullopt;
+  if (seen[dst] == 0) return std::nullopt;
   std::vector<std::size_t> path;
   for (VNodeIndex cur = dst; cur != src; cur = prev[cur]) path.push_back(via_edge[cur]);
   std::reverse(path.begin(), path.end());

@@ -1,0 +1,196 @@
+#include "core/waterfill.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/audit.hpp"
+
+namespace remos::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Freeze tolerance, identical to the historical solvers: a flow freezes
+/// when its demand or a crossed resource's saturation level is within
+/// 1e-9 of the water level.
+constexpr double kFreezeEps = 1e-9;
+
+}  // namespace
+
+WaterfillStats WaterfillSolver::solve(std::span<const double> capacity,
+                                      std::span<const std::size_t> flow_offsets,
+                                      std::span<const std::uint32_t> flow_resources,
+                                      std::span<const double> demand,
+                                      std::span<double> rates_out,
+                                      const WaterfillOptions& options) {
+  const std::size_t nf = demand.size();
+  const std::size_t nr = capacity.size();
+  REMOS_CHECK(flow_offsets.size() == nf + 1, "waterfill: CSR offsets must have F+1 entries");
+  REMOS_CHECK(nf == 0 || flow_offsets.front() == 0, "waterfill: CSR offsets must start at 0");
+  REMOS_CHECK(nf == 0 || flow_offsets.back() == flow_resources.size(),
+              "waterfill: CSR offsets must end at the resource-list size");
+  REMOS_CHECK(rates_out.size() == nf, "waterfill: rates_out must have one slot per flow");
+
+  WaterfillStats stats;
+
+  // ---- per-solve state (arena reuse; no steady-state allocation) ----
+  frozen_usage_.assign(nr, 0.0);
+  unfrozen_.assign(nr, 0);
+  sat_.assign(nr, 0.0);
+  gen_.assign(nr, 0);
+  touch_round_.assign(nr, 0);
+  cand_round_.assign(nf, 0);
+  frozen_.assign(nf, 0);
+  for (std::size_t f = 0; f < nf; ++f) rates_out[f] = 0.0;
+  for (const std::uint32_t key : flow_resources) {
+    REMOS_CHECK(key < nr, "waterfill: resource id out of range");
+    ++unfrozen_[key];
+  }
+
+  // Reverse CSR (resource -> flows), rebuilt per solve by counting sort.
+  res_off_.assign(nr + 1, 0);
+  for (const std::uint32_t key : flow_resources) ++res_off_[key + 1];
+  for (std::size_t r = 0; r < nr; ++r) res_off_[r + 1] += res_off_[r];
+  res_flows_.resize(flow_resources.size());
+  res_cursor_.assign(res_off_.begin(), res_off_.end() - 1);
+  for (std::size_t f = 0; f < nf; ++f) {
+    for (std::size_t k = flow_offsets[f]; k < flow_offsets[f + 1]; ++k) {
+      res_flows_[res_cursor_[flow_resources[k]]++] = static_cast<std::uint32_t>(f);
+    }
+  }
+
+  // Saturation min-heap over active resources and demand min-heap over
+  // flows. Both use lazy deletion: resource entries are invalidated by a
+  // generation bump (or the resource freezing out entirely), demand
+  // entries by the flow freezing.
+  const auto res_less_at_front = [](const ResEntry& a, const ResEntry& b) {
+    return a.sat > b.sat;
+  };
+  const auto dem_less_at_front = [](const DemEntry& a, const DemEntry& b) {
+    return a.demand > b.demand;
+  };
+  res_heap_.clear();
+  for (std::size_t r = 0; r < nr; ++r) {
+    if (unfrozen_[r] == 0) continue;
+    sat_[r] = (capacity[r] - frozen_usage_[r]) / static_cast<double>(unfrozen_[r]);
+    res_heap_.push_back(ResEntry{sat_[r], static_cast<std::uint32_t>(r), 0});
+  }
+  std::make_heap(res_heap_.begin(), res_heap_.end(), res_less_at_front);
+  dem_heap_.clear();
+  for (std::size_t f = 0; f < nf; ++f) {
+    dem_heap_.push_back(DemEntry{demand[f], static_cast<std::uint32_t>(f)});
+  }
+  std::make_heap(dem_heap_.begin(), dem_heap_.end(), dem_less_at_front);
+
+  // ---- freezing rounds ----
+  std::size_t remaining = nf;
+  double level = 0.0;
+  while (remaining > 0) {
+    ++stats.rounds;
+    const auto round = static_cast<std::uint32_t>(stats.rounds);
+
+    // Next saturation level among resources: discard stale heap entries,
+    // then the front is the exact minimum of the current levels (every
+    // active resource has a current-generation entry).
+    double res_min = kInf;
+    while (!res_heap_.empty()) {
+      const ResEntry& top = res_heap_.front();
+      if (unfrozen_[top.res] == 0 || top.gen != gen_[top.res]) {
+        std::pop_heap(res_heap_.begin(), res_heap_.end(), res_less_at_front);
+        res_heap_.pop_back();
+        continue;
+      }
+      res_min = top.sat;
+      break;
+    }
+    // Next demand cap among unfrozen flows.
+    double dem_min = kInf;
+    while (!dem_heap_.empty()) {
+      const DemEntry& top = dem_heap_.front();
+      if (frozen_[top.flow] != 0) {
+        std::pop_heap(dem_heap_.begin(), dem_heap_.end(), dem_less_at_front);
+        dem_heap_.pop_back();
+        continue;
+      }
+      dem_min = top.demand;
+      break;
+    }
+
+    const double next_level = std::min(res_min, dem_min);
+    // Only unconstrained greedy flows remain (no finite resource, no finite
+    // demand). Freeze at 0 defensively, as both historical solvers did.
+    if (!std::isfinite(next_level)) break;
+    if (options.monotone_level) {
+      level = std::max(level, next_level);
+    } else {
+      level = next_level;
+      if (options.clamp_negative_level && level < 0.0) level = 0.0;
+    }
+    const double thr = level + kFreezeEps;
+
+    // Collect this round's freezes: demand-capped flows first (they pop
+    // off the demand heap for good), then every unfrozen flow crossing a
+    // saturated resource. A saturated resource loses all its unfrozen
+    // flows this round, so popping it off the heap is final.
+    candidates_.clear();
+    while (!dem_heap_.empty()) {
+      const DemEntry top = dem_heap_.front();
+      if (frozen_[top.flow] == 0 && !(top.demand <= thr)) break;
+      std::pop_heap(dem_heap_.begin(), dem_heap_.end(), dem_less_at_front);
+      dem_heap_.pop_back();
+      if (frozen_[top.flow] != 0) continue;
+      cand_round_[top.flow] = round;
+      candidates_.push_back(top.flow);
+      ++stats.demand_frozen;
+    }
+    while (!res_heap_.empty()) {
+      const ResEntry top = res_heap_.front();
+      const bool stale = unfrozen_[top.res] == 0 || top.gen != gen_[top.res];
+      if (!stale && !(top.sat <= thr)) break;
+      std::pop_heap(res_heap_.begin(), res_heap_.end(), res_less_at_front);
+      res_heap_.pop_back();
+      if (stale) continue;
+      for (std::size_t k = res_off_[top.res]; k < res_off_[top.res + 1]; ++k) {
+        const std::uint32_t f = res_flows_[k];
+        if (frozen_[f] != 0 || cand_round_[f] == round) continue;
+        cand_round_[f] = round;
+        candidates_.push_back(f);
+        ++stats.saturation_frozen;
+      }
+    }
+    if (candidates_.empty()) break;  // numerical guard, as before
+
+    // Apply in ascending flow order — the order the historical single-scan
+    // solvers froze in, which fixes the float accumulation sequence of
+    // every resource's frozen_usage.
+    std::sort(candidates_.begin(), candidates_.end());
+    touched_.clear();
+    for (const std::uint32_t f : candidates_) {
+      const double r = std::min(level, demand[f]);
+      rates_out[f] = r;
+      frozen_[f] = 1;
+      --remaining;
+      for (std::size_t k = flow_offsets[f]; k < flow_offsets[f + 1]; ++k) {
+        const std::uint32_t key = flow_resources[k];
+        frozen_usage_[key] += r;
+        --unfrozen_[key];
+        if (touch_round_[key] != round) {
+          touch_round_[key] = round;
+          touched_.push_back(key);
+        }
+      }
+    }
+    // Refresh the saturation level of every touched, still-active
+    // resource: one generation bump + one heap push each.
+    for (const std::uint32_t key : touched_) {
+      if (unfrozen_[key] == 0) continue;
+      sat_[key] = (capacity[key] - frozen_usage_[key]) / static_cast<double>(unfrozen_[key]);
+      ++gen_[key];
+      res_heap_.push_back(ResEntry{sat_[key], key, gen_[key]});
+      std::push_heap(res_heap_.begin(), res_heap_.end(), res_less_at_front);
+    }
+  }
+  return stats;
+}
+
+}  // namespace remos::core

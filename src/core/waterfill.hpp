@@ -1,0 +1,111 @@
+// Shared max-min water-filling kernel.
+//
+// Both max-min solvers in the system — the fluid simulator's ground-truth
+// rate assignment (net/flows) and the Modeler's flow-query answers
+// (core/maxmin) — solve the same progressive-filling problem: all unfrozen
+// flows share one rising water level; a resource saturates when
+// frozen_usage + level * unfrozen == capacity, freezing every unfrozen
+// flow that crosses it; a flow whose demand cap is reached freezes at its
+// demand. This kernel is the single implementation behind both.
+//
+// Performance contract (the reason this exists — see DESIGN.md
+// "Performance"):
+//   * The problem arrives as a flat CSR flow→resource index; the solver
+//     keeps every per-solve array as a reusable arena, so steady-state
+//     solves allocate nothing.
+//   * Saturation candidates come from a lazy-deletion min-heap over
+//     resource saturation levels (entries carry a per-resource generation;
+//     stale entries are discarded on pop), and demand caps from a second
+//     min-heap, so each freezing round touches only the flows and
+//     resources whose residual level actually changed — O((F + nnz) log R)
+//     per solve instead of O(rounds · (F + R)) full rescans.
+//   * Results are bit-identical to the historical rescan solvers: levels
+//     are derived from the same expressions over the same operands, and
+//     freezes are applied in ascending flow order, so every float is
+//     produced by the identical sequence of IEEE operations. The golden
+//     observability pins cover this.
+//
+// remos-analyze: public-header(the fluid flow engine in net/ assigns
+// ground-truth rates with the same water-filling kernel the Modeler uses,
+// so this header is includable from below core; matching `public
+// core/waterfill.hpp` grant lives in tools/analyze/layers.txt)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace remos::core {
+
+/// Per-caller semantic switches. The two historical solvers differ in two
+/// numeric details; each caller keeps its exact behavior.
+struct WaterfillOptions {
+  /// Fluid engine: the water level never decreases across rounds
+  /// (level = max(level, next_level)).
+  bool monotone_level = false;
+  /// Modeler: a (numerically) negative fresh level is clamped to zero.
+  bool clamp_negative_level = false;
+};
+
+/// Deterministic per-solve work counters (exposed through
+/// core.maxmin.* metrics and the waterfill scaling bench).
+struct WaterfillStats {
+  std::uint64_t rounds = 0;            ///< freezing rounds, incl. a final broken one
+  std::uint64_t demand_frozen = 0;     ///< flows frozen at their demand cap
+  std::uint64_t saturation_frozen = 0; ///< flows frozen by a saturated resource
+};
+
+/// Reusable water-filling solver. One instance per caller; solve() may be
+/// invoked any number of times and reuses all internal arenas. Not
+/// thread-safe — use one instance per thread (thread_local in free
+/// functions).
+class WaterfillSolver {
+ public:
+  /// Solve one max-min allocation.
+  ///
+  ///   capacity       capacity per resource id (indexed 0..R-1). Entries
+  ///                  for resources no flow references are never read.
+  ///   flow_offsets   CSR offsets into `flow_resources`, size F+1.
+  ///   flow_resources resource ids per flow, concatenated. Duplicate ids
+  ///                  within one flow count as two constraints (matching
+  ///                  the historical solvers).
+  ///   demand         per-flow demand cap in bps (infinity = greedy).
+  ///   rates_out      per-flow allocated rate, size F (fully overwritten).
+  WaterfillStats solve(std::span<const double> capacity,
+                       std::span<const std::size_t> flow_offsets,
+                       std::span<const std::uint32_t> flow_resources,
+                       std::span<const double> demand, std::span<double> rates_out,
+                       const WaterfillOptions& options);
+
+ private:
+  /// Lazy-deletion heap entry: valid iff gen == gen_[res] and the resource
+  /// still has unfrozen flows.
+  struct ResEntry {
+    double sat = 0.0;
+    std::uint32_t res = 0;
+    std::uint32_t gen = 0;
+  };
+  struct DemEntry {
+    double demand = 0.0;
+    std::uint32_t flow = 0;
+  };
+
+  // Scratch arenas, reused across solves (sized on first use).
+  std::vector<double> frozen_usage_;       // per resource
+  std::vector<std::uint32_t> unfrozen_;    // per resource
+  std::vector<double> sat_;                // per resource, current level
+  std::vector<std::uint32_t> gen_;         // per resource, heap generation
+  std::vector<std::uint32_t> touch_round_; // per resource, round stamp
+  std::vector<std::uint32_t> cand_round_;  // per flow, round stamp
+  std::vector<char> frozen_;               // per flow
+  std::vector<std::size_t> res_off_;       // reverse CSR offsets
+  std::vector<std::uint32_t> res_flows_;   // reverse CSR values
+  std::vector<std::size_t> res_cursor_;    // reverse CSR fill cursors
+  std::vector<ResEntry> res_heap_;
+  std::vector<DemEntry> dem_heap_;
+  std::vector<std::uint32_t> candidates_;  // per-round freeze list
+  std::vector<std::uint32_t> touched_;     // per-round dirty resources
+};
+
+}  // namespace remos::core

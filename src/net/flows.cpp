@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/audit.hpp"
+
 namespace remos::net {
 namespace {
 
@@ -21,11 +23,65 @@ FlowEngine::FlowEngine(sim::Engine& engine, Network& net) : engine_(engine), net
   last_sync_ = engine_.now();
 }
 
+const PathResult& FlowEngine::resolved_path(NodeId src, NodeId dst) const {
+  if (!path_cache_valid_ || path_cache_net_version_ != net_.version()) {
+    path_cache_.clear();
+    path_cache_net_version_ = net_.version();
+    path_cache_valid_ = true;
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+  if (auto it = path_cache_.find(key); it != path_cache_.end()) {
+    ++path_cache_hits_;
+    return it->second;
+  }
+  ++path_cache_misses_;
+  // resolve_path throws for unroutable pairs, so only successes are cached.
+  auto [it, inserted] = path_cache_.emplace(key, net_.resolve_path(src, dst));
+  return it->second;
+}
+
+void FlowEngine::ensure_resource_tables() {
+  if (tables_valid_ && tables_net_version_ == net_.version()) return;
+  const std::size_t segs = net_.segment_count();
+  resource_capacity_.assign(segs + 2 * net_.link_count(), 0.0);
+  for (const Segment& s : net_.segments()) {
+    resource_capacity_[segment_resource_key(s.id)] = s.shared_capacity_bps;
+  }
+  for (const Link& l : net_.links()) {
+    resource_capacity_[link_resource_key(l.id, true)] = l.capacity_bps;
+    resource_capacity_[link_resource_key(l.id, false)] = l.capacity_bps;
+  }
+  if (link_flows_.size() < 2 * net_.link_count()) link_flows_.resize(2 * net_.link_count());
+  tables_net_version_ = net_.version();
+  tables_valid_ = true;
+}
+
+void FlowEngine::index_flow(FlowId id, const Flow& flow) {
+  for (const Hop& h : flow.hops) {
+    const std::size_t k = 2 * static_cast<std::size_t>(h.link) + (h.forward ? 0 : 1);
+    if (link_flows_.size() <= k) link_flows_.resize(k + 1);
+    std::vector<FlowId>& v = link_flows_[k];
+    // A flow counts once per directed link however many hops cross it;
+    // within one registration only this id can be at the back.
+    if (v.empty() || v.back() != id) v.push_back(id);
+  }
+}
+
+void FlowEngine::unindex_flow(FlowId id, const Flow& flow) {
+  for (const Hop& h : flow.hops) {
+    const std::size_t k = 2 * static_cast<std::size_t>(h.link) + (h.forward ? 0 : 1);
+    if (k >= link_flows_.size()) continue;
+    std::vector<FlowId>& v = link_flows_[k];
+    const auto it = std::lower_bound(v.begin(), v.end(), id);
+    if (it != v.end() && *it == id) v.erase(it);
+  }
+}
+
 FlowId FlowEngine::start(FlowSpec spec) {
   sync();
   Flow f;
-  PathResult path = net_.resolve_path(spec.src, spec.dst);
-  f.hops = std::move(path.hops);
+  const PathResult& path = resolved_path(spec.src, spec.dst);
+  f.hops = path.hops;
   // A flow crossing a shared (hub) segment loads the collision domain once,
   // however many hops it takes inside it.
   for (const Hop& h : f.hops) {
@@ -37,12 +93,22 @@ FlowId FlowEngine::start(FlowSpec spec) {
       f.shared_segments.push_back(sid);
     }
   }
+  // Water-filling resource keys, fixed for the flow's lifetime: one per
+  // hop (duplicates preserved — each crossing is a constraint), then one
+  // per crossed shared segment. Order matches the historical solver's
+  // per-recompute `uses` list so float accumulation sequences are
+  // unchanged.
+  f.resource_keys.reserve(f.hops.size() + f.shared_segments.size());
+  for (const Hop& h : f.hops) f.resource_keys.push_back(link_resource_key(h.link, h.forward));
+  for (SegmentId sid : f.shared_segments) f.resource_keys.push_back(segment_resource_key(sid));
   f.remaining_bytes = static_cast<double>(spec.bytes);
   f.stats.start_time = engine_.now();
   f.spec = std::move(spec);
 
   FlowId id = next_id_++;
-  flows_.emplace(id, std::move(f));
+  auto [it, inserted] = flows_.emplace(id, std::move(f));
+  REMOS_CHECK(inserted, "FlowEngine: duplicate flow id");
+  index_flow(id, it->second);
   recompute_rates();
   schedule_next_completion();
   return id;
@@ -55,6 +121,7 @@ void FlowEngine::stop(FlowId id) {
   it->second.stats.end_time = engine_.now();
   it->second.stats.completed = false;
   record_finished(id, it->second.stats);
+  unindex_flow(id, it->second);
   flows_.erase(it);
   recompute_rates();
   schedule_next_completion();
@@ -66,15 +133,14 @@ double FlowEngine::rate(FlowId id) const {
 }
 
 double FlowEngine::directed_link_rate(LinkId link, bool forward) const {
+  const std::size_t k = 2 * static_cast<std::size_t>(link) + (forward ? 0 : 1);
+  if (k >= link_flows_.size()) return 0.0;
   double total = 0.0;
-  for (const auto& [id, f] : flows_) {
-    (void)id;
-    for (const Hop& h : f.hops) {
-      if (h.link == link && h.forward == forward) {
-        total += f.rate_bps;
-        break;
-      }
-    }
+  // Ascending FlowId, the order the historical full-table scan summed in.
+  for (const FlowId id : link_flows_[k]) {
+    const auto it = flows_.find(id);
+    REMOS_CHECK(it != flows_.end(), "FlowEngine: link index entry for inactive flow");
+    total += it->second.rate_bps;
   }
   return total;
 }
@@ -105,7 +171,12 @@ void FlowEngine::sync() {
       bytes = std::min(bytes, f.remaining_bytes);
       f.remaining_bytes -= bytes;
     }
-    const auto whole = static_cast<std::uint64_t>(bytes);
+    // Octet counters are integral; carry the sub-octet residue to the next
+    // sync instead of truncating it away, so many small syncs deliver the
+    // same octet totals as one large one (bounded drift < 1 octet).
+    f.octet_carry += bytes;
+    const auto whole = static_cast<std::uint64_t>(f.octet_carry);
+    f.octet_carry -= static_cast<double>(whole);
     f.stats.delivered_bytes += whole;
     for (const Hop& h : f.hops) {
       net_.egress_interface(h).out_octets += whole;
@@ -116,7 +187,7 @@ void FlowEngine::sync() {
 }
 
 double FlowEngine::current_rtt(NodeId src, NodeId dst, double queue_scale_s) const {
-  const PathResult path = net_.resolve_path(src, dst);
+  const PathResult& path = resolved_path(src, dst);
   double rtt = 0.0;
   for (const Hop& h : path.hops) {
     const Link& l = net_.link(h.link);
@@ -131,101 +202,41 @@ double FlowEngine::current_rtt(NodeId src, NodeId dst, double queue_scale_s) con
 }
 
 void FlowEngine::recompute_rates() {
-  // Progressive filling (water-filling) with demand caps.
-  //
-  // Resources: each directed link plus each shared segment. All unfrozen
-  // flows share a common rising "water level"; a resource saturates when
-  // frozen_usage + level * unfrozen_count == capacity, at which point every
-  // unfrozen flow crossing it freezes at the current level. Flows whose
-  // demand cap is reached freeze at their demand.
-  struct Resource {
-    double capacity;
-    double frozen_usage = 0.0;
-    std::uint32_t unfrozen = 0;
-  };
-  // Key: directed link -> 2*link+dir; shared segment -> offset + segment id.
-  const std::size_t seg_offset = net_.link_count() * 2;
-  std::unordered_map<std::size_t, Resource> resources;
-  std::unordered_map<FlowId, std::vector<std::size_t>> uses;
+  // Assemble the water-filling problem from persistent per-flow resource
+  // lists and the persistent capacity table — the historical implementation
+  // rebuilt per-solve hash maps from the hop lists on every call. The CSR
+  // arenas keep their capacity across recomputes, so the steady state
+  // allocates nothing.
+  ensure_resource_tables();
+  const std::size_t nf = flows_.size();
+  wf_offsets_.clear();
+  wf_resources_.clear();
+  wf_demand_.clear();
+  wf_offsets_.push_back(0);
+  for (const auto& [id, f] : flows_) {
+    (void)id;
+    wf_resources_.insert(wf_resources_.end(), f.resource_keys.begin(), f.resource_keys.end());
+    wf_offsets_.push_back(wf_resources_.size());
+    wf_demand_.push_back(f.spec.demand_bps);
+  }
+  wf_rates_.assign(nf, 0.0);
+  core::WaterfillOptions options;
+  options.monotone_level = true;
+  const core::WaterfillStats stats =
+      solver_.solve(resource_capacity_, wf_offsets_, wf_resources_, wf_demand_, wf_rates_, options);
+  waterfill_rounds_total_ += stats.rounds;
 
+  // Copy rates back (same FlowId order the problem was assembled in) and
+  // refresh the earliest-completion delta so scheduling stays O(1).
+  double earliest = kInf;
+  std::size_t dense = 0;
   for (auto& [id, f] : flows_) {
-    auto& u = uses[id];
-    for (const Hop& h : f.hops) {
-      const std::size_t key = static_cast<std::size_t>(h.link) * 2 + (h.forward ? 0 : 1);
-      resources.try_emplace(key, Resource{net_.link(h.link).capacity_bps});
-      u.push_back(key);
-    }
-    for (SegmentId sid : f.shared_segments) {
-      const std::size_t key = seg_offset + sid;
-      resources.try_emplace(key, Resource{net_.segment(sid).shared_capacity_bps});
-      u.push_back(key);
-    }
+    (void)id;
+    f.rate_bps = wf_rates_[dense++];
+    if (f.spec.bytes == 0 || f.rate_bps <= 0) continue;
+    earliest = std::min(earliest, f.remaining_bytes / (f.rate_bps / 8.0));
   }
-  for (auto& [key, r] : resources) {
-    (void)key;
-    r.unfrozen = 0;
-    r.frozen_usage = 0.0;
-  }
-
-  std::unordered_map<FlowId, bool> frozen;
-  for (auto& [id, f] : flows_) {
-    frozen[id] = false;
-    f.rate_bps = 0.0;
-    for (std::size_t key : uses[id]) ++resources[key].unfrozen;
-  }
-
-  std::size_t unfrozen_flows = flows_.size();
-  double level = 0.0;
-  while (unfrozen_flows > 0) {
-    // Next saturation level among resources, and next demand cap.
-    double next_level = kInf;
-    for (const auto& [key, r] : resources) {
-      (void)key;
-      if (r.unfrozen == 0) continue;
-      const double sat = (r.capacity - r.frozen_usage) / static_cast<double>(r.unfrozen);
-      next_level = std::min(next_level, sat);
-    }
-    for (const auto& [id, f] : flows_) {
-      if (!frozen[id]) next_level = std::min(next_level, f.spec.demand_bps);
-    }
-    if (!std::isfinite(next_level)) {
-      // Only unconstrained flows remain (shouldn't happen: every flow
-      // crosses at least one finite-capacity link). Freeze at 0 defensively.
-      break;
-    }
-    level = std::max(level, next_level);
-
-    // Freeze demand-capped flows first, then flows on saturated resources.
-    std::vector<FlowId> to_freeze;
-    for (const auto& [id, f] : flows_) {
-      if (frozen[id]) continue;
-      if (f.spec.demand_bps <= level + 1e-9) {
-        to_freeze.push_back(id);
-        continue;
-      }
-      for (std::size_t key : uses[id]) {
-        const Resource& r = resources[key];
-        const double sat = (r.capacity - r.frozen_usage) / static_cast<double>(r.unfrozen);
-        if (sat <= level + 1e-9) {
-          to_freeze.push_back(id);
-          break;
-        }
-      }
-    }
-    if (to_freeze.empty()) break;  // numerical guard
-    for (FlowId id : to_freeze) {
-      Flow& f = flows_.at(id);
-      const double r = std::min(level, f.spec.demand_bps);
-      f.rate_bps = r;
-      frozen[id] = true;
-      --unfrozen_flows;
-      for (std::size_t key : uses[id]) {
-        Resource& res = resources[key];
-        res.frozen_usage += r;
-        --res.unfrozen;
-      }
-    }
-  }
+  earliest_completion_dt_ = earliest;
 }
 
 void FlowEngine::schedule_next_completion() {
@@ -233,12 +244,9 @@ void FlowEngine::schedule_next_completion() {
     engine_.cancel(completion_event_);
     completion_event_ = 0;
   }
-  double earliest = kInf;
-  for (const auto& [id, f] : flows_) {
-    (void)id;
-    if (f.spec.bytes == 0 || f.rate_bps <= 0) continue;
-    earliest = std::min(earliest, f.remaining_bytes / (f.rate_bps / 8.0));
-  }
+  // recompute_rates (which every call site runs first) left the earliest
+  // completion delta among finite flows here.
+  double earliest = earliest_completion_dt_;
   if (!std::isfinite(earliest)) return;
   earliest = std::max(earliest, kMinCompletionDt);
   completion_event_ = engine_.after(earliest, [this] { handle_completion_event(); });
@@ -257,6 +265,7 @@ void FlowEngine::handle_completion_event() {
       f.stats.delivered_bytes = f.spec.bytes;
       record_finished(it->first, f.stats);
       if (f.spec.on_complete) callbacks.emplace_back(it->first, std::move(f.spec.on_complete));
+      unindex_flow(it->first, f);
       it = flows_.erase(it);
     } else {
       ++it;

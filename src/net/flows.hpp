@@ -9,7 +9,12 @@
 //
 // The same max-min allocation problem is solved a second time, on measured
 // data, by the Remos Modeler (core/maxmin); comparing the two is how the
-// reproduction evaluates SNMP Collector accuracy (Figs 4-5).
+// reproduction evaluates SNMP Collector accuracy (Figs 4-5). Both solvers
+// share one water-filling kernel (core/waterfill); the engine's job here is
+// to keep the problem *incremental*: per-flow resource lists and the
+// resource capacity table persist across start/stop/completion, a
+// per-directed-link index answers link-rate queries in O(flows on link),
+// and resolved paths are cached per (src, dst) until the topology changes.
 #pragma once
 
 #include <cstdint>
@@ -17,8 +22,10 @@
 #include <limits>
 #include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
+#include "core/waterfill.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
 
@@ -65,6 +72,7 @@ class FlowEngine {
   [[nodiscard]] double rate(FlowId id) const;
 
   /// Ground-truth aggregate rate currently crossing a directed link.
+  /// O(flows on that link) via the per-directed-link flow index.
   [[nodiscard]] double directed_link_rate(LinkId link, bool forward) const;
 
   /// Lifetime statistics; available while active and after completion.
@@ -88,19 +96,55 @@ class FlowEngine {
   /// Total flows ever started.
   [[nodiscard]] std::uint64_t started_count() const { return next_id_ - 1; }
 
+  /// Cumulative water-filling freezing rounds across all rate
+  /// recomputations — the deterministic work counter the scaling bench
+  /// pins (the fluid counterpart of core.maxmin.iterations_total).
+  [[nodiscard]] std::uint64_t waterfill_rounds_total() const { return waterfill_rounds_total_; }
+
+  /// Path-cache observability (tested by the invalidation tests).
+  [[nodiscard]] std::uint64_t path_cache_hits() const { return path_cache_hits_; }
+  [[nodiscard]] std::uint64_t path_cache_misses() const { return path_cache_misses_; }
+
  private:
   struct Flow {
     FlowSpec spec;
     std::vector<Hop> hops;
     std::vector<SegmentId> shared_segments;  // deduped shared segments crossed
+    /// Water-filling resource keys (hop order, then shared segments),
+    /// computed once at start(). Duplicates preserved: a resource crossed
+    /// twice constrains the flow twice, as in the original solver.
+    std::vector<std::uint32_t> resource_keys;
     double rate_bps = 0.0;
     double remaining_bytes = 0.0;  // only meaningful when spec.bytes > 0
+    /// Sub-byte residue of delivered traffic, carried across syncs so
+    /// interface octet counters don't systematically undercount.
+    double octet_carry = 0.0;
     FlowStats stats;
   };
 
   void recompute_rates();
   void schedule_next_completion();
   void handle_completion_event();
+
+  // ---- incremental state helpers ----
+  /// Water-filling resource key layout: shared segments first (their count
+  /// is fixed at finalize), then both directions of each link (links can
+  /// be added by move_host without invalidating existing keys).
+  [[nodiscard]] std::uint32_t segment_resource_key(SegmentId sid) const {
+    return static_cast<std::uint32_t>(sid);
+  }
+  [[nodiscard]] std::uint32_t link_resource_key(LinkId link, bool forward) const {
+    return static_cast<std::uint32_t>(net_.segment_count() + 2 * static_cast<std::size_t>(link) +
+                                      (forward ? 0 : 1));
+  }
+  /// Rebuild the persistent resource capacity table (and grow the
+  /// per-directed-link index) when the topology version changed.
+  void ensure_resource_tables();
+  /// Register / unregister a flow in the per-directed-link index.
+  void index_flow(FlowId id, const Flow& flow);
+  void unindex_flow(FlowId id, const Flow& flow);
+  /// Cached resolve_path (invalidated when the topology version changes).
+  [[nodiscard]] const PathResult& resolved_path(NodeId src, NodeId dst) const;
 
   /// Bound on retained finished-flow records (FIFO eviction by FlowId).
   static constexpr std::size_t kFinishedCap = 1 << 16;
@@ -109,13 +153,41 @@ class FlowEngine {
 
   sim::Engine& engine_;
   Network& net_;
-  // Ordered by FlowId: max-min convergence and rate accumulation iterate
+  // Ordered by FlowId: max-min problem assembly and rate copy-back iterate
   // this, so hash order would leak into float sums and event ordering.
   std::map<FlowId, Flow> flows_;
   std::map<FlowId, FlowStats> finished_;  // ordered: begin() is the oldest
   FlowId next_id_ = 1;
   sim::Time last_sync_ = 0.0;
   sim::EventId completion_event_ = 0;
+
+  // ---- incremental solver state ----
+  core::WaterfillSolver solver_;
+  /// Capacity per resource key; rebuilt when net_.version() changes.
+  std::vector<double> resource_capacity_;
+  std::uint64_t tables_net_version_ = 0;
+  bool tables_valid_ = false;
+  /// CSR assembly arenas, reused across recomputes.
+  std::vector<std::size_t> wf_offsets_;
+  std::vector<std::uint32_t> wf_resources_;
+  std::vector<double> wf_demand_;
+  std::vector<double> wf_rates_;
+  /// Earliest completion delta among finite flows, refreshed by every
+  /// recompute (rates and remaining bytes are both current there), so
+  /// schedule_next_completion is O(1).
+  double earliest_completion_dt_ = std::numeric_limits<double>::infinity();
+  /// Per directed link (2*link+dir): active FlowIds crossing it, ascending
+  /// (ids are handed out monotonically, so appends keep the order — and
+  /// rate sums visit flows in the same order the full scan did).
+  std::vector<std::vector<FlowId>> link_flows_;
+  std::uint64_t waterfill_rounds_total_ = 0;
+
+  // ---- path cache (mutable: current_rtt is logically const) ----
+  mutable std::unordered_map<std::uint64_t, PathResult> path_cache_;
+  mutable std::uint64_t path_cache_net_version_ = 0;
+  mutable bool path_cache_valid_ = false;
+  mutable std::uint64_t path_cache_hits_ = 0;
+  mutable std::uint64_t path_cache_misses_ = 0;
 };
 
 }  // namespace remos::net

@@ -1,0 +1,248 @@
+// WaterfillSolver: randomized equivalence against a naive reference
+// rescan solver, allocation invariants, determinism, and the FlowEngine
+// path cache's invalidation on topology change.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "core/waterfill.hpp"
+#include "net/flows.hpp"
+
+namespace remos {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Problem {
+  std::vector<double> capacity;
+  std::vector<std::size_t> offsets;
+  std::vector<std::uint32_t> resources;
+  std::vector<double> demand;
+};
+
+/// Textbook rescan water-filler, retained as the reference the optimized
+/// kernel is checked against: every round recomputes every resource's
+/// saturation level from scratch. Same freeze tolerance (1e-9) and the
+/// same per-caller level options as the kernel.
+std::vector<double> naive_waterfill(const Problem& p, const core::WaterfillOptions& opt) {
+  const std::size_t nf = p.demand.size();
+  const std::size_t nr = p.capacity.size();
+  std::vector<double> rates(nf, 0.0);
+  std::vector<char> frozen(nf, 0);
+  double level = 0.0;
+  for (;;) {
+    std::vector<double> frozen_usage(nr, 0.0);
+    std::vector<std::size_t> unfrozen(nr, 0);
+    std::size_t active = 0;
+    for (std::size_t f = 0; f < nf; ++f) {
+      for (std::size_t k = p.offsets[f]; k < p.offsets[f + 1]; ++k) {
+        if (frozen[f] != 0) {
+          frozen_usage[p.resources[k]] += rates[f];
+        } else {
+          ++unfrozen[p.resources[k]];
+        }
+      }
+      if (frozen[f] == 0) ++active;
+    }
+    if (active == 0) break;
+    std::vector<double> sat(nr, kInf);
+    double next = kInf;
+    for (std::size_t r = 0; r < nr; ++r) {
+      if (unfrozen[r] == 0) continue;
+      sat[r] = (p.capacity[r] - frozen_usage[r]) / static_cast<double>(unfrozen[r]);
+      next = std::min(next, sat[r]);
+    }
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (frozen[f] == 0) next = std::min(next, p.demand[f]);
+    }
+    if (!std::isfinite(next)) break;
+    if (opt.monotone_level) {
+      level = std::max(level, next);
+    } else {
+      level = next;
+      if (opt.clamp_negative_level && level < 0.0) level = 0.0;
+    }
+    const double thr = level + 1e-9;
+    bool any = false;
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (frozen[f] != 0) continue;
+      bool freeze = p.demand[f] <= thr;
+      for (std::size_t k = p.offsets[f]; k < p.offsets[f + 1] && !freeze; ++k) {
+        freeze = sat[p.resources[k]] <= thr;
+      }
+      if (freeze) {
+        frozen[f] = 1;
+        rates[f] = std::min(level, p.demand[f]);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return rates;
+}
+
+/// 1..16 resources, 1..32 flows crossing 1..4 of them (duplicates allowed
+/// — each crossing is a constraint, as on a path revisiting a link), ~30%
+/// greedy (infinite-demand) flows.
+Problem random_problem(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Problem p;
+  const std::size_t nr = std::uniform_int_distribution<std::size_t>(1, 16)(rng);
+  const std::size_t nf = std::uniform_int_distribution<std::size_t>(1, 32)(rng);
+  std::uniform_real_distribution<double> cap_d(0.5, 100.0);
+  std::uniform_int_distribution<std::size_t> deg_d(1, 4);
+  std::uniform_int_distribution<std::uint32_t> res_d(0, static_cast<std::uint32_t>(nr - 1));
+  std::uniform_real_distribution<double> dem_d(0.1, 50.0);
+  std::uniform_int_distribution<int> pct_d(0, 99);
+  p.capacity.resize(nr);
+  for (double& c : p.capacity) c = cap_d(rng);
+  p.offsets.push_back(0);
+  for (std::size_t f = 0; f < nf; ++f) {
+    const std::size_t deg = deg_d(rng);
+    for (std::size_t k = 0; k < deg; ++k) p.resources.push_back(res_d(rng));
+    p.offsets.push_back(p.resources.size());
+    p.demand.push_back(pct_d(rng) < 30 ? kInf : dem_d(rng));
+  }
+  return p;
+}
+
+TEST(Waterfill, MatchesNaiveReferenceOnRandomProblems) {
+  core::WaterfillSolver solver;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Problem p = random_problem(seed);
+    for (const bool monotone : {true, false}) {
+      core::WaterfillOptions opt;
+      opt.monotone_level = monotone;       // fluid-engine flavor
+      opt.clamp_negative_level = !monotone;  // Modeler flavor
+      std::vector<double> rates(p.demand.size(), 0.0);
+      solver.solve(p.capacity, p.offsets, p.resources, p.demand, rates, opt);
+      const std::vector<double> want = naive_waterfill(p, opt);
+      for (std::size_t f = 0; f < rates.size(); ++f) {
+        EXPECT_NEAR(rates[f], want[f], 1e-9)
+            << "seed " << seed << " monotone " << monotone << " flow " << f;
+      }
+    }
+  }
+}
+
+TEST(Waterfill, RandomAllocationsAreFeasibleAndMaxMin) {
+  core::WaterfillSolver solver;
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    const Problem p = random_problem(seed);
+    core::WaterfillOptions opt;
+    opt.monotone_level = true;
+    std::vector<double> rates(p.demand.size(), 0.0);
+    solver.solve(p.capacity, p.offsets, p.resources, p.demand, rates, opt);
+    std::vector<double> used(p.capacity.size(), 0.0);
+    for (std::size_t f = 0; f < p.demand.size(); ++f) {
+      for (std::size_t k = p.offsets[f]; k < p.offsets[f + 1]; ++k) {
+        used[p.resources[k]] += rates[f];
+      }
+    }
+    // Feasibility: no resource overcommitted (counting path multiplicity).
+    for (std::size_t r = 0; r < p.capacity.size(); ++r) {
+      EXPECT_LE(used[r], p.capacity[r] + 1e-6) << "seed " << seed << " resource " << r;
+    }
+    // Max-min optimality: every unsatisfied flow crosses a saturated
+    // resource — no rate can be raised without lowering a smaller one.
+    for (std::size_t f = 0; f < p.demand.size(); ++f) {
+      if (rates[f] >= p.demand[f] - 1e-6) continue;
+      bool bottlenecked = false;
+      for (std::size_t k = p.offsets[f]; k < p.offsets[f + 1] && !bottlenecked; ++k) {
+        bottlenecked = used[p.resources[k]] >= p.capacity[p.resources[k]] - 1e-6;
+      }
+      EXPECT_TRUE(bottlenecked) << "seed " << seed << " flow " << f;
+    }
+  }
+}
+
+TEST(Waterfill, RepeatedSolvesAreBitIdentical) {
+  core::WaterfillSolver solver;
+  const Problem p = random_problem(7);
+  core::WaterfillOptions opt;
+  opt.monotone_level = true;
+  std::vector<double> a(p.demand.size(), 0.0);
+  std::vector<double> b(p.demand.size(), 0.0);
+  const core::WaterfillStats s1 =
+      solver.solve(p.capacity, p.offsets, p.resources, p.demand, a, opt);
+  const core::WaterfillStats s2 =
+      solver.solve(p.capacity, p.offsets, p.resources, p.demand, b, opt);
+  EXPECT_EQ(s1.rounds, s2.rounds);
+  EXPECT_EQ(s1.demand_frozen, s2.demand_frozen);
+  EXPECT_EQ(s1.saturation_frozen, s2.saturation_frozen);
+  // Reusing the solver's arenas must not perturb a single bit.
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)));
+}
+
+TEST(Waterfill, StatsClassifyFreezes) {
+  core::WaterfillSolver solver;
+  // One capacity-10 resource: a demand-2 flow freezes on its cap first,
+  // the greedy flow then saturates the remainder at level 8.
+  const std::vector<double> capacity{10.0};
+  const std::vector<std::size_t> offsets{0, 1, 2};
+  const std::vector<std::uint32_t> resources{0, 0};
+  const std::vector<double> demand{2.0, kInf};
+  std::vector<double> rates(2, 0.0);
+  core::WaterfillOptions opt;
+  opt.monotone_level = true;
+  const core::WaterfillStats s =
+      solver.solve(capacity, offsets, resources, demand, rates, opt);
+  EXPECT_DOUBLE_EQ(rates[0], 2.0);
+  EXPECT_DOUBLE_EQ(rates[1], 8.0);
+  EXPECT_EQ(s.rounds, 2u);
+  EXPECT_EQ(s.demand_frozen, 1u);
+  EXPECT_EQ(s.saturation_frozen, 1u);
+}
+
+TEST(Waterfill, EmptyProblem) {
+  core::WaterfillSolver solver;
+  const std::vector<std::size_t> offsets{0};
+  const std::vector<double> nothing;
+  const std::vector<std::uint32_t> no_resources;
+  std::vector<double> rates;
+  const core::WaterfillStats s = solver.solve(nothing, offsets, no_resources, nothing, rates,
+                                              core::WaterfillOptions{});
+  EXPECT_EQ(s.rounds, 0u);
+  EXPECT_EQ(s.demand_frozen, 0u);
+  EXPECT_EQ(s.saturation_frozen, 0u);
+}
+
+TEST(PathCache, InvalidatedOnTopologyChange) {
+  net::Network lan{"lan"};
+  sim::Engine engine;
+  const net::NodeId sw0 = lan.add_switch("sw0");
+  const net::NodeId sw1 = lan.add_switch("sw1");
+  const net::NodeId h0 = lan.add_host("h0");
+  const net::NodeId h1 = lan.add_host("h1");
+  lan.connect(h0, sw0, 100e6);
+  lan.connect(h1, sw1, 100e6);
+  const net::LinkId trunk = lan.connect(sw0, sw1, 1e9);
+  lan.finalize();
+  net::FlowEngine flows(engine, lan);
+
+  const net::FlowId f1 = flows.start(net::FlowSpec{.src = h0, .dst = h1});
+  EXPECT_EQ(flows.path_cache_misses(), 1u);
+  EXPECT_DOUBLE_EQ(
+      flows.directed_link_rate(trunk, true) + flows.directed_link_rate(trunk, false), 100e6);
+  // A second resolution of the same (src, dst) pair hits the cache.
+  (void)flows.current_rtt(h0, h1, 0.0);
+  EXPECT_GE(flows.path_cache_hits(), 1u);
+  flows.stop(f1);
+
+  // Rehoming h0 onto sw1 bumps the topology version: the cached h0->h1
+  // path through the trunk must not be reused by the next start.
+  lan.move_host(h0, sw1, 100e6);
+  const std::uint64_t misses_before = flows.path_cache_misses();
+  const net::FlowId f2 = flows.start(net::FlowSpec{.src = h0, .dst = h1});
+  EXPECT_EQ(flows.path_cache_misses(), misses_before + 1);
+  EXPECT_DOUBLE_EQ(flows.rate(f2), 100e6);
+  EXPECT_DOUBLE_EQ(
+      flows.directed_link_rate(trunk, true) + flows.directed_link_rate(trunk, false), 0.0);
+}
+
+}  // namespace
+}  // namespace remos

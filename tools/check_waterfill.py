@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Compare micro_waterfill's deterministic round counts against the pins.
+
+The water-filling round count of each benched problem is a pure function of
+the topology and flow population — identical on every machine and build
+mode — so it is pinned (bench/waterfill_rounds.json) and CI fails when a
+measurement drifts. More rounds means the kernel lost freezing efficiency
+(a perf regression even if wall-clock noise hides it); fewer rounds means
+the algorithm changed and the pin must be re-recorded deliberately:
+
+    ./build/bench/micro_waterfill --out /tmp/wf.json   # then copy the
+    # per-size "rounds" values into bench/waterfill_rounds.json
+
+Usage: check_waterfill.py --measured <bench-json> --pins <pins-json>
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--measured", required=True, help="micro_waterfill --out JSON")
+    ap.add_argument("--pins", required=True, help="pinned rounds JSON")
+    args = ap.parse_args()
+
+    with open(args.measured, encoding="utf-8") as f:
+        measured = json.load(f)["benchmarks"]
+    with open(args.pins, encoding="utf-8") as f:
+        pins = json.load(f)
+
+    failures = []
+    checked = 0
+    for entry in measured:
+        pin = pins.get(entry["name"], {}).get(str(entry["size"]))
+        if pin is None:
+            continue
+        checked += 1
+        rounds = entry["rounds"]
+        if rounds > pin:
+            failures.append(
+                f"{entry['name']}/{entry['size']}: {rounds} rounds > pinned {pin} "
+                "(kernel freezing efficiency regressed)"
+            )
+        elif rounds < pin:
+            failures.append(
+                f"{entry['name']}/{entry['size']}: {rounds} rounds < pinned {pin} "
+                "(algorithm changed; re-record bench/waterfill_rounds.json)"
+            )
+    if checked == 0:
+        failures.append("no measured benchmark matched any pin — wrong files?")
+
+    for msg in failures:
+        print(f"check_waterfill: FAIL {msg}", file=sys.stderr)
+    if not failures:
+        print(f"check_waterfill: {checked} pinned round counts match")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
