@@ -1,11 +1,17 @@
 // Scaling bench for the shared water-filling kernel (core/waterfill.hpp):
-// fluid FlowEngine recomputes (one start+stop pair) and Modeler
-// max_min_allocate at several flow counts. Emits a JSON report with each
-// size's ns/op plus the *deterministic* water-filling round count — rounds
-// depend only on the problem, never on the machine, so CI pins them
+// fluid FlowEngine recomputes (one start+stop pair), Modeler
+// max_min_allocate, and the raw kernel at 16k-1M flows sequential vs
+// partitioned-parallel. Emits a JSON report with each size's ns/op plus the
+// *deterministic* water-filling round and partition counts — both depend
+// only on the problem, never on the machine, so CI pins them
 // (bench/waterfill_rounds.json, compared by tools/check_waterfill.py in
 // the ci/check.sh perf-smoke stage) while the timings are informational.
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -13,6 +19,8 @@
 #include "bench/bench_util.hpp"
 #include "core/maxmin.hpp"
 #include "core/obs.hpp"
+#include "core/waterfill.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace {
 
@@ -23,7 +31,8 @@ struct Result {
   std::size_t size = 0;
   double ns_per_op = 0.0;
   std::uint64_t rounds = 0;      // deterministic per-op round count
-  double baseline_ns = 0.0;      // pre-kernel measurement, 0 if not recorded
+  std::uint64_t partitions = 0;  // deterministic component count, 0 = n/a
+  double baseline_ns = 0.0;      // reference measurement, 0 if not recorded
 };
 
 /// Pre-PR baselines (ns/op, this repo's reference container, default
@@ -93,6 +102,127 @@ Result bench_modeler(std::size_t n_requests, double min_total_s) {
   return r;
 }
 
+/// Raw-kernel workload: clusters of ~32 flows over 8 private resources plus
+/// one massively over-provisioned shared backbone resource every flow
+/// crosses — the shape partitioning targets (independent congestion
+/// neighborhoods under a fat core). Randomness comes from raw mt19937_64
+/// draws only (no std distributions, whose mappings vary by stdlib), so the
+/// problem — and its pinned round/partition counts — is identical on every
+/// platform.
+struct KernelProblem {
+  std::vector<double> capacity;
+  std::vector<std::size_t> offsets;
+  std::vector<std::uint32_t> resources;
+  std::vector<double> demand;
+};
+
+KernelProblem make_clustered_problem(std::size_t n_flows) {
+  std::mt19937_64 rng(0x5eed0000ULL + n_flows);
+  const auto u01 = [&rng] { return static_cast<double>(rng() >> 11) * 0x1.0p-53; };
+  constexpr std::size_t kFlowsPerCluster = 32;
+  constexpr std::size_t kResPerCluster = 8;
+  KernelProblem p;
+  p.offsets.reserve(n_flows + 1);
+  p.offsets.push_back(0);
+  p.resources.reserve(n_flows * 3);
+  p.demand.reserve(n_flows);
+  p.capacity.push_back(0.0);  // backbone (key 0), patched below
+  while (p.demand.size() < n_flows) {
+    const auto base = static_cast<std::uint32_t>(p.capacity.size());
+    for (std::size_t r = 0; r < kResPerCluster; ++r) p.capacity.push_back(0.5 + 99.5 * u01());
+    const std::size_t nf = std::min(kFlowsPerCluster, n_flows - p.demand.size());
+    for (std::size_t f = 0; f < nf; ++f) {
+      const std::size_t deg = 1 + rng() % 3;
+      for (std::size_t k = 0; k < deg; ++k) {
+        p.resources.push_back(base + static_cast<std::uint32_t>(rng() % kResPerCluster));
+      }
+      p.resources.push_back(0);  // the shared backbone
+      p.offsets.push_back(p.resources.size());
+      p.demand.push_back(u01() < 0.3 ? std::numeric_limits<double>::infinity()
+                                     : 0.1 + 49.9 * u01());
+    }
+  }
+  // Far above the sum of every flow's min crossed capacity: provably
+  // uncuttable load never reaches it, so the partitioner cuts it.
+  p.capacity[0] = 100.0 * static_cast<double>(n_flows) + 1000.0;
+  return p;
+}
+
+/// Two rows per size: the monolithic sequential kernel and the partitioned
+/// solve on a thread pool. The parallel row's baseline is the sequential
+/// measurement, so its speedup column is the multi-threaded speedup. Every
+/// run re-verifies the determinism contract (DESIGN.md "Parallel
+/// partitioned solve"): the pool solve must be bit-identical to the
+/// partitioned solve without a pool, and partitioning itself must agree
+/// with the monolithic kernel within the solver's 1e-9 freeze tolerance
+/// (the monolithic monotone-level clamp can couple independent components
+/// by an ulp, so exact cross-decomposition identity is not promised).
+void bench_kernel(std::size_t n_flows, double min_total_s, std::vector<Result>& out) {
+  const KernelProblem p = make_clustered_problem(n_flows);
+  core::WaterfillOptions seq_opt;
+  seq_opt.monotone_level = true;
+  core::WaterfillOptions part_opt = seq_opt;
+  part_opt.partition_min_flows = 1;
+  sim::ThreadPool pool;
+  core::WaterfillOptions par_opt = part_opt;
+  par_opt.pool = &pool;
+
+  core::WaterfillSolver seq_solver;
+  core::WaterfillSolver part_solver;
+  core::WaterfillSolver par_solver;
+  std::vector<double> seq_rates(n_flows, 0.0);
+  std::vector<double> part_rates(n_flows, 0.0);
+  std::vector<double> par_rates(n_flows, 0.0);
+  const core::WaterfillStats seq_stats =
+      seq_solver.solve(p.capacity, p.offsets, p.resources, p.demand, seq_rates, seq_opt);
+  (void)part_solver.solve(p.capacity, p.offsets, p.resources, p.demand, part_rates, part_opt);
+  const core::WaterfillStats par_stats =
+      par_solver.solve(p.capacity, p.offsets, p.resources, p.demand, par_rates, par_opt);
+  if (std::memcmp(part_rates.data(), par_rates.data(), n_flows * sizeof(double)) != 0) {
+    std::fprintf(stderr, "micro_waterfill: pool solve diverged from partitioned at %zu flows\n",
+                 n_flows);
+    std::exit(1);
+  }
+  for (std::size_t f = 0; f < n_flows; ++f) {
+    if (std::fabs(seq_rates[f] - par_rates[f]) > 1e-9 * (1.0 + std::fabs(seq_rates[f]))) {
+      std::fprintf(stderr,
+                   "micro_waterfill: partitioning moved flow %zu beyond the freeze tolerance "
+                   "at %zu flows (%.17g vs %.17g)\n",
+                   f, n_flows, seq_rates[f], par_rates[f]);
+      std::exit(1);
+    }
+  }
+
+  Result seq;
+  seq.name = "kernel_solve_seq";
+  seq.size = n_flows;
+  seq.rounds = seq_stats.rounds;
+  seq.partitions = seq_stats.partitions;
+  seq.ns_per_op = bench::time_per_iteration(
+                      [&] {
+                        (void)seq_solver.solve(p.capacity, p.offsets, p.resources, p.demand,
+                                               seq_rates, seq_opt);
+                      },
+                      min_total_s) *
+                  1e9;
+  out.push_back(seq);
+
+  Result par;
+  par.name = "kernel_solve_par";
+  par.size = n_flows;
+  par.rounds = par_stats.rounds;
+  par.partitions = par_stats.partitions;
+  par.ns_per_op = bench::time_per_iteration(
+                      [&] {
+                        (void)par_solver.solve(p.capacity, p.offsets, p.resources, p.demand,
+                                               par_rates, par_opt);
+                      },
+                      min_total_s) *
+                  1e9;
+  par.baseline_ns = seq.ns_per_op;
+  out.push_back(par);
+}
+
 void write_json(const std::string& path, const std::vector<Result>& results) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -102,13 +232,20 @@ void write_json(const std::string& path, const std::vector<Result>& results) {
   std::fprintf(f, "{\n  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"size\": %zu, \"ns_per_op\": %.1f, "
-                 "\"rounds\": %llu, \"baseline_ns_per_op\": %.1f, \"speedup\": %.2f}%s\n",
+    std::fprintf(f, "    {\"name\": \"%s\", \"size\": %zu, \"ns_per_op\": %.1f, \"rounds\": %llu",
                  r.name.c_str(), r.size, r.ns_per_op,
-                 static_cast<unsigned long long>(r.rounds), r.baseline_ns,
-                 r.baseline_ns > 0.0 ? r.baseline_ns / r.ns_per_op : 0.0,
-                 i + 1 < results.size() ? "," : "");
+                 static_cast<unsigned long long>(r.rounds));
+    if (r.partitions > 0) {
+      std::fprintf(f, ", \"partitions\": %llu", static_cast<unsigned long long>(r.partitions));
+    }
+    // Rows with no recorded reference omit the baseline/speedup keys
+    // entirely: a 0.0 placeholder used to read as "speedup: 0.00" and
+    // check_waterfill.py now rejects it.
+    if (r.baseline_ns > 0.0) {
+      std::fprintf(f, ", \"baseline_ns_per_op\": %.1f, \"speedup\": %.2f", r.baseline_ns,
+                   r.baseline_ns / r.ns_per_op);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -136,23 +273,33 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::size_t>{4, 64} : std::vector<std::size_t>{4, 16, 64, 256, 1024};
   const std::vector<std::size_t> modeler_sizes =
       smoke ? std::vector<std::size_t>{16} : std::vector<std::size_t>{4, 16, 64};
+  const std::vector<std::size_t> kernel_sizes =
+      smoke ? std::vector<std::size_t>{16384}
+            : std::vector<std::size_t>{16384, 65536, 262144, 1048576};
 
   std::vector<Result> results;
   for (const std::size_t n : fluid_sizes) results.push_back(bench_fluid(n, min_total_s));
   for (const std::size_t n : modeler_sizes) results.push_back(bench_modeler(n, min_total_s));
+  for (const std::size_t n : kernel_sizes) bench_kernel(n, min_total_s, results);
 
   remos::bench::header("micro_waterfill: shared water-filling kernel scaling",
                        "DESIGN.md \"Performance\"");
-  remos::bench::row("%-22s %6s %12s %8s %12s %8s", "benchmark", "flows", "ns/op", "rounds",
-                    "baseline", "speedup");
+  remos::bench::row("%-22s %8s %12s %8s %6s %12s %8s", "benchmark", "flows", "ns/op", "rounds",
+                    "parts", "baseline", "speedup");
   for (const Result& r : results) {
-    if (r.baseline_ns > 0.0) {
-      remos::bench::row("%-22s %6zu %12.0f %8llu %12.0f %7.2fx", r.name.c_str(), r.size,
-                        r.ns_per_op, static_cast<unsigned long long>(r.rounds), r.baseline_ns,
-                        r.baseline_ns / r.ns_per_op);
+    char parts[24];
+    if (r.partitions > 0) {
+      std::snprintf(parts, sizeof parts, "%llu", static_cast<unsigned long long>(r.partitions));
     } else {
-      remos::bench::row("%-22s %6zu %12.0f %8llu %12s %8s", r.name.c_str(), r.size, r.ns_per_op,
-                        static_cast<unsigned long long>(r.rounds), "-", "-");
+      std::snprintf(parts, sizeof parts, "-");
+    }
+    if (r.baseline_ns > 0.0) {
+      remos::bench::row("%-22s %8zu %12.0f %8llu %6s %12.0f %7.2fx", r.name.c_str(), r.size,
+                        r.ns_per_op, static_cast<unsigned long long>(r.rounds), parts,
+                        r.baseline_ns, r.baseline_ns / r.ns_per_op);
+    } else {
+      remos::bench::row("%-22s %8zu %12.0f %8llu %6s %12s %8s", r.name.c_str(), r.size,
+                        r.ns_per_op, static_cast<unsigned long long>(r.rounds), parts, "-", "-");
     }
   }
   write_json(out, results);

@@ -30,7 +30,8 @@ std::uint32_t resource_key(std::size_t ei, bool ab) {
 }  // namespace
 
 MaxMinResult max_min_allocate(const VirtualTopology& topo,
-                              const std::vector<FlowRequest>& requests) {
+                              const std::vector<FlowRequest>& requests,
+                              MaxMinScratch& scratch) {
   MaxMinResult result;
   result.flows.resize(requests.size());
 
@@ -64,15 +65,9 @@ MaxMinResult max_min_allocate(const VirtualTopology& topo,
   // Progressive filling via the shared water-filling kernel. Resources are
   // directed edges (key 2*edge+dir) with the edge direction's *available*
   // bandwidth as capacity; unroutable flows stay out of the problem (and
-  // keep rate 0). All problem arrays are thread_local arenas, so
+  // keep rate 0). All problem arrays live in the caller-owned scratch, so
   // steady-state queries allocate nothing here.
-  thread_local WaterfillSolver solver;
-  thread_local std::vector<double> capacity;
-  thread_local std::vector<std::size_t> offsets;
-  thread_local std::vector<std::uint32_t> resources;
-  thread_local std::vector<double> demand;
-  thread_local std::vector<double> rates;
-  thread_local std::vector<std::size_t> dense_to_request;
+  auto& [solver, capacity, offsets, resources, demand, rates, dense_to_request] = scratch;
   // Capacity slots for resources no routed flow references are never read
   // by the kernel, so stale values from earlier queries are harmless.
   capacity.resize(topo.edge_count() * 2);
@@ -118,9 +113,21 @@ MaxMinResult max_min_allocate(const VirtualTopology& topo,
   return result;
 }
 
-FlowInfo single_flow_info(const VirtualTopology& topo, const FlowRequest& request) {
-  MaxMinResult r = max_min_allocate(topo, {request});
+MaxMinResult max_min_allocate(const VirtualTopology& topo,
+                              const std::vector<FlowRequest>& requests) {
+  MaxMinScratch scratch;
+  return max_min_allocate(topo, requests, scratch);
+}
+
+FlowInfo single_flow_info(const VirtualTopology& topo, const FlowRequest& request,
+                          MaxMinScratch& scratch) {
+  MaxMinResult r = max_min_allocate(topo, {request}, scratch);
   return r.flows.empty() ? FlowInfo{} : std::move(r.flows.front());
+}
+
+FlowInfo single_flow_info(const VirtualTopology& topo, const FlowRequest& request) {
+  MaxMinScratch scratch;
+  return single_flow_info(topo, request, scratch);
 }
 
 }  // namespace remos::core

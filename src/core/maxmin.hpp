@@ -6,9 +6,11 @@
 // the Collector's topologies to determine solutions to flow queries."
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/types.hpp"
+#include "core/waterfill.hpp"
 
 namespace remos::core {
 
@@ -17,15 +19,44 @@ struct MaxMinResult {
   std::vector<FlowInfo> flows;
 };
 
+/// Reusable problem-assembly arenas + kernel for max_min_allocate. Owned
+/// by the caller (the Modeler keeps one per instance) so ownership is
+/// explicit: a scratch must not be used by two allocations concurrently,
+/// but distinct scratches are fully independent — which is what lets the
+/// partitioned water-filling driver run allocation work on a thread pool.
+/// (The previous design hid these arenas in function-local thread_local
+/// storage; under a pool that silently keyed solver state to whichever
+/// worker ran the query, pinning memory per worker thread and making
+/// reuse untestable.)
+struct MaxMinScratch {
+  WaterfillSolver solver;
+  std::vector<double> capacity;
+  std::vector<std::size_t> offsets;
+  std::vector<std::uint32_t> resources;
+  std::vector<double> demand;
+  std::vector<double> rates;
+  std::vector<std::size_t> dense_to_request;
+};
+
 /// Allocate max-min fair rates for the requested flows over `topo`,
 /// routing each flow along its shortest path and treating each edge
 /// direction's *available* bandwidth (capacity - measured utilization) as
 /// its capacity. Unroutable flows get available_bps == 0 and an empty path.
+/// `scratch` supplies the reusable arenas; steady-state calls with a
+/// long-lived scratch allocate nothing for problem assembly.
+[[nodiscard]] MaxMinResult max_min_allocate(const VirtualTopology& topo,
+                                            const std::vector<FlowRequest>& requests,
+                                            MaxMinScratch& scratch);
+
+/// Convenience overload with a one-shot scratch (allocates; prefer the
+/// scratch overload on hot paths).
 [[nodiscard]] MaxMinResult max_min_allocate(const VirtualTopology& topo,
                                             const std::vector<FlowRequest>& requests);
 
 /// Available bandwidth for a single new flow: the max-min rate it would
 /// get if introduced alone (bottleneck residual capacity along the path).
+[[nodiscard]] FlowInfo single_flow_info(const VirtualTopology& topo, const FlowRequest& request,
+                                        MaxMinScratch& scratch);
 [[nodiscard]] FlowInfo single_flow_info(const VirtualTopology& topo, const FlowRequest& request);
 
 }  // namespace remos::core

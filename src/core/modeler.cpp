@@ -49,7 +49,7 @@ std::vector<FlowInfo> Modeler::flow_query(const FlowQuery& query) {
     endpoints.push_back(f.dst);
   }
   const VirtualTopology topo = fetch(endpoints);
-  return max_min_allocate(topo, query.flows).flows;
+  return max_min_allocate(topo, query.flows, maxmin_scratch_).flows;
 }
 
 FlowInfo Modeler::flow_info(net::Ipv4Address src, net::Ipv4Address dst) {
@@ -63,7 +63,7 @@ std::optional<FlowPrediction> Modeler::predict_flow(const FlowRequest& request,
                                                     std::size_t horizon) {
   if (horizon == 0) horizon = config_.prediction_horizon;
   const VirtualTopology topo = fetch({request.src, request.dst});
-  const FlowInfo info = single_flow_info(topo, request);
+  const FlowInfo info = single_flow_info(topo, request, maxmin_scratch_);
   if (!info.routable()) return std::nullopt;
 
   // Bottleneck edge: minimum available bandwidth along the path.

@@ -71,6 +71,10 @@ class Modeler {
   Collector& collector_;
   ModelerConfig config_;
   rps::ClientServerPredictor predictor_;
+  /// Max-min problem arenas, reused across flow queries. Explicitly owned
+  /// here (one scratch per Modeler, which is single-threaded per instance)
+  /// rather than hidden in thread_local storage inside the allocator.
+  MaxMinScratch maxmin_scratch_;
   double last_cost_s_ = 0.0;
   bool last_complete_ = true;
   double last_staleness_s_ = 0.0;

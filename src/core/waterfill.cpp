@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/audit.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace remos::core {
 namespace {
@@ -14,6 +15,12 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// when its demand or a crossed resource's saturation level is within
 /// 1e-9 of the water level.
 constexpr double kFreezeEps = 1e-9;
+/// Relative headroom a resource must keep over its worst-case load before
+/// the partitioner may cut it. Swamps every float-accumulation error in
+/// the load-bound sum (≤ nnz·2⁻⁵² relative ≈ 1e-10 even at a million
+/// crossings); a borderline resource is merely left uncut, which costs
+/// parallelism, never correctness.
+constexpr double kCutRelMargin = 1.0 + 1e-6;
 
 }  // namespace
 
@@ -24,12 +31,27 @@ WaterfillStats WaterfillSolver::solve(std::span<const double> capacity,
                                       std::span<double> rates_out,
                                       const WaterfillOptions& options) {
   const std::size_t nf = demand.size();
-  const std::size_t nr = capacity.size();
   REMOS_CHECK(flow_offsets.size() == nf + 1, "waterfill: CSR offsets must have F+1 entries");
   REMOS_CHECK(nf == 0 || flow_offsets.front() == 0, "waterfill: CSR offsets must start at 0");
   REMOS_CHECK(nf == 0 || flow_offsets.back() == flow_resources.size(),
               "waterfill: CSR offsets must end at the resource-list size");
   REMOS_CHECK(rates_out.size() == nf, "waterfill: rates_out must have one slot per flow");
+
+  if (nf >= options.partition_min_flows && nf > 1 &&
+      build_partitions(capacity, flow_offsets, flow_resources, demand)) {
+    return solve_partitioned(capacity, flow_offsets, flow_resources, demand, rates_out, options);
+  }
+  return solve_monolithic(capacity, flow_offsets, flow_resources, demand, rates_out, options);
+}
+
+WaterfillStats WaterfillSolver::solve_monolithic(std::span<const double> capacity,
+                                                 std::span<const std::size_t> flow_offsets,
+                                                 std::span<const std::uint32_t> flow_resources,
+                                                 std::span<const double> demand,
+                                                 std::span<double> rates_out,
+                                                 const WaterfillOptions& options) {
+  const std::size_t nf = demand.size();
+  const std::size_t nr = capacity.size();
 
   WaterfillStats stats;
 
@@ -190,6 +212,180 @@ WaterfillStats WaterfillSolver::solve(std::span<const double> capacity,
       std::push_heap(res_heap_.begin(), res_heap_.end(), res_less_at_front);
     }
   }
+  return stats;
+}
+
+bool WaterfillSolver::build_partitions(std::span<const double> capacity,
+                                       std::span<const std::size_t> flow_offsets,
+                                       std::span<const std::uint32_t> flow_resources,
+                                       std::span<const double> demand) {
+  const std::size_t nf = demand.size();
+  const std::size_t nr = capacity.size();
+
+  // Per-flow rate upper bound: a flow can never exceed its demand cap nor
+  // any crossed resource's full capacity (level ≤ every active resource's
+  // saturation level ≤ its capacity).
+  cut_bound_.resize(nf);
+  for (std::size_t f = 0; f < nf; ++f) {
+    double ub = demand[f];
+    for (std::size_t k = flow_offsets[f]; k < flow_offsets[f + 1]; ++k) {
+      REMOS_CHECK(flow_resources[k] < nr, "waterfill: resource id out of range");
+      ub = std::min(ub, capacity[flow_resources[k]]);
+    }
+    cut_bound_[f] = ub;
+  }
+
+  // Worst-case load per resource, counting crossing multiplicity (each
+  // crossing consumes the flow's rate once). Infinite bounds poison the
+  // sum, which correctly marks the resource saturable.
+  res_load_bound_.assign(nr, 0.0);
+  res_uses_.assign(nr, 0);
+  for (std::size_t f = 0; f < nf; ++f) {
+    for (std::size_t k = flow_offsets[f]; k < flow_offsets[f + 1]; ++k) {
+      res_load_bound_[flow_resources[k]] += cut_bound_[f];
+      ++res_uses_[flow_resources[k]];
+    }
+  }
+
+  // Cut resources that provably never saturate: even at every crossing
+  // flow's upper bound the capacity keeps both a relative margin (float
+  // accumulation in the bound sum) and an absolute one (the kernel's
+  // freeze tolerance, once per crossing) — so no freezing round, in any
+  // partition or in the monolithic solve, can ever select them.
+  res_cut_.assign(nr, 0);
+  for (std::size_t r = 0; r < nr; ++r) {
+    if (res_uses_[r] == 0 || !std::isfinite(res_load_bound_[r])) continue;
+    if (res_load_bound_[r] * kCutRelMargin < capacity[r] &&
+        capacity[r] - res_load_bound_[r] >
+            kFreezeEps * static_cast<double>(res_uses_[r] + 1)) {
+      res_cut_[r] = 1;
+    }
+  }
+
+  // Union-find over flows, joining through every uncut resource. Roots are
+  // kept minimal (attach the larger root under the smaller), so a
+  // component's root is its smallest flow index.
+  uf_parent_.resize(nf);
+  for (std::size_t f = 0; f < nf; ++f) uf_parent_[f] = static_cast<std::uint32_t>(f);
+  const auto find = [this](std::uint32_t f) {
+    while (uf_parent_[f] != f) {
+      uf_parent_[f] = uf_parent_[uf_parent_[f]];  // path halving
+      f = uf_parent_[f];
+    }
+    return f;
+  };
+  res_first_flow_.assign(nr, std::numeric_limits<std::uint32_t>::max());
+  for (std::size_t f = 0; f < nf; ++f) {
+    for (std::size_t k = flow_offsets[f]; k < flow_offsets[f + 1]; ++k) {
+      const std::uint32_t r = flow_resources[k];
+      if (res_cut_[r] != 0) continue;
+      if (res_first_flow_[r] == std::numeric_limits<std::uint32_t>::max()) {
+        res_first_flow_[r] = static_cast<std::uint32_t>(f);
+        continue;
+      }
+      std::uint32_t a = find(res_first_flow_[r]);
+      std::uint32_t b = find(static_cast<std::uint32_t>(f));
+      if (a != b) uf_parent_[std::max(a, b)] = std::min(a, b);
+    }
+  }
+
+  // Dense component ids in ascending smallest-member order.
+  comp_of_flow_.resize(nf);
+  comp_remap_.assign(nf, std::numeric_limits<std::uint32_t>::max());
+  std::uint32_t ncomp = 0;
+  for (std::size_t f = 0; f < nf; ++f) {
+    const std::uint32_t root = find(static_cast<std::uint32_t>(f));
+    if (comp_remap_[root] == std::numeric_limits<std::uint32_t>::max()) comp_remap_[root] = ncomp++;
+    comp_of_flow_[f] = comp_remap_[root];
+  }
+  partition_count_ = ncomp;
+  return ncomp > 1;
+}
+
+WaterfillStats WaterfillSolver::solve_partitioned(std::span<const double> capacity,
+                                                  std::span<const std::size_t> flow_offsets,
+                                                  std::span<const std::uint32_t> flow_resources,
+                                                  std::span<const double> demand,
+                                                  std::span<double> rates_out,
+                                                  const WaterfillOptions& options) {
+  const std::size_t nf = demand.size();
+  const std::size_t nr = capacity.size();
+  const std::size_t ncomp = partition_count_;
+
+  partitions_.resize(ncomp);
+  for (Partition& p : partitions_) {
+    p.flow_ids.clear();
+    p.offsets.clear();
+    p.resources.clear();
+    p.capacity.clear();
+    p.demand.clear();
+  }
+  for (std::size_t f = 0; f < nf; ++f) partitions_[comp_of_flow_[f]].flow_ids.push_back(f);
+
+  // Per-partition CSR with dense local resource ids. A cut resource shared
+  // by several partitions is replicated with its full capacity into each —
+  // it never saturates anywhere, so the replicas cannot disagree. Each
+  // flow's constraint list (order and multiplicity) is preserved exactly.
+  res_local_.resize(nr);
+  res_owner_.assign(nr, std::numeric_limits<std::uint32_t>::max());
+  for (std::uint32_t c = 0; c < ncomp; ++c) {
+    Partition& p = partitions_[c];
+    p.offsets.push_back(0);
+    for (const std::size_t f : p.flow_ids) {
+      for (std::size_t k = flow_offsets[f]; k < flow_offsets[f + 1]; ++k) {
+        const std::uint32_t r = flow_resources[k];
+        if (res_owner_[r] != c) {
+          res_owner_[r] = c;
+          res_local_[r] = static_cast<std::uint32_t>(p.capacity.size());
+          p.capacity.push_back(capacity[r]);
+        }
+        p.resources.push_back(res_local_[r]);
+      }
+      p.offsets.push_back(p.resources.size());
+      p.demand.push_back(demand[f]);
+    }
+    p.rates.assign(p.flow_ids.size(), 0.0);
+  }
+
+  // Solve the partitions, batched into contiguous component ranges so a
+  // million tiny components do not become a million pool tasks. Each lane
+  // owns a private sub-solver (arena reuse without sharing); partitioning
+  // is disabled inside so a lane can never re-enter the pool.
+  WaterfillOptions sub = options;
+  sub.pool = nullptr;
+  sub.partition_min_flows = std::numeric_limits<std::size_t>::max();
+  const std::size_t nbatch =
+      options.pool != nullptr
+          ? std::min(ncomp, std::max<std::size_t>(1, 4 * options.pool->worker_count()))
+          : 1;
+  sub_solvers_.resize(nbatch);
+  const auto solve_range = [&](std::size_t batch, std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c) {
+      Partition& p = partitions_[c];
+      p.stats = sub_solvers_[batch].solve(p.capacity, p.offsets, p.resources, p.demand, p.rates,
+                                          sub);
+    }
+  };
+  if (options.pool != nullptr && nbatch > 1) {
+    options.pool->parallel_ranges(ncomp, nbatch, solve_range);
+  } else {
+    solve_range(0, 0, ncomp);
+  }
+
+  // Deterministic merge: ascending component order, ascending flow ids
+  // within each (every flow written exactly once — partitions are a
+  // disjoint cover).
+  WaterfillStats stats;
+  stats.partitions = ncomp;
+  std::size_t merged = 0;
+  for (const Partition& p : partitions_) {
+    stats.rounds += p.stats.rounds;
+    stats.demand_frozen += p.stats.demand_frozen;
+    stats.saturation_frozen += p.stats.saturation_frozen;
+    for (std::size_t i = 0; i < p.flow_ids.size(); ++i) rates_out[p.flow_ids[i]] = p.rates[i];
+    merged += p.flow_ids.size();
+  }
+  REMOS_CHECK(merged == nf, "waterfill: partitions must cover every flow exactly once");
   return stats;
 }
 

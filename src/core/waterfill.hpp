@@ -24,6 +24,12 @@
 //     freezes are applied in ascending flow order, so every float is
 //     produced by the identical sequence of IEEE operations. The golden
 //     observability pins cover this.
+//   * Above an opt-in flow-count threshold the solver partitions the
+//     problem into bottleneck-independent components (union-find over the
+//     incidence, cutting at resources that can never saturate) and solves
+//     them on a sim::ThreadPool — bit-identically to the partitioned
+//     sequential solve regardless of worker count (see DESIGN.md
+//     "Parallel partitioned solve").
 //
 // remos-analyze: public-header(the fluid flow engine in net/ assigns
 // ground-truth rates with the same water-filling kernel the Modeler uses,
@@ -33,8 +39,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
+
+namespace remos::sim {
+class ThreadPool;  // sim/thread_pool.hpp; only waterfill.cpp needs the def
+}  // namespace remos::sim
 
 namespace remos::core {
 
@@ -46,6 +57,21 @@ struct WaterfillOptions {
   bool monotone_level = false;
   /// Modeler: a (numerically) negative fresh level is clamped to zero.
   bool clamp_negative_level = false;
+  /// Problems with at least this many flows are split into
+  /// bottleneck-independent components before solving (default: never).
+  /// Partitioned rates agree with the monolithic kernel within the 1e-9
+  /// freeze tolerance (usually bit-identical; the monolithic
+  /// monotone-level clamp can couple independent components by an ulp).
+  /// WaterfillStats.rounds becomes the sum of per-partition rounds (still
+  /// deterministic — a pure function of the problem, pinned by the
+  /// scaling bench — though tied cross-component rounds count once
+  /// monolithically and once per component here).
+  std::size_t partition_min_flows = std::numeric_limits<std::size_t>::max();
+  /// Worker pool for partitioned solves. nullptr solves the partitions
+  /// sequentially on the calling thread; results are bit-identical with
+  /// and without a pool and independent of its worker count (partitions
+  /// write disjoint outputs and merge in ascending component order).
+  sim::ThreadPool* pool = nullptr;
 };
 
 /// Deterministic per-solve work counters (exposed through
@@ -54,12 +80,14 @@ struct WaterfillStats {
   std::uint64_t rounds = 0;            ///< freezing rounds, incl. a final broken one
   std::uint64_t demand_frozen = 0;     ///< flows frozen at their demand cap
   std::uint64_t saturation_frozen = 0; ///< flows frozen by a saturated resource
+  std::uint64_t partitions = 1;        ///< independent components solved (1 = monolithic)
 };
 
 /// Reusable water-filling solver. One instance per caller; solve() may be
-/// invoked any number of times and reuses all internal arenas. Not
-/// thread-safe — use one instance per thread (thread_local in free
-/// functions).
+/// invoked any number of times and reuses all internal arenas. An instance
+/// is not safe for concurrent solves — one instance per owning component
+/// (the partitioned driver keeps a private sub-solver per parallel lane,
+/// so a single instance may still be handed a pool safely).
 class WaterfillSolver {
  public:
   /// Solve one max-min allocation.
@@ -90,6 +118,41 @@ class WaterfillSolver {
     double demand = 0.0;
     std::uint32_t flow = 0;
   };
+  /// One bottleneck-independent component's sub-problem (reusable arena).
+  /// Local resource ids are dense, assigned in first-encounter order while
+  /// walking the component's flows ascending — fully deterministic.
+  struct Partition {
+    std::vector<std::size_t> flow_ids;      // global flow indices, ascending
+    std::vector<std::size_t> offsets;
+    std::vector<std::uint32_t> resources;   // local resource ids
+    std::vector<double> capacity;
+    std::vector<double> demand;
+    std::vector<double> rates;
+    WaterfillStats stats;
+  };
+
+  /// The single-component progressive-filling kernel (the historical
+  /// bit-exact solver).
+  WaterfillStats solve_monolithic(std::span<const double> capacity,
+                                  std::span<const std::size_t> flow_offsets,
+                                  std::span<const std::uint32_t> flow_resources,
+                                  std::span<const double> demand, std::span<double> rates_out,
+                                  const WaterfillOptions& options);
+  /// Find bottleneck-independent components: resources that provably can
+  /// never saturate are cut from the incidence, union-find joins flows
+  /// through the rest. Returns true when there is more than one component
+  /// (comp_of_flow_ / partition_count_ are then valid).
+  bool build_partitions(std::span<const double> capacity,
+                        std::span<const std::size_t> flow_offsets,
+                        std::span<const std::uint32_t> flow_resources,
+                        std::span<const double> demand);
+  /// Assemble per-component sub-problems, solve them (on `options.pool`
+  /// when given), and merge rates/stats in ascending component order.
+  WaterfillStats solve_partitioned(std::span<const double> capacity,
+                                   std::span<const std::size_t> flow_offsets,
+                                   std::span<const std::uint32_t> flow_resources,
+                                   std::span<const double> demand, std::span<double> rates_out,
+                                   const WaterfillOptions& options);
 
   // Scratch arenas, reused across solves (sized on first use).
   std::vector<double> frozen_usage_;       // per resource
@@ -106,6 +169,23 @@ class WaterfillSolver {
   std::vector<DemEntry> dem_heap_;
   std::vector<std::uint32_t> candidates_;  // per-round freeze list
   std::vector<std::uint32_t> touched_;     // per-round dirty resources
+
+  // Partitioner arenas.
+  std::vector<double> cut_bound_;          // per flow: min(demand, min crossed capacity)
+  std::vector<double> res_load_bound_;     // per resource: worst-case total load
+  std::vector<std::uint32_t> res_uses_;    // per resource: crossing count
+  std::vector<char> res_cut_;              // per resource: provably never saturates
+  std::vector<std::uint32_t> uf_parent_;   // per flow, union-find
+  std::vector<std::uint32_t> res_first_flow_;  // per resource, union anchor
+  std::vector<std::uint32_t> comp_of_flow_;    // per flow, dense component id
+  std::vector<std::uint32_t> comp_remap_;      // union-find root -> dense id
+  std::size_t partition_count_ = 0;
+  std::vector<std::uint32_t> res_local_;   // global resource -> partition-local id
+  std::vector<std::uint32_t> res_owner_;   // partition stamp validating res_local_
+  std::vector<Partition> partitions_;
+  /// One private kernel per parallel lane (vector of incomplete self type
+  /// is fine: resized only in waterfill.cpp where the type is complete).
+  std::vector<WaterfillSolver> sub_solvers_;
 };
 
 }  // namespace remos::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/audit.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace remos::net {
 namespace {
@@ -23,7 +24,14 @@ FlowEngine::FlowEngine(sim::Engine& engine, Network& net) : engine_(engine), net
   last_sync_ = engine_.now();
 }
 
+void FlowEngine::set_thread_pool(sim::ThreadPool* pool, std::size_t min_flows) {
+  std::lock_guard lock(mu_);
+  pool_ = pool;
+  parallel_min_flows_ = min_flows;
+}
+
 const PathResult& FlowEngine::resolved_path(NodeId src, NodeId dst) const {
+  std::lock_guard lock(path_mu_);
   if (!path_cache_valid_ || path_cache_net_version_ != net_.version()) {
     path_cache_.clear();
     path_cache_net_version_ = net_.version();
@@ -51,7 +59,21 @@ void FlowEngine::ensure_resource_tables() {
     resource_capacity_[link_resource_key(l.id, true)] = l.capacity_bps;
     resource_capacity_[link_resource_key(l.id, false)] = l.capacity_bps;
   }
-  if (link_flows_.size() < 2 * net_.link_count()) link_flows_.resize(2 * net_.link_count());
+  // Rebuild the directed-link index from scratch at exactly the current
+  // link count, then re-register every active flow. Growing in place would
+  // keep stale per-link entries alive across a version change (and a link
+  // id could alias a different link after reconfiguration).
+  const bool rebuild = tables_valid_;
+  link_flows_.assign(2 * net_.link_count(), {});
+  for (const auto& [id, f] : flows_) {
+    for (const Hop& h : f.hops) {
+      const std::size_t k = 2 * static_cast<std::size_t>(h.link) + (h.forward ? 0 : 1);
+      REMOS_CHECK(k < link_flows_.size(),
+                  "FlowEngine: active flow crosses a link the topology no longer has");
+    }
+    index_flow(id, f);
+  }
+  if (rebuild) ++link_index_rebuilds_;
   tables_net_version_ = net_.version();
   tables_valid_ = true;
 }
@@ -78,7 +100,8 @@ void FlowEngine::unindex_flow(FlowId id, const Flow& flow) {
 }
 
 FlowId FlowEngine::start(FlowSpec spec) {
-  sync();
+  std::lock_guard lock(mu_);
+  sync_locked();
   Flow f;
   const PathResult& path = resolved_path(spec.src, spec.dst);
   f.hops = path.hops;
@@ -110,29 +133,44 @@ FlowId FlowEngine::start(FlowSpec spec) {
   REMOS_CHECK(inserted, "FlowEngine: duplicate flow id");
   index_flow(id, it->second);
   recompute_rates();
+  // remos-analyze: allow(lock): only *schedules* handle_completion_event; the lambda runs later from the event loop, after mu_ is released.
   schedule_next_completion();
   return id;
 }
 
 void FlowEngine::stop(FlowId id) {
+  std::lock_guard lock(mu_);
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
-  sync();
-  it->second.stats.end_time = engine_.now();
-  it->second.stats.completed = false;
-  record_finished(id, it->second.stats);
-  unindex_flow(id, it->second);
+  sync_locked();
+  Flow& f = it->second;
+  // Flush the sub-octet carry (rounded to nearest) so the interface
+  // counters an SNMP agent reads reconcile with the flow's delivered
+  // bytes; silently dropping it made early-stopped flows undercount.
+  credit_octets(f, static_cast<std::uint64_t>(f.octet_carry + 0.5));
+  f.octet_carry = 0.0;
+  f.stats.end_time = engine_.now();
+  f.stats.completed = false;
+  record_finished(id, f.stats);
+  unindex_flow(id, f);
   flows_.erase(it);
   recompute_rates();
+  // remos-analyze: allow(lock): only *schedules* handle_completion_event; the lambda runs later from the event loop, after mu_ is released.
   schedule_next_completion();
 }
 
 double FlowEngine::rate(FlowId id) const {
+  std::lock_guard lock(mu_);
   auto it = flows_.find(id);
   return it == flows_.end() ? 0.0 : it->second.rate_bps;
 }
 
 double FlowEngine::directed_link_rate(LinkId link, bool forward) const {
+  std::lock_guard lock(mu_);
+  return directed_link_rate_locked(link, forward);
+}
+
+double FlowEngine::directed_link_rate_locked(LinkId link, bool forward) const {
   const std::size_t k = 2 * static_cast<std::size_t>(link) + (forward ? 0 : 1);
   if (k >= link_flows_.size()) return 0.0;
   double total = 0.0;
@@ -146,6 +184,7 @@ double FlowEngine::directed_link_rate(LinkId link, bool forward) const {
 }
 
 std::optional<FlowStats> FlowEngine::stats(FlowId id) const {
+  std::lock_guard lock(mu_);
   if (auto it = flows_.find(id); it != flows_.end()) return it->second.stats;
   if (auto it = finished_.find(id); it != finished_.end()) return it->second;
   return std::nullopt;
@@ -156,7 +195,21 @@ void FlowEngine::record_finished(FlowId id, const FlowStats& stats) {
   while (finished_.size() > kFinishedCap) finished_.erase(finished_.begin());
 }
 
+void FlowEngine::credit_octets(Flow& flow, std::uint64_t octets) {
+  if (octets == 0) return;
+  flow.stats.delivered_bytes += octets;
+  for (const Hop& h : flow.hops) {
+    net_.egress_interface(h).out_octets += octets;
+    net_.ingress_interface(h).in_octets += octets;
+  }
+}
+
 void FlowEngine::sync() {
+  std::lock_guard lock(mu_);
+  sync_locked();
+}
+
+void FlowEngine::sync_locked() {
   const sim::Time now = engine_.now();
   const double dt = now - last_sync_;
   if (dt <= 0) {
@@ -173,31 +226,34 @@ void FlowEngine::sync() {
     }
     // Octet counters are integral; carry the sub-octet residue to the next
     // sync instead of truncating it away, so many small syncs deliver the
-    // same octet totals as one large one (bounded drift < 1 octet).
+    // same octet totals as one large one (bounded drift < 1 octet, and the
+    // residue is flushed when the flow completes or stops).
     f.octet_carry += bytes;
     const auto whole = static_cast<std::uint64_t>(f.octet_carry);
     f.octet_carry -= static_cast<double>(whole);
-    f.stats.delivered_bytes += whole;
-    for (const Hop& h : f.hops) {
-      net_.egress_interface(h).out_octets += whole;
-      net_.ingress_interface(h).in_octets += whole;
-    }
+    credit_octets(f, whole);
   }
   last_sync_ = now;
 }
 
 double FlowEngine::current_rtt(NodeId src, NodeId dst, double queue_scale_s) const {
   const PathResult& path = resolved_path(src, dst);
+  std::lock_guard lock(mu_);
   double rtt = 0.0;
   for (const Hop& h : path.hops) {
     const Link& l = net_.link(h.link);
     rtt += 2.0 * l.latency_s;
     for (const bool dir : {h.forward, !h.forward}) {
-      const double load = directed_link_rate(l.id, dir);
-      const double rho = std::min(load / l.capacity_bps, 0.95);
+      const double load = directed_link_rate_locked(l.id, dir);
+      // A zero-capacity link has no headroom at all: treat it as fully
+      // utilized (the cap) rather than dividing by zero, which fed NaN/inf
+      // into every RTT downstream of this hop.
+      const double rho =
+          l.capacity_bps > 0.0 ? std::min(load / l.capacity_bps, 0.95) : 0.95;
       rtt += queue_scale_s * rho / (1.0 - rho);
     }
   }
+  REMOS_CHECK(std::isfinite(rtt), "FlowEngine: RTT estimate must be finite");
   return rtt;
 }
 
@@ -222,6 +278,13 @@ void FlowEngine::recompute_rates() {
   wf_rates_.assign(nf, 0.0);
   core::WaterfillOptions options;
   options.monotone_level = true;
+  if (pool_ != nullptr) {
+    // Opt-in partitioned parallel solve (set_thread_pool). mu_ (5) is held
+    // across the dispatch; ThreadPool::mu_ is order 10, so the nesting is
+    // strictly increasing.
+    options.partition_min_flows = parallel_min_flows_;
+    options.pool = pool_;
+  }
   const core::WaterfillStats stats =
       solver_.solve(resource_capacity_, wf_offsets_, wf_resources_, wf_demand_, wf_rates_, options);
   waterfill_rounds_total_ += stats.rounds;
@@ -253,27 +316,38 @@ void FlowEngine::schedule_next_completion() {
 }
 
 void FlowEngine::handle_completion_event() {
-  completion_event_ = 0;
-  sync();
   std::vector<std::pair<FlowId, std::function<void(FlowId)>>> callbacks;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    Flow& f = it->second;
-    if (f.spec.bytes > 0 && f.remaining_bytes <= kByteEpsilon) {
-      f.stats.end_time = engine_.now();
-      f.stats.completed = true;
-      // Account the fractional tail byte so delivered == requested.
-      f.stats.delivered_bytes = f.spec.bytes;
-      record_finished(it->first, f.stats);
-      if (f.spec.on_complete) callbacks.emplace_back(it->first, std::move(f.spec.on_complete));
-      unindex_flow(it->first, f);
-      it = flows_.erase(it);
-    } else {
-      ++it;
+  {
+    std::lock_guard lock(mu_);
+    completion_event_ = 0;
+    sync_locked();
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      Flow& f = it->second;
+      if (f.spec.bytes > 0 && f.remaining_bytes <= kByteEpsilon) {
+        f.stats.end_time = engine_.now();
+        f.stats.completed = true;
+        // Deliver the fractional tail as real octets: the flow drained all
+        // spec.bytes, so the interfaces it crossed must show them too.
+        // (Historically delivered_bytes was forced to spec.bytes while the
+        // interface counters kept only the truncated sync total, so SNMP
+        // octets never reconciled with completed transfers.)
+        REMOS_CHECK(f.stats.delivered_bytes <= f.spec.bytes,
+                    "FlowEngine: completed flow overdelivered");
+        credit_octets(f, f.spec.bytes - f.stats.delivered_bytes);
+        f.octet_carry = 0.0;
+        record_finished(it->first, f.stats);
+        if (f.spec.on_complete) callbacks.emplace_back(it->first, std::move(f.spec.on_complete));
+        unindex_flow(it->first, f);
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
     }
+    recompute_rates();
+    // remos-analyze: allow(lock): only *schedules* handle_completion_event; the lambda runs later from the event loop, after mu_ is released.
+    schedule_next_completion();
   }
-  recompute_rates();
-  schedule_next_completion();
-  // Run callbacks last: they may start/stop flows reentrantly.
+  // Run callbacks after unlocking: they may start/stop flows reentrantly.
   for (auto& [id, cb] : callbacks) cb(id);
 }
 

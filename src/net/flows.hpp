@@ -15,12 +15,28 @@
 // resource capacity table persist across start/stop/completion, a
 // per-directed-link index answers link-rate queries in O(flows on link),
 // and resolved paths are cached per (src, dst) until the topology changes.
+//
+// Threading discipline. The simulation itself is single-threaded, but
+// queries (SNMP agents sampling counters, RTT probes, collector fleets on
+// the thread pool) may run concurrently with it:
+//   * Mutating entry points — start(), stop(), sync(), and the completion
+//     event — must stay on the simulation thread (they drive sim::Engine,
+//     which is not thread-safe).
+//   * Const queries (rate, stats, directed_link_rate, current_rtt, the
+//     cache/counter accessors) are safe from any thread, concurrently with
+//     the mutators: `mu_` orders them against rate recomputation and
+//     `path_mu_` guards the (src, dst) path cache that const queries
+//     populate.
+//   * Topology mutation (Network::move_host) requires exclusive access:
+//     Network itself is unlocked, and the caches keyed on its version are
+//     only revalidated at the next engine call.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +44,10 @@
 #include "core/waterfill.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
+
+namespace remos::sim {
+class ThreadPool;
+}  // namespace remos::sim
 
 namespace remos::net {
 
@@ -60,13 +80,28 @@ class FlowEngine {
  public:
   FlowEngine(sim::Engine& engine, Network& net);
 
+  /// Enable partitioned parallel rate recomputation: water-filling
+  /// problems with at least `min_flows` active flows are split into
+  /// bottleneck-independent components and solved on `pool` (nullptr
+  /// restores the sequential kernel). Rates are bit-identical across
+  /// worker counts and match the sequential kernel within its 1e-9 freeze
+  /// tolerance; the rounds counter then counts per-partition rounds.
+  /// Call during setup, before any concurrent use of the engine.
+  void set_thread_pool(sim::ThreadPool* pool, std::size_t min_flows = 4096);
+
   /// Start a flow; resolves the forwarding path immediately.
   FlowId start(FlowSpec spec);
   /// Stop an unbounded (or not-yet-finished) flow. No-op for unknown ids.
   void stop(FlowId id);
 
-  [[nodiscard]] bool active(FlowId id) const { return flows_.contains(id); }
-  [[nodiscard]] std::size_t active_count() const { return flows_.size(); }
+  [[nodiscard]] bool active(FlowId id) const {
+    std::lock_guard lock(mu_);
+    return flows_.contains(id);
+  }
+  [[nodiscard]] std::size_t active_count() const {
+    std::lock_guard lock(mu_);
+    return flows_.size();
+  }
 
   /// Current max-min rate of a flow in bits/second (0 for unknown ids).
   [[nodiscard]] double rate(FlowId id) const;
@@ -82,28 +117,49 @@ class FlowEngine {
 
   /// Bring octet counters up to the current simulated time. Called
   /// automatically before any rate change; exposed so SNMP agents can
-  /// sample fresh counters at arbitrary instants.
+  /// sample fresh counters at arbitrary instants (simulation thread only —
+  /// it reads the virtual clock).
   void sync();
 
   /// Round-trip time estimate between two endpoints under the current
   /// load: per traversed hop (both directions), propagation latency plus
   /// an M/M/1-style queueing penalty `queue_scale * rho / (1 - rho)` with
-  /// rho the directed link's current utilization (capped at 0.95). This is
-  /// what a small ping-like probe would observe, and the source of the
-  /// latency/jitter metric the paper lists as future work.
+  /// rho the directed link's current utilization (capped at 0.95; a
+  /// zero-capacity link counts as fully utilized). This is what a small
+  /// ping-like probe would observe, and the source of the latency/jitter
+  /// metric the paper lists as future work.
   [[nodiscard]] double current_rtt(NodeId src, NodeId dst, double queue_scale_s = 0.002) const;
 
   /// Total flows ever started.
-  [[nodiscard]] std::uint64_t started_count() const { return next_id_ - 1; }
+  [[nodiscard]] std::uint64_t started_count() const {
+    std::lock_guard lock(mu_);
+    return next_id_ - 1;
+  }
 
   /// Cumulative water-filling freezing rounds across all rate
   /// recomputations — the deterministic work counter the scaling bench
   /// pins (the fluid counterpart of core.maxmin.iterations_total).
-  [[nodiscard]] std::uint64_t waterfill_rounds_total() const { return waterfill_rounds_total_; }
+  [[nodiscard]] std::uint64_t waterfill_rounds_total() const {
+    std::lock_guard lock(mu_);
+    return waterfill_rounds_total_;
+  }
 
   /// Path-cache observability (tested by the invalidation tests).
-  [[nodiscard]] std::uint64_t path_cache_hits() const { return path_cache_hits_; }
-  [[nodiscard]] std::uint64_t path_cache_misses() const { return path_cache_misses_; }
+  [[nodiscard]] std::uint64_t path_cache_hits() const {
+    std::lock_guard lock(path_mu_);
+    return path_cache_hits_;
+  }
+  [[nodiscard]] std::uint64_t path_cache_misses() const {
+    std::lock_guard lock(path_mu_);
+    return path_cache_misses_;
+  }
+
+  /// Times the per-directed-link flow index was rebuilt because the
+  /// topology version changed (tested by the invalidation tests).
+  [[nodiscard]] std::uint64_t link_index_rebuilds() const {
+    std::lock_guard lock(mu_);
+    return link_index_rebuilds_;
+  }
 
  private:
   struct Flow {
@@ -117,14 +173,23 @@ class FlowEngine {
     double rate_bps = 0.0;
     double remaining_bytes = 0.0;  // only meaningful when spec.bytes > 0
     /// Sub-byte residue of delivered traffic, carried across syncs so
-    /// interface octet counters don't systematically undercount.
+    /// interface octet counters don't systematically undercount. Flushed
+    /// (rounded into a final octet) at stop and completion so SNMP-visible
+    /// octets reconcile exactly with the flow's delivered_bytes.
     double octet_carry = 0.0;
     FlowStats stats;
   };
 
+  // ---- all helpers below assume mu_ is held by the caller ----
+  void sync_locked();
   void recompute_rates();
   void schedule_next_completion();
   void handle_completion_event();
+  [[nodiscard]] double directed_link_rate_locked(LinkId link, bool forward) const;
+  /// Credit octets to the flow's stats and every traversed interface in
+  /// one step — the single place flow-visible and SNMP-visible counters
+  /// advance, so they cannot drift apart.
+  void credit_octets(Flow& flow, std::uint64_t octets);
 
   // ---- incremental state helpers ----
   /// Water-filling resource key layout: shared segments first (their count
@@ -137,13 +202,19 @@ class FlowEngine {
     return static_cast<std::uint32_t>(net_.segment_count() + 2 * static_cast<std::size_t>(link) +
                                       (forward ? 0 : 1));
   }
-  /// Rebuild the persistent resource capacity table (and grow the
-  /// per-directed-link index) when the topology version changed.
+  /// Rebuild the persistent resource capacity table and the
+  /// per-directed-link index when the topology version changed. The index
+  /// is rebuilt from scratch — sized to exactly the current link count —
+  /// so a version change can never leave dangling directed-link entries.
   void ensure_resource_tables();
   /// Register / unregister a flow in the per-directed-link index.
   void index_flow(FlowId id, const Flow& flow);
   void unindex_flow(FlowId id, const Flow& flow);
   /// Cached resolve_path (invalidated when the topology version changes).
+  /// Takes path_mu_ itself; safe to call with or without mu_ held (mu_ is
+  /// strictly outer). The returned reference stays valid until the next
+  /// topology-version change: the cache is node-based, so inserts from
+  /// concurrent queries never move existing entries.
   [[nodiscard]] const PathResult& resolved_path(NodeId src, NodeId dst) const;
 
   /// Bound on retained finished-flow records (FIFO eviction by FlowId).
@@ -153,6 +224,9 @@ class FlowEngine {
 
   sim::Engine& engine_;
   Network& net_;
+  /// Partitioned-parallel recompute knobs (setup-time, not hot state).
+  sim::ThreadPool* pool_ = nullptr;
+  std::size_t parallel_min_flows_ = 4096;
   // Ordered by FlowId: max-min problem assembly and rate copy-back iterate
   // this, so hash order would leak into float sums and event ordering.
   std::map<FlowId, Flow> flows_;
@@ -180,9 +254,22 @@ class FlowEngine {
   /// (ids are handed out monotonically, so appends keep the order — and
   /// rate sums visit flows in the same order the full scan did).
   std::vector<std::vector<FlowId>> link_flows_;
+  std::uint64_t link_index_rebuilds_ = 0;
   std::uint64_t waterfill_rounds_total_ = 0;
 
-  // ---- path cache (mutable: current_rtt is logically const) ----
+  /// Orders const queries against flow mutation/recompute. Everything
+  /// above (except the setup-time knobs) is protected by it at runtime;
+  /// the analyzer cannot see caller-held locks through the private
+  /// helpers, so static guarded_by enforcement covers only the path-cache
+  /// block below. Held while dispatching partitioned solves, hence
+  /// ordered before ThreadPool::mu_ (10).
+  mutable std::mutex mu_;  // remos-lock-order(5)
+
+  // ---- path cache, guarded by path_mu_ (declared first so the analyzer's
+  // lock pass enforces the guard on every member after it; this is the
+  // cache that was historically mutated from const queries with no
+  // synchronization at all) ----
+  mutable std::mutex path_mu_;  // remos-lock-order(6)
   mutable std::unordered_map<std::uint64_t, PathResult> path_cache_;
   mutable std::uint64_t path_cache_net_version_ = 0;
   mutable bool path_cache_valid_ = false;

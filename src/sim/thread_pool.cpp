@@ -1,5 +1,6 @@
 #include "sim/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "sim/log.hpp"
@@ -72,6 +73,17 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
                                    << " additional worker exception(s)";
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::parallel_ranges(
+    std::size_t n, std::size_t max_tasks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t tasks = std::max<std::size_t>(1, std::min(n, max_tasks));
+  parallel_for(tasks, [&](std::size_t task) {
+    // Even split with the remainder spread over the leading ranges.
+    fn(task, task * n / tasks, (task + 1) * n / tasks);
+  });
 }
 
 }  // namespace remos::sim

@@ -47,6 +47,16 @@ class ThreadPool {
   /// than lost silently.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Batched variant for many tiny work items: split [0, n) into at most
+  /// `max_tasks` contiguous ranges and apply `fn(task, begin, end)` across
+  /// the pool, where `task` < min(n, max_tasks) indexes the range (so a
+  /// caller can give each task private scratch). Same join/exception
+  /// discipline as parallel_for. Range boundaries depend only on n and
+  /// max_tasks — never on scheduling — so deterministic callers stay
+  /// deterministic.
+  void parallel_ranges(std::size_t n, std::size_t max_tasks,
+                       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
   /// Number of worker exceptions swallowed (beyond the rethrown first one)
   /// by the most recent parallel_for on this pool. Only meaningful on the
   /// calling thread after parallel_for returns or throws.

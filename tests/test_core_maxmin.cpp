@@ -1,6 +1,8 @@
 // Modeler-side max-min allocation on measured virtual topologies.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/maxmin.hpp"
 
 namespace remos::core {
@@ -124,6 +126,32 @@ TEST(MaxMin, ParkingLotFairness) {
 TEST(MaxMin, EmptyRequestList) {
   Dumbbell t;
   EXPECT_TRUE(max_min_allocate(t.topo, {}).flows.empty());
+}
+
+TEST(MaxMin, ScratchReuseIsBitIdenticalAndIndependent) {
+  // The problem arenas are caller-owned (MaxMinScratch), not hidden
+  // thread_local state: reusing one scratch across different problems must
+  // not leak anything between solves, and distinct scratches must agree
+  // bit-for-bit on the same problem.
+  Dumbbell t;
+  MaxMinScratch warm;
+  // Dirty the arenas with a different problem shape first.
+  (void)max_min_allocate(t.topo, {FlowRequest{.src = t.a, .dst = t.b}}, warm);
+  const std::vector<FlowRequest> requests{FlowRequest{.src = t.a, .dst = t.b},
+                                          FlowRequest{.src = t.c, .dst = t.d},
+                                          FlowRequest{.src = t.b, .dst = t.a}};
+  const MaxMinResult reused = max_min_allocate(t.topo, requests, warm);
+  MaxMinScratch fresh;
+  const MaxMinResult from_fresh = max_min_allocate(t.topo, requests, fresh);
+  ASSERT_EQ(reused.flows.size(), from_fresh.flows.size());
+  for (std::size_t i = 0; i < reused.flows.size(); ++i) {
+    const double a = reused.flows[i].available_bps;
+    const double b = from_fresh.flows[i].available_bps;
+    EXPECT_EQ(0, std::memcmp(&a, &b, sizeof a)) << "flow " << i;
+  }
+  EXPECT_DOUBLE_EQ(reused.flows[0].available_bps, 5e6);
+  EXPECT_DOUBLE_EQ(reused.flows[1].available_bps, 5e6);
+  EXPECT_DOUBLE_EQ(reused.flows[2].available_bps, 10e6);
 }
 
 TEST(MaxMin, ZeroAvailableBandwidthEdge) {

@@ -1,6 +1,8 @@
 // FlowEngine: max-min fairness, demand caps, octet accounting, completion.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "net/flows.hpp"
 #include "net/l2.hpp"
 
@@ -262,6 +264,112 @@ TEST(FlowEngine, FinishedHistoryIsBounded) {
   const auto stats = d.flows->stats(last);
   ASSERT_TRUE(stats.has_value());
   EXPECT_TRUE(stats->completed);
+}
+
+TEST(FlowEngine, OctetsReconcileAtCompletion) {
+  // A finite transfer whose size never divides evenly into sync steps:
+  // when it completes, the interface counters an SNMP agent would read
+  // must show exactly the transferred bytes — the fractional tail is
+  // delivered as a real final octet, not silently absorbed into stats.
+  Dumbbell d;
+  FlowSpec spec{.src = d.a0, .dst = d.b0};
+  spec.bytes = 999'999;
+  const FlowId f = d.flows->start(std::move(spec));
+  // Ragged sync instants so the sub-octet carry is live when it drains.
+  for (int i = 1; i <= 100; ++i) {
+    d.engine.run_until(static_cast<double>(i) * 1.7e-3);
+    d.flows->sync();
+  }
+  d.engine.run_until(2.0);  // completion fires (0.8 s at 10 Mb/s)
+  const auto stats = d.flows->stats(f);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(stats->delivered_bytes, 999'999u);
+  const PathResult p = d.net.resolve_path(d.a0, d.b0);
+  for (const Hop& h : p.hops) {
+    EXPECT_EQ(d.net.egress_interface(h).out_octets, 999'999u);
+    EXPECT_EQ(d.net.ingress_interface(h).in_octets, 999'999u);
+  }
+}
+
+TEST(FlowEngine, OctetsReconcileAtStop) {
+  // Stopping mid-transfer flushes the sub-octet carry (rounded) instead of
+  // dropping it, so flow stats and interface counters agree exactly.
+  Dumbbell d;
+  const FlowId f = d.flows->start(FlowSpec{.src = d.a0, .dst = d.b0});
+  // 10 Mb/s for 101 * 10 us = 12.5 bytes per step; the odd step count
+  // leaves a 0.5-octet carry pending at stop().
+  for (int i = 0; i < 101; ++i) {
+    d.engine.advance(1e-5);
+    d.flows->sync();
+  }
+  d.flows->stop(f);
+  const auto stats = d.flows->stats(f);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_FALSE(stats->completed);
+  const PathResult p = d.net.resolve_path(d.a0, d.b0);
+  for (const Hop& h : p.hops) {
+    EXPECT_EQ(d.net.egress_interface(h).out_octets, stats->delivered_bytes);
+    EXPECT_EQ(d.net.ingress_interface(h).in_octets, stats->delivered_bytes);
+  }
+  // And the flush really captured the fluid total: 101 * 12.5 = 1262.5,
+  // rounded to nearest.
+  EXPECT_EQ(stats->delivered_bytes, 1263u);
+}
+
+TEST(FlowEngine, ZeroCapacityLinkRttStaysFinite) {
+  // A dead (zero-capacity) hop has no headroom: utilization saturates at
+  // the cap instead of dividing by zero and poisoning the RTT with NaN.
+  Network net{"dead-hop"};
+  sim::Engine engine;
+  const NodeId sw = net.add_switch("sw");
+  const NodeId h0 = net.add_host("h0");
+  const NodeId h1 = net.add_host("h1");
+  net.connect(h0, sw, 100e6, 0.001);
+  const LinkId dead = net.connect(h1, sw, 100e6, 0.001);
+  net.finalize();
+  net.link(dead).capacity_bps = 0.0;  // administratively down / speed unknown
+  FlowEngine flows(engine, net);
+  const double rtt = flows.current_rtt(h0, h1);
+  EXPECT_TRUE(std::isfinite(rtt));
+  // Propagation 2*(1+1) ms plus the saturated-queue penalty on both
+  // directions of the dead link: 0.002 * 0.95 / 0.05 = 38 ms each way.
+  EXPECT_NEAR(rtt, 0.004 + 2.0 * 0.002 * 0.95 / 0.05, 1e-9);
+}
+
+TEST(FlowEngine, LinkIndexRebuiltOnTopologyChange) {
+  // Rehoming a host bumps the topology version; the per-directed-link
+  // index must be rebuilt at the new link count (not merely grown), so no
+  // stale entries survive on the links the old paths crossed.
+  Network lan{"lan"};
+  sim::Engine engine;
+  const NodeId sw0 = lan.add_switch("sw0");
+  const NodeId sw1 = lan.add_switch("sw1");
+  const NodeId h0 = lan.add_host("h0");
+  const NodeId h1 = lan.add_host("h1");
+  const LinkId l0 = lan.connect(h0, sw0, 100e6);
+  lan.connect(h1, sw1, 100e6);
+  const LinkId trunk = lan.connect(sw0, sw1, 1e9);
+  lan.finalize();
+  FlowEngine flows(engine, lan);
+
+  const FlowId f1 = flows.start(FlowSpec{.src = h0, .dst = h1});
+  EXPECT_EQ(flows.link_index_rebuilds(), 0u);
+  EXPECT_DOUBLE_EQ(flows.directed_link_rate(l0, true) + flows.directed_link_rate(l0, false),
+                   100e6);
+  flows.stop(f1);
+
+  lan.move_host(h0, sw1, 100e6);
+  const FlowId f2 = flows.start(FlowSpec{.src = h0, .dst = h1});
+  EXPECT_EQ(flows.link_index_rebuilds(), 1u);
+  // move_host rewires l0 onto sw1, so it still carries the new flow — but
+  // the trunk is off every path now; a stale index entry would make it
+  // non-zero (or trip the index's active-flow check).
+  EXPECT_DOUBLE_EQ(flows.directed_link_rate(l0, true) + flows.directed_link_rate(l0, false),
+                   100e6);
+  EXPECT_DOUBLE_EQ(
+      flows.directed_link_rate(trunk, true) + flows.directed_link_rate(trunk, false), 0.0);
+  EXPECT_DOUBLE_EQ(flows.rate(f2), 100e6);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include "core/waterfill.hpp"
 #include "net/flows.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace remos {
 namespace {
@@ -209,6 +210,141 @@ TEST(Waterfill, EmptyProblem) {
   EXPECT_EQ(s.rounds, 0u);
   EXPECT_EQ(s.demand_frozen, 0u);
   EXPECT_EQ(s.saturation_frozen, 0u);
+}
+
+/// `clusters` independent sub-problems (private resources + flows) plus one
+/// shared backbone resource crossed by every flow but provisioned far above
+/// the sum of all demand caps — the partitioner must cut it and recover
+/// exactly `clusters` components. ~30% greedy flows per cluster exercise the
+/// min-crossed-capacity refinement of the cut bound (an infinite demand
+/// alone would make the backbone uncuttable).
+Problem clustered_problem(std::uint64_t seed, std::size_t clusters) {
+  std::mt19937_64 rng(seed);
+  Problem p;
+  std::uniform_int_distribution<std::size_t> nr_d(2, 6);
+  std::uniform_int_distribution<std::size_t> nf_d(4, 12);
+  std::uniform_real_distribution<double> cap_d(0.5, 100.0);
+  std::uniform_int_distribution<std::size_t> deg_d(1, 3);
+  std::uniform_real_distribution<double> dem_d(0.1, 50.0);
+  std::uniform_int_distribution<int> pct_d(0, 99);
+  p.offsets.push_back(0);
+  const std::uint32_t backbone = 0;  // key 0; capacity patched at the end
+  p.capacity.push_back(0.0);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const std::size_t nr = nr_d(rng);
+    const std::uint32_t base = static_cast<std::uint32_t>(p.capacity.size());
+    for (std::size_t r = 0; r < nr; ++r) p.capacity.push_back(cap_d(rng));
+    std::uniform_int_distribution<std::uint32_t> res_d(base, base + static_cast<std::uint32_t>(nr) - 1);
+    const std::size_t nf = nf_d(rng);
+    for (std::size_t f = 0; f < nf; ++f) {
+      const std::size_t deg = deg_d(rng);
+      for (std::size_t k = 0; k < deg; ++k) p.resources.push_back(res_d(rng));
+      p.resources.push_back(backbone);
+      p.offsets.push_back(p.resources.size());
+      p.demand.push_back(pct_d(rng) < 30 ? kInf : dem_d(rng));
+    }
+  }
+  // Every flow is capped by its cluster's finite capacities, so total
+  // backbone load is provably below sum(per-flow min crossed capacity).
+  p.capacity[backbone] = 100.0 * static_cast<double>(p.demand.size()) + 1000.0;
+  return p;
+}
+
+TEST(WaterfillPartition, BitIdenticalToMonolithicOnClusteredProblems) {
+  core::WaterfillSolver mono_solver;
+  core::WaterfillSolver part_solver;
+  for (std::uint64_t seed = 200; seed < 230; ++seed) {
+    const std::size_t clusters = 2 + static_cast<std::size_t>(seed % 5);
+    const Problem p = clustered_problem(seed, clusters);
+    core::WaterfillOptions mono;
+    mono.monotone_level = true;
+    core::WaterfillOptions part = mono;
+    part.partition_min_flows = 2;
+    std::vector<double> a(p.demand.size(), 0.0);
+    std::vector<double> b(p.demand.size(), 0.0);
+    const core::WaterfillStats sm =
+        mono_solver.solve(p.capacity, p.offsets, p.resources, p.demand, a, mono);
+    const core::WaterfillStats sp =
+        part_solver.solve(p.capacity, p.offsets, p.resources, p.demand, b, part);
+    EXPECT_EQ(sm.partitions, 1u);
+    // At least one component per cluster; the partitioner may split finer
+    // when a cluster's own resources cannot saturate either.
+    EXPECT_GE(sp.partitions, clusters) << "seed " << seed;
+    // The contract the parallel driver rests on: partitioning must not
+    // perturb one bit of any rate.
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)))
+        << "seed " << seed;
+    // Freeze classifications are per-flow facts, so the totals agree too
+    // (round counts may differ: a monolithic round can freeze flows of
+    // several components at once).
+    EXPECT_EQ(sm.demand_frozen, sp.demand_frozen) << "seed " << seed;
+    EXPECT_EQ(sm.saturation_frozen, sp.saturation_frozen) << "seed " << seed;
+  }
+}
+
+TEST(WaterfillPartition, PoolSolveBitIdenticalForAnyWorkerCount) {
+  const Problem p = clustered_problem(42, 6);
+  core::WaterfillOptions part;
+  part.monotone_level = true;
+  part.partition_min_flows = 2;
+  core::WaterfillSolver seq_solver;
+  std::vector<double> want(p.demand.size(), 0.0);
+  const core::WaterfillStats ss =
+      seq_solver.solve(p.capacity, p.offsets, p.resources, p.demand, want, part);
+  EXPECT_GE(ss.partitions, 6u);
+  for (const std::size_t workers : {1u, 2u, 5u}) {
+    sim::ThreadPool pool(workers);
+    core::WaterfillOptions par = part;
+    par.pool = &pool;
+    core::WaterfillSolver par_solver;
+    for (int rep = 0; rep < 3; ++rep) {  // arena reuse must stay clean
+      std::vector<double> got(p.demand.size(), 0.0);
+      const core::WaterfillStats sp =
+          par_solver.solve(p.capacity, p.offsets, p.resources, p.demand, got, par);
+      EXPECT_EQ(sp.rounds, ss.rounds) << workers << " workers rep " << rep;
+      EXPECT_EQ(sp.partitions, ss.partitions);
+      EXPECT_EQ(0, std::memcmp(want.data(), got.data(), want.size() * sizeof(double)))
+          << workers << " workers rep " << rep;
+    }
+  }
+}
+
+TEST(WaterfillPartition, RandomProblemsMatchNaiveUnderPartitioning) {
+  // Generic random problems (usually one component, sometimes more):
+  // partitioning enabled at threshold 1 must still match the reference.
+  core::WaterfillSolver solver;
+  for (std::uint64_t seed = 300; seed < 330; ++seed) {
+    const Problem p = random_problem(seed);
+    core::WaterfillOptions opt;
+    opt.monotone_level = true;
+    opt.partition_min_flows = 1;
+    std::vector<double> rates(p.demand.size(), 0.0);
+    solver.solve(p.capacity, p.offsets, p.resources, p.demand, rates, opt);
+    const std::vector<double> want = naive_waterfill(p, opt);
+    for (std::size_t f = 0; f < rates.size(); ++f) {
+      EXPECT_NEAR(rates[f], want[f], 1e-9) << "seed " << seed << " flow " << f;
+    }
+  }
+}
+
+TEST(WaterfillPartition, SaturableSharedResourcePreventsCutting) {
+  // Two two-flow groups over private resources plus one shared resource
+  // that genuinely saturates: the partitioner must refuse to cut it and
+  // fall back to the monolithic kernel.
+  const std::vector<double> capacity{10.0, 100.0, 100.0};
+  const std::vector<std::size_t> offsets{0, 2, 4};
+  const std::vector<std::uint32_t> resources{1, 0, 2, 0};
+  const std::vector<double> demand{kInf, kInf};
+  core::WaterfillOptions opt;
+  opt.monotone_level = true;
+  opt.partition_min_flows = 1;
+  core::WaterfillSolver solver;
+  std::vector<double> rates(2, 0.0);
+  const core::WaterfillStats s =
+      solver.solve(capacity, offsets, resources, demand, rates, opt);
+  EXPECT_EQ(s.partitions, 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
 }
 
 TEST(PathCache, InvalidatedOnTopologyChange) {

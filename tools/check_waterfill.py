@@ -11,6 +11,13 @@ the algorithm changed and the pin must be re-recorded deliberately:
     ./build/bench/micro_waterfill --out /tmp/wf.json   # then copy the
     # per-size "rounds" values into bench/waterfill_rounds.json
 
+A pin is either a bare int (rounds) or {"rounds": N, "partitions": P}; the
+partitioned kernel rows pin their component count too, so a partitioner
+change that silently stops (or over-) splitting fails CI the same way a
+round drift does. Rows carrying a baseline_ns_per_op of 0 are rejected
+outright: they are placeholders that used to render as "speedup: 0.00"
+instead of "no baseline recorded" (writers must omit the key instead).
+
 Usage: check_waterfill.py --measured <bench-json> --pins <pins-json>
 """
 
@@ -33,21 +40,40 @@ def main() -> int:
     failures = []
     checked = 0
     for entry in measured:
+        tag = f"{entry['name']}/{entry['size']}"
+        if entry.get("baseline_ns_per_op") == 0.0:
+            failures.append(
+                f"{tag}: baseline_ns_per_op is a 0.0 placeholder — omit the "
+                "key when no baseline was recorded"
+            )
         pin = pins.get(entry["name"], {}).get(str(entry["size"]))
         if pin is None:
             continue
+        if isinstance(pin, dict):
+            pinned_rounds = pin["rounds"]
+            pinned_partitions = pin.get("partitions")
+        else:
+            pinned_rounds = pin
+            pinned_partitions = None
         checked += 1
         rounds = entry["rounds"]
-        if rounds > pin:
+        if rounds > pinned_rounds:
             failures.append(
-                f"{entry['name']}/{entry['size']}: {rounds} rounds > pinned {pin} "
+                f"{tag}: {rounds} rounds > pinned {pinned_rounds} "
                 "(kernel freezing efficiency regressed)"
             )
-        elif rounds < pin:
+        elif rounds < pinned_rounds:
             failures.append(
-                f"{entry['name']}/{entry['size']}: {rounds} rounds < pinned {pin} "
+                f"{tag}: {rounds} rounds < pinned {pinned_rounds} "
                 "(algorithm changed; re-record bench/waterfill_rounds.json)"
             )
+        if pinned_partitions is not None:
+            partitions = entry.get("partitions")
+            if partitions != pinned_partitions:
+                failures.append(
+                    f"{tag}: {partitions} partitions != pinned {pinned_partitions} "
+                    "(partitioner behavior changed; re-record deliberately)"
+                )
     if checked == 0:
         failures.append("no measured benchmark matched any pin — wrong files?")
 
