@@ -21,9 +21,13 @@
 #   6. remos_lint      — project lint (self-test first), run standalone for
 #                        a readable report
 #   7. remos_analyze   — whole-project static analysis (lock discipline,
-#                        determinism leaks, layer DAG, audit coverage) plus
-#                        the fail-path corpus; --json report kept as a CI
-#                        artifact under build/
+#                        determinism leaks, layer DAG, audit coverage,
+#                        concurrency escapes) plus the fail-path corpus;
+#                        the --json report is kept as a CI artifact under
+#                        build/, diffed per pass against the pinned
+#                        tools/analyze/baseline.json, re-run from the tsan
+#                        build, and both reports byte-diffed (the analyzer
+#                        itself must be deterministic across builds)
 #   8. clang-tidy      — `lint` build target (skips itself when clang-tidy
 #                        is not installed; see .clang-tidy for the profile)
 set -euo pipefail
@@ -88,8 +92,18 @@ cmake --build build -j "$JOBS" --target remos_analyze
 ./build/tools/analyze/remos_analyze --root . --json > build/remos_analyze.json \
   || { cat build/remos_analyze.json; exit 1; }
 ./build/tools/analyze/remos_analyze --root .
+python3 tools/check_analyze_baseline.py --report build/remos_analyze.json \
+  --baseline tools/analyze/baseline.json
 python3 tests/analyze_corpus/run_corpus.py \
   --analyzer ./build/tools/analyze/remos_analyze --corpus tests/analyze_corpus
+
+step "remos_analyze determinism: tsan-build run, byte-identical report"
+cmake --build build-tsan -j "$JOBS" --target remos_analyze
+./build-tsan/tools/analyze/remos_analyze --root . --json \
+  > build-tsan/remos_analyze.json \
+  || { cat build-tsan/remos_analyze.json; exit 1; }
+diff build/remos_analyze.json build-tsan/remos_analyze.json
+echo "tsan-build analyzer report identical to default-build report"
 
 step "clang-tidy (lint target; no-op when clang-tidy is absent)"
 cmake --build build --target lint

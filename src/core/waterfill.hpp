@@ -182,9 +182,11 @@ class WaterfillSolver {
   std::size_t partition_count_ = 0;
   std::vector<std::uint32_t> res_local_;   // global resource -> partition-local id
   std::vector<std::uint32_t> res_owner_;   // partition stamp validating res_local_
+  // remos-analyze: allow(concurrency): pool lanes index disjoint partition slices — parallel_ranges hands each lane a distinct [begin, end) and components are a disjoint cover.
   std::vector<Partition> partitions_;
   /// One private kernel per parallel lane (vector of incomplete self type
   /// is fine: resized only in waterfill.cpp where the type is complete).
+  // remos-analyze: allow(concurrency): one private sub-solver per lane, indexed by the lane's own batch id; no element is shared across lanes.
   std::vector<WaterfillSolver> sub_solvers_;
 };
 

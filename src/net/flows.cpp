@@ -48,6 +48,7 @@ const PathResult& FlowEngine::resolved_path(NodeId src, NodeId dst) const {
   return it->second;
 }
 
+// remos-requires(mu_)
 void FlowEngine::ensure_resource_tables() {
   if (tables_valid_ && tables_net_version_ == net_.version()) return;
   const std::size_t segs = net_.segment_count();
@@ -78,6 +79,7 @@ void FlowEngine::ensure_resource_tables() {
   tables_valid_ = true;
 }
 
+// remos-requires(mu_)
 void FlowEngine::index_flow(FlowId id, const Flow& flow) {
   for (const Hop& h : flow.hops) {
     const std::size_t k = 2 * static_cast<std::size_t>(h.link) + (h.forward ? 0 : 1);
@@ -89,6 +91,7 @@ void FlowEngine::index_flow(FlowId id, const Flow& flow) {
   }
 }
 
+// remos-requires(mu_)
 void FlowEngine::unindex_flow(FlowId id, const Flow& flow) {
   for (const Hop& h : flow.hops) {
     const std::size_t k = 2 * static_cast<std::size_t>(h.link) + (h.forward ? 0 : 1);
@@ -170,6 +173,7 @@ double FlowEngine::directed_link_rate(LinkId link, bool forward) const {
   return directed_link_rate_locked(link, forward);
 }
 
+// remos-requires(mu_)
 double FlowEngine::directed_link_rate_locked(LinkId link, bool forward) const {
   const std::size_t k = 2 * static_cast<std::size_t>(link) + (forward ? 0 : 1);
   if (k >= link_flows_.size()) return 0.0;
@@ -190,11 +194,13 @@ std::optional<FlowStats> FlowEngine::stats(FlowId id) const {
   return std::nullopt;
 }
 
+// remos-requires(mu_)
 void FlowEngine::record_finished(FlowId id, const FlowStats& stats) {
   finished_.insert_or_assign(id, stats);
   while (finished_.size() > kFinishedCap) finished_.erase(finished_.begin());
 }
 
+// remos-requires(mu_)
 void FlowEngine::credit_octets(Flow& flow, std::uint64_t octets) {
   if (octets == 0) return;
   flow.stats.delivered_bytes += octets;
@@ -209,6 +215,7 @@ void FlowEngine::sync() {
   sync_locked();
 }
 
+// remos-requires(mu_)
 void FlowEngine::sync_locked() {
   const sim::Time now = engine_.now();
   const double dt = now - last_sync_;
@@ -257,6 +264,7 @@ double FlowEngine::current_rtt(NodeId src, NodeId dst, double queue_scale_s) con
   return rtt;
 }
 
+// remos-requires(mu_)
 void FlowEngine::recompute_rates() {
   // Assemble the water-filling problem from persistent per-flow resource
   // lists and the persistent capacity table — the historical implementation
@@ -302,6 +310,7 @@ void FlowEngine::recompute_rates() {
   earliest_completion_dt_ = earliest;
 }
 
+// remos-requires(mu_)
 void FlowEngine::schedule_next_completion() {
   if (completion_event_ != 0) {
     engine_.cancel(completion_event_);
@@ -312,6 +321,7 @@ void FlowEngine::schedule_next_completion() {
   double earliest = earliest_completion_dt_;
   if (!std::isfinite(earliest)) return;
   earliest = std::max(earliest, kMinCompletionDt);
+  // remos-analyze: allow(lock): only *schedules* handle_completion_event; the lambda runs later from the event loop, after mu_ is released.
   completion_event_ = engine_.after(earliest, [this] { handle_completion_event(); });
 }
 

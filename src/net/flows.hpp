@@ -225,44 +225,46 @@ class FlowEngine {
   sim::Engine& engine_;
   Network& net_;
   /// Partitioned-parallel recompute knobs (setup-time, not hot state).
-  sim::ThreadPool* pool_ = nullptr;
-  std::size_t parallel_min_flows_ = 4096;
+  sim::ThreadPool* pool_ = nullptr;               // remos-guarded-by(mu_)
+  std::size_t parallel_min_flows_ = 4096;         // remos-guarded-by(mu_)
   // Ordered by FlowId: max-min problem assembly and rate copy-back iterate
   // this, so hash order would leak into float sums and event ordering.
-  std::map<FlowId, Flow> flows_;
-  std::map<FlowId, FlowStats> finished_;  // ordered: begin() is the oldest
-  FlowId next_id_ = 1;
-  sim::Time last_sync_ = 0.0;
-  sim::EventId completion_event_ = 0;
+  std::map<FlowId, Flow> flows_;                  // remos-guarded-by(mu_)
+  // Ordered: begin() is the oldest.
+  std::map<FlowId, FlowStats> finished_;          // remos-guarded-by(mu_)
+  FlowId next_id_ = 1;                            // remos-guarded-by(mu_)
+  sim::Time last_sync_ = 0.0;                     // remos-guarded-by(mu_)
+  sim::EventId completion_event_ = 0;             // remos-guarded-by(mu_)
 
   // ---- incremental solver state ----
-  core::WaterfillSolver solver_;
+  core::WaterfillSolver solver_;                  // remos-guarded-by(mu_)
   /// Capacity per resource key; rebuilt when net_.version() changes.
-  std::vector<double> resource_capacity_;
-  std::uint64_t tables_net_version_ = 0;
-  bool tables_valid_ = false;
+  std::vector<double> resource_capacity_;         // remos-guarded-by(mu_)
+  std::uint64_t tables_net_version_ = 0;          // remos-guarded-by(mu_)
+  bool tables_valid_ = false;                     // remos-guarded-by(mu_)
   /// CSR assembly arenas, reused across recomputes.
-  std::vector<std::size_t> wf_offsets_;
-  std::vector<std::uint32_t> wf_resources_;
-  std::vector<double> wf_demand_;
-  std::vector<double> wf_rates_;
+  std::vector<std::size_t> wf_offsets_;           // remos-guarded-by(mu_)
+  std::vector<std::uint32_t> wf_resources_;       // remos-guarded-by(mu_)
+  std::vector<double> wf_demand_;                 // remos-guarded-by(mu_)
+  std::vector<double> wf_rates_;                  // remos-guarded-by(mu_)
   /// Earliest completion delta among finite flows, refreshed by every
   /// recompute (rates and remaining bytes are both current there), so
   /// schedule_next_completion is O(1).
+  // remos-guarded-by(mu_)
   double earliest_completion_dt_ = std::numeric_limits<double>::infinity();
   /// Per directed link (2*link+dir): active FlowIds crossing it, ascending
   /// (ids are handed out monotonically, so appends keep the order — and
   /// rate sums visit flows in the same order the full scan did).
-  std::vector<std::vector<FlowId>> link_flows_;
-  std::uint64_t link_index_rebuilds_ = 0;
-  std::uint64_t waterfill_rounds_total_ = 0;
+  std::vector<std::vector<FlowId>> link_flows_;   // remos-guarded-by(mu_)
+  std::uint64_t link_index_rebuilds_ = 0;         // remos-guarded-by(mu_)
+  std::uint64_t waterfill_rounds_total_ = 0;      // remos-guarded-by(mu_)
 
   /// Orders const queries against flow mutation/recompute. Everything
-  /// above (except the setup-time knobs) is protected by it at runtime;
-  /// the analyzer cannot see caller-held locks through the private
-  /// helpers, so static guarded_by enforcement covers only the path-cache
-  /// block below. Held while dispatching partitioned solves, hence
-  /// ordered before ThreadPool::mu_ (10).
+  /// above (except the engine/net references) carries an explicit
+  /// remos-guarded-by(mu_); private helpers that rely on the caller's
+  /// lock carry remos-requires(mu_) so the analyzer can check their
+  /// bodies and call sites too. Held while dispatching partitioned
+  /// solves, hence ordered before ThreadPool::mu_ (10).
   mutable std::mutex mu_;  // remos-lock-order(5)
 
   // ---- path cache, guarded by path_mu_ (declared first so the analyzer's

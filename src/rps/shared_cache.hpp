@@ -66,8 +66,9 @@ class SharedPredictionCache {
     double computed_at = 0.0;
   };
 
-  double ttl_s_;
-  std::function<double()> now_;
+  // Set once in the constructor, read concurrently without the lock.
+  const double ttl_s_;
+  const std::function<double()> now_;
   mutable std::mutex mu_;  // remos-lock-order(20)
   std::map<std::string, Entry> entries_;
   std::uint64_t hits_ = 0;

@@ -18,18 +18,18 @@ struct Engine::PeriodicTask {
 // spans and health timestamps are virtual-time by construction (bind is a
 // no-op while another engine holds the binding).
 Engine::Engine() {
-  bind_obs_clock(this, [this] { return now_; });
+  bind_obs_clock(this, [this] { return now_.load(std::memory_order_relaxed); });
 }
 
 Engine::~Engine() { unbind_obs_clock(this); }
 
 EventId Engine::after(Duration delay, std::function<void()> fn) {
   if (delay < 0) delay = 0;
-  return queue_.schedule(now_ + delay, std::move(fn));
+  return queue_.schedule(now() + delay, std::move(fn));
 }
 
 EventId Engine::at(Time t, std::function<void()> fn) {
-  if (t < now_) t = now_;
+  if (t < now()) t = now();
   return queue_.schedule(t, std::move(fn));
 }
 
@@ -66,13 +66,13 @@ std::size_t Engine::run_until(Time until) {
     Time t = queue_.next_time();
     if (t > until) break;
     auto ev = queue_.pop();
-    REMOS_CHECK(ev.time >= now_, "event queue went backwards");
-    now_ = ev.time;
+    REMOS_CHECK(ev.time >= now(), "event queue went backwards");
+    now_.store(ev.time, std::memory_order_relaxed);
     ev.fn();
     ++dispatched_;
     ++fired;
   }
-  if (until > now_ && until != kTimeNever) now_ = until;
+  if (until > now() && until != kTimeNever) now_.store(until, std::memory_order_relaxed);
   return fired;
 }
 
@@ -80,8 +80,8 @@ std::size_t Engine::run() {
   std::size_t fired = 0;
   while (!queue_.empty()) {
     auto ev = queue_.pop();
-    REMOS_CHECK(ev.time >= now_, "event queue went backwards");
-    now_ = ev.time;
+    REMOS_CHECK(ev.time >= now(), "event queue went backwards");
+    now_.store(ev.time, std::memory_order_relaxed);
     ev.fn();
     ++dispatched_;
     ++fired;
@@ -90,11 +90,11 @@ std::size_t Engine::run() {
 }
 
 void Engine::warp_to(Time t) {
-  if (t < now_) throw std::invalid_argument("Engine::warp_to: cannot move backwards");
+  if (t < now()) throw std::invalid_argument("Engine::warp_to: cannot move backwards");
   if (queue_.next_time() < t) {
     throw std::logic_error("Engine::warp_to: events pending before warp target");
   }
-  now_ = t;
+  now_.store(t, std::memory_order_relaxed);
 }
 
 }  // namespace remos::sim

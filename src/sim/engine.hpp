@@ -3,6 +3,7 @@
 // generators and SNMP latency accounting all advance time through it.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -26,7 +27,7 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Current simulated time (seconds).
-  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] Time now() const { return now_.load(std::memory_order_relaxed); }
 
   /// Schedule `fn` to run `delay` seconds from now. Negative delays clamp
   /// to "immediately" to tolerate floating-point underrun in callers.
@@ -56,7 +57,7 @@ class Engine {
   std::size_t run();
 
   /// Advance the clock by `dt` seconds, firing everything due in between.
-  std::size_t advance(Duration dt) { return run_until(now_ + dt); }
+  std::size_t advance(Duration dt) { return run_until(now() + dt); }
 
   /// Move the clock directly to `t` without dispatching events before it.
   /// Only valid when nothing is scheduled earlier than `t`; used by tests.
@@ -73,7 +74,11 @@ class Engine {
   void fire_periodic(TaskId id);
 
   EventQueue queue_;
-  Time now_ = 0.0;
+  /// The clock is written only by the dispatching thread, but the obs-layer
+  /// clock binding (bind_obs_clock in the constructor) reads it from any
+  /// thread that stamps a metric or span — atomic with relaxed ordering:
+  /// there is no cross-thread ordering to establish, only tearing to avoid.
+  std::atomic<Time> now_{0.0};
   std::uint64_t dispatched_ = 0;
   TaskId next_task_ = 1;
   // TaskId -> current pending EventId (0 while the task body runs).

@@ -1,0 +1,104 @@
+#pragma once
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace demo {
+
+// Stand-in for sim::ThreadPool: the concurrency pass keys on the entry
+// point names, not the type.
+class MiniPool {
+ public:
+  template <typename F>
+  void submit(F f) {
+    (void)f;
+  }
+  void parallel_for(int items, const std::function<void(int)>& fn) {
+    for (int i = 0; i < items; ++i) fn(i);
+  }
+  void parallel_ranges(int items, int lanes,
+                       const std::function<void(int, int, int)>& fn) {
+    (void)lanes;
+    fn(0, 0, items);
+  }
+};
+
+// Mutable member handed to pool-executed code with no protection at all.
+class Stage {
+ public:
+  void kick() {
+    pool_->submit([this] { work_ = work_ + 1; });
+  }
+
+ private:
+  MiniPool* pool_ = nullptr;
+  int work_ = 0;  // expect(concurrency)
+};
+
+// Mutex-owning class: every member needs a protection story, explicit
+// guards bind their access sites, and remos-requires contracts bind call
+// sites.
+class Registry {
+ public:
+  int peek() const {
+    return total_;  // expect(concurrency)
+  }
+  int peek_locked() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return total_;
+  }
+  void bump() {
+    std::lock_guard<std::mutex> lk(mu_);
+    total_ = total_ + 1;
+  }
+  void drain() {
+    helper();  // expect(concurrency)
+  }
+  void drain_locked() {
+    std::lock_guard<std::mutex> lk(mu_);
+    helper();
+  }
+
+ private:
+  // remos-requires(mu_)
+  void helper() { pending_ = 0; }
+  // remos-requires(ghost_mu_)
+  void phantom() {}  // expect(concurrency)
+  int stray_ = 0;    // expect(concurrency)
+  int noted_ = 0;    // remos-guarded-by(ghost_) expect(concurrency)
+  int total_ = 0;    // remos-guarded-by(mu_)
+  int pending_ = 0;  // remos-guarded-by(mu_)
+  mutable std::mutex mu_;  // remos-lock-order(10)
+};
+
+// Waiting on a condition variable releases only the lock passed to wait();
+// anything else held blocks every other thread for the full sleep.
+class Waiter {
+ public:
+  void wait_badly() {
+    std::unique_lock<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> aux(aux_mu_);
+    cv_.wait(lk);  // expect(concurrency)
+  }
+
+ private:
+  std::condition_variable cv_;
+  std::mutex mu_;      // remos-lock-order(30)
+  std::mutex aux_mu_;  // remos-lock-order(40)
+};
+
+// Direct pool entry while holding a mutex: lanes queue behind the lock.
+class Dispatcher {
+ public:
+  void go() {
+    std::lock_guard<std::mutex> lk(mu_);
+    pool_->parallel_for(4, [](int) {});  // expect(concurrency)
+  }
+
+ private:
+  std::mutex mu_;  // remos-lock-order(50)
+  MiniPool* pool_ = nullptr;
+};
+
+}  // namespace demo

@@ -1,0 +1,25 @@
+// Transitive pool entry: the lock is held by the caller, not at the entry
+// site itself — the entry-held fixpoint has to carry it through the call.
+#include <mutex>
+
+#include "sim/conc.hpp"
+
+namespace demo {
+namespace {
+
+std::mutex g_mu;  // remos-lock-order(60)
+int g_total = 0;
+
+}  // namespace
+
+void deep_inner(MiniPool& pool) {
+  pool.submit([] {});  // expect(concurrency)
+}
+
+void deep_outer(MiniPool& pool) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_total = g_total + 1;
+  deep_inner(pool);
+}
+
+}  // namespace demo

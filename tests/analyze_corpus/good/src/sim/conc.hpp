@@ -1,0 +1,138 @@
+#pragma once
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace demo {
+
+// Stand-in for sim::ThreadPool: the concurrency pass keys on the entry
+// point names, not the type.
+class MiniPool {
+ public:
+  template <typename F>
+  void submit(F f) {
+    (void)f;
+  }
+  void parallel_for(int items, const std::function<void(int)>& fn) {
+    for (int i = 0; i < items; ++i) fn(i);
+  }
+  void parallel_ranges(int items, int lanes,
+                       const std::function<void(int, int, int)>& fn) {
+    (void)lanes;
+    fn(0, 0, items);
+  }
+};
+
+// Minimal scheduled-callback sink: the receiver type name is what marks a
+// call to at/after/every/schedule as event-loop dispatch.
+class DemoEngine {
+ public:
+  template <typename F>
+  long after(double delay, F fn) {
+    (void)delay;
+    (void)fn;
+    return 0;
+  }
+};
+
+// Pool-escaping member, protected: atomic.
+class Stage {
+ public:
+  void kick() {
+    pool_->submit([this] { work_.fetch_add(1); });
+  }
+
+ private:
+  MiniPool* pool_ = nullptr;
+  std::atomic<int> work_{0};
+};
+
+// Mutex-owning class with a complete protection story: explicit guards,
+// every access under the lock, helper contract via remos-requires.
+class Registry {
+ public:
+  int peek() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return total_;
+  }
+  void bump() {
+    std::lock_guard<std::mutex> lk(mu_);
+    total_ = total_ + 1;
+  }
+  void drain() {
+    std::lock_guard<std::mutex> lk(mu_);
+    helper();
+  }
+
+ private:
+  // remos-requires(mu_)
+  void helper() { pending_ = 0; }
+  int total_ = 0;    // remos-guarded-by(mu_)
+  int pending_ = 0;  // remos-guarded-by(mu_)
+  mutable std::mutex mu_;  // remos-lock-order(10)
+};
+
+// The wait releases exactly the lock it was handed — nothing else is held.
+class Waiter {
+ public:
+  void wait_ok() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk);
+  }
+
+ private:
+  std::condition_variable cv_;
+  std::mutex mu_;  // remos-lock-order(30)
+};
+
+// Snapshot under the lock, dispatch after releasing it. The pool pointer
+// is const-after-construction, so it needs no lock to read.
+class Dispatcher {
+ public:
+  void go() {
+    int items = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      items = queued_;
+    }
+    pool_->parallel_for(items, [](int) {});
+  }
+
+ private:
+  MiniPool* const pool_ = nullptr;
+  std::mutex mu_;  // remos-lock-order(50)
+  int queued_ = 0;
+};
+
+// Scheduled-only escape in a mutex-free class: event callbacks run on the
+// single simulation thread, so plain members are fine (inventoried as
+// sim-thread-only, not flagged).
+class Ticker {
+ public:
+  void arm() {
+    engine_->after(1.0, [this] { ticks_ = ticks_ + 1; });
+  }
+
+ private:
+  DemoEngine* engine_ = nullptr;
+  long ticks_ = 0;
+};
+
+// Pool escape that is safe by construction: the suppression discipline.
+class Lanes {
+ public:
+  void kick() {
+    pool_->parallel_ranges(4, 2, [this](int lane, int begin, int end) {
+      for (int i = begin; i < end; ++i) slots_[i] = lane;
+    });
+  }
+
+ private:
+  MiniPool* pool_ = nullptr;
+  // remos-analyze: allow(concurrency): parallel_ranges hands each lane a disjoint [begin, end) slice, so no element is written by two lanes.
+  std::vector<int> slots_;
+};
+
+}  // namespace demo

@@ -1,0 +1,27 @@
+// Twin of bad/conc_deep.cpp: the lock is released before the helper that
+// enters the pool, so the entry-held fixpoint carries nothing through.
+#include <mutex>
+
+#include "sim/conc.hpp"
+
+namespace demo {
+namespace {
+
+std::mutex g_mu;  // remos-lock-order(60)
+int g_total = 0;
+
+}  // namespace
+
+void deep_inner(MiniPool& pool) {
+  pool.submit([] {});
+}
+
+void deep_outer(MiniPool& pool) {
+  {
+    std::lock_guard<std::mutex> lk(g_mu);
+    g_total = g_total + 1;
+  }
+  deep_inner(pool);
+}
+
+}  // namespace demo

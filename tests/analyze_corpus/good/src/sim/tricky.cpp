@@ -1,0 +1,18 @@
+// Tokenizer hardening pins. Annotation-shaped text inside string literals
+// must not become real annotations or suppressions (a phantom allow() here
+// would surface as a "stale suppression" finding and break this corpus),
+// digit separators must lex as one number, and raw strings must not
+// swallow following code.
+namespace demo {
+
+const char* kDoc = R"(
+  // remos-analyze: allow(lock): not a suppression - inside a raw string
+  // remos-lock-order(99)
+  // remos-guarded-by(phantom_mu_)
+)";
+
+const char* kUrl = "http://example.com/metrics";  // "//" inside the literal
+
+long distance_budget() { return 1'000'000; }
+
+}  // namespace demo

@@ -1,0 +1,164 @@
+// Unit coverage for the remos-analyze tokenizer: the lexing corners that
+// have bitten (raw strings, digit separators, comment-shaped text inside
+// string literals) and the line-anchored annotation side channels every
+// pass depends on.
+#include "tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using remos::analyze::TokKind;
+using remos::analyze::tokenize;
+
+std::vector<std::string> texts_of_kind(const remos::analyze::TokenizedFile& tf,
+                                       TokKind kind) {
+  std::vector<std::string> out;
+  for (const auto& t : tf.tokens) {
+    if (t.kind == kind) out.push_back(t.text);
+  }
+  return out;
+}
+
+TEST(AnalyzeTokenizer, BasicKindsAndLines) {
+  const auto tf = tokenize("int x = 42;\nreturn x;\n");
+  ASSERT_GE(tf.tokens.size(), 7u);
+  EXPECT_EQ(tf.tokens[0].kind, TokKind::kIdent);
+  EXPECT_EQ(tf.tokens[0].text, "int");
+  EXPECT_EQ(tf.tokens[0].line, 1);
+  EXPECT_EQ(tf.tokens[3].kind, TokKind::kNumber);
+  EXPECT_EQ(tf.tokens[3].text, "42");
+  // Second line's tokens carry line 2.
+  EXPECT_EQ(tf.tokens[5].text, "return");
+  EXPECT_EQ(tf.tokens[5].line, 2);
+}
+
+TEST(AnalyzeTokenizer, DigitSeparatorsLexAsOneNumber) {
+  const auto tf = tokenize("long big = 1'000'000;\n");
+  const auto nums = texts_of_kind(tf, TokKind::kNumber);
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_EQ(nums[0], "1'000'000");
+  // And no phantom char literal from the separator.
+  EXPECT_TRUE(texts_of_kind(tf, TokKind::kChar).empty());
+}
+
+TEST(AnalyzeTokenizer, DigitSeparatorDoesNotSwallowRealCharLiteral) {
+  const auto tf = tokenize("char c = 'a'; int n = 7;\n");
+  const auto chars = texts_of_kind(tf, TokKind::kChar);
+  ASSERT_EQ(chars.size(), 1u);
+  const auto nums = texts_of_kind(tf, TokKind::kNumber);
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_EQ(nums[0], "7");
+}
+
+TEST(AnalyzeTokenizer, RawStringIsOneTokenAtItsStartLine) {
+  const auto tf = tokenize(
+      "const char* doc = R\"(line one\nline two // not a comment\n)\";\n"
+      "int after = 3;\n");
+  // Exactly one string token (content is deliberately dropped — no pass
+  // reads it, and comment-shaped text inside must stay inert), anchored at
+  // the line the raw string *starts* on.
+  const auto strs = texts_of_kind(tf, TokKind::kString);
+  ASSERT_EQ(strs.size(), 1u);
+  for (const auto& t : tf.tokens) {
+    if (t.kind == TokKind::kString) {
+      EXPECT_EQ(t.line, 1);
+    }
+  }
+  // Code after the raw string still tokenizes, on the right line.
+  bool saw_after = false;
+  for (const auto& t : tf.tokens) {
+    if (t.kind == TokKind::kIdent && t.text == "after") {
+      saw_after = true;
+      EXPECT_EQ(t.line, 4);
+    }
+  }
+  EXPECT_TRUE(saw_after);
+}
+
+TEST(AnalyzeTokenizer, CommentMarkersInsideStringsAreNotComments) {
+  const auto tf = tokenize("const char* url = \"http://example.com\"; int x = 1;\n");
+  // The tail of the line must survive the "//" inside the literal.
+  const auto idents = texts_of_kind(tf, TokKind::kIdent);
+  EXPECT_NE(std::find(idents.begin(), idents.end(), "x"), idents.end());
+}
+
+TEST(AnalyzeTokenizer, AnnotationsInsideStringLiteralsAreIgnored) {
+  const auto tf = tokenize(
+      "const char* doc = R\"(\n"
+      "// remos-lock-order(99)\n"
+      "// remos-guarded-by(phantom_)\n"
+      "// remos-requires(phantom_)\n"
+      "// remos-analyze: allow(lock): not real\n"
+      ")\";\n"
+      "const char* s = \"// remos-lock-order(98)\";\n");
+  EXPECT_TRUE(tf.lock_orders.empty());
+  EXPECT_TRUE(tf.guarded_by.empty());
+  EXPECT_TRUE(tf.requires_held.empty());
+  EXPECT_TRUE(tf.suppressions.empty());
+}
+
+TEST(AnalyzeTokenizer, LockOrderChannel) {
+  const auto tf = tokenize("std::mutex mu_;  // remos-lock-order(15)\n");
+  ASSERT_EQ(tf.lock_orders.size(), 1u);
+  EXPECT_EQ(tf.lock_orders[0].line, 1);
+  EXPECT_EQ(tf.lock_orders[0].order, 15);
+}
+
+TEST(AnalyzeTokenizer, GuardedByAndRequiresChannels) {
+  const auto tf = tokenize(
+      "int a_ = 0;  // remos-guarded-by(mu_)\n"
+      "// remos-requires(mu_)\n"
+      "void helper();\n");
+  ASSERT_EQ(tf.guarded_by.size(), 1u);
+  EXPECT_EQ(tf.guarded_by[0].line, 1);
+  EXPECT_EQ(tf.guarded_by[0].mutex, "mu_");
+  ASSERT_EQ(tf.requires_held.size(), 1u);
+  EXPECT_EQ(tf.requires_held[0].line, 2);
+  EXPECT_EQ(tf.requires_held[0].mutex, "mu_");
+}
+
+TEST(AnalyzeTokenizer, SuppressionChannelAndCommentOnlyFlag) {
+  const auto tf = tokenize(
+      "// remos-analyze: allow(lock): scheduled lambda runs after release\n"
+      "int x = 0;  // remos-analyze: allow(concurrency): lane-disjoint\n"
+      "// remos-analyze: allow(audit)\n");
+  ASSERT_EQ(tf.suppressions.size(), 3u);
+  EXPECT_EQ(tf.suppressions[0].pass, "lock");
+  EXPECT_TRUE(tf.suppressions[0].comment_only_line);
+  EXPECT_EQ(tf.suppressions[0].justification,
+            "scheduled lambda runs after release");
+  EXPECT_EQ(tf.suppressions[1].pass, "concurrency");
+  EXPECT_FALSE(tf.suppressions[1].comment_only_line);
+  // Missing justification is preserved as empty — the report layer turns
+  // it into a finding.
+  EXPECT_EQ(tf.suppressions[2].pass, "audit");
+  EXPECT_TRUE(tf.suppressions[2].justification.empty());
+}
+
+TEST(AnalyzeTokenizer, IncludesCollectedPreprocessorSkipped) {
+  const auto tf = tokenize(
+      "#include \"sim/engine.hpp\"\n"
+      "#include <mutex>\n"
+      "#define NOISE do_not_tokenize_me\n"
+      "int x = 0;\n");
+  ASSERT_EQ(tf.includes.size(), 2u);
+  EXPECT_EQ(tf.includes[0].path, "sim/engine.hpp");
+  EXPECT_TRUE(tf.includes[0].quoted);
+  EXPECT_EQ(tf.includes[1].path, "mutex");
+  EXPECT_FALSE(tf.includes[1].quoted);
+  const auto idents = texts_of_kind(tf, TokKind::kIdent);
+  EXPECT_EQ(std::find(idents.begin(), idents.end(), "do_not_tokenize_me"),
+            idents.end());
+}
+
+TEST(AnalyzeTokenizer, BlockCommentsSkippedAndLinesCounted) {
+  const auto tf = tokenize("/* one\ntwo */ int y = 0;\n");
+  ASSERT_FALSE(tf.tokens.empty());
+  EXPECT_EQ(tf.tokens[0].text, "int");
+  EXPECT_EQ(tf.tokens[0].line, 2);
+}
+
+}  // namespace

@@ -1,8 +1,12 @@
 // ThreadPool: submission, results, exceptions, parallel_for coverage.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <stdexcept>
+#include <tuple>
 
 #include "sim/thread_pool.hpp"
 
@@ -57,6 +61,81 @@ TEST(ThreadPool, ParallelForPropagatesExceptions) {
                                    if (i == 5) throw std::logic_error("bad index");
                                  }),
                std::logic_error);
+}
+
+TEST(ThreadPool, ParallelRangesCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  std::atomic<std::size_t> lanes_seen{0};
+  pool.parallel_ranges(1000, 8, [&](std::size_t task, std::size_t begin, std::size_t end) {
+    EXPECT_LT(task, 8u);
+    EXPECT_LE(begin, end);
+    lanes_seen.fetch_add(1);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_LE(lanes_seen.load(), 8u);
+}
+
+TEST(ThreadPool, ParallelRangesZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_ranges(0, 4, [](std::size_t, std::size_t, std::size_t) {
+    FAIL() << "must not run";
+  });
+}
+
+TEST(ThreadPool, ParallelRangesOneItemManyWorkers) {
+  // More lanes than items: the single item lands in exactly one range and
+  // the task index stays below min(n, max_tasks).
+  ThreadPool pool(8);
+  std::atomic<int> runs{0};
+  pool.parallel_ranges(1, 16, [&](std::size_t task, std::size_t begin, std::size_t end) {
+    EXPECT_EQ(task, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    runs.fetch_add(1);
+  });
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(ThreadPool, ParallelRangesZeroMaxTasksStillCovers) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(10);
+  pool.parallel_ranges(10, 0, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelRangesPropagatesLaneException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_ranges(100, 4,
+                           [&](std::size_t task, std::size_t, std::size_t) {
+                             if (task == 2) throw std::logic_error("lane failed");
+                             completed.fetch_add(1);
+                           }),
+      std::logic_error);
+  // Every lane was joined before the rethrow: nothing is still running.
+  EXPECT_LE(completed.load(), 3);
+}
+
+TEST(ThreadPool, ParallelRangesDeterministicBoundaries) {
+  // Range boundaries depend only on (n, max_tasks), not scheduling: two
+  // runs must see the identical (task, begin, end) set.
+  ThreadPool pool(4);
+  auto collect = [&pool] {
+    std::mutex mu;
+    std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> out;
+    pool.parallel_ranges(97, 6, [&](std::size_t task, std::size_t begin, std::size_t end) {
+      std::lock_guard lock(mu);
+      out.emplace_back(task, begin, end);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(collect(), collect());
 }
 
 TEST(ThreadPool, DestructorDrainsCleanly) {

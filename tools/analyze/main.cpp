@@ -3,9 +3,9 @@
 //   remos_analyze --root <repo-root> [--json] [--layers <file>]
 //
 // Scans every .hpp/.cpp under <root>/src, builds the approximate project
-// model, and runs the four passes (lock, determinism, layer, audit) plus
-// the suppression meta-pass. Exit status: 0 clean, 1 findings, 2 usage or
-// I/O error. Layer spec resolution: --layers, else
+// model, and runs the five passes (lock, determinism, layer, audit,
+// concurrency) plus the suppression meta-pass. Exit status: 0 clean,
+// 1 findings, 2 usage or I/O error. Layer spec resolution: --layers, else
 // <root>/tools/analyze/layers.txt, else <root>/layers.txt.
 #include <algorithm>
 #include <cstdio>
@@ -120,18 +120,19 @@ int main(int argc, char** argv) {
   Project proj = build_project(std::move(files));
   const CallGraph cg = build_call_graph(proj);
 
+  ConcurrencyInventory inventory;
   Findings all;
   for (auto& pass :
        {pass_lock(proj, cg), pass_determinism(proj, cg),
         pass_layers(proj, layers_text,
                     fs::relative(layers_path, root).generic_string()),
-        pass_audit(proj, cg)}) {
+        pass_audit(proj, cg), pass_concurrency(proj, cg, &inventory)}) {
     all.insert(all.end(), pass.begin(), pass.end());
   }
   all = apply_suppressions(std::move(all), proj);
 
   if (json)
-    print_json(all);
+    print_json(all, used_suppressions(proj), &inventory);
   else
     print_text(all, n_files);
   return all.empty() ? 0 : 1;

@@ -127,6 +127,29 @@ class StructureScanner {
     return -1;
   }
 
+  std::string guarded_by_for_line(int line) const {
+    for (const auto& a : sf_.toks.guarded_by) {
+      if (a.line == line) return a.mutex;
+    }
+    for (const auto& a : sf_.toks.guarded_by) {
+      if (a.line + 1 == line) return a.mutex;
+    }
+    return "";
+  }
+
+  std::vector<std::string> requires_for_line(int line) const {
+    std::vector<std::string> out;
+    for (const auto& a : sf_.toks.requires_held) {
+      if (a.line == line) out.push_back(a.mutex);
+    }
+    if (out.empty()) {
+      for (const auto& a : sf_.toks.requires_held) {
+        if (a.line + 1 == line) out.push_back(a.mutex);
+      }
+    }
+    return out;
+  }
+
   void scan_element() {
     if (i_ >= t_.size()) return;
     const Token& tok = t_[i_];
@@ -252,6 +275,7 @@ class StructureScanner {
     int angle = 0;
     std::size_t name_idx = t_.size();
     bool is_function = false, saw_operator = false, params_closed = false;
+    bool saw_eq = false;  // past a top-level '=': the rest is an initializer
     std::size_t params_end = t_.size();
     std::size_t init_brace = t_.size();  // top-level '{' used as initializer
     bool terminated_by_body = false;
@@ -287,7 +311,10 @@ class StructureScanner {
         }
         if (tk.text == ">" && angle > 0) { --angle; ++i_; continue; }
         if (angle == 0) {
-          if (tk.text == "(" && !is_function && i_ > start &&
+          if (tk.text == "=" && !is_function) saw_eq = true;
+          // A call in the initializer (`= std::numeric_limits<T>::max()`)
+          // must not turn the declaration into a "function".
+          if (tk.text == "(" && !is_function && !saw_eq && i_ > start &&
               t_[i_ - 1].kind == TokKind::kIdent && !is_kw(t_[i_ - 1].text)) {
             is_function = true;
             name_idx = i_ - 1;
@@ -378,6 +405,7 @@ class StructureScanner {
       if (t_[k].kind == TokKind::kIdent && t_[k].text == "const") fn.is_const = true;
     }
     fn.file_local = in_anon() || (fn.cls.empty() && fn.is_static);
+    fn.requires_annot = requires_for_line(fn.line);
     if (has_body) {
       fn.has_body = true;
       const std::size_t body_close = match_forward(t_, body_open, t_.size(), "{", "}");
@@ -412,6 +440,17 @@ class StructureScanner {
     v.is_mutex = type_is_mutex(v.type_text);
     v.is_unordered = type_is_unordered(v.type_text);
     v.exempt = type_is_exempt(type_tokens);
+    for (const auto& s : type_tokens) {
+      if (s == "atomic") v.is_atomic = true;
+      if (s == "condition_variable" || s == "condition_variable_any") v.is_cv = true;
+      if (s == "thread" || s == "jthread" || s == "future" || s == "promise") {
+        v.is_thread_handle = true;
+      }
+      if (s == "const" || s == "constexpr") v.is_const = true;
+      if (s == "static") v.is_static = true;
+      if (s == "&") v.is_ref = true;
+    }
+    v.guard_annot = guarded_by_for_line(v.line);
     const std::string cls = current_class();
     if (v.is_mutex) {
       MutexDecl m;
@@ -453,10 +492,15 @@ class BodyScanner {
       for (const auto& m : cls->members) {
         if (m.is_unordered) unordered_.insert(m.name);
       }
+      explicit_ = cls->explicit_guard_names;
     }
     auto nsg = proj_.ns_guarded_by.find(sf_.rel_path);
     if (nsg != proj_.ns_guarded_by.end()) {
       for (const auto& [var, guard] : nsg->second) guarded_[var] = guard;
+    }
+    auto nse = proj_.ns_explicit_guard_names.find(sf_.rel_path);
+    if (nse != proj_.ns_explicit_guard_names.end()) {
+      for (const auto& v : nse->second) explicit_.insert(v);
     }
     auto nsv = proj_.namespace_vars.find(sf_.rel_path);
     if (nsv != proj_.namespace_vars.end()) {
@@ -464,6 +508,9 @@ class BodyScanner {
         if (v.is_unordered) unordered_.insert(v.name);
       }
     }
+    // remos-requires(m): the body runs as if the caller's lock were held.
+    // Depth -1 keeps the seed below every scope pop.
+    for (const auto& id : fn_.requires_ids) held_.push_back({id, -1});
     scan(fn_.body_begin, fn_.body_end);
   }
 
@@ -473,6 +520,7 @@ class BodyScanner {
   Project& proj_;
   FunctionInfo& fn_;
   std::map<std::string, std::string> guarded_;  // name -> mutex id
+  std::set<std::string> explicit_;              // names guarded by annotation
   std::set<std::string> unordered_;             // names declared unordered
   int depth_ = 0;
   struct Held { std::string id; int depth; };
@@ -575,7 +623,8 @@ class BodyScanner {
             receiver && j >= 2 && t_[j - 2].kind == TokKind::kIdent && t_[j - 2].text == "this";
         const bool qualified = j > begin && punct(j - 1, "::");
         if ((!receiver || via_this) && !qualified) {
-          fn_.guarded_accesses.push_back({s, git->second, tk.line, held_ids()});
+          fn_.guarded_accesses.push_back(
+              {s, git->second, tk.line, held_ids(), explicit_.count(s) > 0});
         }
       }
 
@@ -613,7 +662,11 @@ class BodyScanner {
         ++k;
       }
     }
-    if (k < end && t_[k].kind == TokKind::kIdent) ++k;  // RAII variable name
+    std::string raii_var;
+    if (k < end && t_[k].kind == TokKind::kIdent) {  // RAII variable name
+      raii_var = t_[k].text;
+      ++k;
+    }
     if (!punct(k, "(")) return j + 1;  // e.g. a using-declaration mention
     const std::size_t close = match_forward(t_, k, end, "(", ")");
     for (std::size_t a = k + 1; a < close; ++a) {
@@ -621,7 +674,7 @@ class BodyScanner {
       if (a > 0 && (punct(a - 1, ".") || punct(a - 1, "->"))) continue;  // other.mu_
       const std::string id = resolve_mutex(t_[a].text);
       if (!id.empty()) {
-        fn_.acquires.push_back({id, line, held_ids()});
+        fn_.acquires.push_back({id, line, held_ids(), raii_var});
         held_.push_back({id, depth_});
       }
     }
@@ -691,28 +744,74 @@ class BodyScanner {
   }
 };
 
+/// Resolve a remos-guarded-by / remos-requires mutex name written in an
+/// annotation: a full "Scope::name" id, a same-class member, or a
+/// namespace-scope mutex in the same file. "" when nothing matches.
+std::string resolve_annot_mutex(const Project& proj, const std::string& name,
+                                const std::string& cls, const std::string& file) {
+  if (name.find("::") != std::string::npos && proj.mutexes.count(name)) return name;
+  if (!cls.empty() && proj.mutexes.count(cls + "::" + name)) return cls + "::" + name;
+  if (proj.mutexes.count(file + "::" + name)) return file + "::" + name;
+  return "";
+}
+
 void compute_guarded(Project& proj) {
   for (auto& [name, ci] : proj.classes) {
     (void)name;
     std::string guard;
-    for (const auto& m : ci.members) {
+    for (auto& m : ci.members) {
       if (m.is_mutex) {
         guard = (ci.name.empty() ? m.file : ci.name) + "::" + m.name;
         continue;
       }
+      if (!m.guard_annot.empty()) {
+        // Explicit annotation: wins over position, applies even to exempt
+        // types (harmless), enforced by the concurrency pass.
+        m.guard_id = resolve_annot_mutex(proj, m.guard_annot, ci.name, m.file);
+        m.guard_explicit = true;
+        if (!m.guard_id.empty()) {
+          ci.guarded_by[m.name] = m.guard_id;
+          ci.explicit_guard_names.insert(m.name);
+        }
+        continue;
+      }
       if (m.exempt || guard.empty()) continue;
+      m.guard_id = guard;
       ci.guarded_by[m.name] = guard;
     }
   }
   for (auto& [file, vars] : proj.namespace_vars) {
     std::string guard;
-    for (const auto& v : vars) {
+    for (auto& v : vars) {
       if (v.is_mutex) {
         guard = file + "::" + v.name;
         continue;
       }
+      if (!v.guard_annot.empty()) {
+        v.guard_id = resolve_annot_mutex(proj, v.guard_annot, "", file);
+        v.guard_explicit = true;
+        if (!v.guard_id.empty()) {
+          proj.ns_guarded_by[file][v.name] = v.guard_id;
+          proj.ns_explicit_guard_names[file].insert(v.name);
+        }
+        continue;
+      }
       if (v.exempt || guard.empty()) continue;
+      v.guard_id = guard;
       proj.ns_guarded_by[file][v.name] = guard;
+    }
+  }
+}
+
+void resolve_requires(Project& proj) {
+  for (auto& fn : proj.functions) {
+    for (const auto& raw : fn.requires_annot) {
+      const std::string id = resolve_annot_mutex(proj, raw, fn.cls, fn.file);
+      if (id.empty()) {
+        fn.requires_unresolved.push_back(raw);
+      } else {
+        fn.requires_ids.push_back(id);
+      }
     }
   }
 }
@@ -753,6 +852,7 @@ Project build_project(std::vector<SourceFile> files) {
   }
   compute_guarded(proj);
   fixup_method_qualifiers(proj);
+  resolve_requires(proj);
   for (std::size_t k = 0; k < proj.functions.size(); ++k) {
     proj.by_name[proj.functions[k].name].push_back(k);
   }

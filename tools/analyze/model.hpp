@@ -51,6 +51,20 @@ struct VarDecl {
   /// Types with their own synchronization story (atomics, cv, thread):
   /// excluded from guarded-member analysis.
   bool exempt = false;
+  // Finer-grained protection classification (concurrency pass):
+  bool is_atomic = false;
+  bool is_cv = false;            // condition_variable[_any]
+  bool is_thread_handle = false; // thread / jthread / future / promise
+  bool is_const = false;         // const / constexpr
+  bool is_static = false;
+  bool is_ref = false;           // reference member (binding is immutable)
+  /// Raw mutex name from a `// remos-guarded-by(<mutex>)` annotation on
+  /// the declaration line ("" = none).
+  std::string guard_annot;
+  /// Resolved guarding mutex id ("" = unguarded or unresolved annotation):
+  /// explicit annotation when present, else positional inference.
+  std::string guard_id;
+  bool guard_explicit = false;
 };
 
 struct ClassInfo {
@@ -58,9 +72,13 @@ struct ClassInfo {
   std::string file;  // file of the defining class body
   int line = 0;
   std::vector<VarDecl> members;  // declaration order
-  /// member name -> guarding mutex id, derived from declaration order:
-  /// a member declared after a mutex member is guarded by it.
+  /// member name -> guarding mutex id: explicit // remos-guarded-by(...)
+  /// annotation when present, else derived from declaration order (a
+  /// member declared after a mutex member is guarded by it).
   std::map<std::string, std::string> guarded_by;
+  /// members whose guard came from an explicit annotation — their access
+  /// sites are enforced by the concurrency pass, not the lock pass.
+  std::set<std::string> explicit_guard_names;
 };
 
 struct CallSite {
@@ -77,12 +95,15 @@ struct AccessSite {
   std::string guard;      // mutex id that must be held
   int line = 0;
   std::vector<std::string> held;
+  bool explicit_guard = false;  // guard came from remos-guarded-by(...)
 };
 
 struct AcquireSite {
   std::string mutex;  // mutex id
   int line = 0;
   std::vector<std::string> held;  // already held when acquiring
+  std::string raii_var;  // lock object name ("" for anonymous/temporary);
+                         // cv.wait(raii_var) legitimately releases it
 };
 
 struct LoopInfo {
@@ -112,6 +133,11 @@ struct FunctionInfo {
   std::size_t body_tokens = 0;
   bool has_audit = false;   // REMOS_CHECK / REMOS_AUDIT in the body
   std::string return_type_text;
+  /// `// remos-requires(<mutex>)` on the definition: raw names as written,
+  /// resolved mutex ids, and any names that failed to resolve.
+  std::vector<std::string> requires_annot;
+  std::vector<std::string> requires_ids;
+  std::vector<std::string> requires_unresolved;
   std::vector<CallSite> calls;
   std::vector<AcquireSite> acquires;
   std::vector<AccessSite> guarded_accesses;
@@ -136,6 +162,8 @@ struct Project {
   std::map<std::string, std::vector<VarDecl>> namespace_vars;
   /// per-file: namespace-scope var name -> guarding mutex id
   std::map<std::string, std::map<std::string, std::string>> ns_guarded_by;
+  /// per-file: namespace-scope vars whose guard is an explicit annotation
+  std::map<std::string, std::set<std::string>> ns_explicit_guard_names;
 };
 
 /// Build the model from tokenized files (rel_path must be set on each).

@@ -50,7 +50,7 @@ Findings pass_audit(const Project& proj, const CallGraph& cg) {
     auto cls = proj.classes.find(fn.cls);
     if (cls == proj.classes.end() || !core_header(cls->second.file)) continue;
     if (audited[i]) continue;
-    out.push_back({"audit", fn.file, fn.line,
+    out.push_back({"audit", "unaudited-entry", fn.file, fn.line,
                    "public mutating entry point `" + fn.cls + "::" + fn.name +
                        "` never reaches REMOS_CHECK/REMOS_AUDIT — assert its "
                        "preconditions or invariants"});

@@ -1,0 +1,660 @@
+// remos-analyze: concurrency pass.
+//
+// Answers, project-wide: *what state escapes to pool threads, and what
+// protects it?* Three cooperating analyses:
+//
+//   1. Thread-escape. Every lambda handed to sim::ThreadPool (`submit`,
+//      `parallel_for`, `parallel_ranges`), spawned as a std::thread /
+//      std::jthread (including emplace onto a thread-typed member), passed
+//      to a clock-publication channel (`bind_obs_clock`), or scheduled as
+//      an event callback (`at` / `after` / `every` / `schedule` on an
+//      Engine/EventQueue receiver) is resolved: if it captures `this` (or
+//      by-reference), the member fields it can reach — directly or through
+//      same-class bare calls, closed over the approximate call graph — are
+//      marked as escaping with that kind.
+//
+//   2. Guarded-by inference + enforcement. Every member of a mutex-owning
+//      class (and every namespace-scope variable in a file that owns a
+//      namespace mutex), plus every member that escapes to pool/thread
+//      context, must have a protection story: std::atomic, const/static,
+//      a reference binding, a sync primitive or thread handle, a guarding
+//      mutex (explicit // remos-guarded-by(<mutex>) annotation or the lock
+//      pass's positional inference), or a justified allow(concurrency)
+//      suppression. Explicitly annotated members have every access site
+//      checked against the held-lock set (with // remos-requires(<mutex>)
+//      seeding the set for caller-holds-the-lock helpers); call sites of
+//      remos-requires functions must hold the named mutex.
+//
+//   3. Blocking-under-lock. A direct ThreadPool entry, a condition_variable
+//      wait (other than on the lock it atomically releases), or a wait/get
+//      on a future-typed member while any mutex is held — locally or
+//      inherited from callers via an entry-held fixpoint — feeds pool
+//      starvation deadlocks and is flagged at the entry site.
+//
+// Scheduled-callback escapes in classes that own no mutex are inventoried
+// as "sim-thread-only" (the event loop is single-threaded) but not
+// enforced. Like every pass here, approximation errs toward silence; the
+// corpus fixtures pin the must-catch shapes.
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "passes.hpp"
+
+namespace remos::analyze {
+namespace {
+
+const std::set<std::string> kPoolEntryNames{"submit", "parallel_for", "parallel_ranges"};
+const std::set<std::string> kScheduleNames{"at", "after", "every", "schedule"};
+const std::set<std::string> kThreadCtorNames{"thread", "jthread"};
+const std::set<std::string> kContainerAddNames{"emplace_back", "push_back"};
+const std::set<std::string> kCvWaitNames{"wait", "wait_for", "wait_until"};
+const std::set<std::string> kFutureWaitNames{"wait", "get"};
+// Channels that publish a callable to other threads: the obs clock binding
+// is invoked by any thread that stamps a metric or span.
+const std::set<std::string> kPublishNames{"bind_obs_clock"};
+
+bool punct_at(const std::vector<Token>& t, std::size_t k, const char* p) {
+  return k < t.size() && t[k].kind == TokKind::kPunct && t[k].text == p;
+}
+bool ident_at(const std::vector<Token>& t, std::size_t k, const char* s) {
+  return k < t.size() && t[k].kind == TokKind::kIdent && t[k].text == s;
+}
+
+std::size_t match_fwd(const std::vector<Token>& t, std::size_t i, std::size_t end,
+                      const char* open, const char* close) {
+  int d = 0;
+  for (std::size_t k = i; k < end; ++k) {
+    if (t[k].kind != TokKind::kPunct) continue;
+    if (t[k].text == open) ++d;
+    else if (t[k].text == close && --d == 0) return k;
+  }
+  return end;
+}
+
+struct LambdaSpan {
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  bool captures_ctx = false;  // captures `this`, `&`, or `=` — enclosing
+                              // object/locals reachable from the body
+  bool valid = false;
+};
+
+/// Parse a lambda literal whose `[` sits at `lb`.
+LambdaSpan parse_lambda(const std::vector<Token>& t, std::size_t lb, std::size_t end) {
+  LambdaSpan out;
+  if (!punct_at(t, lb, "[")) return out;
+  const std::size_t cap_close = match_fwd(t, lb, end, "[", "]");
+  if (cap_close >= end) return out;
+  for (std::size_t k = lb + 1; k < cap_close; ++k) {
+    if (ident_at(t, k, "this")) out.captures_ctx = true;
+    if (t[k].kind == TokKind::kPunct && (t[k].text == "&" || t[k].text == "=")) {
+      out.captures_ctx = true;
+    }
+  }
+  std::size_t k = cap_close + 1;
+  if (punct_at(t, k, "(")) k = match_fwd(t, k, end, "(", ")") + 1;
+  while (k < end && !punct_at(t, k, "{")) {
+    if (punct_at(t, k, ";") || punct_at(t, k, ")")) return out;  // not a lambda
+    ++k;
+  }
+  if (k >= end) return out;
+  const std::size_t close = match_fwd(t, k, end, "{", "}");
+  if (close >= end) return out;
+  out.body_begin = k + 1;
+  out.body_end = close;
+  out.valid = true;
+  return out;
+}
+
+/// Collect bare / this-> identifier uses of `names` inside [begin, end).
+void collect_name_uses(const std::vector<Token>& t, std::size_t begin, std::size_t end,
+                       const std::set<std::string>& names, std::set<std::string>& out) {
+  for (std::size_t j = begin; j < end && j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kIdent || !names.count(t[j].text)) continue;
+    const bool receiver = j > 0 && (punct_at(t, j - 1, ".") || punct_at(t, j - 1, "->"));
+    const bool via_this = receiver && j >= 2 && ident_at(t, j - 2, "this");
+    const bool qualified = j > 0 && punct_at(t, j - 1, "::");
+    if ((!receiver || via_this) && !qualified) out.insert(t[j].text);
+  }
+}
+
+std::string join_ids(const std::set<std::string>& ids) {
+  std::string out;
+  for (const auto& id : ids) {
+    if (!out.empty()) out += ", ";
+    out += "`" + id + "`";
+  }
+  return out;
+}
+
+/// Per-function escape analysis state shared across the pass.
+struct PassState {
+  const Project& proj;
+  std::map<std::string, const SourceFile*> file_by_path;
+  // scope key: class name, or file path for namespace scope.
+  // member -> escape kind -> first escape site "file:line".
+  std::map<std::string, std::map<std::string, std::map<std::string, std::string>>> escapes;
+
+  explicit PassState(const Project& p) : proj(p) {
+    for (const auto& sf : p.files) file_by_path[sf.rel_path] = &sf;
+  }
+};
+
+/// The scope (class or file) whose variables a function's lambdas can
+/// reach, with the name set and the callee filter for the call closure.
+struct Scope {
+  std::string key;                 // class name or file path
+  std::set<std::string> names;     // member / namespace-var names
+  bool is_class = false;
+};
+
+Scope scope_for(const Project& proj, const FunctionInfo& fn) {
+  Scope sc;
+  if (!fn.cls.empty()) {
+    sc.key = fn.cls;
+    sc.is_class = true;
+    auto it = proj.classes.find(fn.cls);
+    if (it != proj.classes.end()) {
+      for (const auto& m : it->second.members) sc.names.insert(m.name);
+    }
+    return sc;
+  }
+  sc.key = fn.file;
+  auto nv = proj.namespace_vars.find(fn.file);
+  if (nv != proj.namespace_vars.end()) {
+    for (const auto& v : nv->second) sc.names.insert(v.name);
+  }
+  return sc;
+}
+
+/// Same-scope callees of the calls within [begin, end): bare / this-> calls
+/// resolving to methods of the same class (or free functions of the same
+/// file at namespace scope). Receiver-based calls on sibling objects are
+/// deliberately not followed — their state belongs to the receiver.
+std::vector<std::size_t> scope_callees(const Project& proj, const FunctionInfo& fn,
+                                       const Scope& sc, std::size_t begin,
+                                       std::size_t end) {
+  std::vector<std::size_t> out;
+  for (const CallSite& c : fn.calls) {
+    if (c.token_index < begin || c.token_index >= end) continue;
+    if (c.method_call) continue;
+    for (std::size_t k : resolve_call(proj, fn, c)) {
+      const FunctionInfo& callee = proj.functions[k];
+      if (!callee.has_body) continue;
+      if (sc.is_class ? (callee.cls == sc.key)
+                      : (callee.cls.empty() && callee.file == sc.key)) {
+        out.push_back(k);
+      }
+    }
+  }
+  return out;
+}
+
+/// Members of `sc` reachable from the lambda body: direct uses plus the
+/// closure over same-scope calls.
+std::set<std::string> reachable_members(PassState& st, const FunctionInfo& fn,
+                                        const Scope& sc, const LambdaSpan& lam) {
+  std::set<std::string> touched;
+  const SourceFile* sf = st.file_by_path.at(fn.file);
+  collect_name_uses(sf->toks.tokens, lam.body_begin, lam.body_end, sc.names, touched);
+
+  std::set<std::size_t> visited;
+  std::vector<std::size_t> work = scope_callees(st.proj, fn, sc, lam.body_begin, lam.body_end);
+  while (!work.empty()) {
+    const std::size_t k = work.back();
+    work.pop_back();
+    if (!visited.insert(k).second) continue;
+    const FunctionInfo& callee = st.proj.functions[k];
+    const SourceFile* csf = st.file_by_path.at(callee.file);
+    collect_name_uses(csf->toks.tokens, callee.body_begin, callee.body_end, sc.names,
+                      touched);
+    for (std::size_t nk :
+         scope_callees(st.proj, callee, sc, callee.body_begin, callee.body_end)) {
+      work.push_back(nk);
+    }
+  }
+  return touched;
+}
+
+/// Declared type of a bare receiver identifier: same-class member first,
+/// then namespace-scope var of the same file. "" when unknown (locals).
+std::string receiver_type(const Project& proj, const FunctionInfo& fn,
+                          const std::string& name) {
+  if (!fn.cls.empty()) {
+    auto it = proj.classes.find(fn.cls);
+    if (it != proj.classes.end()) {
+      for (const auto& m : it->second.members) {
+        if (m.name == name) return m.type_text;
+      }
+    }
+  }
+  auto nv = proj.namespace_vars.find(fn.file);
+  if (nv != proj.namespace_vars.end()) {
+    for (const auto& v : nv->second) {
+      if (v.name == name) return v.type_text;
+    }
+  }
+  return "";
+}
+
+const VarDecl* receiver_var(const Project& proj, const FunctionInfo& fn,
+                            const std::string& name) {
+  if (!fn.cls.empty()) {
+    auto it = proj.classes.find(fn.cls);
+    if (it != proj.classes.end()) {
+      for (const auto& m : it->second.members) {
+        if (m.name == name) return &m;
+      }
+    }
+  }
+  auto nv = proj.namespace_vars.find(fn.file);
+  if (nv != proj.namespace_vars.end()) {
+    for (const auto& v : nv->second) {
+      if (v.name == name) return &v;
+    }
+  }
+  return nullptr;
+}
+
+/// Receiver identifier of a method call (x.name / x->name), "" for bare.
+std::string receiver_name(const std::vector<Token>& t, const CallSite& c) {
+  const std::size_t j = c.token_index;
+  if (j < 2) return "";
+  if (!punct_at(t, j - 1, ".") && !punct_at(t, j - 1, "->")) return "";
+  if (t[j - 2].kind != TokKind::kIdent) return "";
+  return t[j - 2].text;
+}
+
+/// Escape kind of a call site, or "" when it hands nothing to another
+/// execution context.
+std::string escape_kind(const Project& proj, const FunctionInfo& fn,
+                        const std::vector<Token>& toks, const CallSite& c) {
+  if (kPoolEntryNames.count(c.name)) return "pool";
+  if (kThreadCtorNames.count(c.name)) return "thread";
+  if (kPublishNames.count(c.name)) return "thread";
+  if (kContainerAddNames.count(c.name)) {
+    const std::string recv = receiver_name(toks, c);
+    if (!recv.empty()) {
+      const std::string type = receiver_type(proj, fn, recv);
+      if (type.find("std::thread") != std::string::npos ||
+          type.find("std::jthread") != std::string::npos) {
+        return "thread";
+      }
+    }
+    return "";
+  }
+  if (kScheduleNames.count(c.name)) {
+    const std::string recv = receiver_name(toks, c);
+    if (!recv.empty()) {
+      const std::string type = receiver_type(proj, fn, recv);
+      if (type.find("Engine") != std::string::npos ||
+          type.find("EventQueue") != std::string::npos) {
+        return "scheduled";
+      }
+      return "";
+    }
+    if (!c.method_call) {
+      for (std::size_t k : resolve_call(proj, fn, c)) {
+        const std::string& cls = proj.functions[k].cls;
+        if (cls.find("Engine") != std::string::npos ||
+            cls.find("EventQueue") != std::string::npos) {
+          return "scheduled";
+        }
+      }
+    }
+  }
+  return "";
+}
+
+/// Local lambdas of a function body: `auto name = [...]...;` — so a later
+/// `pool->submit(name)` resolves to the recorded literal.
+std::map<std::string, LambdaSpan> local_lambdas(const std::vector<Token>& t,
+                                                const FunctionInfo& fn) {
+  std::map<std::string, LambdaSpan> out;
+  for (std::size_t j = fn.body_begin; j + 3 < fn.body_end && j < t.size(); ++j) {
+    if (!ident_at(t, j, "auto")) continue;
+    if (j + 3 >= t.size() || t[j + 1].kind != TokKind::kIdent) continue;
+    if (!punct_at(t, j + 2, "=") || !punct_at(t, j + 3, "[")) continue;
+    const LambdaSpan lam = parse_lambda(t, j + 3, fn.body_end);
+    if (lam.valid) out[t[j + 1].text] = lam;
+  }
+  return out;
+}
+
+/// Lambda arguments of the call at `c`: inline literals plus named local
+/// lambdas recorded earlier in the body.
+std::vector<LambdaSpan> lambda_args(const std::vector<Token>& t, const CallSite& c,
+                                    std::size_t body_end,
+                                    const std::map<std::string, LambdaSpan>& locals) {
+  std::vector<LambdaSpan> out;
+  const std::size_t open = c.token_index + 1;
+  if (!punct_at(t, open, "(")) return out;
+  const std::size_t close = match_fwd(t, open, body_end + 1, "(", ")");
+  int depth = 0;
+  bool arg_start = true;
+  for (std::size_t k = open + 1; k < close; ++k) {
+    if (t[k].kind == TokKind::kPunct) {
+      const std::string& p = t[k].text;
+      if (p == "(" || p == "{" || p == "<") ++depth;
+      else if (p == ")" || p == "}" || p == ">") --depth;
+      else if (p == "," && depth == 0) { arg_start = true; continue; }
+      if (p == "[" && depth == 0 && arg_start) {
+        const LambdaSpan lam = parse_lambda(t, k, close);
+        if (lam.valid) {
+          out.push_back(lam);
+          k = lam.body_end;  // skip past; loop ++ moves beyond '}'
+          arg_start = false;
+          continue;
+        }
+      }
+    } else if (t[k].kind == TokKind::kIdent && arg_start) {
+      auto it = locals.find(t[k].text);
+      if (it != locals.end() &&
+          (punct_at(t, k + 1, ",") || k + 1 == close)) {
+        out.push_back(it->second);
+      }
+    }
+    arg_start = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+Findings pass_concurrency(const Project& proj, const CallGraph& cg,
+                          ConcurrencyInventory* inventory) {
+  (void)cg;
+  Findings out;
+  std::set<std::string> seen;
+  auto emit = [&](const std::string& rule, const std::string& file, int line,
+                  std::string msg) {
+    if (seen.insert(file + ":" + std::to_string(line) + ":" + rule + ":" + msg).second)
+      out.push_back({"concurrency", rule, file, line, std::move(msg)});
+  };
+
+  PassState st(proj);
+
+  // Pre-resolve call candidates once; the entry-held fixpoint reuses them.
+  std::vector<std::vector<std::vector<std::size_t>>> resolved(proj.functions.size());
+  for (std::size_t i = 0; i < proj.functions.size(); ++i) {
+    const FunctionInfo& fn = proj.functions[i];
+    resolved[i].resize(fn.calls.size());
+    for (std::size_t ci = 0; ci < fn.calls.size(); ++ci) {
+      resolved[i][ci] = resolve_call(proj, fn, fn.calls[ci]);
+    }
+  }
+
+  // ---- 1. Thread-escape --------------------------------------------------
+  for (std::size_t i = 0; i < proj.functions.size(); ++i) {
+    const FunctionInfo& fn = proj.functions[i];
+    if (!fn.has_body) continue;
+    const SourceFile* sf = st.file_by_path.at(fn.file);
+    const auto& toks = sf->toks.tokens;
+    const auto locals = local_lambdas(toks, fn);
+    const Scope sc = scope_for(proj, fn);
+    for (const CallSite& c : fn.calls) {
+      const std::string kind = escape_kind(proj, fn, toks, c);
+      if (kind.empty()) continue;
+      for (const LambdaSpan& lam : lambda_args(toks, c, fn.body_end, locals)) {
+        // A method lambda reaches members only through this / by-ref
+        // capture; namespace-scope vars are reachable regardless.
+        if (sc.is_class && !lam.captures_ctx) continue;
+        const std::string site = fn.file + ":" + std::to_string(c.line);
+        for (const std::string& m : reachable_members(st, fn, sc, lam)) {
+          st.escapes[sc.key][m].emplace(kind, site);
+        }
+      }
+    }
+  }
+
+  // ---- 2. Protection classification + enforcement ------------------------
+  auto suppressed_at = [&](const std::string& file, int line) {
+    const SourceFile* sf = st.file_by_path.count(file) ? st.file_by_path.at(file) : nullptr;
+    if (!sf) return false;
+    for (const auto& s : sf->toks.suppressions) {
+      if (s.pass != "concurrency" || s.justification.empty()) continue;
+      if (s.line == line || (s.comment_only_line && s.line + 1 == line)) return true;
+    }
+    return false;
+  };
+
+  auto classify_scope = [&](const std::string& scope_key, bool is_class,
+                            const std::vector<VarDecl>& vars, bool owns_mutex) {
+    const auto esc_it = st.escapes.find(scope_key);
+    static const std::map<std::string, std::string> kNoEscapes;
+    const auto& esc =
+        esc_it == st.escapes.end()
+            ? std::map<std::string, std::map<std::string, std::string>>{}
+            : esc_it->second;
+    for (const auto& v : vars) {
+      if (v.is_mutex) continue;
+      std::vector<std::string> kinds;
+      std::string first_site;
+      auto ei = esc.find(v.name);
+      if (ei != esc.end()) {
+        for (const auto& [k, site] : ei->second) {
+          kinds.push_back(k);
+          // Report a pool/thread escape site when there is one — that is
+          // the crossing that makes the member unsafe.
+          if (first_site.empty() || k != "scheduled") first_site = site;
+        }
+      }
+      const bool pool_escape =
+          std::find(kinds.begin(), kinds.end(), "pool") != kinds.end() ||
+          std::find(kinds.begin(), kinds.end(), "thread") != kinds.end();
+      if (!owns_mutex && kinds.empty()) continue;  // not part of this story
+
+      std::string protection;
+      std::string guard;
+      bool positional = false;
+      if (v.guard_explicit && v.guard_id.empty()) {
+        emit("bad-annotation", v.file, v.line,
+             "remos-guarded-by(" + v.guard_annot + ") on `" + v.name +
+                 "` names no known mutex");
+        protection = "unprotected";
+      } else if (v.is_atomic) {
+        protection = "atomic";
+      } else if (v.is_cv) {
+        protection = "sync-primitive";
+      } else if (v.is_thread_handle) {
+        protection = "thread-handle";
+      } else if (v.is_const) {
+        protection = "const";
+      } else if (v.is_static) {
+        protection = "static";
+      } else if (v.is_ref) {
+        protection = "reference";
+      } else if (!v.guard_id.empty()) {
+        protection = "guarded-by";
+        guard = v.guard_id;
+        positional = !v.guard_explicit;
+      } else if (!pool_escape && !owns_mutex) {
+        // Scheduled-only escape in a mutex-free class: runs on the single
+        // event-dispatch thread.
+        protection = "sim-thread-only";
+      } else {
+        protection = "unprotected";
+      }
+
+      if (protection == "unprotected") {
+        if (suppressed_at(v.file, v.line)) {
+          protection = "suppressed";
+        }
+        if (pool_escape) {
+          emit("escape-unprotected", v.file, v.line,
+               "`" + v.name + "` (" + scope_key +
+                   ") is reachable from pool/thread-executed code (escape at " +
+                   first_site +
+                   ") but is not atomic, const, or guarded — annotate "
+                   "// remos-guarded-by(<mutex>) or fix the sharing");
+        } else if (owns_mutex) {
+          emit("member-unprotected", v.file, v.line,
+               "`" + v.name + "` (" + scope_key +
+                   ") belongs to a mutex-owning " +
+                   (is_class ? std::string("class") : std::string("file")) +
+                   " but has no protection story — atomic, const, "
+                   "// remos-guarded-by(<mutex>), or a justified suppression");
+        }
+      }
+
+      if (inventory) {
+        MemberProtection row;
+        row.scope = scope_key;
+        row.member = v.name;
+        row.file = v.file;
+        row.line = v.line;
+        row.protection = protection;
+        row.guard = guard;
+        row.guard_positional = positional;
+        std::sort(kinds.begin(), kinds.end());
+        row.escapes = std::move(kinds);
+        inventory->members.push_back(std::move(row));
+      }
+    }
+  };
+
+  for (const auto& [name, ci] : proj.classes) {
+    bool owns_mutex = false;
+    for (const auto& m : ci.members) owns_mutex = owns_mutex || m.is_mutex;
+    if (!owns_mutex && !st.escapes.count(name)) continue;
+    classify_scope(name, true, ci.members, owns_mutex);
+  }
+  for (const auto& [file, vars] : proj.namespace_vars) {
+    bool owns_mutex = false;
+    for (const auto& v : vars) owns_mutex = owns_mutex || v.is_mutex;
+    if (!owns_mutex && !st.escapes.count(file)) continue;
+    classify_scope(file, false, vars, owns_mutex);
+  }
+
+  // Explicitly guarded members: every access site must hold the mutex.
+  for (const FunctionInfo& fn : proj.functions) {
+    if (fn.is_ctor_dtor) continue;
+    for (const AccessSite& acc : fn.guarded_accesses) {
+      if (!acc.explicit_guard) continue;
+      if (std::find(acc.held.begin(), acc.held.end(), acc.guard) != acc.held.end())
+        continue;
+      emit("guard-unheld", fn.file, acc.line,
+           "`" + acc.name + "` is annotated remos-guarded-by(`" + acc.guard +
+               "`) but touched without holding it");
+    }
+  }
+
+  // remos-requires(<mutex>): annotation must resolve; call sites must hold.
+  for (std::size_t i = 0; i < proj.functions.size(); ++i) {
+    const FunctionInfo& fn = proj.functions[i];
+    for (const std::string& raw : fn.requires_unresolved) {
+      emit("bad-annotation", fn.file, fn.line,
+           "remos-requires(" + raw + ") on `" + fn.name + "` names no known mutex");
+    }
+    if (fn.is_ctor_dtor) continue;
+    for (std::size_t ci = 0; ci < fn.calls.size(); ++ci) {
+      const CallSite& c = fn.calls[ci];
+      if (c.method_call) continue;  // sibling object's state, not ours
+      std::set<std::string> needed;
+      for (std::size_t k : resolved[i][ci]) {
+        if (k == i) continue;
+        const FunctionInfo& callee = proj.functions[k];
+        const bool same_scope = callee.cls.empty()
+                                    ? (fn.cls.empty() && callee.file == fn.file)
+                                    : callee.cls == fn.cls;
+        if (!same_scope) continue;
+        for (const std::string& id : callee.requires_ids) needed.insert(id);
+      }
+      for (const std::string& id : needed) {
+        if (std::find(c.held.begin(), c.held.end(), id) == c.held.end()) {
+          emit("requires-unheld", fn.file, c.line,
+               "call to `" + c.name + "` requires `" + id +
+                   "` held (remos-requires) but it is not held here");
+        }
+      }
+    }
+  }
+
+  // ---- 3. Blocking under lock --------------------------------------------
+  // Entry-held fixpoint: mutexes that may be held when a function is
+  // entered, seeded from every call site's held set and closed over the
+  // name-resolved graph.
+  std::vector<std::set<std::string>> entry_held(proj.functions.size());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < proj.functions.size(); ++i) {
+      const FunctionInfo& fn = proj.functions[i];
+      for (std::size_t ci = 0; ci < fn.calls.size(); ++ci) {
+        const CallSite& c = fn.calls[ci];
+        std::set<std::string> base(c.held.begin(), c.held.end());
+        base.insert(entry_held[i].begin(), entry_held[i].end());
+        if (base.empty()) continue;
+        for (std::size_t k : resolved[i][ci]) {
+          if (k == i) continue;
+          for (const std::string& m : base) {
+            if (entry_held[k].insert(m).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < proj.functions.size(); ++i) {
+    const FunctionInfo& fn = proj.functions[i];
+    if (!fn.has_body) continue;
+    const SourceFile* sf = st.file_by_path.at(fn.file);
+    const auto& toks = sf->toks.tokens;
+    for (const CallSite& c : fn.calls) {
+      std::set<std::string> held(c.held.begin(), c.held.end());
+      held.insert(entry_held[i].begin(), entry_held[i].end());
+      if (held.empty()) continue;
+
+      // Direct pool entry while a mutex is (possibly transitively) held.
+      // Entries inside the pool implementation itself re-fire for every
+      // entry-held caller; the caller's own entry site carries the report.
+      if (kPoolEntryNames.count(c.name) && fn.cls != "ThreadPool") {
+        emit("pool-under-lock", fn.file, c.line,
+             "ThreadPool entry `" + c.name + "` while holding " + join_ids(held) +
+                 " — pool lanes may block behind the lock (deadlock feeder)");
+        continue;
+      }
+
+      if (c.method_call) {
+        const std::string recv = receiver_name(toks, c);
+        if (recv.empty()) continue;
+        const VarDecl* rv = receiver_var(proj, fn, recv);
+        if (!rv) continue;
+
+        // condition_variable wait: the lock it atomically releases (the
+        // RAII object passed as first argument) is exempt; anything else
+        // held across the wait blocks other threads.
+        if (rv->is_cv && kCvWaitNames.count(c.name)) {
+          std::string wait_arg;
+          const std::size_t open = c.token_index + 1;
+          if (punct_at(toks, open, "(") && open + 1 < toks.size() &&
+              toks[open + 1].kind == TokKind::kIdent) {
+            wait_arg = toks[open + 1].text;
+          }
+          std::set<std::string> blocking = held;
+          for (const AcquireSite& a : fn.acquires) {
+            if (!wait_arg.empty() && a.raii_var == wait_arg) blocking.erase(a.mutex);
+          }
+          if (!blocking.empty()) {
+            emit("blocking-under-lock", fn.file, c.line,
+                 "condition_variable wait on `" + recv + "` while holding " +
+                     join_ids(blocking) + " (not released by the wait)");
+          }
+        }
+
+        // Waiting on a future-typed member while holding a lock.
+        if (rv->is_thread_handle && kFutureWaitNames.count(c.name) &&
+            rv->type_text.find("future") != std::string::npos) {
+          emit("blocking-under-lock", fn.file, c.line,
+               "blocking `" + recv + "." + c.name + "()` on a future while holding " +
+                   join_ids(held));
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace remos::analyze

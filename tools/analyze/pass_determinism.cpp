@@ -65,7 +65,7 @@ Findings pass_determinism(const Project& proj, const CallGraph& cg) {
       }
       if (leaks) {
         out.push_back(
-            {"determinism", fn.file, loop.line,
+            {"determinism", "unordered-export", fn.file, loop.line,
              "iteration over unordered container `" + loop.range_name +
                  "` reaches an export sink — iteration order leaks into "
                  "output; use an ordered container or sort before emitting"});

@@ -33,7 +33,7 @@ LayerSpec parse_layers(const std::string& text, const std::string& display,
     if (kw == "layer") {
       std::string name;
       if (!(ls >> name) || name.back() != ':') {
-        out.push_back({"layer", display, lineno,
+        out.push_back({"layer", "spec", display, lineno,
                        "expected `layer <name>: [deps...]`"});
         continue;
       }
@@ -44,12 +44,12 @@ LayerSpec parse_layers(const std::string& text, const std::string& display,
     } else if (kw == "public") {
       std::string path;
       if (!(ls >> path)) {
-        out.push_back({"layer", display, lineno, "expected `public <header>`"});
+        out.push_back({"layer", "spec", display, lineno, "expected `public <header>`"});
         continue;
       }
       spec.public_headers.insert(path);
     } else {
-      out.push_back({"layer", display, lineno, "unknown directive `" + kw + "`"});
+      out.push_back({"layer", "spec", display, lineno, "unknown directive `" + kw + "`"});
     }
   }
   return spec;
@@ -113,7 +113,7 @@ Findings pass_layers(const Project& proj, const std::string& layers_text,
   for (const auto& [name, deps] : spec.allowed) {
     for (const std::string& d : deps) {
       if (!layer_names.count(d)) {
-        out.push_back({"layer", layers_display, 1,
+        out.push_back({"layer", "spec", layers_display, 1,
                        "layer `" + name + "` depends on undeclared layer `" +
                            d + "`"});
       }
@@ -128,7 +128,7 @@ Findings pass_layers(const Project& proj, const std::string& layers_text,
       },
       [&](const std::string& path) {
         dag_cycle = true;
-        out.push_back({"layer", layers_display, 1,
+        out.push_back({"layer", "spec-cycle", layers_display, 1,
                        "declared layer graph has a cycle: " + path});
       });
 
@@ -171,11 +171,11 @@ Findings pass_layers(const Project& proj, const std::string& layers_text,
   for (const std::string& p : spec.public_headers) {
     const std::string src_rel = "src/" + p;
     if (!file_paths.count(src_rel)) {
-      out.push_back({"layer", layers_display, 1,
+      out.push_back({"layer", "public-grant", layers_display, 1,
                      "public grant for `" + p + "` names no file under src/"});
     } else if (!header_has_marker(src_rel)) {
       out.push_back(
-          {"layer", src_rel, 1,
+          {"layer", "public-grant", src_rel, 1,
            "layers.txt grants `public " + p +
                "` but the header carries no remos-analyze: public-header(...) "
                "marker"});
@@ -188,7 +188,7 @@ Findings pass_layers(const Project& proj, const std::string& layers_text,
     const std::string src_less =
         sf.rel_path.rfind("src/", 0) == 0 ? sf.rel_path.substr(4) : sf.rel_path;
     if (!spec.public_headers.count(src_less)) {
-      out.push_back({"layer", sf.rel_path, 1,
+      out.push_back({"layer", "public-grant", sf.rel_path, 1,
                      "public-header(...) marker present but layers.txt has no "
                      "matching `public " +
                          src_less + "` grant"});
@@ -199,7 +199,7 @@ Findings pass_layers(const Project& proj, const std::string& layers_text,
   // within the layer's allowed set (or target a public header).
   for (const SourceFile& sf : proj.files) {
     if (!layer_names.count(sf.layer)) {
-      out.push_back({"layer", sf.rel_path, 1,
+      out.push_back({"layer", "undeclared-layer", sf.rel_path, 1,
                      "directory `src/" + sf.layer +
                          "` is not declared in " + layers_display});
       continue;
@@ -213,7 +213,7 @@ Findings pass_layers(const Project& proj, const std::string& layers_text,
       if (!layer_names.count(target)) continue;  // not a project layer
       if (target == sf.layer || ok.count(target)) continue;
       if (public_ok.count(inc.path)) continue;
-      out.push_back({"layer", sf.rel_path, inc.line,
+      out.push_back({"layer", "bad-include", sf.rel_path, inc.line,
                      "layer `" + sf.layer + "` must not include \"" +
                          inc.path + "\" — `" + target +
                          "` is not among its declared dependencies"});
@@ -239,7 +239,7 @@ Findings pass_layers(const Project& proj, const std::string& layers_text,
       },
       [&](const std::string& path) {
         const std::string head = path.substr(0, path.find(' '));
-        out.push_back({"layer", head, 1, "include cycle: " + path});
+        out.push_back({"layer", "include-cycle", head, 1, "include cycle: " + path});
       });
 
   return out;

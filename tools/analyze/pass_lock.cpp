@@ -29,7 +29,16 @@ std::vector<std::set<std::string>> transitive_acquires(const Project& proj,
   return ta;
 }
 
-std::string short_id(const std::string& mutex_id) { return mutex_id; }
+/// Mutex ids are "Class::name" or "path/to/file.cpp::name". Messages show
+/// the basename form ("file.cpp::name") — the full path adds noise, and
+/// deduping on the shortened message collapses findings that differ only
+/// in the path prefix of the same mutex.
+std::string short_id(const std::string& mutex_id) {
+  const std::size_t sep = mutex_id.rfind("::");
+  const std::size_t slash = mutex_id.rfind('/', sep == std::string::npos ? mutex_id.size() : sep);
+  if (slash == std::string::npos) return mutex_id;
+  return mutex_id.substr(slash + 1);
+}
 
 }  // namespace
 
@@ -39,7 +48,7 @@ Findings pass_lock(const Project& proj, const CallGraph& cg) {
   // 1. Every mutex must declare its place in the lock order.
   for (const auto& [id, m] : proj.mutexes) {
     if (m.order < 0) {
-      out.push_back({"lock", m.file, m.line,
+      out.push_back({"lock", "order-missing", m.file, m.line,
                      "mutex `" + m.name +
                          "` lacks a // remos-lock-order(N) annotation"});
     }
@@ -56,10 +65,13 @@ Findings pass_lock(const Project& proj, const CallGraph& cg) {
     return it != proj.mutexes.end() && it->second.recursive;
   };
 
-  std::set<std::string> seen;  // dedupe (file:line:message)
-  auto emit = [&](const std::string& file, int line, std::string msg) {
+  std::set<std::string> seen;  // dedupe (file:line:message), message in
+                               // short_id form so path-prefix variants of
+                               // one mutex collapse to a single finding
+  auto emit = [&](const std::string& rule, const std::string& file, int line,
+                  std::string msg) {
     if (seen.insert(file + ":" + std::to_string(line) + ":" + msg).second)
-      out.push_back({"lock", file, line, std::move(msg)});
+      out.push_back({"lock", rule, file, line, std::move(msg)});
   };
 
   for (std::size_t i = 0; i < proj.functions.size(); ++i) {
@@ -70,13 +82,13 @@ Findings pass_lock(const Project& proj, const CallGraph& cg) {
       for (const std::string& h : a.held) {
         if (h == a.mutex) {
           if (!is_recursive(h))
-            emit(fn.file, a.line,
+            emit("reacquire", fn.file, a.line,
                  "`" + short_id(a.mutex) + "` acquired while already held");
           continue;
         }
         const int oh = order_of(h), oa = order_of(a.mutex);
         if (oh >= 0 && oa >= 0 && oh >= oa) {
-          emit(fn.file, a.line,
+          emit("order", fn.file, a.line,
                "lock-order violation: acquiring `" + short_id(a.mutex) +
                    "` (order " + std::to_string(oa) + ") while holding `" +
                    short_id(h) + "` (order " + std::to_string(oh) + ")");
@@ -94,14 +106,14 @@ Findings pass_lock(const Project& proj, const CallGraph& cg) {
           for (const std::string& h : c.held) {
             if (h == m) {
               if (!is_recursive(h))
-                emit(fn.file, c.line,
+                emit("reacquire", fn.file, c.line,
                      "call to `" + c.name + "` may re-acquire `" +
                          short_id(m) + "` already held here");
               continue;
             }
             const int oh = order_of(h), om = order_of(m);
             if (oh >= 0 && om >= 0 && oh >= om) {
-              emit(fn.file, c.line,
+              emit("order", fn.file, c.line,
                    "lock-order violation: call to `" + c.name +
                        "` may acquire `" + short_id(m) + "` (order " +
                        std::to_string(om) + ") while holding `" + short_id(h) +
@@ -117,10 +129,13 @@ Findings pass_lock(const Project& proj, const CallGraph& cg) {
     //    shared); the model only records accesses with a resolvable guard.
     if (fn.is_ctor_dtor) continue;
     for (const AccessSite& acc : fn.guarded_accesses) {
+      // Explicit remos-guarded-by(...) members are the concurrency pass's
+      // contract; this rule enforces the positional inference only.
+      if (acc.explicit_guard) continue;
       if (std::find(acc.held.begin(), acc.held.end(), acc.guard) !=
           acc.held.end())
         continue;
-      emit(fn.file, acc.line,
+      emit("guard", fn.file, acc.line,
            "`" + acc.name + "` is guarded by `" + short_id(acc.guard) +
                "` (declared after it) but touched without holding it");
     }

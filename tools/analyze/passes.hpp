@@ -1,4 +1,4 @@
-// remos-analyze: the four analysis passes.
+// remos-analyze: the five analysis passes.
 //
 //   lock          mutex members must carry // remos-lock-order(N); nested
 //                 acquisitions (direct or through the approximate call
@@ -12,6 +12,13 @@
 //                 includes, no undeclared layers, no include cycles.
 //   audit         public mutating entry points in src/core must invoke
 //                 REMOS_CHECK / REMOS_AUDIT, directly or via a callee.
+//   concurrency   thread-escape + guarded-by inference: members reachable
+//                 from ThreadPool / std::thread / scheduled-callback code
+//                 must be atomic, const, mutex-guarded (explicit
+//                 // remos-guarded-by(<mutex>) or positional), or carry a
+//                 justified suppression; // remos-requires(<mutex>) call
+//                 contracts are enforced; blocking (pool entry, cv wait,
+//                 future wait) while holding a mutex is flagged.
 //
 // Every pass is approximate (see model.hpp); each errs toward silence so
 // the tree stays warning-clean without suppression sprawl, and the corpus
@@ -42,6 +49,12 @@ std::vector<std::size_t> resolve_call(const Project& proj,
 Findings pass_lock(const Project& proj, const CallGraph& cg);
 Findings pass_determinism(const Project& proj, const CallGraph& cg);
 Findings pass_audit(const Project& proj, const CallGraph& cg);
+
+/// Concurrency pass. Fills `inventory` (when non-null) with the
+/// member-protection table for every concurrent scope — the machine-checked
+/// input to the lock-free query-path migration (ROADMAP item 1).
+Findings pass_concurrency(const Project& proj, const CallGraph& cg,
+                          ConcurrencyInventory* inventory);
 
 /// `layers_text` is the contents of layers.txt; `layers_display` is the
 /// path used in finding messages for problems with the file itself.

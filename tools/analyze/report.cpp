@@ -8,7 +8,7 @@ namespace remos::analyze {
 namespace {
 
 const std::set<std::string> kKnownPasses{"lock", "determinism", "layer", "audit",
-                                         "suppression"};
+                                         "concurrency", "suppression"};
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -61,19 +61,19 @@ Findings apply_suppressions(Findings findings, const Project& proj) {
   for (const auto& sf : proj.files) {
     for (const auto& s : sf.toks.suppressions) {
       if (!kKnownPasses.count(s.pass)) {
-        out.push_back({"suppression", sf.rel_path, s.line,
+        out.push_back({"suppression", "unknown-pass", sf.rel_path, s.line,
                        "allow(" + s.pass + ") names no analyzer pass"});
         continue;
       }
       if (s.justification.empty()) {
-        out.push_back({"suppression", sf.rel_path, s.line,
+        out.push_back({"suppression", "unjustified", sf.rel_path, s.line,
                        "allow(" + s.pass +
                            ") lacks a justification — write `allow(" + s.pass +
                            "): <why this is safe>`"});
         continue;
       }
       if (!s.used) {
-        out.push_back({"suppression", sf.rel_path, s.line,
+        out.push_back({"suppression", "stale", sf.rel_path, s.line,
                        "stale allow(" + s.pass +
                            "): it suppresses nothing on this line"});
       }
@@ -84,8 +84,19 @@ Findings apply_suppressions(Findings findings, const Project& proj) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
     if (a.pass != b.pass) return a.pass < b.pass;
+    if (a.rule != b.rule) return a.rule < b.rule;
     return a.message < b.message;
   });
+  return out;
+}
+
+std::map<std::string, int> used_suppressions(const Project& proj) {
+  std::map<std::string, int> out;
+  for (const auto& sf : proj.files) {
+    for (const auto& s : sf.toks.suppressions) {
+      if (s.used) ++out[s.pass];
+    }
+  }
   return out;
 }
 
@@ -98,17 +109,64 @@ void print_text(const Findings& findings, std::size_t files_scanned) {
               files_scanned);
 }
 
-void print_json(const Findings& findings) {
+void print_json(const Findings& findings,
+                const std::map<std::string, int>& suppressions_used,
+                const ConcurrencyInventory* inventory) {
   std::printf("{\n  \"findings\": [");
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const auto& f = findings[i];
-    std::printf("%s\n    {\"pass\": \"%s\", \"file\": \"%s\", \"line\": %d, "
-                "\"message\": \"%s\"}",
-                i ? "," : "", json_escape(f.pass).c_str(), json_escape(f.file).c_str(),
-                f.line, json_escape(f.message).c_str());
+    std::printf("%s\n    {\"pass\": \"%s\", \"rule\": \"%s\", \"file\": \"%s\", "
+                "\"line\": %d, \"message\": \"%s\"}",
+                i ? "," : "", json_escape(f.pass).c_str(), json_escape(f.rule).c_str(),
+                json_escape(f.file).c_str(), f.line, json_escape(f.message).c_str());
   }
-  std::printf("%s],\n  \"count\": %zu\n}\n", findings.empty() ? "" : "\n  ",
-              findings.size());
+  std::printf("%s],\n", findings.empty() ? "" : "\n  ");
+
+  // Per-pass finding counts (the CI baseline ratchets on these).
+  std::map<std::string, int> by_pass;
+  for (const auto& f : findings) ++by_pass[f.pass];
+  std::printf("  \"counts\": {");
+  {
+    bool first = true;
+    for (const auto& [pass, n] : by_pass) {
+      std::printf("%s\"%s\": %d", first ? "" : ", ", json_escape(pass).c_str(), n);
+      first = false;
+    }
+  }
+  std::printf("},\n  \"suppressions_used\": {");
+  {
+    bool first = true;
+    for (const auto& [pass, n] : suppressions_used) {
+      std::printf("%s\"%s\": %d", first ? "" : ", ", json_escape(pass).c_str(), n);
+      first = false;
+    }
+  }
+  std::printf("},\n");
+
+  if (inventory) {
+    std::printf("  \"concurrency\": {\n    \"members\": [");
+    for (std::size_t i = 0; i < inventory->members.size(); ++i) {
+      const auto& m = inventory->members[i];
+      std::printf("%s\n      {\"scope\": \"%s\", \"member\": \"%s\", "
+                  "\"file\": \"%s\", \"line\": %d, \"protection\": \"%s\"",
+                  i ? "," : "", json_escape(m.scope).c_str(),
+                  json_escape(m.member).c_str(), json_escape(m.file).c_str(),
+                  m.line, json_escape(m.protection).c_str());
+      if (!m.guard.empty()) {
+        std::printf(", \"guard\": \"%s\", \"guard_positional\": %s",
+                    json_escape(m.guard).c_str(), m.guard_positional ? "true" : "false");
+      }
+      std::printf(", \"escapes\": [");
+      for (std::size_t k = 0; k < m.escapes.size(); ++k) {
+        std::printf("%s\"%s\"", k ? ", " : "", json_escape(m.escapes[k]).c_str());
+      }
+      std::printf("]}");
+    }
+    std::printf("%s],\n", inventory->members.empty() ? "" : "\n    ");
+    std::printf("    \"member_count\": %zu\n  },\n", inventory->members.size());
+  }
+
+  std::printf("  \"count\": %zu\n}\n", findings.size());
 }
 
 }  // namespace remos::analyze

@@ -10,6 +10,7 @@
 // line, so long declarations can keep their justification above them.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -18,7 +19,10 @@
 namespace remos::analyze {
 
 struct Finding {
-  std::string pass;  // "lock" | "determinism" | "layer" | "audit" | "suppression"
+  std::string pass;  // "lock" | "determinism" | "layer" | "audit" |
+                     // "concurrency" | "suppression"
+  std::string rule;  // stable per-finding-kind id within the pass, used by
+                     // the CI baseline diff (tools/analyze/baseline.json)
   std::string file;  // repo-relative
   int line = 0;
   std::string message;
@@ -26,16 +30,45 @@ struct Finding {
 
 using Findings = std::vector<Finding>;
 
+/// One row of the concurrency pass's member inventory: what protects this
+/// member, and which execution contexts it escapes to. This is the
+/// machine-checked input to the ROADMAP-1 lock-free query-path migration.
+struct MemberProtection {
+  std::string scope;   // owning class name, or file path for namespace vars
+  std::string member;
+  std::string file;
+  int line = 0;
+  /// "atomic" | "const" | "static" | "reference" | "sync-primitive" |
+  /// "thread-handle" | "guarded-by" | "suppressed" | "sim-thread-only" |
+  /// "unprotected"
+  std::string protection;
+  std::string guard;  // mutex id when protection == "guarded-by"
+  bool guard_positional = false;  // guard inferred from declaration order
+  std::vector<std::string> escapes;  // sorted unique of "pool"|"thread"|"scheduled"
+};
+
+struct ConcurrencyInventory {
+  std::vector<MemberProtection> members;
+};
+
 /// Apply suppressions: drop findings covered by a matching, justified
 /// allow() marker; then append meta-findings for malformed, unknown-pass,
 /// and stale suppressions. Returns the surviving findings, sorted by
 /// (file, line, pass) for deterministic output.
 Findings apply_suppressions(Findings findings, const Project& proj);
 
+/// Per-pass count of suppressions that actually ate a finding. Call after
+/// apply_suppressions (which marks markers used).
+std::map<std::string, int> used_suppressions(const Project& proj);
+
 /// Human-readable report to stdout.
 void print_text(const Findings& findings, std::size_t files_scanned);
 
-/// Machine-diffable JSON report to stdout.
-void print_json(const Findings& findings);
+/// Machine-diffable JSON report to stdout: findings (with pass/rule),
+/// per-pass finding and used-suppression counts, and — when `inventory`
+/// is non-null — the concurrency member-protection inventory.
+void print_json(const Findings& findings,
+                const std::map<std::string, int>& suppressions_used,
+                const ConcurrencyInventory* inventory);
 
 }  // namespace remos::analyze

@@ -6,20 +6,46 @@
 namespace remos::analyze {
 namespace {
 
-const std::regex kLockOrderRe{R"(//.*remos-lock-order\((\d+)\))"};
+const std::regex kLockOrderRe{R"(remos-lock-order\((\d+)\))"};
+const std::regex kGuardedByRe{R"(remos-guarded-by\(([A-Za-z_][A-Za-z0-9_:]*)\))"};
+const std::regex kRequiresRe{R"(remos-requires\(([A-Za-z_][A-Za-z0-9_:]*)\))"};
 const std::regex kAllowRe{
-    R"(//\s*remos-analyze:\s*allow\(([a-z-]*)\)(:\s*(.*))?)"};
+    R"(^//\s*remos-analyze:\s*allow\(([a-z-]*)\)(:\s*(.*))?)"};
+const std::regex kIncludeRe{R"(^\s*#\s*include\s*([<"])([^">]+)[">])"};
 
 bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
 bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
 
-/// True when the part of `line` before `pos` holds no code (only blanks),
-/// i.e. the comment at `pos` has the line to itself.
-bool comment_only(const std::string& line, std::size_t pos) {
-  for (std::size_t i = 0; i < pos && i < line.size(); ++i) {
-    if (!std::isspace(static_cast<unsigned char>(line[i]))) return false;
+/// Parse the side channels out of one `//` comment. `comment` is the text
+/// from the `//` to end of line; `line` the line it starts on;
+/// `line_has_code` whether any token preceded it on that line.
+void scan_comment(const std::string& comment, int line, bool line_has_code,
+                  TokenizedFile& out) {
+  std::smatch m;
+  if (std::regex_search(comment, m, kLockOrderRe)) {
+    out.lock_orders.push_back({line, std::stoi(m[1].str())});
   }
-  return true;
+  for (auto it = std::sregex_iterator(comment.begin(), comment.end(), kGuardedByRe);
+       it != std::sregex_iterator(); ++it) {
+    out.guarded_by.push_back({line, (*it)[1].str()});
+  }
+  for (auto it = std::sregex_iterator(comment.begin(), comment.end(), kRequiresRe);
+       it != std::sregex_iterator(); ++it) {
+    out.requires_held.push_back({line, (*it)[1].str()});
+  }
+  if (std::regex_search(comment, m, kAllowRe)) {
+    Suppression s;
+    s.line = line;
+    s.pass = m[1].str();
+    s.justification = m[3].matched ? m[3].str() : "";
+    // Trim trailing whitespace from the justification.
+    while (!s.justification.empty() &&
+           std::isspace(static_cast<unsigned char>(s.justification.back()))) {
+      s.justification.pop_back();
+    }
+    s.comment_only_line = !line_has_code;
+    out.suppressions.push_back(s);
+  }
 }
 
 }  // namespace
@@ -27,56 +53,22 @@ bool comment_only(const std::string& line, std::size_t pos) {
 TokenizedFile tokenize(const std::string& text) {
   TokenizedFile out;
 
-  // Pass 1: line-anchored side channels (annotations, suppressions,
-  // includes). Runs on raw lines so comments are still visible.
-  {
-    int lineno = 0;
-    std::size_t start = 0;
-    while (start <= text.size()) {
-      ++lineno;
-      std::size_t end = text.find('\n', start);
-      if (end == std::string::npos) end = text.size();
-      const std::string line = text.substr(start, end - start);
-
-      std::smatch m;
-      if (std::regex_search(line, m, kLockOrderRe)) {
-        out.lock_orders.push_back({lineno, std::stoi(m[1].str())});
-      }
-      if (std::regex_search(line, m, kAllowRe)) {
-        Suppression s;
-        s.line = lineno;
-        s.pass = m[1].str();
-        s.justification = m[3].matched ? m[3].str() : "";
-        // Trim trailing whitespace from the justification.
-        while (!s.justification.empty() &&
-               std::isspace(static_cast<unsigned char>(s.justification.back()))) {
-          s.justification.pop_back();
-        }
-        s.comment_only_line = comment_only(line, static_cast<std::size_t>(m.position(0)));
-        out.suppressions.push_back(s);
-      }
-      if (std::regex_search(line, m,
-                            std::regex{R"(^\s*#\s*include\s*([<"])([^">]+)[">])"})) {
-        out.includes.push_back({m[2].str(), m[1].str() == "\"", lineno});
-      }
-
-      if (end == text.size()) break;
-      start = end + 1;
-    }
-  }
-
-  // Pass 2: token stream. Comments, strings (contents), and preprocessor
-  // directives are skipped; line numbers are preserved.
+  // One pass: the token scanner owns the string/comment state machine, and
+  // the line-anchored side channels are pulled from comments as they are
+  // recognized — so a `// remos-...` sequence inside a string literal is
+  // just string contents, never an annotation.
   int line = 1;
   std::size_t i = 0;
   const std::size_t n = text.size();
   bool at_line_start = true;
+  bool line_has_code = false;
   while (i < n) {
     const char c = text[i];
     if (c == '\n') {
       ++line;
       ++i;
       at_line_start = true;
+      line_has_code = false;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -84,7 +76,17 @@ TokenizedFile tokenize(const std::string& text) {
       continue;
     }
     if (c == '#' && at_line_start) {
-      // Preprocessor directive, possibly backslash-continued.
+      // Preprocessor directive, possibly backslash-continued. The #include
+      // side channel is parsed from the first physical line.
+      {
+        std::size_t eol = text.find('\n', i);
+        const std::string first =
+            text.substr(i, (eol == std::string::npos ? n : eol) - i);
+        std::smatch m;
+        if (std::regex_search(first, m, kIncludeRe)) {
+          out.includes.push_back({m[2].str(), m[1].str() == "\"", line});
+        }
+      }
       while (i < n) {
         std::size_t eol = text.find('\n', i);
         if (eol == std::string::npos) { i = n; break; }
@@ -99,12 +101,15 @@ TokenizedFile tokenize(const std::string& text) {
         if (!continued) break;
       }
       at_line_start = true;
+      line_has_code = false;
       continue;
     }
     at_line_start = false;
     if (c == '/' && i + 1 < n && text[i + 1] == '/') {
       std::size_t eol = text.find('\n', i);
-      i = (eol == std::string::npos) ? n : eol;
+      if (eol == std::string::npos) eol = n;
+      scan_comment(text.substr(i, eol - i), line, line_has_code, out);
+      i = eol;
       continue;
     }
     if (c == '/' && i + 1 < n && text[i + 1] == '*') {
@@ -116,18 +121,20 @@ TokenizedFile tokenize(const std::string& text) {
       i = (close == n) ? n : close + 2;
       continue;
     }
+    line_has_code = true;
     if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
-      // Raw string literal R"delim(...)delim".
+      // Raw string literal R"delim(...)delim". The token is stamped with
+      // the line the literal *starts* on.
       std::size_t open = text.find('(', i + 2);
       if (open == std::string::npos) { ++i; continue; }
       const std::string delim = text.substr(i + 2, open - (i + 2));
       const std::string closer = ")" + delim + "\"";
       std::size_t close = text.find(closer, open + 1);
       if (close == std::string::npos) close = n;
+      out.tokens.push_back({TokKind::kString, "", line});
       for (std::size_t k = i; k < close && k < n; ++k) {
         if (text[k] == '\n') ++line;
       }
-      out.tokens.push_back({TokKind::kString, "", line});
       i = (close == n) ? n : close + closer.size();
       continue;
     }
@@ -153,6 +160,10 @@ TokenizedFile tokenize(const std::string& text) {
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t j = i + 1;
       while (j < n && (is_ident_char(text[j]) || text[j] == '.' ||
+                       // Digit separator: 1'000'000. The quote is part of
+                       // the number only when a digit/ident char follows,
+                       // so `1'x'` still lexes as number + char literal.
+                       (text[j] == '\'' && j + 1 < n && is_ident_char(text[j + 1])) ||
                        ((text[j] == '+' || text[j] == '-') && j > 0 &&
                         (text[j - 1] == 'e' || text[j - 1] == 'E')))) {
         ++j;

@@ -7,7 +7,13 @@
 //
 //   * #include directives (path + quote/angle form),
 //   * // remos-lock-order(N) annotations,
+//   * // remos-guarded-by(<mutex>) member-protection annotations,
+//   * // remos-requires(<mutex>) caller-must-hold annotations,
 //   * // remos-analyze: allow(<pass>): <justification> suppressions.
+//
+// Side channels are extracted from *comments the token scanner itself
+// recognizes*, so annotation-shaped text inside string literals (including
+// raw strings) never creates phantom annotations.
 //
 // It is not a compiler front end. remos-analyze is an approximate,
 // project-shaped analyzer (see DESIGN.md "Static analysis"): the grammar
@@ -38,6 +44,22 @@ struct LockOrderAnnotation {
   int order = 0;
 };
 
+/// `// remos-guarded-by(<mutex>)` on a member/variable declaration line:
+/// the declared entity is protected by the named mutex, and every access
+/// site must run with that mutex held (enforced by the concurrency pass).
+struct GuardedByAnnotation {
+  int line = 0;
+  std::string mutex;
+};
+
+/// `// remos-requires(<mutex>)` on a function definition (same line or the
+/// line above): the function assumes the caller already holds the mutex.
+/// Call sites are checked; the function body is analyzed as if holding it.
+struct RequiresAnnotation {
+  int line = 0;
+  std::string mutex;
+};
+
 struct Suppression {
   int line = 0;
   std::string pass;           // pass name inside allow(...)
@@ -51,6 +73,8 @@ struct TokenizedFile {
   std::vector<Token> tokens;
   std::vector<IncludeDirective> includes;
   std::vector<LockOrderAnnotation> lock_orders;
+  std::vector<GuardedByAnnotation> guarded_by;
+  std::vector<RequiresAnnotation> requires_held;
   std::vector<Suppression> suppressions;
 };
 

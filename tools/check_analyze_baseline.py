@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Diff a remos_analyze --json report against the checked-in baseline.
+
+    check_analyze_baseline.py --report build/remos_analyze.json \
+        --baseline tools/analyze/baseline.json
+
+The baseline pins two per-pass maps:
+
+  counts             findings that survived suppression (zero for a clean
+                     tree: absent pass == 0)
+  suppressions_used  suppressions that ate a finding — the accepted budget
+
+Any drift in either direction fails: new findings or suppressions must be
+pinned consciously (update the baseline in the same PR), and a drop means
+the baseline is stale and should be ratcheted down.
+"""
+
+import argparse
+import json
+import sys
+
+
+def diff_maps(kind: str, actual: dict, pinned: dict) -> list[str]:
+    problems = []
+    for key in sorted(set(actual) | set(pinned)):
+        a, p = int(actual.get(key, 0)), int(pinned.get(key, 0))
+        if a > p:
+            problems.append(
+                f"{kind}[{key}]: {a} > baseline {p} — new {kind.replace('_', ' ')};"
+                " fix them or pin them in tools/analyze/baseline.json"
+            )
+        elif a < p:
+            problems.append(
+                f"{kind}[{key}]: {a} < baseline {p} — baseline is stale;"
+                " ratchet tools/analyze/baseline.json down"
+            )
+    return problems
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--report", required=True)
+    ap.add_argument("--baseline", required=True)
+    args = ap.parse_args()
+
+    with open(args.report) as f:
+        report = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    problems = diff_maps("counts", report.get("counts", {}), baseline.get("counts", {}))
+    problems += diff_maps(
+        "suppressions_used",
+        report.get("suppressions_used", {}),
+        baseline.get("suppressions_used", {}),
+    )
+
+    if problems:
+        for p in problems:
+            print(f"check_analyze_baseline: {p}")
+        return 1
+    print("check_analyze_baseline: report matches baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
