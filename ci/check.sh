@@ -11,13 +11,19 @@
 #   2. perf-smoke      — micro_waterfill --smoke; the deterministic
 #                        water-filling round counts must match the pins in
 #                        bench/waterfill_rounds.json (tools/check_waterfill.py)
+#   2b. query-smoke    — micro_query_scale --smoke; workload shape and the
+#                        QueryServer's coalescing counters must match the
+#                        pins in bench/query_scale_pins.json, and the
+#                        snapshot path must hold its >=3x throughput edge
+#                        over the mutex path (tools/check_query_scale.py)
 #   3. sanitize preset — ASan + UBSan, full ctest
 #   4. tsan preset     — ThreadSanitizer on the threaded test binaries
-#                        (ThreadPool, shared prediction cache, MIB walks)
+#                        (ThreadPool, shared prediction cache, query fleet)
 #   5. golden runs     — every golden scenario twice (fresh process each),
 #                        exports diffed byte-for-byte; then once under the
 #                        tsan preset, diffed against the default-preset run
-#                        (determinism must survive both schedulers)
+#                        (determinism must survive both schedulers); the
+#                        query transcript gets the same two-build treatment
 #   6. remos_lint      — project lint (self-test first), run standalone for
 #                        a readable report
 #   7. remos_analyze   — whole-project static analysis (lock discipline,
@@ -55,6 +61,12 @@ cmake --build build -j "$JOBS" --target micro_waterfill
 python3 tools/check_waterfill.py --measured build/BENCH_waterfill_smoke.json \
   --pins bench/waterfill_rounds.json
 
+step "query-smoke: snapshot-path coalescing counters + speedup vs pins"
+cmake --build build -j "$JOBS" --target micro_query_scale
+./build/bench/micro_query_scale --smoke --out build/BENCH_query_scale_smoke.json
+python3 tools/check_query_scale.py --measured build/BENCH_query_scale_smoke.json \
+  --pins bench/query_scale_pins.json
+
 step "sanitize preset (ASan + UBSan) + ctest"
 cmake --preset sanitize >/dev/null
 cmake --build build-asan -j "$JOBS"
@@ -62,9 +74,12 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 step "tsan preset (ThreadSanitizer) on the threaded tests"
 cmake --preset tsan >/dev/null
-cmake --build build-tsan -j "$JOBS" --target test_concurrency test_sim_thread_pool test_rps_shared_cache
-ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'Concurrency|ThreadPool|SharedPredictionCache'
+cmake --build build-tsan -j "$JOBS" --target test_concurrency test_sim_thread_pool \
+  test_rps_shared_cache test_query_scale
+# ci/tsan.supp: libstdc++ _Sp_atomic lock-bit false positive (GCC PR101761).
+TSAN_OPTIONS="suppressions=$PWD/ci/tsan.supp" \
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'Concurrency|ThreadPool|SharedPredictionCache|QueryScale'
 
 step "golden-run determinism: two fresh processes, byte-identical exports"
 GOLDEN_TMP="$(mktemp -d)"
@@ -82,6 +97,15 @@ REMOS_OBS_EXPORT_DIR="$GOLDEN_TMP/tsan" ./build-tsan/tests/test_observability \
   --gtest_filter='GoldenRun.*' >/dev/null
 diff -r "$GOLDEN_TMP/run1" "$GOLDEN_TMP/tsan"
 echo "tsan-build exports identical to default-build exports"
+
+# The query transcript pin is byte-compared inside the test itself, so
+# running it from a fresh process in each build proves both rerun
+# determinism and that TSan instrumentation didn't perturb the float math
+# (both runs equal the pin => equal each other).
+./build/tests/test_query_golden >/dev/null
+cmake --build build-tsan -j "$JOBS" --target test_query_golden
+./build-tsan/tests/test_query_golden >/dev/null
+echo "query transcript identical across fresh default-build and tsan-build runs"
 
 step "remos_lint"
 python3 tools/remos_lint.py --self-test

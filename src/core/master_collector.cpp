@@ -12,6 +12,7 @@ MasterCollector::MasterCollector(MasterCollectorConfig config) : config_(std::mo
 
 void MasterCollector::add_site(Site site) {
   directory_.register_collector(*site.collector);
+  site_index_.emplace(site.collector, sites_.size());
   sites_.push_back(std::move(site));
 }
 
@@ -24,10 +25,8 @@ std::vector<net::Ipv4Prefix> MasterCollector::responsibility() const {
 const MasterCollector::Site* MasterCollector::site_of(net::Ipv4Address addr) const {
   Collector* c = directory_.lookup(addr);
   if (c == nullptr) return nullptr;
-  for (const Site& s : sites_) {
-    if (s.collector == c) return &s;
-  }
-  return nullptr;
+  auto it = site_index_.find(c);
+  return it == site_index_.end() ? nullptr : &sites_[it->second];
 }
 
 CollectorResponse MasterCollector::query(const std::vector<net::Ipv4Address>& nodes) {

@@ -13,6 +13,7 @@
 // ("it is possible to build several layers of collectors").
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,6 +63,10 @@ class MasterCollector final : public Collector {
 
   MasterCollectorConfig config_;
   std::vector<Site> sites_;
+  /// Collector -> index into sites_: site_of() resolves each address with
+  /// one directory lookup plus one map probe instead of a linear scan over
+  /// sites (full-universe snapshot fetches resolve every address).
+  std::map<Collector*, std::size_t> site_index_;
   CollectorDirectory directory_;
   BenchmarkCollector* benchmark_ = nullptr;
 };

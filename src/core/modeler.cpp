@@ -2,6 +2,7 @@
 
 #include "core/audit.hpp"
 #include "core/obs.hpp"
+#include "core/query_snapshot.hpp"
 
 #include <algorithm>
 #include <limits>
@@ -66,62 +67,23 @@ std::optional<FlowPrediction> Modeler::predict_flow(const FlowRequest& request,
   const FlowInfo info = single_flow_info(topo, request, maxmin_scratch_);
   if (!info.routable()) return std::nullopt;
 
-  // Bottleneck edge: minimum available bandwidth along the path.
-  const VEdge* bottleneck = nullptr;
-  double best_avail = std::numeric_limits<double>::infinity();
-  for (const std::string& id : info.path_edge_ids) {
-    for (const VEdge& e : topo.edges()) {
-      if (e.id != id) continue;
-      const double avail = std::min(e.available_bps(true), e.available_bps(false));
-      if (avail < best_avail) {
-        best_avail = avail;
-        bottleneck = &e;
-      }
-    }
-  }
+  // Bottleneck edge (minimum available bandwidth along the path), binding
+  // history direction, and the fit + utilization-to-available conversion
+  // are shared with the snapshot query path (core/query_snapshot.hpp) so
+  // the two serving paths cannot drift apart.
+  const VEdge* bottleneck = bottleneck_edge(topo, info);
   if (bottleneck == nullptr) return std::nullopt;
 
-  // Utilization histories are per direction; predict on the binding one
-  // (the direction with the higher recent load).
   const sim::MeasurementHistory* h_ab = collector_.history(bottleneck->id);
   const sim::MeasurementHistory* h_ba = collector_.history(bottleneck->id + ":ba");
-  const sim::MeasurementHistory* hist = h_ab;
-  if (h_ab != nullptr && h_ba != nullptr) {
-    auto mean_of = [](const sim::MeasurementHistory& h) {
-      sim::RunningStats s;
-      for (double v : h.values()) s.add(v);
-      return s.mean();
-    };
-    hist = mean_of(*h_ba) > mean_of(*h_ab) ? h_ba : h_ab;
-  } else if (hist == nullptr) {
-    hist = h_ba;
-  }
-  if (hist == nullptr || hist->size() < config_.min_history) return std::nullopt;
-  const std::vector<double> values = hist->values();
-
-  rps::ClientServerPredictor::Request req;
-  req.history = values;
-  req.horizon = horizon;
-  rps::Prediction pred;
-  try {
-    pred = predictor_.predict(req);
-  } catch (const std::invalid_argument&) {
-    return std::nullopt;  // history too short for the configured model
-  }
-
-  FlowPrediction out;
-  out.model_name = config_.prediction_model.to_string();
-  out.variance = std::move(pred.variance);
-  out.mean_bps.reserve(pred.mean.size());
-  const bool history_is_available_bw = bottleneck->id.starts_with("wan:");
-  for (double v : pred.mean) {
-    // SNMP-collector histories record *utilization*; available bandwidth is
-    // capacity minus that. Benchmark (WAN) histories record available
-    // bandwidth directly.
-    double avail = history_is_available_bw ? v : bottleneck->capacity_bps - v;
-    out.mean_bps.push_back(std::clamp(avail, 0.0, bottleneck->capacity_bps));
-  }
-  return out;
+  std::optional<std::vector<double>> v_ab, v_ba;
+  if (h_ab != nullptr) v_ab = h_ab->values();
+  if (h_ba != nullptr) v_ba = h_ba->values();
+  const std::vector<double>* hist =
+      choose_history(v_ab ? &*v_ab : nullptr, v_ba ? &*v_ba : nullptr);
+  if (hist == nullptr) return std::nullopt;
+  return predict_from_history(*hist, *bottleneck, predictor_, config_.prediction_model, horizon,
+                              config_.min_history);
 }
 
 VirtualTopology Modeler::simplify(const VirtualTopology& topo) {

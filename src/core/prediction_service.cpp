@@ -72,7 +72,7 @@ void FlowBandwidthSensor::sample() {
 std::optional<rps::Prediction> FlowBandwidthSensor::latest_prediction() const { return latest_; }
 
 PredictionService::PredictionService(Collector& collector, rps::ModelSpec default_spec)
-    : collector_(collector), predictor_(default_spec) {}
+    : collector_(collector), default_spec_(default_spec), predictor_(default_spec) {}
 
 std::optional<rps::Prediction> PredictionService::predict_resource(
     const std::string& resource_id, std::size_t horizon,
@@ -85,8 +85,15 @@ std::optional<rps::Prediction> PredictionService::predict_resource(
   req.horizon = horizon;
   req.spec = spec;
   try {
+    if (cache_ != nullptr) {
+      const std::string key = resource_id + "#" + std::to_string(horizon) + "#" +
+                              spec.value_or(default_spec_).to_string();
+      return cache_->get_or_compute(key, [&] { return predictor_.predict(req); });
+    }
     return predictor_.predict(req);
   } catch (const std::invalid_argument&) {
+    // Too short for the model order: not cached — the next query re-reads
+    // the (by then longer) history.
     return std::nullopt;
   }
 }

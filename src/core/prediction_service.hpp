@@ -14,6 +14,7 @@
 #include "core/modeler.hpp"
 #include "net/hostload.hpp"
 #include "rps/predictor.hpp"
+#include "rps/shared_cache.hpp"
 
 namespace remos::core {
 
@@ -84,6 +85,13 @@ class PredictionService {
   explicit PredictionService(Collector& collector,
                              rps::ModelSpec default_spec = rps::ModelSpec::ar(16));
 
+  /// Share a prediction cache (nullptr detaches). Successful predictions
+  /// are cached keyed by (resource, horizon, model); failures (missing or
+  /// too-short history) are never cached, so a resource that starts
+  /// reporting is picked up immediately. The cache may be shared with
+  /// other services — keys embed the model, so mixed defaults don't clash.
+  void set_cache(rps::SharedPredictionCache* cache) { cache_ = cache; }
+
   /// Predict a resource's future from the collector's history for it.
   /// nullopt when the history is missing or too short for the model.
   [[nodiscard]] std::optional<rps::Prediction> predict_resource(
@@ -92,7 +100,9 @@ class PredictionService {
 
  private:
   Collector& collector_;
+  rps::ModelSpec default_spec_;
   rps::ClientServerPredictor predictor_;
+  rps::SharedPredictionCache* cache_ = nullptr;
 };
 
 }  // namespace remos::core

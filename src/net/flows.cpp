@@ -22,6 +22,8 @@ constexpr double kMinCompletionDt = 1e-9;
 
 FlowEngine::FlowEngine(sim::Engine& engine, Network& net) : engine_(engine), net_(net) {
   last_sync_ = engine_.now();
+  // Publish the empty view so lock-free readers never observe a null one.
+  rates_view_.store(std::make_shared<const RatesView>(), std::memory_order_release);
 }
 
 void FlowEngine::set_thread_pool(sim::ThreadPool* pool, std::size_t min_flows) {
@@ -163,14 +165,17 @@ void FlowEngine::stop(FlowId id) {
 }
 
 double FlowEngine::rate(FlowId id) const {
-  std::lock_guard lock(mu_);
-  auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate_bps;
+  const std::shared_ptr<const RatesView> view = rates_view_.load(std::memory_order_acquire);
+  const auto it = std::lower_bound(
+      view->flow_rates.begin(), view->flow_rates.end(), id,
+      [](const std::pair<FlowId, double>& entry, FlowId key) { return entry.first < key; });
+  return it != view->flow_rates.end() && it->first == id ? it->second : 0.0;
 }
 
 double FlowEngine::directed_link_rate(LinkId link, bool forward) const {
-  std::lock_guard lock(mu_);
-  return directed_link_rate_locked(link, forward);
+  const std::shared_ptr<const RatesView> view = rates_view_.load(std::memory_order_acquire);
+  const std::size_t k = 2 * static_cast<std::size_t>(link) + (forward ? 0 : 1);
+  return k < view->directed_rate_bps.size() ? view->directed_rate_bps[k] : 0.0;
 }
 
 // remos-requires(mu_)
@@ -245,13 +250,17 @@ void FlowEngine::sync_locked() {
 
 double FlowEngine::current_rtt(NodeId src, NodeId dst, double queue_scale_s) const {
   const PathResult& path = resolved_path(src, dst);
-  std::lock_guard lock(mu_);
+  // Per-link loads come from the published view, so an RTT probe never
+  // contends with rate recomputation (the view holds exactly the loads the
+  // locked scan would have summed).
+  const std::shared_ptr<const RatesView> view = rates_view_.load(std::memory_order_acquire);
   double rtt = 0.0;
   for (const Hop& h : path.hops) {
     const Link& l = net_.link(h.link);
     rtt += 2.0 * l.latency_s;
     for (const bool dir : {h.forward, !h.forward}) {
-      const double load = directed_link_rate_locked(l.id, dir);
+      const std::size_t k = 2 * static_cast<std::size_t>(l.id) + (dir ? 0 : 1);
+      const double load = k < view->directed_rate_bps.size() ? view->directed_rate_bps[k] : 0.0;
       // A zero-capacity link has no headroom at all: treat it as fully
       // utilized (the cap) rather than dividing by zero, which fed NaN/inf
       // into every RTT downstream of this hop.
@@ -308,6 +317,20 @@ void FlowEngine::recompute_rates() {
     earliest = std::min(earliest, f.remaining_bytes / (f.rate_bps / 8.0));
   }
   earliest_completion_dt_ = earliest;
+  publish_rates_view();
+}
+
+// remos-requires(mu_)
+void FlowEngine::publish_rates_view() {
+  auto view = std::make_shared<RatesView>();
+  view->flow_rates.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) view->flow_rates.emplace_back(id, f.rate_bps);
+  view->directed_rate_bps.resize(link_flows_.size());
+  for (std::size_t k = 0; k < link_flows_.size(); ++k) {
+    view->directed_rate_bps[k] =
+        directed_link_rate_locked(static_cast<LinkId>(k / 2), (k % 2) == 0);
+  }
+  rates_view_.store(std::move(view), std::memory_order_release);
 }
 
 // remos-requires(mu_)

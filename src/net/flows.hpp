@@ -22,9 +22,13 @@
 //   * Mutating entry points — start(), stop(), sync(), and the completion
 //     event — must stay on the simulation thread (they drive sim::Engine,
 //     which is not thread-safe).
-//   * Const queries (rate, stats, directed_link_rate, current_rtt, the
-//     cache/counter accessors) are safe from any thread, concurrently with
-//     the mutators: `mu_` orders them against rate recomputation and
+//   * Const queries are safe from any thread, concurrently with the
+//     mutators. The hot ones — rate(), directed_link_rate(),
+//     current_rtt() — are lock-free: every rate recomputation publishes an
+//     immutable RatesView through an atomic shared_ptr swap, and readers
+//     answer from the view they loaded (RCU-style; a reader keeps its view
+//     alive through the shared_ptr even across a concurrent recompute).
+//     The remaining const accessors (stats, counters) take `mu_`, and
 //     `path_mu_` guards the (src, dst) path cache that const queries
 //     populate.
 //   * Topology mutation (Network::move_host) requires exclusive access:
@@ -32,10 +36,12 @@
 //     only revalidated at the next engine call.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -104,10 +110,13 @@ class FlowEngine {
   }
 
   /// Current max-min rate of a flow in bits/second (0 for unknown ids).
+  /// Lock-free: binary search in the published RatesView.
   [[nodiscard]] double rate(FlowId id) const;
 
   /// Ground-truth aggregate rate currently crossing a directed link.
-  /// O(flows on that link) via the per-directed-link flow index.
+  /// Lock-free: O(1) lookup in the published RatesView's per-directed-link
+  /// sums (accumulated in ascending-FlowId order, bit-identical to the
+  /// historical locked scan).
   [[nodiscard]] double directed_link_rate(LinkId link, bool forward) const;
 
   /// Lifetime statistics; available while active and after completion.
@@ -180,9 +189,25 @@ class FlowEngine {
     FlowStats stats;
   };
 
+  /// Immutable per-recompute rate summary, published via atomic
+  /// shared_ptr swap at the end of every recompute_rates() (and once,
+  /// empty, at construction). Readers answer rate queries from whichever
+  /// view they loaded without taking mu_; exactness holds because every
+  /// mutation that can change a rate ends in recompute_rates() before mu_
+  /// is released.
+  struct RatesView {
+    /// Active flows' current rates, ascending FlowId (binary-searchable).
+    std::vector<std::pair<FlowId, double>> flow_rates;
+    /// Aggregate rate per directed link (2*link + dir), summed in
+    /// ascending-FlowId order per link — the same float accumulation
+    /// sequence as the historical per-query locked scan.
+    std::vector<double> directed_rate_bps;
+  };
+
   // ---- all helpers below assume mu_ is held by the caller ----
   void sync_locked();
   void recompute_rates();
+  void publish_rates_view();
   void schedule_next_completion();
   void handle_completion_event();
   [[nodiscard]] double directed_link_rate_locked(LinkId link, bool forward) const;
@@ -258,6 +283,9 @@ class FlowEngine {
   std::vector<std::vector<FlowId>> link_flows_;   // remos-guarded-by(mu_)
   std::uint64_t link_index_rebuilds_ = 0;         // remos-guarded-by(mu_)
   std::uint64_t waterfill_rounds_total_ = 0;      // remos-guarded-by(mu_)
+  /// Published rate summary (see RatesView). Written only by
+  /// publish_rates_view() with mu_ held; read lock-free from any thread.
+  std::atomic<std::shared_ptr<const RatesView>> rates_view_;
 
   /// Orders const queries against flow mutation/recompute. Everything
   /// above (except the engine/net references) carries an explicit

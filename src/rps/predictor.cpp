@@ -52,7 +52,7 @@ ClientServerPredictor::ClientServerPredictor(ModelSpec default_spec)
     : default_spec_(default_spec) {}
 
 Prediction ClientServerPredictor::predict(const Request& request) const {
-  ++served_;
+  served_.fetch_add(1, std::memory_order_relaxed);
   const ModelSpec spec = request.spec.value_or(default_spec_);
   auto model = make_model(spec);
   model->fit(request.history);

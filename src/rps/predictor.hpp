@@ -11,6 +11,7 @@
 //    fitting operation can be amortized over multiple predictions."
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "rps/evaluator.hpp"
@@ -70,12 +71,17 @@ class ClientServerPredictor {
     std::optional<ModelSpec> spec;
   };
 
+  /// Thread-safe: the service is stateless per request, and the served
+  /// counter is atomic, so one predictor instance can serve concurrent
+  /// query threads (the QueryServer's prediction fits share one).
   [[nodiscard]] Prediction predict(const Request& request) const;
-  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
 
  private:
   ModelSpec default_spec_;
-  mutable std::uint64_t served_ = 0;
+  mutable std::atomic<std::uint64_t> served_{0};
 };
 
 }  // namespace remos::rps

@@ -1,6 +1,7 @@
 #include "rps/shared_cache.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "sim/metrics.hpp"
 
@@ -21,32 +22,75 @@ std::optional<Prediction> SharedPredictionCache::peek(const std::string& key) co
 
 Prediction SharedPredictionCache::get_or_compute(
     const std::string& key, const std::function<Prediction()>& compute) {
-  std::lock_guard lock(mu_);
-  auto it = entries_.find(key);
-  if (it != entries_.end() && now_() - it->second.computed_at <= ttl_s_) {
-    ++hits_;
-    sim::metrics().counter("rps.prediction_cache.hits_total").inc();
-    return it->second.prediction;
+  std::shared_ptr<InFlightFit> fit;
+  bool leader = false;
+  {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && now_() - it->second.computed_at <= ttl_s_) {
+      ++hits_;
+      sim::metrics().counter("rps.prediction_cache.hits_total").inc();
+      return it->second.prediction;
+    }
+    if (auto in_flight = fits_.find(key); in_flight != fits_.end()) {
+      // Someone is already fitting this key: joining their fit is a hit
+      // (the whole point of sharing — one fit serves every concurrent
+      // asker of the key).
+      ++hits_;
+      sim::metrics().counter("rps.prediction_cache.hits_total").inc();
+      fit = in_flight->second;
+    } else {
+      ++misses_;
+      sim::metrics().counter("rps.prediction_cache.misses_total").inc();
+      fit = std::make_shared<InFlightFit>();
+      fit->started_at = now_();
+      fits_.emplace(key, fit);
+      leader = true;
+    }
   }
-  ++misses_;
-  sim::metrics().counter("rps.prediction_cache.misses_total").inc();
-  // compute() runs under the lock: concurrent callers of the same cold key
-  // then fit the model once instead of racing to fit it N times (the whole
-  // point of sharing). Cost: unrelated keys briefly serialize behind a fit.
-  Entry entry{compute(), now_()};
-  auto [pos, inserted] = entries_.insert_or_assign(key, std::move(entry));
-  (void)inserted;
-  return pos->second.prediction;
+  if (!leader) return fit->future.get();
+
+  Prediction result;
+  try {
+    result = compute();
+  } catch (...) {
+    {
+      std::lock_guard lock(mu_);
+      if (!fit->cancelled) fits_.erase(key);
+    }
+    fit->promise.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    std::lock_guard lock(mu_);
+    if (!fit->cancelled) {
+      // Stamped with the fit's *start* time: the prediction describes the
+      // resource as of when the fit began, so a long fit ages the entry.
+      entries_.insert_or_assign(key, Entry{result, fit->started_at});
+      fits_.erase(key);
+    }
+  }
+  fit->promise.set_value(std::move(result));
+  return fit->future.get();
 }
 
 void SharedPredictionCache::invalidate(const std::string& key) {
   std::lock_guard lock(mu_);
   entries_.erase(key);
+  if (auto it = fits_.find(key); it != fits_.end()) {
+    // The in-flight fit observed pre-invalidation data: let its waiters
+    // have the answer they asked for, but do not retain it in the cache,
+    // and let the next asker start a fresh fit on the changed resource.
+    it->second->cancelled = true;
+    fits_.erase(it);
+  }
 }
 
 void SharedPredictionCache::clear() {
   std::lock_guard lock(mu_);
   entries_.clear();
+  for (auto& [key, fit] : fits_) fit->cancelled = true;
+  fits_.clear();
 }
 
 }  // namespace remos::rps

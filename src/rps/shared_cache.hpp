@@ -10,12 +10,27 @@
 // Thread safety: all operations are safe to call concurrently (the Master
 // Collector's worker threads share one cache). Results are returned by
 // value so no caller holds a reference into the map while another thread
-// mutates it. `compute` runs under the cache lock, so it must not reenter
-// the same cache.
+// mutates it.
+//
+// Fit concurrency: `compute` runs *outside* the cache lock. Concurrent
+// callers of the same cold key still fit once — the first becomes the
+// leader, the rest block on the leader's shared_future — but fits for
+// distinct keys proceed in parallel instead of serializing behind one
+// global lock (the pre-snapshot design's scaling bottleneck).
+//
+// Eviction-during-fit rule: a fit observes the resource's state at the
+// instant it *starts*. The installed entry is therefore stamped with the
+// fit's start time (a fit that outlives the TTL is already stale at
+// install), and invalidate()/clear() during a fit cancel the pending
+// install — the leader and its waiters still get the computed value (they
+// asked before the invalidation), but the cache does not retain a
+// prediction fitted on pre-invalidation data.
 #pragma once
 
 #include <functional>
+#include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -31,14 +46,18 @@ class SharedPredictionCache {
   SharedPredictionCache(double ttl_s, std::function<double()> now);
 
   /// Return the cached prediction for `key` if fresh; otherwise run
-  /// `compute`, cache, and return its result.
+  /// `compute` (outside the lock; same-key callers coalesce on the one
+  /// in-flight fit), cache, and return its result.
   Prediction get_or_compute(const std::string& key,
                             const std::function<Prediction()>& compute);
 
   /// Copy of the fresh cached entry, or nullopt.
   [[nodiscard]] std::optional<Prediction> peek(const std::string& key) const;
 
-  /// Drop one entry (a collector noticed the resource changed).
+  /// Drop one entry (a collector noticed the resource changed). Also
+  /// cancels the pending install of any in-flight fit for the key: the
+  /// fit is serving pre-invalidation data, so its result must not outlive
+  /// the invalidation in the cache.
   void invalidate(const std::string& key);
   void clear();
 
@@ -65,12 +84,24 @@ class SharedPredictionCache {
     Prediction prediction;
     double computed_at = 0.0;
   };
+  /// One in-flight fit. Waiters hold the shared_future; the leader holds
+  /// the whole record through its shared_ptr, so invalidate() can detach
+  /// it from the map (allowing a fresh fit on the changed data) without
+  /// orphaning anyone.
+  struct InFlightFit {
+    std::promise<Prediction> promise;
+    std::shared_future<Prediction> future;
+    double started_at = 0.0;
+    bool cancelled = false;  // remos-guarded-by(mu_)
+    InFlightFit() : future(promise.get_future().share()) {}
+  };
 
   // Set once in the constructor, read concurrently without the lock.
   const double ttl_s_;
   const std::function<double()> now_;
   mutable std::mutex mu_;  // remos-lock-order(20)
   std::map<std::string, Entry> entries_;
+  std::map<std::string, std::shared_ptr<InFlightFit>> fits_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -126,6 +126,17 @@ std::vector<double> MeasurementHistory::last(std::size_t n) const {
   return out;
 }
 
+double exact_quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= values.size()) return values.back();
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
 std::string ascii_sparkline(const std::vector<double>& values) {
   static const char* kLevels = " .:-=+*#%@";
   if (values.empty()) return {};

@@ -96,6 +96,12 @@ class MeasurementHistory {
   std::deque<Sample> samples_;
 };
 
+/// Exact sample quantile of an unsorted series (nearest-rank with linear
+/// interpolation, the "R-7" rule): sorts a copy. q clamped to [0, 1]; 0 for
+/// an empty series. Used for bench latency percentiles (p50/p95/p99),
+/// where bucket-approximate Histogram::quantile would blur the tail.
+[[nodiscard]] double exact_quantile(std::vector<double> values, double q);
+
 /// Render a crude ASCII sparkline of a series; used by benches to show the
 /// *shape* of a reproduced figure directly in terminal output.
 std::string ascii_sparkline(const std::vector<double>& values);

@@ -1,0 +1,68 @@
+#pragma once
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+namespace demo {
+
+// Pool stand-in local to this file (the pass keys on the entry-point
+// names submit/parallel_for, not on the type).
+class SnapPool {
+ public:
+  template <typename F>
+  void submit(F f) {
+    (void)f;
+  }
+  void parallel_for(int items, const std::function<void(int)>& fn) {
+    for (int i = 0; i < items; ++i) fn(i);
+  }
+};
+
+struct Snap {
+  int epoch = 0;
+};
+using SnapPtr = std::shared_ptr<const Snap>;
+
+// The snapshot-swap idiom done wrong: the publication slot is a plain
+// shared_ptr, so the writer's reset races every pool-executed reader —
+// shared_ptr's control block is thread-safe, the pointer itself is not.
+class TornServer {
+ public:
+  void publish(int epoch) {
+    auto next = std::make_shared<Snap>();
+    next->epoch = epoch;
+    published_ = std::move(next);
+  }
+
+  void serve(int clients) {
+    pool_->parallel_for(clients, [this](int) {
+      const SnapPtr snap = published_;
+      if (snap) sink(snap->epoch);
+    });
+  }
+
+ private:
+  static void sink(int v) { (void)v; }
+  SnapPool* pool_ = nullptr;
+  SnapPtr published_;  // expect(concurrency)
+};
+
+// Stale guard annotation left behind after the slot went atomic: the named
+// mutex no longer exists, so the annotation documents protection that
+// nothing provides. Flagged even though the atomic would be fine bare.
+class StaleGuard {
+ public:
+  void publish(int epoch) {
+    auto next = std::make_shared<Snap>();
+    next->epoch = epoch;
+    std::lock_guard<std::mutex> lk(build_mu_);
+    published_.store(std::move(next), std::memory_order_release);
+  }
+
+ private:
+  std::mutex build_mu_;  // remos-lock-order(10)
+  std::atomic<SnapPtr> published_;  // remos-guarded-by(gone_mu_) expect(concurrency)
+};
+
+}  // namespace demo

@@ -1,0 +1,68 @@
+#pragma once
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace demo {
+
+// Pool stand-in local to this file (the pass keys on the entry-point
+// names submit/parallel_for, not on the type).
+class SnapPool {
+ public:
+  template <typename F>
+  void submit(F f) {
+    (void)f;
+  }
+  void parallel_for(int items, const std::function<void(int)>& fn) {
+    for (int i = 0; i < items; ++i) fn(i);
+  }
+};
+
+struct Snap {
+  int epoch = 0;
+  double total = 0.0;
+};
+using SnapPtr = std::shared_ptr<const Snap>;
+
+// The snapshot-swap idiom: one writer builds an immutable snapshot and
+// publishes it with a release store; pool-executed readers take an
+// acquire load and never touch the slot again. The slot is a bare
+// std::atomic member — its protection story is the atomic itself, no
+// mutex required for the read path.
+class SnapServer {
+ public:
+  void publish(int epoch, double total) {
+    auto next = std::make_shared<Snap>();
+    next->epoch = epoch;
+    next->total = total;
+    published_.store(std::move(next), std::memory_order_release);
+  }
+
+  void serve(int clients) {
+    pool_->parallel_for(clients, [this](int) {
+      const SnapPtr snap = published_.load(std::memory_order_acquire);
+      if (snap) sink(snap->total);
+    });
+  }
+
+  // Per-epoch memo for identical queries: plain map, every access under
+  // its explicitly named lock.
+  double memoized(const std::string& key) {
+    std::lock_guard<std::mutex> lk(memo_mu_);
+    auto [it, fresh] = memo_.emplace(key, 0.0);
+    if (fresh) it->second = 1.0;
+    return it->second;
+  }
+
+ private:
+  static void sink(double v) { (void)v; }
+  SnapPool* const pool_ = nullptr;
+  std::atomic<SnapPtr> published_;
+  std::mutex memo_mu_;  // remos-lock-order(20)
+  std::map<std::string, double> memo_;  // remos-guarded-by(memo_mu_)
+};
+
+}  // namespace demo

@@ -1,0 +1,96 @@
+// Golden pin of the query surface: a deterministic 256-query transcript —
+// mixed topology / flow / predict queries over a warmed multi-site WAN —
+// rendered at full float precision (%.17g) and pinned byte-for-byte under
+// tests/golden/query/. The simulation is deterministic and the snapshot
+// answer functions are pure, so any byte of drift is a behavior change in
+// the query path (routing, max-min, prediction, or snapshot assembly),
+// not noise. CI also diffs the transcript produced by the TSan build
+// against this pin: identical bytes from an instrumented build is the
+// cheap cross-check that instrumentation didn't perturb float math.
+//
+// REMOS_REGEN_GOLDEN=1 regenerates after an intentional behavior change
+// (say what moved in the commit message).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/testbed.hpp"
+#include "core/query_server.hpp"
+#include "query_fleet.hpp"
+
+namespace remos::core {
+namespace {
+
+using apps::WanTestbed;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void golden_check(const std::string& name, const std::string& text) {
+  const std::string path = std::string(REMOS_GOLDEN_DIR) + "/query/" + name;
+  if (std::getenv("REMOS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    return;
+  }
+  const std::string pinned = read_file(path);
+  ASSERT_FALSE(pinned.empty()) << path << " missing — run with REMOS_REGEN_GOLDEN=1";
+  EXPECT_EQ(text, pinned) << name << ": query transcript drifted — intentional behavior "
+                          << "change? regenerate and say what moved";
+}
+
+const char* kind_name(fleet::Query::Kind k) {
+  switch (k) {
+    case fleet::Query::Kind::kTopology:
+      return "topology";
+    case fleet::Query::Kind::kFlow:
+      return "flow";
+    case fleet::Query::Kind::kPredict:
+      return "predict";
+  }
+  return "?";
+}
+
+TEST(QueryGolden, TranscriptPinned) {
+  WanTestbed::Params p;
+  p.sites = {{"cmu", 3, 100e6, 10e6}, {"eth", 3, 100e6, 4e6}, {"ucsd", 2, 100e6, 6e6}};
+  p.cross_traffic_load = 0.3;
+  WanTestbed w(p);
+  w.warm_up(16.0 * w.params.benchmark_period_s + 30.0);
+
+  std::vector<net::Ipv4Address> universe;
+  for (const auto& site : w.sites) {
+    for (net::NodeId h : site.hosts) universe.push_back(w.addr(h));
+  }
+  QueryServerConfig cfg;
+  cfg.prediction_model = rps::ModelSpec::ar(4);
+  cfg.min_history = 16;
+  QueryServer server(*w.master, universe, cfg);
+  server.refresh();
+
+  const auto queries = fleet::make_workload(universe, 256, /*seed=*/0x60D1DEAu);
+  std::string transcript;
+  std::size_t predictions = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    transcript += "=== query " + std::to_string(i) + " " + kind_name(queries[i].kind) + " ===\n";
+    const std::string answer = fleet::answer_query(server, queries[i], /*locked=*/false);
+    if (queries[i].kind == fleet::Query::Kind::kPredict && answer != "predict none\n") {
+      ++predictions;
+    }
+    transcript += answer;
+  }
+  // A transcript without real predictions would freeze much less surface.
+  EXPECT_GT(predictions, 0u);
+  golden_check("transcript.txt", transcript);
+}
+
+}  // namespace
+}  // namespace remos::core

@@ -1,0 +1,179 @@
+// Query serving at scale — the TSan stress suite for the snapshot read
+// path (ROADMAP item 1). Three claims, each test-shaped:
+//
+//   1. Bit-identity: on a quiescent simulation, the lock-free snapshot
+//      path and the retained mutex path produce byte-identical answers
+//      for an identical mixed workload (same floats, same order — the
+//      pure answer functions are shared, so this pins that refresh()
+//      really captures everything a query reads).
+//   2. Race-freedom: a reader fleet hammers the snapshot path while the
+//      simulation thread mutates the world underneath it — flows start
+//      and stop, collectors poll, epochs publish. Run under
+//      `cmake --preset tsan` (ci/check.sh does) this is the proof the
+//      read path took no lock it needed.
+//   3. Accounting: coalescing and admission-control counters are exact,
+//      not heuristic — computations equal distinct keys, every other
+//      query is a hit, rejections are 0 unless the bound says otherwise.
+//
+// Registered with the `stress` ctest label.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "apps/testbed.hpp"
+#include "core/query_server.hpp"
+#include "query_fleet.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace remos::core {
+namespace {
+
+using apps::WanTestbed;
+
+WanTestbed::Params stress_sites() {
+  WanTestbed::Params p;
+  p.sites = {{"cmu", 3, 100e6, 10e6}, {"eth", 3, 100e6, 4e6}, {"ucsd", 2, 100e6, 6e6}};
+  p.cross_traffic_load = 0.3;
+  return p;
+}
+
+QueryServerConfig fast_predictions() {
+  QueryServerConfig cfg;
+  cfg.prediction_model = rps::ModelSpec::ar(4);
+  cfg.min_history = 16;
+  return cfg;
+}
+
+std::vector<net::Ipv4Address> all_hosts(const WanTestbed& w) {
+  std::vector<net::Ipv4Address> out;
+  for (const auto& site : w.sites) {
+    for (net::NodeId h : site.hosts) out.push_back(w.addr(h));
+  }
+  return out;
+}
+
+TEST(QueryScale, SnapshotMatchesLockedOnQuiescentState) {
+  WanTestbed w(stress_sites());
+  // Warm until benchmark histories can carry an AR(4) fit (>= min_history
+  // samples at benchmark_period_s cadence).
+  w.warm_up(16.0 * w.params.benchmark_period_s + 30.0);
+  const auto universe = all_hosts(w);
+  QueryServer server(*w.master, universe, fast_predictions());
+  server.refresh();
+
+  const auto queries = fleet::make_workload(universe, 256, /*seed=*/0xF1EE7u);
+  sim::ThreadPool pool(4);
+  const fleet::FleetResult snap = fleet::run_fleet(server, queries, pool, /*locked=*/false);
+  const fleet::FleetResult locked = fleet::run_fleet(server, queries, pool, /*locked=*/true);
+  ASSERT_EQ(snap.answers.size(), locked.answers.size());
+  std::size_t predictions = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(snap.answers[i], locked.answers[i]) << "query " << i << " diverged";
+    if (queries[i].kind == fleet::Query::Kind::kPredict &&
+        snap.answers[i] != "predict none\n") {
+      ++predictions;
+    }
+  }
+  // The workload must actually exercise predictions, or bit-identity on
+  // the predict path proves nothing.
+  EXPECT_GT(predictions, 0u);
+}
+
+TEST(QueryScale, ReadersRaceMutatingSimulation) {
+  WanTestbed w(stress_sites());
+  w.warm_up(16.0 * w.params.benchmark_period_s + 30.0);
+  const auto universe = all_hosts(w);
+  QueryServer server(*w.master, universe, fast_predictions());
+
+  const auto queries = fleet::make_workload(universe, 192, /*seed=*/0xBADC0DEu);
+  sim::ThreadPool pool(4);
+
+  // Reader fleet: three full passes over the workload on pool threads
+  // while this (simulation) thread mutates the world underneath them.
+  std::vector<std::future<std::size_t>> readers;
+  for (int pass = 0; pass < 3; ++pass) {
+    readers.push_back(pool.submit([&server, &queries] {
+      std::size_t bytes = 0;
+      for (const fleet::Query& q : queries) {
+        bytes += fleet::answer_query(server, q, /*locked=*/false).size();
+      }
+      return bytes;
+    }));
+  }
+
+  // Concurrent mutation: flows start/stop, the engine advances (collector
+  // polls, benchmark probes, cross traffic), fresh epochs publish.
+  const net::NodeId src = w.host("cmu", 0);
+  const net::NodeId dst = w.host("eth", 0);
+  for (int round = 0; round < 10; ++round) {
+    const net::FlowId f =
+        w.flows->start({.src = src, .dst = dst, .demand_bps = 2e6 + 1e5 * round});
+    w.engine.advance(w.params.poll_interval_s);
+    server.refresh();
+    w.flows->stop(f);
+    w.engine.advance(1.0);
+  }
+  for (auto& r : readers) EXPECT_GT(r.get(), 0u);
+  EXPECT_GE(server.epochs_published(), 11u);
+
+  // Quiescent checkpoint: mutation stopped; after one more refresh the two
+  // paths must agree bit-for-bit again.
+  server.refresh();
+  const fleet::FleetResult snap = fleet::run_fleet(server, queries, pool, /*locked=*/false);
+  const fleet::FleetResult locked = fleet::run_fleet(server, queries, pool, /*locked=*/true);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(snap.answers[i], locked.answers[i]) << "query " << i << " diverged post-mutation";
+  }
+}
+
+TEST(QueryScale, CoalescingAccountingIsExact) {
+  WanTestbed w(stress_sites());
+  w.warm_up(16.0 * w.params.benchmark_period_s + 30.0);
+  const auto universe = all_hosts(w);
+  QueryServer server(*w.master, universe, fast_predictions());
+  server.refresh();
+
+  const auto queries = fleet::make_workload(universe, 512, /*seed=*/0xC0A1E5CEu);
+  const fleet::WorkloadStats ws = fleet::workload_stats(queries);
+  const std::uint64_t base_queries = server.queries_total();
+  sim::ThreadPool pool(4);
+  (void)fleet::run_fleet(server, queries, pool, /*locked=*/false);
+
+  EXPECT_EQ(server.queries_total() - base_queries, queries.size());
+  EXPECT_EQ(server.computations(), ws.distinct_keys);
+  EXPECT_EQ(server.coalesce_hits(), ws.flow_queries + ws.predict_queries - ws.distinct_keys);
+  EXPECT_EQ(server.predict_rejected(), 0u);
+
+  // Same workload again, same epoch: every flow/predict answer is memoized
+  // — zero new computations.
+  (void)fleet::run_fleet(server, queries, pool, /*locked=*/false);
+  EXPECT_EQ(server.computations(), ws.distinct_keys);
+  EXPECT_EQ(server.coalesce_hits(), 2 * (ws.flow_queries + ws.predict_queries) - ws.distinct_keys);
+
+  // New epoch: memos pruned, the same workload computes afresh.
+  server.refresh();
+  (void)fleet::run_fleet(server, queries, pool, /*locked=*/false);
+  EXPECT_EQ(server.computations(), 2 * ws.distinct_keys);
+}
+
+TEST(QueryScale, AdmissionControlBoundsPredictFits) {
+  WanTestbed w(stress_sites());
+  w.warm_up(16.0 * w.params.benchmark_period_s + 30.0);
+  const auto universe = all_hosts(w);
+  QueryServerConfig cfg = fast_predictions();
+  cfg.max_fits_in_flight = 0;  // degenerate bound: every distinct fit rejected
+  QueryServer server(*w.master, universe, cfg);
+  server.refresh();
+
+  const FlowRequest req{.src = universe.front(), .dst = universe.back(), .demand_bps = 1e6};
+  EXPECT_EQ(server.predict_flow(req, 10), std::nullopt);
+  EXPECT_EQ(server.predict_rejected(), 1u);
+  // Flow queries are not admission-bounded.
+  FlowQuery q;
+  q.flows.push_back(req);
+  EXPECT_FALSE(server.flow_query(q).empty());
+}
+
+}  // namespace
+}  // namespace remos::core

@@ -1,5 +1,10 @@
-// SharedPredictionCache: TTL semantics, hit accounting, invalidation.
+// SharedPredictionCache: TTL semantics, hit accounting, invalidation, and
+// the eviction-during-fit rules (fits run outside the lock, so the cache
+// must handle invalidation and TTL expiry racing an in-flight fit).
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
 
 #include "rps/shared_cache.hpp"
 
@@ -110,6 +115,89 @@ TEST(SharedPredictionCache, ManyConsumersOneFit) {
   }
   EXPECT_EQ(computes, 1);
   EXPECT_EQ(cache.hits(), 49u);
+}
+
+TEST(SharedPredictionCache, InvalidateDuringFitCancelsInstall) {
+  // Fits run outside the lock, so an invalidation can land mid-fit. The
+  // caller still gets its answer (it asked before the invalidation), but
+  // the cache must not retain a prediction fitted on pre-invalidation
+  // data. `compute` calls invalidate() itself — legal precisely because
+  // the fit holds no lock — which models the collector noticing the
+  // resource changed while the model was still fitting.
+  Clock clock;
+  SharedPredictionCache cache(100.0, clock.fn());
+  int computes = 0;
+  const Prediction p = cache.get_or_compute("k", [&] {
+    ++computes;
+    cache.invalidate("k");
+    return make_prediction(1.0);
+  });
+  EXPECT_DOUBLE_EQ(p.mean[0], 1.0);  // the leader still gets its answer
+  EXPECT_EQ(cache.peek("k"), std::nullopt) << "cancelled fit must not install";
+  EXPECT_EQ(cache.size(), 0u);
+  const Prediction p2 = cache.get_or_compute("k", [&] {
+    ++computes;
+    return make_prediction(2.0);
+  });
+  EXPECT_DOUBLE_EQ(p2.mean[0], 2.0);  // fresh fit on the changed data
+  EXPECT_EQ(computes, 2);
+}
+
+TEST(SharedPredictionCache, ClearDuringFitCancelsInstall) {
+  Clock clock;
+  SharedPredictionCache cache(100.0, clock.fn());
+  const Prediction p = cache.get_or_compute("k", [&] {
+    cache.clear();
+    return make_prediction(4.0);
+  });
+  EXPECT_DOUBLE_EQ(p.mean[0], 4.0);
+  EXPECT_EQ(cache.peek("k"), std::nullopt);
+}
+
+TEST(SharedPredictionCache, EntryStampedAtFitStart) {
+  // A fit observes the resource at the instant it starts, so the entry's
+  // age is measured from the fit's start, not its completion. A fit that
+  // outlives the TTL installs an entry that is already stale.
+  Clock clock;
+  SharedPredictionCache cache(5.0, clock.fn());
+  int computes = 0;
+  cache.get_or_compute("slow", [&] {
+    ++computes;
+    clock.t = 6.0;  // the fit itself takes longer than the TTL
+    return make_prediction(1.0);
+  });
+  EXPECT_EQ(cache.peek("slow"), std::nullopt) << "entry must be stamped at fit start";
+  cache.get_or_compute("slow", [&] {
+    ++computes;
+    return make_prediction(2.0);
+  });
+  EXPECT_EQ(computes, 2);
+  EXPECT_NE(cache.peek("slow"), std::nullopt);  // second fit started at t=6
+}
+
+TEST(SharedPredictionCache, DistinctKeysFitInParallel) {
+  // Two cold keys, two threads, and each fit blocks until the other has
+  // started: completes only if fits for distinct keys genuinely overlap.
+  // Under the pre-snapshot design (compute under the cache lock) this
+  // test deadlocks instead of passing.
+  Clock clock;
+  SharedPredictionCache cache(100.0, clock.fn());
+  std::atomic<int> started{0};
+  auto fit = [&](double value) {
+    started.fetch_add(1);
+    while (started.load() < 2) std::this_thread::yield();
+    return make_prediction(value);
+  };
+  Prediction pa;
+  Prediction pb;
+  std::thread ta([&] { pa = cache.get_or_compute("a", [&] { return fit(1.0); }); });
+  std::thread tb([&] { pb = cache.get_or_compute("b", [&] { return fit(2.0); }); });
+  ta.join();
+  tb.join();
+  EXPECT_DOUBLE_EQ(pa.mean[0], 1.0);
+  EXPECT_DOUBLE_EQ(pb.mean[0], 2.0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
 }
 
 }  // namespace
