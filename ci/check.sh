@@ -111,7 +111,7 @@ step "remos_lint"
 python3 tools/remos_lint.py --self-test
 python3 tools/remos_lint.py --root .
 
-step "remos_analyze: static analysis + fail-path corpus"
+step "remos_analyze: static analysis + hot-path inventory ratchet + fail-path corpus"
 cmake --build build -j "$JOBS" --target remos_analyze
 ./build/tools/analyze/remos_analyze --root . --json > build/remos_analyze.json \
   || { cat build/remos_analyze.json; exit 1; }

@@ -13,15 +13,6 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-struct RoutedFlow {
-  std::vector<std::uint32_t> resources;  // directed-edge resource keys
-  double demand = kInf;
-  double latency_s = 0.0;
-  double bottleneck_capacity = 0.0;
-  std::vector<std::string> edge_ids;
-  bool routable = false;
-};
-
 /// Directed resource key for edge `ei` traversed a->b (dir 0) or b->a (1).
 std::uint32_t resource_key(std::size_t ei, bool ab) {
   return static_cast<std::uint32_t>(ei * 2 + (ab ? 0 : 1));
@@ -32,17 +23,28 @@ std::uint32_t resource_key(std::size_t ei, bool ab) {
 MaxMinResult max_min_allocate(const VirtualTopology& topo,
                               const std::vector<FlowRequest>& requests,
                               MaxMinScratch& scratch) {
+  auto& [solver, capacity, offsets, resources, demand, rates, dense_to_request, routed] = scratch;
+
   MaxMinResult result;
+  // remos-analyze: allow(hotpath): the result vector is the product of the query, sized once and returned to the caller; everything else lives in the scratch arenas
   result.flows.resize(requests.size());
 
-  std::vector<RoutedFlow> routed(requests.size());
+  // Per-flow routing scratch: clear() keeps each element's capacity, so a
+  // steady stream of similar queries reassembles paths with no heap churn.
+  routed.resize(requests.size());
+  for (auto& r : routed) {
+    r.resources.clear();
+    r.edge_ids.clear();
+    r.latency_s = 0.0;
+    r.routable = false;
+  }
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const VNodeIndex src = topo.find_by_addr(requests[i].src);
     const VNodeIndex dst = topo.find_by_addr(requests[i].dst);
     if (src == kNoVNode || dst == kNoVNode) continue;
     auto path = topo.shortest_path(src, dst);
     if (!path) continue;
-    RoutedFlow& rf = routed[i];
+    auto& rf = routed[i];
     rf.routable = true;
     rf.demand = requests[i].demand_bps;
     rf.bottleneck_capacity = kInf;
@@ -67,7 +69,6 @@ MaxMinResult max_min_allocate(const VirtualTopology& topo,
   // bandwidth as capacity; unroutable flows stay out of the problem (and
   // keep rate 0). All problem arrays live in the caller-owned scratch, so
   // steady-state queries allocate nothing here.
-  auto& [solver, capacity, offsets, resources, demand, rates, dense_to_request] = scratch;
   // Capacity slots for resources no routed flow references are never read
   // by the kernel, so stale values from earlier queries are harmless.
   capacity.resize(topo.edge_count() * 2);

@@ -29,6 +29,20 @@ struct MaxMinResult {
 /// worker ran the query, pinning memory per worker thread and making
 /// reuse untestable.)
 struct MaxMinScratch {
+  /// Per-request routing scratch: path resource keys and metadata
+  /// recovered before problem assembly. Lives in the scratch so
+  /// steady-state queries reuse the per-flow vectors' capacity instead of
+  /// reallocating them every call (the hot-path pass flagged the old
+  /// function-local vector).
+  struct RoutedFlow {
+    std::vector<std::uint32_t> resources;  // directed-edge resource keys
+    double demand = 0.0;
+    double latency_s = 0.0;
+    double bottleneck_capacity = 0.0;
+    std::vector<std::string> edge_ids;
+    bool routable = false;
+  };
+
   WaterfillSolver solver;
   std::vector<double> capacity;
   std::vector<std::size_t> offsets;
@@ -36,6 +50,7 @@ struct MaxMinScratch {
   std::vector<double> demand;
   std::vector<double> rates;
   std::vector<std::size_t> dense_to_request;
+  std::vector<RoutedFlow> routed;
 };
 
 /// Allocate max-min fair rates for the requested flows over `topo`,
@@ -44,6 +59,7 @@ struct MaxMinScratch {
 /// its capacity. Unroutable flows get available_bps == 0 and an empty path.
 /// `scratch` supplies the reusable arenas; steady-state calls with a
 /// long-lived scratch allocate nothing for problem assembly.
+// remos-hot
 [[nodiscard]] MaxMinResult max_min_allocate(const VirtualTopology& topo,
                                             const std::vector<FlowRequest>& requests,
                                             MaxMinScratch& scratch);

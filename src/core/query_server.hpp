@@ -77,6 +77,7 @@ class QueryServer {
   const QuerySnapshot& refresh();
 
   /// Current published snapshot (never null after construction).
+  // remos-hot
   [[nodiscard]] QuerySnapshotPtr snapshot() const {
     return published_.load(std::memory_order_acquire);
   }
@@ -128,8 +129,14 @@ class QueryServer {
   [[nodiscard]] QuerySnapshot build_snapshot();
 
   // Pure answer functions over a snapshot, shared by both paths.
+  // answer_topology and answer_predict are deliberately *not* remos-hot:
+  // the spanned/simplified topology a topology query returns is a freshly
+  // built value (its allocation is the product, not overhead), and a
+  // prediction runs an admission-controlled model fit. The steady-state
+  // discipline lives on snapshot() and the max-min delegation.
   [[nodiscard]] VirtualTopology answer_topology(const QuerySnapshot& snap,
                                                 const std::vector<net::Ipv4Address>& nodes) const;
+  // remos-hot
   [[nodiscard]] std::vector<FlowInfo> answer_flows(const QuerySnapshot& snap,
                                                    const FlowQuery& query,
                                                    MaxMinScratch& scratch) const;

@@ -35,6 +35,7 @@ namespace remos::core {
 /// One immutable, self-contained view of the monitored universe. Built on
 /// the simulation thread (QueryServer::refresh), read concurrently from
 /// any thread. Never mutated after publication.
+// remos-published
 struct QuerySnapshot {
   /// Publication serial, 1-based; 0 only for a never-refreshed server.
   std::uint64_t epoch = 0;

@@ -142,6 +142,7 @@ std::optional<std::vector<std::size_t>> VirtualTopology::shortest_path(VNodeInde
   }
   if (seen[dst] == 0) return std::nullopt;
   std::vector<std::size_t> path;
+  // remos-analyze: allow(hotpath): the returned path is the product; BFS scratch is thread_local above, and ROADMAP item 5 (SoA arenas) tracks moving the result into caller-owned storage
   for (VNodeIndex cur = dst; cur != src; cur = prev[cur]) path.push_back(via_edge[cur]);
   std::reverse(path.begin(), path.end());
   return path;

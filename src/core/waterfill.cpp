@@ -368,7 +368,7 @@ WaterfillStats WaterfillSolver::solve_partitioned(std::span<const double> capaci
   };
   if (options.pool != nullptr && nbatch > 1) {
     // remos-analyze: allow(concurrency): FlowEngine::mu_ (5) is deliberately held across this dispatch; ThreadPool::mu_ is order 10 and lanes take no locks, so the nesting is strictly increasing and lanes cannot block on mu_.
-    options.pool->parallel_ranges(ncomp, nbatch, solve_range);
+    options.pool->parallel_ranges(ncomp, nbatch, solve_range);  // remos-analyze: allow(hotpath): opt-in parallel dispatch above partition_min_flows — the caller explicitly traded blocking on pool lanes for wall-clock speedup; results stay bit-identical
   } else {
     solve_range(0, 0, ncomp);
   }

@@ -100,6 +100,7 @@ class WaterfillSolver {
   ///                  the historical solvers).
   ///   demand         per-flow demand cap in bps (infinity = greedy).
   ///   rates_out      per-flow allocated rate, size F (fully overwritten).
+  // remos-hot
   WaterfillStats solve(std::span<const double> capacity,
                        std::span<const std::size_t> flow_offsets,
                        std::span<const std::uint32_t> flow_resources,

@@ -322,6 +322,7 @@ void FlowEngine::recompute_rates() {
 
 // remos-requires(mu_)
 void FlowEngine::publish_rates_view() {
+  // remos-analyze: allow(hotpath): RCU publication — every recompute builds a fresh immutable view for readers still holding the old one; the allocation IS the publication protocol
   auto view = std::make_shared<RatesView>();
   view->flow_rates.reserve(flows_.size());
   for (const auto& [id, f] : flows_) view->flow_rates.emplace_back(id, f.rate_bps);

@@ -111,12 +111,14 @@ class FlowEngine {
 
   /// Current max-min rate of a flow in bits/second (0 for unknown ids).
   /// Lock-free: binary search in the published RatesView.
+  // remos-hot
   [[nodiscard]] double rate(FlowId id) const;
 
   /// Ground-truth aggregate rate currently crossing a directed link.
   /// Lock-free: O(1) lookup in the published RatesView's per-directed-link
   /// sums (accumulated in ascending-FlowId order, bit-identical to the
   /// historical locked scan).
+  // remos-hot
   [[nodiscard]] double directed_link_rate(LinkId link, bool forward) const;
 
   /// Lifetime statistics; available while active and after completion.
@@ -195,6 +197,7 @@ class FlowEngine {
   /// view they loaded without taking mu_; exactness holds because every
   /// mutation that can change a rate ends in recompute_rates() before mu_
   /// is released.
+  // remos-published
   struct RatesView {
     /// Active flows' current rates, ascending FlowId (binary-searchable).
     std::vector<std::pair<FlowId, double>> flow_rates;
@@ -205,7 +208,9 @@ class FlowEngine {
   };
 
   // ---- all helpers below assume mu_ is held by the caller ----
+  // remos-hot
   void sync_locked();
+  // remos-hot
   void recompute_rates();
   void publish_rates_view();
   void schedule_next_completion();

@@ -148,6 +148,10 @@ class MetricsRegistry {
   [[nodiscard]] std::map<std::string, HistogramSnapshot> histograms_snapshot() const;
 
  private:
+  // Innermost-but-one leaf (only the obs clock orders after it), held only
+  // for a map lookup or registration — never across user code — so hot
+  // paths may record counters through it.
+  // remos-hot-leaf
   mutable std::mutex mu_;  // remos-lock-order(30)
   // std::map: stable node addresses (handles survive rehashing concerns)
   // and name-sorted iteration for deterministic export.

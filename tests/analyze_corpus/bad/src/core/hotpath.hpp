@@ -1,0 +1,72 @@
+#pragma once
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace demo {
+
+// ---- hot-path discipline done wrong ---------------------------------------
+
+// Direct violation: the steady-state read path allocates on every call.
+// remos-hot
+inline int* reserve_slot(int seq) {
+  return new int(seq);  // expect(hotpath)
+}
+
+// Transitive violation: the hot entry point below is clean, but this
+// helper it reaches grows a function-local vector per call.
+inline int helper_total(int n) {
+  std::vector<int> tmp;
+  for (int i = 0; i < n; ++i) tmp.push_back(i);  // expect(hotpath)
+  return static_cast<int>(tmp.size());
+}
+
+// remos-hot
+inline int hot_summary(int n) { return helper_total(n); }
+
+// Blocking violation: the hot read path serialises on a mutex that was
+// never declared a `remos-hot-leaf` leaf.
+class BlockyEngine {
+ public:
+  // remos-hot
+  double rate() const {
+    std::lock_guard<std::mutex> lk(mu_);  // expect(hotpath)
+    return rate_;
+  }
+
+  void set_rate(double r) {
+    std::lock_guard<std::mutex> lk(mu_);
+    rate_ = r;
+  }
+
+ private:
+  mutable std::mutex mu_;  // remos-lock-order(40)
+  double rate_ = 0.0;  // remos-guarded-by(mu_)
+};
+
+// ---- published snapshots done wrong ---------------------------------------
+
+// A mutable member on a published type: readers share instances
+// concurrently, so "logically const" caching is a data race.
+// remos-published
+struct RateTable {
+  int epoch = 0;
+  mutable double cached_mean = 0.0;  // expect(hotpath)
+  double mean() const { return cached_mean; }
+};
+
+// The slot the writer swaps and readers copy is a plain shared_ptr: the
+// control block is thread-safe, the pointer update itself is torn.
+class RatePublisher {
+ public:
+  void publish(int epoch) {
+    auto next = std::make_shared<RateTable>();
+    next->epoch = epoch;
+    current_ = std::move(next);
+  }
+
+ private:
+  std::shared_ptr<const RateTable> current_;  // expect(hotpath)
+};
+
+}  // namespace demo

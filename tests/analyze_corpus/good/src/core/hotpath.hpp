@@ -1,0 +1,88 @@
+#pragma once
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace demo {
+
+// ---- hot-path discipline done right ---------------------------------------
+
+// Steady-state smoothing over a thread_local arena: the vector grows to
+// its high-water mark once and is reused on every subsequent call.
+// remos-hot
+inline double windowed_mean(const double* xs, int n) {
+  thread_local std::vector<double> window;
+  window.assign(xs, xs + n);
+  double sum = 0.0;
+  for (double v : window) sum += v;
+  return n > 0 ? sum / n : 0.0;
+}
+
+// The returned path is the product of the query; the suppression names
+// the reason and covers exactly the growth line below it.
+// remos-hot
+inline std::vector<int> route(int hops) {
+  std::vector<int> path;
+  for (int i = 0; i < hops; ++i) {
+    // remos-analyze: allow(hotpath): the returned path is the product of the query, not overhead
+    path.push_back(i);
+  }
+  return path;
+}
+
+// Hot reads may cross a declared leaf mutex: held only for an indexed
+// load or a bulk refresh, never across user code.
+class RateEngine {
+ public:
+  // remos-hot
+  double rate(int link) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (rates_.empty()) return 0.0;
+    return rates_[static_cast<std::size_t>(link) % rates_.size()];
+  }
+
+  // Rebuilds happen off the hot path, where allocation is fine.
+  void rebuild(int n) {
+    std::lock_guard<std::mutex> lk(mu_);
+    rates_.assign(static_cast<std::size_t>(n), 1.0);
+  }
+
+ private:
+  // remos-hot-leaf
+  mutable std::mutex mu_;  // remos-lock-order(40)
+  std::vector<double> rates_;  // remos-guarded-by(mu_)
+};
+
+// ---- published snapshots done right ---------------------------------------
+
+// Deeply immutable after construction: no mutable members, only const
+// accessors, shared freely across reader threads.
+// remos-published
+struct RateTable {
+  int epoch = 0;
+  double mean = 0.0;
+  double at() const { return mean; }
+};
+
+// RCU-style slot: the writer builds a fresh table and release-stores it;
+// readers acquire-load and keep their reference for the query duration.
+class RatePublisher {
+ public:
+  void publish(int epoch, double mean) {
+    REMOS_CHECK(epoch >= 0, "snapshot epochs are monotone and non-negative");
+    auto next = std::make_shared<RateTable>();
+    next->epoch = epoch;
+    next->mean = mean;
+    current_.store(std::move(next), std::memory_order_release);
+  }
+
+  std::shared_ptr<const RateTable> current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const RateTable>> current_;
+};
+
+}  // namespace demo

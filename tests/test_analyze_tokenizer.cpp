@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "passes.hpp"
+
 #include <algorithm>
 
 namespace {
@@ -159,6 +161,95 @@ TEST(AnalyzeTokenizer, BlockCommentsSkippedAndLinesCounted) {
   ASSERT_FALSE(tf.tokens.empty());
   EXPECT_EQ(tf.tokens[0].text, "int");
   EXPECT_EQ(tf.tokens[0].line, 2);
+}
+
+TEST(AnalyzeTokenizer, MarkerChannelCapturesStructuralAnnotations) {
+  const auto tf = tokenize(
+      "// remos-hot\n"
+      "void solve();\n"
+      "/// remos-published\n"
+      "struct Snap {};\n"
+      "// remos-hot-leaf\n"
+      "std::mutex mu_;\n");
+  ASSERT_EQ(tf.markers.size(), 3u);
+  EXPECT_EQ(tf.markers[0].name, "hot");
+  EXPECT_EQ(tf.markers[0].line, 1);
+  EXPECT_TRUE(tf.markers[0].arg.empty());
+  // Dashes are part of the marker name, not a separator: hot-leaf is one
+  // marker, not `hot` plus trailing prose.
+  EXPECT_EQ(tf.markers[1].name, "published");
+  EXPECT_EQ(tf.markers[2].name, "hot-leaf");
+  // Attachment is the model's job; the tokenizer reports markers unbound.
+  for (const auto& ma : tf.markers) EXPECT_FALSE(ma.attached);
+}
+
+TEST(AnalyzeTokenizer, MarkerChannelAnchoredAtCommentStart) {
+  // Prose that merely *mentions* a marker mid-comment stays inert; only
+  // comments that start with `remos-` feed the channel.
+  const auto tf = tokenize(
+      "// the remos-hot marker is documented in DESIGN.md\n"
+      "// see remos-published for the snapshot contract\n"
+      "//   remos-hot\n"
+      "void f();\n");
+  ASSERT_EQ(tf.markers.size(), 1u);
+  EXPECT_EQ(tf.markers[0].name, "hot");
+  EXPECT_EQ(tf.markers[0].line, 3);
+}
+
+TEST(AnalyzeTokenizer, MarkerChannelCarriesArgsAndTypedAnnotations) {
+  // Typed channels stay authoritative for their own markers, but the
+  // generic channel still records them (passes skip these foreign names
+  // when validating) — and captures any (...) argument verbatim.
+  const auto tf = tokenize(
+      "// remos-lock-order(15)\n"
+      "std::mutex mu_;\n"
+      "// remos-hot(steady-state)\n"
+      "void g();\n");
+  ASSERT_EQ(tf.lock_orders.size(), 1u);
+  ASSERT_EQ(tf.markers.size(), 2u);
+  EXPECT_EQ(tf.markers[0].name, "lock-order");
+  EXPECT_EQ(tf.markers[0].arg, "15");
+  EXPECT_EQ(tf.markers[1].name, "hot");
+  EXPECT_EQ(tf.markers[1].arg, "steady-state");
+}
+
+TEST(AnalyzeTokenizer, MarkersInsideStringsAreInert) {
+  const auto tf = tokenize(
+      "const char* a = \"// remos-hot\";\n"
+      "const char* b = R\"(\n"
+      "// remos-published\n"
+      "// remos-hot-leaf\n"
+      ")\";\n");
+  EXPECT_TRUE(tf.markers.empty());
+}
+
+TEST(AnalyzeClassifyNewSite, DistinguishesAllocatingPlacementAndOperatorDecl) {
+  const auto tf = tokenize(
+      "int* p = new int(3);\n"
+      "Foo* q = new (buf) Foo();\n"
+      "void* operator new(std::size_t n);\n");
+  std::vector<std::size_t> news;
+  for (std::size_t i = 0; i < tf.tokens.size(); ++i) {
+    if (tf.tokens[i].kind == TokKind::kIdent && tf.tokens[i].text == "new") {
+      news.push_back(i);
+    }
+  }
+  ASSERT_EQ(news.size(), 3u);
+  using remos::analyze::NewKind;
+  using remos::analyze::classify_new_site;
+  EXPECT_EQ(classify_new_site(tf.tokens, news[0]), NewKind::kAllocating);
+  EXPECT_EQ(classify_new_site(tf.tokens, news[1]), NewKind::kPlacement);
+  EXPECT_EQ(classify_new_site(tf.tokens, news[2]), NewKind::kOperatorDecl);
+}
+
+TEST(AnalyzeClassifyNewSite, NewInStringsAndCommentsNeverTokenizes) {
+  // The hot-path pass keys on `new` identifier tokens; text inside string
+  // literals and comments must never produce one.
+  const auto tf = tokenize(
+      "const char* s = \"new Foo\";  // new allocation described here\n"
+      "/* placement new */ int x = 0;\n");
+  const auto idents = texts_of_kind(tf, TokKind::kIdent);
+  EXPECT_EQ(std::find(idents.begin(), idents.end(), "new"), idents.end());
 }
 
 }  // namespace

@@ -3,8 +3,8 @@
 //   remos_analyze --root <repo-root> [--json] [--layers <file>]
 //
 // Scans every .hpp/.cpp under <root>/src, builds the approximate project
-// model, and runs the five passes (lock, determinism, layer, audit,
-// concurrency) plus the suppression meta-pass. Exit status: 0 clean,
+// model, and runs the six passes (lock, determinism, layer, audit,
+// concurrency, hotpath) plus the suppression meta-pass. Exit status: 0 clean,
 // 1 findings, 2 usage or I/O error. Layer spec resolution: --layers, else
 // <root>/tools/analyze/layers.txt, else <root>/layers.txt.
 #include <algorithm>
@@ -121,18 +121,20 @@ int main(int argc, char** argv) {
   const CallGraph cg = build_call_graph(proj);
 
   ConcurrencyInventory inventory;
+  HotpathInventory hot_inventory;
   Findings all;
   for (auto& pass :
        {pass_lock(proj, cg), pass_determinism(proj, cg),
         pass_layers(proj, layers_text,
                     fs::relative(layers_path, root).generic_string()),
-        pass_audit(proj, cg), pass_concurrency(proj, cg, &inventory)}) {
+        pass_audit(proj, cg), pass_concurrency(proj, cg, &inventory),
+        pass_hotpath(proj, cg, &hot_inventory)}) {
     all.insert(all.end(), pass.begin(), pass.end());
   }
   all = apply_suppressions(std::move(all), proj);
 
   if (json)
-    print_json(all, used_suppressions(proj), &inventory);
+    print_json(all, used_suppressions(proj), &inventory, &hot_inventory);
   else
     print_text(all, n_files);
   return all.empty() ? 0 : 1;

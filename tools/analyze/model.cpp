@@ -137,6 +137,20 @@ class StructureScanner {
     return "";
   }
 
+  /// Structural marker (`remos-hot`, `remos-published`, `remos-hot-leaf`)
+  /// binding to a declaration on `line`: same-line marker wins, else the
+  /// comment line above. Marks the annotation attached so the hot-path
+  /// pass can flag markers that bound to nothing.
+  bool marker_for_line(const char* name, int line) const {
+    for (const auto& ma : sf_.toks.markers) {
+      if (ma.name == name && (ma.line == line || ma.line + 1 == line)) {
+        ma.attached = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
   std::vector<std::string> requires_for_line(int line) const {
     std::vector<std::string> out;
     for (const auto& a : sf_.toks.requires_held) {
@@ -181,8 +195,11 @@ class StructureScanner {
       if (punct(i_, "<")) skip_angles();
       return;  // the declaration that follows is scanned as its own element
     }
-    if (s == "using" || s == "typedef" || s == "friend" || s == "static_assert" ||
-        s == "extern") {
+    if (s == "using") {
+      scan_using();
+      return;
+    }
+    if (s == "typedef" || s == "friend" || s == "static_assert" || s == "extern") {
       skip_statement();
       return;
     }
@@ -231,6 +248,7 @@ class StructureScanner {
             ci.file = sf_.rel_path;
             ci.line = line;
           }
+          if (marker_for_line("published", line)) ci.is_published = true;
           ++depth_;
           ++i_;
           return;
@@ -238,6 +256,29 @@ class StructureScanner {
       }
       ++i_;
     }
+  }
+
+  /// `using Name = <type>;` — record the alias so passes can expand it
+  /// (e.g. QuerySnapshotPtr); `using namespace` / using-declarations are
+  /// skipped like before.
+  void scan_using() {
+    ++i_;  // 'using'
+    if (i_ < t_.size() && t_[i_].kind == TokKind::kIdent && punct(i_ + 1, "=")) {
+      const std::string name = t_[i_].text;
+      const std::size_t rhs = i_ + 2;
+      std::size_t k = rhs;
+      int angle = 0;
+      while (k < t_.size()) {
+        if (punct(k, "<")) ++angle;
+        else if (punct(k, ">") && angle > 0) --angle;
+        else if (angle == 0 && punct(k, ";")) break;
+        ++k;
+      }
+      proj_.type_aliases.emplace(name, join_compact(t_, rhs, k));
+      i_ = std::min(k + 1, t_.size());
+      return;
+    }
+    skip_statement();
   }
 
   void skip_enum() {
@@ -406,6 +447,7 @@ class StructureScanner {
     }
     fn.file_local = in_anon() || (fn.cls.empty() && fn.is_static);
     fn.requires_annot = requires_for_line(fn.line);
+    fn.is_hot = marker_for_line("hot", fn.line);
     if (has_body) {
       fn.has_body = true;
       const std::size_t body_close = match_forward(t_, body_open, t_.size(), "{", "}");
@@ -461,6 +503,7 @@ class StructureScanner {
       m.order = lock_order_for_line(v.line);
       m.recursive = v.type_text.find("recursive") != std::string::npos;
       m.shared = v.type_text.find("shared_mutex") != std::string::npos;
+      m.hot_leaf = marker_for_line("hot-leaf", v.line);
       m.id = (cls.empty() ? sf_.rel_path : cls) + "::" + v.name;
       proj_.mutexes.emplace(m.id, m);
     }
@@ -842,6 +885,19 @@ void fixup_method_qualifiers(Project& proj) {
   }
 }
 
+void propagate_hot(Project& proj) {
+  // `// remos-hot` on either the in-class declaration or the out-of-line
+  // definition marks both (and every overload — hot is a property of the
+  // entry point's name, like remos-requires resolution).
+  std::set<std::string> hot_keys;
+  for (const auto& fn : proj.functions) {
+    if (fn.is_hot) hot_keys.insert(fn.cls + "::" + fn.name);
+  }
+  for (auto& fn : proj.functions) {
+    if (hot_keys.count(fn.cls + "::" + fn.name)) fn.is_hot = true;
+  }
+}
+
 }  // namespace
 
 Project build_project(std::vector<SourceFile> files) {
@@ -853,6 +909,7 @@ Project build_project(std::vector<SourceFile> files) {
   compute_guarded(proj);
   fixup_method_qualifiers(proj);
   resolve_requires(proj);
+  propagate_hot(proj);
   for (std::size_t k = 0; k < proj.functions.size(); ++k) {
     proj.by_name[proj.functions[k].name].push_back(k);
   }

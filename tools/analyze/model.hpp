@@ -38,6 +38,10 @@ struct MutexDecl {
   int order = -1;       // from // remos-lock-order(N); -1 = unannotated
   bool recursive = false;
   bool shared = false;  // std::shared_mutex
+  /// `// remos-hot-leaf` on the declaration: a declared leaf mutex —
+  /// uncontended by construction, so the hot-path pass allows acquiring it
+  /// inside `// remos-hot` code.
+  bool hot_leaf = false;
 };
 
 /// A non-function data declaration (class member or namespace-scope var).
@@ -79,6 +83,10 @@ struct ClassInfo {
   /// members whose guard came from an explicit annotation — their access
   /// sites are enforced by the concurrency pass, not the lock pass.
   std::set<std::string> explicit_guard_names;
+  /// `// remos-published` on the definition: instances are published to
+  /// readers through an atomic shared_ptr slot and must be deeply
+  /// immutable after construction (hot-path pass).
+  bool is_published = false;
 };
 
 struct CallSite {
@@ -132,6 +140,11 @@ struct FunctionInfo {
   std::size_t body_end = 0;
   std::size_t body_tokens = 0;
   bool has_audit = false;   // REMOS_CHECK / REMOS_AUDIT in the body
+  /// `// remos-hot` on the declaration or definition: zero-allocation /
+  /// non-blocking serving path, enforced transitively by the hot-path
+  /// pass. A marker on either the declaration or the out-of-line
+  /// definition marks every same-named sibling.
+  bool is_hot = false;
   std::string return_type_text;
   /// `// remos-requires(<mutex>)` on the definition: raw names as written,
   /// resolved mutex ids, and any names that failed to resolve.
@@ -164,6 +177,10 @@ struct Project {
   std::map<std::string, std::map<std::string, std::string>> ns_guarded_by;
   /// per-file: namespace-scope vars whose guard is an explicit annotation
   std::map<std::string, std::set<std::string>> ns_explicit_guard_names;
+  /// `using Name = <type>;` aliases, name -> compact right-hand side.
+  /// First definition wins; the hot-path pass expands these to see through
+  /// e.g. `QuerySnapshotPtr` when classifying publication slots.
+  std::map<std::string, std::string> type_aliases;
 };
 
 /// Build the model from tokenized files (rel_path must be set on each).

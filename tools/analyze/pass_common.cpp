@@ -30,6 +30,66 @@ const std::set<std::string>& stl_method_names() {
 
 }  // namespace
 
+const SourceFile* find_file(const Project& proj, const std::string& rel_path) {
+  for (const auto& sf : proj.files) {
+    if (sf.rel_path == rel_path) return &sf;
+  }
+  return nullptr;
+}
+
+bool suppression_covers(const Project& proj, const std::string& pass,
+                        const std::string& file, int line) {
+  const SourceFile* sf = find_file(proj, file);
+  if (!sf) return false;
+  for (const auto& s : sf->toks.suppressions) {
+    if (s.pass != pass || s.justification.empty()) continue;
+    if (s.line == line || (s.comment_only_line && s.line + 1 == line)) return true;
+  }
+  return false;
+}
+
+const std::set<std::string>& pool_entry_names() {
+  static const std::set<std::string> kNames{"submit", "parallel_for",
+                                            "parallel_ranges"};
+  return kNames;
+}
+
+const std::set<std::string>& cv_wait_names() {
+  static const std::set<std::string> kNames{"wait", "wait_for", "wait_until"};
+  return kNames;
+}
+
+const std::set<std::string>& future_wait_names() {
+  static const std::set<std::string> kNames{"wait", "get"};
+  return kNames;
+}
+
+std::string join_ids(const std::set<std::string>& ids) {
+  std::string out;
+  for (const auto& id : ids) {
+    if (!out.empty()) out += ", ";
+    out += "`" + id + "`";
+  }
+  return out;
+}
+
+NewKind classify_new_site(const std::vector<Token>& toks, std::size_t i) {
+  // `operator new` / `operator new[]`: an overload declaration (or an
+  // explicit call through it, which the declarer owns), not an ordinary
+  // allocating expression.
+  if (i > 0 && toks[i - 1].kind == TokKind::kIdent && toks[i - 1].text == "operator") {
+    return NewKind::kOperatorDecl;
+  }
+  // Placement form `new (addr) T...` — constructs into caller-provided
+  // storage. (`new (std::nothrow) T` also lands here; erring toward
+  // silence is the analyzer-wide contract.)
+  if (i + 1 < toks.size() && toks[i + 1].kind == TokKind::kPunct &&
+      toks[i + 1].text == "(") {
+    return NewKind::kPlacement;
+  }
+  return NewKind::kAllocating;
+}
+
 std::vector<std::size_t> resolve_call(const Project& proj,
                                       const FunctionInfo& caller,
                                       const CallSite& call) {

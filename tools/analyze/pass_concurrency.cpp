@@ -44,12 +44,11 @@
 namespace remos::analyze {
 namespace {
 
-const std::set<std::string> kPoolEntryNames{"submit", "parallel_for", "parallel_ranges"};
+// Blocking call-name sets (pool entry, cv wait, future wait) are shared
+// with the hotpath pass — pass_common.cpp owns them.
 const std::set<std::string> kScheduleNames{"at", "after", "every", "schedule"};
 const std::set<std::string> kThreadCtorNames{"thread", "jthread"};
 const std::set<std::string> kContainerAddNames{"emplace_back", "push_back"};
-const std::set<std::string> kCvWaitNames{"wait", "wait_for", "wait_until"};
-const std::set<std::string> kFutureWaitNames{"wait", "get"};
 // Channels that publish a callable to other threads: the obs clock binding
 // is invoked by any thread that stamps a metric or span.
 const std::set<std::string> kPublishNames{"bind_obs_clock"};
@@ -117,15 +116,6 @@ void collect_name_uses(const std::vector<Token>& t, std::size_t begin, std::size
     const bool qualified = j > 0 && punct_at(t, j - 1, "::");
     if ((!receiver || via_this) && !qualified) out.insert(t[j].text);
   }
-}
-
-std::string join_ids(const std::set<std::string>& ids) {
-  std::string out;
-  for (const auto& id : ids) {
-    if (!out.empty()) out += ", ";
-    out += "`" + id + "`";
-  }
-  return out;
 }
 
 /// Per-function escape analysis state shared across the pass.
@@ -270,7 +260,7 @@ std::string receiver_name(const std::vector<Token>& t, const CallSite& c) {
 /// execution context.
 std::string escape_kind(const Project& proj, const FunctionInfo& fn,
                         const std::vector<Token>& toks, const CallSite& c) {
-  if (kPoolEntryNames.count(c.name)) return "pool";
+  if (pool_entry_names().count(c.name)) return "pool";
   if (kThreadCtorNames.count(c.name)) return "thread";
   if (kPublishNames.count(c.name)) return "thread";
   if (kContainerAddNames.count(c.name)) {
@@ -409,16 +399,6 @@ Findings pass_concurrency(const Project& proj, const CallGraph& cg,
   }
 
   // ---- 2. Protection classification + enforcement ------------------------
-  auto suppressed_at = [&](const std::string& file, int line) {
-    const SourceFile* sf = st.file_by_path.count(file) ? st.file_by_path.at(file) : nullptr;
-    if (!sf) return false;
-    for (const auto& s : sf->toks.suppressions) {
-      if (s.pass != "concurrency" || s.justification.empty()) continue;
-      if (s.line == line || (s.comment_only_line && s.line + 1 == line)) return true;
-    }
-    return false;
-  };
-
   auto classify_scope = [&](const std::string& scope_key, bool is_class,
                             const std::vector<VarDecl>& vars, bool owns_mutex) {
     const auto esc_it = st.escapes.find(scope_key);
@@ -478,7 +458,7 @@ Findings pass_concurrency(const Project& proj, const CallGraph& cg,
       }
 
       if (protection == "unprotected") {
-        if (suppressed_at(v.file, v.line)) {
+        if (suppression_covers(proj, "concurrency", v.file, v.line)) {
           protection = "suppressed";
         }
         if (pool_escape) {
@@ -609,7 +589,7 @@ Findings pass_concurrency(const Project& proj, const CallGraph& cg,
       // Direct pool entry while a mutex is (possibly transitively) held.
       // Entries inside the pool implementation itself re-fire for every
       // entry-held caller; the caller's own entry site carries the report.
-      if (kPoolEntryNames.count(c.name) && fn.cls != "ThreadPool") {
+      if (pool_entry_names().count(c.name) && fn.cls != "ThreadPool") {
         emit("pool-under-lock", fn.file, c.line,
              "ThreadPool entry `" + c.name + "` while holding " + join_ids(held) +
                  " — pool lanes may block behind the lock (deadlock feeder)");
@@ -625,7 +605,7 @@ Findings pass_concurrency(const Project& proj, const CallGraph& cg,
         // condition_variable wait: the lock it atomically releases (the
         // RAII object passed as first argument) is exempt; anything else
         // held across the wait blocks other threads.
-        if (rv->is_cv && kCvWaitNames.count(c.name)) {
+        if (rv->is_cv && cv_wait_names().count(c.name)) {
           std::string wait_arg;
           const std::size_t open = c.token_index + 1;
           if (punct_at(toks, open, "(") && open + 1 < toks.size() &&
@@ -644,7 +624,7 @@ Findings pass_concurrency(const Project& proj, const CallGraph& cg,
         }
 
         // Waiting on a future-typed member while holding a lock.
-        if (rv->is_thread_handle && kFutureWaitNames.count(c.name) &&
+        if (rv->is_thread_handle && future_wait_names().count(c.name) &&
             rv->type_text.find("future") != std::string::npos) {
           emit("blocking-under-lock", fn.file, c.line,
                "blocking `" + recv + "." + c.name + "()` on a future while holding " +

@@ -1,0 +1,586 @@
+// remos-analyze: hot-path pass.
+//
+// Polices the two idioms the serving story rests on (DESIGN.md "The
+// hot-path pass"):
+//
+//   1. Hot-path discipline. Functions annotated `// remos-hot` — and every
+//      function they reach through the approximate call graph — must not
+//      allocate, perform I/O, or block. Allocation is an allocating `new`
+//      (placement-new and `operator new` overloads are classified apart by
+//      classify_new_site), make_shared/make_unique, to_string, the
+//      construction of a locally-owned container/string, or a growth op
+//      (push_back/emplace/insert/resize/...) on one. Growth on *member*
+//      containers — and on `static`/`thread_local` locals, the
+//      function-scope arena idiom (core/audit.cpp, shortest_path) — is the
+//      scratch-arena discipline and is exempt, amortized to zero
+//      steady-state allocation, but still inventoried. Sites inside
+//      REMOS_CHECK/REMOS_AUDIT argument lists are failure-path-only (the
+//      macros evaluate their message lazily, behind the condition, and the
+//      failure path aborts) and are skipped. Blocking is a mutex
+//      acquisition (unless the mutex is declared `// remos-hot-leaf`), a
+//      ThreadPool entry, a condition_variable/future wait, or a sleep.
+//      I/O is a direct stdio call, REMOS_LOG, or std::cout/cerr.
+//
+//   2. Published-snapshot immutability. Types annotated `// remos-published`
+//      are handed to concurrent readers through atomic shared_ptr slots and
+//      must be deeply immutable after construction: no `mutable` members,
+//      no non-const public methods, no const_cast. Every member slot whose
+//      (alias-expanded) type is a shared_ptr to a published type must be
+//      wrapped in std::atomic with a const pointee; explicit store/load
+//      memory orders must be release/acquire (or seq_cst). A plain
+//      shared_ptr member slot is a torn publish.
+//
+// Receivers that do not resolve (parameters, chained subscripts, locals of
+// unknown type) stay silent — like every pass here, approximation errs
+// toward silence, and the corpus fixtures pin the must-catch shapes. The
+// inventory lists every function in the hot closure with its sites
+// (flagged, suppressed, arena, leaf-mutex): the migration worklist for the
+// SoA-arena work in ROADMAP item 5.
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "passes.hpp"
+
+namespace remos::analyze {
+namespace {
+
+bool punct_at(const std::vector<Token>& t, std::size_t k, const char* p) {
+  return k < t.size() && t[k].kind == TokKind::kPunct && t[k].text == p;
+}
+bool ident_at(const std::vector<Token>& t, std::size_t k, const char* s) {
+  return k < t.size() && t[k].kind == TokKind::kIdent && t[k].text == s;
+}
+
+std::size_t match_fwd(const std::vector<Token>& t, std::size_t i, std::size_t end,
+                      const char* open, const char* close) {
+  int d = 0;
+  for (std::size_t k = i; k < end; ++k) {
+    if (t[k].kind != TokKind::kPunct) continue;
+    if (t[k].text == open) ++d;
+    else if (t[k].text == close && --d == 0) return k;
+  }
+  return end;
+}
+
+// Growth operations that can reallocate the receiver's storage. clear()
+// and pop_back() shrink and are deliberately absent.
+const std::set<std::string> kGrowthNames{
+    "push_back", "emplace_back", "push_front", "emplace_front", "emplace",
+    "insert",    "insert_or_assign", "try_emplace", "resize", "reserve",
+    "append",    "assign"};
+
+// Direct allocators by call name (std:: or project-qualified).
+const std::set<std::string> kAllocCallNames{"make_shared", "make_unique",
+                                            "to_string"};
+
+// I/O by call name; REMOS_LOG is the project's logging macro.
+const std::set<std::string> kIoCallNames{
+    "printf", "fprintf", "fopen",  "fclose", "fwrite",     "fread",
+    "fputs",  "fputc",   "puts",   "fflush", "perror",     "getline",
+    "system", "log_message", "REMOS_LOG"};
+
+const std::set<std::string> kSleepNames{"sleep_for", "sleep_until"};
+
+// Assertion macros whose argument expressions only run on the failure
+// (abort) path: the message is evaluated lazily behind the condition.
+const std::set<std::string> kAssertMacros{"REMOS_CHECK", "REMOS_AUDIT",
+                                          "REMOS_AUDIT_SEV"};
+
+// Owning std:: container/string types whose *local* construction in a hot
+// body is an allocation site.
+const std::set<std::string> kOwningTypeNames{
+    "string",        "vector",       "map",           "multimap",
+    "set",           "multiset",     "deque",         "list",
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset", "stringstream", "ostringstream", "istringstream",
+    "function"};
+
+// Marker names owned by the typed tokenizer channels / other tools; the
+// structural set is what this pass binds and validates.
+const std::set<std::string> kStructuralMarkers{"hot", "hot-leaf", "published"};
+const std::set<std::string> kForeignMarkers{"analyze", "lint", "lock-order",
+                                            "guarded-by", "requires"};
+
+/// Receiver identifier of a method call (x.name / x->name), "" for bare.
+std::string receiver_name(const std::vector<Token>& t, const CallSite& c) {
+  const std::size_t j = c.token_index;
+  if (j < 2) return "";
+  if (!punct_at(t, j - 1, ".") && !punct_at(t, j - 1, "->")) return "";
+  if (t[j - 2].kind != TokKind::kIdent) return "";
+  return t[j - 2].text;
+}
+
+/// Base identifier of the receiver chain of a method call: for
+/// `a.b.c.push_back(...)` returns "a"; "this" when the chain starts at
+/// this->; "" when the chain does not start at a plain identifier
+/// (subscripts, call results, ...).
+std::string receiver_base(const std::vector<Token>& t, const CallSite& c) {
+  std::size_t j = c.token_index;
+  while (j >= 2 && (punct_at(t, j - 1, ".") || punct_at(t, j - 1, "->"))) {
+    if (t[j - 2].kind != TokKind::kIdent) return "";
+    j -= 2;
+  }
+  return t[j].kind == TokKind::kIdent ? t[j].text : "";
+}
+
+const VarDecl* scope_var(const Project& proj, const FunctionInfo& fn,
+                         const std::string& name) {
+  if (!fn.cls.empty()) {
+    auto it = proj.classes.find(fn.cls);
+    if (it != proj.classes.end()) {
+      for (const auto& m : it->second.members) {
+        if (m.name == name) return &m;
+      }
+    }
+  }
+  auto nv = proj.namespace_vars.find(fn.file);
+  if (nv != proj.namespace_vars.end()) {
+    for (const auto& v : nv->second) {
+      if (v.name == name) return &v;
+    }
+  }
+  return nullptr;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string display_name(const FunctionInfo& fn) {
+  return fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+}
+
+}  // namespace
+
+Findings pass_hotpath(const Project& proj, const CallGraph& cg,
+                      HotpathInventory* inventory) {
+  (void)cg;
+  Findings out;
+  std::set<std::string> seen;
+  auto emit = [&](const std::string& rule, const std::string& file, int line,
+                  std::string msg) {
+    if (seen.insert(file + ":" + std::to_string(line) + ":" + rule + ":" + msg).second)
+      out.push_back({"hotpath", rule, file, line, std::move(msg)});
+  };
+
+  std::map<std::string, const SourceFile*> file_by_path;
+  for (const auto& sf : proj.files) file_by_path[sf.rel_path] = &sf;
+
+  // ---- marker validation (shared grammar, one rule id) --------------------
+  for (const auto& sf : proj.files) {
+    for (const auto& ma : sf.toks.markers) {
+      if (kForeignMarkers.count(ma.name)) continue;
+      if (!kStructuralMarkers.count(ma.name)) {
+        emit("bad-annotation", sf.rel_path, ma.line,
+             "`remos-" + ma.name +
+                 "` names no known annotation (structural markers: remos-hot, "
+                 "remos-hot-leaf, remos-published)");
+        continue;
+      }
+      if (!ma.attached) {
+        emit("bad-annotation", sf.rel_path, ma.line,
+             "`remos-" + ma.name + "` binds to no " +
+                 (ma.name == "hot"
+                      ? std::string("function declaration")
+                      : ma.name == "hot-leaf" ? std::string("mutex declaration")
+                                              : std::string("class definition")) +
+                 " on this line");
+      }
+    }
+  }
+
+  // ---- hot closure --------------------------------------------------------
+  std::vector<std::vector<std::vector<std::size_t>>> resolved(proj.functions.size());
+  for (std::size_t i = 0; i < proj.functions.size(); ++i) {
+    const FunctionInfo& fn = proj.functions[i];
+    resolved[i].resize(fn.calls.size());
+    for (std::size_t ci = 0; ci < fn.calls.size(); ++ci) {
+      resolved[i][ci] = resolve_call(proj, fn, fn.calls[ci]);
+    }
+  }
+
+  // root_of[i]: index of the hot entry point that reaches function i
+  // (first one in deterministic BFS order), or npos.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> root_of(proj.functions.size(), kNone);
+  std::vector<std::size_t> queue;
+  for (std::size_t i = 0; i < proj.functions.size(); ++i) {
+    if (proj.functions[i].is_hot && proj.functions[i].has_body) {
+      root_of[i] = i;
+      queue.push_back(i);
+    }
+  }
+  for (std::size_t qh = 0; qh < queue.size(); ++qh) {
+    const std::size_t i = queue[qh];
+    const FunctionInfo& fn = proj.functions[i];
+    const auto& toks = file_by_path.at(fn.file)->toks.tokens;
+    // Local lambda names: calls through them must not resolve by bare name
+    // to same-named project functions (phantom inventory rows otherwise).
+    std::set<std::string> local_lambdas;
+    for (std::size_t j = fn.body_begin; j < fn.body_end && j < toks.size(); ++j) {
+      if (toks[j].kind == TokKind::kIdent && punct_at(toks, j + 1, "=") &&
+          punct_at(toks, j + 2, "[")) {
+        local_lambdas.insert(toks[j].text);
+      }
+    }
+    for (std::size_t ci = 0; ci < fn.calls.size(); ++ci) {
+      const CallSite& c = fn.calls[ci];
+      // Pool entries are terminal block sites; the pool machinery itself
+      // is not part of the hot contract.
+      if (pool_entry_names().count(c.name)) continue;
+      if (local_lambdas.count(c.name)) continue;
+      // `Type<...>::name(...)` static calls (numeric_limits<T>::max, ...)
+      // carry no recorded qualifier; resolving them by bare name would
+      // wire phantom cross-class edges.
+      if (c.token_index >= 2 && punct_at(toks, c.token_index - 1, "::") &&
+          toks[c.token_index - 2].kind != TokKind::kIdent) {
+        continue;
+      }
+      // Method calls on a receiver whose declared type we know: keep only
+      // candidates of that type (cuts cross-class same-name edges).
+      const VarDecl* rv = nullptr;
+      if (c.method_call) {
+        const std::string recv = receiver_name(toks, c);
+        if (!recv.empty()) rv = scope_var(proj, fn, recv);
+      }
+      for (std::size_t k : resolved[i][ci]) {
+        const FunctionInfo& callee = proj.functions[k];
+        if (!callee.has_body || callee.cls == "ThreadPool") continue;
+        if (rv && !callee.cls.empty() &&
+            rv->type_text.find(callee.cls) == std::string::npos) {
+          continue;
+        }
+        if (root_of[k] == kNone) {
+          root_of[k] = root_of[i];
+          queue.push_back(k);
+        }
+      }
+    }
+  }
+
+  // ---- per-function site scan ---------------------------------------------
+  std::vector<std::size_t> hot_fns;
+  for (std::size_t i = 0; i < proj.functions.size(); ++i) {
+    if (root_of[i] != kNone) hot_fns.push_back(i);
+  }
+  std::sort(hot_fns.begin(), hot_fns.end(), [&](std::size_t a, std::size_t b) {
+    const FunctionInfo& fa = proj.functions[a];
+    const FunctionInfo& fb = proj.functions[b];
+    if (fa.file != fb.file) return fa.file < fb.file;
+    if (fa.line != fb.line) return fa.line < fb.line;
+    return display_name(fa) < display_name(fb);
+  });
+
+  for (std::size_t i : hot_fns) {
+    const FunctionInfo& fn = proj.functions[i];
+    const FunctionInfo& root = proj.functions[root_of[i]];
+    const auto& t = file_by_path.at(fn.file)->toks.tokens;
+
+    HotpathFunction row;
+    row.function = display_name(fn);
+    row.file = fn.file;
+    row.line = fn.line;
+    row.root = display_name(root);
+    row.direct = fn.is_hot;
+
+    auto add_site = [&](const std::string& kind, int line, const std::string& detail,
+                        const std::string& exempt_status) {
+      HotpathSite site{kind, fn.file, line, detail, exempt_status};
+      if (exempt_status.empty()) {
+        site.status = suppression_covers(proj, "hotpath", fn.file, line)
+                          ? "suppressed"
+                          : "flagged";
+        const std::string where =
+            fn.is_hot ? "hot `" + row.function + "`"
+                      : "`" + row.function + "` (reachable from hot `" + row.root + "`)";
+        emit("hot-" + kind, fn.file, line, detail + " in " + where);
+      }
+      row.sites.push_back(std::move(site));
+    };
+
+    // Token ranges of assertion-macro argument lists: failure-path-only.
+    std::vector<std::pair<std::size_t, std::size_t>> assert_ranges;
+    for (std::size_t j = fn.body_begin; j < fn.body_end && j < t.size(); ++j) {
+      if (t[j].kind == TokKind::kIdent && kAssertMacros.count(t[j].text) &&
+          punct_at(t, j + 1, "(")) {
+        assert_ranges.emplace_back(j + 1, match_fwd(t, j + 1, fn.body_end, "(", ")"));
+      }
+    }
+    auto in_assert = [&](std::size_t k) {
+      for (const auto& [b, e] : assert_ranges) {
+        if (k > b && k < e) return true;
+      }
+      return false;
+    };
+
+    // Locally-owned containers/strings, locals of project class type, and
+    // static/thread_local function-scope arenas.
+    std::set<std::string> owning_locals, class_locals, arena_locals;
+    for (std::size_t j = fn.body_begin; j < fn.body_end && j < t.size(); ++j) {
+      if (t[j].kind != TokKind::kIdent || in_assert(j)) continue;
+      const std::string& s = t[j].text;
+      if (kOwningTypeNames.count(s) && punct_at(t, j - 1, "::") &&
+          ident_at(t, j - 2, "std")) {
+        const bool is_arena = j >= 3 && (ident_at(t, j - 3, "thread_local") ||
+                                         ident_at(t, j - 3, "static"));
+        std::size_t k = j + 1;
+        if (punct_at(t, k, "<")) k = match_fwd(t, k, fn.body_end, "<", ">") + 1;
+        bool is_ref = false;
+        while (punct_at(t, k, "&") || punct_at(t, k, "*") || ident_at(t, k, "const")) {
+          if (punct_at(t, k, "&")) is_ref = true;
+          ++k;
+        }
+        if (is_ref) continue;  // reference binding allocates nothing
+        if (k + 1 < t.size() && k < fn.body_end && t[k].kind == TokKind::kIdent &&
+            t[k + 1].kind != TokKind::kIdent) {
+          if (is_arena) {
+            // One-time (per thread) construction; growth below is arena.
+            arena_locals.insert(t[k].text);
+            continue;
+          }
+          owning_locals.insert(t[k].text);
+          const std::size_t after = k + 1;
+          const bool paren_init =
+              punct_at(t, after, "(") && !punct_at(t, after + 1, ")");
+          const bool brace_init =
+              punct_at(t, after, "{") && !punct_at(t, after + 1, "}");
+          if (paren_init || brace_init || punct_at(t, after, "=")) {
+            add_site("alloc", t[k].line,
+                     "constructs local owning `std::" + s + "` `" + t[k].text + "`",
+                     "");
+          }
+        } else if ((punct_at(t, k, "(") && !punct_at(t, k + 1, ")")) ||
+                   (punct_at(t, k, "{") && !punct_at(t, k + 1, "}"))) {
+          // Empty construction (`std::vector<T>{}`) allocates nothing.
+          add_site("alloc", t[j].line, "constructs `std::" + s + "` temporary", "");
+        }
+      } else if (proj.classes.count(s) && !punct_at(t, j - 1, "::") &&
+                 !punct_at(t, j - 1, ".") && !punct_at(t, j - 1, "->") &&
+                 j + 1 < fn.body_end && t[j + 1].kind == TokKind::kIdent &&
+                 !punct_at(t, j + 2, "(")) {
+        class_locals.insert(t[j + 1].text);
+      } else if (s == "new") {
+        if (classify_new_site(t, j) == NewKind::kAllocating) {
+          add_site("alloc", t[j].line, "allocating `new` expression", "");
+        }
+      } else if ((s == "make_shared" || s == "make_unique") &&
+                 punct_at(t, j + 1, "<")) {
+        // Explicit-template-arg form: `ident <` is not recorded as a call
+        // site by the model, so catch it here.
+        add_site("alloc", t[j].line, "`" + s + "` allocates", "");
+      } else if ((s == "cout" || s == "cerr" || s == "clog") &&
+                 punct_at(t, j - 1, "::") && ident_at(t, j - 2, "std")) {
+        add_site("io", t[j].line, "writes to std::" + s, "");
+      }
+    }
+
+    for (const CallSite& c : fn.calls) {
+      if (in_assert(c.token_index)) continue;  // failure-path-only
+      if (kAllocCallNames.count(c.name)) {
+        add_site("alloc", c.line, "`" + c.name + "` allocates", "");
+        continue;
+      }
+      if (kIoCallNames.count(c.name)) {
+        add_site("io", c.line, "`" + c.name + "` performs I/O", "");
+        continue;
+      }
+      if (pool_entry_names().count(c.name)) {
+        add_site("block", c.line,
+                 "ThreadPool entry `" + c.name + "` hands work to pool lanes", "");
+        continue;
+      }
+      if (kSleepNames.count(c.name)) {
+        add_site("block", c.line, "`" + c.name + "` sleeps", "");
+        continue;
+      }
+      if (c.method_call && kGrowthNames.count(c.name)) {
+        const std::string base = receiver_base(t, c);
+        if (base.empty()) continue;  // subscripted/derived receiver: silent
+        if (owning_locals.count(base) || class_locals.count(base)) {
+          add_site("alloc", c.line,
+                   "grows locally-owned `" + base + "` (`" + c.name + "`)", "");
+        } else if (arena_locals.count(base)) {
+          // static/thread_local function-scope arena: amortized.
+          add_site("alloc", c.line,
+                   "arena growth `" + base + "." + c.name + "` (thread-local)",
+                   "arena");
+        } else if (base == "this" || scope_var(proj, fn, base)) {
+          // Member scratch arena: amortized, steady-state allocation-free.
+          add_site("alloc", c.line,
+                   "arena growth `" + base + "." + c.name + "`", "arena");
+        }
+        continue;
+      }
+      if (c.method_call) {
+        const std::string recv = receiver_name(t, c);
+        const VarDecl* rv = recv.empty() ? nullptr : scope_var(proj, fn, recv);
+        if (rv && rv->is_cv && cv_wait_names().count(c.name)) {
+          add_site("block", c.line, "condition_variable wait on `" + recv + "`", "");
+        } else if (rv && rv->is_thread_handle && future_wait_names().count(c.name) &&
+                   rv->type_text.find("future") != std::string::npos) {
+          add_site("block", c.line, "waits on future `" + recv + "`", "");
+        }
+      }
+    }
+
+    for (const AcquireSite& a : fn.acquires) {
+      auto mi = proj.mutexes.find(a.mutex);
+      if (mi != proj.mutexes.end() && mi->second.hot_leaf) {
+        add_site("block", a.line, "acquires leaf mutex `" + a.mutex + "`",
+                 "leaf-mutex");
+      } else {
+        add_site("block", a.line,
+                 "acquires `" + a.mutex +
+                     "` — not a declared `// remos-hot-leaf` leaf mutex", "");
+      }
+    }
+
+    if (inventory) inventory->functions.push_back(std::move(row));
+  }
+
+  // ---- published-snapshot immutability ------------------------------------
+  std::set<std::string> published;
+  for (const auto& [name, ci] : proj.classes) {
+    if (ci.is_published) published.insert(name);
+  }
+
+  // Alias-expand a compact type text (bounded; aliases may chain).
+  auto expand_type = [&](std::string text) {
+    for (int round = 0; round < 3; ++round) {
+      bool changed = false;
+      for (const auto& [name, rhs] : proj.type_aliases) {
+        std::size_t pos = 0;
+        while ((pos = text.find(name, pos)) != std::string::npos) {
+          const bool lb = pos == 0 || !is_ident_char(text[pos - 1]);
+          const std::size_t after = pos + name.size();
+          const bool rb = after >= text.size() || !is_ident_char(text[after]);
+          if (lb && rb && rhs.find(name) == std::string::npos) {
+            text = text.substr(0, pos) + rhs + text.substr(after);
+            pos += rhs.size();
+            changed = true;
+          } else {
+            pos += name.size();
+          }
+        }
+      }
+      if (!changed) break;
+    }
+    return text;
+  };
+
+  auto published_in = [&](const std::string& expanded) -> std::string {
+    for (const auto& p : published) {
+      if (expanded.find(p) != std::string::npos) return p;
+    }
+    return "";
+  };
+
+  // Immutability of the published types themselves.
+  for (const auto& p : published) {
+    const ClassInfo& ci = proj.classes.at(p);
+    for (const auto& m : ci.members) {
+      if (m.type_text.find("mutable") != std::string::npos) {
+        emit("published-mutable", m.file, m.line,
+             "`" + p + "::" + m.name +
+                 "` is mutable — published snapshots must be deeply immutable "
+                 "after construction");
+      }
+    }
+  }
+  for (const FunctionInfo& fn : proj.functions) {
+    if (fn.cls.empty() || !published.count(fn.cls)) continue;
+    if (!fn.is_ctor_dtor && !fn.is_static && fn.is_public && !fn.is_const) {
+      emit("published-method", fn.file, fn.line,
+           "`" + display_name(fn) +
+               "` is a non-const public method on a published type — readers "
+               "share instances concurrently");
+    }
+    if (!fn.has_body) continue;
+    const auto& t = file_by_path.at(fn.file)->toks.tokens;
+    for (std::size_t j = fn.body_begin; j < fn.body_end && j < t.size(); ++j) {
+      if (ident_at(t, j, "const_cast")) {
+        emit("published-cast", fn.file, t[j].line,
+             "const_cast inside published type `" + fn.cls +
+                 "` defeats snapshot immutability");
+      }
+    }
+  }
+
+  // Publication slots: members whose expanded type is shared_ptr<published>.
+  // scope key (class name / file) -> atomic slot member names, for the
+  // store/load order check below.
+  std::map<std::string, std::set<std::string>> atomic_slots;
+  auto classify_slot = [&](const std::string& scope_key, const VarDecl& v) {
+    const std::string expanded = expand_type(v.type_text);
+    if (expanded.find("shared_ptr<") == std::string::npos) return;
+    const std::string p = published_in(expanded);
+    if (p.empty()) return;
+    if (expanded.find("atomic<") != std::string::npos) {
+      atomic_slots[scope_key].insert(v.name);
+      if (expanded.find("shared_ptr<const") == std::string::npos) {
+        emit("publish-const", v.file, v.line,
+             "publication slot `" + v.name + "` holds `" + p +
+                 "` without a const pointee — readers could mutate the "
+                 "shared snapshot");
+      }
+      return;
+    }
+    // v.is_const is true for any `const` in the decl, including the
+    // pointee's (`shared_ptr<const T>`); only a top-level const (set once,
+    // never reassigned) exempts the slot from the torn-publish rule.
+    if (expanded.rfind("const", 0) == 0 || v.is_ref || v.is_static) return;
+    if (!v.guard_id.empty()) return;  // mutex-protected cache, not a slot
+    emit("plain-publish", v.file, v.line,
+         "`" + v.name + "` publishes `" + p +
+             "` through a plain shared_ptr — a torn publish; wrap it in "
+             "std::atomic and release-store / acquire-load");
+  };
+  for (const auto& [name, ci] : proj.classes) {
+    for (const auto& m : ci.members) classify_slot(name, m);
+  }
+  for (const auto& [file, vars] : proj.namespace_vars) {
+    for (const auto& v : vars) classify_slot(file, v);
+  }
+
+  // Explicit memory orders on slot store/load must publish (release) and
+  // observe (acquire); the argument-free forms are seq_cst and fine.
+  for (const FunctionInfo& fn : proj.functions) {
+    if (!fn.has_body) continue;
+    const std::set<std::string>* slots = nullptr;
+    if (!fn.cls.empty() && atomic_slots.count(fn.cls)) {
+      slots = &atomic_slots.at(fn.cls);
+    } else if (fn.cls.empty() && atomic_slots.count(fn.file)) {
+      slots = &atomic_slots.at(fn.file);
+    }
+    if (!slots) continue;
+    const auto& t = file_by_path.at(fn.file)->toks.tokens;
+    for (const CallSite& c : fn.calls) {
+      if (!c.method_call || (c.name != "store" && c.name != "load")) continue;
+      const std::string recv = receiver_name(t, c);
+      if (!slots->count(recv)) continue;
+      const std::size_t open = c.token_index + 1;
+      if (!punct_at(t, open, "(")) continue;
+      const std::size_t close = match_fwd(t, open, fn.body_end + 1, "(", ")");
+      for (std::size_t k = open + 1; k < close; ++k) {
+        if (t[k].kind != TokKind::kIdent) continue;
+        const std::string& o = t[k].text;
+        if (o.rfind("memory_order_", 0) != 0) continue;
+        const bool ok = (c.name == "store")
+                            ? (o == "memory_order_release" || o == "memory_order_seq_cst")
+                            : (o == "memory_order_acquire" || o == "memory_order_seq_cst");
+        if (!ok) {
+          emit("publish-order", fn.file, c.line,
+               "`" + recv + "." + c.name + "` on a publication slot uses " + o +
+                   " — publish with release stores and read with acquire "
+                   "loads (or seq_cst)");
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace remos::analyze

@@ -1,4 +1,4 @@
-// remos-analyze: the five analysis passes.
+// remos-analyze: the six analysis passes.
 //
 //   lock          mutex members must carry // remos-lock-order(N); nested
 //                 acquisitions (direct or through the approximate call
@@ -19,6 +19,17 @@
 //                 justified suppression; // remos-requires(<mutex>) call
 //                 contracts are enforced; blocking (pool entry, cv wait,
 //                 future wait) while holding a mutex is flagged.
+//   hotpath       functions marked // remos-hot (and everything they reach
+//                 through the call graph) must not allocate (`new`,
+//                 make_shared/make_unique, owning-container construction,
+//                 growth of locally-owned containers, to_string), perform
+//                 I/O, or block (mutex acquisition beyond declared
+//                 // remos-hot-leaf mutexes, pool entry, cv/future waits);
+//                 member scratch arenas are exempt sinks. Types marked
+//                 // remos-published must be deeply immutable after
+//                 construction, and their atomic shared_ptr publication
+//                 slots must use release stores / acquire loads — plain
+//                 shared_ptr slots are torn publishes.
 //
 // Every pass is approximate (see model.hpp); each errs toward silence so
 // the tree stays warning-clean without suppression sprawl, and the corpus
@@ -46,6 +57,40 @@ std::vector<std::size_t> resolve_call(const Project& proj,
                                       const FunctionInfo& caller,
                                       const CallSite& call);
 
+// --- helpers shared by the annotation-driven passes (pass_common.cpp) ----
+
+/// The project's SourceFile for a repo-relative path, or nullptr.
+const SourceFile* find_file(const Project& proj, const std::string& rel_path);
+
+/// True when a *justified* `// remos-analyze: allow(<pass>)` marker covers
+/// `line` in `file`: marker on the same line, or a comment-only marker on
+/// the line above. Read-only — apply_suppressions (report.cpp) stays the
+/// one place that marks markers used.
+bool suppression_covers(const Project& proj, const std::string& pass,
+                        const std::string& file, int line);
+
+/// Call names that hand work to the thread pool / wait on sync primitives;
+/// shared between the concurrency and hotpath passes so both agree on what
+/// "blocking" means.
+const std::set<std::string>& pool_entry_names();
+const std::set<std::string>& cv_wait_names();
+const std::set<std::string>& future_wait_names();
+
+/// Render a held-lock set as `a`, `b` for messages.
+std::string join_ids(const std::set<std::string>& ids);
+
+/// Classification of a `new` keyword token (satellite of the hotpath
+/// pass): only kAllocating touches the heap allocator.
+enum class NewKind {
+  kAllocating,    // new T / new T[n]
+  kPlacement,     // new (addr) T — constructs into given storage
+  kOperatorDecl,  // operator new / operator new[] overload declaration
+};
+/// `i` must index an identifier token with text "new". `new` inside
+/// strings/comments never reaches here: the tokenizer drops string
+/// contents and comments entirely.
+NewKind classify_new_site(const std::vector<Token>& toks, std::size_t i);
+
 Findings pass_lock(const Project& proj, const CallGraph& cg);
 Findings pass_determinism(const Project& proj, const CallGraph& cg);
 Findings pass_audit(const Project& proj, const CallGraph& cg);
@@ -55,6 +100,12 @@ Findings pass_audit(const Project& proj, const CallGraph& cg);
 /// input to the lock-free query-path migration (ROADMAP item 1).
 Findings pass_concurrency(const Project& proj, const CallGraph& cg,
                           ConcurrencyInventory* inventory);
+
+/// Hot-path pass. Fills `inventory` (when non-null) with every function in
+/// the hot closure and its allocation/IO/blocking sites — the migration
+/// worklist for the SoA-arena work (ROADMAP item 5).
+Findings pass_hotpath(const Project& proj, const CallGraph& cg,
+                      HotpathInventory* inventory);
 
 /// `layers_text` is the contents of layers.txt; `layers_display` is the
 /// path used in finding messages for problems with the file itself.

@@ -7,8 +7,9 @@
 namespace remos::analyze {
 namespace {
 
-const std::set<std::string> kKnownPasses{"lock", "determinism", "layer", "audit",
-                                         "concurrency", "suppression"};
+const std::set<std::string> kKnownPasses{"lock",        "determinism", "layer",
+                                         "audit",       "concurrency", "hotpath",
+                                         "suppression"};
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -111,7 +112,8 @@ void print_text(const Findings& findings, std::size_t files_scanned) {
 
 void print_json(const Findings& findings,
                 const std::map<std::string, int>& suppressions_used,
-                const ConcurrencyInventory* inventory) {
+                const ConcurrencyInventory* inventory,
+                const HotpathInventory* hotpath) {
   std::printf("{\n  \"findings\": [");
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const auto& f = findings[i];
@@ -164,6 +166,32 @@ void print_json(const Findings& findings,
     }
     std::printf("%s],\n", inventory->members.empty() ? "" : "\n    ");
     std::printf("    \"member_count\": %zu\n  },\n", inventory->members.size());
+  }
+
+  if (hotpath) {
+    std::size_t n_sites = 0;
+    std::printf("  \"hotpath\": {\n    \"functions\": [");
+    for (std::size_t i = 0; i < hotpath->functions.size(); ++i) {
+      const auto& f = hotpath->functions[i];
+      std::printf("%s\n      {\"function\": \"%s\", \"file\": \"%s\", "
+                  "\"line\": %d, \"root\": \"%s\", \"direct\": %s, \"sites\": [",
+                  i ? "," : "", json_escape(f.function).c_str(),
+                  json_escape(f.file).c_str(), f.line, json_escape(f.root).c_str(),
+                  f.direct ? "true" : "false");
+      for (std::size_t k = 0; k < f.sites.size(); ++k) {
+        const auto& s = f.sites[k];
+        std::printf("%s\n        {\"kind\": \"%s\", \"file\": \"%s\", "
+                    "\"line\": %d, \"status\": \"%s\", \"detail\": \"%s\"}",
+                    k ? "," : "", json_escape(s.kind).c_str(),
+                    json_escape(s.file).c_str(), s.line,
+                    json_escape(s.status).c_str(), json_escape(s.detail).c_str());
+      }
+      std::printf("%s]}", f.sites.empty() ? "" : "\n      ");
+      n_sites += f.sites.size();
+    }
+    std::printf("%s],\n", hotpath->functions.empty() ? "" : "\n    ");
+    std::printf("    \"function_count\": %zu,\n    \"site_count\": %zu\n  },\n",
+                hotpath->functions.size(), n_sites);
   }
 
   std::printf("  \"count\": %zu\n}\n", findings.size());

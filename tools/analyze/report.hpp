@@ -20,7 +20,7 @@ namespace remos::analyze {
 
 struct Finding {
   std::string pass;  // "lock" | "determinism" | "layer" | "audit" |
-                     // "concurrency" | "suppression"
+                     // "concurrency" | "hotpath" | "suppression"
   std::string rule;  // stable per-finding-kind id within the pass, used by
                      // the CI baseline diff (tools/analyze/baseline.json)
   std::string file;  // repo-relative
@@ -51,6 +51,36 @@ struct ConcurrencyInventory {
   std::vector<MemberProtection> members;
 };
 
+/// One allocation / I/O / blocking site inside hot-path code, with how it
+/// was resolved. Sites with status "flagged" surface as findings; the
+/// other statuses document why the site is acceptable — together they are
+/// the migration worklist for the SoA-arena work (ROADMAP item 5).
+struct HotpathSite {
+  std::string kind;    // "alloc" | "io" | "block"
+  std::string file;
+  int line = 0;
+  std::string detail;  // what the site does, e.g. "allocating `new`"
+  /// "flagged" | "suppressed" (justified allow(hotpath) covers it) |
+  /// "arena" (growth on a member scratch arena) | "leaf-mutex" (acquire
+  /// of a declared // remos-hot-leaf mutex)
+  std::string status;
+};
+
+/// One function in the hot closure: a `// remos-hot` entry point or a
+/// function transitively reachable from one through the call graph.
+struct HotpathFunction {
+  std::string function;  // "Class::name", or bare name for free functions
+  std::string file;
+  int line = 0;
+  std::string root;   // the hot entry point that reaches it
+  bool direct = false;  // carries its own remos-hot marker
+  std::vector<HotpathSite> sites;
+};
+
+struct HotpathInventory {
+  std::vector<HotpathFunction> functions;
+};
+
 /// Apply suppressions: drop findings covered by a matching, justified
 /// allow() marker; then append meta-findings for malformed, unknown-pass,
 /// and stale suppressions. Returns the surviving findings, sorted by
@@ -65,10 +95,12 @@ std::map<std::string, int> used_suppressions(const Project& proj);
 void print_text(const Findings& findings, std::size_t files_scanned);
 
 /// Machine-diffable JSON report to stdout: findings (with pass/rule),
-/// per-pass finding and used-suppression counts, and — when `inventory`
-/// is non-null — the concurrency member-protection inventory.
+/// per-pass finding and used-suppression counts, and — when non-null —
+/// the concurrency member-protection inventory and the hot-path
+/// function/site inventory.
 void print_json(const Findings& findings,
                 const std::map<std::string, int>& suppressions_used,
-                const ConcurrencyInventory* inventory);
+                const ConcurrencyInventory* inventory,
+                const HotpathInventory* hotpath);
 
 }  // namespace remos::analyze

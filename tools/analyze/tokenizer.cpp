@@ -11,6 +11,11 @@ const std::regex kGuardedByRe{R"(remos-guarded-by\(([A-Za-z_][A-Za-z0-9_:]*)\))"
 const std::regex kRequiresRe{R"(remos-requires\(([A-Za-z_][A-Za-z0-9_:]*)\))"};
 const std::regex kAllowRe{
     R"(^//\s*remos-analyze:\s*allow\(([a-z-]*)\)(:\s*(.*))?)"};
+// Generic marker channel: every `remos-<name>[(<arg>)]` in a comment whose
+// text starts with `remos-`. Anchoring on the comment start keeps doc prose
+// that mentions a marker from creating phantom annotations.
+const std::regex kMarkerStartRe{R"(^//[/!]*\s*remos-[a-z])"};
+const std::regex kMarkerRe{R"(remos-([a-z][a-z-]*)(\(([^()]*)\))?)"};
 const std::regex kIncludeRe{R"(^\s*#\s*include\s*([<"])([^">]+)[">])"};
 
 bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
@@ -45,6 +50,16 @@ void scan_comment(const std::string& comment, int line, bool line_has_code,
     }
     s.comment_only_line = !line_has_code;
     out.suppressions.push_back(s);
+  }
+  if (std::regex_search(comment, m, kMarkerStartRe)) {
+    for (auto it = std::sregex_iterator(comment.begin(), comment.end(), kMarkerRe);
+         it != std::sregex_iterator(); ++it) {
+      MarkerAnnotation ma;
+      ma.line = line;
+      ma.name = (*it)[1].str();
+      ma.arg = (*it)[3].matched ? (*it)[3].str() : "";
+      out.markers.push_back(std::move(ma));
+    }
   }
 }
 

@@ -9,7 +9,11 @@
 //   * // remos-lock-order(N) annotations,
 //   * // remos-guarded-by(<mutex>) member-protection annotations,
 //   * // remos-requires(<mutex>) caller-must-hold annotations,
-//   * // remos-analyze: allow(<pass>): <justification> suppressions.
+//   * // remos-analyze: allow(<pass>): <justification> suppressions,
+//   * generic // remos-<name>[(<arg>)] markers (remos-hot, remos-published,
+//     remos-hot-leaf, ...) from comments that *start* with `remos-` — one
+//     shared channel so every pass sees the same marker grammar and syntax
+//     errors are reported once.
 //
 // Side channels are extracted from *comments the token scanner itself
 // recognizes*, so annotation-shaped text inside string literals (including
@@ -60,6 +64,21 @@ struct RequiresAnnotation {
   std::string mutex;
 };
 
+/// One `remos-<name>[(<arg>)]` marker from a comment whose text starts
+/// with `remos-` (anchoring keeps prose that merely *mentions* a marker
+/// inert). The typed channels above stay authoritative for their markers;
+/// this channel carries the structural annotations (`remos-hot`,
+/// `remos-published`, `remos-hot-leaf`) and lets the passes validate
+/// unknown / unattached markers with one rule id.
+struct MarkerAnnotation {
+  int line = 0;
+  std::string name;  // text after "remos-", e.g. "hot", "published"
+  std::string arg;   // text inside the optional (...), "" when absent
+  /// Set by the model when the marker binds to a declaration; unattached
+  /// structural markers become bad-annotation findings.
+  mutable bool attached = false;
+};
+
 struct Suppression {
   int line = 0;
   std::string pass;           // pass name inside allow(...)
@@ -76,6 +95,7 @@ struct TokenizedFile {
   std::vector<GuardedByAnnotation> guarded_by;
   std::vector<RequiresAnnotation> requires_held;
   std::vector<Suppression> suppressions;
+  std::vector<MarkerAnnotation> markers;
 };
 
 /// Tokenize one source file's contents. `text` is the raw file body.

@@ -10,6 +10,15 @@ The baseline pins two per-pass maps:
                      tree: absent pass == 0)
   suppressions_used  suppressions that ate a finding — the accepted budget
 
+plus the hot-path inventory (baseline key "hotpath"):
+
+  direct_functions    the `// remos-hot` entry points — losing one means an
+                      annotation was dropped, gaining one means a new hot
+                      contract that review must see
+  function_count      size of the transitive hot closure
+  site_status_counts  "kind:status" histogram of every alloc/io/block site
+                      in the closure (arena, suppressed, leaf-mutex, ...)
+
 Any drift in either direction fails: new findings or suppressions must be
 pinned consciously (update the baseline in the same PR), and a drop means
 the baseline is stale and should be ratcheted down.
@@ -37,6 +46,40 @@ def diff_maps(kind: str, actual: dict, pinned: dict) -> list[str]:
     return problems
 
 
+def diff_hotpath(report: dict, pinned: dict) -> list[str]:
+    problems = []
+    inv = report.get("hotpath", {})
+    functions = inv.get("functions", [])
+
+    actual_direct = sorted({f["function"] for f in functions if f.get("direct")})
+    pinned_direct = sorted(set(pinned.get("direct_functions", [])))
+    for name in sorted(set(pinned_direct) - set(actual_direct)):
+        problems.append(
+            f"hotpath.direct_functions: `{name}` pinned but not in the report —"
+            " a `// remos-hot` annotation was dropped (or the function renamed);"
+            " restore it or ratchet tools/analyze/baseline.json"
+        )
+    for name in sorted(set(actual_direct) - set(pinned_direct)):
+        problems.append(
+            f"hotpath.direct_functions: `{name}` is newly hot —"
+            " pin the new entry point in tools/analyze/baseline.json"
+        )
+
+    actual_count = {"functions": int(inv.get("function_count", 0))}
+    pinned_count = {"functions": int(pinned.get("function_count", 0))}
+    problems += diff_maps("hotpath.closure", actual_count, pinned_count)
+
+    statuses: dict[str, int] = {}
+    for f in functions:
+        for s in f.get("sites", []):
+            key = f"{s['kind']}:{s.get('status') or 'flagged'}"
+            statuses[key] = statuses.get(key, 0) + 1
+    problems += diff_maps(
+        "hotpath.site_status_counts", statuses, pinned.get("site_status_counts", {})
+    )
+    return problems
+
+
 def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("--report", required=True)
@@ -54,6 +97,7 @@ def main() -> int:
         report.get("suppressions_used", {}),
         baseline.get("suppressions_used", {}),
     )
+    problems += diff_hotpath(report, baseline.get("hotpath", {}))
 
     if problems:
         for p in problems:
