@@ -5,10 +5,19 @@
 //
 // Implemented with google-benchmark: one Fit and one StepPredict benchmark
 // per model.
+//
+// The IncrementalStep/FullRefit rows compare the two ways of keeping an AR
+// fit current as samples stream in: the sliding-window sum update
+// (IncrementalArFitter::push + fit_into, O(p) + O(p^2) per sample) against
+// re-running batch Yule-Walker over the whole window (O(window * p)). The
+// ratio is the per-series saving the fleet-scale path banks on; the
+// fleet-level version is bench/micro_rps_scale.cpp.
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.hpp"
 #include "net/hostload.hpp"
+#include "rps/incremental.hpp"
+#include "rps/linear.hpp"
 #include "rps/models.hpp"
 
 namespace {
@@ -69,6 +78,42 @@ REMOS_MODEL_BENCH(MA8, "MA8");
 REMOS_MODEL_BENCH(ARMA88, "ARMA(8,8)");
 REMOS_MODEL_BENCH(ARIMA212, "ARIMA(2,1,2)");
 REMOS_MODEL_BENCH(FARIMA, "FARIMA(1,0.4,1)");
+
+// Refreshing an AR fit per streamed sample: incremental sum update vs
+// batch recompute over the same 600-sample window.
+void BM_IncrementalStep(benchmark::State& state, std::size_t order) {
+  rps::IncrementalArFitter fitter(order, fit_data().size());
+  fitter.assign(fit_data());
+  rps::ArFit fit;
+  rps::ArFitScratch scratch;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    fitter.push(stream_data()[i++ & 4095]);
+    fitter.fit_into(fit, scratch);
+    benchmark::DoNotOptimize(fit.sigma2);
+  }
+}
+
+void BM_FullRefit(benchmark::State& state, std::size_t order) {
+  std::vector<double> window = fit_data();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    // The pre-incremental cost model: shift the window and refit from raw
+    // samples every step.
+    window.erase(window.begin());
+    window.push_back(stream_data()[i++ & 4095]);
+    rps::ArFit fit = rps::fit_ar_yule_walker(window, order);
+    benchmark::DoNotOptimize(fit.sigma2);
+  }
+}
+
+#define REMOS_REFIT_BENCH(name, order)                         \
+  BENCHMARK_CAPTURE(BM_IncrementalStep, name, order);          \
+  BENCHMARK_CAPTURE(BM_FullRefit, name, order)
+
+REMOS_REFIT_BENCH(AR8, 8u);
+REMOS_REFIT_BENCH(AR16, 16u);
+REMOS_REFIT_BENCH(AR32, 32u);
 
 }  // namespace
 

@@ -1,0 +1,245 @@
+// Fleet-scale RPS prediction (ROADMAP item 4): 1k-1M live series through
+// one FleetPredictor, incremental sliding-window fits vs the full-refit
+// baseline.
+//
+// The full_refit rows ARE the pre-incremental cost model: every refit
+// recomputes mean + lag-0..p autocovariance over the whole window (exactly
+// what StreamingPredictor cost before IncrementalArFitter landed),
+// re-measured live on identical windows so the comparison is always
+// against this machine. baseline_ns_for() additionally embeds the values
+// measured on the reference container at the PR that introduced the
+// incremental path, so later regressions in either mode are visible
+// against a fixed point.
+//
+// The workload is seeded and the fleet's counters are deterministic, so
+// group/refit/seeding facts per fleet size are pure functions of the size
+// (normalized per round). They are pinned in bench/rps_scale_pins.json and
+// checked, together with the >= 5x incremental-vs-full-refit throughput
+// ratchet at 100k series, by tools/check_rps_scale.py in the ci/check.sh
+// rps-smoke stage.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "rps/fleet.hpp"
+#include "rps/models.hpp"
+#include "rps/shared_cache.hpp"
+
+namespace {
+
+using namespace remos;
+
+// Workload shape: a 90/10 mix of AR(8)/AR(16) series (two spec-shape
+// groups), with 1-in-100 series "young" — born with an empty window, so
+// they can only answer via warm-tier template seeding until they age in.
+constexpr std::size_t kWindow = 1024;
+constexpr std::size_t kHorizon = 16;
+constexpr bool is_ar16(std::size_t i) { return i % 10 == 9; }
+constexpr bool is_young(std::size_t i) { return i % 100 == 37; }
+
+/// Deterministic per-series load signal: AR(1)-flavored around 100 with
+/// LCG noise; series index seeds the generator so every run and both fit
+/// modes see identical windows.
+struct SeriesGen {
+  std::uint64_t state;
+  double prev = 100.0;
+  explicit SeriesGen(std::size_t i) : state(0x9E3779B97F4A7C15ULL ^ (i * 0xBF58476D1CE4E5B9ULL)) {}
+  double next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u = static_cast<double>(state >> 11) * (1.0 / 9007199254740992.0);
+    prev = 100.0 + 0.8 * (prev - 100.0) + 4.0 * (u - 0.5);
+    return prev;
+  }
+};
+
+struct Result {
+  std::string name;  // "incremental" | "full_refit"
+  std::size_t series = 0;
+  std::size_t rounds = 0;
+  double observe_ns = 0.0;  // per series-round
+  double fit_ns = 0.0;      // per series-round
+  double query_ns = 0.0;    // per series-round
+  double total_ns = 0.0;    // observe + fit + query
+  // Deterministic fleet facts (pinned, normalized per round by the checker).
+  std::size_t groups = 0, young = 0;
+  std::uint64_t refits_total = 0, fit_failures = 0;
+  std::uint64_t seeded_predictions = 0, templates_published = 0;
+  std::uint64_t warm_hits = 0, warm_misses = 0, predict_ok = 0;
+  double baseline_ns = 0.0;  // reference total_ns, 0 if not recorded
+};
+
+/// Full-refit total ns per series-round measured on the reference
+/// container at the commit introducing the incremental path (default
+/// preset, sequential refits). Incremental rows' speedup column uses the
+/// live full_refit measurement when one exists at that size and this
+/// reference otherwise.
+double baseline_ns_for(std::size_t series) {
+  if (series == 1000) return 11600.0;
+  if (series == 10000) return 10200.0;  // full refit is size-independent per
+  if (series == 100000) return 11700.0; // series: O(window * p) every round
+  if (series == 1000000) return 9850.0;
+  return 0.0;
+}
+
+Result run_one(std::size_t n, std::size_t rounds, bool incremental) {
+  rps::SharedPredictionCache cache(/*ttl_s=*/1e9, [] { return 0.0; });
+  rps::FleetConfig cfg;
+  cfg.window = kWindow;
+  cfg.horizon = kHorizon;
+  cfg.incremental = incremental;
+  cfg.cache = &cache;
+  // Sequential refits: CI runs on a single core, so the ratchet this bench
+  // feeds must hold algorithmically, without parallel dispatch. (The pool
+  // path is covered for bit-identity by test_rps_fleet.)
+  cfg.pool = nullptr;
+  rps::FleetPredictor fleet(cfg);
+
+  const rps::ModelSpec ar8 = rps::ModelSpec::ar(8);
+  const rps::ModelSpec ar16 = rps::ModelSpec::ar(16);
+  std::vector<SeriesGen> gens;
+  gens.reserve(n);
+  std::vector<double> history;
+  history.reserve(kWindow);
+  std::size_t young = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    fleet.add_series(is_ar16(i) ? ar16 : ar8);
+    gens.emplace_back(i);
+    if (is_young(i)) {
+      ++young;  // born with an empty window; seeded from the warm tier
+      continue;
+    }
+    history.clear();
+    for (std::size_t t = 0; t < kWindow; ++t) history.push_back(gens[i].next());
+    fleet.prime(i, history);
+  }
+
+  Result r;
+  r.name = incremental ? "incremental" : "full_refit";
+  r.series = n;
+  r.rounds = rounds;
+  r.groups = fleet.group_count();
+  r.young = young;
+
+  double observe_s = 0.0;
+  double fit_s = 0.0;
+  double query_s = 0.0;
+  rps::Prediction pred;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    observe_s += bench::time_real([&] {
+      for (std::size_t i = 0; i < n; ++i) fleet.observe(i, gens[i].next());
+    });
+    fit_s += bench::time_real([&] { fleet.refit_all(); });
+    query_s += bench::time_real([&] {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (fleet.predict_into(i, pred)) ++r.predict_ok;
+      }
+    });
+  }
+
+  const double ops = static_cast<double>(n) * static_cast<double>(rounds);
+  r.observe_ns = observe_s * 1e9 / ops;
+  r.fit_ns = fit_s * 1e9 / ops;
+  r.query_ns = query_s * 1e9 / ops;
+  r.total_ns = r.observe_ns + r.fit_ns + r.query_ns;
+  r.refits_total = fleet.refits_total();
+  r.fit_failures = fleet.fit_failures();
+  r.seeded_predictions = fleet.seeded_predictions();
+  r.templates_published = fleet.templates_published();
+  r.warm_hits = cache.warm_hits();
+  r.warm_misses = cache.warm_misses();
+  return r;
+}
+
+void write_json(const std::string& path, const std::vector<Result>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_rps_scale: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"series\": %zu, \"rounds\": %zu, "
+                 "\"observe_ns\": %.1f, \"fit_ns\": %.1f, \"query_ns\": %.1f, "
+                 "\"total_ns\": %.1f, \"groups\": %zu, \"young\": %zu, "
+                 "\"refits_total\": %llu, \"fit_failures\": %llu, "
+                 "\"seeded_predictions\": %llu, \"templates_published\": %llu, "
+                 "\"warm_hits\": %llu, \"warm_misses\": %llu, \"predict_ok\": %llu",
+                 r.name.c_str(), r.series, r.rounds, r.observe_ns, r.fit_ns, r.query_ns,
+                 r.total_ns, r.groups, r.young,
+                 static_cast<unsigned long long>(r.refits_total),
+                 static_cast<unsigned long long>(r.fit_failures),
+                 static_cast<unsigned long long>(r.seeded_predictions),
+                 static_cast<unsigned long long>(r.templates_published),
+                 static_cast<unsigned long long>(r.warm_hits),
+                 static_cast<unsigned long long>(r.warm_misses),
+                 static_cast<unsigned long long>(r.predict_ok));
+    if (r.baseline_ns > 0.0) {
+      std::fprintf(f, ", \"baseline_ns\": %.1f, \"speedup\": %.2f", r.baseline_ns,
+                   r.baseline_ns / r.total_ns);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  remos::bench::BenchMain bench_main(argc, argv);
+  std::string out = "BENCH_rps_scale.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else if (arg == "--smoke") {
+      smoke = true;
+    }
+  }
+
+  // Rounds shrink as the fleet grows (the full-refit rows at 1M pay
+  // O(window * p) per series per round); every pinned counter is linear in
+  // rounds, so the checker normalizes per round. Rounds never exceed 8 so
+  // young series (empty window, order >= 8) stay unfittable — and therefore
+  // warm-seeded — for the whole run.
+  const std::vector<std::size_t> sizes = smoke
+                                             ? std::vector<std::size_t>{1000, 100000}
+                                             : std::vector<std::size_t>{1000, 10000, 100000,
+                                                                        1000000};
+  auto rounds_for = [&](std::size_t n) -> std::size_t {
+    if (smoke) return n >= 100000 ? 3 : 5;
+    return n >= 1000000 ? 3 : n >= 100000 ? 5 : 8;
+  };
+
+  std::vector<Result> results;
+  for (const std::size_t n : sizes) {
+    Result full = run_one(n, rounds_for(n), /*incremental=*/false);
+    Result inc = run_one(n, rounds_for(n), /*incremental=*/true);
+    inc.baseline_ns = full.total_ns > 0.0 ? full.total_ns : baseline_ns_for(n);
+    results.push_back(std::move(full));
+    results.push_back(std::move(inc));
+  }
+
+  bench::header("micro_rps_scale: fleet prediction, incremental vs full-refit fits",
+                "DESIGN.md \"Fleet-scale prediction\"");
+  bench::row("%-12s %9s %7s %10s %10s %10s %10s %8s", "mode", "series", "rounds", "observe_ns",
+             "fit_ns", "query_ns", "total_ns", "speedup");
+  for (const Result& r : results) {
+    char speedup[24];
+    if (r.baseline_ns > 0.0) {
+      std::snprintf(speedup, sizeof speedup, "%.2fx", r.baseline_ns / r.total_ns);
+    } else {
+      std::snprintf(speedup, sizeof speedup, "-");
+    }
+    bench::row("%-12s %9zu %7zu %10.1f %10.1f %10.1f %10.1f %8s", r.name.c_str(), r.series,
+               r.rounds, r.observe_ns, r.fit_ns, r.query_ns, r.total_ns, speedup);
+  }
+  write_json(out, results);
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

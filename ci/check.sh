@@ -16,6 +16,12 @@
 #                        pins in bench/query_scale_pins.json, and the
 #                        snapshot path must hold its >=3x throughput edge
 #                        over the mutex path (tools/check_query_scale.py)
+#   2c. rps-smoke      — micro_rps_scale --smoke; fleet shape and the
+#                        FleetPredictor/warm-tier counters must match the
+#                        pins in bench/rps_scale_pins.json, and the
+#                        incremental fit path must hold its >=5x edge over
+#                        the full-refit baseline at 100k series
+#                        (tools/check_rps_scale.py)
 #   3. sanitize preset — ASan + UBSan, full ctest
 #   4. tsan preset     — ThreadSanitizer on the threaded test binaries
 #                        (ThreadPool, shared prediction cache, query fleet)
@@ -66,6 +72,12 @@ cmake --build build -j "$JOBS" --target micro_query_scale
 ./build/bench/micro_query_scale --smoke --out build/BENCH_query_scale_smoke.json
 python3 tools/check_query_scale.py --measured build/BENCH_query_scale_smoke.json \
   --pins bench/query_scale_pins.json
+
+step "rps-smoke: fleet-prediction counters + incremental-fit speedup vs pins"
+cmake --build build -j "$JOBS" --target micro_rps_scale
+./build/bench/micro_rps_scale --smoke --out build/BENCH_rps_scale_smoke.json
+python3 tools/check_rps_scale.py --measured build/BENCH_rps_scale_smoke.json \
+  --pins bench/rps_scale_pins.json
 
 step "sanitize preset (ASan + UBSan) + ctest"
 cmake --preset sanitize >/dev/null

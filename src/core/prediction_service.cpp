@@ -86,9 +86,31 @@ std::optional<rps::Prediction> PredictionService::predict_resource(
   req.spec = spec;
   try {
     if (cache_ != nullptr) {
+      const rps::ModelSpec model_spec = spec.value_or(default_spec_);
+      const std::string shape_key = model_spec.to_string() + "#" + std::to_string(horizon);
       const std::string key = resource_id + "#" + std::to_string(horizon) + "#" +
-                              spec.value_or(default_spec_).to_string();
-      return cache_->get_or_compute(key, [&] { return predictor_.predict(req); });
+                              model_spec.to_string();
+      try {
+        return cache_->get_or_compute(key, [&] {
+          std::optional<rps::ModelTemplate> tmpl;
+          rps::Prediction p = predictor_.predict(req, &tmpl);
+          // compute runs outside the cache lock; publishing the fitted
+          // coefficients to the warm tier here is deadlock-free.
+          if (tmpl) cache_->put_template(shape_key, *tmpl);
+          return p;
+        });
+      } catch (const std::invalid_argument&) {
+        // Too short to fit this resource itself: seed from a same-shape
+        // warm template (fitted on a longer-lived resource) if one exists.
+        if (auto tmpl = cache_->warm_template(shape_key)) {
+          if (auto seeded = rps::model_from_template(*tmpl, values)) {
+            rps::Prediction p = seeded->predict(horizon);
+            cache_->note_seeded();
+            return p;
+          }
+        }
+        return std::nullopt;
+      }
     }
     return predictor_.predict(req);
   } catch (const std::invalid_argument&) {

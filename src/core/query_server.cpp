@@ -148,7 +148,22 @@ std::optional<FlowPrediction> QueryServer::answer_predict(const QuerySnapshot& s
       choose_history(snap.history(bottleneck->id), snap.history(bottleneck->id + ":ba"));
   if (hist == nullptr) return std::nullopt;
   return predict_from_history(*hist, *bottleneck, predictor_, config_.prediction_model, horizon,
-                              config_.min_history);
+                              config_.min_history, config_.prediction_cache);
+}
+
+PredictionTierStats QueryServer::prediction_tier_stats() const {
+  PredictionTierStats stats;
+  const rps::SharedPredictionCache* cache = config_.prediction_cache;
+  if (cache == nullptr) return stats;
+  // Each accessor takes the cache's own (leaf) lock; counters may move
+  // between reads, so this is a monitoring view, not an atomic snapshot.
+  stats.hot_hits = cache->hits();
+  stats.hot_misses = cache->misses();
+  stats.warm_hits = cache->warm_hits();
+  stats.warm_misses = cache->warm_misses();
+  stats.seeds = cache->seeds();
+  stats.templates_stored = cache->templates_stored();
+  return stats;
 }
 
 // ---- lock-free read path --------------------------------------------------

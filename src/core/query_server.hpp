@@ -42,6 +42,7 @@
 #include "core/query_snapshot.hpp"
 #include "core/types.hpp"
 #include "rps/predictor.hpp"
+#include "rps/shared_cache.hpp"
 
 namespace remos::core {
 
@@ -58,6 +59,24 @@ struct QueryServerConfig {
   std::size_t history_window = 1024;
   /// Admission bound: distinct prediction fits allowed in flight at once.
   std::size_t max_fits_in_flight = 64;
+  /// Optional tiered prediction cache shared across the server's fits (and
+  /// possibly other servers): hot tier memoizes fitted predictions per
+  /// bottleneck, warm tier seeds fits for short histories from same-shape
+  /// templates. The cache is internally synchronized; it must outlive the
+  /// server. nullptr (default) keeps the historical fit-per-computation
+  /// behavior — and the golden transcripts — exactly.
+  rps::SharedPredictionCache* prediction_cache = nullptr;
+};
+
+/// Per-tier accounting of a server's attached prediction cache (zeros when
+/// no cache is attached), surfaced alongside the coalescing counters.
+struct PredictionTierStats {
+  std::uint64_t hot_hits = 0;
+  std::uint64_t hot_misses = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t warm_misses = 0;
+  std::uint64_t seeds = 0;
+  std::uint64_t templates_stored = 0;
 };
 
 class QueryServer {
@@ -119,6 +138,9 @@ class QueryServer {
   [[nodiscard]] std::uint64_t epochs_published() const {
     return epochs_published_.load(std::memory_order_relaxed);
   }
+  /// Tier hit/miss/seed counters of the attached prediction cache; all
+  /// zeros when the server runs cacheless.
+  [[nodiscard]] PredictionTierStats prediction_tier_stats() const;
 
  private:
   struct CoalesceTables;  // defined in query_server.cpp

@@ -29,6 +29,7 @@
 
 #include "core/types.hpp"
 #include "rps/predictor.hpp"
+#include "rps/shared_cache.hpp"
 
 namespace remos::core {
 
@@ -97,9 +98,16 @@ using QuerySnapshotPtr = std::shared_ptr<const QuerySnapshot>;
 /// forecast; "wan:" benchmark histories are available bandwidth already).
 /// nullopt when the history is shorter than `min_history` or too short for
 /// the model itself.
+///
+/// With a `cache` attached the fit goes through its tiers: the hot tier
+/// memoizes the fitted prediction per (bottleneck, horizon, model) key and
+/// publishes the fit's coefficients as a spec-shape template; a history too
+/// short to fit is seeded from a same-shape warm template instead of
+/// failing. No cache (the default) preserves the historical pure-function
+/// behavior exactly.
 [[nodiscard]] std::optional<FlowPrediction> predict_from_history(
     std::span<const double> values, const VEdge& bottleneck,
     const rps::ClientServerPredictor& predictor, const rps::ModelSpec& model,
-    std::size_t horizon, std::size_t min_history);
+    std::size_t horizon, std::size_t min_history, rps::SharedPredictionCache* cache = nullptr);
 
 }  // namespace remos::core

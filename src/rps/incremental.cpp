@@ -1,0 +1,151 @@
+#include "rps/incremental.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace remos::rps {
+
+RingWindow::RingWindow(std::size_t capacity) : slots_(capacity, 0.0) {
+  if (capacity == 0) throw std::invalid_argument("RingWindow: capacity must be > 0");
+}
+
+// remos-hot
+bool RingWindow::push_sample(double x) {
+  if (count_ < slots_.size()) {
+    slots_[index(count_)] = x;
+    ++count_;
+    return false;
+  }
+  slots_[head_] = x;  // new sample lands where the evicted one lived
+  head_ = head_ + 1 < slots_.size() ? head_ + 1 : 0;
+  return true;
+}
+
+void RingWindow::assign(std::span<const double> xs) {
+  const std::size_t take = std::min(slots_.size(), xs.size());
+  const std::span<const double> tail = xs.subspan(xs.size() - take);
+  std::copy(tail.begin(), tail.end(), slots_.begin());
+  head_ = 0;
+  count_ = take;
+  element_moves_ += take;
+}
+
+void RingWindow::clear() {
+  head_ = 0;
+  count_ = 0;
+}
+
+void RingWindow::copy_to(std::vector<double>& out) const {
+  out.resize(count_);
+  for (std::size_t i = 0; i < count_; ++i) out[i] = slots_[index(i)];
+  element_moves_ += count_;
+}
+
+IncrementalArFitter::IncrementalArFitter(std::size_t order, std::size_t window,
+                                         std::size_t resync_interval)
+    : order_(order),
+      resync_interval_(resync_interval == 0 ? window : resync_interval),
+      ring_(window),
+      cross_(order + 1, 0.0) {}
+// A window <= order + 1 is allowed but never fittable() — matches the
+// batch path, where fit_ar_yule_walker rejects short series per call.
+
+// remos-hot
+void IncrementalArFitter::push(double x) {
+  if (ring_.full()) {
+    // Evicting the oldest sample removes exactly the pairs that touch it:
+    // for lag k that is y_k * y_0 (the evicted sample is always the older
+    // member). Remaining pair distances are unchanged by the index shift.
+    const double y0 = ring_[0] - offset_;
+    sum_ -= y0;
+    cross_[0] -= y0 * y0;
+    const std::size_t kmax = std::min(order_, ring_.size() - 1);
+    for (std::size_t k = 1; k <= kmax; ++k) {
+      cross_[k] -= y0 * (ring_[k] - offset_);
+    }
+  }
+  ring_.push_sample(x);
+  const double y = x - offset_;
+  sum_ += y;
+  cross_[0] += y * y;
+  const std::size_t n = ring_.size();
+  const std::size_t kmax = std::min(order_, n - 1);
+  for (std::size_t k = 1; k <= kmax; ++k) {
+    cross_[k] += y * (ring_[n - 1 - k] - offset_);
+  }
+  if (++pushes_since_resync_ >= resync_interval_) {
+    recompute();
+    ++resyncs_;
+  }
+}
+
+void IncrementalArFitter::assign(std::span<const double> xs) {
+  ring_.assign(xs);
+  recompute();
+}
+
+void IncrementalArFitter::clear() {
+  ring_.clear();
+  recompute();
+}
+
+void IncrementalArFitter::recompute() {
+  const std::size_t n = ring_.size();
+  // Re-anchor the shift at the current window mean: the sums then
+  // accumulate near-zero-mean values, which is what keeps the
+  // gamma assembly cancellation-free when mean >> std.
+  double raw = 0.0;
+  for (std::size_t i = 0; i < n; ++i) raw += ring_[i];
+  offset_ = n > 0 ? raw / static_cast<double>(n) : 0.0;
+  sum_ = 0.0;
+  std::fill(cross_.begin(), cross_.end(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double y = ring_[i] - offset_;
+    sum_ += y;
+    const std::size_t kmax = std::min(order_, i);
+    for (std::size_t k = 0; k <= kmax; ++k) {
+      cross_[k] += y * (ring_[i - k] - offset_);
+    }
+  }
+  pushes_since_resync_ = 0;
+}
+
+double IncrementalArFitter::mean() const {
+  const std::size_t n = ring_.size();
+  if (n == 0) return offset_;
+  return offset_ + sum_ / static_cast<double>(n);
+}
+
+// remos-hot
+void IncrementalArFitter::fit_into(ArFit& out, ArFitScratch& scratch) const {
+  if (!fittable()) {
+    throw std::invalid_argument("IncrementalArFitter: series too short");
+  }
+  const std::size_t n = ring_.size();
+  const double nd = static_cast<double>(n);
+  const double m = sum_ / nd;  // mean of the shifted samples
+  // gamma_k = (1/n) sum_{t=k}^{n-1} (y_t - m)(y_{t-k} - m)
+  //         = (C_k - m*(S - tail_k) - m*(S - head_k) + (n-k)*m^2) / n
+  // where head_k / tail_k are the sums of the first / last k shifted
+  // samples (the lag loop only covers t in [k, n-1]).
+  scratch.gamma.assign(order_ + 1, 0.0);
+  double head = 0.0;
+  double tail = 0.0;
+  for (std::size_t k = 0; k <= order_; ++k) {
+    const double nk = static_cast<double>(n - k);
+    scratch.gamma[k] =
+        (cross_[k] - m * (sum_ - tail) - m * (sum_ - head) + nk * m * m) / nd;
+    head += ring_[k] - offset_;
+    tail += ring_[n - 1 - k] - offset_;
+  }
+  levinson_durbin_into(scratch.gamma, order_, out, scratch);
+}
+
+ArFit IncrementalArFitter::fit() const {
+  ArFit out;
+  ArFitScratch scratch;
+  fit_into(out, scratch);
+  return out;
+}
+
+}  // namespace remos::rps

@@ -1,0 +1,132 @@
+// Incremental sliding-window Yule-Walker fitting (ROADMAP item 4).
+//
+// The batch path recomputes mean + lag-0..p autocovariance over the whole
+// fit window on every refit: O(window * p) per refit. At fleet scale
+// (millions of live RPS series) that recomputation is the bottleneck, not
+// the O(p^2) Levinson-Durbin solve. IncrementalArFitter keeps the window in
+// a ring buffer and maintains running cross-product sums under sample
+// add/evict, so a refit costs O(p) assembly + O(p^2) solve regardless of
+// window size.
+//
+// Contract vs the batch fit_ar_yule_walker (same window contents):
+//   * phi and sigma2 agree within 1e-9 relative tolerance (the sums are
+//     accumulated on offset-shifted samples to kill cancellation when
+//     mean >> std; gamma is shift-invariant so the offset choice only
+//     affects rounding, not the value).
+//   * A periodic exact recompute (every `resync_interval` pushes; default
+//     one full window turnover) re-anchors the sums and caps float drift,
+//     so the bound holds over unbounded push streams, not just one window.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rps/linear.hpp"
+
+namespace remos::rps {
+
+/// Fixed-capacity ring of samples, oldest first. Replaces the
+/// vector-with-front-erase fit buffer: push never moves existing elements
+/// (the old erase(begin()) moved window-1 elements per sample).
+/// `element_moves()` counts existing-element copies (assign/copy_to
+/// linearization only) so tests can pin the complexity contract.
+class RingWindow {
+ public:
+  explicit RingWindow(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] bool full() const { return count_ == slots_.size(); }
+
+  /// i == 0 is the oldest retained sample.
+  [[nodiscard]] double operator[](std::size_t i) const {
+    return slots_[index(i)];
+  }
+
+  /// Append one sample, overwriting the oldest slot when full. Zero
+  /// existing-element moves. Returns true when a sample was evicted.
+  /// (Named push_sample, not push: the static analyzer resolves calls by
+  /// unqualified name, and `push` would drag unrelated namesakes into the
+  /// hot-path closure.)
+  bool push_sample(double x);  // remos-hot
+
+  /// Replace contents with the last `capacity()` samples of `xs`.
+  void assign(std::span<const double> xs);
+  void clear();
+
+  /// Linearize into `out` (oldest first), reusing its capacity.
+  void copy_to(std::vector<double>& out) const;
+
+  [[nodiscard]] std::uint64_t element_moves() const { return element_moves_; }
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t i) const {
+    const std::size_t raw = head_ + i;
+    return raw < slots_.size() ? raw : raw - slots_.size();
+  }
+
+  std::vector<double> slots_;
+  std::size_t head_ = 0;   // slot index of the oldest sample
+  std::size_t count_ = 0;
+  // Mutable: copy_to is logically const but instruments the linearization.
+  mutable std::uint64_t element_moves_ = 0;
+};
+
+/// Sliding-window AR(p) fitter with O(p) per-sample maintenance and
+/// O(p^2) refits. See the file comment for the equivalence contract.
+class IncrementalArFitter {
+ public:
+  /// `resync_interval` == 0 means one full window turnover between exact
+  /// recomputes (the default drift-control policy).
+  IncrementalArFitter(std::size_t order, std::size_t window,
+                      std::size_t resync_interval = 0);
+
+  /// Feed one sample: evict-adjust + add-adjust the running sums. O(p).
+  void push(double x);  // remos-hot
+
+  /// Replace the window with the tail of `xs` and recompute sums exactly.
+  void assign(std::span<const double> xs);
+  void clear();
+
+  [[nodiscard]] std::size_t order() const { return order_; }
+  [[nodiscard]] std::size_t window() const { return ring_.capacity(); }
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+
+  /// Mirrors the batch precondition: fit_ar_yule_walker throws unless
+  /// n > p + 1.
+  [[nodiscard]] bool fittable() const { return ring_.size() > order_ + 1; }
+
+  /// Mean of the current window (exact up to the running-sum contract).
+  [[nodiscard]] double mean() const;
+
+  /// Assemble gamma[0..p] from the running sums and solve Levinson-Durbin
+  /// into `out`. Allocation-free in steady state (scratch capacity reused).
+  /// Throws std::invalid_argument when !fittable().
+  void fit_into(ArFit& out, ArFitScratch& scratch) const;  // remos-hot
+
+  /// Convenience allocating variant.
+  [[nodiscard]] ArFit fit() const;
+
+  [[nodiscard]] const RingWindow& samples() const { return ring_; }
+  [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
+  [[nodiscard]] std::uint64_t element_moves() const {
+    return ring_.element_moves();
+  }
+
+ private:
+  /// Exact O(n*p) recompute of offset + running sums from the ring.
+  void recompute();
+
+  std::size_t order_;
+  std::size_t resync_interval_;
+  RingWindow ring_;
+  double offset_ = 0.0;        // shift applied to samples before summing
+  double sum_ = 0.0;           // sum of (x - offset_) over the window
+  std::vector<double> cross_;  // cross_[k] = sum_{t>=k} y_t * y_{t-k}
+  std::uint64_t pushes_since_resync_ = 0;
+  std::uint64_t resyncs_ = 0;
+};
+
+}  // namespace remos::rps

@@ -8,17 +8,19 @@
 
 namespace remos::rps {
 
-ArFit levinson_durbin(std::span<const double> gamma, std::size_t p) {
+void levinson_durbin_into(std::span<const double> gamma, std::size_t p, ArFit& out,
+                          ArFitScratch& scratch) {
   if (gamma.size() < p + 1) throw std::invalid_argument("levinson_durbin: need gamma[0..p]");
-  ArFit fit;
-  fit.phi.assign(p, 0.0);
+  out.phi.assign(p, 0.0);
   double e = gamma[0];
   if (e <= 0.0) {
     // Constant series: zero coefficients, zero innovation variance.
-    fit.sigma2 = 0.0;
-    return fit;
+    out.sigma2 = 0.0;
+    return;
   }
-  std::vector<double> phi(p, 0.0), prev(p, 0.0);
+  std::vector<double>& phi = out.phi;
+  scratch.prev.assign(p, 0.0);
+  std::vector<double>& prev = scratch.prev;
   for (std::size_t k = 1; k <= p; ++k) {
     double acc = gamma[k];
     for (std::size_t j = 1; j < k; ++j) acc -= prev[j - 1] * gamma[k - j];
@@ -29,8 +31,13 @@ ArFit levinson_durbin(std::span<const double> gamma, std::size_t p) {
     if (e < 0.0) e = 0.0;
     std::copy(phi.begin(), phi.begin() + static_cast<std::ptrdiff_t>(k), prev.begin());
   }
-  fit.phi = std::move(phi);
-  fit.sigma2 = e;
+  out.sigma2 = e;
+}
+
+ArFit levinson_durbin(std::span<const double> gamma, std::size_t p) {
+  ArFit fit;
+  ArFitScratch scratch;
+  levinson_durbin_into(gamma, p, fit, scratch);
   return fit;
 }
 

@@ -28,9 +28,23 @@ struct ArmaFit {
   double sigma2 = 0.0;
 };
 
+/// Reusable workspace for the allocation-free Levinson-Durbin entry point
+/// (and for IncrementalArFitter's autocovariance assembly). One scratch per
+/// lane lets batched fleet refits run with zero steady-state allocation.
+struct ArFitScratch {
+  std::vector<double> gamma;  // autocovariance workspace, lags 0..p
+  std::vector<double> prev;   // previous recursion row
+};
+
 /// Solve the Yule-Walker equations for AR(p) given autocovariances
 /// gamma[0..p] via Levinson-Durbin recursion. Throws on p == 0 shortfall.
 [[nodiscard]] ArFit levinson_durbin(std::span<const double> gamma, std::size_t p);
+
+/// Allocation-free variant: writes into `out` (capacity reused across
+/// calls) using `scratch`. Bit-identical to levinson_durbin — same
+/// recursion, same float operation order.
+void levinson_durbin_into(std::span<const double> gamma, std::size_t p, ArFit& out,
+                          ArFitScratch& scratch);
 
 /// Yule-Walker AR(p) fit on raw data (mean removed internally).
 [[nodiscard]] ArFit fit_ar_yule_walker(std::span<const double> xs, std::size_t p);

@@ -163,24 +163,29 @@ class ArmaCore {
     eps_.clear();
   }
 
-  /// Replay a series through the residual recursion to initialize state.
-  void prime(std::span<const double> xs) {
-    for (double x : xs) step(x);
+  /// Non-owning configure: copies coefficients into the existing vectors
+  /// (capacity reused across refits — the incremental install path).
+  /// Deliberately not named `set`: analyzer call resolution is by name,
+  /// and this runs inside the hot refit-install closure.
+  void set_params(std::span<const double> phi, std::span<const double> theta, double mu,
+                  double sigma2) {
+    phi_.assign(phi.begin(), phi.end());
+    theta_.assign(theta.begin(), theta.end());
+    mu_ = mu;
+    sigma2_ = sigma2;
+    z_.clear();
+    eps_.clear();
   }
 
-  void step(double x) {
-    const double z = x - mu_;
-    double pred = 0.0;
-    for (std::size_t j = 0; j < phi_.size(); ++j) {
-      pred += phi_[j] * past_z(j + 1);
-    }
-    for (std::size_t j = 0; j < theta_.size(); ++j) {
-      pred += theta_[j] * past_eps(j + 1);
-    }
-    const double e = z - pred;
-    push(z_, z, needed_z());
-    push(eps_, e, theta_.size());
+  /// Replay a series through the residual recursion to initialize state.
+  /// (Named `replay`, and delegating step -> absorb, so the hot
+  /// refit-install closure never touches the project-wide `prime`/`step`
+  /// name pools in the analyzer's by-name call graph.)
+  void replay(std::span<const double> xs) {
+    for (double x : xs) absorb(x);
   }
+
+  void step(double x) { absorb(x); }
 
   [[nodiscard]] Prediction predict(std::size_t horizon) const {
     Prediction out;
@@ -217,6 +222,20 @@ class ArmaCore {
   [[nodiscard]] const std::vector<double>& theta() const { return theta_; }
 
  private:
+  void absorb(double x) {
+    const double z = x - mu_;
+    double pred = 0.0;
+    for (std::size_t j = 0; j < phi_.size(); ++j) {
+      pred += phi_[j] * past_z(j + 1);
+    }
+    for (std::size_t j = 0; j < theta_.size(); ++j) {
+      pred += theta_[j] * past_eps(j + 1);
+    }
+    const double e = z - pred;
+    push_bounded(z_, z, needed_z());
+    push_bounded(eps_, e, theta_.size());
+  }
+
   [[nodiscard]] std::size_t needed_z() const { return std::max<std::size_t>(phi_.size(), 1); }
   /// k-steps-back deviation (k >= 1); zero-padded before history begins.
   [[nodiscard]] double past_z(std::size_t k) const {
@@ -225,7 +244,7 @@ class ArmaCore {
   [[nodiscard]] double past_eps(std::size_t k) const {
     return k <= eps_.size() ? eps_[eps_.size() - k] : 0.0;
   }
-  static void push(std::deque<double>& dq, double v, std::size_t cap) {
+  static void push_bounded(std::deque<double>& dq, double v, std::size_t cap) {
     dq.push_back(v);
     while (dq.size() > std::max<std::size_t>(cap, 1)) dq.pop_front();
   }
@@ -251,7 +270,7 @@ class ArmaModel final : public Model {
       ArmaFit f = fit_arma_hannan_rissanen(xs, p_, q_);
       core_.configure(std::move(f.phi), std::move(f.theta), mu, f.sigma2);
     }
-    core_.prime(xs);
+    core_.replay(xs);
     fitted_ = true;
   }
   void step(double x) override {
@@ -274,6 +293,20 @@ class ArmaModel final : public Model {
   }
 
   [[nodiscard]] const ArmaCore& core() const { return core_; }
+
+  /// Pure AR shape (no MA terms): the only shape install_ar_fit targets —
+  /// its streaming state is fully determined by the last p deviations.
+  [[nodiscard]] bool pure_ar() const { return q_ == 0; }
+  [[nodiscard]] std::size_t ar_order() const { return p_; }
+
+  /// Install externally fitted parameters and re-prime streaming state
+  /// from `recent` (the series' latest raw samples, oldest first).
+  void adopt(std::span<const double> phi, std::span<const double> theta, double mu, double sigma2,
+             std::span<const double> recent) {
+    core_.set_params(phi, theta, mu, sigma2);
+    core_.replay(recent);
+    fitted_ = true;
+  }
 
  private:
   std::size_t p_, q_;
@@ -321,7 +354,7 @@ class ArimaModel final : public Model {
       ArmaFit f = fit_arma_hannan_rissanen(diffd, p_, q_);
       core_.configure(std::move(f.phi), std::move(f.theta), mu, f.sigma2);
     }
-    core_.prime(diffd);
+    core_.replay(diffd);
     tails_ = integration_tails(xs, d_);
     fitted_ = true;
   }
@@ -398,7 +431,7 @@ class FarimaModel final : public Model {
       ArmaFit f = fit_arma_hannan_rissanen(stable, p_, q_);
       core_.configure(std::move(f.phi), std::move(f.theta), mean(stable), f.sigma2);
     }
-    core_.prime(stable);
+    core_.replay(stable);
     raw_.assign(xs.end() - static_cast<std::ptrdiff_t>(std::min(xs.size(), kWindow)), xs.end());
     fhist_.assign(filtered.end() - static_cast<std::ptrdiff_t>(std::min(filtered.size(), kWindow)),
                   filtered.end());
@@ -631,6 +664,45 @@ std::unique_ptr<Model> make_model(const ModelSpec& spec) {
       return std::make_unique<FarimaModel>(spec.p, spec.frac_d, spec.q);
   }
   throw std::invalid_argument("make_model: unknown family");
+}
+
+// ---------------------------------------------------------------------------
+// Template extraction / seeding (warm cache tier currency)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] bool linear_family(ModelSpec::Family family) {
+  return family == ModelSpec::Family::kAr || family == ModelSpec::Family::kMa ||
+         family == ModelSpec::Family::kArma;
+}
+
+}  // namespace
+
+std::optional<ModelTemplate> extract_template(const Model& model, const ModelSpec& spec) {
+  if (!linear_family(spec.family)) return std::nullopt;
+  const auto* arma = dynamic_cast<const ArmaModel*>(&model);
+  if (arma == nullptr || !arma->fitted()) return std::nullopt;
+  const ArmaCore& core = arma->core();
+  return ModelTemplate{spec, core.phi(), core.theta(), core.mu(), core.sigma2()};
+}
+
+std::unique_ptr<Model> model_from_template(const ModelTemplate& tmpl,
+                                           std::span<const double> recent) {
+  if (!linear_family(tmpl.spec.family)) return nullptr;
+  std::unique_ptr<Model> model = make_model(tmpl.spec);
+  auto* arma = dynamic_cast<ArmaModel*>(model.get());
+  if (arma == nullptr) return nullptr;
+  arma->adopt(tmpl.phi, tmpl.theta, tmpl.mu, tmpl.sigma2, recent);
+  return model;
+}
+
+// remos-hot
+bool install_ar_fit(Model& model, const ArFit& fit, double mu, std::span<const double> recent) {
+  auto* arma = dynamic_cast<ArmaModel*>(&model);
+  if (arma == nullptr || !arma->pure_ar() || arma->ar_order() != fit.phi.size()) return false;
+  arma->adopt(fit.phi, {}, mu, fit.sigma2, recent);
+  return true;
 }
 
 // ---------------------------------------------------------------------------

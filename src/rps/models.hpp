@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "rps/linear.hpp"
+
 namespace remos::rps {
 
 /// Multi-step forecast with RPS-style self-characterized error:
@@ -74,6 +76,43 @@ struct ModelSpec {
 
 /// Instantiate a model from its spec.
 [[nodiscard]] std::unique_ptr<Model> make_model(const ModelSpec& spec);
+
+/// Portable snapshot of a fitted linear (AR/MA/ARMA) model's parameters.
+/// This is the warm-tier cache currency: a template extracted from one
+/// series can seed a model for another series of the same spec shape, whose
+/// own history is still too short to fit (the seeded model primes its
+/// streaming state from the target's recent samples).
+struct ModelTemplate {
+  ModelSpec spec;
+  std::vector<double> phi;
+  std::vector<double> theta;
+  double mu = 0.0;
+  double sigma2 = 0.0;
+};
+
+/// Snapshot a fitted linear model's parameters. Returns nullopt for model
+/// families whose state is not captured by (phi, theta, mu, sigma2) —
+/// MEAN/LAST/BM and the differencing families (ARIMA/FARIMA carry
+/// integration tails that are series-specific).
+[[nodiscard]] std::optional<ModelTemplate> extract_template(const Model& model,
+                                                            const ModelSpec& spec);
+
+/// Instantiate a model from a template and prime its streaming state from
+/// `recent` (the target series' latest samples, oldest first). Returns
+/// nullptr when the template's family cannot be seeded.
+[[nodiscard]] std::unique_ptr<Model> model_from_template(const ModelTemplate& tmpl,
+                                                         std::span<const double> recent);
+
+/// Install an incremental AR fit into an existing pure-AR model without
+/// re-allocating it: sets (phi, mu, sigma2) and re-primes the recursion
+/// state from `recent`. For a pure AR model the streaming state after
+/// priming on the last max(p, 1) raw samples is identical to a full
+/// fit-window replay (the predict recursion only reads the last p
+/// deviations; innovations are unused when theta is empty). Returns false
+/// (model untouched) when `model` is not a pure-AR linear model.
+// remos-hot
+bool install_ar_fit(Model& model, const ArFit& fit, double mu,
+                    std::span<const double> recent);
 
 /// Wrap any spec in the periodic-refit template: the returned model keeps a
 /// rolling window of `fit_window` observations and refits its inner model

@@ -1,25 +1,66 @@
 #include "rps/predictor.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace remos::rps {
 
+namespace {
+
+/// Only pure AR Yule-Walker specs can take the incremental-install path:
+/// Burg fits from the raw samples (no autocovariance sums to maintain) and
+/// every other family needs a full recompute.
+bool incremental_eligible(const ModelSpec& spec, const StreamingConfig& config) {
+  return config.incremental_fit && spec.family == ModelSpec::Family::kAr && !spec.use_burg;
+}
+
+}  // namespace
+
 StreamingPredictor::StreamingPredictor(ModelSpec spec, StreamingConfig config)
-    : spec_(spec), config_(config), evaluator_(config.evaluator) {}
+    : spec_(spec),
+      config_(config),
+      evaluator_(config.evaluator),
+      fitter_(incremental_eligible(spec, config) ? spec.p : 0,
+              std::max<std::size_t>(config.fit_window, 1), config.resync_interval),
+      use_incremental_(incremental_eligible(spec, config)) {}
 
 void StreamingPredictor::prime(std::span<const double> history) {
   const std::size_t take = std::min(config_.fit_window, history.size());
-  buffer_.assign(history.end() - static_cast<std::ptrdiff_t>(take), history.end());
+  const std::span<const double> tail = history.subspan(history.size() - take);
+  fitter_.assign(tail);
   model_ = make_model(spec_);
-  model_->fit(buffer_);
+  model_->fit(tail);
   evaluator_.reset();
   refits_ = 1;
 }
 
+std::span<const double> StreamingPredictor::recent_samples() {
+  const RingWindow& ring = fitter_.samples();
+  const std::size_t want = std::max<std::size_t>(spec_.p, 1);
+  const std::size_t take = std::min(want, ring.size());
+  recent_scratch_.resize(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    recent_scratch_[i] = ring[ring.size() - take + i];
+  }
+  return recent_scratch_;
+}
+
 void StreamingPredictor::refit() {
+  if (use_incremental_) {
+    if (!fitter_.fittable()) return;  // window too short; keep the current fit
+    fitter_.fit_into(fit_scratch_, ld_scratch_);
+    if (install_ar_fit(*model_, fit_scratch_, fitter_.mean(), recent_samples())) {
+      evaluator_.reset();
+      ++refits_;
+      ++incremental_refits_;
+      return;
+    }
+    // Unexpected model shape: fall through to the full-recompute path.
+  }
   auto fresh = make_model(spec_);
+  fitter_.samples().copy_to(window_scratch_);
   try {
-    fresh->fit(buffer_);
+    fresh->fit(window_scratch_);
   } catch (const std::invalid_argument&) {
     return;  // buffer too short for the model order; keep the current fit
   }
@@ -32,8 +73,7 @@ Prediction StreamingPredictor::push(double measurement) {
   if (!primed()) throw std::logic_error("StreamingPredictor: push before prime");
   ++steps_;
   evaluator_.observe(measurement);
-  buffer_.push_back(measurement);
-  if (buffer_.size() > config_.fit_window) buffer_.erase(buffer_.begin());
+  fitter_.push(measurement);
   model_->step(measurement);
   if (config_.refit_on_error && evaluator_.needs_refit(model_->one_step_variance())) {
     refit();
@@ -52,10 +92,16 @@ ClientServerPredictor::ClientServerPredictor(ModelSpec default_spec)
     : default_spec_(default_spec) {}
 
 Prediction ClientServerPredictor::predict(const Request& request) const {
+  return predict(request, nullptr);
+}
+
+Prediction ClientServerPredictor::predict(const Request& request,
+                                          std::optional<ModelTemplate>* template_out) const {
   served_.fetch_add(1, std::memory_order_relaxed);
   const ModelSpec spec = request.spec.value_or(default_spec_);
   auto model = make_model(spec);
   model->fit(request.history);
+  if (template_out != nullptr) *template_out = extract_template(*model, spec);
   return model->predict(request.horizon);
 }
 

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "rps/evaluator.hpp"
+#include "rps/incremental.hpp"
 #include "rps/models.hpp"
 
 namespace remos::rps {
@@ -24,6 +25,14 @@ struct StreamingConfig {
   std::size_t fit_window = 600; // samples kept for refitting
   EvaluatorConfig evaluator{};
   bool refit_on_error = true;   // evaluator-driven refits
+  /// Sliding-window incremental refits for pure AR Yule-Walker specs:
+  /// O(p^2) per refit instead of O(window * p) recomputation, matching the
+  /// batch fit within 1e-9 relative tolerance (see IncrementalArFitter).
+  /// Other model families always take the full-recompute path.
+  bool incremental_fit = true;
+  /// Pushes between exact recomputes of the incremental sums (drift
+  /// control); 0 means one full window turnover.
+  std::size_t resync_interval = 0;
 };
 
 class StreamingPredictor {
@@ -45,15 +54,34 @@ class StreamingPredictor {
   [[nodiscard]] const Model& model() const { return *model_; }
   [[nodiscard]] std::uint64_t steps() const { return steps_; }
 
+  /// How many refits took the O(p^2) incremental-install path (the rest
+  /// were full recomputes).
+  [[nodiscard]] std::size_t incremental_refit_count() const { return incremental_refits_; }
+  /// Existing-element copies performed by the fit window across the
+  /// predictor's lifetime. The ring makes push() zero-move; only prime()
+  /// and full-refit linearization copy, so tests can pin the complexity
+  /// contract (the old vector buffer moved window-1 elements per push).
+  [[nodiscard]] std::uint64_t fit_buffer_moves() const { return fitter_.element_moves(); }
+  /// Exact-recompute resyncs performed by the incremental fitter.
+  [[nodiscard]] std::uint64_t resync_count() const { return fitter_.resyncs(); }
+
  private:
   void refit();
+  /// Last max(p, 1) window samples, oldest first (streaming-state seed).
+  [[nodiscard]] std::span<const double> recent_samples();
 
   ModelSpec spec_;
   StreamingConfig config_;
   std::unique_ptr<Model> model_;
   Evaluator evaluator_;
-  std::vector<double> buffer_;
+  IncrementalArFitter fitter_;  // fit window ring + running sums
+  bool use_incremental_;
+  std::vector<double> window_scratch_;  // full-refit linearization scratch
+  std::vector<double> recent_scratch_;  // streaming-state seed scratch
+  ArFit fit_scratch_;
+  ArFitScratch ld_scratch_;
   std::size_t refits_ = 0;
+  std::size_t incremental_refits_ = 0;
   std::uint64_t steps_ = 0;
 };
 
@@ -75,6 +103,10 @@ class ClientServerPredictor {
   /// counter is atomic, so one predictor instance can serve concurrent
   /// query threads (the QueryServer's prediction fits share one).
   [[nodiscard]] Prediction predict(const Request& request) const;
+
+  /// As above, but also exposes the fitted model's parameters as a warm
+  /// cache template (nullopt for families templates cannot capture).
+  Prediction predict(const Request& request, std::optional<ModelTemplate>* template_out) const;
   [[nodiscard]] std::uint64_t requests_served() const {
     return served_.load(std::memory_order_relaxed);
   }

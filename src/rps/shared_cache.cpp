@@ -7,8 +7,10 @@
 
 namespace remos::rps {
 
-SharedPredictionCache::SharedPredictionCache(double ttl_s, std::function<double()> now)
-    : ttl_s_(ttl_s), now_(std::move(now)) {
+SharedPredictionCache::SharedPredictionCache(double ttl_s, std::function<double()> now,
+                                             double warm_ttl_s)
+    : ttl_s_(ttl_s), warm_ttl_s_(warm_ttl_s > 0.0 ? warm_ttl_s : 8.0 * ttl_s),
+      now_(std::move(now)) {
   if (!now_) throw std::invalid_argument("SharedPredictionCache: time source required");
 }
 
@@ -91,6 +93,34 @@ void SharedPredictionCache::clear() {
   entries_.clear();
   for (auto& [key, fit] : fits_) fit->cancelled = true;
   fits_.clear();
+  templates_.clear();
+}
+
+void SharedPredictionCache::put_template(const std::string& shape_key,
+                                         const ModelTemplate& tmpl) {
+  std::lock_guard lock(mu_);
+  templates_.insert_or_assign(shape_key, WarmEntry{tmpl, now_()});
+  ++templates_stored_;
+  sim::metrics().counter("rps.prediction_cache.templates_stored_total").inc();
+}
+
+std::optional<ModelTemplate> SharedPredictionCache::warm_template(const std::string& shape_key) {
+  std::lock_guard lock(mu_);
+  auto it = templates_.find(shape_key);
+  if (it == templates_.end() || now_() - it->second.stored_at > warm_ttl_s_) {
+    ++warm_misses_;
+    sim::metrics().counter("rps.prediction_cache.warm_misses_total").inc();
+    return std::nullopt;
+  }
+  ++warm_hits_;
+  sim::metrics().counter("rps.prediction_cache.warm_hits_total").inc();
+  return it->second.tmpl;
+}
+
+void SharedPredictionCache::note_seeded() {
+  std::lock_guard lock(mu_);
+  ++seeds_;
+  sim::metrics().counter("rps.prediction_cache.seeds_total").inc();
 }
 
 }  // namespace remos::rps

@@ -25,6 +25,16 @@
 // install — the leader and its waiters still get the computed value (they
 // asked before the invalidation), but the cache does not retain a
 // prediction fitted on pre-invalidation data.
+//
+// Tiers (ROADMAP item 4): the per-key entries above form the *hot* tier —
+// exact fitted predictions, valid only for their own series. The *warm*
+// tier below it holds ModelTemplates keyed by spec *shape* (not series):
+// coefficients extracted from one fitted series seed model state for
+// another series of the same shape whose history is too short to fit.
+// Warm entries age on their own (longer) TTL — coefficients drift slower
+// than the point forecasts they generate. invalidate(key) drops only the
+// hot entry: a change to one series says nothing about the shape template
+// the fleet shares. clear() drops both tiers.
 #pragma once
 
 #include <functional>
@@ -42,8 +52,9 @@ namespace remos::rps {
 class SharedPredictionCache {
  public:
   /// `now`: time source (simulated seconds in this repo). Must itself be
-  /// safe to call from multiple threads.
-  SharedPredictionCache(double ttl_s, std::function<double()> now);
+  /// safe to call from multiple threads. `warm_ttl_s` ages the warm
+  /// (spec-shape template) tier; 0 means 8x the hot TTL.
+  SharedPredictionCache(double ttl_s, std::function<double()> now, double warm_ttl_s = 0.0);
 
   /// Return the cached prediction for `key` if fresh; otherwise run
   /// `compute` (outside the lock; same-key callers coalesce on the one
@@ -57,9 +68,21 @@ class SharedPredictionCache {
   /// Drop one entry (a collector noticed the resource changed). Also
   /// cancels the pending install of any in-flight fit for the key: the
   /// fit is serving pre-invalidation data, so its result must not outlive
-  /// the invalidation in the cache.
+  /// the invalidation in the cache. Warm-tier templates survive — one
+  /// series changing says nothing about the fleet's shared shape.
   void invalidate(const std::string& key);
   void clear();
+
+  /// Store or refresh a spec-shape template in the warm tier.
+  void put_template(const std::string& shape_key, const ModelTemplate& tmpl);
+
+  /// Fresh warm-tier template for a spec shape, or nullopt; counts a warm
+  /// hit or miss either way.
+  [[nodiscard]] std::optional<ModelTemplate> warm_template(const std::string& shape_key);
+
+  /// Record that a prediction was served from a template-seeded model (the
+  /// caller seeds outside the lock, so this is a separate accounting call).
+  void note_seeded();
 
   [[nodiscard]] std::uint64_t hits() const {
     std::lock_guard lock(mu_);
@@ -79,6 +102,28 @@ class SharedPredictionCache {
     return total > 0 ? static_cast<double>(hits_) / total : 0.0;
   }
 
+  // Warm-tier accounting.
+  [[nodiscard]] std::uint64_t warm_hits() const {
+    std::lock_guard lock(mu_);
+    return warm_hits_;
+  }
+  [[nodiscard]] std::uint64_t warm_misses() const {
+    std::lock_guard lock(mu_);
+    return warm_misses_;
+  }
+  [[nodiscard]] std::uint64_t seeds() const {
+    std::lock_guard lock(mu_);
+    return seeds_;
+  }
+  [[nodiscard]] std::uint64_t templates_stored() const {
+    std::lock_guard lock(mu_);
+    return templates_stored_;
+  }
+  [[nodiscard]] std::size_t warm_size() const {
+    std::lock_guard lock(mu_);
+    return templates_.size();
+  }
+
  private:
   struct Entry {
     Prediction prediction;
@@ -96,14 +141,25 @@ class SharedPredictionCache {
     InFlightFit() : future(promise.get_future().share()) {}
   };
 
+  struct WarmEntry {
+    ModelTemplate tmpl;
+    double stored_at = 0.0;
+  };
+
   // Set once in the constructor, read concurrently without the lock.
   const double ttl_s_;
+  const double warm_ttl_s_;
   const std::function<double()> now_;
   mutable std::mutex mu_;  // remos-lock-order(20)
   std::map<std::string, Entry> entries_;
   std::map<std::string, std::shared_ptr<InFlightFit>> fits_;
+  std::map<std::string, WarmEntry> templates_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t warm_hits_ = 0;
+  std::uint64_t warm_misses_ = 0;
+  std::uint64_t seeds_ = 0;
+  std::uint64_t templates_stored_ = 0;
 };
 
 }  // namespace remos::rps

@@ -4,6 +4,8 @@
 
 #include "apps/testbed.hpp"
 #include "core/prediction_service.hpp"
+#include "core/query_server.hpp"
+#include "rps/shared_cache.hpp"
 
 namespace remos::core {
 namespace {
@@ -117,6 +119,121 @@ TEST(PredictionService, ModelOverridePerRequest) {
     }
   }
   FAIL() << "no resource with history";
+}
+
+// ---- tiered SharedPredictionCache behind predict_from_history ----
+
+VEdge wan_edge() {
+  VEdge e;
+  e.id = "wan:test-link";  // "wan:" history is available bandwidth directly
+  e.capacity_bps = 1e8;
+  return e;
+}
+
+std::vector<double> bandwidth_history(std::size_t n) {
+  sim::Rng rng(77);
+  std::vector<double> xs(n);
+  double prev = 5e6;
+  for (double& x : xs) {
+    prev = 5e6 + 0.7 * (prev - 5e6) + rng.normal(0.0, 2e5);
+    x = prev;
+  }
+  return xs;
+}
+
+TEST(PredictFromHistory, HotTierMemoizesAndPublishesTemplate) {
+  const VEdge edge = wan_edge();
+  const auto hist = bandwidth_history(600);
+  const rps::ClientServerPredictor predictor(rps::ModelSpec::ar(4));
+  const rps::ModelSpec model = rps::ModelSpec::ar(4);
+  rps::SharedPredictionCache cache(60.0, [] { return 0.0; });
+
+  const auto uncached =
+      predict_from_history(hist, edge, predictor, model, /*horizon=*/8, /*min_history=*/16);
+  const auto first =
+      predict_from_history(hist, edge, predictor, model, 8, 16, &cache);
+  const auto second =
+      predict_from_history(hist, edge, predictor, model, 8, 16, &cache);
+  ASSERT_TRUE(uncached.has_value());
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  // Caching must not change the answer, only its cost.
+  EXPECT_EQ(first->mean_bps, uncached->mean_bps);
+  EXPECT_EQ(second->mean_bps, first->mean_bps);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  // The fit published its coefficients as a spec-shape warm template.
+  EXPECT_EQ(cache.templates_stored(), 1u);
+  EXPECT_TRUE(cache.warm_template(model.to_string() + "#8").has_value());
+}
+
+TEST(PredictFromHistory, ShortHistorySeedsFromWarmTemplate) {
+  const VEdge edge = wan_edge();
+  const rps::ClientServerPredictor predictor(rps::ModelSpec::ar(4));
+  const rps::ModelSpec model = rps::ModelSpec::ar(4);
+  const auto long_hist = bandwidth_history(600);
+  const auto short_hist = bandwidth_history(8);  // < min_history
+
+  // Cacheless: a short history is simply unanswerable.
+  EXPECT_FALSE(
+      predict_from_history(short_hist, edge, predictor, model, 8, 16).has_value());
+
+  rps::SharedPredictionCache cache(60.0, [] { return 0.0; });
+  // Still unanswerable with an empty warm tier.
+  EXPECT_FALSE(
+      predict_from_history(short_hist, edge, predictor, model, 8, 16, &cache).has_value());
+  EXPECT_EQ(cache.warm_misses(), 1u);
+
+  // A same-shape fit elsewhere publishes a template; now the short history
+  // seeds from it instead of failing.
+  ASSERT_TRUE(
+      predict_from_history(long_hist, edge, predictor, model, 8, 16, &cache).has_value());
+  const auto seeded =
+      predict_from_history(short_hist, edge, predictor, model, 8, 16, &cache);
+  ASSERT_TRUE(seeded.has_value());
+  EXPECT_EQ(seeded->mean_bps.size(), 8u);
+  EXPECT_GT(seeded->mean_bps[0], 0.0);
+  EXPECT_EQ(cache.seeds(), 1u);
+  EXPECT_EQ(cache.warm_hits(), 1u);
+}
+
+TEST(QueryServerTiers, PredictionTierStatsSurfaceCacheCounters) {
+  WanTestbed::Params p;
+  p.sites = {{"cmu", 2, 100e6, 10e6}, {"eth", 2, 100e6, 4e6}};
+  WanTestbed w(p);
+  w.warm_up(16.0 * w.params.benchmark_period_s + 30.0);
+  std::vector<net::Ipv4Address> universe;
+  for (const auto& site : w.sites) {
+    for (net::NodeId h : site.hosts) universe.push_back(w.addr(h));
+  }
+  const FlowRequest req{.src = universe.front(), .dst = universe.back(), .demand_bps = 1e6};
+
+  QueryServerConfig cfg;
+  cfg.prediction_model = rps::ModelSpec::ar(4);
+  cfg.min_history = 16;
+  {
+    // Cacheless server: the stats view is all zeros, before and after use.
+    QueryServer server(*w.master, universe, cfg);
+    ASSERT_TRUE(server.predict_flow(req, 10).has_value());
+    const PredictionTierStats stats = server.prediction_tier_stats();
+    EXPECT_EQ(stats.hot_hits + stats.hot_misses + stats.warm_hits + stats.warm_misses +
+                  stats.seeds + stats.templates_stored,
+              0u);
+  }
+
+  rps::SharedPredictionCache cache(3600.0, [] { return 0.0; });
+  cfg.prediction_cache = &cache;
+  QueryServer server(*w.master, universe, cfg);
+  ASSERT_TRUE(server.predict_flow(req, 10).has_value());
+  // Same request in a fresh epoch: the server's per-epoch memo is gone, so
+  // the answer comes from the cache's hot tier.
+  server.refresh();
+  ASSERT_TRUE(server.predict_flow(req, 10).has_value());
+  const PredictionTierStats stats = server.prediction_tier_stats();
+  EXPECT_EQ(stats.hot_misses, 1u);
+  EXPECT_EQ(stats.hot_hits, 1u);
+  EXPECT_EQ(stats.templates_stored, 1u);
+  EXPECT_EQ(stats.warm_hits + stats.warm_misses, 0u);
 }
 
 }  // namespace

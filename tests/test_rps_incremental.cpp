@@ -1,0 +1,220 @@
+// IncrementalArFitter: sliding-window sums vs the batch Yule-Walker fit.
+// The contract under test is the one src/rps/incremental.hpp documents —
+// identical window contents => phi/sigma2 within 1e-9 relative tolerance,
+// across add/evict wraparound and resyncs — plus the RingWindow
+// zero-element-move complexity pin that replaced the old front-erase
+// buffer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rps/incremental.hpp"
+#include "rps/linear.hpp"
+#include "rps/series.hpp"
+#include "sim/rng.hpp"
+
+namespace remos::rps {
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+void expect_close(double got, double want, const char* what) {
+  const double scale = std::max({1.0, std::abs(got), std::abs(want)});
+  EXPECT_LE(std::abs(got - want), kRelTol * scale) << what << ": " << got << " vs " << want;
+}
+
+/// Batch fit over the fitter's current window, via the public linearizer.
+ArFit batch_fit(const IncrementalArFitter& fitter, std::vector<double>& scratch) {
+  fitter.samples().copy_to(scratch);
+  return fit_ar_yule_walker(scratch, fitter.order());
+}
+
+void expect_matches_batch(const IncrementalArFitter& fitter, std::vector<double>& scratch) {
+  const ArFit batch = batch_fit(fitter, scratch);
+  const ArFit inc = fitter.fit();
+  ASSERT_EQ(inc.phi.size(), batch.phi.size());
+  for (std::size_t j = 0; j < batch.phi.size(); ++j) {
+    expect_close(inc.phi[j], batch.phi[j], "phi");
+  }
+  expect_close(inc.sigma2, batch.sigma2, "sigma2");
+  expect_close(fitter.mean(), mean(scratch), "mean");
+}
+
+TEST(RingWindow, OldestFirstAndEviction) {
+  RingWindow ring(3);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.push_sample(1.0));
+  EXPECT_FALSE(ring.push_sample(2.0));
+  EXPECT_FALSE(ring.push_sample(3.0));
+  EXPECT_TRUE(ring.full());
+  EXPECT_TRUE(ring.push_sample(4.0));  // evicts 1.0
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_DOUBLE_EQ(ring[0], 2.0);
+  EXPECT_DOUBLE_EQ(ring[1], 3.0);
+  EXPECT_DOUBLE_EQ(ring[2], 4.0);
+}
+
+TEST(RingWindow, AssignKeepsTail) {
+  RingWindow ring(3);
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  ring.assign(xs);
+  EXPECT_DOUBLE_EQ(ring[0], 3.0);
+  EXPECT_DOUBLE_EQ(ring[2], 5.0);
+  std::vector<double> out;
+  ring.copy_to(out);
+  EXPECT_EQ(out, (std::vector<double>{3, 4, 5}));
+}
+
+TEST(RingWindow, ZeroCapacityThrows) {
+  EXPECT_THROW(RingWindow(0), std::invalid_argument);
+}
+
+// The complexity regression pin: the old fit buffer erased its front on
+// every post-prime sample, moving window-1 elements per push. The ring
+// moves elements only when linearizing (assign / copy_to), never on push.
+TEST(RingWindow, PushMovesNoElements) {
+  RingWindow ring(64);
+  std::vector<double> xs(64, 1.0);
+  ring.assign(xs);
+  EXPECT_EQ(ring.element_moves(), 64u);  // the linearized prime
+  for (int i = 0; i < 1000; ++i) ring.push_sample(static_cast<double>(i));
+  EXPECT_EQ(ring.element_moves(), 64u);  // steady state: zero per push
+  std::vector<double> out;
+  ring.copy_to(out);
+  EXPECT_EQ(ring.element_moves(), 128u);  // copy_to pays size() once
+}
+
+TEST(IncrementalArFitter, MatchesBatchAcrossOrdersSeedsAndWindows) {
+  std::vector<double> scratch;
+  for (const std::size_t order : {1u, 4u, 8u, 16u}) {
+    for (const std::size_t window : {32u, 100u, 257u}) {
+      if (window <= order + 1) continue;
+      for (const std::uint64_t seed : {7ull, 99ull, 4242ull}) {
+        sim::Rng rng(seed);
+        IncrementalArFitter fitter(order, window);
+        // Prime, then push through three window turnovers so every ring
+        // slot is overwritten and several resyncs fire.
+        std::vector<double> prime(window);
+        for (double& x : prime) x = 50.0 + rng.normal(0.0, 3.0);
+        fitter.assign(prime);
+        expect_matches_batch(fitter, scratch);
+        for (std::size_t t = 0; t < 3 * window; ++t) {
+          fitter.push(50.0 + rng.normal(0.0, 3.0));
+          if (t % 17 == 0) expect_matches_batch(fitter, scratch);
+        }
+        expect_matches_batch(fitter, scratch);
+        EXPECT_GE(fitter.resyncs(), 3u);
+      }
+    }
+  }
+}
+
+TEST(IncrementalArFitter, PartialWindowMatchesBatch) {
+  std::vector<double> scratch;
+  sim::Rng rng(5);
+  IncrementalArFitter fitter(4, 128);
+  for (std::size_t t = 0; t < 64; ++t) {  // never fills the ring
+    fitter.push(rng.normal(10.0, 2.0));
+    if (fitter.fittable()) expect_matches_batch(fitter, scratch);
+  }
+}
+
+// Large mean, small variance — the cancellation regime the offset shift
+// exists for. Without it the running sums would lose most of their
+// significant digits and 1e-9 would be unreachable.
+TEST(IncrementalArFitter, LargeOffsetSmallSignal) {
+  std::vector<double> scratch;
+  sim::Rng rng(21);
+  IncrementalArFitter fitter(8, 200);
+  std::vector<double> prime(200);
+  for (double& x : prime) x = 1.0e8 + rng.normal(0.0, 1.0);
+  fitter.assign(prime);
+  for (std::size_t t = 0; t < 600; ++t) {
+    fitter.push(1.0e8 + rng.normal(0.0, 1.0));
+  }
+  expect_matches_batch(fitter, scratch);
+}
+
+// Long streams without an intervening exact recompute: the per-push float
+// drift must stay inside the contract for at least one full resync
+// interval, and the periodic resync then re-anchors it forever.
+TEST(IncrementalArFitter, ResyncBoundsDriftOverLongStreams) {
+  std::vector<double> scratch;
+  sim::Rng rng(33);
+  IncrementalArFitter fitter(4, 64, /*resync_interval=*/64);
+  std::vector<double> prime(64);
+  for (double& x : prime) x = 1000.0 + rng.normal(0.0, 5.0);
+  fitter.assign(prime);
+  for (std::size_t t = 0; t < 64 * 50; ++t) {
+    fitter.push(1000.0 + rng.normal(0.0, 5.0));
+  }
+  EXPECT_EQ(fitter.resyncs(), 50u);
+  expect_matches_batch(fitter, scratch);
+}
+
+TEST(IncrementalArFitter, ConstantSeriesDegenerateButFinite) {
+  std::vector<double> scratch;
+  IncrementalArFitter fitter(3, 32);
+  for (int t = 0; t < 100; ++t) fitter.push(7.5);
+  const ArFit inc = fitter.fit();
+  for (double p : inc.phi) EXPECT_TRUE(std::isfinite(p));
+  EXPECT_TRUE(std::isfinite(inc.sigma2));
+  expect_matches_batch(fitter, scratch);
+  EXPECT_DOUBLE_EQ(fitter.mean(), 7.5);
+}
+
+TEST(IncrementalArFitter, TooShortThrowsLikeBatch) {
+  IncrementalArFitter fitter(4, 32);
+  for (int t = 0; t < 5; ++t) {
+    fitter.push(static_cast<double>(t));  // size <= order + 1: unfittable
+    EXPECT_FALSE(fitter.fittable());
+    EXPECT_THROW(fitter.fit(), std::invalid_argument);
+  }
+  fitter.push(5.0);  // size == order + 2 > order + 1
+  EXPECT_TRUE(fitter.fittable());
+  EXPECT_NO_THROW(fitter.fit());
+}
+
+TEST(IncrementalArFitter, ClearResetsToUnfittable) {
+  sim::Rng rng(1);
+  IncrementalArFitter fitter(2, 16);
+  for (int t = 0; t < 16; ++t) fitter.push(rng.normal(0.0, 1.0));
+  EXPECT_TRUE(fitter.fittable());
+  fitter.clear();
+  EXPECT_EQ(fitter.size(), 0u);
+  EXPECT_FALSE(fitter.fittable());
+}
+
+TEST(IncrementalArFitter, FitIntoReusesScratch) {
+  sim::Rng rng(2);
+  IncrementalArFitter fitter(4, 64);
+  for (int t = 0; t < 64; ++t) fitter.push(rng.normal(5.0, 1.0));
+  ArFit out;
+  ArFitScratch scratch;
+  fitter.fit_into(out, scratch);
+  const ArFit once = out;
+  fitter.fit_into(out, scratch);  // second call reuses capacity
+  EXPECT_EQ(out.phi, once.phi);
+  EXPECT_EQ(out.sigma2, once.sigma2);
+}
+
+// levinson_durbin_into must be float-identical to the allocating wrapper —
+// the incremental and batch paths share the recursion through it.
+TEST(LevinsonDurbinInto, BitIdenticalToWrapper) {
+  sim::Rng rng(9);
+  std::vector<double> xs(256);
+  for (double& x : xs) x = rng.normal(0.0, 1.0);
+  for (const std::size_t p : {1u, 4u, 8u}) {
+    const std::vector<double> gamma = autocovariance(xs, p);
+    const ArFit a = levinson_durbin(gamma, p);
+    ArFit b;
+    ArFitScratch scratch;
+    levinson_durbin_into(gamma, p, b, scratch);
+    EXPECT_EQ(a.phi, b.phi);
+    EXPECT_EQ(a.sigma2, b.sigma2);
+  }
+}
+
+}  // namespace
+}  // namespace remos::rps

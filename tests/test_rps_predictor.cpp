@@ -124,6 +124,80 @@ TEST(StreamingPredictor, RefitDisabledStaysPut) {
   EXPECT_EQ(p.refit_count(), 1u);  // only the prime
 }
 
+// The complexity-regression pin for the old vector fit buffer: push()
+// erased the buffer front every post-prime sample, moving window-1
+// elements per push. The ring-backed window must move elements only on
+// prime (and full-refit linearization), never per push.
+TEST(StreamingPredictor, PushMovesNoBufferElements) {
+  StreamingConfig cfg;
+  cfg.fit_window = 128;
+  cfg.refit_on_error = false;  // no full-refit linearizations mid-stream
+  StreamingPredictor p(ModelSpec::ar(4), cfg);
+  p.prime(ar1_series(0.8, 400, 21));
+  const std::uint64_t after_prime = p.fit_buffer_moves();
+  EXPECT_EQ(after_prime, 128u);  // the tail the prime retained
+  const auto xs = ar1_series(0.8, 1000, 22);
+  for (double x : xs) p.push(x);
+  // Old buffer: + 1000 * 127 moves. Ring: zero.
+  EXPECT_EQ(p.fit_buffer_moves(), after_prime);
+}
+
+TEST(StreamingPredictor, IncrementalMatchesFullRefitPath) {
+  // Same spec, same data, evaluator-forced refits: the incremental-install
+  // path must track the full-recompute path within the documented 1e-9
+  // contract (compounded through the forecast recursion; 1e-8 headroom).
+  const auto prime = ar1_series(0.7, 300, 23, /*mu=*/50.0);
+  const auto stream = ar1_series(0.7, 400, 24, /*mu=*/50.0);
+  StreamingConfig cfg;
+  cfg.fit_window = 200;
+  cfg.horizon = 10;
+  cfg.evaluator.min_samples = 4;
+  cfg.evaluator.tolerance = 0.0;  // refit on every evaluator verdict
+  StreamingConfig full = cfg;
+  full.incremental_fit = false;
+  StreamingPredictor inc(ModelSpec::ar(8), cfg);
+  StreamingPredictor ref(ModelSpec::ar(8), full);
+  inc.prime(prime);
+  ref.prime(prime);
+  for (double x : stream) {
+    const Prediction a = inc.push(x);
+    const Prediction b = ref.push(x);
+    ASSERT_EQ(a.mean.size(), b.mean.size());
+    for (std::size_t h = 0; h < a.mean.size(); ++h) {
+      const double scale = std::max({1.0, std::abs(a.mean[h]), std::abs(b.mean[h])});
+      ASSERT_LE(std::abs(a.mean[h] - b.mean[h]), 1e-8 * scale) << "h=" << h;
+    }
+  }
+  EXPECT_EQ(inc.refit_count(), ref.refit_count());
+  EXPECT_GT(inc.incremental_refit_count(), 0u);
+  EXPECT_EQ(ref.incremental_refit_count(), 0u);
+}
+
+TEST(StreamingPredictor, IncrementalResyncsOnWindowTurnover) {
+  StreamingConfig cfg;
+  cfg.fit_window = 64;
+  cfg.refit_on_error = false;
+  StreamingPredictor p(ModelSpec::ar(4), cfg);
+  p.prime(ar1_series(0.5, 64, 25));
+  const auto xs = ar1_series(0.5, 64 * 3, 26);
+  for (double x : xs) p.push(x);
+  EXPECT_EQ(p.resync_count(), 3u);
+}
+
+TEST(StreamingPredictor, NonArFamiliesIgnoreIncrementalFlag) {
+  // The incremental lane only covers pure AR Yule-Walker; a MEAN-family
+  // predictor must behave identically with the flag on or off.
+  for (const bool flag : {false, true}) {
+    StreamingConfig cfg;
+    cfg.incremental_fit = flag;
+    StreamingPredictor p(ModelSpec::mean(), cfg);
+    p.prime(std::vector<double>(100, 3.0));
+    for (int i = 0; i < 20; ++i) p.push(3.0);
+    EXPECT_EQ(p.incremental_refit_count(), 0u);
+    EXPECT_DOUBLE_EQ(p.predict().mean[0], 3.0);
+  }
+}
+
 TEST(ClientServerPredictor, StatelessFitPerRequest) {
   ClientServerPredictor service(ModelSpec::ar(4));
   const auto xs = ar1_series(0.8, 600, 7, /*mu=*/20.0);

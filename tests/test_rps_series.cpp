@@ -127,5 +127,72 @@ TEST(Series, IntegrationTailsTooShortThrows) {
   EXPECT_THROW(integration_tails(std::vector<double>{1.0}, 3), std::invalid_argument);
 }
 
+// ---- edge cases: the degenerate inputs fleet-scale feeds produce (empty
+// histories, windows shorter than the requested lag/difference order) ----
+
+TEST(Series, EmptySpans) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+  const auto acov = autocovariance(empty, 3);
+  ASSERT_EQ(acov.size(), 4u);
+  for (double g : acov) EXPECT_DOUBLE_EQ(g, 0.0);
+  // Zero lag-0 power: autocorrelation degrades to all-zeros, not NaN.
+  const auto acf = autocorrelation(empty, 3);
+  for (double r : acf) EXPECT_DOUBLE_EQ(r, 0.0);
+  EXPECT_TRUE(difference(empty, 1).empty());
+  EXPECT_TRUE(fractional_difference(empty, 0.4, 8).empty());
+}
+
+TEST(Series, SingleSampleVarianceIsZero) {
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(mean(one), 42.0);
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Series, AutocovarianceLagBeyondLengthIsZero) {
+  const std::vector<double> xs{1.0, 2.0, 4.0};
+  const auto acov = autocovariance(xs, 6);  // max_lag >= n
+  ASSERT_EQ(acov.size(), 7u);
+  EXPECT_GT(acov[0], 0.0);
+  for (std::size_t lag = 3; lag <= 6; ++lag) {
+    EXPECT_DOUBLE_EQ(acov[lag], 0.0) << "lag " << lag;
+  }
+}
+
+TEST(Series, DifferenceOrderBeyondLengthEmpty) {
+  const std::vector<double> xs{5.0, 7.0, 10.0};
+  EXPECT_TRUE(difference(xs, 3).empty());  // d >= n
+  EXPECT_TRUE(difference(xs, 5).empty());
+  EXPECT_EQ(difference(xs, 2).size(), 1u);
+}
+
+TEST(Series, DifferenceZeroIsCopy) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_EQ(difference(xs, 0), xs);
+}
+
+TEST(Series, IntegrateForecastTailMismatch) {
+  // One-step-ahead round trip at depth 2 anchors the tail convention,
+  // then the mismatched shapes: an empty forecast against deep tails and
+  // a forecast with no tails at all must both degrade gracefully.
+  const std::vector<double> xs{1.0, 3.0, 6.0, 10.0, 15.0, 21.0};
+  const auto d2 = difference(xs, 2);
+  const auto tails = integration_tails(std::vector<double>(xs.begin(), xs.end() - 1), 2);
+  const auto restored = integrate_forecast(std::vector<double>{d2.back()}, tails);
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_DOUBLE_EQ(restored[0], xs.back());
+
+  // Empty forecast: nothing to integrate regardless of tail depth.
+  EXPECT_TRUE(integrate_forecast({}, tails).empty());
+  // No tails: identity (the d == 0 path).
+  const std::vector<double> flat{2.0, 4.0};
+  EXPECT_EQ(integrate_forecast(flat, {}), flat);
+}
+
+TEST(Series, FractionalCoeffsZeroCount) {
+  EXPECT_TRUE(fractional_diff_coeffs(0.4, 0).empty());
+}
+
 }  // namespace
 }  // namespace remos::rps

@@ -200,5 +200,94 @@ TEST(SharedPredictionCache, DistinctKeysFitInParallel) {
   EXPECT_EQ(cache.misses(), 2u);
 }
 
+// ---- warm tier: spec-shape model templates ----
+
+ModelTemplate make_template(double mu) {
+  ModelTemplate t;
+  t.spec = ModelSpec::ar(4);
+  t.phi = {0.5, 0.2, 0.1, 0.05};
+  t.mu = mu;
+  t.sigma2 = 1.5;
+  return t;
+}
+
+TEST(SharedPredictionCache, WarmTierStoreAndHit) {
+  Clock clock;
+  SharedPredictionCache cache(10.0, clock.fn());
+  EXPECT_FALSE(cache.warm_template("AR(4)").has_value());
+  EXPECT_EQ(cache.warm_misses(), 1u);
+  cache.put_template("AR(4)", make_template(7.0));
+  EXPECT_EQ(cache.templates_stored(), 1u);
+  EXPECT_EQ(cache.warm_size(), 1u);
+  const auto tmpl = cache.warm_template("AR(4)");
+  ASSERT_TRUE(tmpl.has_value());
+  EXPECT_DOUBLE_EQ(tmpl->mu, 7.0);
+  EXPECT_EQ(tmpl->phi.size(), 4u);
+  EXPECT_EQ(cache.warm_hits(), 1u);
+  EXPECT_EQ(cache.warm_misses(), 1u);
+  // Warm traffic never touches the hot-tier counters.
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(SharedPredictionCache, WarmTierReplacesSameShape) {
+  Clock clock;
+  SharedPredictionCache cache(10.0, clock.fn());
+  cache.put_template("AR(4)", make_template(1.0));
+  cache.put_template("AR(4)", make_template(2.0));
+  EXPECT_EQ(cache.templates_stored(), 2u);  // stores counted, not slots
+  EXPECT_EQ(cache.warm_size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.warm_template("AR(4)")->mu, 2.0);
+}
+
+TEST(SharedPredictionCache, WarmTtlDefaultsToEightTimesHot) {
+  Clock clock;
+  SharedPredictionCache cache(5.0, clock.fn());  // warm TTL defaults to 40s
+  cache.put_template("AR(4)", make_template(3.0));
+  clock.t = 39.0;
+  EXPECT_TRUE(cache.warm_template("AR(4)").has_value());
+  clock.t = 41.0;
+  EXPECT_FALSE(cache.warm_template("AR(4)").has_value());
+  EXPECT_EQ(cache.warm_hits(), 1u);
+  EXPECT_EQ(cache.warm_misses(), 1u);
+}
+
+TEST(SharedPredictionCache, WarmTtlOverride) {
+  Clock clock;
+  SharedPredictionCache cache(5.0, clock.fn(), /*warm_ttl_s=*/2.0);
+  cache.put_template("AR(4)", make_template(3.0));
+  clock.t = 1.5;
+  EXPECT_TRUE(cache.warm_template("AR(4)").has_value());
+  clock.t = 2.5;
+  EXPECT_FALSE(cache.warm_template("AR(4)").has_value());
+}
+
+TEST(SharedPredictionCache, SeedAccountingIsExplicit) {
+  Clock clock;
+  SharedPredictionCache cache(10.0, clock.fn());
+  EXPECT_EQ(cache.seeds(), 0u);
+  cache.note_seeded();
+  cache.note_seeded();
+  EXPECT_EQ(cache.seeds(), 2u);
+}
+
+TEST(SharedPredictionCache, InvalidateKeepsWarmTierClearDropsBoth) {
+  Clock clock;
+  SharedPredictionCache cache(10.0, clock.fn());
+  cache.get_or_compute("edge-1", [] { return make_prediction(1.0); });
+  cache.put_template("AR(4)", make_template(4.0));
+  // invalidate() is per-key staleness: the shared template outlives it.
+  cache.invalidate("edge-1");
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.warm_size(), 1u);
+  EXPECT_TRUE(cache.warm_template("AR(4)").has_value());
+  // clear() is the full reset: both tiers go.
+  cache.get_or_compute("edge-1", [] { return make_prediction(1.0); });
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.warm_size(), 0u);
+  EXPECT_FALSE(cache.warm_template("AR(4)").has_value());
+}
+
 }  // namespace
 }  // namespace remos::rps

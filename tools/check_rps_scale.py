@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Check micro_rps_scale output against the deterministic fleet pins.
+
+The rps-scale bench's workload is seeded, so the fleet's shape and counters
+— spec-shape groups, young (warm-seeded) series, refits, fit failures,
+template publications, and warm-tier hits per round — are pure functions of
+the fleet size, identical on every machine, build mode, and fit mode. Those
+facts are pinned per fleet size (bench/rps_scale_pins.json), normalized per
+round so smoke and full runs share one pin set, and checked for BOTH the
+incremental and the full_refit rows (the counters must not depend on the
+fit mode — that is the equivalence story in miniature).
+
+On top of the shape pins, the perf ratchet: at --ratchet-series (default
+100k live series) the incremental mode's fit+query+observe cost per
+series-round must beat the full-refit baseline by --min-speedup (default
+5x). That is the throughput claim the incremental-fits PR made, re-proven
+on whatever machine runs CI; the comparison is measured live in the same
+process, so machine speed cancels out.
+
+Usage: check_rps_scale.py --measured <bench-json> --pins <pins-json>
+                          [--min-speedup 5.0] [--ratchet-series 100000]
+"""
+
+import argparse
+import json
+import sys
+
+
+# Pinned counter name -> (measured key, normalized per round?)
+COUNTERS = {
+    "groups": ("groups", False),
+    "young": ("young", False),
+    "refits_per_round": ("refits_total", True),
+    "fit_failures_per_round": ("fit_failures", True),
+    "seeded_per_round": ("seeded_predictions", True),
+    "templates_per_round": ("templates_published", True),
+    "warm_hits_per_round": ("warm_hits", True),
+    "warm_misses": ("warm_misses", False),
+    "predict_ok_per_round": ("predict_ok", True),
+}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--measured", required=True, help="micro_rps_scale --out JSON")
+    ap.add_argument("--pins", required=True, help="pinned fleet-shape JSON")
+    ap.add_argument("--min-speedup", type=float, default=5.0,
+                    help="required full_refit/incremental cost ratio")
+    ap.add_argument("--ratchet-series", type=int, default=100000,
+                    help="fleet size the speedup ratchet is enforced at")
+    args = ap.parse_args()
+
+    with open(args.measured, encoding="utf-8") as f:
+        measured = json.load(f)["benchmarks"]
+    with open(args.pins, encoding="utf-8") as f:
+        pins = json.load(f)
+
+    failures = []
+    checked = 0
+    total_ns = {}  # (name, series) -> ns per series-round
+    for entry in measured:
+        tag = f"{entry['name']}/{entry['series']}"
+        rounds = entry["rounds"]
+        if rounds <= 0:
+            failures.append(f"{tag}: rounds {rounds} is not positive")
+            continue
+        total_ns[(entry["name"], entry["series"])] = entry["total_ns"]
+        if entry["total_ns"] <= 0.0:
+            failures.append(f"{tag}: non-positive total_ns {entry['total_ns']}")
+        pin = pins.get(str(entry["series"]))
+        if pin is None:
+            continue
+        checked += 1
+        for pin_key, want in pin.items():
+            key, per_round = COUNTERS[pin_key]
+            raw = entry.get(key)
+            if raw is None:
+                failures.append(f"{tag}: missing counter {key}")
+                continue
+            if per_round:
+                if raw % rounds != 0:
+                    failures.append(
+                        f"{tag}: {key} {raw} not divisible by {rounds} rounds "
+                        "(counter drifted mid-run; the fleet is not steady)"
+                    )
+                    continue
+                got = raw // rounds
+            else:
+                got = raw
+            if got != want:
+                failures.append(
+                    f"{tag}: {pin_key} {got} != pinned {want} (workload "
+                    "generator or fleet accounting drifted; re-record "
+                    "deliberately)"
+                )
+
+    ratchet = args.ratchet_series
+    full = total_ns.get(("full_refit", ratchet))
+    inc = total_ns.get(("incremental", ratchet))
+    if full is None or inc is None:
+        failures.append(
+            f"ratchet: need full_refit and incremental rows at "
+            f"{ratchet} series; got {sorted(total_ns)}"
+        )
+    elif inc > 0.0:
+        ratio = full / inc
+        if ratio < args.min_speedup:
+            failures.append(
+                f"ratchet/{ratchet}: incremental {ratio:.2f}x full refit < "
+                f"required {args.min_speedup:.1f}x (sliding-window fit path "
+                "regressed)"
+            )
+
+    if checked == 0:
+        failures.append("no measured benchmark matched any pin — wrong files?")
+
+    for msg in failures:
+        print(f"check_rps_scale: FAIL {msg}", file=sys.stderr)
+    if not failures:
+        ratio = full / inc
+        print(
+            f"check_rps_scale: {checked} pinned fleet shapes match; "
+            f"incremental {ratio:.2f}x full refit at {ratchet} series "
+            f"(>= {args.min_speedup:.1f}x)"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
